@@ -1,0 +1,32 @@
+//! Figure 3: throughput during the customer table-split migration, at a
+//! moderate (paper: 450 TPS) and a saturating (paper: 700 TPS) request
+//! rate, for eager / multi-step / BullFrog(bitmap) / BullFrog(on-conflict)
+//! and BullFrog without background migration.
+//!
+//! Expected shape (paper §4.1): eager dips to near-zero for the whole copy
+//! and (at max rate) never catches up; multi-step's throughput sags while
+//! the copier runs and dual writes accumulate; both BullFrog variants show
+//! no visible dip at the moderate rate and only a modest one at max;
+//! without background threads the migration does not finish in the window.
+
+use bullfrog_bench::figures::{run_two_rate_panel, FigureConfig};
+use bullfrog_bench::{StrategyKind, StrategyOptions};
+use bullfrog_tpcc::Scenario;
+
+fn main() {
+    println!("=== Figure 3: table-split migration throughput ===");
+    let fig = FigureConfig::from_env();
+    run_two_rate_panel(
+        "fig3 table split",
+        Scenario::CustomerSplit,
+        &[
+            StrategyKind::Eager,
+            StrategyKind::MultiStep,
+            StrategyKind::Bullfrog,
+            StrategyKind::BullfrogOnConflict,
+            StrategyKind::BullfrogNoBackground,
+        ],
+        &fig,
+        &StrategyOptions::default(),
+    );
+}

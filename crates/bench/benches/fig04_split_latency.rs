@@ -1,0 +1,31 @@
+//! Figure 4: NewOrder latency CDFs during the table-split migration,
+//! including the "TPC-C w/o migration" control.
+//!
+//! Expected shape (paper §4.1): at the moderate rate the lazy variants
+//! track the no-migration CDF closely while eager shows a step (fast
+//! left side from after it caught up, slow right side from the downtime
+//! queue); at the saturating rate eager's whole CDF shifts out by the
+//! downtime it can never recover from, up to an order of magnitude beyond
+//! BullFrog's.
+
+use bullfrog_bench::figures::{run_two_rate_panel, FigureConfig};
+use bullfrog_bench::{StrategyKind, StrategyOptions};
+use bullfrog_tpcc::Scenario;
+
+fn main() {
+    println!("=== Figure 4: table-split migration latency CDFs ===");
+    let fig = FigureConfig::from_env();
+    run_two_rate_panel(
+        "fig4 table split latency",
+        Scenario::CustomerSplit,
+        &[
+            StrategyKind::NoMigration,
+            StrategyKind::Eager,
+            StrategyKind::MultiStep,
+            StrategyKind::Bullfrog,
+            StrategyKind::BullfrogOnConflict,
+        ],
+        &fig,
+        &StrategyOptions::default(),
+    );
+}

@@ -1,0 +1,30 @@
+//! Figures 5 + 6: throughput and latency during the aggregation migration
+//! (§4.2) — `order_line` totals materialized per order, an n:1 migration
+//! tracked by BullFrog's hashmap.
+//!
+//! Expected shape: same ordering as the table split (eager dips hard,
+//! multi-step sags longest, BullFrog barely moves at the moderate rate),
+//! but the migration writes far less data (one small row per order), so
+//! every system's disruption window is shorter and shallower than in
+//! Figures 3/4.
+
+use bullfrog_bench::figures::{run_two_rate_panel, FigureConfig};
+use bullfrog_bench::{StrategyKind, StrategyOptions};
+use bullfrog_tpcc::Scenario;
+
+fn main() {
+    println!("=== Figures 5/6: aggregation migration (hashmap n:1) ===");
+    let fig = FigureConfig::from_env();
+    run_two_rate_panel(
+        "fig5/6 aggregate",
+        Scenario::OrderTotals,
+        &[
+            StrategyKind::NoMigration,
+            StrategyKind::Eager,
+            StrategyKind::MultiStep,
+            StrategyKind::Bullfrog,
+        ],
+        &fig,
+        &StrategyOptions::default(),
+    );
+}

@@ -1,0 +1,30 @@
+//! Figures 7 + 8: throughput and latency during the join-denormalization
+//! migration (§4.3) — `order_line ⋈ stock` on the item id, a many-to-many
+//! join tracked by the hashmap at join-key granularity (§3.6).
+//!
+//! Expected shape: this is the most expensive migration of the three
+//! (output is a multiple of order_line), so every system's dip is wider;
+//! eager's downtime dwarfs the others, and at the saturating rate latency
+//! climbs until the backlog caps out, while BullFrog still avoids any
+//! zero-throughput window.
+
+use bullfrog_bench::figures::{run_two_rate_panel, FigureConfig};
+use bullfrog_bench::{StrategyKind, StrategyOptions};
+use bullfrog_tpcc::Scenario;
+
+fn main() {
+    println!("=== Figures 7/8: join denormalization migration (hashmap n:n) ===");
+    let fig = FigureConfig::from_env();
+    run_two_rate_panel(
+        "fig7/8 join",
+        Scenario::JoinDenorm,
+        &[
+            StrategyKind::NoMigration,
+            StrategyKind::Eager,
+            StrategyKind::MultiStep,
+            StrategyKind::Bullfrog,
+        ],
+        &fig,
+        &StrategyOptions::default(),
+    );
+}

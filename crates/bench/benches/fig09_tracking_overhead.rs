@@ -1,0 +1,158 @@
+//! Figure 9: data-structure maintenance cost (§4.4.1).
+//!
+//! The workload is modified so that requests cumulatively touch each old
+//! tuple **exactly once** — with disjoint accesses, migration-status
+//! tracking is unnecessary, so comparing BullFrog's bitmap path against a
+//! tracker-free copy isolates the overhead of maintaining the structures.
+//!
+//! Expected shape: the two lines are nearly identical — "the throughput
+//! and latency improvements of removing the tracking data structures is
+//! small since they do not introduce significant overhead."
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bullfrog_bench::figures::FigureConfig;
+use bullfrog_bench::harness::percentile;
+use bullfrog_core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, Passthrough,
+};
+use bullfrog_engine::exec::{execute_spec, ExecOptions};
+use bullfrog_engine::LockPolicy;
+use bullfrog_query::Expr;
+use bullfrog_tpcc::migrations::{customer_split_plan, FkLevel};
+use bullfrog_tpcc::{load, Scenario};
+
+/// Sequentially covers every customer in id-range batches, through the
+/// given "migrate this range" closure; returns (elapsed_s, ops/s, p50 µs,
+/// p99 µs).
+fn cover_all(
+    scale: &bullfrog_tpcc::TpccScale,
+    batch: i64,
+    mut op: impl FnMut(i64, i64, i64, i64),
+) -> (f64, f64, u64, u64) {
+    let start = Instant::now();
+    let mut lats = Vec::new();
+    let mut ops = 0u64;
+    for w in 1..=scale.warehouses {
+        for d in 1..=scale.districts_per_warehouse {
+            let mut lo = 1i64;
+            while lo <= scale.customers_per_district {
+                let hi = (lo + batch).min(scale.customers_per_district + 1);
+                let t0 = Instant::now();
+                op(w, d, lo, hi);
+                lats.push(t0.elapsed().as_micros() as u64);
+                ops += 1;
+                lo = hi;
+            }
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    lats.sort_unstable();
+    (
+        elapsed,
+        ops as f64 / elapsed,
+        percentile(&lats, 0.5),
+        percentile(&lats, 0.99),
+    )
+}
+
+fn main() {
+    println!("=== Figure 9: tracking data-structure maintenance cost ===");
+    let fig = FigureConfig::from_env();
+    let batch = 20i64;
+
+    // BullFrog bitmap path: every range request goes through Algorithm 1.
+    let db = {
+        let db = Arc::new(bullfrog_engine::Database::new());
+        load(&db, &fig.scale).unwrap();
+        db
+    };
+    let bf = Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    bf.submit_migration(customer_split_plan(FkLevel::None)).unwrap();
+    Scenario::CustomerSplit.create_output_indexes(&db).unwrap();
+    let (el, ops, p50, p99) = cover_all(&fig.scale, batch, |w, d, lo, hi| {
+        let pred = Expr::column("c_w_id")
+            .eq(Expr::lit(w))
+            .and(Expr::column("c_d_id").eq(Expr::lit(d)))
+            .and(Expr::column("c_id").ge(Expr::lit(lo)))
+            .and(Expr::column("c_id").lt(Expr::lit(hi)));
+        let mut txn = db.begin();
+        bf.select(&mut txn, "customer_pub", Some(&pred), LockPolicy::Shared)
+            .unwrap();
+        bf.select(&mut txn, "customer_priv", Some(&pred), LockPolicy::Shared)
+            .unwrap();
+        db.commit(&mut txn).unwrap();
+    });
+    println!(
+        "bullfrog-bitmap    total={el:.2}s ops/s={ops:.0} p50={:.2}ms p99={:.2}ms",
+        p50 as f64 / 1000.0,
+        p99 as f64 / 1000.0
+    );
+    let rows = db.table("customer_pub").unwrap().live_count();
+    assert_eq!(rows as i64, fig.scale.total_customers());
+
+    // Tracker-free path: the same per-range work (read old, transform,
+    // insert new) with no claims, no bitmap, no status flips.
+    let db2 = {
+        let db = Arc::new(bullfrog_engine::Database::new());
+        load(&db, &fig.scale).unwrap();
+        db
+    };
+    let mut plan = customer_split_plan(FkLevel::None);
+    plan.resolve(&db2).unwrap();
+    for s in &plan.statements {
+        db2.create_table(s.output.clone()).unwrap();
+    }
+    let pass = Passthrough::new(Arc::clone(&db2));
+    let (el, ops, p50, p99) = cover_all(&fig.scale, batch, |w, d, lo, hi| {
+        let filter = Expr::col("c", "c_w_id")
+            .eq(Expr::lit(w))
+            .and(Expr::col("c", "c_d_id").eq(Expr::lit(d)))
+            .and(Expr::col("c", "c_id").ge(Expr::lit(lo)))
+            .and(Expr::col("c", "c_id").lt(Expr::lit(hi)));
+        let mut txn = db2.begin();
+        for s in &plan.statements {
+            let mut opts = ExecOptions {
+                lock: LockPolicy::None,
+                ..Default::default()
+            };
+            opts.extra_filters.insert("c".into(), filter.clone());
+            let out = execute_spec(&db2, &mut txn, &s.spec, &opts).unwrap();
+            for row in out.rows {
+                db2.insert(&mut txn, &s.output.name, row).unwrap();
+            }
+        }
+        db2.commit(&mut txn).unwrap();
+        // Read back the migrated slice, matching the bitmap run's reads.
+        let bare = Expr::column("c_w_id")
+            .eq(Expr::lit(w))
+            .and(Expr::column("c_d_id").eq(Expr::lit(d)))
+            .and(Expr::column("c_id").ge(Expr::lit(lo)))
+            .and(Expr::column("c_id").lt(Expr::lit(hi)));
+        let mut txn = db2.begin();
+        pass.select(&mut txn, "customer_pub", Some(&bare), LockPolicy::Shared)
+            .unwrap();
+        pass.select(&mut txn, "customer_priv", Some(&bare), LockPolicy::Shared)
+            .unwrap();
+        db2.commit(&mut txn).unwrap();
+    });
+    println!(
+        "no-tracking        total={el:.2}s ops/s={ops:.0} p50={:.2}ms p99={:.2}ms",
+        p50 as f64 / 1000.0,
+        p99 as f64 / 1000.0
+    );
+    assert_eq!(
+        db2.table("customer_pub").unwrap().live_count() as i64,
+        fig.scale.total_customers()
+    );
+}

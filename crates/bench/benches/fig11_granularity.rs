@@ -1,0 +1,93 @@
+//! Figure 11: migration granularity × access skew (§4.4.3).
+//!
+//! The bitmap tracks pages of 1 / 64 / 128 / 256 rows instead of single
+//! tuples. Coarse granules migrate more data per claim: each client
+//! request pays more latency, but the overall migration finishes sooner.
+//!
+//! Expected shape: under low contention, tuple granularity (1) has the
+//! best latency; under a hot 1% set, coarse granularity wins because the
+//! whole hot set migrates in a few claims and the queueing from extended
+//! migration disappears.
+
+use std::sync::Arc;
+
+use bullfrog_bench::figures::FigureConfig;
+use bullfrog_bench::harness::{print_cdf, print_series, run_custom_workload, CustomOp};
+use bullfrog_bench::{build_strategy, StrategyKind, StrategyOptions};
+use bullfrog_tpcc::txns::{payment, CustomerSelector, PaymentParams, Variant};
+use bullfrog_tpcc::{Scenario, TxnOutcome};
+
+fn main() {
+    println!("=== Figure 11: migration granularity under skew ===");
+    let fig = FigureConfig::from_env();
+    let total = fig.scale.total_customers();
+
+    for (hot_label, hot) in [("hot=all", total), ("hot=1%", (total / 100).max(10))] {
+        for granule in [1u64, 64, 128, 256] {
+            let cfg = fig.run_config(fig.rates.moderate);
+            let opts = StrategyOptions {
+                granule_rows: granule,
+                ..Default::default()
+            };
+            let (db, strategy) = build_strategy(
+                Scenario::CustomerSplit,
+                StrategyKind::Bullfrog,
+                &fig.scale,
+                &cfg,
+                &opts,
+            );
+            let scale = fig.scale.clone();
+            let op: CustomOp = Arc::new(move |access, rng, now| {
+                let pick = rng.uniform(0, hot - 1);
+                let cpd = scale.customers_per_district;
+                let c_id = pick % cpd + 1;
+                let flat = pick / cpd;
+                let d = flat % scale.districts_per_warehouse + 1;
+                let w = flat / scale.districts_per_warehouse % scale.warehouses + 1;
+                let variant = match access.version() {
+                    bullfrog_core::SchemaVersion::New => Variant::CustomerSplit,
+                    _ => Variant::Base,
+                };
+                let p = PaymentParams {
+                    w_id: w,
+                    d_id: d,
+                    c_w_id: w,
+                    c_d_id: d,
+                    selector: CustomerSelector::Id(c_id),
+                    amount: 100,
+                    now,
+                };
+                let db = access.db();
+                for _ in 0..20 {
+                    let mut txn = db.begin();
+                    match payment(access, &mut txn, variant, &p) {
+                        Ok(_) => {
+                            if db.commit(&mut txn).is_ok() {
+                                return (TxnOutcome::Committed, true);
+                            }
+                            db.abort(&mut txn);
+                        }
+                        Err(e) if e.is_retryable() => db.abort(&mut txn),
+                        Err(e) => {
+                            db.abort(&mut txn);
+                            return (TxnOutcome::Failed(e), false);
+                        }
+                    }
+                }
+                (
+                    TxnOutcome::Failed(bullfrog_common::Error::Internal("retries".into())),
+                    false,
+                )
+            });
+            let result = run_custom_workload(strategy, op, &cfg);
+            println!("\n-- {hot_label}, page={granule} --");
+            print_series(&result);
+            print_cdf(&result);
+            let migrated = db
+                .table("customer_pub")
+                .map(|t| t.live_count())
+                .unwrap_or(0);
+            println!("  migrated customer_pub rows: {migrated}");
+        }
+    }
+}

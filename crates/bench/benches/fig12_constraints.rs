@@ -1,0 +1,54 @@
+//! Figure 12: FOREIGN KEY constraints on the table-split migration (§4.5).
+//!
+//! The new customer tables optionally declare FKs (to district, and — at
+//! the strongest level — across the split), which widens the unit of data
+//! each request forces through migration. Panel (a) runs the full TPC-C
+//! mix; panel (b) removes the transactions that never touch the customer
+//! table (StockLevel), making the constraint overhead visible.
+//!
+//! Expected shape: more constraints → earlier/deeper throughput drop,
+//! because the extra migrated-and-checked data lowers the concurrency the
+//! engine can sustain.
+
+use bullfrog_bench::figures::FigureConfig;
+use bullfrog_bench::harness::{print_cdf, print_series};
+use bullfrog_bench::{run_strategy, StrategyKind, StrategyOptions};
+use bullfrog_tpcc::migrations::FkLevel;
+use bullfrog_tpcc::Scenario;
+
+fn main() {
+    println!("=== Figure 12: FK constraints on the table split ===");
+    let fig = FigureConfig::from_env();
+    let levels = [
+        ("pk-only", FkLevel::None),
+        ("pk+district-fk", FkLevel::District),
+        ("pk+order+district-fk", FkLevel::OrderAndDistrict),
+    ];
+
+    for (panel, weights) in [
+        ("(a) full workload", None),
+        // Panel (b): drop StockLevel (the only type never touching
+        // customer) and re-weight toward the customer-heavy transactions.
+        ("(b) customer-only workload", Some([46u32, 44, 4, 4, 0])),
+    ] {
+        println!("\n== fig12 {panel} ==");
+        for (label, fk) in levels {
+            let opts = StrategyOptions {
+                fk,
+                weights,
+                ..Default::default()
+            };
+            let cfg = fig.run_config(fig.rates.moderate);
+            let result = run_strategy(
+                Scenario::CustomerSplit,
+                StrategyKind::Bullfrog,
+                &fig.scale,
+                &cfg,
+                &opts,
+            );
+            println!("-- {label} --");
+            print_series(&result);
+            print_cdf(&result);
+        }
+    }
+}

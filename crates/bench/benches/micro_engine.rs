@@ -1,0 +1,115 @@
+//! Criterion microbenchmarks of the OLTP substrate: point ops, index
+//! scans, spec execution, and whole TPC-C transactions.
+
+use std::sync::Arc;
+
+use bullfrog_common::{row, Value};
+use bullfrog_core::Passthrough;
+use bullfrog_engine::exec::{execute_spec, ExecOptions};
+use bullfrog_engine::{Database, LockPolicy};
+use bullfrog_query::{AggFunc, Expr, SelectSpec};
+use bullfrog_tpcc::{load, Driver, TpccRng, TpccScale, TxnKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn engine_ops(c: &mut Criterion) {
+    let db = Arc::new(Database::new());
+    let scale = TpccScale::bench();
+    load(&db, &scale).unwrap();
+    let mut g = c.benchmark_group("engine");
+
+    g.bench_function("pk_point_read", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let key = [
+                Value::Int(1),
+                Value::Int(i % 10 + 1),
+                Value::Int(i % scale.customers_per_district + 1),
+            ];
+            let mut txn = db.begin();
+            let got = db.get_by_pk(&mut txn, "customer", &key, LockPolicy::Shared);
+            db.commit(&mut txn).unwrap();
+            black_box(got.unwrap())
+        })
+    });
+
+    g.bench_function("insert_commit", |b| {
+        let mut i = 1_000_000i64;
+        b.iter(|| {
+            i += 1;
+            let mut txn = db.begin();
+            db.insert(
+                &mut txn,
+                "history",
+                row![1, 1, 1, 1, 1, Value::Timestamp(i), 100, "bench"],
+            )
+            .unwrap();
+            db.commit(&mut txn).unwrap();
+        })
+    });
+
+    g.bench_function("secondary_index_scan", |b| {
+        let pred = Expr::column("c_w_id")
+            .eq(Expr::lit(1))
+            .and(Expr::column("c_d_id").eq(Expr::lit(1)))
+            .and(Expr::column("c_last").eq(Expr::lit("BARBARBAR")));
+        b.iter(|| {
+            let mut txn = db.begin();
+            let got = db.select(&mut txn, "customer", Some(&pred), LockPolicy::Shared);
+            db.commit(&mut txn).unwrap();
+            black_box(got.unwrap().len())
+        })
+    });
+
+    g.bench_function("group_by_aggregate_spec", |b| {
+        let spec = SelectSpec::new()
+            .from_table("order_line", "ol")
+            .filter(
+                Expr::col("ol", "ol_w_id")
+                    .eq(Expr::lit(1))
+                    .and(Expr::col("ol", "ol_d_id").eq(Expr::lit(1))),
+            )
+            .select("o", Expr::col("ol", "ol_o_id"))
+            .select_agg("total", AggFunc::Sum, Expr::col("ol", "ol_amount"));
+        b.iter(|| {
+            let mut txn = db.begin();
+            let out = execute_spec(&db, &mut txn, &spec, &ExecOptions::default());
+            db.commit(&mut txn).unwrap();
+            black_box(out.unwrap().rows.len())
+        })
+    });
+    g.finish();
+}
+
+fn tpcc_txns(c: &mut Criterion) {
+    let db = Arc::new(Database::new());
+    let scale = TpccScale::bench();
+    load(&db, &scale).unwrap();
+    let access = Passthrough::new(Arc::clone(&db));
+    let driver = Driver::new(scale, None);
+    let mut g = c.benchmark_group("tpcc");
+    for (name, kind) in [
+        ("new_order", TxnKind::NewOrder),
+        ("payment", TxnKind::Payment),
+        ("order_status", TxnKind::OrderStatus),
+        ("stock_level", TxnKind::StockLevel),
+    ] {
+        g.bench_function(name, |b| {
+            let mut rng = TpccRng::new(7);
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                black_box(driver.run_one(&access, &mut rng, kind, i * 1000))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_ops, tpcc_txns
+}
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Criterion microbenchmarks of the migration trackers and the predicate
+//! transposition — the per-operation costs behind Figure 9's "tracking
+//! overhead is small" claim.
+
+use std::sync::Arc;
+
+use bullfrog_common::Value;
+use bullfrog_core::granule::WorkList;
+use bullfrog_core::{BitmapTracker, Granule, HashTracker, Tracker};
+use bullfrog_query::{transpose, ColRef, Expr, SelectSpec};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bitmap_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitmap");
+    g.bench_function("claim+mark", |b| {
+        b.iter_batched(
+            || (BitmapTracker::new(1 << 16, 1), 0u64),
+            |(t, _)| {
+                let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                for o in 0..1000u64 {
+                    t.try_claim(&Granule::Ordinal(o), &mut wip, &mut skip);
+                }
+                t.mark_migrated(wip.items());
+                black_box(wip.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("state_read_migrated", |b| {
+        let t = BitmapTracker::new(1 << 16, 1);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        for o in 0..1000u64 {
+            t.try_claim(&Granule::Ordinal(o), &mut wip, &mut skip);
+        }
+        t.mark_migrated(wip.items());
+        b.iter(|| {
+            let mut migrated = 0;
+            for o in 0..1000u64 {
+                let (mut w, mut s) = (WorkList::new(), WorkList::new());
+                if !t.try_claim(&Granule::Ordinal(o), &mut w, &mut s) {
+                    migrated += 1;
+                }
+            }
+            black_box(migrated)
+        })
+    });
+    g.bench_function("contended_claims_8_threads", |b| {
+        b.iter_batched(
+            || Arc::new(BitmapTracker::new(1 << 14, 1)),
+            |t| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let t = Arc::clone(&t);
+                        std::thread::spawn(move || {
+                            let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                            for o in 0..2000u64 {
+                                t.try_claim(&Granule::Ordinal(o), &mut wip, &mut skip);
+                            }
+                            t.mark_migrated(wip.items());
+                            wip.len()
+                        })
+                    })
+                    .collect();
+                let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                assert_eq!(total, 2000);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn hashmap_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashmap");
+    g.bench_function("claim+mark", |b| {
+        b.iter_batched(
+            HashTracker::new,
+            |t| {
+                let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                for k in 0..1000i64 {
+                    t.try_claim(
+                        &Granule::Group(vec![Value::Int(k)]),
+                        &mut wip,
+                        &mut skip,
+                    );
+                }
+                t.mark_migrated(wip.items());
+                black_box(wip.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("composite_keys", |b| {
+        b.iter_batched(
+            HashTracker::new,
+            |t| {
+                let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                for k in 0..500i64 {
+                    t.try_claim(
+                        &Granule::Group(vec![Value::Int(k % 10), Value::Int(k / 10), Value::Int(k)]),
+                        &mut wip,
+                        &mut skip,
+                    );
+                }
+                t.mark_migrated(wip.items());
+                black_box(wip.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn transposition(c: &mut Criterion) {
+    let spec = SelectSpec::new()
+        .from_table("flights", "f")
+        .from_table("flewon", "fi")
+        .join_on(ColRef::new("f", "flightid"), ColRef::new("fi", "flightid"))
+        .select("fid", Expr::col("f", "flightid"))
+        .select("flightdate", Expr::col("fi", "flightdate"))
+        .select(
+            "empty_seats",
+            Expr::col("f", "capacity").sub(Expr::col("fi", "passenger_count")),
+        );
+    let pred = Expr::column("fid")
+        .eq(Expr::lit("AA101"))
+        .and(Expr::column("flightdate").ge(Expr::lit(Value::Date(1))))
+        .and(Expr::column("empty_seats").gt(Expr::lit(0)));
+    c.bench_function("transpose_paper_example", |b| {
+        b.iter(|| black_box(transpose(&spec, Some(&pred))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bitmap_ops, hashmap_ops, transposition
+}
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Shared scaffolding for the figure-regeneration bench targets.
+
+use std::time::Duration;
+
+use bullfrog_tpcc::{Scenario, TpccScale};
+
+use crate::harness::{print_cdf, print_series, RunConfig};
+use crate::scenarios::{calibrate, run_strategy, Rates, StrategyKind, StrategyOptions};
+
+/// Environment-tunable experiment envelope.
+///
+/// - `BULLFROG_BENCH_SECS` — run window per (strategy, rate) pair
+///   (default 12; the paper used 200+ but its shapes appear within the
+///   first tens of seconds).
+/// - `BULLFROG_BENCH_WAREHOUSES` — scale factor (default 2).
+#[derive(Debug, Clone)]
+pub struct FigureConfig {
+    /// Per-run window.
+    pub window: Duration,
+    /// Database scale.
+    pub scale: TpccScale,
+    /// Client worker threads.
+    pub clients: usize,
+    /// Calibrated request rates.
+    pub rates: Rates,
+}
+
+impl FigureConfig {
+    /// Reads the envelope from the environment and calibrates the rates.
+    pub fn from_env() -> Self {
+        let secs: u64 = std::env::var("BULLFROG_BENCH_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(12);
+        let warehouses: i64 = std::env::var("BULLFROG_BENCH_WAREHOUSES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        let scale = TpccScale {
+            warehouses,
+            customers_per_district: 1500,
+            orders_per_district: 300,
+            items: 3000,
+            ..TpccScale::bench()
+        };
+        let clients: usize = std::env::var("BULLFROG_BENCH_CLIENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                // The paper dedicates 8 cores; on smaller machines extra
+                // client threads only add scheduler noise.
+                std::thread::available_parallelism()
+                    .map(|n| (n.get() * 2).clamp(2, 8))
+                    .unwrap_or(4)
+            });
+        let rates = calibrate(&scale, clients);
+        println!(
+            "# calibration: moderate={:.0} tps, max={:.0} tps ({} warehouses, {}s windows)",
+            rates.moderate, rates.max, warehouses, secs
+        );
+        println!("# clients: {clients}");
+        FigureConfig {
+            window: Duration::from_secs(secs),
+            scale,
+            clients,
+            rates,
+        }
+    }
+
+    /// Run configuration at the given rate.
+    pub fn run_config(&self, rate: f64) -> RunConfig {
+        RunConfig {
+            rate_tps: rate,
+            duration: self.window,
+            migrate_at: self.window.mul_f64(0.2),
+            clients: self.clients,
+            seed: 42,
+            bucket_ms: 500,
+        }
+    }
+}
+
+/// Runs the standard two-rate panel (the paper's 450 / 700 TPS
+/// sub-figures) over the given strategies and prints series + CDFs.
+pub fn run_two_rate_panel(
+    title: &str,
+    scenario: Scenario,
+    strategies: &[StrategyKind],
+    fig: &FigureConfig,
+    opts: &StrategyOptions,
+) {
+    for (cond, rate) in [("moderate", fig.rates.moderate), ("max", fig.rates.max)] {
+        println!("\n== {title} — request rate: {cond} ({rate:.0} TPS) ==");
+        for &kind in strategies {
+            let result = run_strategy(scenario, kind, &fig.scale, &fig.run_config(rate), opts);
+            print_series(&result);
+            print_cdf(&result);
+        }
+    }
+}

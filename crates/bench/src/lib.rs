@@ -1,0 +1,29 @@
+//! The benchmark harness regenerating the BullFrog paper's evaluation
+//! (Figures 3–12), plus Criterion microbenchmarks.
+//!
+//! Methodology mirrors OLTP-Bench as used in §4:
+//!
+//! - **open loop**: transaction arrivals are scheduled at a fixed rate;
+//!   when the database falls behind, latency grows with the (virtual)
+//!   queue — exactly how the paper's eager baseline accumulates a backlog;
+//! - throughput is reported per wall-clock second; latency is end-to-end
+//!   from scheduled arrival to completion;
+//! - each experiment runs the same workload against several evolution
+//!   strategies and prints the per-second series and latency CDF that the
+//!   corresponding figure plots.
+//!
+//! Scale substitution (documented in DESIGN.md/EXPERIMENTS.md): the paper
+//! drives 50 warehouses at 450/700 TPS for 200+ seconds on PostgreSQL;
+//! here the database is an in-process engine, so the default bench scale
+//! is `TpccScale::bench`-sized with request rates calibrated to the
+//! machine (the "450" condition is ~60% of measured max, the "700"
+//! condition is ~105% of max). Figure *shapes* — who dips, who queues, who
+//! finishes first — are the reproduction target, not absolute numbers.
+
+pub mod figures;
+pub mod harness;
+pub mod scenarios;
+
+pub use figures::FigureConfig;
+pub use harness::{percentile, RunConfig, RunResult, Strategy};
+pub use scenarios::{build_strategy, run_strategy, Rates, StrategyKind, StrategyOptions};

@@ -1,0 +1,240 @@
+//! Strategy construction for the figure benches: fresh database + loaded
+//! TPC-C + one evolution strategy, all behind the uniform harness types.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog_core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, DedupMode, EagerMigrator,
+    MultiStepMigrator, Passthrough,
+};
+use bullfrog_engine::{Database, DbConfig};
+use bullfrog_tpcc::migrations::FkLevel;
+use bullfrog_tpcc::{load, Driver, Scenario, TpccScale};
+
+use crate::harness::{calibrate_max_tps, run_workload, RunConfig, RunResult, Strategy};
+
+/// Which evolution strategy a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// No migration at all (the paper's "TPC-C w/o migration" control).
+    NoMigration,
+    /// Blocking eager migration.
+    Eager,
+    /// Shadow-table multi-step migration.
+    MultiStep,
+    /// BullFrog with its native trackers (bitmap/hashmap).
+    Bullfrog,
+    /// BullFrog deduplicating via `ON CONFLICT` (§3.7).
+    BullfrogOnConflict,
+    /// BullFrog with background migration disabled (the dotted lines of
+    /// Figure 3 — the migration never completes in the window).
+    BullfrogNoBackground,
+}
+
+impl StrategyKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            StrategyKind::NoMigration => "no-migration",
+            StrategyKind::Eager => "eager",
+            StrategyKind::MultiStep => "multistep",
+            StrategyKind::Bullfrog => "bullfrog",
+            StrategyKind::BullfrogOnConflict => "bullfrog-onconflict",
+            StrategyKind::BullfrogNoBackground => "bullfrog-nobg",
+        }
+    }
+}
+
+/// The two request-rate conditions of every figure, as fractions of the
+/// measured maximum (the paper's 450 and 700 TPS on its hardware).
+#[derive(Debug, Clone, Copy)]
+pub struct Rates {
+    /// Headroom condition (paper: 450 TPS ≈ 64% of max).
+    pub moderate: f64,
+    /// Saturation condition (paper: 700 TPS = max).
+    pub max: f64,
+}
+
+/// Measures the machine's max TPS on a freshly loaded database and derives
+/// the two rate conditions.
+pub fn calibrate(scale: &TpccScale, clients: usize) -> Rates {
+    let db = fresh_db();
+    load(&db, scale).expect("load");
+    let access: Arc<dyn ClientAccess> = Arc::new(Passthrough::new(Arc::clone(&db)));
+    let driver = Driver::new(scale.clone(), None);
+    let max = calibrate_max_tps(&access, &driver, clients, Duration::from_secs(2));
+    Rates {
+        // The paper's 450-TPS condition leaves real headroom; on this
+        // harness the open-loop moderate rate is 40% of the closed-loop
+        // max (which overstates sustainable open-loop throughput).
+        moderate: (max * 0.40).max(50.0),
+        max: (max * 1.05).max(80.0),
+    }
+}
+
+fn fresh_db() -> Arc<Database> {
+    Arc::new(Database::with_config(DbConfig {
+        lock_timeout: Duration::from_millis(100),
+        enforce_fk_on_delete: false,
+        ..Default::default()
+    }))
+}
+
+/// Background settings scaled to the bench windows: the paper delays the
+/// background threads 20 s into a 200 s window (10%).
+fn bench_background(cfg: &RunConfig) -> BackgroundConfig {
+    BackgroundConfig {
+        enabled: true,
+        start_delay: cfg.duration.mul_f64(0.1),
+        // Same per-row throttle as the multi-step copier (31 µs/row), so
+        // completion-time differences come from the algorithms, not the
+        // knobs.
+        batch: 32,
+        pause: Duration::from_millis(1),
+        threads: 1,
+    }
+}
+
+/// Options bundle for [`run_strategy`].
+pub struct StrategyOptions {
+    /// FK level for the split scenario (Figure 12).
+    pub fk: FkLevel,
+    /// Bitmap granule rows (Figure 11); 1 = tuple granularity.
+    pub granule_rows: u64,
+    /// Mix weights override (None = standard mix).
+    pub weights: Option<[u32; 5]>,
+}
+
+impl Default for StrategyOptions {
+    fn default() -> Self {
+        StrategyOptions {
+            fk: FkLevel::None,
+            granule_rows: 1,
+            weights: None,
+        }
+    }
+}
+
+/// Loads a fresh database, builds the strategy, runs the open-loop TPC-C
+/// mix, and returns the result.
+pub fn run_strategy(
+    scenario: Scenario,
+    kind: StrategyKind,
+    scale: &TpccScale,
+    cfg: &RunConfig,
+    opts: &StrategyOptions,
+) -> RunResult {
+    let (_db, strategy) = build_strategy(scenario, kind, scale, cfg, opts);
+    let mut driver = Driver::new(scale.clone(), Some(scenario));
+    if let Some(w) = opts.weights {
+        driver.weights = w;
+    }
+    // OLTP-Bench queues requests rather than failing them; a generous
+    // retry budget emulates that during eager migration's lock window.
+    driver.max_retries = 100;
+    run_workload(strategy, Arc::new(driver), cfg)
+}
+
+/// Loads a fresh database and builds one strategy (without running a
+/// workload) — the custom-op figures drive it themselves.
+pub fn build_strategy(
+    scenario: Scenario,
+    kind: StrategyKind,
+    scale: &TpccScale,
+    cfg: &RunConfig,
+    opts: &StrategyOptions,
+) -> (Arc<Database>, Strategy) {
+    let db = fresh_db();
+    load(&db, scale).expect("load");
+
+    let plan = || match scenario {
+        Scenario::CustomerSplit => {
+            bullfrog_tpcc::migrations::customer_split_plan_granular(opts.fk, opts.granule_rows)
+        }
+        Scenario::OrderTotals => bullfrog_tpcc::migrations::order_totals_plan(),
+        Scenario::JoinDenorm => bullfrog_tpcc::migrations::orderline_stock_plan(),
+    };
+
+    let strategy = match kind {
+        StrategyKind::NoMigration => Strategy {
+            name: kind.label().into(),
+            access: Arc::new(Passthrough::new(Arc::clone(&db))),
+            start_migration: None,
+            is_complete: Box::new(|| false),
+        },
+        StrategyKind::Eager => {
+            let eager = Arc::new(EagerMigrator::new(Arc::clone(&db)));
+            let done = Arc::new(AtomicBool::new(false));
+            let (e2, d2, db2) = (Arc::clone(&eager), Arc::clone(&done), Arc::clone(&db));
+            let plan = plan();
+            Strategy {
+                name: kind.label().into(),
+                access: eager,
+                start_migration: Some(Box::new(move || {
+                    if e2.migrate(plan).is_ok() {
+                        let _ = scenario.create_output_indexes(&db2);
+                        d2.store(true, Ordering::Release);
+                    }
+                })),
+                is_complete: Box::new(move || done.load(Ordering::Acquire)),
+            }
+        }
+        StrategyKind::MultiStep => {
+            let mut migrator = MultiStepMigrator::new(Arc::clone(&db));
+            migrator.copy_batch = 32;
+            migrator.copy_pause = Duration::from_millis(1);
+            let ms = Arc::new(migrator);
+            let (m2, db2) = (Arc::clone(&ms), Arc::clone(&db));
+            let m3 = Arc::clone(&ms);
+            let plan = plan();
+            Strategy {
+                name: kind.label().into(),
+                access: ms,
+                start_migration: Some(Box::new(move || {
+                    if m2.register(plan).is_ok() {
+                        let _ = scenario.create_output_indexes(&db2);
+                    }
+                })),
+                is_complete: Box::new(move || m3.is_caught_up()),
+            }
+        }
+        StrategyKind::Bullfrog | StrategyKind::BullfrogOnConflict
+        | StrategyKind::BullfrogNoBackground => {
+            let config = BullfrogConfig {
+                dedup: if kind == StrategyKind::BullfrogOnConflict {
+                    DedupMode::OnConflict
+                } else {
+                    DedupMode::Tracker
+                },
+                background: if kind == StrategyKind::BullfrogNoBackground {
+                    BackgroundConfig {
+                        enabled: false,
+                        ..Default::default()
+                    }
+                } else {
+                    bench_background(cfg)
+                },
+                ..Default::default()
+            };
+            let bf = Arc::new(Bullfrog::with_config(Arc::clone(&db), config));
+            let (b2, db2) = (Arc::clone(&bf), Arc::clone(&db));
+            let b3 = Arc::clone(&bf);
+            let plan = plan();
+            Strategy {
+                name: kind.label().into(),
+                access: bf,
+                start_migration: Some(Box::new(move || {
+                    if b2.submit_migration(plan).is_ok() {
+                        let _ = scenario.create_output_indexes(&db2);
+                    }
+                })),
+                is_complete: Box::new(move || {
+                    b3.active().map(|a| a.is_complete()).unwrap_or(false)
+                }),
+            }
+        }
+    };
+    (db, strategy)
+}

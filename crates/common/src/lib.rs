@@ -1,0 +1,28 @@
+//! Shared foundation for the BullFrog workspace.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! - [`Value`] / [`DataType`] — the dynamically typed cell values stored in
+//!   tuples, with a total order and hash suitable for index keys and
+//!   migration group identifiers.
+//! - [`Row`] — a tuple of values.
+//! - [`schema`] — table schemas with primary keys, unique constraints,
+//!   foreign keys, and CHECK constraints.
+//! - [`ids`] — strongly typed identifiers (`TableId`, `RowId`, `TxnId`, ...).
+//! - [`Error`] — the workspace-wide error type.
+
+pub mod error;
+pub mod ids;
+pub mod row;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{IndexId, PageNo, RowId, SlotNo, TableId, TxnId};
+pub use row::Row;
+pub use schema::{
+    CheckConstraint, CheckExpr, CheckOp, ColumnDef, ForeignKey, TableSchema, UniqueConstraint,
+};
+pub use types::DataType;
+pub use value::Value;

@@ -1,0 +1,120 @@
+//! Tuples.
+
+use crate::value::Value;
+
+/// A tuple of values, positionally matching a table's column list.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Builds a row from any iterable of values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Row(values.into_iter().collect())
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Borrow the value at `idx` (panics when out of range — callers index
+    /// with schema-validated positions).
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// Checked access.
+    pub fn try_get(&self, idx: usize) -> Option<&Value> {
+        self.0.get(idx)
+    }
+
+    /// Replace the value at `idx`, returning the previous one.
+    pub fn set(&mut self, idx: usize, value: Value) -> Value {
+        std::mem::replace(&mut self.0[idx], value)
+    }
+
+    /// Projects the listed column positions into a new row.
+    pub fn project(&self, indices: &[usize]) -> Row {
+        Row(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Extracts the listed positions as an index/group key.
+    pub fn key(&self, indices: &[usize]) -> Vec<Value> {
+        indices.iter().map(|&i| self.0[i].clone()).collect()
+    }
+
+    /// Concatenates two rows (used by join operators).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Iterates over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(v: Vec<Value>) -> Self {
+        Row(v)
+    }
+}
+
+impl std::ops::Index<usize> for Row {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+/// Convenience macro for building rows in tests and loaders:
+/// `row![1, "abc", Value::Null]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::Row::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_and_key() {
+        let r = Row::new(vec![Value::Int(1), Value::text("a"), Value::Int(3)]);
+        assert_eq!(
+            r.project(&[2, 0]),
+            Row::new(vec![Value::Int(3), Value::Int(1)])
+        );
+        assert_eq!(r.key(&[1]), vec![Value::text("a")]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = Row::new(vec![Value::Int(1)]);
+        let b = Row::new(vec![Value::Int(2), Value::Int(3)]);
+        assert_eq!(
+            a.concat(&b),
+            Row::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+    }
+
+    #[test]
+    fn set_returns_previous() {
+        let mut r = Row::new(vec![Value::Int(1)]);
+        let prev = r.set(0, Value::Int(9));
+        assert_eq!(prev, Value::Int(1));
+        assert_eq!(r[0], Value::Int(9));
+    }
+
+    #[test]
+    fn row_macro_converts() {
+        let r = row![1, "x", 2.5];
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r[1], Value::text("x"));
+    }
+}

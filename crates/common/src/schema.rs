@@ -1,0 +1,453 @@
+//! Table schemas and declarative constraints.
+//!
+//! Schemas are deliberately self-contained (no dependency on the query
+//! crate's expression AST): CHECK constraints use the small [`CheckExpr`]
+//! language, which covers everything the paper's workloads declare (e.g.
+//! `CHECK (PASSENGER_COUNT > 0)`), while staying evaluable without a query
+//! engine.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::row::Row;
+use crate::types::DataType;
+use crate::value::Value;
+
+/// A column declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive; workloads use lower_snake).
+    pub name: String,
+    /// Declared type.
+    pub dtype: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// A NOT NULL column.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
+    }
+}
+
+/// A UNIQUE constraint over one or more columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniqueConstraint {
+    /// Constraint name, used in error messages.
+    pub name: String,
+    /// Constrained column names.
+    pub columns: Vec<String>,
+}
+
+/// A FOREIGN KEY constraint; referenced columns must be unique (the engine
+/// validates this at DDL time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Constraint name.
+    pub name: String,
+    /// Referencing columns in this table.
+    pub columns: Vec<String>,
+    /// Referenced table.
+    pub ref_table: String,
+    /// Referenced columns (a PK or UNIQUE key of `ref_table`).
+    pub ref_columns: Vec<String>,
+}
+
+/// Comparison operators usable in CHECK constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CheckOp {
+    fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CheckOp::Eq => ord == Ordering::Equal,
+            CheckOp::Ne => ord != Ordering::Equal,
+            CheckOp::Lt => ord == Ordering::Less,
+            CheckOp::Le => ord != Ordering::Greater,
+            CheckOp::Gt => ord == Ordering::Greater,
+            CheckOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// The restricted boolean expression language for CHECK constraints.
+///
+/// Follows SQL semantics: a CHECK passes unless it evaluates to **false**
+/// (unknown/NULL passes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckExpr {
+    /// Compare a column (by name) against a literal.
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Comparison operator.
+        op: CheckOp,
+        /// Literal to compare against.
+        literal: Value,
+    },
+    /// Column IS NOT NULL.
+    IsNotNull(String),
+    /// Conjunction.
+    And(Box<CheckExpr>, Box<CheckExpr>),
+    /// Disjunction.
+    Or(Box<CheckExpr>, Box<CheckExpr>),
+    /// Negation (SQL three-valued: NOT unknown = unknown).
+    Not(Box<CheckExpr>),
+}
+
+impl CheckExpr {
+    /// `column > literal` shorthand.
+    pub fn gt(column: impl Into<String>, literal: impl Into<Value>) -> Self {
+        CheckExpr::Cmp {
+            column: column.into(),
+            op: CheckOp::Gt,
+            literal: literal.into(),
+        }
+    }
+
+    /// `column >= literal` shorthand.
+    pub fn ge(column: impl Into<String>, literal: impl Into<Value>) -> Self {
+        CheckExpr::Cmp {
+            column: column.into(),
+            op: CheckOp::Ge,
+            literal: literal.into(),
+        }
+    }
+
+    /// Three-valued evaluation against a row laid out by `schema`.
+    /// `Ok(None)` is unknown.
+    pub fn eval(&self, schema: &TableSchema, row: &Row) -> Result<Option<bool>> {
+        match self {
+            CheckExpr::Cmp {
+                column,
+                op,
+                literal,
+            } => {
+                let idx = schema.col_index(column)?;
+                Ok(row[idx].sql_cmp(literal).map(|o| op.holds(o)))
+            }
+            CheckExpr::IsNotNull(column) => {
+                let idx = schema.col_index(column)?;
+                Ok(Some(!row[idx].is_null()))
+            }
+            CheckExpr::And(a, b) => {
+                Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                })
+            }
+            CheckExpr::Or(a, b) => {
+                Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                })
+            }
+            CheckExpr::Not(e) => Ok(e.eval(schema, row)?.map(|b| !b)),
+        }
+    }
+}
+
+/// A named CHECK constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConstraint {
+    /// Constraint name.
+    pub name: String,
+    /// The predicate that must not evaluate to false.
+    pub expr: CheckExpr,
+}
+
+/// A table schema: columns plus declarative constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Ordered column declarations.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column names (empty = no PK).
+    pub primary_key: Vec<String>,
+    /// Additional UNIQUE constraints.
+    pub uniques: Vec<UniqueConstraint>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+    /// CHECK constraints.
+    pub checks: Vec<CheckConstraint>,
+}
+
+impl TableSchema {
+    /// A schema with just columns; add constraints with the builder methods.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+            primary_key: Vec::new(),
+            uniques: Vec::new(),
+            foreign_keys: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Sets the primary key (builder style).
+    pub fn with_primary_key(mut self, cols: &[&str]) -> Self {
+        self.primary_key = cols.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Adds a UNIQUE constraint (builder style).
+    pub fn with_unique(mut self, name: &str, cols: &[&str]) -> Self {
+        self.uniques.push(UniqueConstraint {
+            name: name.into(),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a FOREIGN KEY constraint (builder style).
+    pub fn with_foreign_key(
+        mut self,
+        name: &str,
+        cols: &[&str],
+        ref_table: &str,
+        ref_cols: &[&str],
+    ) -> Self {
+        self.foreign_keys.push(ForeignKey {
+            name: name.into(),
+            columns: cols.iter().map(|s| s.to_string()).collect(),
+            ref_table: ref_table.into(),
+            ref_columns: ref_cols.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Adds a CHECK constraint (builder style).
+    pub fn with_check(mut self, name: &str, expr: CheckExpr) -> Self {
+        self.checks.push(CheckConstraint {
+            name: name.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolves a column name to its position.
+    pub fn col_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| Error::ColumnNotFound(format!("{}.{}", self.name, name)))
+    }
+
+    /// Resolves several column names at once.
+    pub fn col_indices(&self, names: &[String]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.col_index(n)).collect()
+    }
+
+    /// Primary-key column positions.
+    pub fn pk_indices(&self) -> Result<Vec<usize>> {
+        self.col_indices(&self.primary_key)
+    }
+
+    /// Validates shape, types, nullability, and CHECK constraints of a row.
+    /// Uniqueness and foreign keys need table/catalog state and are enforced
+    /// by the engine.
+    pub fn validate_row(&self, row: &Row) -> Result<()> {
+        if row.arity() != self.arity() {
+            return Err(Error::SchemaMismatch(format!(
+                "{}: expected {} columns, got {}",
+                self.name,
+                self.arity(),
+                row.arity()
+            )));
+        }
+        for (col, val) in self.columns.iter().zip(row.iter()) {
+            match val.data_type() {
+                None => {
+                    if !col.nullable {
+                        return Err(Error::NullViolation {
+                            table: self.name.clone(),
+                            column: col.name.clone(),
+                        });
+                    }
+                }
+                Some(dt) => {
+                    if !col.dtype.accepts(dt) {
+                        return Err(Error::SchemaMismatch(format!(
+                            "{}.{}: expected {}, got {}",
+                            self.name, col.name, col.dtype, dt
+                        )));
+                    }
+                }
+            }
+        }
+        for check in &self.checks {
+            if check.expr.eval(self, row)? == Some(false) {
+                return Err(Error::CheckViolation {
+                    table: self.name.clone(),
+                    constraint: check.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TABLE {} (", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.dtype)?;
+            if !c.nullable {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        if !self.primary_key.is_empty() {
+            write!(f, ", PRIMARY KEY ({})", self.primary_key.join(", "))?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn flewon() -> TableSchema {
+        TableSchema::new(
+            "flewon",
+            vec![
+                ColumnDef::new("flightid", DataType::Text),
+                ColumnDef::new("flightdate", DataType::Date),
+                ColumnDef::nullable("passenger_count", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["flightid", "flightdate"])
+        .with_check("positive_passengers", CheckExpr::gt("passenger_count", 0))
+    }
+
+    #[test]
+    fn col_resolution() {
+        let s = flewon();
+        assert_eq!(s.col_index("flightdate").unwrap(), 1);
+        assert!(matches!(
+            s.col_index("nope"),
+            Err(Error::ColumnNotFound(_))
+        ));
+        assert_eq!(s.pk_indices().unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_accepts_good_row() {
+        let s = flewon();
+        let r = Row::new(vec![Value::text("AA101"), Value::Date(9), Value::Int(120)]);
+        s.validate_row(&r).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_wrong_arity() {
+        let s = flewon();
+        assert!(matches!(
+            s.validate_row(&row![1]),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_type_mismatch() {
+        let s = flewon();
+        let r = Row::new(vec![Value::Int(5), Value::Date(9), Value::Int(1)]);
+        assert!(matches!(
+            s.validate_row(&r),
+            Err(Error::SchemaMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_null_in_not_null() {
+        let s = flewon();
+        let r = Row::new(vec![Value::Null, Value::Date(9), Value::Int(1)]);
+        assert!(matches!(s.validate_row(&r), Err(Error::NullViolation { .. })));
+    }
+
+    #[test]
+    fn check_constraint_enforced() {
+        let s = flewon();
+        let r = Row::new(vec![Value::text("AA101"), Value::Date(9), Value::Int(0)]);
+        assert!(matches!(
+            s.validate_row(&r),
+            Err(Error::CheckViolation { .. })
+        ));
+        // NULL passenger_count: check is unknown, which passes (SQL).
+        let r = Row::new(vec![Value::text("AA101"), Value::Date(9), Value::Null]);
+        s.validate_row(&r).unwrap();
+    }
+
+    #[test]
+    fn check_expr_three_valued_logic() {
+        let s = flewon();
+        let null_row = Row::new(vec![Value::text("a"), Value::Date(1), Value::Null]);
+        let gt = CheckExpr::gt("passenger_count", 0);
+        assert_eq!(gt.eval(&s, &null_row).unwrap(), None);
+        let not = CheckExpr::Not(Box::new(gt.clone()));
+        assert_eq!(not.eval(&s, &null_row).unwrap(), None);
+        let or = CheckExpr::Or(
+            Box::new(gt.clone()),
+            Box::new(CheckExpr::IsNotNull("flightid".into())),
+        );
+        assert_eq!(or.eval(&s, &null_row).unwrap(), Some(true));
+        let and = CheckExpr::And(Box::new(gt), Box::new(CheckExpr::ge("passenger_count", 0)));
+        assert_eq!(and.eval(&s, &null_row).unwrap(), None);
+    }
+
+    #[test]
+    fn int_accepted_in_decimal_column() {
+        let s = TableSchema::new(
+            "t",
+            vec![ColumnDef::new("amount", DataType::Decimal)],
+        );
+        s.validate_row(&row![5]).unwrap();
+    }
+
+    #[test]
+    fn display_contains_pk() {
+        let s = flewon();
+        let d = s.to_string();
+        assert!(d.contains("PRIMARY KEY (flightid, flightdate)"), "{d}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Logical column data types.
+
+use std::fmt;
+
+/// The logical type of a column.
+///
+/// BullFrog stores tuples as dynamically typed [`crate::Value`]s; `DataType`
+/// is the schema-level declaration that inserts and updates are checked
+/// against. The set mirrors what the paper's TPC-C workload and flights
+/// example need (`CHAR`/`VARCHAR` collapse to `Text`, `NUMERIC` to a
+/// fixed-point `Decimal`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer (covers TPC-C `INT`, `SMALLINT`, ids).
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Fixed-point decimal stored as a scaled integer; the schema does not
+    /// track scale — callers pick a convention (TPC-C uses cents).
+    Decimal,
+    /// UTF-8 string (covers `CHAR(n)`/`VARCHAR(n)`; length is not enforced).
+    Text,
+    /// Days since the Unix epoch.
+    Date,
+    /// Microseconds since the Unix epoch.
+    Timestamp,
+}
+
+impl DataType {
+    /// Returns true when a value of type `other` may be stored in a column
+    /// of type `self` without loss (identity, plus `Int` → `Decimal`/`Float`
+    /// widening which the engine applies implicitly).
+    pub fn accepts(self, other: DataType) -> bool {
+        self == other
+            || matches!(
+                (self, other),
+                (DataType::Decimal, DataType::Int)
+                    | (DataType::Float, DataType::Int)
+                    | (DataType::Timestamp, DataType::Int)
+                    | (DataType::Date, DataType::Int)
+            )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Decimal => "DECIMAL",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+            DataType::Timestamp => "TIMESTAMP",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_accepts() {
+        for t in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Decimal,
+            DataType::Text,
+            DataType::Date,
+            DataType::Timestamp,
+        ] {
+            assert!(t.accepts(t), "{t} should accept itself");
+        }
+    }
+
+    #[test]
+    fn int_widens_to_numeric_types() {
+        assert!(DataType::Decimal.accepts(DataType::Int));
+        assert!(DataType::Float.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Float));
+        assert!(!DataType::Int.accepts(DataType::Decimal));
+    }
+
+    #[test]
+    fn text_is_not_numeric() {
+        assert!(!DataType::Text.accepts(DataType::Int));
+        assert!(!DataType::Int.accepts(DataType::Text));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Timestamp.to_string(), "TIMESTAMP");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests for the `Value` total order and hash consistency.
+//!
+//! These invariants matter downstream: B-tree index keys require a total
+//! order, and the hashmap migration tracker requires `a == b ⇒ hash(a) ==
+//! hash(b)` across the numeric types.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use bullfrog_common::Value;
+use proptest::prelude::*;
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        any::<i64>().prop_map(Value::Decimal),
+        "[a-zA-Z0-9]{0,12}".prop_map(Value::text),
+        any::<i32>().prop_map(Value::Date),
+        any::<i64>().prop_map(Value::Timestamp),
+        // Small integers in several carriers maximize cross-type collisions.
+        (-5i64..5).prop_map(Value::Int),
+        (-5i64..5).prop_map(Value::Decimal),
+        (-5i64..5).prop_map(|i| Value::Float(i as f64)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn eq_implies_same_hash(a in arb_value(), b in arb_value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+    }
+
+    #[test]
+    fn ord_is_antisymmetric(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn ord_is_reflexive_equal(a in arb_value()) {
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn ord_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        // A broken transitivity tends to make sort produce out-of-order
+        // output; verify pairwise order of the sorted result.
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2]);
+        prop_assert!(v[0] <= v[2]);
+    }
+
+    #[test]
+    fn sql_cmp_agrees_with_ord_when_not_null(a in arb_value(), b in arb_value()) {
+        match a.sql_cmp(&b) {
+            None => prop_assert!(a.is_null() || b.is_null()),
+            Some(ord) => prop_assert_eq!(ord, a.cmp(&b)),
+        }
+    }
+
+    #[test]
+    fn add_commutes(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn row_macro_roundtrip(i in any::<i64>(), s in "[a-z]{0,8}") {
+        let r = bullfrog_common::row![i, s.clone()];
+        prop_assert_eq!(r.get(0), &Value::Int(i));
+        prop_assert_eq!(r.get(1), &Value::text(s));
+    }
+}

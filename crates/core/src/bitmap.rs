@@ -1,0 +1,407 @@
+//! The bitmap migration tracker (paper §3.3, Algorithm 2).
+//!
+//! Two bits per granule — `[lock-bit, migrate-bit]` in adjacent positions
+//! of the same word, so both are read with a single memory access:
+//!
+//! | bits | meaning |
+//! |------|---------|
+//! | `00` | not yet migrated, unclaimed |
+//! | `10` | in progress (a worker holds the migration lock) |
+//! | `01` | migrated |
+//! | `11` | **never occurs** (debug-asserted) |
+//!
+//! The bitmap is split into fixed-size **partitions**, each protected by
+//! its own read–write latch, "to reduce cross-worker latch contention"
+//! (§3.3). Algorithm 2's structure is kept exactly: an optimistic check
+//! under the read latch (lines 1–4), then the exclusive latch and a
+//! re-check before setting the lock bit (lines 5–16).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::granule::{Granule, GranuleState, Tracker, WorkList};
+
+/// Granules per partition (a power of two; 4096 granules = 128 words).
+const PART_GRANULES: u64 = 4096;
+const BITS_PER_GRANULE: u64 = 2;
+const GRANULES_PER_WORD: u64 = 64 / BITS_PER_GRANULE;
+
+struct Partition {
+    words: RwLock<Vec<u64>>,
+    /// Waiters blocked on an in-progress granule in this partition.
+    wait_lock: Mutex<()>,
+    changed: Condvar,
+}
+
+/// Bitmap tracker for 1:1 and 1:n migrations.
+///
+/// `granule_size` rows map onto one granule (1 = tuple granularity; larger
+/// values give the page-granularity mode of §4.4.3 — the caller maps row
+/// ordinals to granule ordinals by division, see
+/// [`BitmapTracker::granule_of_ordinal`]).
+pub struct BitmapTracker {
+    partitions: Vec<Partition>,
+    capacity: u64,
+    granule_size: u64,
+    migrated: AtomicU64,
+}
+
+impl BitmapTracker {
+    /// A tracker for `row_capacity` rows at `granule_size` rows/granule.
+    pub fn new(row_capacity: u64, granule_size: u64) -> Self {
+        assert!(granule_size > 0);
+        let capacity = row_capacity.div_ceil(granule_size);
+        let nparts = capacity.div_ceil(PART_GRANULES).max(1);
+        let partitions = (0..nparts)
+            .map(|p| {
+                let in_part = (capacity - p * PART_GRANULES).min(PART_GRANULES);
+                let words = in_part.div_ceil(GRANULES_PER_WORD) as usize;
+                Partition {
+                    words: RwLock::new(vec![0u64; words]),
+                    wait_lock: Mutex::new(()),
+                    changed: Condvar::new(),
+                }
+            })
+            .collect();
+        BitmapTracker {
+            partitions,
+            capacity,
+            granule_size,
+            migrated: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of granules tracked.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Rows per granule.
+    pub fn granule_size(&self) -> u64 {
+        self.granule_size
+    }
+
+    /// Maps a row ordinal (dense `RowId` position) to its granule ordinal.
+    pub fn granule_of_ordinal(&self, row_ordinal: u64) -> u64 {
+        row_ordinal / self.granule_size
+    }
+
+    /// The row-ordinal range `[start, end)` covered by a granule.
+    pub fn rows_of_granule(&self, granule: u64) -> std::ops::Range<u64> {
+        let start = granule * self.granule_size;
+        start..(start + self.granule_size)
+    }
+
+    /// True when every granule is migrated.
+    pub fn is_complete(&self) -> bool {
+        self.migrated.load(Ordering::Acquire) >= self.capacity
+    }
+
+    #[inline]
+    fn locate(&self, g: u64) -> (usize, usize, u32) {
+        debug_assert!(g < self.capacity, "granule {g} out of range {}", self.capacity);
+        let part = (g / PART_GRANULES) as usize;
+        let within = g % PART_GRANULES;
+        let word = (within / GRANULES_PER_WORD) as usize;
+        let shift = ((within % GRANULES_PER_WORD) * BITS_PER_GRANULE) as u32;
+        (part, word, shift)
+    }
+
+    #[inline]
+    fn decode(bits: u64) -> GranuleState {
+        // bit layout within the pair: bit0 = lock, bit1 = migrate.
+        match bits & 0b11 {
+            0b00 => GranuleState::NotStarted,
+            0b01 => GranuleState::InProgress, // lock bit set
+            0b10 => GranuleState::Migrated,   // migrate bit set
+            _ => {
+                debug_assert!(false, "bitmap state [1 1] must never occur");
+                GranuleState::Migrated
+            }
+        }
+    }
+
+    const LOCK: u64 = 0b01;
+    const MIGRATE: u64 = 0b10;
+
+    fn read_state(&self, g: u64) -> GranuleState {
+        let (p, w, s) = self.locate(g);
+        let words = self.partitions[p].words.read();
+        Self::decode(words[w] >> s)
+    }
+
+    fn set_bits(&self, g: u64, bits: u64) {
+        let (p, w, s) = self.locate(g);
+        let part = &self.partitions[p];
+        {
+            let mut words = part.words.write();
+            words[w] = (words[w] & !(0b11 << s)) | (bits << s);
+        }
+        let _guard = part.wait_lock.lock();
+        part.changed.notify_all();
+    }
+}
+
+impl Tracker for BitmapTracker {
+    /// Algorithm 2, line by line. `g` must be `Granule::Ordinal`.
+    fn try_claim(&self, g: &Granule, wip: &mut WorkList, skip: &mut WorkList) -> bool {
+        let ordinal = g.ordinal().expect("bitmap tracker takes ordinals");
+        // Lines 1–4: optimistic check under the shared latch.
+        match self.read_state(ordinal) {
+            GranuleState::Migrated => return false, // line 17
+            GranuleState::InProgress => {
+                skip.push(g.clone()); // lines 3–4
+                return false;
+            }
+            GranuleState::NotStarted => {}
+        }
+        // Lines 5–16: exclusive latch, re-check, set lock bit.
+        let (p, w, s) = self.locate(ordinal);
+        let mut words = self.partitions[p].words.write();
+        match Self::decode(words[w] >> s) {
+            GranuleState::Migrated => false, // line 16 + 17
+            GranuleState::InProgress => {
+                skip.push(g.clone()); // lines 13–15
+                false
+            }
+            GranuleState::NotStarted => {
+                words[w] |= Self::LOCK << s; // line 8
+                wip.push(g.clone()); // line 10
+                true // line 11
+            }
+        }
+    }
+
+    fn mark_migrated(&self, granules: &[Granule]) {
+        for g in granules {
+            let ordinal = g.ordinal().expect("bitmap tracker takes ordinals");
+            debug_assert_eq!(
+                self.read_state(ordinal),
+                GranuleState::InProgress,
+                "only claimed granules are marked migrated"
+            );
+            self.set_bits(ordinal, Self::MIGRATE);
+            self.migrated.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn reset_aborted(&self, granules: &[Granule]) {
+        for g in granules {
+            let ordinal = g.ordinal().expect("bitmap tracker takes ordinals");
+            self.set_bits(ordinal, 0); // back to [0 0]
+        }
+    }
+
+    fn state(&self, g: &Granule) -> GranuleState {
+        self.read_state(g.ordinal().expect("bitmap tracker takes ordinals"))
+    }
+
+    fn wait_not_in_progress(&self, g: &Granule, timeout: Duration) -> GranuleState {
+        let ordinal = g.ordinal().expect("bitmap tracker takes ordinals");
+        let deadline = Instant::now() + timeout;
+        let (p, _, _) = self.locate(ordinal);
+        let part = &self.partitions[p];
+        loop {
+            let state = self.read_state(ordinal);
+            if state != GranuleState::InProgress {
+                return state;
+            }
+            let mut guard = part.wait_lock.lock();
+            // Re-check under the wait lock to not miss a notify between the
+            // read above and parking.
+            let state = self.read_state(ordinal);
+            if state != GranuleState::InProgress {
+                return state;
+            }
+            if part.changed.wait_until(&mut guard, deadline).timed_out() {
+                return self.read_state(ordinal);
+            }
+        }
+    }
+
+    fn mark_migrated_direct(&self, g: &Granule) -> bool {
+        let ordinal = g.ordinal().expect("bitmap tracker takes ordinals");
+        let (p, w, s) = self.locate(ordinal);
+        let part = &self.partitions[p];
+        let changed = {
+            let mut words = part.words.write();
+            if (words[w] >> s) & Self::MIGRATE != 0 {
+                false
+            } else {
+                words[w] = (words[w] & !(0b11 << s)) | (Self::MIGRATE << s);
+                true
+            }
+        };
+        if changed {
+            self.migrated.fetch_add(1, Ordering::AcqRel);
+            let _guard = part.wait_lock.lock();
+            part.changed.notify_all();
+        }
+        changed
+    }
+
+    fn migrated_count(&self) -> u64 {
+        self.migrated.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for BitmapTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BitmapTracker")
+            .field("capacity", &self.capacity)
+            .field("granule_size", &self.granule_size)
+            .field("migrated", &self.migrated_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn g(o: u64) -> Granule {
+        Granule::Ordinal(o)
+    }
+
+    #[test]
+    fn claim_marks_in_progress() {
+        let t = BitmapTracker::new(100, 1);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(5), &mut wip, &mut skip));
+        assert_eq!(wip.items(), &[g(5)]);
+        assert!(skip.is_empty());
+        assert_eq!(t.state(&g(5)), GranuleState::InProgress);
+        assert_eq!(t.state(&g(6)), GranuleState::NotStarted);
+    }
+
+    #[test]
+    fn second_claim_skips() {
+        let t = BitmapTracker::new(100, 1);
+        let (mut wip1, mut skip1) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(5), &mut wip1, &mut skip1));
+        // Another worker: ends up in SKIP.
+        let (mut wip2, mut skip2) = (WorkList::new(), WorkList::new());
+        assert!(!t.try_claim(&g(5), &mut wip2, &mut skip2));
+        assert!(wip2.is_empty());
+        assert_eq!(skip2.items(), &[g(5)]);
+    }
+
+    #[test]
+    fn migrated_claim_returns_false_without_skip() {
+        let t = BitmapTracker::new(100, 1);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(5), &mut wip, &mut skip);
+        t.mark_migrated(wip.items());
+        assert_eq!(t.state(&g(5)), GranuleState::Migrated);
+        assert_eq!(t.migrated_count(), 1);
+        let (mut wip2, mut skip2) = (WorkList::new(), WorkList::new());
+        assert!(!t.try_claim(&g(5), &mut wip2, &mut skip2));
+        assert!(wip2.is_empty() && skip2.is_empty());
+    }
+
+    #[test]
+    fn reset_makes_claimable_again() {
+        let t = BitmapTracker::new(100, 1);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(7), &mut wip, &mut skip);
+        t.reset_aborted(wip.items());
+        assert_eq!(t.state(&g(7)), GranuleState::NotStarted);
+        let (mut wip2, mut skip2) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(7), &mut wip2, &mut skip2));
+    }
+
+    #[test]
+    fn granule_size_maps_rows_to_pages() {
+        let t = BitmapTracker::new(1000, 64);
+        assert_eq!(t.capacity(), 16); // ceil(1000/64)
+        assert_eq!(t.granule_of_ordinal(0), 0);
+        assert_eq!(t.granule_of_ordinal(63), 0);
+        assert_eq!(t.granule_of_ordinal(64), 1);
+        assert_eq!(t.rows_of_granule(1), 64..128);
+    }
+
+    #[test]
+    fn completion_detection() {
+        let t = BitmapTracker::new(10, 1);
+        assert!(!t.is_complete());
+        for o in 0..10 {
+            let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+            t.try_claim(&g(o), &mut wip, &mut skip);
+            t.mark_migrated(wip.items());
+        }
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn spans_partitions() {
+        let cap = PART_GRANULES * 3 + 17;
+        let t = BitmapTracker::new(cap, 1);
+        for o in [0, PART_GRANULES - 1, PART_GRANULES, cap - 1] {
+            let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+            assert!(t.try_claim(&g(o), &mut wip, &mut skip), "granule {o}");
+            t.mark_migrated(wip.items());
+            assert_eq!(t.state(&g(o)), GranuleState::Migrated);
+        }
+        assert_eq!(t.migrated_count(), 4);
+    }
+
+    #[test]
+    fn wait_unblocks_on_migrate_and_on_reset() {
+        for reset in [false, true] {
+            let t = Arc::new(BitmapTracker::new(10, 1));
+            let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+            t.try_claim(&g(3), &mut wip, &mut skip);
+            let t2 = Arc::clone(&t);
+            let waiter = std::thread::spawn(move || {
+                t2.wait_not_in_progress(&g(3), Duration::from_secs(5))
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            if reset {
+                t.reset_aborted(wip.items());
+            } else {
+                t.mark_migrated(wip.items());
+            }
+            let state = waiter.join().unwrap();
+            if reset {
+                assert_eq!(state, GranuleState::NotStarted);
+            } else {
+                assert_eq!(state, GranuleState::Migrated);
+            }
+        }
+    }
+
+    #[test]
+    fn wait_times_out_while_held() {
+        let t = BitmapTracker::new(10, 1);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(3), &mut wip, &mut skip);
+        let state = t.wait_not_in_progress(&g(3), Duration::from_millis(30));
+        assert_eq!(state, GranuleState::InProgress);
+    }
+
+    #[test]
+    fn exactly_once_under_contention() {
+        // 8 workers race to claim all 2000 granules; each granule is
+        // claimed by exactly one worker.
+        let t = Arc::new(BitmapTracker::new(2000, 1));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                for o in 0..2000 {
+                    t.try_claim(&g(o), &mut wip, &mut skip);
+                }
+                t.mark_migrated(wip.items());
+                wip.len()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 2000, "every granule claimed exactly once");
+        assert_eq!(t.migrated_count(), 2000);
+        assert!(t.is_complete());
+    }
+}

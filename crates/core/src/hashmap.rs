@@ -1,0 +1,361 @@
+//! The hashmap migration tracker (paper §3.4, Algorithm 3).
+//!
+//! n:1 and n:n migrations combine *groups* of input tuples into output
+//! tuples, so migration status must be tracked per group — and since group
+//! identifiers are arbitrary values, a hash table replaces the bitmap. Each
+//! entry is `group key → InProgress | Migrated | Aborted`:
+//!
+//! - absent — never claimed (equivalent to bitmap `[0 0]`);
+//! - `InProgress` — a worker holds the migration lock;
+//! - `Migrated` — done;
+//! - `Aborted` — a worker claimed it and aborted; claimable again (the
+//!   hashmap's explicit analogue of resetting the bitmap to `[0 0]`).
+//!
+//! The table is partitioned, each partition under its own latch, "to
+//! reduce cross-worker contention" (paper footnote 4 — and as there, no
+//! two latches are ever held simultaneously, so the structure cannot
+//! deadlock). Algorithm 3's check-then-insert race (its lines 11–12 GOTO)
+//! is preserved in shape: an optimistic read under the shared latch, then
+//! the exclusive latch with a full re-check.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bullfrog_common::Value;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::granule::{Granule, GranuleState, Tracker, WorkList};
+
+/// Per-group status stored in the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupStatus {
+    InProgress,
+    Migrated,
+    Aborted,
+}
+
+struct Partition {
+    map: RwLock<HashMap<Vec<Value>, GroupStatus>>,
+    wait_lock: Mutex<()>,
+    changed: Condvar,
+}
+
+/// Hash tracker for n:1 and n:n migrations.
+pub struct HashTracker {
+    partitions: Vec<Partition>,
+    migrated: AtomicU64,
+}
+
+/// Number of hash partitions (power of two).
+const PARTITIONS: usize = 64;
+
+impl HashTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        HashTracker {
+            partitions: (0..PARTITIONS)
+                .map(|_| Partition {
+                    map: RwLock::new(HashMap::new()),
+                    wait_lock: Mutex::new(()),
+                    changed: Condvar::new(),
+                })
+                .collect(),
+            migrated: AtomicU64::new(0),
+        }
+    }
+
+    fn partition(&self, key: &[Value]) -> &Partition {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.partitions[(h.finish() as usize) & (PARTITIONS - 1)]
+    }
+
+    fn status(&self, key: &[Value]) -> Option<GroupStatus> {
+        self.partition(key).map.read().get(key).copied()
+    }
+
+    fn set_status(&self, key: &[Value], status: GroupStatus) {
+        let part = self.partition(key);
+        part.map.write().insert(key.to_vec(), status);
+        let _guard = part.wait_lock.lock();
+        part.changed.notify_all();
+    }
+
+    /// Number of keys ever inserted (diagnostics).
+    pub fn key_count(&self) -> usize {
+        self.partitions.iter().map(|p| p.map.read().len()).sum()
+    }
+}
+
+impl Default for HashTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracker for HashTracker {
+    /// Algorithm 3. `g` must be `Granule::Group`.
+    fn try_claim(&self, g: &Granule, wip: &mut WorkList, skip: &mut WorkList) -> bool {
+        let key = g.group().expect("hash tracker takes group keys");
+        // Line 2: the worker already decided to migrate this group.
+        if wip.contains(g) {
+            return true;
+        }
+        // Line 3: the worker already found another worker migrating it.
+        if skip.contains(g) {
+            return false;
+        }
+        // Lines 4–10: optimistic check under the shared latch.
+        match self.status(key) {
+            Some(GroupStatus::InProgress) => {
+                skip.push(g.clone()); // lines 5–6
+                return false;
+            }
+            Some(GroupStatus::Migrated) => return false, // line 10
+            Some(GroupStatus::Aborted) | None => {}
+        }
+        // Lines 11–13 (+ the GOTO 7 re-check): exclusive latch, re-check,
+        // claim.
+        let part = self.partition(key);
+        let mut map = part.map.write();
+        match map.get(key).copied() {
+            Some(GroupStatus::InProgress) => {
+                skip.push(g.clone());
+                false
+            }
+            Some(GroupStatus::Migrated) => false,
+            Some(GroupStatus::Aborted) | None => {
+                // Line 8 / line 11 insert: acquire the group lock.
+                map.insert(key.to_vec(), GroupStatus::InProgress);
+                wip.push(g.clone()); // lines 9 / 13
+                true
+            }
+        }
+    }
+
+    fn mark_migrated(&self, granules: &[Granule]) {
+        for g in granules {
+            let key = g.group().expect("hash tracker takes group keys");
+            debug_assert_eq!(self.status(key), Some(GroupStatus::InProgress));
+            self.set_status(key, GroupStatus::Migrated);
+            self.migrated.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    fn reset_aborted(&self, granules: &[Granule]) {
+        for g in granules {
+            let key = g.group().expect("hash tracker takes group keys");
+            self.set_status(key, GroupStatus::Aborted);
+        }
+    }
+
+    fn state(&self, g: &Granule) -> GranuleState {
+        let key = g.group().expect("hash tracker takes group keys");
+        match self.status(key) {
+            None | Some(GroupStatus::Aborted) => GranuleState::NotStarted,
+            Some(GroupStatus::InProgress) => GranuleState::InProgress,
+            Some(GroupStatus::Migrated) => GranuleState::Migrated,
+        }
+    }
+
+    fn wait_not_in_progress(&self, g: &Granule, timeout: Duration) -> GranuleState {
+        let key = g.group().expect("hash tracker takes group keys");
+        let deadline = Instant::now() + timeout;
+        let part = self.partition(key);
+        loop {
+            let state = self.state(g);
+            if state != GranuleState::InProgress {
+                return state;
+            }
+            let mut guard = part.wait_lock.lock();
+            let state = self.state(g);
+            if state != GranuleState::InProgress {
+                return state;
+            }
+            if part.changed.wait_until(&mut guard, deadline).timed_out() {
+                return self.state(g);
+            }
+        }
+    }
+
+    fn mark_migrated_direct(&self, g: &Granule) -> bool {
+        let key = g.group().expect("hash tracker takes group keys");
+        let part = self.partition(key);
+        let changed = {
+            let mut map = part.map.write();
+            !matches!(
+                map.insert(key.to_vec(), GroupStatus::Migrated),
+                Some(GroupStatus::Migrated)
+            )
+        };
+        if changed {
+            self.migrated.fetch_add(1, Ordering::AcqRel);
+            let _guard = part.wait_lock.lock();
+            part.changed.notify_all();
+        }
+        changed
+    }
+
+    fn migrated_count(&self) -> u64 {
+        self.migrated.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for HashTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HashTracker")
+            .field("keys", &self.key_count())
+            .field("migrated", &self.migrated_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn g(k: i64) -> Granule {
+        Granule::Group(vec![Value::Int(k)])
+    }
+
+    #[test]
+    fn claim_and_migrate_cycle() {
+        let t = HashTracker::new();
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(1), &mut wip, &mut skip));
+        assert_eq!(t.state(&g(1)), GranuleState::InProgress);
+        t.mark_migrated(wip.items());
+        assert_eq!(t.state(&g(1)), GranuleState::Migrated);
+        assert_eq!(t.migrated_count(), 1);
+        // Re-claim of a migrated group: false, nothing appended.
+        let (mut wip2, mut skip2) = (WorkList::new(), WorkList::new());
+        assert!(!t.try_claim(&g(1), &mut wip2, &mut skip2));
+        assert!(wip2.is_empty() && skip2.is_empty());
+    }
+
+    #[test]
+    fn wip_membership_returns_true_for_same_worker() {
+        // Algorithm 3 line 2: a second tuple of the same group in the same
+        // worker must also be migrated by it.
+        let t = HashTracker::new();
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(1), &mut wip, &mut skip));
+        assert!(t.try_claim(&g(1), &mut wip, &mut skip));
+        assert_eq!(wip.len(), 1, "claimed once, migrate-eligible twice");
+    }
+
+    #[test]
+    fn skip_membership_returns_false_without_requery() {
+        let t = HashTracker::new();
+        let (mut wip_other, mut skip_other) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(1), &mut wip_other, &mut skip_other);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        assert!(!t.try_claim(&g(1), &mut wip, &mut skip));
+        assert_eq!(skip.len(), 1);
+        // Line 3: the second check on the same worker consults SKIP only.
+        assert!(!t.try_claim(&g(1), &mut wip, &mut skip));
+        assert_eq!(skip.len(), 1, "not appended twice");
+    }
+
+    #[test]
+    fn aborted_group_is_reclaimable() {
+        // Algorithm 3 lines 7–9: an aborted group is claimed by updating
+        // the existing entry.
+        let t = HashTracker::new();
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(1), &mut wip, &mut skip);
+        t.reset_aborted(wip.items());
+        assert_eq!(t.state(&g(1)), GranuleState::NotStarted);
+        let (mut wip2, mut skip2) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&g(1), &mut wip2, &mut skip2));
+        assert_eq!(t.key_count(), 1, "same entry reused");
+    }
+
+    #[test]
+    fn composite_group_keys() {
+        let t = HashTracker::new();
+        let a = Granule::Group(vec![Value::Int(1), Value::text("x")]);
+        let b = Granule::Group(vec![Value::Int(1), Value::text("y")]);
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        assert!(t.try_claim(&a, &mut wip, &mut skip));
+        assert!(t.try_claim(&b, &mut wip, &mut skip));
+        assert_eq!(wip.len(), 2);
+    }
+
+    #[test]
+    fn wait_unblocks_on_abort() {
+        let t = Arc::new(HashTracker::new());
+        let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+        t.try_claim(&g(1), &mut wip, &mut skip);
+        let t2 = Arc::clone(&t);
+        let waiter =
+            std::thread::spawn(move || t2.wait_not_in_progress(&g(1), Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        t.reset_aborted(wip.items());
+        assert_eq!(waiter.join().unwrap(), GranuleState::NotStarted);
+    }
+
+    #[test]
+    fn exactly_once_under_contention() {
+        let t = Arc::new(HashTracker::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                for k in 0..500 {
+                    t.try_claim(&g(k), &mut wip, &mut skip);
+                }
+                t.mark_migrated(wip.items());
+                wip.len()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 500);
+        assert_eq!(t.migrated_count(), 500);
+    }
+
+    #[test]
+    fn abort_storm_still_converges() {
+        // Workers claim, abort half the time, retry: every group must end
+        // Migrated with no duplicates.
+        let t = Arc::new(HashTracker::new());
+        let migrations = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for w in 0..8u64 {
+            let t = Arc::clone(&t);
+            let migrations = Arc::clone(&migrations);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = w + 1;
+                loop {
+                    let mut pending: Vec<i64> = (0..200)
+                        .filter(|k| t.state(&g(*k)) != GranuleState::Migrated)
+                        .collect();
+                    if pending.is_empty() {
+                        break;
+                    }
+                    pending.truncate(20);
+                    let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
+                    for k in &pending {
+                        t.try_claim(&g(*k), &mut wip, &mut skip);
+                    }
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if rng & 1 == 0 {
+                        t.reset_aborted(wip.items()); // simulated txn abort
+                    } else {
+                        migrations.fetch_add(wip.len() as u64, Ordering::Relaxed);
+                        t.mark_migrated(wip.items());
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.migrated_count(), 200);
+        assert_eq!(migrations.load(Ordering::Relaxed), 200, "no double migration");
+    }
+}

@@ -1,0 +1,78 @@
+//! Migration progress and overhead counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters published by an active migration (all monotonically
+/// increasing; read with relaxed ordering — they are diagnostics, not
+/// synchronization).
+#[derive(Debug, Default)]
+pub struct MigrationStats {
+    /// Granules physically migrated (committed).
+    pub granules_migrated: AtomicU64,
+    /// Output rows inserted by migration transactions.
+    pub rows_migrated: AtomicU64,
+    /// Migration transactions committed.
+    pub migration_txns: AtomicU64,
+    /// Migration transactions aborted (and their claims reset).
+    pub migration_aborts: AtomicU64,
+    /// Granules found claimed by another worker (SKIP-list appends).
+    pub skips: AtomicU64,
+    /// Times a worker blocked waiting for another worker's in-progress
+    /// granule (Algorithm 1 line 10 loop).
+    pub waits: AtomicU64,
+    /// Output rows that violated a new-schema constraint and were dropped
+    /// during migration (paper §2.4's "warning" path).
+    pub rows_dropped: AtomicU64,
+    /// Rows whose insert was skipped by ON CONFLICT dedup (§3.7 mode).
+    pub conflict_skips: AtomicU64,
+    /// Granules migrated by background threads (subset of
+    /// `granules_migrated`).
+    pub background_granules: AtomicU64,
+}
+
+impl MigrationStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a counter.
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// One-line progress summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "granules={} rows={} txns={} aborts={} skips={} waits={} dropped={} conflicts={} bg={}",
+            Self::get(&self.granules_migrated),
+            Self::get(&self.rows_migrated),
+            Self::get(&self.migration_txns),
+            Self::get(&self.migration_aborts),
+            Self::get(&self.skips),
+            Self::get(&self.waits),
+            Self::get(&self.rows_dropped),
+            Self::get(&self.conflict_skips),
+            Self::get(&self.background_granules),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = MigrationStats::new();
+        MigrationStats::add(&s.granules_migrated, 3);
+        MigrationStats::add(&s.granules_migrated, 2);
+        assert_eq!(MigrationStats::get(&s.granules_migrated), 5);
+        assert!(s.summary().contains("granules=5"));
+    }
+}

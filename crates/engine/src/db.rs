@@ -1,0 +1,875 @@
+//! The `Database` facade: DDL, transactional DML, and commit/abort.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog_common::{Error, Result, Row, RowId, TableSchema, Value};
+use bullfrog_query::{pred, Expr, Scope};
+use bullfrog_storage::{Catalog, Table};
+use bullfrog_txn::{
+    LockKey, LockManager, LockMode, LogRecord, Transaction, TxnManager, UndoRecord, Wal,
+};
+
+/// Tuning knobs for a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DbConfig {
+    /// How long a lock request may wait before the transaction is told to
+    /// abort (deadlock avoidance).
+    pub lock_timeout: Duration,
+    /// Slots per heap page for newly created tables.
+    pub slots_per_page: u16,
+    /// Whether deletes check that no row still references the deleted key
+    /// (full referential integrity; TPC-C never deletes parents, so
+    /// workloads may disable this).
+    pub enforce_fk_on_delete: bool,
+}
+
+impl Default for DbConfig {
+    fn default() -> Self {
+        DbConfig {
+            lock_timeout: Duration::from_millis(200),
+            slots_per_page: bullfrog_storage::DEFAULT_SLOTS_PER_PAGE,
+            enforce_fk_on_delete: true,
+        }
+    }
+}
+
+/// Row-lock policy for read paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LockPolicy {
+    /// No locks: the caller guarantees the table is frozen (e.g. the old
+    /// schema after a big-flip migration) or tolerates read-uncommitted.
+    #[default]
+    None,
+    /// S row locks, re-validated after acquisition (read committed).
+    Shared,
+    /// X row locks (`SELECT ... FOR UPDATE`).
+    Exclusive,
+}
+
+/// The database: catalog + lock manager + transaction manager + WAL.
+///
+/// `Database` is `Send + Sync`; share it behind an `Arc` and drive each
+/// [`Transaction`] from a single worker thread.
+pub struct Database {
+    catalog: Catalog,
+    lm: LockManager,
+    tm: TxnManager,
+    wal: Wal,
+    config: DbConfig,
+}
+
+impl Database {
+    /// Creates an empty database with default configuration.
+    pub fn new() -> Self {
+        Self::with_config(DbConfig::default())
+    }
+
+    /// Creates an empty database with the given configuration.
+    pub fn with_config(config: DbConfig) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            lm: LockManager::new(config.lock_timeout),
+            tm: TxnManager::new(),
+            wal: Wal::new(),
+            config,
+        }
+    }
+
+    /// Creates an empty database whose WAL is durably mirrored to `path`
+    /// (see [`Wal::with_file`]). Recovery flow: read the old file with
+    /// [`Wal::load_file`], re-create the schema, replay via
+    /// [`crate::recovery::replay`], then open a fresh database on a new
+    /// file.
+    pub fn with_wal_file(
+        config: DbConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> bullfrog_common::Result<Self> {
+        Ok(Database {
+            catalog: Catalog::new(),
+            lm: LockManager::new(config.lock_timeout),
+            tm: TxnManager::new(),
+            wal: Wal::with_file(path)?,
+            config,
+        })
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The WAL.
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The lock manager.
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.lm
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    // --- DDL --------------------------------------------------------------
+
+    /// Creates a table, validating that FK targets exist and are unique.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        self.create_table_with_slots(schema, self.config.slots_per_page)
+    }
+
+    /// Creates a table with an explicit page slot count.
+    pub fn create_table_with_slots(
+        &self,
+        schema: TableSchema,
+        slots_per_page: u16,
+    ) -> Result<Arc<Table>> {
+        for fk in &schema.foreign_keys {
+            let target = self.catalog.get(&fk.ref_table)?;
+            crate::fk::referenced_index(&target, &fk.ref_columns).ok_or_else(|| {
+                Error::SchemaMismatch(format!(
+                    "foreign key {} references non-unique columns {:?} of {}",
+                    fk.name, fk.ref_columns, fk.ref_table
+                ))
+            })?;
+        }
+        self.catalog.create_table_with_slots(schema, slots_per_page)
+    }
+
+    /// Adds a secondary index.
+    pub fn create_index(
+        &self,
+        table: &str,
+        name: &str,
+        columns: &[&str],
+        unique: bool,
+    ) -> Result<()> {
+        self.catalog.get(table)?.create_index(name, columns, unique)
+    }
+
+    /// Drops a table.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        self.catalog.drop_table(name).map(|_| ())
+    }
+
+    /// Renames a table.
+    pub fn rename_table(&self, from: &str, to: &str) -> Result<()> {
+        self.catalog.rename_table(from, to)
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.catalog.get(name)
+    }
+
+    // --- transaction lifecycle --------------------------------------------
+
+    /// Begins a transaction.
+    pub fn begin(&self) -> Transaction {
+        self.tm.begin()
+    }
+
+    /// Commits: appends the redo batch + `Commit` atomically to the WAL,
+    /// marks the transaction committed, and releases its locks.
+    pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
+        txn.assert_active()?;
+        let mut batch = std::mem::take(&mut txn.redo);
+        batch.push(LogRecord::Commit(txn.id()));
+        self.wal.append_batch(batch);
+        txn.mark_committed()?;
+        self.release_locks(txn);
+        Ok(())
+    }
+
+    /// Aborts: applies the undo log in reverse, writes an `Abort` record,
+    /// and releases locks. Safe to call on an already-aborted transaction
+    /// (idempotent no-op) so error paths can abort unconditionally.
+    pub fn abort(&self, txn: &mut Transaction) {
+        if txn.assert_active().is_err() {
+            return;
+        }
+        for rec in std::mem::take(&mut txn.undo).into_iter().rev() {
+            // Undo application must not fail: the operations below only
+            // reverse changes this transaction itself made while holding
+            // X locks. A failure indicates corruption, so surface loudly.
+            match rec {
+                UndoRecord::Insert { table, rid } => {
+                    let t = self.catalog.get_by_id(table).expect("undo: table exists");
+                    t.undo_insert(rid).expect("undo insert");
+                }
+                UndoRecord::Update { table, rid, old } => {
+                    let t = self.catalog.get_by_id(table).expect("undo: table exists");
+                    t.undo_update(rid, old).expect("undo update");
+                }
+                UndoRecord::Delete { table, rid, old } => {
+                    let t = self.catalog.get_by_id(table).expect("undo: table exists");
+                    t.undo_delete(rid, old).expect("undo delete");
+                }
+            }
+        }
+        txn.redo.clear();
+        self.wal.append(LogRecord::Abort(txn.id()));
+        txn.mark_aborted().expect("active checked above");
+        self.release_locks(txn);
+    }
+
+    fn release_locks(&self, txn: &mut Transaction) {
+        let keys = std::mem::take(&mut txn.locks);
+        self.lm.release_all(txn.id(), keys);
+    }
+
+    /// Runs `f` inside a transaction: commit on `Ok`, abort on `Err`.
+    pub fn with_txn<T>(&self, f: impl FnOnce(&mut Transaction) -> Result<T>) -> Result<T> {
+        let mut txn = self.begin();
+        match f(&mut txn) {
+            Ok(v) => {
+                self.commit(&mut txn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort(&mut txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// As [`Database::with_txn`], retrying (with a fresh transaction) while
+    /// `f` fails with a retryable error, up to `max_attempts`.
+    pub fn with_txn_retry<T>(
+        &self,
+        max_attempts: usize,
+        mut f: impl FnMut(&mut Transaction) -> Result<T>,
+    ) -> Result<T> {
+        let mut last = None;
+        for _ in 0..max_attempts {
+            match self.with_txn(&mut f) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| Error::Internal("retry limit with no attempt".into())))
+    }
+
+    // --- locking helpers ---------------------------------------------------
+
+    /// Acquires a lock and records it on the transaction.
+    pub fn lock(&self, txn: &mut Transaction, key: LockKey, mode: LockMode) -> Result<()> {
+        txn.assert_active()?;
+        if self.lm.acquire(txn.id(), key, mode)? {
+            txn.record_lock(key);
+        }
+        Ok(())
+    }
+
+    fn lock_row_for(
+        &self,
+        txn: &mut Transaction,
+        table: &Table,
+        rid: RowId,
+        policy: LockPolicy,
+    ) -> Result<()> {
+        match policy {
+            LockPolicy::None => Ok(()),
+            LockPolicy::Shared => {
+                self.lock(txn, LockKey::Table(table.id()), LockMode::IS)?;
+                self.lock(txn, LockKey::Row(table.id(), rid), LockMode::S)
+            }
+            LockPolicy::Exclusive => {
+                self.lock(txn, LockKey::Table(table.id()), LockMode::IX)?;
+                self.lock(txn, LockKey::Row(table.id(), rid), LockMode::X)
+            }
+        }
+    }
+
+    // --- DML ----------------------------------------------------------------
+
+    /// Inserts a row transactionally: IX table lock, FK checks (S locks on
+    /// referenced rows), uniqueness via the table's indexes, X lock on the
+    /// new row, undo + redo records.
+    pub fn insert(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<RowId> {
+        self.insert_with(txn, table, row, true)
+    }
+
+    /// As [`Database::insert`] with explicit control over FK S-locking.
+    /// Migration transactions pass `fk_lock = false` — see
+    /// [`crate::fk::check_outgoing_with`].
+    pub fn insert_with(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        row: Row,
+        fk_lock: bool,
+    ) -> Result<RowId> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        self.lock(txn, LockKey::Table(t.id()), LockMode::IX)?;
+        crate::fk::check_outgoing_with(self, txn, &t, &row, fk_lock)?;
+        let rid = t.insert(row.clone())?;
+        self.lock(txn, LockKey::Row(t.id(), rid), LockMode::X)?;
+        txn.push_undo(UndoRecord::Insert { table: t.id(), rid });
+        txn.push_redo(LogRecord::Insert {
+            txn: txn.id(),
+            table: t.id(),
+            rid,
+            row,
+        });
+        Ok(rid)
+    }
+
+    /// Inserts unless a uniqueness constraint rejects the row; `Ok(None)`
+    /// on conflict. This is `INSERT ... ON CONFLICT DO NOTHING`, the
+    /// alternative duplicate-migration guard of paper §3.7.
+    pub fn insert_or_ignore(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        row: Row,
+    ) -> Result<Option<RowId>> {
+        self.insert_or_ignore_with(txn, table, row, true)
+    }
+
+    /// As [`Database::insert_or_ignore`] with explicit FK S-lock control.
+    pub fn insert_or_ignore_with(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        row: Row,
+        fk_lock: bool,
+    ) -> Result<Option<RowId>> {
+        match self.insert_with(txn, table, row, fk_lock) {
+            Ok(rid) => Ok(Some(rid)),
+            Err(Error::UniqueViolation { .. }) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Unlogged, unlocked bulk insert for initial data loading only.
+    pub fn insert_unlogged(&self, table: &str, row: Row) -> Result<RowId> {
+        self.catalog.get(table)?.insert(row)
+    }
+
+    /// Updates the row at `rid` transactionally.
+    pub fn update(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        rid: RowId,
+        new_row: Row,
+    ) -> Result<()> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        self.lock(txn, LockKey::Table(t.id()), LockMode::IX)?;
+        self.lock(txn, LockKey::Row(t.id(), rid), LockMode::X)?;
+        crate::fk::check_outgoing(self, txn, &t, &new_row)?;
+        let old = t.update(rid, new_row.clone())?;
+        txn.push_undo(UndoRecord::Update {
+            table: t.id(),
+            rid,
+            old,
+        });
+        txn.push_redo(LogRecord::Update {
+            txn: txn.id(),
+            table: t.id(),
+            rid,
+            after: new_row,
+        });
+        Ok(())
+    }
+
+    /// Deletes the row at `rid` transactionally, returning it.
+    pub fn delete(&self, txn: &mut Transaction, table: &str, rid: RowId) -> Result<Row> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        self.lock(txn, LockKey::Table(t.id()), LockMode::IX)?;
+        self.lock(txn, LockKey::Row(t.id(), rid), LockMode::X)?;
+        if self.config.enforce_fk_on_delete {
+            crate::fk::check_incoming(self, txn, &t, rid)?;
+        }
+        let old = t.delete(rid)?;
+        txn.push_undo(UndoRecord::Delete {
+            table: t.id(),
+            rid,
+            old: old.clone(),
+        });
+        txn.push_redo(LogRecord::Delete {
+            txn: txn.id(),
+            table: t.id(),
+            rid,
+        });
+        Ok(old)
+    }
+
+    /// Point read of `rid` under the given lock policy.
+    pub fn get(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        rid: RowId,
+        policy: LockPolicy,
+    ) -> Result<Option<Row>> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        self.lock_row_for(txn, &t, rid, policy)?;
+        Ok(t.heap().get(rid))
+    }
+
+    /// Point read through the primary key.
+    pub fn get_by_pk(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        key: &[Value],
+        policy: LockPolicy,
+    ) -> Result<Option<(RowId, Row)>> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        let Some((rid, _)) = t.get_by_pk(key) else {
+            return Ok(None);
+        };
+        self.lock_row_for(txn, &t, rid, policy)?;
+        // Re-read after locking: the row may have changed or vanished while
+        // we waited.
+        Ok(t.heap().get(rid).map(|row| (rid, row)))
+    }
+
+    /// Predicate select over one table. Uses an index for `col = literal`
+    /// conjuncts when one covers them, otherwise scans; each candidate is
+    /// locked per `policy` and then re-checked against the predicate.
+    pub fn select(
+        &self,
+        txn: &mut Transaction,
+        table: &str,
+        predicate: Option<&Expr>,
+        policy: LockPolicy,
+    ) -> Result<Vec<(RowId, Row)>> {
+        txn.assert_active()?;
+        let t = self.catalog.get(table)?;
+        match policy {
+            LockPolicy::None => {}
+            LockPolicy::Shared => self.lock(txn, LockKey::Table(t.id()), LockMode::IS)?,
+            LockPolicy::Exclusive => self.lock(txn, LockKey::Table(t.id()), LockMode::IX)?,
+        }
+        let scope = table_scope(&t);
+        let candidates = self.candidates(&t, predicate, &scope)?;
+        let mut out = Vec::new();
+        for rid in candidates {
+            if policy != LockPolicy::None {
+                self.lock_row_for(txn, &t, rid, policy)?;
+            }
+            let Some(row) = t.heap().get(rid) else {
+                continue; // vanished while we waited for the lock
+            };
+            let keep = match predicate {
+                Some(p) => p.matches(&scope, &row)?,
+                None => true,
+            };
+            if keep {
+                out.push((rid, row));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Candidate row ids for a predicate: an index point/prefix lookup when
+    /// the predicate's `col = literal` conjuncts cover an index prefix,
+    /// otherwise a heap scan filtered by the predicate.
+    fn candidates(
+        &self,
+        t: &Table,
+        predicate: Option<&Expr>,
+        scope: &Scope,
+    ) -> Result<Vec<RowId>> {
+        if let Some(p) = predicate {
+            let eqs = pred::sargable_equalities(p);
+            let ranges = pred::sargable_ranges(p);
+            if !eqs.is_empty() || !ranges.is_empty() {
+                // Resolve the equality columns to positions.
+                let mut by_pos: Vec<(usize, Value)> = Vec::new();
+                for (col, v) in &eqs {
+                    if let Ok(i) = t.schema().col_index(&col.column) {
+                        by_pos.push((i, v.clone()));
+                    }
+                }
+                let mut positions: Vec<usize> = by_pos.iter().map(|(i, _)| *i).collect();
+                // Range columns also make an index eligible.
+                let mut range_by_pos: Vec<(usize, Option<pred::RangeBound>, Option<pred::RangeBound>)> =
+                    Vec::new();
+                for (col, lo, hi) in &ranges {
+                    if let Ok(i) = t.schema().col_index(&col.column) {
+                        range_by_pos.push((i, lo.clone(), hi.clone()));
+                        positions.push(i);
+                    }
+                }
+                if let Some(idx) = t.index_for_columns(&positions) {
+                    // Build the longest usable equality prefix.
+                    let mut key = Vec::new();
+                    let mut next_kc = None;
+                    for kc in &idx.def().key_columns {
+                        match by_pos.iter().find(|(i, _)| i == kc) {
+                            Some((_, v)) => key.push(v.clone()),
+                            None => {
+                                next_kc = Some(*kc);
+                                break;
+                            }
+                        }
+                    }
+                    // A range bound on the key column right after the
+                    // prefix turns the prefix lookup into a range scan
+                    // (TPC-C StockLevel's "last 20 orders" window).
+                    if let Some(kc) = next_kc {
+                        if let Some((_, lo, hi)) =
+                            range_by_pos.iter().find(|(i, _, _)| *i == kc)
+                        {
+                            if !key.is_empty() || lo.is_some() {
+                                return Ok(idx.range_scan(&key, lo.as_ref(), hi.as_ref()));
+                            }
+                        }
+                    }
+                    if !key.is_empty() {
+                        return Ok(idx.get_prefix(&key));
+                    }
+                }
+            }
+            // Fallback: filtered heap scan.
+            let mut rids = Vec::new();
+            let mut err = None;
+            t.heap().scan(|rid, row| match p.matches(scope, row) {
+                Ok(true) => {
+                    rids.push(rid);
+                    true
+                }
+                Ok(false) => true,
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            Ok(rids)
+        } else {
+            let mut rids = Vec::new();
+            t.heap().scan(|rid, _| {
+                rids.push(rid);
+                true
+            });
+            Ok(rids)
+        }
+    }
+
+    /// Unlocked, untransactional select (frozen tables / diagnostics).
+    pub fn select_unlocked(
+        &self,
+        table: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<Vec<(RowId, Row)>> {
+        let t = self.catalog.get(table)?;
+        let scope = table_scope(&t);
+        let candidates = self.candidates(&t, predicate, &scope)?;
+        let mut out = Vec::new();
+        for rid in candidates {
+            if let Some(row) = t.heap().get(rid) {
+                let keep = match predicate {
+                    Some(p) => p.matches(&scope, &row)?,
+                    None => true,
+                };
+                if keep {
+                    out.push((rid, row));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.catalog.table_names())
+            .field("wal_records", &self.wal.len())
+            .finish()
+    }
+}
+
+/// Scope for single-table predicates: columns visible both bare and
+/// qualified by the table's catalog name.
+pub fn table_scope(t: &Table) -> Scope {
+    let cols: Vec<String> = t.schema().columns.iter().map(|c| c.name.clone()).collect();
+    Scope::table(t.name(), &cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::{row, ColumnDef, DataType};
+
+    fn db_with_accounts() -> Database {
+        let db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "accounts",
+                vec![
+                    ColumnDef::new("id", DataType::Int),
+                    ColumnDef::new("owner", DataType::Text),
+                    ColumnDef::new("balance", DataType::Decimal),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_commit_visible() {
+        let db = db_with_accounts();
+        let rid = db
+            .with_txn(|txn| db.insert(txn, "accounts", row![1, "alice", 1000]))
+            .unwrap();
+        let mut txn = db.begin();
+        let got = db.get(&mut txn, "accounts", rid, LockPolicy::Shared).unwrap();
+        assert_eq!(got, Some(row![1, "alice", 1000]));
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn abort_rolls_back_insert_update_delete() {
+        let db = db_with_accounts();
+        let rid = db
+            .with_txn(|txn| db.insert(txn, "accounts", row![1, "alice", 1000]))
+            .unwrap();
+
+        let mut txn = db.begin();
+        db.insert(&mut txn, "accounts", row![2, "bob", 5]).unwrap();
+        db.update(&mut txn, "accounts", rid, row![1, "alice", 900])
+            .unwrap();
+        db.abort(&mut txn);
+
+        let mut txn = db.begin();
+        assert!(db
+            .get_by_pk(&mut txn, "accounts", &[Value::Int(2)], LockPolicy::Shared)
+            .unwrap()
+            .is_none());
+        let (_, row) = db
+            .get_by_pk(&mut txn, "accounts", &[Value::Int(1)], LockPolicy::Shared)
+            .unwrap()
+            .unwrap();
+        assert_eq!(row, row![1, "alice", 1000]);
+        db.commit(&mut txn).unwrap();
+
+        // Delete + abort restores.
+        let mut txn = db.begin();
+        db.delete(&mut txn, "accounts", rid).unwrap();
+        db.abort(&mut txn);
+        let mut txn = db.begin();
+        assert!(db
+            .get(&mut txn, "accounts", rid, LockPolicy::Shared)
+            .unwrap()
+            .is_some());
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn unique_violation_inside_txn_is_clean() {
+        let db = db_with_accounts();
+        db.with_txn(|txn| db.insert(txn, "accounts", row![1, "a", 0]))
+            .unwrap();
+        let err = db
+            .with_txn(|txn| {
+                db.insert(txn, "accounts", row![2, "b", 0])?;
+                db.insert(txn, "accounts", row![1, "dup", 0])
+            })
+            .unwrap_err();
+        assert!(matches!(err, Error::UniqueViolation { .. }));
+        // The first insert of the failed txn rolled back.
+        let mut txn = db.begin();
+        assert!(db
+            .get_by_pk(&mut txn, "accounts", &[Value::Int(2)], LockPolicy::Shared)
+            .unwrap()
+            .is_none());
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn insert_or_ignore_swallows_conflicts() {
+        let db = db_with_accounts();
+        db.with_txn(|txn| {
+            assert!(db
+                .insert_or_ignore(txn, "accounts", row![1, "a", 0])?
+                .is_some());
+            assert!(db
+                .insert_or_ignore(txn, "accounts", row![1, "dup", 0])?
+                .is_none());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(db.table("accounts").unwrap().live_count(), 1);
+    }
+
+    #[test]
+    fn select_uses_pk_index_and_rechecks() {
+        let db = db_with_accounts();
+        db.with_txn(|txn| {
+            for i in 0..100 {
+                db.insert(txn, "accounts", row![i, format!("o{i}"), i * 10])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut txn = db.begin();
+        let p = Expr::column("id").eq(Expr::lit(42));
+        let got = db
+            .select(&mut txn, "accounts", Some(&p), LockPolicy::Shared)
+            .unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, row![42, "o42", 420]);
+        // Scan path: non-indexed predicate.
+        let p = Expr::column("balance").ge(Expr::lit(Value::Decimal(980)));
+        let got = db
+            .select(&mut txn, "accounts", Some(&p), LockPolicy::Shared)
+            .unwrap();
+        assert_eq!(got.len(), 2); // balances 980, 990
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn write_conflict_times_out() {
+        let db = Arc::new(Database::with_config(DbConfig {
+            lock_timeout: Duration::from_millis(30),
+            ..DbConfig::default()
+        }));
+        db.create_table(
+            TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)])
+                .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        let rid = db.with_txn(|txn| db.insert(txn, "t", row![1])).unwrap();
+
+        let mut holder = db.begin();
+        db.update(&mut holder, "t", rid, row![2]).unwrap();
+
+        // A second writer cannot get the X lock.
+        let mut other = db.begin();
+        let err = db.update(&mut other, "t", rid, row![3]).unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { .. }));
+        db.abort(&mut other);
+
+        // A reader with S policy also blocks (no dirty read) and times out.
+        let mut reader = db.begin();
+        assert!(db.get(&mut reader, "t", rid, LockPolicy::Shared).is_err());
+        db.abort(&mut reader);
+
+        db.commit(&mut holder).unwrap();
+        // Now the read sees the committed value.
+        let mut reader = db.begin();
+        assert_eq!(
+            db.get(&mut reader, "t", rid, LockPolicy::Shared).unwrap(),
+            Some(row![2])
+        );
+        db.commit(&mut reader).unwrap();
+    }
+
+    #[test]
+    fn with_txn_retry_retries_lock_timeouts() {
+        let db = Arc::new(Database::with_config(DbConfig {
+            lock_timeout: Duration::from_millis(20),
+            ..DbConfig::default()
+        }));
+        db.create_table(
+            TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)])
+                .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        let rid = db.with_txn(|txn| db.insert(txn, "t", row![1])).unwrap();
+
+        let mut holder = db.begin();
+        db.update(&mut holder, "t", rid, row![2]).unwrap();
+        let db2 = Arc::clone(&db);
+        let t = std::thread::spawn(move || {
+            db2.with_txn_retry(50, |txn| db2.update(txn, "t", rid, row![3]))
+        });
+        std::thread::sleep(Duration::from_millis(60));
+        db.commit(&mut holder).unwrap();
+        t.join().unwrap().unwrap();
+        let mut txn = db.begin();
+        assert_eq!(
+            db.get(&mut txn, "t", rid, LockPolicy::Shared).unwrap(),
+            Some(row![3])
+        );
+        db.commit(&mut txn).unwrap();
+    }
+
+    #[test]
+    fn commit_writes_atomic_wal_batch() {
+        let db = db_with_accounts();
+        db.with_txn(|txn| {
+            db.insert(txn, "accounts", row![1, "a", 0])?;
+            db.insert(txn, "accounts", row![2, "b", 0])
+        })
+        .unwrap();
+        let records = db.wal().snapshot();
+        assert_eq!(records.len(), 3);
+        assert!(matches!(records[0], LogRecord::Insert { .. }));
+        assert!(matches!(records[2], LogRecord::Commit(_)));
+    }
+
+    #[test]
+    fn concurrent_transfers_conserve_balance() {
+        // Classic bank-transfer stress: total balance is invariant.
+        let db = Arc::new(db_with_accounts());
+        db.with_txn(|txn| {
+            for i in 0..10 {
+                db.insert(txn, "accounts", row![i, format!("o{i}"), 1000])?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = t;
+                for _ in 0..50 {
+                    rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let from = (rng >> 33) % 10;
+                    let to = (from + 1 + (rng >> 20) % 9) % 10;
+                    let _ = db.with_txn_retry(20, |txn| {
+                        let (rid_a, a) = db
+                            .get_by_pk(txn, "accounts", &[Value::Int(from as i64)], LockPolicy::Exclusive)?
+                            .ok_or(Error::RowNotFound)?;
+                        let (rid_b, b) = db
+                            .get_by_pk(txn, "accounts", &[Value::Int(to as i64)], LockPolicy::Exclusive)?
+                            .ok_or(Error::RowNotFound)?;
+                        let amount = Value::Decimal(7);
+                        let new_a = Row(vec![a[0].clone(), a[1].clone(), a[2].sub(&amount).unwrap()]);
+                        let new_b = Row(vec![b[0].clone(), b[1].clone(), b[2].add(&amount).unwrap()]);
+                        db.update(txn, "accounts", rid_a, new_a)?;
+                        db.update(txn, "accounts", rid_b, new_b)?;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total: i64 = db
+            .select_unlocked("accounts", None)
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r[2].as_i64().unwrap())
+            .sum();
+        assert_eq!(total, 10_000);
+    }
+}

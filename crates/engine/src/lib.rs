@@ -1,0 +1,31 @@
+//! The OLTP engine: a transactional database facade over the storage,
+//! lock, and query crates.
+//!
+//! [`Database`] exposes:
+//!
+//! - DDL: `create_table`, `create_index`, `drop_table`, `rename_table`;
+//! - transactional DML under strict 2PL: `insert`, `update`, `delete`,
+//!   point reads and predicate `select`s (index-assisted), with undo-based
+//!   rollback and redo WAL;
+//! - FK / unique / CHECK enforcement;
+//! - [`exec`]: execution of [`SelectSpec`](bullfrog_query::SelectSpec)s —
+//!   filters, inner equi-joins, grouped aggregation — used both by client
+//!   read queries and by the migration machinery in `bullfrog-core`;
+//! - WAL-based recovery (`recovery`).
+//!
+//! ## Isolation
+//!
+//! The engine provides read-committed isolation with strict 2PL writes:
+//! writers hold X row locks until commit; readers take S row locks and
+//! re-validate after acquisition, so they never observe uncommitted data.
+//! Predicate (phantom) locking is not implemented — the paper's workloads
+//! do not require serializable isolation, and neither do the migration
+//! algorithms (they have their own exactly-once tracking).
+
+pub mod db;
+pub mod exec;
+pub mod fk;
+pub mod recovery;
+
+pub use db::{Database, DbConfig, LockPolicy};
+pub use exec::QueryOutput;

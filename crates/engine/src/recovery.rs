@@ -1,0 +1,210 @@
+//! WAL replay.
+//!
+//! Crash recovery in two passes over the log: first find the committed
+//! transactions, then apply their data records in log order. Records of
+//! uncommitted/aborted transactions are ignored (the log is redo-only; the
+//! in-memory heaps die with the process, so there is nothing to undo).
+//!
+//! DDL is not logged: the caller re-creates the catalog (same tables, same
+//! creation order, so [`TableId`](bullfrog_common::TableId)s match) before replaying, exactly like
+//! restoring a schema dump before applying the log.
+//!
+//! `MigrationGranule` records of committed transactions are returned to the
+//! caller; `bullfrog-core` uses them to rebuild its bitmap/hashmap trackers
+//! (paper §3.5 — listed there as unimplemented future work).
+
+use std::collections::HashSet;
+
+use bullfrog_common::{Result, TxnId};
+use bullfrog_txn::wal::GranuleKey;
+use bullfrog_txn::LogRecord;
+
+use crate::db::Database;
+
+/// Outcome of a replay.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RecoveryStats {
+    /// Number of committed transactions found.
+    pub committed_txns: usize,
+    /// Number of data records applied.
+    pub applied: usize,
+    /// Migration granules whose migration committed: `(migration id, key)`.
+    pub migrated_granules: Vec<(u32, GranuleKey)>,
+}
+
+/// Replays `records` into `db` (whose catalog must already hold the same
+/// tables, created in the same order as the original).
+pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
+    let committed: HashSet<TxnId> = records
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Commit(t) => Some(*t),
+            _ => None,
+        })
+        .collect();
+
+    let mut stats = RecoveryStats {
+        committed_txns: committed.len(),
+        ..Default::default()
+    };
+
+    for rec in records {
+        if !committed.contains(&rec.txn()) {
+            continue;
+        }
+        match rec {
+            LogRecord::Insert { table, rid, row, .. } => {
+                let t = db.catalog().get_by_id(*table)?;
+                t.place(*rid, row.clone())?;
+                stats.applied += 1;
+            }
+            LogRecord::Update { table, rid, after, .. } => {
+                let t = db.catalog().get_by_id(*table)?;
+                t.update(*rid, after.clone())?;
+                stats.applied += 1;
+            }
+            LogRecord::Delete { table, rid, .. } => {
+                let t = db.catalog().get_by_id(*table)?;
+                t.delete(*rid)?;
+                stats.applied += 1;
+            }
+            LogRecord::MigrationGranule { migration, granule, .. } => {
+                stats.migrated_granules.push((*migration, granule.clone()));
+            }
+            LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::LockPolicy;
+    use bullfrog_common::{row, ColumnDef, DataType, TableSchema, Value};
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("v", DataType::Text),
+            ],
+        )
+        .with_primary_key(&["id"])
+    }
+
+    #[test]
+    fn committed_work_survives_uncommitted_does_not() {
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+
+        db.with_txn(|txn| {
+            db.insert(txn, "t", row![1, "one"])?;
+            db.insert(txn, "t", row![2, "two"])
+        })
+        .unwrap();
+        // A txn that updates then aborts: its records never hit the WAL.
+        let mut txn = db.begin();
+        let (rid, _) = db
+            .get_by_pk(&mut txn, "t", &[Value::Int(1)], LockPolicy::Exclusive)
+            .unwrap()
+            .unwrap();
+        db.update(&mut txn, "t", rid, row![1, "dirty"]).unwrap();
+        db.abort(&mut txn);
+        // A committed update + delete.
+        db.with_txn(|txn| {
+            let (rid1, _) = db
+                .get_by_pk(txn, "t", &[Value::Int(1)], LockPolicy::Exclusive)?
+                .unwrap();
+            db.update(txn, "t", rid1, row![1, "uno"])?;
+            let (rid2, _) = db
+                .get_by_pk(txn, "t", &[Value::Int(2)], LockPolicy::Exclusive)?
+                .unwrap();
+            db.delete(txn, "t", rid2).map(|_| ())
+        })
+        .unwrap();
+
+        // Fresh database, same DDL, replay.
+        let db2 = Database::new();
+        db2.create_table(schema()).unwrap();
+        let stats = replay(&db2, &db.wal().snapshot()).unwrap();
+        assert_eq!(stats.committed_txns, 2);
+
+        let rows = db2.select_unlocked("t", None).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, row![1, "uno"]);
+        // The pk index was rebuilt too.
+        assert!(db2.table("t").unwrap().get_by_pk(&[Value::Int(1)]).is_some());
+        assert!(db2.table("t").unwrap().get_by_pk(&[Value::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn rids_are_preserved_across_commit_reordering() {
+        // T1 inserts first but commits second; replay must still put each
+        // row at its original rid.
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+        let mut t1 = db.begin();
+        let rid1 = db.insert(&mut t1, "t", row![1, "first"]).unwrap();
+        let mut t2 = db.begin();
+        let rid2 = db.insert(&mut t2, "t", row![2, "second"]).unwrap();
+        db.commit(&mut t2).unwrap();
+        db.commit(&mut t1).unwrap();
+        assert!(rid1 < rid2);
+
+        let db2 = Database::new();
+        db2.create_table(schema()).unwrap();
+        replay(&db2, &db.wal().snapshot()).unwrap();
+        let t = db2.table("t").unwrap();
+        assert_eq!(t.heap().get(rid1), Some(row![1, "first"]));
+        assert_eq!(t.heap().get(rid2), Some(row![2, "second"]));
+    }
+
+    #[test]
+    fn aborted_insert_leaves_hole() {
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+        let mut t1 = db.begin();
+        db.insert(&mut t1, "t", row![1, "gone"]).unwrap();
+        db.abort(&mut t1);
+        let rid2 = db.with_txn(|txn| db.insert(txn, "t", row![2, "kept"])).unwrap();
+
+        let db2 = Database::new();
+        db2.create_table(schema()).unwrap();
+        let stats = replay(&db2, &db.wal().snapshot()).unwrap();
+        assert_eq!(stats.applied, 1);
+        let t = db2.table("t").unwrap();
+        assert_eq!(t.live_count(), 1);
+        assert_eq!(t.heap().get(rid2), Some(row![2, "kept"]));
+    }
+
+    #[test]
+    fn migration_granules_surface_for_committed_txns_only() {
+        use bullfrog_txn::wal::GranuleKey;
+        use bullfrog_txn::LogRecord;
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+        // Committed migration txn.
+        let mut t1 = db.begin();
+        t1.push_redo(LogRecord::MigrationGranule {
+            txn: t1.id(),
+            migration: 1,
+            granule: GranuleKey::Ordinal(5),
+        });
+        db.commit(&mut t1).unwrap();
+        // Aborted migration txn.
+        let mut t2 = db.begin();
+        t2.push_redo(LogRecord::MigrationGranule {
+            txn: t2.id(),
+            migration: 1,
+            granule: GranuleKey::Ordinal(9),
+        });
+        db.abort(&mut t2);
+
+        let db2 = Database::new();
+        db2.create_table(schema()).unwrap();
+        let stats = replay(&db2, &db.wal().snapshot()).unwrap();
+        assert_eq!(stats.migrated_granules, vec![(1, GranuleKey::Ordinal(5))]);
+    }
+}

@@ -1,0 +1,221 @@
+//! Predicate analysis: conjunct extraction, table classification, and
+//! sargable-condition detection.
+
+use std::collections::BTreeSet;
+
+use bullfrog_common::Value;
+
+use crate::expr::{CmpOp, ColRef, Expr};
+
+/// Splits a predicate into its top-level AND conjuncts.
+pub fn conjuncts(expr: &Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    collect_conjuncts(expr, &mut out);
+    out
+}
+
+fn collect_conjuncts(expr: &Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::And(a, b) => {
+            collect_conjuncts(a, out);
+            collect_conjuncts(b, out);
+        }
+        other => out.push(other.clone()),
+    }
+}
+
+/// Rebuilds a predicate from conjuncts; `None` when the list is empty
+/// (an empty conjunction is TRUE — "no filter").
+pub fn conjoin(mut parts: Vec<Expr>) -> Option<Expr> {
+    let first = if parts.is_empty() {
+        return None;
+    } else {
+        parts.remove(0)
+    };
+    Some(parts.into_iter().fold(first, Expr::and))
+}
+
+/// The set of table aliases an expression references. Bare (unqualified)
+/// references contribute `None`-alias markers via the empty string so the
+/// caller can detect them.
+pub fn referenced_tables(expr: &Expr) -> BTreeSet<String> {
+    let mut cols = Vec::new();
+    expr.columns(&mut cols);
+    cols.into_iter()
+        .map(|c| c.table.unwrap_or_default())
+        .collect()
+}
+
+/// Extracts `column = literal` conditions (either operand order) usable for
+/// index point lookups. Only top-level conjuncts are considered.
+pub fn sargable_equalities(expr: &Expr) -> Vec<(ColRef, Value)> {
+    let mut out = Vec::new();
+    for c in conjuncts(expr) {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            match (*a, *b) {
+                (Expr::Col(col), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(col)) => {
+                    out.push((col, v));
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// A one-sided bound extracted from a conjunct: the value and whether it
+/// is inclusive.
+pub type RangeBound = (Value, bool);
+
+/// Extracts per-column range bounds (`col > lit`, `lit >= col`, ...) from
+/// top-level conjuncts: returns `(column, lower, upper)` triples with the
+/// tightest bound seen per column.
+pub fn sargable_ranges(expr: &Expr) -> Vec<(ColRef, Option<RangeBound>, Option<RangeBound>)> {
+    use std::collections::BTreeMap;
+    let mut map: BTreeMap<ColRef, (Option<RangeBound>, Option<RangeBound>)> = BTreeMap::new();
+    for c in conjuncts(expr) {
+        let Expr::Cmp(op, a, b) = c else { continue };
+        // Normalize to col OP lit.
+        let (col, lit, op) = match (*a, *b) {
+            (Expr::Col(col), Expr::Lit(v)) => (col, v, op),
+            (Expr::Lit(v), Expr::Col(col)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => other,
+                };
+                (col, v, flipped)
+            }
+            _ => continue,
+        };
+        if lit.is_null() {
+            continue;
+        }
+        let entry = map.entry(col).or_default();
+        match op {
+            CmpOp::Gt | CmpOp::Ge => {
+                let incl = op == CmpOp::Ge;
+                let tighter = match &entry.0 {
+                    None => true,
+                    Some((cur, cur_incl)) => {
+                        lit > *cur || (lit == *cur && *cur_incl && !incl)
+                    }
+                };
+                if tighter {
+                    entry.0 = Some((lit, incl));
+                }
+            }
+            CmpOp::Lt | CmpOp::Le => {
+                let incl = op == CmpOp::Le;
+                let tighter = match &entry.1 {
+                    None => true,
+                    Some((cur, cur_incl)) => {
+                        lit < *cur || (lit == *cur && *cur_incl && !incl)
+                    }
+                };
+                if tighter {
+                    entry.1 = Some((lit, incl));
+                }
+            }
+            CmpOp::Eq | CmpOp::Ne => {}
+        }
+    }
+    map.into_iter()
+        .filter(|(_, (lo, hi))| lo.is_some() || hi.is_some())
+        .map(|(c, (lo, hi))| (c, lo, hi))
+        .collect()
+}
+
+/// Extracts `colA = colB` join conditions from top-level conjuncts.
+pub fn column_equalities(expr: &Expr) -> Vec<(ColRef, ColRef)> {
+    let mut out = Vec::new();
+    for c in conjuncts(expr) {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (Expr::Col(ca), Expr::Col(cb)) = (*a, *b) {
+                out.push((ca, cb));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_split_flattens_nested_ands() {
+        let p = Expr::column("a")
+            .eq(Expr::lit(1))
+            .and(Expr::column("b").gt(Expr::lit(2)).and(Expr::column("c").lt(Expr::lit(3))));
+        let cs = conjuncts(&p);
+        assert_eq!(cs.len(), 3);
+        // ORs are atomic conjuncts.
+        let p = Expr::column("a").eq(Expr::lit(1)).or(Expr::column("b").eq(Expr::lit(2)));
+        assert_eq!(conjuncts(&p).len(), 1);
+    }
+
+    #[test]
+    fn conjoin_round_trips() {
+        let p = Expr::column("a")
+            .eq(Expr::lit(1))
+            .and(Expr::column("b").gt(Expr::lit(2)));
+        let rebuilt = conjoin(conjuncts(&p)).unwrap();
+        assert_eq!(conjuncts(&rebuilt), conjuncts(&p));
+        assert!(conjoin(vec![]).is_none());
+    }
+
+    #[test]
+    fn referenced_tables_classifies() {
+        let p = Expr::col("f", "x").eq(Expr::col("g", "y")).and(Expr::column("z").gt(Expr::lit(0)));
+        let tables = referenced_tables(&p);
+        assert!(tables.contains("f"));
+        assert!(tables.contains("g"));
+        assert!(tables.contains("")); // the bare reference
+    }
+
+    #[test]
+    fn sargable_detects_both_orders() {
+        let p = Expr::col("f", "id")
+            .eq(Expr::lit("AA101"))
+            .and(Expr::lit(9).eq(Expr::column("day")))
+            .and(Expr::column("x").gt(Expr::lit(1))); // not an equality
+        let sarg = sargable_equalities(&p);
+        assert_eq!(sarg.len(), 2);
+        assert_eq!(sarg[0].0, ColRef::new("f", "id"));
+        assert_eq!(sarg[0].1, Value::text("AA101"));
+        assert_eq!(sarg[1].0, ColRef::bare("day"));
+    }
+
+    #[test]
+    fn sargable_ranges_extracts_tightest_bounds() {
+        let p = Expr::column("o")
+            .ge(Expr::lit(10))
+            .and(Expr::column("o").gt(Expr::lit(12)))
+            .and(Expr::column("o").lt(Expr::lit(30)))
+            .and(Expr::lit(25).ge(Expr::column("o"))); // 25 >= o → o <= 25
+        let r = sargable_ranges(&p);
+        assert_eq!(r.len(), 1);
+        let (col, lo, hi) = &r[0];
+        assert_eq!(col, &ColRef::bare("o"));
+        assert_eq!(lo, &Some((Value::Int(12), false)), "o > 12 is tighter");
+        assert_eq!(hi, &Some((Value::Int(25), true)), "o <= 25 is tighter");
+    }
+
+    #[test]
+    fn sargable_ranges_ignores_null_and_equalities() {
+        let p = Expr::column("a")
+            .gt(Expr::null())
+            .and(Expr::column("b").eq(Expr::lit(1)));
+        assert!(sargable_ranges(&p).is_empty());
+    }
+
+    #[test]
+    fn sargable_ignores_col_eq_col() {
+        let p = Expr::col("f", "id").eq(Expr::col("g", "id"));
+        assert!(sargable_equalities(&p).is_empty());
+        assert_eq!(column_equalities(&p).len(), 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! View expansion: transposing client predicates from the new schema onto
+//! the old input tables.
+//!
+//! This is the reproduction of the paper's §2.1 mechanism. PostgreSQL gave
+//! the authors predicate movement for free (expand the migration view,
+//! optimize, read the per-table filters off the plan). Here the migration
+//! query is already structured (a [`SelectSpec`]), so transposition is
+//! direct:
+//!
+//! 1. **Substitute** — every reference to an output column inside a client
+//!    conjunct is replaced by the column's defining expression over the
+//!    input aliases. Conjuncts referencing aggregate outputs (or unknown
+//!    columns) cannot be transposed and are dropped.
+//! 2. **Attach** — a substituted conjunct whose columns all come from one
+//!    input alias becomes a filter on that table. Multi-table conjuncts are
+//!    dropped (they would need the join to evaluate).
+//! 3. **Propagate** — `column = literal` conjuncts are copied to every
+//!    input column in the same join-equivalence class, which is what turns
+//!    `FID = 'AA101'` into filters on *both* `flights` and `flewon`.
+//!
+//! Dropping a conjunct only ever *widens* the set of tuples migrated, so
+//! the result is always sound (a superset filter); `dropped` reports what
+//! was lost so callers can log or test it.
+
+use std::collections::BTreeMap;
+
+use bullfrog_common::Value;
+
+use crate::expr::{CmpOp, ColRef, Expr};
+use crate::pred::{conjoin, conjuncts};
+use crate::spec::SelectSpec;
+
+/// Result of predicate transposition: one optional filter per input alias.
+#[derive(Debug, Clone, Default)]
+pub struct TransposedPredicates {
+    /// Input alias → filter over that table's columns (alias-qualified).
+    /// Absent aliases have no filter (full scan).
+    pub per_table: BTreeMap<String, Expr>,
+    /// Client conjuncts that could not be transposed (the migration scope
+    /// is widened to a superset accordingly).
+    pub dropped: Vec<Expr>,
+}
+
+impl TransposedPredicates {
+    /// The filter for `alias`, if any conjunct attached to it.
+    pub fn filter_for(&self, alias: &str) -> Option<&Expr> {
+        self.per_table.get(alias)
+    }
+
+    /// True when no conjunct was transposed anywhere — every potentially
+    /// relevant tuple of every input must be migrated.
+    pub fn is_unfiltered(&self) -> bool {
+        self.per_table.is_empty()
+    }
+}
+
+/// Transposes `client_pred` (over the spec's output columns) into
+/// per-input-table predicates. `None` means "no predicate" (e.g. a full
+/// table scan or a background migration slice) and yields no filters.
+pub fn transpose(spec: &SelectSpec, client_pred: Option<&Expr>) -> TransposedPredicates {
+    let mut out = TransposedPredicates::default();
+    let Some(pred) = client_pred else {
+        return out;
+    };
+
+    let classes = EquivClasses::from_spec(spec);
+    let mut per_table: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
+
+    for conjunct in conjuncts(pred) {
+        // 1. Substitute output columns with their defining expressions.
+        let Some(substituted) = substitute(spec, &conjunct) else {
+            out.dropped.push(conjunct);
+            continue;
+        };
+
+        // 3. Propagate equality constants through join equivalence classes
+        //    (do this before the single-table check so a constant on a join
+        //    column reaches every joined table, as in the paper's example).
+        let mut attached = false;
+        if let Some((col, lit)) = as_col_eq_lit(&substituted) {
+            for eq_col in classes.equivalents(&col) {
+                let alias = eq_col.table.clone().unwrap_or_default();
+                per_table
+                    .entry(alias)
+                    .or_default()
+                    .push(Expr::Col(eq_col.clone()).eq(Expr::Lit(lit.clone())));
+                attached = true;
+            }
+            if attached {
+                continue;
+            }
+        }
+
+        // 2. Attach single-table conjuncts.
+        let mut cols = Vec::new();
+        substituted.columns(&mut cols);
+        let mut aliases: Vec<String> = cols
+            .iter()
+            .map(|c| c.table.clone().unwrap_or_default())
+            .collect();
+        aliases.sort();
+        aliases.dedup();
+        match aliases.as_slice() {
+            [one] => {
+                per_table.entry(one.clone()).or_default().push(substituted);
+            }
+            [] => {
+                // Constant conjunct (e.g. TRUE): filters nothing; drop it
+                // silently — correctness is unaffected.
+            }
+            _ => out.dropped.push(conjunct),
+        }
+    }
+
+    out.per_table = per_table
+        .into_iter()
+        .filter_map(|(alias, parts)| conjoin(parts).map(|e| (alias, e)))
+        .collect();
+    out
+}
+
+/// Replaces references to output columns with their defining input
+/// expressions; `None` when any referenced column has no scalar projection
+/// (aggregate output or unknown name).
+fn substitute(spec: &SelectSpec, conjunct: &Expr) -> Option<Expr> {
+    let mut cols = Vec::new();
+    conjunct.columns(&mut cols);
+    for c in &cols {
+        spec.projection_of(&c.column)?;
+    }
+    Some(conjunct.map_columns(&|c: &ColRef| spec.projection_of(&c.column).cloned()))
+}
+
+/// Matches `col = literal` / `literal = col`.
+fn as_col_eq_lit(e: &Expr) -> Option<(ColRef, Value)> {
+    if let Expr::Cmp(CmpOp::Eq, a, b) = e {
+        match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
+                return Some((c.clone(), v.clone()));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Union-find over input columns connected by equi-join conditions.
+struct EquivClasses {
+    members: Vec<ColRef>,
+    parent: Vec<usize>,
+}
+
+impl EquivClasses {
+    fn from_spec(spec: &SelectSpec) -> Self {
+        let mut ec = EquivClasses {
+            members: Vec::new(),
+            parent: Vec::new(),
+        };
+        for (a, b) in &spec.join_conds {
+            let ia = ec.intern(a);
+            let ib = ec.intern(b);
+            ec.union(ia, ib);
+        }
+        ec
+    }
+
+    fn intern(&mut self, c: &ColRef) -> usize {
+        if let Some(i) = self.members.iter().position(|m| m == c) {
+            return i;
+        }
+        self.members.push(c.clone());
+        self.parent.push(self.members.len() - 1);
+        self.members.len() - 1
+    }
+
+    fn find(&self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Every column equivalent to `c`, including `c` itself. Columns not
+    /// mentioned in any join condition are their own singleton class.
+    fn equivalents(&self, c: &ColRef) -> Vec<ColRef> {
+        match self.members.iter().position(|m| m == c) {
+            None => vec![c.clone()],
+            Some(i) => {
+                let root = self.find(i);
+                self.members
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| self.find(*j) == root)
+                    .map(|(_, m)| m.clone())
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Func;
+
+    /// The paper's §2.1 FLEWONINFO migration spec.
+    fn flewoninfo() -> SelectSpec {
+        SelectSpec::new()
+            .from_table("flights", "f")
+            .from_table("flewon", "fi")
+            .join_on(ColRef::new("f", "flightid"), ColRef::new("fi", "flightid"))
+            .select("fid", Expr::col("f", "flightid"))
+            .select("flightdate", Expr::col("fi", "flightdate"))
+            .select("passenger_count", Expr::col("fi", "passenger_count"))
+            .select(
+                "empty_seats",
+                Expr::col("f", "capacity").sub(Expr::col("fi", "passenger_count")),
+            )
+    }
+
+    /// Reproduces the paper's running example: `FID = 'AA101' AND
+    /// EXTRACT(DAY FROM FLIGHTDATE) = 9` lands on both tables / flewon.
+    #[test]
+    fn paper_example_transposes_to_both_tables() {
+        let spec = flewoninfo();
+        let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
+            Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate")))
+                .eq(Expr::lit(9)),
+        );
+        let t = transpose(&spec, Some(&pred));
+        assert!(t.dropped.is_empty());
+        let f = t.filter_for("f").unwrap().to_string();
+        assert_eq!(f, "(f.flightid = 'AA101')");
+        let fi = t.filter_for("fi").unwrap().to_string();
+        assert!(
+            fi.contains("(fi.flightid = 'AA101')")
+                && fi.contains("EXTRACT(DAY FROM fi.flightdate)"),
+            "{fi}"
+        );
+    }
+
+    #[test]
+    fn no_predicate_means_no_filters() {
+        let t = transpose(&flewoninfo(), None);
+        assert!(t.is_unfiltered());
+        assert!(t.dropped.is_empty());
+    }
+
+    #[test]
+    fn derived_column_predicate_stays_single_table_or_drops() {
+        let spec = flewoninfo();
+        // empty_seats = capacity - passenger_count references BOTH tables
+        // after substitution → dropped.
+        let pred = Expr::column("empty_seats").gt(Expr::lit(0));
+        let t = transpose(&spec, Some(&pred));
+        assert_eq!(t.dropped.len(), 1);
+        assert!(t.is_unfiltered());
+    }
+
+    #[test]
+    fn unknown_or_aggregate_columns_drop() {
+        let spec = SelectSpec::new()
+            .from_table("order_line", "ol")
+            .select("o_id", Expr::col("ol", "ol_o_id"))
+            .select_agg(
+                "ol_total",
+                crate::expr::AggFunc::Sum,
+                Expr::col("ol", "ol_amount"),
+            );
+        // Aggregate output: not transposable.
+        let pred = Expr::column("ol_total").gt(Expr::lit(100));
+        let t = transpose(&spec, Some(&pred));
+        assert_eq!(t.dropped.len(), 1);
+        // Group-key output: transposable.
+        let pred = Expr::column("o_id").eq(Expr::lit(7));
+        let t = transpose(&spec, Some(&pred));
+        assert_eq!(
+            t.filter_for("ol").unwrap().to_string(),
+            "(ol.ol_o_id = 7)"
+        );
+    }
+
+    #[test]
+    fn non_equality_predicates_do_not_propagate_across_join() {
+        let spec = flewoninfo();
+        // A range on the join column applies only to the table whose
+        // projection defines it.
+        let pred = Expr::column("fid").gt(Expr::lit("AA"));
+        let t = transpose(&spec, Some(&pred));
+        assert!(t.filter_for("f").is_some());
+        assert!(t.filter_for("fi").is_none());
+    }
+
+    #[test]
+    fn literal_on_either_side_propagates() {
+        let spec = flewoninfo();
+        let pred = Expr::lit("AA101").eq(Expr::column("fid"));
+        let t = transpose(&spec, Some(&pred));
+        assert!(t.filter_for("f").is_some());
+        assert!(t.filter_for("fi").is_some());
+    }
+
+    #[test]
+    fn constant_conjuncts_are_harmless() {
+        let spec = flewoninfo();
+        let pred = Expr::lit(true).and(Expr::column("fid").eq(Expr::lit("AA101")));
+        let t = transpose(&spec, Some(&pred));
+        assert!(t.dropped.is_empty());
+        assert_eq!(t.per_table.len(), 2);
+    }
+
+    #[test]
+    fn transitive_join_equivalence() {
+        // a.x = b.y AND b.y = c.z → constant on x reaches all three.
+        let spec = SelectSpec::new()
+            .from_table("a", "a")
+            .from_table("b", "b")
+            .from_table("c", "c")
+            .join_on(ColRef::new("a", "x"), ColRef::new("b", "y"))
+            .join_on(ColRef::new("b", "y"), ColRef::new("c", "z"))
+            .select("x", Expr::col("a", "x"));
+        let pred = Expr::column("x").eq(Expr::lit(5));
+        let t = transpose(&spec, Some(&pred));
+        assert_eq!(t.per_table.len(), 3);
+        assert_eq!(t.filter_for("c").unwrap().to_string(), "(c.z = 5)");
+    }
+
+    #[test]
+    fn multiple_conjuncts_per_table_conjoin() {
+        let spec = flewoninfo();
+        let pred = Expr::column("flightdate")
+            .ge(Expr::lit(Value::Date(1)))
+            .and(Expr::column("flightdate").le(Expr::lit(Value::Date(31))))
+            .and(Expr::column("passenger_count").gt(Expr::lit(0)));
+        let t = transpose(&spec, Some(&pred));
+        let fi = t.filter_for("fi").unwrap();
+        assert_eq!(conjuncts(fi).len(), 3);
+        assert!(t.filter_for("f").is_none());
+    }
+}

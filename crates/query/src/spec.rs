@@ -1,0 +1,229 @@
+//! Select specifications — the structured form of migration queries.
+//!
+//! A [`SelectSpec`] is the equivalent of the paper's migration DDL body
+//! (`SELECT ... FROM inputs WHERE joins/filters [GROUP BY keys]`): inputs
+//! with aliases, equi-join conditions, an optional residual filter,
+//! and output columns that are either scalar expressions or aggregates.
+//! When any aggregate output is present the scalar outputs form the GROUP
+//! BY key, mirroring SQL.
+
+use crate::expr::{AggFunc, ColRef, Expr};
+
+/// A FROM-list entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name in the catalog.
+    pub table: String,
+    /// Alias used by column references in this spec.
+    pub alias: String,
+}
+
+/// One output column of a select spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutputColumn {
+    /// `expr AS name`.
+    Scalar {
+        /// Output column name.
+        name: String,
+        /// Defining expression over the input aliases.
+        expr: Expr,
+    },
+    /// `AGG(arg) AS name`.
+    Agg {
+        /// Output column name.
+        name: String,
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated expression (use `Expr::lit(1)` for `COUNT(*)`).
+        arg: Expr,
+    },
+}
+
+impl OutputColumn {
+    /// The output column name.
+    pub fn name(&self) -> &str {
+        match self {
+            OutputColumn::Scalar { name, .. } | OutputColumn::Agg { name, .. } => name,
+        }
+    }
+}
+
+/// A select-project-join-aggregate specification.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelectSpec {
+    /// FROM list.
+    pub inputs: Vec<TableRef>,
+    /// Equi-join conditions between input columns (inner joins).
+    pub join_conds: Vec<(ColRef, ColRef)>,
+    /// Residual filter over the input aliases.
+    pub filter: Option<Expr>,
+    /// Output columns.
+    pub columns: Vec<OutputColumn>,
+}
+
+impl SelectSpec {
+    /// Empty spec; populate with the builder methods.
+    pub fn new() -> Self {
+        SelectSpec::default()
+    }
+
+    /// Adds a FROM entry (builder).
+    pub fn from_table(mut self, table: impl Into<String>, alias: impl Into<String>) -> Self {
+        self.inputs.push(TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        });
+        self
+    }
+
+    /// Adds an equi-join condition (builder).
+    pub fn join_on(mut self, left: ColRef, right: ColRef) -> Self {
+        self.join_conds.push((left, right));
+        self
+    }
+
+    /// ANDs `pred` into the residual filter (builder).
+    pub fn filter(mut self, pred: Expr) -> Self {
+        self.filter = Some(match self.filter.take() {
+            Some(f) => f.and(pred),
+            None => pred,
+        });
+        self
+    }
+
+    /// Adds a scalar output column (builder).
+    pub fn select(mut self, name: impl Into<String>, expr: Expr) -> Self {
+        self.columns.push(OutputColumn::Scalar {
+            name: name.into(),
+            expr,
+        });
+        self
+    }
+
+    /// Adds an aggregate output column (builder).
+    pub fn select_agg(
+        mut self,
+        name: impl Into<String>,
+        func: AggFunc,
+        arg: Expr,
+    ) -> Self {
+        self.columns.push(OutputColumn::Agg {
+            name: name.into(),
+            func,
+            arg,
+        });
+        self
+    }
+
+    /// True when any output column aggregates (the spec is then a GROUP BY
+    /// over the scalar outputs).
+    pub fn is_aggregate(&self) -> bool {
+        self.columns
+            .iter()
+            .any(|c| matches!(c, OutputColumn::Agg { .. }))
+    }
+
+    /// The GROUP BY key expressions (scalar outputs of an aggregate spec).
+    pub fn group_key_exprs(&self) -> Vec<&Expr> {
+        self.columns
+            .iter()
+            .filter_map(|c| match c {
+                OutputColumn::Scalar { expr, .. } => Some(expr),
+                OutputColumn::Agg { .. } => None,
+            })
+            .collect()
+    }
+
+    /// Output column names in order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name().to_owned()).collect()
+    }
+
+    /// The defining expression of a scalar output column.
+    pub fn projection_of(&self, out_name: &str) -> Option<&Expr> {
+        self.columns.iter().find_map(|c| match c {
+            OutputColumn::Scalar { name, expr } if name == out_name => Some(expr),
+            _ => None,
+        })
+    }
+
+    /// The alias of the single input table, when there is exactly one.
+    pub fn single_input(&self) -> Option<&TableRef> {
+        match self.inputs.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Looks up an input by alias.
+    pub fn input(&self, alias: &str) -> Option<&TableRef> {
+        self.inputs.iter().find(|t| t.alias == alias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    /// The paper's §2.1 FLEWONINFO migration query.
+    fn flewoninfo_spec() -> SelectSpec {
+        SelectSpec::new()
+            .from_table("flights", "f")
+            .from_table("flewon", "fi")
+            .join_on(ColRef::new("f", "flightid"), ColRef::new("fi", "flightid"))
+            .select("fid", Expr::col("f", "flightid"))
+            .select("flightdate", Expr::col("fi", "flightdate"))
+            .select("passenger_count", Expr::col("fi", "passenger_count"))
+            .select(
+                "empty_seats",
+                Expr::col("f", "capacity").sub(Expr::col("fi", "passenger_count")),
+            )
+            .select("expected_departure_time", Expr::col("f", "departure_time"))
+            .select("actual_departure_time", Expr::null())
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let s = flewoninfo_spec();
+        assert_eq!(s.inputs.len(), 2);
+        assert_eq!(s.join_conds.len(), 1);
+        assert_eq!(s.columns.len(), 6);
+        assert!(!s.is_aggregate());
+        assert!(s.single_input().is_none());
+        assert_eq!(s.input("fi").unwrap().table, "flewon");
+    }
+
+    #[test]
+    fn projection_lookup() {
+        let s = flewoninfo_spec();
+        assert_eq!(
+            s.projection_of("fid"),
+            Some(&Expr::col("f", "flightid"))
+        );
+        assert!(s.projection_of("nope").is_none());
+        assert_eq!(s.output_names()[3], "empty_seats");
+    }
+
+    #[test]
+    fn aggregate_spec_group_keys() {
+        let s = SelectSpec::new()
+            .from_table("order_line", "ol")
+            .select("w_id", Expr::col("ol", "ol_w_id"))
+            .select("d_id", Expr::col("ol", "ol_d_id"))
+            .select_agg("ol_total", AggFunc::Sum, Expr::col("ol", "ol_amount"));
+        assert!(s.is_aggregate());
+        assert_eq!(s.group_key_exprs().len(), 2);
+        assert_eq!(s.single_input().unwrap().alias, "ol");
+    }
+
+    #[test]
+    fn filter_builder_ands() {
+        let s = SelectSpec::new()
+            .from_table("t", "t")
+            .filter(Expr::column("a").eq(Expr::lit(1)))
+            .filter(Expr::column("b").eq(Expr::lit(2)));
+        let f = s.filter.unwrap();
+        assert_eq!(crate::pred::conjuncts(&f).len(), 2);
+    }
+}

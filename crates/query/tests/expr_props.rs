@@ -1,0 +1,113 @@
+//! Property tests of the expression evaluator: Kleene-logic laws,
+//! conjunct-split/rebuild equivalence, and substitution identity.
+
+use bullfrog_common::{Row, Value};
+use bullfrog_query::{conjoin, conjuncts, ColRef, Expr, Scope};
+use proptest::prelude::*;
+
+fn scope() -> Scope {
+    Scope::table("t", &["a".into(), "b".into(), "c".into()])
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (-5i64..5).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    proptest::collection::vec((-5i64..5).prop_map(Value::Int), 3..=3).prop_map(Row)
+}
+
+/// Random boolean expression over columns a, b, c and small literals.
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (prop_oneof![Just("a"), Just("b"), Just("c")], -5i64..5, 0u8..3).prop_map(
+            |(c, v, op)| {
+                let lhs = Expr::column(c);
+                let rhs = Expr::lit(v);
+                match op {
+                    0 => lhs.eq(rhs),
+                    1 => lhs.lt(rhs),
+                    _ => lhs.ge(rhs),
+                }
+            }
+        ),
+        arb_value().prop_map(|v| match v {
+            Value::Bool(b) => Expr::lit(b),
+            Value::Null => Expr::null(),
+            other => Expr::Lit(other).eq(Expr::lit(0)),
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn double_negation_preserves_matching(e in arb_bool_expr(), r in arb_row()) {
+        let s = scope();
+        let direct = e.clone().eval(&s, &r).unwrap();
+        let doubled = e.not().not().eval(&s, &r).unwrap();
+        prop_assert_eq!(direct, doubled);
+    }
+
+    #[test]
+    fn and_or_commute(a in arb_bool_expr(), b in arb_bool_expr(), r in arb_row()) {
+        let s = scope();
+        prop_assert_eq!(
+            a.clone().and(b.clone()).eval(&s, &r).unwrap(),
+            b.clone().and(a.clone()).eval(&s, &r).unwrap()
+        );
+        prop_assert_eq!(
+            a.clone().or(b.clone()).eval(&s, &r).unwrap(),
+            b.or(a).eval(&s, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn de_morgan_holds(a in arb_bool_expr(), b in arb_bool_expr(), r in arb_row()) {
+        let s = scope();
+        let lhs = a.clone().and(b.clone()).not().eval(&s, &r).unwrap();
+        let rhs = a.not().or(b.not()).eval(&s, &r).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn conjunct_roundtrip_preserves_matches(
+        parts in proptest::collection::vec(arb_bool_expr(), 1..5),
+        r in arb_row(),
+    ) {
+        let s = scope();
+        let pred = parts.clone().into_iter().reduce(Expr::and).expect("non-empty");
+        let rebuilt = conjoin(conjuncts(&pred)).expect("non-empty");
+        prop_assert_eq!(
+            pred.matches(&s, &r).unwrap(),
+            rebuilt.matches(&s, &r).unwrap()
+        );
+    }
+
+    #[test]
+    fn identity_substitution_is_noop(e in arb_bool_expr(), r in arb_row()) {
+        let s = scope();
+        let mapped = e.map_columns(&|c: &ColRef| Some(Expr::Col(c.clone())));
+        prop_assert_eq!(e.eval(&s, &r).unwrap(), mapped.eval(&s, &r).unwrap());
+    }
+
+    #[test]
+    fn matches_is_true_only_on_bool_true(e in arb_bool_expr(), r in arb_row()) {
+        let s = scope();
+        let v = e.clone().eval(&s, &r).unwrap();
+        let m = e.matches(&s, &r).unwrap();
+        prop_assert_eq!(m, v == Value::Bool(true));
+    }
+}

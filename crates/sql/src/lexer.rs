@@ -1,0 +1,199 @@
+//! Tokenizer for the BullFrog SQL dialect.
+
+use bullfrog_common::{Error, Result};
+
+/// A token with its upper-cased text (identifiers keep their original
+/// form in `raw`; SQL keywords and identifiers are matched
+/// case-insensitively).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (normalized lower-case).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (unescaped).
+    Str(String),
+    /// Punctuation / operator: `( ) , . * + - = < > <= >= <>`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// The token as a keyword (lower-case word), if it is one.
+    pub fn word(&self) -> Option<&str> {
+        match self {
+            Token::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenizes `input`; errors carry the offending position.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' | '*' | '+' | ';' => {
+                out.push(Token::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    ';' => ";",
+                    _ => "+",
+                }));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Sym("-"));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym("="));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(Error::Eval(format!(
+                            "unterminated string literal at byte {i}"
+                        )));
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escapes a quote.
+                        if bytes.get(j + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        Error::Eval(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    let text = &input[start..i];
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        Error::Eval(format!("bad integer literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_ascii_lowercase()));
+            }
+            other => {
+                return Err(Error::Eval(format!(
+                    "unexpected character {other:?} at byte {i}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_lowercase_and_symbols() {
+        let toks = lex("SELECT F.FlightID, 42 FROM flights WHERE x >= 3.5").unwrap();
+        assert_eq!(toks[0], Token::Word("select".into()));
+        assert_eq!(toks[1], Token::Word("f".into()));
+        assert_eq!(toks[2], Token::Sym("."));
+        assert_eq!(toks[3], Token::Word("flightid".into()));
+        assert_eq!(toks[5], Token::Int(42));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Float(3.5)));
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = lex("name = 'O''Hare'").unwrap();
+        assert_eq!(toks[2], Token::Str("O'Hare".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("a -- comment here\n = 1").unwrap();
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn neq_variants() {
+        assert_eq!(lex("a <> b").unwrap()[1], Token::Sym("<>"));
+        assert_eq!(lex("a != b").unwrap()[1], Token::Sym("<>"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(lex("a = 'unterminated").is_err());
+        assert!(lex("a ? b").is_err());
+    }
+}

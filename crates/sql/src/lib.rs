@@ -1,0 +1,30 @@
+//! A SQL front-end for BullFrog.
+//!
+//! The paper's interface is SQL: schema migrations arrive as DDL
+//! (`CREATE TABLE ... AS SELECT ...`), and client requests carry `WHERE`
+//! clauses that drive the lazy migration scope. This crate parses that
+//! dialect into the workspace's structured forms:
+//!
+//! - [`parse_predicate`] — a `WHERE`-clause expression →
+//!   [`Expr`](bullfrog_query::Expr);
+//! - [`parse_select`] — `SELECT ... FROM ... [WHERE ...] [GROUP BY ...]`
+//!   → [`SelectSpec`](bullfrog_query::SelectSpec) (equi-join conjuncts in
+//!   the `WHERE` clause become join conditions, as in the paper's DDL);
+//! - [`parse_create_table`] — `CREATE TABLE` with column types, `NOT
+//!   NULL`, `PRIMARY KEY`, `UNIQUE`, `FOREIGN KEY ... REFERENCES`, and
+//!   `CHECK (col op literal)` → [`TableSchema`](bullfrog_common::TableSchema);
+//! - [`parse_migration`] — `CREATE TABLE <name> AS SELECT ...` → a
+//!   [`MigrationStatement`](bullfrog_core::MigrationStatement), with the
+//!   output schema's column types **inferred** from the input tables in
+//!   the catalog (like `CREATE TABLE AS` in a real system).
+//!
+//! The dialect is deliberately the subset the paper uses — no subqueries,
+//! no outer joins, no `OR` of join conditions — and every unsupported
+//! construct is a clear parse error rather than a silent misreading.
+
+mod infer;
+mod lexer;
+mod parser;
+
+pub use infer::{infer_output_schema, qualify_spec};
+pub use parser::{parse_create_table, parse_migration, parse_predicate, parse_select};

@@ -1,0 +1,779 @@
+//! Recursive-descent parser for the BullFrog SQL dialect.
+
+use bullfrog_common::{
+    CheckExpr, CheckOp, ColumnDef, DataType, Error, Result, TableSchema, Value,
+};
+use bullfrog_core::MigrationStatement;
+use bullfrog_engine::Database;
+use bullfrog_query::{AggFunc, CmpOp, ColRef, Expr, Func, SelectSpec};
+
+use crate::lexer::{lex, Token};
+
+/// Parses a `WHERE`-clause predicate, e.g.
+/// `fid = 'AA101' AND extract(day from flightdate) = 9`.
+pub fn parse_predicate(sql: &str) -> Result<Expr> {
+    let mut p = Parser::new(sql)?;
+    let e = p.or_expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parses a `SELECT` statement into a [`SelectSpec`]. Equality conjuncts
+/// between columns of two different FROM aliases become join conditions
+/// (the paper writes its migration joins exactly this way).
+pub fn parse_select(sql: &str) -> Result<SelectSpec> {
+    let mut p = Parser::new(sql)?;
+    let spec = p.select()?;
+    p.expect_end()?;
+    Ok(spec)
+}
+
+/// Parses a `CREATE TABLE` statement with columns and constraints.
+pub fn parse_create_table(sql: &str) -> Result<TableSchema> {
+    let mut p = Parser::new(sql)?;
+    let schema = p.create_table()?;
+    p.expect_end()?;
+    Ok(schema)
+}
+
+/// Parses migration DDL — `CREATE TABLE <name> AS (SELECT ...)` — into a
+/// [`MigrationStatement`], inferring the output schema's column types from
+/// the input tables in `db`'s catalog. `primary_key` names the new
+/// table's key columns (the paper re-declares constraints explicitly;
+/// pass `&[]` for none). `null_types` overrides the inferred type of
+/// columns defined as literal `NULL` (which carry no type of their own).
+pub fn parse_migration(
+    db: &Database,
+    sql: &str,
+    primary_key: &[&str],
+    null_types: &[(&str, DataType)],
+) -> Result<MigrationStatement> {
+    let mut p = Parser::new(sql)?;
+    p.keyword("create")?;
+    p.keyword("table")?;
+    let name = p.ident()?;
+    p.keyword("as")?;
+    let parenthesized = p.eat_sym("(");
+    let spec = p.select()?;
+    if parenthesized {
+        p.sym(")")?;
+    }
+    p.expect_end()?;
+    let spec = crate::infer::qualify_spec(db, &spec)?;
+    let mut schema = crate::infer::infer_output_schema(db, &name, &spec, null_types)?;
+    if !primary_key.is_empty() {
+        schema.primary_key = primary_key.iter().map(|s| s.to_string()).collect();
+        // PK columns are implicitly NOT NULL.
+        for c in &mut schema.columns {
+            if schema.primary_key.contains(&c.name) {
+                c.nullable = false;
+            }
+        }
+    }
+    Ok(MigrationStatement::new(schema, spec))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self> {
+        Ok(Parser {
+            tokens: lex(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| Error::Eval("unexpected end of SQL".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat_word(&mut self, w: &str) -> bool {
+        if self.peek().and_then(Token::word) == Some(w) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn keyword(&mut self, w: &str) -> Result<()> {
+        if self.eat_word(w) {
+            Ok(())
+        } else {
+            Err(Error::Eval(format!(
+                "expected keyword {w:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(Error::Eval(format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w),
+            other => Err(Error::Eval(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        // Allow a trailing semicolon.
+        if matches!(self.peek(), Some(Token::Sym(";"))) {
+            self.pos += 1;
+        }
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(Error::Eval(format!("trailing input at {t:?}"))),
+        }
+    }
+
+    // --- predicates -------------------------------------------------------
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_word("or") {
+            e = e.or(self.and_expr()?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_pred()?;
+        while self.eat_word("and") {
+            e = e.and(self.unary_pred()?);
+        }
+        Ok(e)
+    }
+
+    fn unary_pred(&mut self) -> Result<Expr> {
+        if self.eat_word("not") {
+            return Ok(self.unary_pred()?.not());
+        }
+        // Parenthesized sub-predicate vs parenthesized operand: parse as a
+        // full predicate if it is followed by AND/OR/), else fall through.
+        let checkpoint = self.pos;
+        if self.eat_sym("(") {
+            if let Ok(inner) = self.or_expr() {
+                if self.eat_sym(")") {
+                    // If a comparison operator follows, the parens were an
+                    // operand grouping; restart as a comparison.
+                    if !matches!(
+                        self.peek(),
+                        Some(Token::Sym("=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*"))
+                    ) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = checkpoint;
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.additive()?;
+        if self.eat_word("is") {
+            let negated = self.eat_word("not");
+            self.keyword("null")?;
+            let e = Expr::IsNull(Box::new(lhs));
+            return Ok(if negated { e.not() } else { e });
+        }
+        let op = match self.peek() {
+            Some(Token::Sym("=")) => CmpOp::Eq,
+            Some(Token::Sym("<>")) => CmpOp::Ne,
+            Some(Token::Sym("<")) => CmpOp::Lt,
+            Some(Token::Sym("<=")) => CmpOp::Le,
+            Some(Token::Sym(">")) => CmpOp::Gt,
+            Some(Token::Sym(">=")) => CmpOp::Ge,
+            _ => {
+                return Err(Error::Eval(format!(
+                    "expected comparison operator, found {:?}",
+                    self.peek()
+                )))
+            }
+        };
+        self.pos += 1;
+        let rhs = self.additive()?;
+        Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    // --- scalar expressions -------------------------------------------------
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                e = e.add(self.term()?);
+            } else if self.eat_sym("-") {
+                e = e.sub(self.term()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        let mut e = self.factor()?;
+        while self.eat_sym("*") {
+            e = e.mul(self.factor()?);
+        }
+        Ok(e)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        if self.eat_sym("(") {
+            let e = self.additive()?;
+            self.sym(")")?;
+            return Ok(e);
+        }
+        if self.eat_sym("-") {
+            return Ok(Expr::Call(Func::Neg, Box::new(self.factor()?)));
+        }
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::lit(i)),
+            Token::Float(f) => Ok(Expr::lit(f)),
+            Token::Str(s) => Ok(Expr::lit(s)),
+            Token::Word(w) => match w.as_str() {
+                "null" => Ok(Expr::null()),
+                "true" => Ok(Expr::lit(true)),
+                "false" => Ok(Expr::lit(false)),
+                "date" => Ok(Expr::Lit(Value::Date(self.int_literal()? as i32))),
+                "timestamp" => Ok(Expr::Lit(Value::Timestamp(self.int_literal()?))),
+                "extract" => {
+                    self.sym("(")?;
+                    self.keyword("day")?;
+                    self.keyword("from")?;
+                    let arg = self.additive()?;
+                    self.sym(")")?;
+                    Ok(Expr::Call(Func::ExtractDay, Box::new(arg)))
+                }
+                "abs" => {
+                    self.sym("(")?;
+                    let arg = self.additive()?;
+                    self.sym(")")?;
+                    Ok(Expr::Call(Func::Abs, Box::new(arg)))
+                }
+                _ => {
+                    // Column reference: word or word.word.
+                    if self.eat_sym(".") {
+                        let col = self.ident()?;
+                        Ok(Expr::Col(ColRef::new(w, col)))
+                    } else {
+                        Ok(Expr::Col(ColRef::bare(w)))
+                    }
+                }
+            },
+            other => Err(Error::Eval(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    fn int_literal(&mut self) -> Result<i64> {
+        match self.next()? {
+            Token::Int(i) => Ok(i),
+            other => Err(Error::Eval(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    // --- SELECT ---------------------------------------------------------------
+
+    fn select(&mut self) -> Result<SelectSpec> {
+        self.keyword("select")?;
+        let mut spec = SelectSpec::new();
+        // Select list.
+        loop {
+            if let Some((func, arg, distinct)) = self.try_aggregate()? {
+                let name = self.alias_or(&format!("agg{}", spec.columns.len()))?;
+                let func = match (func, distinct) {
+                    ("count", true) => AggFunc::CountDistinct,
+                    ("count", false) => AggFunc::Count,
+                    ("sum", _) => AggFunc::Sum,
+                    ("min", _) => AggFunc::Min,
+                    ("max", _) => AggFunc::Max,
+                    _ => unreachable!("try_aggregate filters"),
+                };
+                spec = spec.select_agg(name, func, arg);
+            } else {
+                let e = self.additive()?;
+                let default = match &e {
+                    Expr::Col(c) => c.column.clone(),
+                    _ => format!("col{}", spec.columns.len()),
+                };
+                let name = self.alias_or(&default)?;
+                spec = spec.select(name, e);
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        // FROM list.
+        self.keyword("from")?;
+        loop {
+            let table = self.ident()?;
+            let alias = match self.peek() {
+                Some(Token::Word(w))
+                    if !matches!(w.as_str(), "where" | "group" | "as" | "on") =>
+                {
+                    self.ident()?
+                }
+                _ => {
+                    if self.eat_word("as") {
+                        self.ident()?
+                    } else {
+                        table.clone()
+                    }
+                }
+            };
+            spec = spec.from_table(table, alias);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        // WHERE: split into join conditions and residual filters.
+        if self.eat_word("where") {
+            let pred = self.or_expr()?;
+            for conjunct in bullfrog_query::conjuncts(&pred) {
+                if let Expr::Cmp(CmpOp::Eq, a, b) = &conjunct {
+                    if let (Expr::Col(ca), Expr::Col(cb)) = (a.as_ref(), b.as_ref()) {
+                        let (ta, tb) = (ca.table.as_deref(), cb.table.as_deref());
+                        if ta.is_some() && tb.is_some() && ta != tb {
+                            spec = spec.join_on(ca.clone(), cb.clone());
+                            continue;
+                        }
+                    }
+                }
+                spec = spec.filter(conjunct);
+            }
+        }
+        // GROUP BY: must name exactly the scalar select items.
+        if self.eat_word("group") {
+            self.keyword("by")?;
+            let mut keys = Vec::new();
+            loop {
+                keys.push(self.additive()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let scalars: Vec<&Expr> = spec.group_key_exprs();
+            if !spec.is_aggregate() {
+                return Err(Error::Eval(
+                    "GROUP BY without aggregate select items".into(),
+                ));
+            }
+            for k in &keys {
+                if !scalars.contains(&k) {
+                    return Err(Error::Eval(format!(
+                        "GROUP BY key {k} does not appear in the select list"
+                    )));
+                }
+            }
+            if keys.len() != scalars.len() {
+                return Err(Error::Eval(format!(
+                    "GROUP BY lists {} keys but the select list has {} non-aggregate \
+                     items (they must match)",
+                    keys.len(),
+                    scalars.len()
+                )));
+            }
+        } else if spec.is_aggregate() && !spec.group_key_exprs().is_empty() {
+            return Err(Error::Eval(
+                "aggregate select list with non-aggregate items requires GROUP BY".into(),
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Matches `SUM(expr)`, `COUNT(*)`, `COUNT(DISTINCT expr)`, etc.
+    fn try_aggregate(&mut self) -> Result<Option<(&'static str, Expr, bool)>> {
+        let func = match self.peek().and_then(Token::word) {
+            Some("sum") => "sum",
+            Some("count") => "count",
+            Some("min") => "min",
+            Some("max") => "max",
+            _ => return Ok(None),
+        };
+        // Only treat as aggregate when followed by '('.
+        if !matches!(self.tokens.get(self.pos + 1), Some(Token::Sym("("))) {
+            return Ok(None);
+        }
+        self.pos += 2; // word + '('
+        let distinct = self.eat_word("distinct");
+        let arg = if self.eat_sym("*") {
+            Expr::lit(1)
+        } else {
+            self.additive()?
+        };
+        self.sym(")")?;
+        Ok(Some((func, arg, distinct)))
+    }
+
+    fn alias_or(&mut self, default: &str) -> Result<String> {
+        if self.eat_word("as") {
+            self.ident()
+        } else {
+            Ok(default.to_owned())
+        }
+    }
+
+    // --- CREATE TABLE ---------------------------------------------------------
+
+    fn create_table(&mut self) -> Result<TableSchema> {
+        self.keyword("create")?;
+        self.keyword("table")?;
+        let name = self.ident()?;
+        self.sym("(")?;
+        let mut schema = TableSchema::new(name, Vec::new());
+        let mut n_unique = 0usize;
+        let mut n_fk = 0usize;
+        let mut n_check = 0usize;
+        loop {
+            let mut constraint_name: Option<String> = None;
+            if self.eat_word("constraint") {
+                constraint_name = Some(self.ident()?);
+            }
+            match self.peek().and_then(Token::word) {
+                Some("primary") => {
+                    self.pos += 1;
+                    self.keyword("key")?;
+                    schema.primary_key = self.paren_ident_list()?;
+                }
+                Some("unique") => {
+                    self.pos += 1;
+                    let cols = self.paren_ident_list()?;
+                    n_unique += 1;
+                    schema.uniques.push(bullfrog_common::UniqueConstraint {
+                        name: constraint_name
+                            .unwrap_or_else(|| format!("{}_unique_{n_unique}", schema.name)),
+                        columns: cols,
+                    });
+                }
+                Some("foreign") => {
+                    self.pos += 1;
+                    self.keyword("key")?;
+                    let cols = self.paren_ident_list()?;
+                    self.keyword("references")?;
+                    let ref_table = self.ident()?;
+                    let ref_cols = self.paren_ident_list()?;
+                    n_fk += 1;
+                    schema.foreign_keys.push(bullfrog_common::ForeignKey {
+                        name: constraint_name
+                            .unwrap_or_else(|| format!("{}_fk_{n_fk}", schema.name)),
+                        columns: cols,
+                        ref_table,
+                        ref_columns: ref_cols,
+                    });
+                }
+                Some("check") => {
+                    self.pos += 1;
+                    self.sym("(")?;
+                    let expr = self.check_expr()?;
+                    self.sym(")")?;
+                    n_check += 1;
+                    schema.checks.push(bullfrog_common::CheckConstraint {
+                        name: constraint_name
+                            .unwrap_or_else(|| format!("{}_check_{n_check}", schema.name)),
+                        expr,
+                    });
+                }
+                _ => {
+                    if constraint_name.is_some() {
+                        return Err(Error::Eval(
+                            "CONSTRAINT must introduce UNIQUE/FOREIGN KEY/CHECK".into(),
+                        ));
+                    }
+                    let col = self.ident()?;
+                    let dtype = self.data_type()?;
+                    let mut nullable = true;
+                    if self.eat_word("not") {
+                        self.keyword("null")?;
+                        nullable = false;
+                    } else {
+                        let _ = self.eat_word("null");
+                    }
+                    schema.columns.push(ColumnDef {
+                        name: col,
+                        dtype,
+                        nullable,
+                    });
+                }
+            }
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.sym(")")?;
+        // PK columns are NOT NULL.
+        let pk = schema.primary_key.clone();
+        for c in &mut schema.columns {
+            if pk.contains(&c.name) {
+                c.nullable = false;
+            }
+        }
+        Ok(schema)
+    }
+
+    /// The CHECK mini-language: `col op literal` with AND/OR/NOT.
+    fn check_expr(&mut self) -> Result<CheckExpr> {
+        let mut e = self.check_unary()?;
+        loop {
+            if self.eat_word("and") {
+                e = CheckExpr::And(Box::new(e), Box::new(self.check_unary()?));
+            } else if self.eat_word("or") {
+                e = CheckExpr::Or(Box::new(e), Box::new(self.check_unary()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn check_unary(&mut self) -> Result<CheckExpr> {
+        if self.eat_word("not") {
+            return Ok(CheckExpr::Not(Box::new(self.check_unary()?)));
+        }
+        if self.eat_sym("(") {
+            let e = self.check_expr()?;
+            self.sym(")")?;
+            return Ok(e);
+        }
+        let col = self.ident()?;
+        if self.eat_word("is") {
+            self.keyword("not")?;
+            self.keyword("null")?;
+            return Ok(CheckExpr::IsNotNull(col));
+        }
+        let op = match self.next()? {
+            Token::Sym("=") => CheckOp::Eq,
+            Token::Sym("<>") => CheckOp::Ne,
+            Token::Sym("<") => CheckOp::Lt,
+            Token::Sym("<=") => CheckOp::Le,
+            Token::Sym(">") => CheckOp::Gt,
+            Token::Sym(">=") => CheckOp::Ge,
+            other => {
+                return Err(Error::Eval(format!(
+                    "expected comparison in CHECK, found {other:?}"
+                )))
+            }
+        };
+        let literal = match self.next()? {
+            Token::Int(i) => Value::Int(i),
+            Token::Float(f) => Value::Float(f),
+            Token::Str(s) => Value::Text(s),
+            other => {
+                return Err(Error::Eval(format!(
+                    "expected literal in CHECK, found {other:?}"
+                )))
+            }
+        };
+        Ok(CheckExpr::Cmp { column: col, op, literal })
+    }
+
+    fn paren_ident_list(&mut self) -> Result<Vec<String>> {
+        self.sym("(")?;
+        let mut out = vec![self.ident()?];
+        while self.eat_sym(",") {
+            out.push(self.ident()?);
+        }
+        self.sym(")")?;
+        Ok(out)
+    }
+
+    fn data_type(&mut self) -> Result<DataType> {
+        let w = self.ident()?;
+        let dt = match w.as_str() {
+            "int" | "integer" | "bigint" | "smallint" => DataType::Int,
+            "text" | "char" | "varchar" => {
+                // Optional length: CHAR(6).
+                if self.eat_sym("(") {
+                    self.int_literal()?;
+                    self.sym(")")?;
+                }
+                DataType::Text
+            }
+            "float" | "double" | "real" => DataType::Float,
+            "decimal" | "numeric" => {
+                if self.eat_sym("(") {
+                    self.int_literal()?;
+                    if self.eat_sym(",") {
+                        self.int_literal()?;
+                    }
+                    self.sym(")")?;
+                }
+                DataType::Decimal
+            }
+            "date" => DataType::Date,
+            "timestamp" => DataType::Timestamp,
+            "bool" | "boolean" => DataType::Bool,
+            other => return Err(Error::Eval(format!("unknown type {other}"))),
+        };
+        Ok(dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicate_with_extract_and_strings() {
+        let e = parse_predicate("FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9").unwrap();
+        assert_eq!(
+            e.to_string(),
+            "((fid = 'AA101') AND (EXTRACT(DAY FROM flightdate) = 9))"
+        );
+    }
+
+    #[test]
+    fn predicate_precedence_and_not() {
+        let e = parse_predicate("a = 1 OR b = 2 AND NOT c < 3").unwrap();
+        assert_eq!(e.to_string(), "((a = 1) OR ((b = 2) AND (NOT (c < 3))))");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let e = parse_predicate("a + b * 2 >= c - 1").unwrap();
+        assert_eq!(e.to_string(), "((a + (b * 2)) >= (c - 1))");
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert_eq!(parse_predicate("x IS NULL").unwrap().to_string(), "(x IS NULL)");
+        assert_eq!(
+            parse_predicate("x IS NOT NULL").unwrap().to_string(),
+            "(NOT (x IS NULL))"
+        );
+    }
+
+    #[test]
+    fn select_with_join_and_aliases() {
+        let spec = parse_select(
+            "SELECT F.FLIGHTID AS FID, FLIGHTDATE, PASSENGER_COUNT, \
+             (CAPACITY - PASSENGER_COUNT) AS EMPTY_SEATS \
+             FROM FLIGHTS F, FLEWON FI WHERE F.FLIGHTID = FI.FLIGHTID",
+        )
+        .unwrap();
+        assert_eq!(spec.inputs.len(), 2);
+        assert_eq!(spec.inputs[0].alias, "f");
+        assert_eq!(spec.join_conds.len(), 1);
+        assert!(spec.filter.is_none());
+        assert_eq!(
+            spec.output_names(),
+            vec!["fid", "flightdate", "passenger_count", "empty_seats"]
+        );
+    }
+
+    #[test]
+    fn select_where_splits_joins_from_filters() {
+        let spec = parse_select(
+            "SELECT a.x FROM t a, u b WHERE a.id = b.id AND a.x > 5 AND b.y = 'z'",
+        )
+        .unwrap();
+        assert_eq!(spec.join_conds.len(), 1);
+        let filter = spec.filter.unwrap().to_string();
+        assert!(filter.contains("(a.x > 5)"));
+        assert!(filter.contains("(b.y = 'z')"));
+    }
+
+    #[test]
+    fn select_group_by_aggregates() {
+        let spec = parse_select(
+            "SELECT OL_W_ID, OL_D_ID, OL_O_ID, SUM(OL_AMOUNT) AS OL_TOTAL \
+             FROM ORDER_LINE GROUP BY OL_W_ID, OL_D_ID, OL_O_ID",
+        )
+        .unwrap();
+        assert!(spec.is_aggregate());
+        assert_eq!(spec.group_key_exprs().len(), 3);
+        assert_eq!(spec.output_names()[3], "ol_total");
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let spec =
+            parse_select("SELECT COUNT(*) AS n, COUNT(DISTINCT s_i_id) AS d FROM stock").unwrap();
+        assert!(spec.is_aggregate());
+        match &spec.columns[1] {
+            bullfrog_query::OutputColumn::Agg { func, .. } => {
+                assert_eq!(*func, AggFunc::CountDistinct)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_must_match_select_list() {
+        assert!(parse_select("SELECT a, SUM(b) AS s FROM t GROUP BY c").is_err());
+        assert!(parse_select("SELECT a, SUM(b) AS s FROM t").is_err());
+        assert!(parse_select("SELECT a FROM t GROUP BY a").is_err());
+    }
+
+    #[test]
+    fn create_table_full() {
+        let s = parse_create_table(
+            "CREATE TABLE flewon (\
+               flightid CHAR(6) NOT NULL, \
+               flightdate DATE, \
+               passenger_count INT, \
+               PRIMARY KEY (flightid, flightdate), \
+               UNIQUE (passenger_count), \
+               FOREIGN KEY (flightid) REFERENCES flights (flightid), \
+               CHECK (passenger_count > 0))",
+        )
+        .unwrap();
+        assert_eq!(s.name, "flewon");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.primary_key, vec!["flightid", "flightdate"]);
+        assert!(!s.columns[1].nullable, "pk column forced NOT NULL");
+        assert_eq!(s.uniques.len(), 1);
+        assert_eq!(s.foreign_keys[0].ref_table, "flights");
+        assert_eq!(s.checks.len(), 1);
+    }
+
+    #[test]
+    fn create_table_named_constraints() {
+        let s = parse_create_table(
+            "CREATE TABLE t (a INT, CONSTRAINT a_pos CHECK (a > 0), \
+             CONSTRAINT a_uni UNIQUE (a))",
+        )
+        .unwrap();
+        assert_eq!(s.checks[0].name, "a_pos");
+        assert_eq!(s.uniques[0].name, "a_uni");
+    }
+
+    #[test]
+    fn parse_errors_are_loud() {
+        assert!(parse_predicate("a = ").is_err());
+        assert!(parse_select("SELECT FROM t").is_err());
+        assert!(parse_create_table("CREATE TABLE t (a SOMETYPE)").is_err());
+        assert!(parse_predicate("a = 1 extra").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! The catalog: name → table.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use bullfrog_common::{Error, Result, TableId, TableSchema};
+use parking_lot::RwLock;
+
+use crate::table::Table;
+
+/// Maps table names to [`Table`]s and assigns [`TableId`]s.
+///
+/// Schema migrations never mutate a `Table` in place: they create new
+/// tables, and when a migration completes the old tables are dropped (or,
+/// for BullFrog's big flip, *retired* — the retire flag lives in
+/// `bullfrog-core`, the catalog only stores/drops).
+pub struct Catalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    by_id: RwLock<HashMap<TableId, Arc<Table>>>,
+    next_id: AtomicU32,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog {
+            tables: RwLock::new(HashMap::new()),
+            by_id: RwLock::new(HashMap::new()),
+            next_id: AtomicU32::new(1),
+        }
+    }
+
+    /// Creates a table from a schema using the default page size.
+    pub fn create_table(&self, schema: TableSchema) -> Result<Arc<Table>> {
+        self.create_table_with_slots(schema, crate::page::DEFAULT_SLOTS_PER_PAGE)
+    }
+
+    /// Creates a table with an explicit page slot count.
+    pub fn create_table_with_slots(
+        &self,
+        schema: TableSchema,
+        slots_per_page: u16,
+    ) -> Result<Arc<Table>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(Error::TableExists(schema.name));
+        }
+        let id = TableId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let table = Arc::new(Table::with_slots_per_page(id, schema, slots_per_page)?);
+        tables.insert(table.name().to_owned(), Arc::clone(&table));
+        self.by_id.write().insert(id, Arc::clone(&table));
+        Ok(table)
+    }
+
+    /// Looks a table up by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))
+    }
+
+    /// Looks a table up by id.
+    pub fn get_by_id(&self, id: TableId) -> Result<Arc<Table>> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::TableNotFound(format!("{id}")))
+    }
+
+    /// True when the name is bound.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.read().contains_key(name)
+    }
+
+    /// Drops a table by name; the `Arc` keeps it alive for in-flight users.
+    pub fn drop_table(&self, name: &str) -> Result<Arc<Table>> {
+        let table = self
+            .tables
+            .write()
+            .remove(name)
+            .ok_or_else(|| Error::TableNotFound(name.to_owned()))?;
+        self.by_id.write().remove(&table.id());
+        Ok(table)
+    }
+
+    /// Renames a table (the `TableSchema::name` inside is *not* rewritten;
+    /// the catalog name is authoritative for lookups).
+    pub fn rename_table(&self, from: &str, to: &str) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(to) {
+            return Err(Error::TableExists(to.to_owned()));
+        }
+        let table = tables
+            .remove(from)
+            .ok_or_else(|| Error::TableNotFound(from.to_owned()))?;
+        tables.insert(to.to_owned(), table);
+        Ok(())
+    }
+
+    /// Sorted table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Catalog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Catalog")
+            .field("tables", &self.table_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::{ColumnDef, DataType};
+
+    fn schema(name: &str) -> TableSchema {
+        TableSchema::new(name, vec![ColumnDef::new("id", DataType::Int)])
+            .with_primary_key(&["id"])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let c = Catalog::new();
+        let t = c.create_table(schema("a")).unwrap();
+        assert_eq!(c.get("a").unwrap().id(), t.id());
+        assert_eq!(c.get_by_id(t.id()).unwrap().name(), "a");
+        assert!(c.contains("a"));
+        c.drop_table("a").unwrap();
+        assert!(matches!(c.get("a"), Err(Error::TableNotFound(_))));
+        assert!(matches!(c.get_by_id(t.id()), Err(Error::TableNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let c = Catalog::new();
+        c.create_table(schema("a")).unwrap();
+        assert!(matches!(
+            c.create_table(schema("a")),
+            Err(Error::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let c = Catalog::new();
+        let a = c.create_table(schema("a")).unwrap();
+        let b = c.create_table(schema("b")).unwrap();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn rename_moves_binding() {
+        let c = Catalog::new();
+        c.create_table(schema("old")).unwrap();
+        c.rename_table("old", "new").unwrap();
+        assert!(!c.contains("old"));
+        assert!(c.contains("new"));
+        // Renaming onto an existing name fails.
+        c.create_table(schema("other")).unwrap();
+        assert!(matches!(
+            c.rename_table("new", "other"),
+            Err(Error::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let c = Catalog::new();
+        for n in ["zeta", "alpha", "mid"] {
+            c.create_table(schema(n)).unwrap();
+        }
+        assert_eq!(c.table_names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Table heaps: append-only collections of slotted pages.
+
+use std::sync::Arc;
+
+use bullfrog_common::{PageNo, Row, RowId};
+use parking_lot::{Mutex, RwLock};
+
+use crate::page::Page;
+
+/// A heap of slotted pages holding a table's rows.
+///
+/// - Inserts append to the last page (new pages are allocated under a small
+///   append mutex).
+/// - Rows are addressed by stable [`RowId`]s; deleted slots tombstone and
+///   are never reused.
+/// - Pages are individually latched; scans clone the page list (cheap — it
+///   is a vector of `Arc`s) and then visit pages without holding the list
+///   lock, so long scans never block inserts of new pages.
+pub struct TableHeap {
+    pages: RwLock<Vec<Arc<RwLock<Page>>>>,
+    /// Serializes the "last page full → allocate" decision.
+    append: Mutex<()>,
+    slots_per_page: u16,
+}
+
+impl TableHeap {
+    /// Creates an empty heap with the given page slot count.
+    pub fn new(slots_per_page: u16) -> Self {
+        assert!(slots_per_page > 0, "pages must hold at least one slot");
+        TableHeap {
+            pages: RwLock::new(Vec::new()),
+            append: Mutex::new(()),
+            slots_per_page,
+        }
+    }
+
+    /// Slots per page (the bitmap tracker sizes ordinals with this).
+    pub fn slots_per_page(&self) -> u16 {
+        self.slots_per_page
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    /// Upper bound on row ordinals (= pages × slots/page); the bitmap
+    /// tracker uses this as its capacity.
+    pub fn ordinal_bound(&self) -> u64 {
+        self.num_pages() as u64 * self.slots_per_page as u64
+    }
+
+    /// Number of live rows (O(pages)).
+    pub fn live_count(&self) -> usize {
+        self.snapshot()
+            .iter()
+            .map(|p| p.read().live() as usize)
+            .sum()
+    }
+
+    /// Inserts a row, returning its stable id.
+    pub fn insert(&self, row: Row) -> RowId {
+        let _guard = self.append.lock();
+        // Fast path: last page has room.
+        {
+            let pages = self.pages.read();
+            if let Some(last) = pages.last() {
+                let page_no = (pages.len() - 1) as PageNo;
+                let mut page = last.write();
+                if let Some(slot) = page.append(row.clone()) {
+                    return RowId::new(page_no, slot);
+                }
+            }
+        }
+        // Slow path: allocate a page. Safe because we hold `append`.
+        let mut pages = self.pages.write();
+        let mut page = Page::new(self.slots_per_page);
+        let slot = page
+            .append(row)
+            .expect("fresh page accepts at least one row");
+        pages.push(Arc::new(RwLock::new(page)));
+        RowId::new((pages.len() - 1) as PageNo, slot)
+    }
+
+    /// Reads the live row at `rid`.
+    pub fn get(&self, rid: RowId) -> Option<Row> {
+        let page = self.page(rid.page())?;
+        let guard = page.read();
+        guard.get(rid.slot()).cloned()
+    }
+
+    /// Replaces the live row at `rid`, returning the previous row.
+    pub fn update(&self, rid: RowId, row: Row) -> Option<Row> {
+        let page = self.page(rid.page())?;
+        let mut guard = page.write();
+        guard.update(rid.slot(), row)
+    }
+
+    /// Tombstones the row at `rid`, returning it.
+    pub fn delete(&self, rid: RowId) -> Option<Row> {
+        let page = self.page(rid.page())?;
+        let mut guard = page.write();
+        guard.delete(rid.slot())
+    }
+
+    /// Restores a tombstoned slot (rollback of a delete).
+    pub fn undelete(&self, rid: RowId, row: Row) -> bool {
+        match self.page(rid.page()) {
+            Some(page) => page.write().undelete(rid.slot(), row),
+            None => false,
+        }
+    }
+
+    /// Places a row at an exact id (WAL replay): allocates intermediate
+    /// pages as needed. Fails when the slot is already live or out of page
+    /// capacity.
+    pub fn place(&self, rid: RowId, row: Row) -> bool {
+        if rid.slot() >= self.slots_per_page {
+            return false;
+        }
+        let _guard = self.append.lock();
+        {
+            let mut pages = self.pages.write();
+            while pages.len() <= rid.page() as usize {
+                pages.push(Arc::new(RwLock::new(Page::new(self.slots_per_page))));
+            }
+        }
+        let page = self.page(rid.page()).expect("allocated above");
+        let mut guard = page.write();
+        guard.place(rid.slot(), row)
+    }
+
+    /// Clones the page list for lock-free iteration.
+    fn snapshot(&self) -> Vec<Arc<RwLock<Page>>> {
+        self.pages.read().clone()
+    }
+
+    fn page(&self, page_no: PageNo) -> Option<Arc<RwLock<Page>>> {
+        self.pages.read().get(page_no as usize).cloned()
+    }
+
+    /// Visits every live row; `f` returning `false` stops the scan early.
+    ///
+    /// The scan sees a consistent snapshot of the *page list*; rows inserted
+    /// into already-visited pages during the scan are missed, rows inserted
+    /// into unvisited pages are seen — same as a heap scan in a real engine.
+    pub fn scan(&self, mut f: impl FnMut(RowId, &Row) -> bool) {
+        for (page_no, page) in self.snapshot().into_iter().enumerate() {
+            let guard = page.read();
+            for (slot, row) in guard.iter_live() {
+                if !f(RowId::new(page_no as PageNo, slot), row) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Visits live rows of one page only (page-granularity migration).
+    pub fn scan_page(&self, page_no: PageNo, mut f: impl FnMut(RowId, &Row) -> bool) {
+        if let Some(page) = self.page(page_no) {
+            let guard = page.read();
+            for (slot, row) in guard.iter_live() {
+                if !f(RowId::new(page_no, slot), row) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collects `(RowId, Row)` for every live row (test/loader convenience).
+    pub fn all_rows(&self) -> Vec<(RowId, Row)> {
+        let mut out = Vec::new();
+        self.scan(|rid, row| {
+            out.push((rid, row.clone()));
+            true
+        });
+        out
+    }
+}
+
+impl std::fmt::Debug for TableHeap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableHeap")
+            .field("pages", &self.num_pages())
+            .field("slots_per_page", &self.slots_per_page)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::row;
+
+    #[test]
+    fn insert_assigns_sequential_rids() {
+        let h = TableHeap::new(2);
+        assert_eq!(h.insert(row![1]), RowId::new(0, 0));
+        assert_eq!(h.insert(row![2]), RowId::new(0, 1));
+        assert_eq!(h.insert(row![3]), RowId::new(1, 0));
+        assert_eq!(h.num_pages(), 2);
+        assert_eq!(h.ordinal_bound(), 4);
+    }
+
+    #[test]
+    fn get_update_delete_round_trip() {
+        let h = TableHeap::new(4);
+        let rid = h.insert(row![1, "a"]);
+        assert_eq!(h.get(rid), Some(row![1, "a"]));
+        assert_eq!(h.update(rid, row![2, "b"]), Some(row![1, "a"]));
+        assert_eq!(h.get(rid), Some(row![2, "b"]));
+        assert_eq!(h.delete(rid), Some(row![2, "b"]));
+        assert_eq!(h.get(rid), None);
+        assert_eq!(h.update(rid, row![3, "c"]), None);
+        assert!(h.undelete(rid, row![2, "b"]));
+        assert_eq!(h.get(rid), Some(row![2, "b"]));
+    }
+
+    #[test]
+    fn scan_sees_all_live_rows() {
+        let h = TableHeap::new(3);
+        let rids: Vec<_> = (0..10).map(|i| h.insert(row![i])).collect();
+        h.delete(rids[4]);
+        let mut seen = Vec::new();
+        h.scan(|rid, _| {
+            seen.push(rid);
+            true
+        });
+        assert_eq!(seen.len(), 9);
+        assert!(!seen.contains(&rids[4]));
+        assert_eq!(h.live_count(), 9);
+    }
+
+    #[test]
+    fn scan_early_exit() {
+        let h = TableHeap::new(4);
+        for i in 0..10 {
+            h.insert(row![i]);
+        }
+        let mut n = 0;
+        h.scan(|_, _| {
+            n += 1;
+            n < 3
+        });
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn scan_page_visits_one_page() {
+        let h = TableHeap::new(2);
+        for i in 0..6 {
+            h.insert(row![i]);
+        }
+        let mut seen = Vec::new();
+        h.scan_page(1, |rid, _| {
+            seen.push(rid);
+            true
+        });
+        assert_eq!(seen, vec![RowId::new(1, 0), RowId::new(1, 1)]);
+        // Out-of-range page: no rows, no panic.
+        h.scan_page(99, |_, _| panic!("no rows expected"));
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let h = TableHeap::new(2);
+        assert_eq!(h.get(RowId::new(0, 0)), None);
+        h.insert(row![1]);
+        assert_eq!(h.get(RowId::new(0, 1)), None);
+        assert_eq!(h.get(RowId::new(5, 0)), None);
+    }
+
+    #[test]
+    fn concurrent_inserts_unique_rids() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let h = Arc::new(TableHeap::new(8));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let h = Arc::clone(&h);
+            handles.push(std::thread::spawn(move || {
+                (0..500).map(|i| h.insert(row![t * 1000 + i])).collect::<Vec<_>>()
+            }));
+        }
+        let mut all = HashSet::new();
+        for handle in handles {
+            for rid in handle.join().unwrap() {
+                assert!(all.insert(rid), "duplicate rid {rid}");
+            }
+        }
+        assert_eq!(all.len(), 4000);
+        assert_eq!(h.live_count(), 4000);
+    }
+}

@@ -1,0 +1,220 @@
+//! Slotted pages.
+
+use bullfrog_common::{Row, SlotNo};
+
+/// Default number of row slots per page.
+///
+/// In-memory rows are not byte-packed, so the slot count — not a byte size —
+/// defines the page. 128 slots keeps page-granularity migration (paper
+/// §4.4.3) meaningful while bounding latch hold times.
+pub const DEFAULT_SLOTS_PER_PAGE: u16 = 128;
+
+/// A slot within a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Slot {
+    /// Holds a live row.
+    Live(Row),
+    /// Held a row that was deleted. Tombstones are never reused: `RowId`s
+    /// must stay stable for the lifetime of the table so that migration
+    /// trackers keyed by row id can never alias two different tuples.
+    Tombstone,
+}
+
+impl Slot {
+    /// The row, if live.
+    pub fn row(&self) -> Option<&Row> {
+        match self {
+            Slot::Live(r) => Some(r),
+            Slot::Tombstone => None,
+        }
+    }
+}
+
+/// A fixed-capacity slotted page.
+///
+/// Pages only ever grow (slots are appended until `capacity`), and slots
+/// transition `Live -> Tombstone` (delete) or are overwritten in place
+/// (update / un-delete during transaction rollback).
+#[derive(Debug)]
+pub struct Page {
+    slots: Vec<Slot>,
+    capacity: u16,
+    live: u16,
+}
+
+impl Page {
+    /// Creates an empty page with room for `capacity` slots.
+    pub fn new(capacity: u16) -> Self {
+        Page {
+            slots: Vec::new(),
+            capacity,
+            live: 0,
+        }
+    }
+
+    /// True when no more slots can be appended.
+    pub fn is_full(&self) -> bool {
+        self.slots.len() >= self.capacity as usize
+    }
+
+    /// Number of slots in use (live + tombstoned).
+    pub fn used(&self) -> u16 {
+        self.slots.len() as u16
+    }
+
+    /// Number of live rows.
+    pub fn live(&self) -> u16 {
+        self.live
+    }
+
+    /// Appends a row, returning its slot number, or `None` when full.
+    pub fn append(&mut self, row: Row) -> Option<SlotNo> {
+        if self.is_full() {
+            return None;
+        }
+        let slot = self.slots.len() as SlotNo;
+        self.slots.push(Slot::Live(row));
+        self.live += 1;
+        Some(slot)
+    }
+
+    /// The live row at `slot`, if any.
+    pub fn get(&self, slot: SlotNo) -> Option<&Row> {
+        self.slots.get(slot as usize).and_then(Slot::row)
+    }
+
+    /// Replaces the live row at `slot`; returns the previous row or `None`
+    /// when the slot is vacant/tombstoned.
+    pub fn update(&mut self, slot: SlotNo, row: Row) -> Option<Row> {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ Slot::Live(_)) => {
+                let prev = std::mem::replace(s, Slot::Live(row));
+                match prev {
+                    Slot::Live(r) => Some(r),
+                    Slot::Tombstone => unreachable!("matched Live"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Tombstones the row at `slot`; returns it, or `None` when not live.
+    pub fn delete(&mut self, slot: SlotNo) -> Option<Row> {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ Slot::Live(_)) => {
+                let prev = std::mem::replace(s, Slot::Tombstone);
+                self.live -= 1;
+                match prev {
+                    Slot::Live(r) => Some(r),
+                    Slot::Tombstone => unreachable!("matched Live"),
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Restores a tombstoned slot to `row` (transaction rollback of a
+    /// delete). Returns false when the slot is not a tombstone.
+    pub fn undelete(&mut self, slot: SlotNo, row: Row) -> bool {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ Slot::Tombstone) => {
+                *s = Slot::Live(row);
+                self.live += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Places a row at an exact slot (WAL replay): extends the page with
+    /// tombstones as needed; fails when the slot is already live or beyond
+    /// capacity.
+    pub fn place(&mut self, slot: SlotNo, row: Row) -> bool {
+        if slot >= self.capacity {
+            return false;
+        }
+        while self.slots.len() <= slot as usize {
+            self.slots.push(Slot::Tombstone);
+        }
+        match &mut self.slots[slot as usize] {
+            s @ Slot::Tombstone => {
+                *s = Slot::Live(row);
+                self.live += 1;
+                true
+            }
+            Slot::Live(_) => false,
+        }
+    }
+
+    /// Iterates `(slot, row)` over live rows.
+    pub fn iter_live(&self) -> impl Iterator<Item = (SlotNo, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.row().map(|r| (i as SlotNo, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::row;
+
+    #[test]
+    fn append_until_full() {
+        let mut p = Page::new(2);
+        assert_eq!(p.append(row![1]), Some(0));
+        assert_eq!(p.append(row![2]), Some(1));
+        assert!(p.is_full());
+        assert_eq!(p.append(row![3]), None);
+        assert_eq!(p.live(), 2);
+    }
+
+    #[test]
+    fn delete_tombstones_without_reuse() {
+        let mut p = Page::new(4);
+        p.append(row![1]);
+        p.append(row![2]);
+        assert_eq!(p.delete(0), Some(row![1]));
+        assert_eq!(p.get(0), None);
+        assert_eq!(p.live(), 1);
+        // The freed slot is NOT reused; appends continue at the end.
+        assert_eq!(p.append(row![3]), Some(2));
+        // Double delete is a no-op.
+        assert_eq!(p.delete(0), None);
+    }
+
+    #[test]
+    fn update_only_live_slots() {
+        let mut p = Page::new(4);
+        p.append(row![1]);
+        assert_eq!(p.update(0, row![9]), Some(row![1]));
+        assert_eq!(p.get(0), Some(&row![9]));
+        assert_eq!(p.update(1, row![5]), None, "vacant slot");
+        p.delete(0);
+        assert_eq!(p.update(0, row![5]), None, "tombstoned slot");
+    }
+
+    #[test]
+    fn undelete_restores_rollback() {
+        let mut p = Page::new(4);
+        p.append(row![1]);
+        p.delete(0);
+        assert!(p.undelete(0, row![1]));
+        assert_eq!(p.get(0), Some(&row![1]));
+        assert_eq!(p.live(), 1);
+        // Can't undelete a live slot.
+        assert!(!p.undelete(0, row![2]));
+    }
+
+    #[test]
+    fn iter_live_skips_tombstones() {
+        let mut p = Page::new(4);
+        p.append(row![1]);
+        p.append(row![2]);
+        p.append(row![3]);
+        p.delete(1);
+        let live: Vec<_> = p.iter_live().map(|(s, _)| s).collect();
+        assert_eq!(live, vec![0, 2]);
+    }
+}

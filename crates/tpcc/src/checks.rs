@@ -1,0 +1,197 @@
+//! TPC-C consistency conditions (clause 3.3.2), used by integration tests
+//! before/during/after migrations.
+
+use std::collections::BTreeMap;
+
+use bullfrog_common::{Error, Result};
+use bullfrog_engine::Database;
+
+/// Clause 3.3.2.1: `W_YTD = sum(D_YTD)` per warehouse.
+pub fn check_warehouse_ytd(db: &Database) -> Result<()> {
+    let mut district_sums: BTreeMap<i64, i64> = BTreeMap::new();
+    for (_, d) in db.select_unlocked("district", None)? {
+        *district_sums.entry(d[1].as_i64().unwrap()).or_insert(0) +=
+            d[8].as_i64().unwrap_or(0);
+    }
+    for (_, w) in db.select_unlocked("warehouse", None)? {
+        let w_id = w[0].as_i64().unwrap();
+        let w_ytd = w[7].as_i64().unwrap_or(0);
+        let d_sum = district_sums.get(&w_id).copied().unwrap_or(0);
+        if w_ytd != d_sum {
+            return Err(Error::Internal(format!(
+                "warehouse {w_id}: w_ytd={w_ytd} but sum(d_ytd)={d_sum}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Clause 3.3.2.2 (abridged): `D_NEXT_O_ID - 1 = max(O_ID)` per district.
+pub fn check_district_order_ids(db: &Database) -> Result<()> {
+    let mut max_o: BTreeMap<(i64, i64), i64> = BTreeMap::new();
+    for (_, o) in db.select_unlocked("orders", None)? {
+        let key = (o[0].as_i64().unwrap(), o[1].as_i64().unwrap());
+        let o_id = o[2].as_i64().unwrap();
+        let e = max_o.entry(key).or_insert(0);
+        *e = (*e).max(o_id);
+    }
+    for (_, d) in db.select_unlocked("district", None)? {
+        let key = (d[1].as_i64().unwrap(), d[0].as_i64().unwrap());
+        let next = d[9].as_i64().unwrap();
+        let max = max_o.get(&key).copied().unwrap_or(0);
+        if next - 1 != max {
+            return Err(Error::Internal(format!(
+                "district {key:?}: next_o_id={next} but max(o_id)={max}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// §4.2 invariant: every `order_totals` row equals `SUM(ol_amount)` of its
+/// order's lines.
+pub fn check_order_totals(db: &Database) -> Result<()> {
+    let mut sums: BTreeMap<(i64, i64, i64), i64> = BTreeMap::new();
+    for (_, ol) in db.select_unlocked("order_line", None)? {
+        let key = (
+            ol[0].as_i64().unwrap(),
+            ol[1].as_i64().unwrap(),
+            ol[2].as_i64().unwrap(),
+        );
+        *sums.entry(key).or_insert(0) += ol[8].as_i64().unwrap_or(0);
+    }
+    for (_, t) in db.select_unlocked("order_totals", None)? {
+        let key = (
+            t[0].as_i64().unwrap(),
+            t[1].as_i64().unwrap(),
+            t[2].as_i64().unwrap(),
+        );
+        let total = t[3].as_i64().unwrap_or(0);
+        let expect = sums.get(&key).copied().unwrap_or(0);
+        if total != expect {
+            return Err(Error::Internal(format!(
+                "order_totals {key:?}: stored {total}, lines sum to {expect}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// §4.1 invariant (after migration completes): the split tables contain
+/// exactly the customers of the original table, with matching columns.
+pub fn check_split_complete(db: &Database) -> Result<()> {
+    let customers = db.select_unlocked("customer", None)?;
+    let pubs = db.select_unlocked("customer_pub", None)?;
+    let privs = db.select_unlocked("customer_priv", None)?;
+    if customers.len() != pubs.len() || customers.len() != privs.len() {
+        return Err(Error::Internal(format!(
+            "split cardinality: customer={} pub={} priv={}",
+            customers.len(),
+            pubs.len(),
+            privs.len()
+        )));
+    }
+    let pub_t = db.table("customer_pub")?;
+    let priv_t = db.table("customer_priv")?;
+    for (_, c) in &customers {
+        let key = [c[0].clone(), c[1].clone(), c[2].clone()];
+        let (_, p) = pub_t
+            .get_by_pk(&key)
+            .ok_or_else(|| Error::Internal(format!("pub missing {key:?}")))?;
+        if p[4] != c[4] {
+            return Err(Error::Internal(format!(
+                "pub last-name mismatch for {key:?}: {} vs {}",
+                p[4], c[4]
+            )));
+        }
+        let (_, v) = priv_t
+            .get_by_pk(&key)
+            .ok_or_else(|| Error::Internal(format!("priv missing {key:?}")))?;
+        // Balance may legitimately have moved post-flip; columns that are
+        // immutable in the workload must match.
+        if v[3] != c[10] || v[4] != c[11] {
+            return Err(Error::Internal(format!(
+                "priv credit mismatch for {key:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// §4.3 invariant (after migration completes): `orderline_stock` holds one
+/// row per (order_line, stock row of its item), for the *pre-flip* order
+/// lines. `max_old_rid_rows` is the order_line live count at flip time.
+pub fn check_join_cardinality(db: &Database, old_order_lines: usize) -> Result<()> {
+    // Count stock rows per item.
+    let mut stock_per_item: BTreeMap<i64, i64> = BTreeMap::new();
+    for (_, s) in db.select_unlocked("stock", None)? {
+        *stock_per_item.entry(s[1].as_i64().unwrap()).or_insert(0) += 1;
+    }
+    let mut expected = 0i64;
+    for (_, ol) in db
+        .select_unlocked("order_line", None)?
+        .into_iter()
+        .take(old_order_lines)
+    {
+        expected += stock_per_item
+            .get(&ol[4].as_i64().unwrap())
+            .copied()
+            .unwrap_or(0);
+    }
+    let got = db.table("orderline_stock")?.live_count() as i64;
+    if got < expected {
+        return Err(Error::Internal(format!(
+            "orderline_stock has {got} rows, expected at least {expected}"
+        )));
+    }
+    Ok(())
+}
+
+/// No order is both delivered (carrier set) and still in `neworder`.
+pub fn check_neworder_consistency(db: &Database) -> Result<()> {
+    let pending: std::collections::BTreeSet<(i64, i64, i64)> = db
+        .select_unlocked("neworder", None)?
+        .into_iter()
+        .map(|(_, r)| {
+            (
+                r[0].as_i64().unwrap(),
+                r[1].as_i64().unwrap(),
+                r[2].as_i64().unwrap(),
+            )
+        })
+        .collect();
+    for (_, o) in db.select_unlocked("orders", None)? {
+        let key = (
+            o[0].as_i64().unwrap(),
+            o[1].as_i64().unwrap(),
+            o[2].as_i64().unwrap(),
+        );
+        let delivered = !o[5].is_null();
+        if delivered && pending.contains(&key) {
+            return Err(Error::Internal(format!(
+                "order {key:?} delivered but still pending"
+            )));
+        }
+        if !delivered && !pending.contains(&key) {
+            return Err(Error::Internal(format!(
+                "order {key:?} undelivered but not pending"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load, TpccScale};
+
+    #[test]
+    fn fresh_load_passes_all_checks() {
+        let db = Database::new();
+        load(&db, &TpccScale::tiny()).unwrap();
+        check_warehouse_ytd(&db).unwrap();
+        check_district_order_ids(&db).unwrap();
+        check_neworder_consistency(&db).unwrap();
+    }
+}

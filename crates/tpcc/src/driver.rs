@@ -1,0 +1,273 @@
+//! Transaction-mix driver: parameter generation (per the spec's clauses
+//! 2.4–2.8), the 45/43/4/4/4 mix, retry-on-conflict execution, and the
+//! variant switch at the schema flip.
+
+use bullfrog_common::Error;
+use bullfrog_core::{ClientAccess, SchemaVersion};
+
+use crate::gen::TpccRng;
+use crate::loader::TpccScale;
+use crate::migrations::Scenario;
+use crate::txns::{
+    delivery, new_order, order_status, payment, stock_level, CustomerSelector, DeliveryParams,
+    NewOrderItem, NewOrderParams, OrderStatusParams, PaymentParams, StockLevelParams, Variant,
+};
+
+/// The five transaction types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnKind {
+    /// 45%.
+    NewOrder,
+    /// 43%.
+    Payment,
+    /// 4%.
+    OrderStatus,
+    /// 4%.
+    Delivery,
+    /// 4%.
+    StockLevel,
+}
+
+impl TxnKind {
+    /// Draws a kind at the standard mix percentages.
+    pub fn pick(rng: &mut TpccRng) -> TxnKind {
+        match rng.uniform(1, 100) {
+            1..=45 => TxnKind::NewOrder,
+            46..=88 => TxnKind::Payment,
+            89..=92 => TxnKind::OrderStatus,
+            93..=96 => TxnKind::Delivery,
+            _ => TxnKind::StockLevel,
+        }
+    }
+
+    /// All kinds (reporting).
+    pub fn all() -> [TxnKind; 5] {
+        [
+            TxnKind::NewOrder,
+            TxnKind::Payment,
+            TxnKind::OrderStatus,
+            TxnKind::Delivery,
+            TxnKind::StockLevel,
+        ]
+    }
+}
+
+/// How one transaction attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Committed (possibly after retries).
+    Committed,
+    /// The spec's intentional NewOrder rollback (unused item).
+    UserAbort,
+    /// Gave up after exhausting retries, or hit a non-retryable error.
+    Failed(Error),
+}
+
+impl TxnOutcome {
+    /// Whether the outcome counts as successfully processed work.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TxnOutcome::Committed | TxnOutcome::UserAbort)
+    }
+}
+
+/// Parameter generator + executor for the TPC-C mix.
+pub struct Driver {
+    /// Scale the database was loaded at.
+    pub scale: TpccScale,
+    /// Which post-migration variant to use once the strategy flips.
+    pub scenario: Option<Scenario>,
+    /// Retries on lock conflicts before reporting failure.
+    pub max_retries: usize,
+    /// Probability (percent) of the NewOrder unused-item rollback.
+    pub rollback_pct: u32,
+    /// Mix weights for [NewOrder, Payment, OrderStatus, Delivery,
+    /// StockLevel]; defaults to the spec's 45/43/4/4/4.
+    pub weights: [u32; 5],
+}
+
+impl Driver {
+    /// Driver for a scale and optional scenario.
+    pub fn new(scale: TpccScale, scenario: Option<Scenario>) -> Self {
+        Driver {
+            scale,
+            scenario,
+            max_retries: 20,
+            rollback_pct: 1,
+            weights: [45, 43, 4, 4, 4],
+        }
+    }
+
+    /// Draws a transaction kind at this driver's mix weights.
+    pub fn pick_kind(&self, rng: &mut TpccRng) -> TxnKind {
+        let total: u32 = self.weights.iter().sum();
+        let mut draw = rng.uniform(1, total.max(1) as i64) as u32;
+        for (kind, w) in [
+            TxnKind::NewOrder,
+            TxnKind::Payment,
+            TxnKind::OrderStatus,
+            TxnKind::Delivery,
+            TxnKind::StockLevel,
+        ]
+        .into_iter()
+        .zip(self.weights)
+        {
+            if draw <= w {
+                return kind;
+            }
+            draw -= w;
+        }
+        TxnKind::NewOrder
+    }
+
+    /// Which transaction variant applies right now.
+    pub fn variant(&self, access: &dyn ClientAccess) -> Variant {
+        match (access.version(), self.scenario) {
+            (SchemaVersion::New, Some(Scenario::CustomerSplit)) => Variant::CustomerSplit,
+            (SchemaVersion::New, Some(Scenario::OrderTotals)) => Variant::OrderTotals,
+            (SchemaVersion::New, Some(Scenario::JoinDenorm)) => Variant::JoinDenorm,
+            _ => Variant::Base,
+        }
+    }
+
+    fn customer_selector(&self, rng: &mut TpccRng) -> CustomerSelector {
+        if rng.chance(60) {
+            let bound = (self.scale.customers_per_district / 3 - 1).max(0);
+            let num = rng.nurand(255, 0, bound.min(999));
+            CustomerSelector::LastName(TpccRng::last_name_for(num))
+        } else {
+            CustomerSelector::Id(rng.customer_id(self.scale.customers_per_district))
+        }
+    }
+
+    /// Runs one transaction of `kind`, retrying on lock conflicts with the
+    /// same parameters (per the spec).
+    pub fn run_one(
+        &self,
+        access: &dyn ClientAccess,
+        rng: &mut TpccRng,
+        kind: TxnKind,
+        now: i64,
+    ) -> TxnOutcome {
+        let variant = self.variant(access);
+        let w = rng.uniform(1, self.scale.warehouses);
+        let d = rng.uniform(1, self.scale.districts_per_warehouse);
+
+        enum Params {
+            N(NewOrderParams),
+            P(PaymentParams),
+            O(OrderStatusParams),
+            D(DeliveryParams),
+            S(StockLevelParams),
+        }
+        let params = match kind {
+            TxnKind::NewOrder => {
+                let ol_cnt = rng.uniform(5, 15);
+                let rollback = self.rollback_pct > 0 && rng.chance(self.rollback_pct);
+                let items = (0..ol_cnt)
+                    .map(|n| {
+                        let last = n == ol_cnt - 1;
+                        NewOrderItem {
+                            i_id: if rollback && last {
+                                0
+                            } else {
+                                rng.item_id(self.scale.items)
+                            },
+                            supply_w_id: if self.scale.warehouses > 1 && rng.chance(1) {
+                                // 1% remote supply.
+                                let mut other = rng.uniform(1, self.scale.warehouses);
+                                if other == w {
+                                    other = other % self.scale.warehouses + 1;
+                                }
+                                other
+                            } else {
+                                w
+                            },
+                            quantity: rng.uniform(1, 10),
+                        }
+                    })
+                    .collect();
+                Params::N(NewOrderParams {
+                    w_id: w,
+                    d_id: d,
+                    c_id: rng.customer_id(self.scale.customers_per_district),
+                    items,
+                    now,
+                })
+            }
+            TxnKind::Payment => {
+                // 15% remote customers when there is more than one wh.
+                let (c_w, c_d) = if self.scale.warehouses > 1 && rng.chance(15) {
+                    let mut other = rng.uniform(1, self.scale.warehouses);
+                    if other == w {
+                        other = other % self.scale.warehouses + 1;
+                    }
+                    (other, rng.uniform(1, self.scale.districts_per_warehouse))
+                } else {
+                    (w, d)
+                };
+                Params::P(PaymentParams {
+                    w_id: w,
+                    d_id: d,
+                    c_w_id: c_w,
+                    c_d_id: c_d,
+                    selector: self.customer_selector(rng),
+                    amount: rng.uniform(100, 500_000),
+                    now,
+                })
+            }
+            TxnKind::OrderStatus => Params::O(OrderStatusParams {
+                w_id: w,
+                d_id: d,
+                selector: self.customer_selector(rng),
+            }),
+            TxnKind::Delivery => Params::D(DeliveryParams {
+                w_id: w,
+                districts: self.scale.districts_per_warehouse,
+                carrier: rng.uniform(1, 10),
+                now,
+            }),
+            TxnKind::StockLevel => Params::S(StockLevelParams {
+                w_id: w,
+                d_id: d,
+                threshold: rng.uniform(10, 20),
+            }),
+        };
+
+        let db = access.db();
+        let mut last_err = None;
+        for _ in 0..=self.max_retries {
+            let mut txn = db.begin();
+            let result = match &params {
+                Params::N(p) => new_order(access, &mut txn, variant, p).map(|_| ()),
+                Params::P(p) => payment(access, &mut txn, variant, p).map(|_| ()),
+                Params::O(p) => order_status(access, &mut txn, variant, p).map(|_| ()),
+                Params::D(p) => delivery(access, &mut txn, variant, p).map(|_| ()),
+                Params::S(p) => stock_level(access, &mut txn, variant, p).map(|_| ()),
+            };
+            match result {
+                Ok(()) => match db.commit(&mut txn) {
+                    Ok(()) => return TxnOutcome::Committed,
+                    Err(e) => {
+                        db.abort(&mut txn);
+                        last_err = Some(e);
+                    }
+                },
+                Err(Error::RowNotFound) if kind == TxnKind::NewOrder => {
+                    // The unused-item rollback: abort and count as a
+                    // processed (user-aborted) transaction.
+                    db.abort(&mut txn);
+                    return TxnOutcome::UserAbort;
+                }
+                Err(e) if e.is_retryable() => {
+                    db.abort(&mut txn);
+                    last_err = Some(e);
+                }
+                Err(e) => {
+                    db.abort(&mut txn);
+                    return TxnOutcome::Failed(e);
+                }
+            }
+        }
+        TxnOutcome::Failed(last_err.unwrap_or(Error::Internal("retries exhausted".into())))
+    }
+}

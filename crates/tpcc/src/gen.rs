@@ -1,0 +1,186 @@
+//! TPC-C random generators (clause 2.1.6 and 4.3.2 of the spec).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TPC-C's last-name syllables (clause 4.3.2.3).
+const SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Seeded TPC-C random source. Deterministic per seed so loads and
+/// workloads are reproducible.
+pub struct TpccRng {
+    rng: StdRng,
+    /// C constant for C_LAST NURand (clause 2.1.6.1).
+    c_last: u64,
+    /// C constant for C_ID NURand.
+    c_id: u64,
+    /// C constant for OL_I_ID NURand.
+    c_ol_i_id: u64,
+}
+
+impl TpccRng {
+    /// New generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c_last = rng.gen_range(0..256);
+        let c_id = rng.gen_range(0..1024);
+        let c_ol_i_id = rng.gen_range(0..8192);
+        TpccRng {
+            rng,
+            c_last,
+            c_id,
+            c_ol_i_id,
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive, per the spec).
+    pub fn uniform(&mut self, lo: i64, hi: i64) -> i64 {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform_f(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// NURand(A, x, y) — non-uniform random (clause 2.1.6).
+    pub fn nurand(&mut self, a: u64, x: i64, y: i64) -> i64 {
+        let c = match a {
+            255 => self.c_last,
+            1023 => self.c_id,
+            8191 => self.c_ol_i_id,
+            _ => 0,
+        } as i64;
+        let r1 = self.uniform(0, a as i64);
+        let r2 = self.uniform(x, y);
+        (((r1 | r2) + c) % (y - x + 1)) + x
+    }
+
+    /// Customer id via NURand(1023, 1, n).
+    pub fn customer_id(&mut self, customers_per_district: i64) -> i64 {
+        self.nurand(1023, 1, customers_per_district)
+    }
+
+    /// Item id via NURand(8191, 1, n).
+    pub fn item_id(&mut self, items: i64) -> i64 {
+        self.nurand(8191, 1, items)
+    }
+
+    /// Last name for a number in `[0, 999]` (clause 4.3.2.3).
+    pub fn last_name_for(num: i64) -> String {
+        let num = num.clamp(0, 999) as usize;
+        format!(
+            "{}{}{}",
+            SYLLABLES[num / 100],
+            SYLLABLES[(num / 10) % 10],
+            SYLLABLES[num % 10]
+        )
+    }
+
+    /// A last name for the *load* (NURand over 0..=999 capped by the
+    /// customer count so tiny scales still find their names).
+    pub fn rand_last_name(&mut self, max_num: i64) -> String {
+        let num = self.nurand(255, 0, 999.min(max_num.max(0)));
+        Self::last_name_for(num)
+    }
+
+    /// Alphanumeric string of random length in `[lo, hi]`.
+    pub fn a_string(&mut self, lo: usize, hi: usize) -> String {
+        const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+        let len = self.rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| CHARS[self.rng.gen_range(0..CHARS.len())] as char)
+            .collect()
+    }
+
+    /// Numeric string of random length in `[lo, hi]`.
+    pub fn n_string(&mut self, lo: usize, hi: usize) -> String {
+        let len = self.rng.gen_range(lo..=hi);
+        (0..len)
+            .map(|_| (b'0' + self.rng.gen_range(0..10u8)) as char)
+            .collect()
+    }
+
+    /// True with probability `pct`/100.
+    pub fn chance(&mut self, pct: u32) -> bool {
+        self.rng.gen_range(0..100) < pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_inclusive() {
+        let mut r = TpccRng::new(1);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.uniform(1, 5);
+            assert!((1..=5).contains(&v));
+            seen_lo |= v == 1;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut r = TpccRng::new(7);
+        for _ in 0..5000 {
+            let v = r.nurand(1023, 1, 3000);
+            assert!((1..=3000).contains(&v));
+            let v = r.nurand(8191, 1, 100_000);
+            assert!((1..=100_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn nurand_is_skewed() {
+        // Non-uniformity: the histogram over a small range should be far
+        // from flat (some values much more likely).
+        let mut r = TpccRng::new(3);
+        let mut counts = [0u32; 101];
+        for _ in 0..20_000 {
+            counts[r.nurand(1023, 1, 100) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts[1..].iter().min().unwrap() as f64;
+        assert!(max / (min + 1.0) > 2.0, "expected visible skew");
+    }
+
+    #[test]
+    fn last_names_follow_syllables() {
+        assert_eq!(TpccRng::last_name_for(0), "BARBARBAR");
+        assert_eq!(TpccRng::last_name_for(371), "PRICALLYOUGHT");
+        assert_eq!(TpccRng::last_name_for(999), "EINGEINGEING");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<i64> = {
+            let mut r = TpccRng::new(42);
+            (0..10).map(|_| r.uniform(0, 1000)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut r = TpccRng::new(42);
+            (0..10).map(|_| r.uniform(0, 1000)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn strings_have_requested_lengths() {
+        let mut r = TpccRng::new(9);
+        for _ in 0..100 {
+            let s = r.a_string(8, 16);
+            assert!((8..=16).contains(&s.len()));
+            let n = r.n_string(4, 4);
+            assert_eq!(n.len(), 4);
+            assert!(n.chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! TPC-C for BullFrog: the standard five-transaction workload plus the
+//! paper's schema-migration extensions (§4).
+//!
+//! - [`schema`] — the nine TPC-C tables and their indexes;
+//! - [`gen`] — TPC-C random generators (NURand, last names, a-strings);
+//! - [`loader`] — population at a configurable [`TpccScale`];
+//! - [`txns`] — NewOrder / Payment / OrderStatus / Delivery / StockLevel,
+//!   written against [`ClientAccess`](bullfrog_core::ClientAccess) in both
+//!   the pre-migration ([`Variant::Base`]) and post-migration forms;
+//! - [`migrations`] — the three evolutions evaluated in the paper:
+//!   customer **table split** (§4.1, 1:n → bitmap), order-line
+//!   **aggregation** (§4.2, n:1 → hashmap), and the order_line ⋈ stock
+//!   **join denormalization** (§4.3, n:n → hashmap), plus the FK-annotated
+//!   split variants of §4.5;
+//! - [`driver`] — transaction-mix execution with retries;
+//! - [`checks`] — consistency assertions used by integration tests.
+
+pub mod checks;
+pub mod driver;
+pub mod gen;
+pub mod loader;
+pub mod migrations;
+pub mod schema;
+pub mod txns;
+
+pub use driver::{Driver, TxnKind, TxnOutcome};
+pub use gen::TpccRng;
+pub use loader::{load, TpccScale};
+pub use migrations::Scenario;
+pub use txns::Variant;

@@ -1,0 +1,343 @@
+//! The paper's three schema evolutions over TPC-C, as migration plans.
+
+use bullfrog_common::{ColumnDef, DataType, Result, TableSchema};
+use bullfrog_core::{MigrationPlan, MigrationStatement};
+use bullfrog_engine::Database;
+use bullfrog_query::{AggFunc, ColRef, Expr, SelectSpec};
+
+/// Which evolution an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// §4.1: split `customer` into `customer_pub` + `customer_priv`
+    /// (1:n w.r.t. customer → two bitmap statements).
+    CustomerSplit,
+    /// §4.2: maintain per-order totals of `order_line` in a separate
+    /// `order_totals` table (n:1 → hashmap). Backwards compatible: the
+    /// old tables stay live and post-migration transactions maintain both.
+    OrderTotals,
+    /// §4.3: denormalize `order_line ⋈ stock` (on item id) into
+    /// `orderline_stock` (n:n → hashmap), replacing both tables.
+    JoinDenorm,
+}
+
+/// FOREIGN KEY configurations for the §4.5 constraint experiments
+/// (Figure 12) on the customer split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FkLevel {
+    /// Primary keys only.
+    #[default]
+    None,
+    /// Both split outputs declare `(c_w_id, c_d_id) → district`.
+    District,
+    /// District FKs plus a cross-split FK `customer_priv → customer_pub`.
+    ///
+    /// The paper's wording ("foreign key constraints from the Customer
+    /// table to Order and District") cannot be declared literally —
+    /// `orders(o_w_id, o_d_id, o_c_id)` is not unique, so nothing can
+    /// reference it. The cross-split FK reproduces the *measured effect*:
+    /// every constrained insert forces additional data (the referenced
+    /// slice) to migrate first.
+    OrderAndDistrict,
+}
+
+/// Schema of `customer_pub` (the less private half of the split).
+pub fn customer_pub_schema(fk: FkLevel) -> TableSchema {
+    let mut s = TableSchema::new(
+        "customer_pub",
+        vec![
+            ColumnDef::new("c_w_id", DataType::Int),
+            ColumnDef::new("c_d_id", DataType::Int),
+            ColumnDef::new("c_id", DataType::Int),
+            ColumnDef::new("c_first", DataType::Text),
+            ColumnDef::new("c_last", DataType::Text),
+            ColumnDef::new("c_street", DataType::Text),
+            ColumnDef::new("c_city", DataType::Text),
+            ColumnDef::new("c_state", DataType::Text),
+            ColumnDef::new("c_zip", DataType::Text),
+            ColumnDef::new("c_phone", DataType::Text),
+        ],
+    )
+    .with_primary_key(&["c_w_id", "c_d_id", "c_id"]);
+    if fk != FkLevel::None {
+        s = s.with_foreign_key(
+            "customer_pub_district_fk",
+            &["c_w_id", "c_d_id"],
+            "district",
+            &["d_w_id", "d_id"],
+        );
+    }
+    s
+}
+
+/// Schema of `customer_priv` (the financial half of the split).
+pub fn customer_priv_schema(fk: FkLevel) -> TableSchema {
+    let mut s = TableSchema::new(
+        "customer_priv",
+        vec![
+            ColumnDef::new("c_w_id", DataType::Int),
+            ColumnDef::new("c_d_id", DataType::Int),
+            ColumnDef::new("c_id", DataType::Int),
+            ColumnDef::new("c_credit", DataType::Text),
+            ColumnDef::new("c_credit_lim", DataType::Decimal),
+            ColumnDef::new("c_discount", DataType::Float),
+            ColumnDef::new("c_balance", DataType::Decimal),
+            ColumnDef::new("c_ytd_payment", DataType::Decimal),
+            ColumnDef::new("c_payment_cnt", DataType::Int),
+            ColumnDef::new("c_delivery_cnt", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["c_w_id", "c_d_id", "c_id"]);
+    if fk != FkLevel::None {
+        s = s.with_foreign_key(
+            "customer_priv_district_fk",
+            &["c_w_id", "c_d_id"],
+            "district",
+            &["d_w_id", "d_id"],
+        );
+    }
+    if fk == FkLevel::OrderAndDistrict {
+        s = s.with_foreign_key(
+            "customer_priv_pub_fk",
+            &["c_w_id", "c_d_id", "c_id"],
+            "customer_pub",
+            &["c_w_id", "c_d_id", "c_id"],
+        );
+    }
+    s
+}
+
+/// §4.1 table-split plan (with optional §4.5 FK constraints).
+pub fn customer_split_plan(fk: FkLevel) -> MigrationPlan {
+    let pub_cols = [
+        "c_w_id", "c_d_id", "c_id", "c_first", "c_last", "c_street", "c_city", "c_state",
+        "c_zip", "c_phone",
+    ];
+    let priv_cols = [
+        "c_w_id",
+        "c_d_id",
+        "c_id",
+        "c_credit",
+        "c_credit_lim",
+        "c_discount",
+        "c_balance",
+        "c_ytd_payment",
+        "c_payment_cnt",
+        "c_delivery_cnt",
+    ];
+    let mut pub_spec = SelectSpec::new().from_table("customer", "c");
+    for col in pub_cols {
+        pub_spec = pub_spec.select(col, Expr::col("c", col));
+    }
+    let mut priv_spec = SelectSpec::new().from_table("customer", "c");
+    for col in priv_cols {
+        priv_spec = priv_spec.select(col, Expr::col("c", col));
+    }
+    MigrationPlan::new("customer_split")
+        .with_statement(MigrationStatement::new(customer_pub_schema(fk), pub_spec))
+        .with_statement(MigrationStatement::new(customer_priv_schema(fk), priv_spec))
+}
+
+/// As [`customer_split_plan`] with page-granularity bitmap tracking
+/// (§4.4.3, Figure 11).
+pub fn customer_split_plan_granular(fk: FkLevel, granule_rows: u64) -> MigrationPlan {
+    let mut plan = customer_split_plan(fk);
+    for s in &mut plan.statements {
+        s.granule_rows = granule_rows.max(1);
+    }
+    plan
+}
+
+/// Schema of the §4.2 `order_totals` table.
+pub fn order_totals_schema() -> TableSchema {
+    TableSchema::new(
+        "order_totals",
+        vec![
+            ColumnDef::new("ot_w_id", DataType::Int),
+            ColumnDef::new("ot_d_id", DataType::Int),
+            ColumnDef::new("ot_o_id", DataType::Int),
+            ColumnDef::nullable("ot_total", DataType::Decimal),
+        ],
+    )
+    .with_primary_key(&["ot_w_id", "ot_d_id", "ot_o_id"])
+}
+
+/// §4.2 aggregation plan: per-order `SUM(ol_amount)` materialized as a
+/// table the application co-maintains. Backwards compatible, and the old
+/// tables stay writable (post-migration transactions insert order lines
+/// *and* maintain `order_totals`; lazy migration covers the pre-existing
+/// orders, whose totals are stable).
+pub fn order_totals_plan() -> MigrationPlan {
+    let spec = SelectSpec::new()
+        .from_table("order_line", "ol")
+        .select("ot_w_id", Expr::col("ol", "ol_w_id"))
+        .select("ot_d_id", Expr::col("ol", "ol_d_id"))
+        .select("ot_o_id", Expr::col("ol", "ol_o_id"))
+        .select_agg("ot_total", AggFunc::Sum, Expr::col("ol", "ol_amount"));
+    let mut plan = MigrationPlan::new("order_totals")
+        .with_statement(MigrationStatement::new(order_totals_schema(), spec))
+        .backwards_compatible();
+    plan.freeze_inputs = false;
+    plan
+}
+
+/// Schema of the §4.3 `orderline_stock` denormalization.
+pub fn orderline_stock_schema() -> TableSchema {
+    TableSchema::new(
+        "orderline_stock",
+        vec![
+            ColumnDef::new("ol_w_id", DataType::Int),
+            ColumnDef::new("ol_d_id", DataType::Int),
+            ColumnDef::new("ol_o_id", DataType::Int),
+            ColumnDef::new("ol_number", DataType::Int),
+            ColumnDef::new("ol_i_id", DataType::Int),
+            ColumnDef::nullable("ol_delivery_d", DataType::Timestamp),
+            ColumnDef::new("ol_quantity", DataType::Int),
+            ColumnDef::new("ol_amount", DataType::Decimal),
+            ColumnDef::new("s_w_id", DataType::Int),
+            ColumnDef::new("s_quantity", DataType::Int),
+            ColumnDef::new("s_ytd", DataType::Decimal),
+            ColumnDef::new("s_order_cnt", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "s_w_id"])
+}
+
+/// §4.3 join-denormalization plan: `order_line ⋈ stock ON ol_i_id =
+/// s_i_id` — a many-to-many join (each item id appears in many order lines
+/// and in one stock row per warehouse), tracked by a hashmap keyed on the
+/// join attribute (§3.6's group option).
+pub fn orderline_stock_plan() -> MigrationPlan {
+    let spec = SelectSpec::new()
+        .from_table("order_line", "ol")
+        .from_table("stock", "s")
+        .join_on(ColRef::new("ol", "ol_i_id"), ColRef::new("s", "s_i_id"))
+        .select("ol_w_id", Expr::col("ol", "ol_w_id"))
+        .select("ol_d_id", Expr::col("ol", "ol_d_id"))
+        .select("ol_o_id", Expr::col("ol", "ol_o_id"))
+        .select("ol_number", Expr::col("ol", "ol_number"))
+        .select("ol_i_id", Expr::col("ol", "ol_i_id"))
+        .select("ol_delivery_d", Expr::col("ol", "ol_delivery_d"))
+        .select("ol_quantity", Expr::col("ol", "ol_quantity"))
+        .select("ol_amount", Expr::col("ol", "ol_amount"))
+        .select("s_w_id", Expr::col("s", "s_w_id"))
+        .select("s_quantity", Expr::col("s", "s_quantity"))
+        .select("s_ytd", Expr::col("s", "s_ytd"))
+        .select("s_order_cnt", Expr::col("s", "s_order_cnt"));
+    MigrationPlan::new("orderline_stock")
+        .with_statement(MigrationStatement::new(orderline_stock_schema(), spec))
+}
+
+impl Scenario {
+    /// The plan for this scenario (split uses [`FkLevel::None`]).
+    pub fn plan(self) -> MigrationPlan {
+        match self {
+            Scenario::CustomerSplit => customer_split_plan(FkLevel::None),
+            Scenario::OrderTotals => order_totals_plan(),
+            Scenario::JoinDenorm => orderline_stock_plan(),
+        }
+    }
+
+    /// Creates the secondary indexes post-migration transactions rely on;
+    /// call right after submitting/registering the plan (output tables
+    /// must exist).
+    pub fn create_output_indexes(self, db: &Database) -> Result<()> {
+        match self {
+            Scenario::CustomerSplit => db.create_index(
+                "customer_pub",
+                "customer_pub_last_idx",
+                &["c_w_id", "c_d_id", "c_last"],
+                false,
+            ),
+            Scenario::OrderTotals => Ok(()),
+            Scenario::JoinDenorm => {
+                db.create_index(
+                    "orderline_stock",
+                    "orderline_stock_item_idx",
+                    &["ol_i_id"],
+                    false,
+                )?;
+                db.create_index(
+                    "orderline_stock",
+                    "orderline_stock_order_idx",
+                    &["ol_w_id", "ol_d_id", "ol_o_id"],
+                    false,
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::{load, TpccScale};
+    use bullfrog_core::{MigrationCategory, Tracking};
+
+    fn loaded_db() -> Database {
+        let db = Database::new();
+        load(&db, &TpccScale::tiny()).unwrap();
+        db
+    }
+
+    #[test]
+    fn split_resolves_to_two_bitmaps() {
+        let db = loaded_db();
+        let mut plan = customer_split_plan(FkLevel::None);
+        plan.resolve(&db).unwrap();
+        assert_eq!(plan.statements.len(), 2);
+        for s in &plan.statements {
+            assert_eq!(s.category(), MigrationCategory::OneToOne);
+            assert!(matches!(s.tracking(), Tracking::Bitmap { .. }));
+        }
+        assert!(plan.big_flip);
+    }
+
+    #[test]
+    fn totals_resolve_to_hashmap_n_to_1() {
+        let db = loaded_db();
+        let mut plan = order_totals_plan();
+        plan.resolve(&db).unwrap();
+        let s = &plan.statements[0];
+        assert_eq!(s.category(), MigrationCategory::ManyToOne);
+        match s.tracking() {
+            Tracking::Hash { key_alias, key_exprs } => {
+                assert_eq!(key_alias, "ol");
+                assert_eq!(key_exprs.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!plan.big_flip);
+        assert!(!plan.freeze_inputs);
+    }
+
+    #[test]
+    fn join_resolves_to_hashmap_n_to_n() {
+        let db = loaded_db();
+        let mut plan = orderline_stock_plan();
+        plan.resolve(&db).unwrap();
+        let s = &plan.statements[0];
+        assert_eq!(s.category(), MigrationCategory::ManyToMany);
+        assert!(matches!(s.tracking(), Tracking::Hash { .. }));
+    }
+
+    #[test]
+    fn fk_levels_add_constraints() {
+        assert!(customer_priv_schema(FkLevel::None).foreign_keys.is_empty());
+        assert_eq!(
+            customer_priv_schema(FkLevel::District).foreign_keys.len(),
+            1
+        );
+        assert_eq!(
+            customer_priv_schema(FkLevel::OrderAndDistrict)
+                .foreign_keys
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn granular_plan_sets_page_granules() {
+        let plan = customer_split_plan_granular(FkLevel::None, 64);
+        assert!(plan.statements.iter().all(|s| s.granule_rows == 64));
+    }
+}

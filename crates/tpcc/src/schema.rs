@@ -1,0 +1,247 @@
+//! The nine TPC-C tables (clause 1.3), trimmed only of filler columns
+//! (`*_data` padding is shortened, per-district stock strings dropped) —
+//! every column a transaction or migration touches is present.
+
+use bullfrog_common::{ColumnDef, DataType, Result, TableSchema};
+use bullfrog_engine::Database;
+
+/// warehouse(w_id, name, street, city, state, zip, tax, ytd)
+pub fn warehouse() -> TableSchema {
+    TableSchema::new(
+        "warehouse",
+        vec![
+            ColumnDef::new("w_id", DataType::Int),
+            ColumnDef::new("w_name", DataType::Text),
+            ColumnDef::new("w_street", DataType::Text),
+            ColumnDef::new("w_city", DataType::Text),
+            ColumnDef::new("w_state", DataType::Text),
+            ColumnDef::new("w_zip", DataType::Text),
+            ColumnDef::new("w_tax", DataType::Float),
+            ColumnDef::new("w_ytd", DataType::Decimal),
+        ],
+    )
+    .with_primary_key(&["w_id"])
+}
+
+/// district(d_id, w_id, name, ..., tax, ytd, next_o_id)
+pub fn district() -> TableSchema {
+    TableSchema::new(
+        "district",
+        vec![
+            ColumnDef::new("d_id", DataType::Int),
+            ColumnDef::new("d_w_id", DataType::Int),
+            ColumnDef::new("d_name", DataType::Text),
+            ColumnDef::new("d_street", DataType::Text),
+            ColumnDef::new("d_city", DataType::Text),
+            ColumnDef::new("d_state", DataType::Text),
+            ColumnDef::new("d_zip", DataType::Text),
+            ColumnDef::new("d_tax", DataType::Float),
+            ColumnDef::new("d_ytd", DataType::Decimal),
+            ColumnDef::new("d_next_o_id", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["d_w_id", "d_id"])
+}
+
+/// customer — the table split by the §4.1 migration.
+pub fn customer() -> TableSchema {
+    TableSchema::new(
+        "customer",
+        vec![
+            ColumnDef::new("c_w_id", DataType::Int),
+            ColumnDef::new("c_d_id", DataType::Int),
+            ColumnDef::new("c_id", DataType::Int),
+            ColumnDef::new("c_first", DataType::Text),
+            ColumnDef::new("c_last", DataType::Text),
+            ColumnDef::new("c_street", DataType::Text),
+            ColumnDef::new("c_city", DataType::Text),
+            ColumnDef::new("c_state", DataType::Text),
+            ColumnDef::new("c_zip", DataType::Text),
+            ColumnDef::new("c_phone", DataType::Text),
+            ColumnDef::new("c_credit", DataType::Text),
+            ColumnDef::new("c_credit_lim", DataType::Decimal),
+            ColumnDef::new("c_discount", DataType::Float),
+            ColumnDef::new("c_balance", DataType::Decimal),
+            ColumnDef::new("c_ytd_payment", DataType::Decimal),
+            ColumnDef::new("c_payment_cnt", DataType::Int),
+            ColumnDef::new("c_delivery_cnt", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["c_w_id", "c_d_id", "c_id"])
+}
+
+/// history(h_c_id, h_c_d_id, h_c_w_id, h_d_id, h_w_id, h_date, h_amount, h_data)
+pub fn history() -> TableSchema {
+    TableSchema::new(
+        "history",
+        vec![
+            ColumnDef::new("h_c_id", DataType::Int),
+            ColumnDef::new("h_c_d_id", DataType::Int),
+            ColumnDef::new("h_c_w_id", DataType::Int),
+            ColumnDef::new("h_d_id", DataType::Int),
+            ColumnDef::new("h_w_id", DataType::Int),
+            ColumnDef::new("h_date", DataType::Timestamp),
+            ColumnDef::new("h_amount", DataType::Decimal),
+            ColumnDef::new("h_data", DataType::Text),
+        ],
+    )
+}
+
+/// neworder(no_o_id, no_d_id, no_w_id)
+pub fn neworder() -> TableSchema {
+    TableSchema::new(
+        "neworder",
+        vec![
+            ColumnDef::new("no_w_id", DataType::Int),
+            ColumnDef::new("no_d_id", DataType::Int),
+            ColumnDef::new("no_o_id", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["no_w_id", "no_d_id", "no_o_id"])
+}
+
+/// orders(o_id, o_d_id, o_w_id, o_c_id, o_entry_d, o_carrier_id, o_ol_cnt, o_all_local)
+pub fn orders() -> TableSchema {
+    TableSchema::new(
+        "orders",
+        vec![
+            ColumnDef::new("o_w_id", DataType::Int),
+            ColumnDef::new("o_d_id", DataType::Int),
+            ColumnDef::new("o_id", DataType::Int),
+            ColumnDef::new("o_c_id", DataType::Int),
+            ColumnDef::new("o_entry_d", DataType::Timestamp),
+            ColumnDef::nullable("o_carrier_id", DataType::Int),
+            ColumnDef::new("o_ol_cnt", DataType::Int),
+            ColumnDef::new("o_all_local", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["o_w_id", "o_d_id", "o_id"])
+}
+
+/// order_line — input of the §4.2 aggregation and §4.3 join migrations.
+pub fn order_line() -> TableSchema {
+    TableSchema::new(
+        "order_line",
+        vec![
+            ColumnDef::new("ol_w_id", DataType::Int),
+            ColumnDef::new("ol_d_id", DataType::Int),
+            ColumnDef::new("ol_o_id", DataType::Int),
+            ColumnDef::new("ol_number", DataType::Int),
+            ColumnDef::new("ol_i_id", DataType::Int),
+            ColumnDef::new("ol_supply_w_id", DataType::Int),
+            ColumnDef::nullable("ol_delivery_d", DataType::Timestamp),
+            ColumnDef::new("ol_quantity", DataType::Int),
+            ColumnDef::new("ol_amount", DataType::Decimal),
+            ColumnDef::new("ol_dist_info", DataType::Text),
+        ],
+    )
+    .with_primary_key(&["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"])
+}
+
+/// item(i_id, i_im_id, i_name, i_price, i_data)
+pub fn item() -> TableSchema {
+    TableSchema::new(
+        "item",
+        vec![
+            ColumnDef::new("i_id", DataType::Int),
+            ColumnDef::new("i_im_id", DataType::Int),
+            ColumnDef::new("i_name", DataType::Text),
+            ColumnDef::new("i_price", DataType::Decimal),
+            ColumnDef::new("i_data", DataType::Text),
+        ],
+    )
+    .with_primary_key(&["i_id"])
+}
+
+/// stock(s_i_id, s_w_id, s_quantity, s_ytd, s_order_cnt, s_remote_cnt, s_data)
+pub fn stock() -> TableSchema {
+    TableSchema::new(
+        "stock",
+        vec![
+            ColumnDef::new("s_w_id", DataType::Int),
+            ColumnDef::new("s_i_id", DataType::Int),
+            ColumnDef::new("s_quantity", DataType::Int),
+            ColumnDef::new("s_ytd", DataType::Decimal),
+            ColumnDef::new("s_order_cnt", DataType::Int),
+            ColumnDef::new("s_remote_cnt", DataType::Int),
+            ColumnDef::new("s_data", DataType::Text),
+        ],
+    )
+    .with_primary_key(&["s_w_id", "s_i_id"])
+}
+
+/// Creates all nine tables and their secondary indexes.
+pub fn create_all(db: &Database) -> Result<()> {
+    db.create_table(warehouse())?;
+    db.create_table(district())?;
+    db.create_table(customer())?;
+    db.create_table(history())?;
+    db.create_table(item())?;
+    db.create_table(stock())?;
+    db.create_table(orders())?;
+    db.create_table(neworder())?;
+    db.create_table(order_line())?;
+    // Secondary indexes the transactions rely on.
+    db.create_index(
+        "customer",
+        "customer_last_idx",
+        &["c_w_id", "c_d_id", "c_last"],
+        false,
+    )?;
+    db.create_index(
+        "orders",
+        "orders_customer_idx",
+        &["o_w_id", "o_d_id", "o_c_id"],
+        false,
+    )?;
+    db.create_index("order_line", "order_line_item_idx", &["ol_i_id"], false)?;
+    db.create_index("stock", "stock_item_idx", &["s_i_id"], false)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_all_builds_nine_tables_plus_indexes() {
+        let db = Database::new();
+        create_all(&db).unwrap();
+        let names = db.catalog().table_names();
+        assert_eq!(names.len(), 9);
+        for t in [
+            "warehouse",
+            "district",
+            "customer",
+            "history",
+            "neworder",
+            "orders",
+            "order_line",
+            "item",
+            "stock",
+        ] {
+            assert!(names.contains(&t.to_string()), "{t} missing");
+        }
+        assert!(db
+            .table("customer")
+            .unwrap()
+            .index("customer_last_idx")
+            .is_some());
+        assert!(db
+            .table("order_line")
+            .unwrap()
+            .index("order_line_item_idx")
+            .is_some());
+    }
+
+    #[test]
+    fn history_has_no_primary_key() {
+        assert!(history().primary_key.is_empty());
+    }
+
+    #[test]
+    fn composite_pks_resolve() {
+        let ol = order_line();
+        assert_eq!(ol.pk_indices().unwrap(), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! The Delivery transaction (TPC-C clause 2.7) — 4% of the mix. Delivers
+//! the oldest undelivered order of every district of a warehouse.
+
+use bullfrog_common::{Error, Result, Value};
+use bullfrog_core::ClientAccess;
+use bullfrog_engine::LockPolicy;
+use bullfrog_query::Expr;
+use bullfrog_txn::Transaction;
+
+use super::helpers::{bump_decimal, bump_int, fin_cols, find_customer, CustomerSelector};
+use super::Variant;
+
+/// Delivery inputs.
+#[derive(Debug, Clone)]
+pub struct DeliveryParams {
+    /// Warehouse being delivered.
+    pub w_id: i64,
+    /// Districts per warehouse (loop bound).
+    pub districts: i64,
+    /// Carrier id (1..=10).
+    pub carrier: i64,
+    /// Delivery timestamp (µs).
+    pub now: i64,
+}
+
+/// Runs Delivery; returns how many districts had an order to deliver.
+pub fn delivery(
+    access: &dyn ClientAccess,
+    txn: &mut Transaction,
+    variant: Variant,
+    p: &DeliveryParams,
+) -> Result<usize> {
+    let mut delivered = 0;
+    for d in 1..=p.districts {
+        // Oldest undelivered order.
+        let pred = Expr::column("no_w_id")
+            .eq(Expr::lit(p.w_id))
+            .and(Expr::column("no_d_id").eq(Expr::lit(d)));
+        let pending = access.select(txn, "neworder", Some(&pred), LockPolicy::Exclusive)?;
+        let Some((no_rid, no_row)) = pending
+            .into_iter()
+            .min_by_key(|(_, r)| r[2].as_i64().unwrap_or(i64::MAX))
+        else {
+            continue; // this district is fully delivered
+        };
+        let o_id = no_row[2].as_i64().ok_or(Error::RowNotFound)?;
+        access.delete(txn, "neworder", no_rid)?;
+
+        // Mark the order delivered.
+        let o_key = [Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)];
+        let (o_rid, mut o_row) = access
+            .get_by_pk(txn, "orders", &o_key, LockPolicy::Exclusive)?
+            .ok_or(Error::RowNotFound)?;
+        let c_id = o_row[3].as_i64().ok_or(Error::RowNotFound)?;
+        o_row.set(5, Value::Int(p.carrier));
+        access.update(txn, "orders", o_rid, o_row)?;
+
+        // Total the order's lines and stamp their delivery date.
+        let total = match variant {
+            Variant::JoinDenorm => {
+                let pred = Expr::column("ol_w_id")
+                    .eq(Expr::lit(p.w_id))
+                    .and(Expr::column("ol_d_id").eq(Expr::lit(d)))
+                    .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
+                let rows =
+                    access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Exclusive)?;
+                // One row per (line, stock-wh): sum each line once.
+                let mut seen = std::collections::BTreeSet::new();
+                let mut total = 0i64;
+                for (rid, mut row) in rows {
+                    let n = row[3].as_i64().unwrap_or(0);
+                    if seen.insert(n) {
+                        total += row[7].as_i64().unwrap_or(0);
+                    }
+                    row.set(5, Value::Timestamp(p.now));
+                    access.update(txn, "orderline_stock", rid, row)?;
+                }
+                total
+            }
+            Variant::OrderTotals => {
+                // §4.2: read the maintained aggregate instead of summing —
+                // this get is what lazily migrates the group.
+                let key = [Value::Int(p.w_id), Value::Int(d), Value::Int(o_id)];
+                let total = access
+                    .get_by_pk(txn, "order_totals", &key, LockPolicy::Shared)?
+                    .map(|(_, r)| r[3].as_i64().unwrap_or(0))
+                    .ok_or_else(|| {
+                        Error::Internal(format!(
+                            "order_totals missing for ({}, {d}, {o_id})",
+                            p.w_id
+                        ))
+                    })?;
+                // Delivery dates still live on order_line.
+                let pred = Expr::column("ol_w_id")
+                    .eq(Expr::lit(p.w_id))
+                    .and(Expr::column("ol_d_id").eq(Expr::lit(d)))
+                    .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
+                for (rid, mut row) in
+                    access.select(txn, "order_line", Some(&pred), LockPolicy::Exclusive)?
+                {
+                    row.set(6, Value::Timestamp(p.now));
+                    access.update(txn, "order_line", rid, row)?;
+                }
+                total
+            }
+            _ => {
+                let pred = Expr::column("ol_w_id")
+                    .eq(Expr::lit(p.w_id))
+                    .and(Expr::column("ol_d_id").eq(Expr::lit(d)))
+                    .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
+                let rows =
+                    access.select(txn, "order_line", Some(&pred), LockPolicy::Exclusive)?;
+                let mut total = 0i64;
+                for (rid, mut row) in rows {
+                    total += row[8].as_i64().unwrap_or(0);
+                    row.set(6, Value::Timestamp(p.now));
+                    access.update(txn, "order_line", rid, row)?;
+                }
+                total
+            }
+        };
+
+        // Credit the customer.
+        let customer = find_customer(
+            access,
+            txn,
+            variant,
+            p.w_id,
+            d,
+            &CustomerSelector::Id(c_id),
+            LockPolicy::Exclusive,
+        )?;
+        let cols = fin_cols(variant);
+        let mut updated = bump_decimal(&customer.fin_row, cols.balance, total)?;
+        updated = bump_int(&updated, cols.delivery_cnt, 1)?;
+        access.update(txn, customer.fin_table, customer.fin_rid, updated)?;
+        delivered += 1;
+    }
+    Ok(delivered)
+}

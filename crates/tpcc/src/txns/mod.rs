@@ -1,0 +1,37 @@
+//! The five TPC-C transactions, written against
+//! [`ClientAccess`](bullfrog_core::ClientAccess) in both the original and
+//! the post-migration schema shapes.
+//!
+//! Each transaction takes a [`Variant`] deciding which physical tables it
+//! touches — [`Variant::Base`] is standard TPC-C; the others are the
+//! paper's §4 post-migration rewrites. The workload driver switches
+//! variants the moment the strategy reports
+//! [`SchemaVersion::New`](bullfrog_core::SchemaVersion::New) (the paper's
+//! big flip of the front-end instances).
+
+mod delivery;
+mod helpers;
+mod new_order;
+mod order_status;
+mod payment;
+mod stock_level;
+
+pub use delivery::{delivery, DeliveryParams};
+pub use helpers::CustomerSelector;
+pub use new_order::{new_order, NewOrderItem, NewOrderParams};
+pub use order_status::{order_status, OrderStatusParams};
+pub use payment::{payment, PaymentParams};
+pub use stock_level::{stock_level, StockLevelParams};
+
+/// Which schema generation the transaction bodies run against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The original nine-table TPC-C schema.
+    Base,
+    /// §4.1: `customer` split into `customer_pub` + `customer_priv`.
+    CustomerSplit,
+    /// §4.2: `order_totals` co-maintained next to `order_line`.
+    OrderTotals,
+    /// §4.3: `orderline_stock` replaces `order_line` and `stock`.
+    JoinDenorm,
+}

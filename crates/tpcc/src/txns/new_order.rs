@@ -1,0 +1,224 @@
+//! The NewOrder transaction (TPC-C clause 2.4) — 45% of the mix.
+
+use bullfrog_common::{Error, Result, Row, Value};
+use bullfrog_core::ClientAccess;
+use bullfrog_engine::LockPolicy;
+use bullfrog_query::Expr;
+use bullfrog_txn::Transaction;
+
+use super::helpers::{bump_int, find_customer, CustomerSelector};
+use super::Variant;
+
+/// One order line request.
+#[derive(Debug, Clone)]
+pub struct NewOrderItem {
+    /// Item id; an id of 0 models the spec's 1% "unused item" that forces
+    /// a user abort after some work was done.
+    pub i_id: i64,
+    /// Supplying warehouse.
+    pub supply_w_id: i64,
+    /// Quantity ordered.
+    pub quantity: i64,
+}
+
+/// NewOrder inputs.
+#[derive(Debug, Clone)]
+pub struct NewOrderParams {
+    /// Home warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Customer.
+    pub c_id: i64,
+    /// 5–15 order lines.
+    pub items: Vec<NewOrderItem>,
+    /// Entry timestamp (µs).
+    pub now: i64,
+}
+
+/// Runs NewOrder; returns the order id. An `Err(RowNotFound)` from an
+/// item id of 0 is the spec's intentional 1% rollback.
+pub fn new_order(
+    access: &dyn ClientAccess,
+    txn: &mut Transaction,
+    variant: Variant,
+    p: &NewOrderParams,
+) -> Result<i64> {
+    let w_key = [Value::Int(p.w_id)];
+    let (_, _warehouse) = access
+        .get_by_pk(txn, "warehouse", &w_key, LockPolicy::Shared)?
+        .ok_or(Error::RowNotFound)?;
+
+    // Customer discount/credit first (see payment.rs: any lazy-migration
+    // wait must happen before the hot district lock is held).
+    let customer = find_customer(
+        access,
+        txn,
+        variant,
+        p.w_id,
+        p.d_id,
+        &CustomerSelector::Id(p.c_id),
+        LockPolicy::Shared,
+    )?;
+    let _ = customer.discount;
+
+    // District: take the next order id.
+    let d_key = [Value::Int(p.w_id), Value::Int(p.d_id)];
+    let (d_rid, d_row) = access
+        .get_by_pk(txn, "district", &d_key, LockPolicy::Exclusive)?
+        .ok_or(Error::RowNotFound)?;
+    let o_id = d_row[9].as_i64().ok_or(Error::RowNotFound)?;
+    access.update(txn, "district", d_rid, bump_int(&d_row, 9, 1)?)?;
+
+    // Order + NewOrder rows.
+    let all_local = p.items.iter().all(|i| i.supply_w_id == p.w_id) as i64;
+    access.insert(
+        txn,
+        "orders",
+        Row(vec![
+            Value::Int(p.w_id),
+            Value::Int(p.d_id),
+            Value::Int(o_id),
+            Value::Int(p.c_id),
+            Value::Timestamp(p.now),
+            Value::Null,
+            Value::Int(p.items.len() as i64),
+            Value::Int(all_local),
+        ]),
+    )?;
+    access.insert(
+        txn,
+        "neworder",
+        Row(vec![Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]),
+    )?;
+
+    let mut total: i64 = 0;
+    for (n, line) in p.items.iter().enumerate() {
+        if line.i_id == 0 {
+            // Unused item: the spec's forced rollback path.
+            return Err(Error::RowNotFound);
+        }
+        let (_, item) = access
+            .get_by_pk(txn, "item", &[Value::Int(line.i_id)], LockPolicy::Shared)?
+            .ok_or(Error::RowNotFound)?;
+        let price = item[3].as_i64().unwrap_or(0);
+        let amount = price * line.quantity;
+        total += amount;
+
+        match variant {
+            Variant::JoinDenorm => {
+                // The stock state lives embedded in orderline_stock: read
+                // the item's current embedded quantity (this is what pulls
+                // the item's group through lazy migration)...
+                let probe = Expr::column("ol_i_id")
+                    .eq(Expr::lit(line.i_id))
+                    .and(Expr::column("s_w_id").eq(Expr::lit(line.supply_w_id)));
+                let existing =
+                    access.select(txn, "orderline_stock", Some(&probe), LockPolicy::Shared)?;
+                let (s_qty, s_ytd, s_cnt) = existing
+                    .iter()
+                    .map(|(_, r)| {
+                        (
+                            r[9].as_i64().unwrap_or(50),
+                            r[10].as_i64().unwrap_or(0),
+                            r[11].as_i64().unwrap_or(0),
+                        )
+                    })
+                    .max_by_key(|(_, _, cnt)| *cnt)
+                    .unwrap_or((50, 0, 0));
+                let new_qty = if s_qty - line.quantity >= 10 {
+                    s_qty - line.quantity
+                } else {
+                    s_qty - line.quantity + 91
+                };
+                // ...and append the denormalized order line carrying the
+                // updated embedded stock columns (denormalization accepts
+                // that older rows keep their stale embedded copies).
+                access.insert(
+                    txn,
+                    "orderline_stock",
+                    Row(vec![
+                        Value::Int(p.w_id),
+                        Value::Int(p.d_id),
+                        Value::Int(o_id),
+                        Value::Int((n + 1) as i64),
+                        Value::Int(line.i_id),
+                        Value::Null,
+                        Value::Int(line.quantity),
+                        Value::Decimal(amount),
+                        Value::Int(line.supply_w_id),
+                        Value::Int(new_qty),
+                        Value::Decimal(s_ytd + line.quantity),
+                        Value::Int(s_cnt + 1),
+                    ]),
+                )?;
+            }
+            _ => {
+                // Stock FOR UPDATE.
+                let s_key = [Value::Int(line.supply_w_id), Value::Int(line.i_id)];
+                let (s_rid, s_row) = access
+                    .get_by_pk(txn, "stock", &s_key, LockPolicy::Exclusive)?
+                    .ok_or(Error::RowNotFound)?;
+                let s_qty = s_row[2].as_i64().unwrap_or(0);
+                let new_qty = if s_qty - line.quantity >= 10 {
+                    s_qty - line.quantity
+                } else {
+                    s_qty - line.quantity + 91
+                };
+                let mut new_stock = s_row.clone();
+                new_stock.set(2, Value::Int(new_qty));
+                new_stock.set(
+                    3,
+                    Value::Decimal(s_row[3].as_i64().unwrap_or(0) + line.quantity),
+                );
+                new_stock.set(4, Value::Int(s_row[4].as_i64().unwrap_or(0) + 1));
+                access.update(txn, "stock", s_rid, new_stock)?;
+
+                access.insert(
+                    txn,
+                    "order_line",
+                    Row(vec![
+                        Value::Int(p.w_id),
+                        Value::Int(p.d_id),
+                        Value::Int(o_id),
+                        Value::Int((n + 1) as i64),
+                        Value::Int(line.i_id),
+                        Value::Int(line.supply_w_id),
+                        Value::Null,
+                        Value::Int(line.quantity),
+                        Value::Decimal(amount),
+                        Value::text("dist-info"),
+                    ]),
+                )?;
+            }
+        }
+    }
+
+    // §4.2 variant: the application co-maintains the aggregate table.
+    // Upsert: reading the key first lets BullFrog's lazy machinery settle
+    // the group (it may have just computed it from this very
+    // transaction's order lines), then the app writes the final total.
+    if variant == Variant::OrderTotals {
+        let key = [Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)];
+        match access.get_by_pk(txn, "order_totals", &key, LockPolicy::Exclusive)? {
+            Some((rid, row)) => {
+                let mut updated = row;
+                updated.set(3, Value::Decimal(total));
+                access.update(txn, "order_totals", rid, updated)?;
+            }
+            None => {
+                access.insert(
+                    txn,
+                    "order_totals",
+                    Row(vec![
+                        Value::Int(p.w_id),
+                        Value::Int(p.d_id),
+                        Value::Int(o_id),
+                        Value::Decimal(total),
+                    ]),
+                )?;
+            }
+        }
+    }
+    Ok(o_id)
+}

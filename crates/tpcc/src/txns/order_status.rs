@@ -1,0 +1,106 @@
+//! The OrderStatus transaction (TPC-C clause 2.6) — 4% of the mix,
+//! read-only.
+
+use bullfrog_common::{Error, Result};
+use bullfrog_core::ClientAccess;
+use bullfrog_engine::LockPolicy;
+use bullfrog_query::Expr;
+use bullfrog_txn::Transaction;
+
+use super::helpers::{find_customer, CustomerSelector};
+use super::Variant;
+
+/// OrderStatus inputs.
+#[derive(Debug, Clone)]
+pub struct OrderStatusParams {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Customer selector (60% by last name).
+    pub selector: CustomerSelector,
+}
+
+/// Result: the customer's balance, last order id, and its line count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderStatusResult {
+    /// Balance at read time.
+    pub balance: i64,
+    /// Most recent order id (None when the customer never ordered).
+    pub last_order: Option<i64>,
+    /// Lines in that order.
+    pub lines: usize,
+}
+
+/// Runs OrderStatus.
+pub fn order_status(
+    access: &dyn ClientAccess,
+    txn: &mut Transaction,
+    variant: Variant,
+    p: &OrderStatusParams,
+) -> Result<OrderStatusResult> {
+    let customer = find_customer(
+        access,
+        txn,
+        variant,
+        p.w_id,
+        p.d_id,
+        &p.selector,
+        LockPolicy::Shared,
+    )?;
+
+    // Most recent order of the customer.
+    let pred = Expr::column("o_w_id")
+        .eq(Expr::lit(p.w_id))
+        .and(Expr::column("o_d_id").eq(Expr::lit(p.d_id)))
+        .and(Expr::column("o_c_id").eq(Expr::lit(customer.c_id)));
+    let orders = access.select(txn, "orders", Some(&pred), LockPolicy::Shared)?;
+    let last = orders
+        .iter()
+        .filter_map(|(_, r)| r[2].as_i64())
+        .max();
+    let Some(o_id) = last else {
+        return Ok(OrderStatusResult {
+            balance: customer.balance,
+            last_order: None,
+            lines: 0,
+        });
+    };
+
+    // Its order lines.
+    let lines = match variant {
+        Variant::JoinDenorm => {
+            let pred = Expr::column("ol_w_id")
+                .eq(Expr::lit(p.w_id))
+                .and(Expr::column("ol_d_id").eq(Expr::lit(p.d_id)))
+                .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
+            let rows = access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Shared)?;
+            // The denormalized table has one row per (line, stock-wh) pair.
+            let mut numbers: Vec<i64> =
+                rows.iter().filter_map(|(_, r)| r[3].as_i64()).collect();
+            numbers.sort_unstable();
+            numbers.dedup();
+            numbers.len()
+        }
+        _ => {
+            let pred = Expr::column("ol_w_id")
+                .eq(Expr::lit(p.w_id))
+                .and(Expr::column("ol_d_id").eq(Expr::lit(p.d_id)))
+                .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
+            access
+                .select(txn, "order_line", Some(&pred), LockPolicy::Shared)?
+                .len()
+        }
+    };
+    if lines == 0 {
+        return Err(Error::Internal(format!(
+            "order ({}, {}, {o_id}) has no lines",
+            p.w_id, p.d_id
+        )));
+    }
+    Ok(OrderStatusResult {
+        balance: customer.balance,
+        last_order: Some(o_id),
+        lines,
+    })
+}

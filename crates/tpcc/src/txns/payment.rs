@@ -1,0 +1,85 @@
+//! The Payment transaction (TPC-C clause 2.5) — 43% of the mix.
+
+use bullfrog_common::{Error, Result, Row, Value};
+use bullfrog_core::ClientAccess;
+use bullfrog_engine::LockPolicy;
+use bullfrog_txn::Transaction;
+
+use super::helpers::{bump_decimal, bump_int, fin_cols, find_customer, CustomerSelector};
+use super::Variant;
+
+/// Payment inputs.
+#[derive(Debug, Clone)]
+pub struct PaymentParams {
+    /// Warehouse receiving the payment.
+    pub w_id: i64,
+    /// District receiving the payment.
+    pub d_id: i64,
+    /// Customer's home warehouse (15% remote per spec).
+    pub c_w_id: i64,
+    /// Customer's home district.
+    pub c_d_id: i64,
+    /// Customer selector (60% by last name).
+    pub selector: CustomerSelector,
+    /// Payment amount (cents).
+    pub amount: i64,
+    /// Timestamp (µs).
+    pub now: i64,
+}
+
+/// Runs Payment; returns the paying customer's id.
+pub fn payment(
+    access: &dyn ClientAccess,
+    txn: &mut Transaction,
+    variant: Variant,
+    p: &PaymentParams,
+) -> Result<i64> {
+    // Customer financials FIRST: on a migrating schema this op may block
+    // on lazy migration, and it must do so before this transaction holds
+    // the hot warehouse/district locks (the paper runs migration work
+    // before the client transaction for the same reason).
+    let customer = find_customer(
+        access,
+        txn,
+        variant,
+        p.c_w_id,
+        p.c_d_id,
+        &p.selector,
+        LockPolicy::Exclusive,
+    )?;
+    let cols = fin_cols(variant);
+    let mut updated = bump_decimal(&customer.fin_row, cols.balance, -p.amount)?;
+    updated = bump_decimal(&updated, cols.ytd, p.amount)?;
+    updated = bump_int(&updated, cols.pay_cnt, 1)?;
+    access.update(txn, customer.fin_table, customer.fin_rid, updated)?;
+
+    // Warehouse YTD.
+    let (w_rid, w_row) = access
+        .get_by_pk(txn, "warehouse", &[Value::Int(p.w_id)], LockPolicy::Exclusive)?
+        .ok_or(Error::RowNotFound)?;
+    access.update(txn, "warehouse", w_rid, bump_decimal(&w_row, 7, p.amount)?)?;
+
+    // District YTD.
+    let d_key = [Value::Int(p.w_id), Value::Int(p.d_id)];
+    let (d_rid, d_row) = access
+        .get_by_pk(txn, "district", &d_key, LockPolicy::Exclusive)?
+        .ok_or(Error::RowNotFound)?;
+    access.update(txn, "district", d_rid, bump_decimal(&d_row, 8, p.amount)?)?;
+
+    // History record.
+    access.insert(
+        txn,
+        "history",
+        Row(vec![
+            Value::Int(customer.c_id),
+            Value::Int(p.c_d_id),
+            Value::Int(p.c_w_id),
+            Value::Int(p.d_id),
+            Value::Int(p.w_id),
+            Value::Timestamp(p.now),
+            Value::Decimal(p.amount),
+            Value::text("payment"),
+        ]),
+    )?;
+    Ok(customer.c_id)
+}

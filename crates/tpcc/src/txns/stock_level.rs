@@ -1,0 +1,82 @@
+//! The StockLevel transaction (TPC-C clause 2.8) — 4% of the mix,
+//! read-only. Counts distinct items in the district's last 20 orders whose
+//! stock is below a threshold.
+
+use bullfrog_common::{Error, Result, Value};
+use bullfrog_core::ClientAccess;
+use bullfrog_engine::LockPolicy;
+use bullfrog_query::Expr;
+use bullfrog_txn::Transaction;
+
+use super::Variant;
+
+/// StockLevel inputs.
+#[derive(Debug, Clone)]
+pub struct StockLevelParams {
+    /// Warehouse.
+    pub w_id: i64,
+    /// District.
+    pub d_id: i64,
+    /// Quantity threshold (10..=20 per spec).
+    pub threshold: i64,
+}
+
+/// Runs StockLevel; returns the low-stock distinct item count.
+pub fn stock_level(
+    access: &dyn ClientAccess,
+    txn: &mut Transaction,
+    variant: Variant,
+    p: &StockLevelParams,
+) -> Result<i64> {
+    // District's next order id bounds the window.
+    let d_key = [Value::Int(p.w_id), Value::Int(p.d_id)];
+    let (_, d_row) = access
+        .get_by_pk(txn, "district", &d_key, LockPolicy::Shared)?
+        .ok_or(Error::RowNotFound)?;
+    let next_o = d_row[9].as_i64().ok_or(Error::RowNotFound)?;
+    let lo = (next_o - 20).max(1);
+
+    match variant {
+        Variant::JoinDenorm => {
+            // The denormalized table answers the query directly — this is
+            // the read the §4.3 migration was designed to accelerate.
+            let pred = Expr::column("ol_w_id")
+                .eq(Expr::lit(p.w_id))
+                .and(Expr::column("ol_d_id").eq(Expr::lit(p.d_id)))
+                .and(Expr::column("ol_o_id").ge(Expr::lit(lo)))
+                .and(Expr::column("ol_o_id").lt(Expr::lit(next_o)))
+                .and(Expr::column("s_w_id").eq(Expr::lit(p.w_id)))
+                .and(Expr::column("s_quantity").lt(Expr::lit(p.threshold)));
+            let rows =
+                access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Shared)?;
+            let mut items: Vec<i64> = rows.iter().filter_map(|(_, r)| r[4].as_i64()).collect();
+            items.sort_unstable();
+            items.dedup();
+            Ok(items.len() as i64)
+        }
+        _ => {
+            // Recent order lines, then probe stock per distinct item.
+            let pred = Expr::column("ol_w_id")
+                .eq(Expr::lit(p.w_id))
+                .and(Expr::column("ol_d_id").eq(Expr::lit(p.d_id)))
+                .and(Expr::column("ol_o_id").ge(Expr::lit(lo)))
+                .and(Expr::column("ol_o_id").lt(Expr::lit(next_o)));
+            let rows = access.select(txn, "order_line", Some(&pred), LockPolicy::Shared)?;
+            let mut items: Vec<i64> = rows.iter().filter_map(|(_, r)| r[4].as_i64()).collect();
+            items.sort_unstable();
+            items.dedup();
+            let mut low = 0;
+            for i in items {
+                let s_key = [Value::Int(p.w_id), Value::Int(i)];
+                if let Some((_, s_row)) =
+                    access.get_by_pk(txn, "stock", &s_key, LockPolicy::Shared)?
+                {
+                    if s_row[2].as_i64().unwrap_or(i64::MAX) < p.threshold {
+                        low += 1;
+                    }
+                }
+            }
+            Ok(low)
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Unit-level tests of each TPC-C transaction body against a freshly
+//! loaded database (base variant), checking the exact row mutations the
+//! spec prescribes.
+
+use std::sync::Arc;
+
+use bullfrog_common::Value;
+use bullfrog_core::Passthrough;
+use bullfrog_engine::{Database, DbConfig};
+use bullfrog_tpcc::txns::{
+    delivery, new_order, order_status, payment, stock_level, CustomerSelector, DeliveryParams,
+    NewOrderItem, NewOrderParams, OrderStatusParams, PaymentParams, StockLevelParams, Variant,
+};
+use bullfrog_tpcc::{load, TpccScale};
+
+fn setup() -> (Arc<Database>, Passthrough, TpccScale) {
+    let db = Arc::new(Database::with_config(DbConfig {
+        enforce_fk_on_delete: false,
+        ..Default::default()
+    }));
+    let scale = TpccScale::tiny();
+    load(&db, &scale).unwrap();
+    let access = Passthrough::new(Arc::clone(&db));
+    (db, access, scale)
+}
+
+#[test]
+fn new_order_mutates_everything_the_spec_says() {
+    let (db, access, scale) = setup();
+    let next_before = db
+        .table("district")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1)])
+        .unwrap()
+        .1[9]
+        .as_i64()
+        .unwrap();
+    let stock_before = db
+        .table("stock")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(5)])
+        .unwrap()
+        .1[2]
+        .as_i64()
+        .unwrap();
+
+    let p = NewOrderParams {
+        w_id: 1,
+        d_id: 1,
+        c_id: 3,
+        items: vec![
+            NewOrderItem { i_id: 5, supply_w_id: 1, quantity: 4 },
+            NewOrderItem { i_id: 6, supply_w_id: 1, quantity: 2 },
+        ],
+        now: 42,
+    };
+    let mut txn = db.begin();
+    let o_id = new_order(&access, &mut txn, Variant::Base, &p).unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(o_id, next_before);
+
+    // District advanced.
+    let next_after = db
+        .table("district")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1)])
+        .unwrap()
+        .1[9]
+        .as_i64()
+        .unwrap();
+    assert_eq!(next_after, next_before + 1);
+    // Order, neworder, and two order lines exist.
+    let okey = [Value::Int(1), Value::Int(1), Value::Int(o_id)];
+    let (_, o) = db.table("orders").unwrap().get_by_pk(&okey).unwrap();
+    assert_eq!(o[3], Value::Int(3));
+    assert_eq!(o[6], Value::Int(2));
+    assert!(db.table("neworder").unwrap().get_by_pk(&okey).is_some());
+    let lines = db
+        .select_unlocked(
+            "order_line",
+            Some(
+                &bullfrog_query::Expr::column("ol_o_id")
+                    .eq(bullfrog_query::Expr::lit(o_id))
+                    .and(bullfrog_query::Expr::column("ol_d_id").eq(bullfrog_query::Expr::lit(1))),
+            ),
+        )
+        .unwrap();
+    assert_eq!(lines.len(), 2);
+    // Stock decreased (no reorder wrap at these quantities).
+    let stock_after = db
+        .table("stock")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(5)])
+        .unwrap()
+        .1[2]
+        .as_i64()
+        .unwrap();
+    if stock_before - 4 >= 10 {
+        assert_eq!(stock_after, stock_before - 4);
+    } else {
+        assert_eq!(stock_after, stock_before - 4 + 91);
+    }
+    let _ = scale;
+}
+
+#[test]
+fn new_order_rollback_leaves_no_trace() {
+    let (db, access, _) = setup();
+    let next_before = db
+        .table("district")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1)])
+        .unwrap()
+        .1[9]
+        .as_i64()
+        .unwrap();
+    let orders_before = db.table("orders").unwrap().live_count();
+    let p = NewOrderParams {
+        w_id: 1,
+        d_id: 1,
+        c_id: 3,
+        items: vec![
+            NewOrderItem { i_id: 5, supply_w_id: 1, quantity: 4 },
+            NewOrderItem { i_id: 0, supply_w_id: 1, quantity: 1 }, // unused item
+        ],
+        now: 42,
+    };
+    let mut txn = db.begin();
+    assert!(new_order(&access, &mut txn, Variant::Base, &p).is_err());
+    db.abort(&mut txn);
+    assert_eq!(db.table("orders").unwrap().live_count(), orders_before);
+    let next_after = db
+        .table("district")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1)])
+        .unwrap()
+        .1[9]
+        .as_i64()
+        .unwrap();
+    assert_eq!(next_after, next_before, "district increment rolled back");
+}
+
+#[test]
+fn payment_moves_exact_amounts() {
+    let (db, access, _) = setup();
+    let w_ytd = db.table("warehouse").unwrap().get_by_pk(&[Value::Int(1)]).unwrap().1[7]
+        .as_i64()
+        .unwrap();
+    let c_key = [Value::Int(1), Value::Int(1), Value::Int(2)];
+    let bal = db.table("customer").unwrap().get_by_pk(&c_key).unwrap().1[13]
+        .as_i64()
+        .unwrap();
+
+    let p = PaymentParams {
+        w_id: 1,
+        d_id: 1,
+        c_w_id: 1,
+        c_d_id: 1,
+        selector: CustomerSelector::Id(2),
+        amount: 12_345,
+        now: 7,
+    };
+    let mut txn = db.begin();
+    let c_id = payment(&access, &mut txn, Variant::Base, &p).unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(c_id, 2);
+    assert_eq!(
+        db.table("warehouse").unwrap().get_by_pk(&[Value::Int(1)]).unwrap().1[7]
+            .as_i64()
+            .unwrap(),
+        w_ytd + 12_345
+    );
+    let c = db.table("customer").unwrap().get_by_pk(&c_key).unwrap().1;
+    assert_eq!(c[13].as_i64().unwrap(), bal - 12_345);
+    assert_eq!(c[15], Value::Int(2)); // payment_cnt 1 -> 2
+}
+
+#[test]
+fn payment_by_last_name_picks_middle_match() {
+    let (db, access, _) = setup();
+    // Loader gives the first third deterministic names; find one.
+    let name = bullfrog_tpcc::TpccRng::last_name_for(0);
+    let p = PaymentParams {
+        w_id: 1,
+        d_id: 1,
+        c_w_id: 1,
+        c_d_id: 1,
+        selector: CustomerSelector::LastName(name.clone()),
+        amount: 100,
+        now: 7,
+    };
+    let mut txn = db.begin();
+    let c_id = payment(&access, &mut txn, Variant::Base, &p).unwrap();
+    db.commit(&mut txn).unwrap();
+    // The paid customer really has that last name.
+    let c = db
+        .table("customer")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1), Value::Int(c_id)])
+        .unwrap()
+        .1;
+    assert_eq!(c[4], Value::text(name));
+}
+
+#[test]
+fn delivery_clears_oldest_new_orders_and_credits_customers() {
+    let (db, access, scale) = setup();
+    let pending_before = db.table("neworder").unwrap().live_count();
+    assert!(pending_before > 0);
+    let p = DeliveryParams {
+        w_id: 1,
+        districts: scale.districts_per_warehouse,
+        carrier: 7,
+        now: 99,
+    };
+    let mut txn = db.begin();
+    let delivered = delivery(&access, &mut txn, Variant::Base, &p).unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(delivered, scale.districts_per_warehouse as usize);
+    assert_eq!(
+        db.table("neworder").unwrap().live_count(),
+        pending_before - delivered
+    );
+    // The delivered orders now carry the carrier id.
+    let first_new = scale.first_new_order();
+    let o = db
+        .table("orders")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1), Value::Int(1), Value::Int(first_new)])
+        .unwrap()
+        .1;
+    assert_eq!(o[5], Value::Int(7));
+}
+
+#[test]
+fn order_status_reports_last_order() {
+    let (db, access, _) = setup();
+    let p = OrderStatusParams {
+        w_id: 1,
+        d_id: 1,
+        selector: CustomerSelector::Id(1),
+    };
+    let mut txn = db.begin();
+    let st = order_status(&access, &mut txn, Variant::Base, &p).unwrap();
+    db.commit(&mut txn).unwrap();
+    if let Some(o) = st.last_order {
+        assert!(o >= 1);
+        assert!(st.lines >= 5, "TPC-C orders have at least 5 lines");
+    }
+}
+
+#[test]
+fn stock_level_counts_low_items() {
+    let (db, access, _) = setup();
+    // Threshold above any possible quantity counts every recent item;
+    // threshold 0 counts none.
+    let mut txn = db.begin();
+    let all = stock_level(
+        &access,
+        &mut txn,
+        Variant::Base,
+        &StockLevelParams { w_id: 1, d_id: 1, threshold: 1_000_000 },
+    )
+    .unwrap();
+    let none = stock_level(
+        &access,
+        &mut txn,
+        Variant::Base,
+        &StockLevelParams { w_id: 1, d_id: 1, threshold: 0 },
+    )
+    .unwrap();
+    db.commit(&mut txn).unwrap();
+    assert!(all > 0);
+    assert_eq!(none, 0);
+}

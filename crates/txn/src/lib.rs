@@ -1,0 +1,27 @@
+//! Transactions for BullFrog: strict two-phase locking, undo records,
+//! and a redo write-ahead log.
+//!
+//! The migration algorithms in `bullfrog-core` need exactly two guarantees
+//! from this layer (paper §3.2):
+//!
+//! 1. **Atomic migration transactions** — a batch of inserts into the new
+//!    schema either all commit or all roll back, so the tracker bits can be
+//!    flipped *after* commit and reset *after* abort.
+//! 2. **Conflict isolation** — client transactions on overlapping data
+//!    conflict through ordinary row locks, never through the migration
+//!    trackers (those have their own latches).
+//!
+//! Deadlock handling follows the paper's spirit ("Dividing work into
+//! multiple transactions simplifies abort handling and avoids deadlock"):
+//! lock waits carry a deadline, and a timeout aborts the requesting
+//! transaction, which retries.
+
+pub mod lock;
+pub mod manager;
+pub mod undo;
+pub mod wal;
+
+pub use lock::{LockKey, LockManager, LockMode};
+pub use manager::{Transaction, TxnManager, TxnState};
+pub use undo::UndoRecord;
+pub use wal::{LogRecord, Wal};

@@ -1,0 +1,527 @@
+//! The lock manager: hierarchical strict two-phase locking.
+//!
+//! Tables take intention locks (`IS`/`IX`), scans and DDL take `S`/`X`
+//! table locks, and individual rows take `S`/`X`. Lock waits are bounded by
+//! a deadline; timing out returns [`Error::LockTimeout`] and the caller is
+//! expected to abort and retry — this is the deadlock-avoidance policy.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
+
+use bullfrog_common::{Error, Result, RowId, TableId, TxnId};
+use parking_lot::{Condvar, Mutex};
+
+/// Lock modes, in the classical hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    /// Intention shared (table level).
+    IS,
+    /// Intention exclusive (table level).
+    IX,
+    /// Shared.
+    S,
+    /// Shared + intention exclusive (table level).
+    SIX,
+    /// Exclusive.
+    X,
+}
+
+impl LockMode {
+    /// The standard multigranularity compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
+                | (IX, IS) | (IX, IX)
+                | (S, IS) | (S, S)
+                | (SIX, IS)
+        )
+    }
+
+    /// Least upper bound of two modes — the mode a transaction holds after
+    /// requesting `other` while already holding `self` (lock upgrade).
+    pub fn combine(self, other: LockMode) -> LockMode {
+        use LockMode::*;
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (X, _) | (_, X) => X,
+            (SIX, _) | (_, SIX) => SIX,
+            (S, IX) | (IX, S) => SIX,
+            (S, IS) | (IS, S) => S,
+            (IX, IS) | (IS, IX) => IX,
+            _ => unreachable!("covered by the equality fast path"),
+        }
+    }
+
+    /// True when holding `self` already implies `other`'s permissions.
+    pub fn covers(self, other: LockMode) -> bool {
+        self.combine(other) == self
+    }
+}
+
+/// What a lock protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKey {
+    /// A whole table.
+    Table(TableId),
+    /// One row.
+    Row(TableId, RowId),
+}
+
+impl LockKey {
+    /// The table this key belongs to (for error messages).
+    pub fn table(self) -> TableId {
+        match self {
+            LockKey::Table(t) | LockKey::Row(t, _) => t,
+        }
+    }
+}
+
+/// Per-key lock state: which transactions hold which modes, plus a FIFO
+/// wait queue for fairness (without it, a continuous stream of compatible
+/// intention locks starves table-X requests — exactly what an eager
+/// migration needs).
+#[derive(Debug, Default)]
+struct LockState {
+    holders: Vec<(TxnId, LockMode)>,
+    waiters: Vec<(TxnId, LockMode)>,
+}
+
+impl LockState {
+    /// Can `txn` acquire `mode` given the other holders and the queue?
+    /// Transactions that already hold the key (lock upgrades) bypass the
+    /// queue; everyone else must be compatible with all waiters ahead of
+    /// them, so a queued writer blocks later readers.
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        let compatible_with_holders = self
+            .holders
+            .iter()
+            .filter(|(t, _)| *t != txn)
+            .all(|(_, held)| held.compatible(mode));
+        if !compatible_with_holders {
+            return false;
+        }
+        if self.held_mode(txn).is_some() {
+            return true; // upgrade: jump the queue
+        }
+        for (t, waiting_mode) in &self.waiters {
+            if *t == txn {
+                return true; // everyone ahead of us is compatible
+            }
+            if !waiting_mode.compatible(mode) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn enqueue(&mut self, txn: TxnId, mode: LockMode) {
+        if !self.waiters.iter().any(|(t, _)| *t == txn) {
+            self.waiters.push((txn, mode));
+        }
+    }
+
+    fn dequeue(&mut self, txn: TxnId) {
+        self.waiters.retain(|(t, _)| *t != txn);
+    }
+
+    fn grant(&mut self, txn: TxnId, mode: LockMode) {
+        if let Some(slot) = self.holders.iter_mut().find(|(t, _)| *t == txn) {
+            slot.1 = slot.1.combine(mode);
+        } else {
+            self.holders.push((txn, mode));
+        }
+    }
+
+    fn held_mode(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
+    }
+}
+
+struct Shard {
+    locks: Mutex<HashMap<LockKey, LockState>>,
+    /// Woken whenever any lock in this shard is released.
+    released: Condvar,
+}
+
+/// The sharded lock table.
+///
+/// Granting a lock takes one shard mutex; waiting blocks on the shard's
+/// condvar and rechecks on every release. Shards remove the obvious global
+/// bottleneck (the paper partitions its migration data structures for the
+/// same reason).
+pub struct LockManager {
+    shards: Vec<Shard>,
+    default_timeout: Duration,
+}
+
+/// Number of lock-table shards (power of two).
+const SHARDS: usize = 64;
+
+impl LockManager {
+    /// Creates a lock manager with the given wait deadline.
+    pub fn new(default_timeout: Duration) -> Self {
+        LockManager {
+            shards: (0..SHARDS)
+                .map(|_| Shard {
+                    locks: Mutex::new(HashMap::new()),
+                    released: Condvar::new(),
+                })
+                .collect(),
+            default_timeout,
+        }
+    }
+
+    /// The configured lock-wait deadline.
+    pub fn timeout(&self) -> Duration {
+        self.default_timeout
+    }
+
+    fn shard(&self, key: &LockKey) -> &Shard {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// Acquires `mode` on `key` for `txn`, blocking up to the default
+    /// deadline. Returns `true` when this call made `txn` a **new holder**
+    /// of the key (callers record it for release exactly once); upgrades of
+    /// an already-held key return `false`.
+    pub fn acquire(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<bool> {
+        self.acquire_deadline(txn, key, mode, self.default_timeout)
+    }
+
+    /// As [`LockManager::acquire`] with an explicit deadline.
+    pub fn acquire_deadline(
+        &self,
+        txn: TxnId,
+        key: LockKey,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<bool> {
+        let shard = self.shard(&key);
+        let deadline = Instant::now() + timeout;
+        let mut locks = shard.locks.lock();
+        loop {
+            let state = locks.entry(key).or_default();
+            if let Some(held) = state.held_mode(txn) {
+                if held.covers(mode) {
+                    state.dequeue(txn);
+                    return Ok(false); // already strong enough
+                }
+            }
+            if state.grantable(txn, mode) {
+                let newly = state.held_mode(txn).is_none();
+                state.grant(txn, mode);
+                state.dequeue(txn);
+                // A grant can unblock queued requests behind us (e.g. two
+                // queued readers); let them recheck.
+                shard.released.notify_all();
+                return Ok(newly);
+            }
+            state.enqueue(txn, mode);
+            if shard.released.wait_until(&mut locks, deadline).timed_out() {
+                if let Some(state) = locks.get_mut(&key) {
+                    state.dequeue(txn);
+                    if state.holders.is_empty() && state.waiters.is_empty() {
+                        locks.remove(&key);
+                    }
+                }
+                shard.released.notify_all();
+                return Err(Error::LockTimeout {
+                    txn,
+                    table: key.table(),
+                });
+            }
+        }
+    }
+
+    /// Non-blocking acquire; `Ok(false)`/`Ok(true)` as in `acquire`, error
+    /// when the lock is unavailable *now*.
+    pub fn try_acquire(&self, txn: TxnId, key: LockKey, mode: LockMode) -> Result<bool> {
+        let shard = self.shard(&key);
+        let mut locks = shard.locks.lock();
+        let state = locks.entry(key).or_default();
+        if let Some(held) = state.held_mode(txn) {
+            if held.covers(mode) {
+                return Ok(false);
+            }
+        }
+        if state.grantable(txn, mode) {
+            let newly = state.held_mode(txn).is_none();
+            state.grant(txn, mode);
+            Ok(newly)
+        } else {
+            Err(Error::LockTimeout {
+                txn,
+                table: key.table(),
+            })
+        }
+    }
+
+    /// Releases every given key held by `txn` (commit/abort time — strict
+    /// 2PL never releases early).
+    pub fn release_all(&self, txn: TxnId, keys: impl IntoIterator<Item = LockKey>) {
+        for key in keys {
+            let shard = self.shard(&key);
+            let mut locks = shard.locks.lock();
+            if let Some(state) = locks.get_mut(&key) {
+                state.holders.retain(|(t, _)| *t != txn);
+                state.dequeue(txn);
+                if state.holders.is_empty() && state.waiters.is_empty() {
+                    locks.remove(&key);
+                }
+            }
+            shard.released.notify_all();
+        }
+    }
+
+    /// The mode `txn` currently holds on `key`, if any (diagnostics).
+    pub fn held(&self, txn: TxnId, key: LockKey) -> Option<LockMode> {
+        self.shard(&key).locks.lock().get(&key)?.held_mode(txn)
+    }
+
+    /// Total number of keys with at least one holder (diagnostics/tests).
+    pub fn locked_key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.locks.lock().len()).sum()
+    }
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("locked_keys", &self.locked_key_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const TABLE: TableId = TableId(1);
+
+    fn row(n: u16) -> LockKey {
+        LockKey::Row(TABLE, RowId::new(0, n))
+    }
+
+    fn lm() -> LockManager {
+        LockManager::new(Duration::from_millis(20))
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        let compat = [
+            (IS, IS, true),
+            (IS, IX, true),
+            (IS, S, true),
+            (IS, SIX, true),
+            (IS, X, false),
+            (IX, IX, true),
+            (IX, S, false),
+            (IX, SIX, false),
+            (IX, X, false),
+            (S, S, true),
+            (S, SIX, false),
+            (S, X, false),
+            (SIX, SIX, false),
+            (SIX, X, false),
+            (X, X, false),
+        ];
+        for (a, b, expect) in compat {
+            assert_eq!(a.compatible(b), expect, "{a:?} vs {b:?}");
+            assert_eq!(b.compatible(a), expect, "{b:?} vs {a:?} (symmetry)");
+        }
+    }
+
+    #[test]
+    fn combine_lattice() {
+        use LockMode::*;
+        assert_eq!(S.combine(IX), SIX);
+        assert_eq!(IX.combine(S), SIX);
+        assert_eq!(IS.combine(IX), IX);
+        assert_eq!(S.combine(X), X);
+        assert_eq!(SIX.combine(IS), SIX);
+        assert!(X.covers(S));
+        assert!(SIX.covers(IX));
+        assert!(!S.covers(IX));
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = lm();
+        assert!(lm.acquire(T1, row(1), LockMode::S).unwrap());
+        assert!(lm.acquire(T2, row(1), LockMode::S).unwrap());
+        assert_eq!(lm.held(T1, row(1)), Some(LockMode::S));
+        assert_eq!(lm.held(T2, row(1)), Some(LockMode::S));
+    }
+
+    #[test]
+    fn exclusive_blocks_until_timeout() {
+        let lm = lm();
+        lm.acquire(T1, row(1), LockMode::X).unwrap();
+        let err = lm.acquire(T2, row(1), LockMode::S).unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { txn: T2, .. }));
+    }
+
+    #[test]
+    fn reacquire_is_idempotent() {
+        let lm = lm();
+        assert!(lm.acquire(T1, row(1), LockMode::X).unwrap());
+        assert!(!lm.acquire(T1, row(1), LockMode::X).unwrap());
+        assert!(!lm.acquire(T1, row(1), LockMode::S).unwrap(), "X covers S");
+    }
+
+    #[test]
+    fn upgrade_s_to_x_when_sole_holder() {
+        let lm = lm();
+        assert!(lm.acquire(T1, row(1), LockMode::S).unwrap());
+        // Upgrade succeeds but the txn is not a *new* holder.
+        assert!(!lm.acquire(T1, row(1), LockMode::X).unwrap());
+        assert_eq!(lm.held(T1, row(1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = lm();
+        lm.acquire(T1, row(1), LockMode::S).unwrap();
+        lm.acquire(T2, row(1), LockMode::S).unwrap();
+        assert!(lm.acquire(T1, row(1), LockMode::X).is_err());
+    }
+
+    #[test]
+    fn release_wakes_waiter() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        lm.acquire(T1, row(1), LockMode::X).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || lm2.acquire(T2, row(1), LockMode::X));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(T1, [row(1)]);
+        assert!(waiter.join().unwrap().is_ok());
+        assert_eq!(lm.held(T2, row(1)), Some(LockMode::X));
+    }
+
+    #[test]
+    fn intention_locks_on_table() {
+        let lm = lm();
+        let tbl = LockKey::Table(TABLE);
+        lm.acquire(T1, tbl, LockMode::IX).unwrap();
+        lm.acquire(T2, tbl, LockMode::IS).unwrap();
+        // A third txn cannot take X while intents are held.
+        assert!(lm.acquire(TxnId(3), tbl, LockMode::X).is_err());
+        lm.release_all(T1, [tbl]);
+        lm.release_all(T2, [tbl]);
+        lm.acquire(TxnId(3), tbl, LockMode::X).unwrap();
+    }
+
+    #[test]
+    fn try_acquire_does_not_block() {
+        let lm = lm();
+        lm.acquire(T1, row(1), LockMode::X).unwrap();
+        let t0 = Instant::now();
+        assert!(lm.try_acquire(T2, row(1), LockMode::S).is_err());
+        assert!(t0.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn release_all_cleans_table() {
+        let lm = lm();
+        for i in 0..10 {
+            lm.acquire(T1, row(i), LockMode::X).unwrap();
+        }
+        assert_eq!(lm.locked_key_count(), 10);
+        lm.release_all(T1, (0..10).map(row));
+        assert_eq!(lm.locked_key_count(), 0);
+    }
+
+    #[test]
+    fn writer_is_not_starved_by_reader_stream() {
+        // A continuous stream of IS lockers must not starve a queued X
+        // request (the eager-migration pattern).
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        let key = LockKey::Table(TABLE);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for r in 0..3u64 {
+            let lm = Arc::clone(&lm);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let txn = TxnId(1000 + r * 1_000_000 + i);
+                    if lm.acquire(txn, key, LockMode::IS).is_ok() {
+                        std::thread::sleep(Duration::from_micros(200));
+                        lm.release_all(txn, [key]);
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        lm.acquire(TxnId(1), key, LockMode::X).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "X request starved for {:?}",
+            t0.elapsed()
+        );
+        lm.release_all(TxnId(1), [key]);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn timed_out_waiter_leaves_no_queue_debris() {
+        let lm = lm();
+        lm.acquire(T1, row(1), LockMode::X).unwrap();
+        assert!(lm.acquire(T2, row(1), LockMode::S).is_err());
+        // T2 timed out; its queue entry must not block a fresh reader
+        // after T1 releases.
+        lm.release_all(T1, [row(1)]);
+        lm.acquire(TxnId(3), row(1), LockMode::S).unwrap();
+        assert_eq!(lm.locked_key_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_counter_under_x_locks() {
+        // 8 threads × 100 increments through an X lock: no lost updates.
+        let lm = Arc::new(LockManager::new(Duration::from_secs(10)));
+        let counter = Arc::new(Mutex::new(0u64));
+        let key = row(1);
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    let txn = TxnId(t * 1000 + i + 1);
+                    lm.acquire(txn, key, LockMode::X).unwrap();
+                    {
+                        let mut c = counter.lock();
+                        let v = *c;
+                        std::thread::yield_now();
+                        *c = v + 1;
+                    }
+                    lm.release_all(txn, [key]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 800);
+    }
+}

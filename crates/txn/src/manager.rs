@@ -1,0 +1,199 @@
+//! Transaction objects and id assignment.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bullfrog_common::{Error, Result, TxnId};
+
+use crate::lock::LockKey;
+use crate::undo::UndoRecord;
+use crate::wal::LogRecord;
+
+/// Transaction lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// Running; may read and write.
+    Active,
+    /// Successfully committed.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// A transaction's bookkeeping: identity, 2PL lock set, undo log, and redo
+/// records destined for the WAL.
+///
+/// A transaction is driven by exactly one worker thread, so the struct is
+/// plain mutable state; the engine (which owns catalog + lock manager +
+/// WAL) performs the actual commit/abort protocol.
+#[derive(Debug)]
+pub struct Transaction {
+    id: TxnId,
+    state: TxnState,
+    /// Every lock key acquired (released wholesale at commit/abort; strict
+    /// 2PL never releases early).
+    pub locks: Vec<LockKey>,
+    /// Undo records in acquisition order (applied in reverse on abort).
+    pub undo: Vec<UndoRecord>,
+    /// Redo records appended to the WAL at commit.
+    pub redo: Vec<LogRecord>,
+}
+
+impl Transaction {
+    fn new(id: TxnId) -> Self {
+        Transaction {
+            id,
+            state: TxnState::Active,
+            locks: Vec::new(),
+            undo: Vec::new(),
+            redo: Vec::new(),
+        }
+    }
+
+    /// Transaction id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TxnState {
+        self.state
+    }
+
+    /// Errors unless the transaction is still active.
+    pub fn assert_active(&self) -> Result<()> {
+        match self.state {
+            TxnState::Active => Ok(()),
+            TxnState::Aborted => Err(Error::TxnAborted(self.id)),
+            TxnState::Committed => Err(Error::TxnNotActive(self.id)),
+        }
+    }
+
+    /// Records a newly acquired lock for release at end-of-transaction.
+    pub fn record_lock(&mut self, key: LockKey) {
+        self.locks.push(key);
+    }
+
+    /// Appends an undo record.
+    pub fn push_undo(&mut self, rec: UndoRecord) {
+        self.undo.push(rec);
+    }
+
+    /// Appends a redo record.
+    pub fn push_redo(&mut self, rec: LogRecord) {
+        self.redo.push(rec);
+    }
+
+    /// Marks the transaction committed (engine calls this after the WAL
+    /// append succeeds). Idempotent transitions are rejected.
+    pub fn mark_committed(&mut self) -> Result<()> {
+        self.assert_active()?;
+        self.state = TxnState::Committed;
+        Ok(())
+    }
+
+    /// Marks the transaction aborted.
+    pub fn mark_aborted(&mut self) -> Result<()> {
+        self.assert_active()?;
+        self.state = TxnState::Aborted;
+        Ok(())
+    }
+}
+
+/// Hands out transaction ids.
+#[derive(Debug)]
+pub struct TxnManager {
+    next: AtomicU64,
+}
+
+impl TxnManager {
+    /// A manager starting at txn id 1.
+    pub fn new() -> Self {
+        TxnManager {
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(&self) -> Transaction {
+        Transaction::new(TxnId(self.next.fetch_add(1, Ordering::Relaxed)))
+    }
+
+    /// Number of transactions started so far.
+    pub fn started(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::TableId;
+
+    #[test]
+    fn ids_are_monotonic_and_unique() {
+        let mgr = TxnManager::new();
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert!(a.id() < b.id());
+        assert_eq!(mgr.started(), 2);
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mgr = TxnManager::new();
+        let mut t = mgr.begin();
+        assert_eq!(t.state(), TxnState::Active);
+        t.assert_active().unwrap();
+        t.mark_committed().unwrap();
+        assert_eq!(t.state(), TxnState::Committed);
+        assert!(matches!(t.assert_active(), Err(Error::TxnNotActive(_))));
+        assert!(t.mark_aborted().is_err(), "cannot abort a committed txn");
+
+        let mut t = mgr.begin();
+        t.mark_aborted().unwrap();
+        assert!(matches!(t.assert_active(), Err(Error::TxnAborted(_))));
+        assert!(t.mark_committed().is_err(), "cannot commit an aborted txn");
+    }
+
+    #[test]
+    fn bookkeeping_accumulates() {
+        let mgr = TxnManager::new();
+        let mut t = mgr.begin();
+        t.record_lock(LockKey::Table(TableId(1)));
+        t.push_undo(UndoRecord::Insert {
+            table: TableId(1),
+            rid: bullfrog_common::RowId::new(0, 0),
+        });
+        t.push_redo(LogRecord::Begin(t.id()));
+        assert_eq!(t.locks.len(), 1);
+        assert_eq!(t.undo.len(), 1);
+        assert_eq!(t.redo.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_begin_unique_ids() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let mgr = Arc::new(TxnManager::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let mgr = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                (0..200).map(|_| mgr.begin().id()).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for id in h.join().unwrap() {
+                assert!(seen.insert(id));
+            }
+        }
+        assert_eq!(seen.len(), 1600);
+    }
+}

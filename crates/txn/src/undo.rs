@@ -1,0 +1,80 @@
+//! Undo records.
+//!
+//! The engine appends an [`UndoRecord`] for every mutation a transaction
+//! makes; on abort the records are applied **in reverse order** against the
+//! catalog. Records carry table ids and row images only (no storage
+//! references) so this crate stays independent of the storage crate.
+
+use bullfrog_common::{Row, RowId, TableId};
+
+/// One reversible mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UndoRecord {
+    /// An insert happened at `rid`; undo deletes it.
+    Insert {
+        /// Table mutated.
+        table: TableId,
+        /// Row id the insert produced.
+        rid: RowId,
+    },
+    /// An update replaced `old` at `rid`; undo restores `old`.
+    Update {
+        /// Table mutated.
+        table: TableId,
+        /// Row id updated.
+        rid: RowId,
+        /// Pre-image.
+        old: Row,
+    },
+    /// A delete removed `old` at `rid`; undo restores it.
+    Delete {
+        /// Table mutated.
+        table: TableId,
+        /// Row id deleted.
+        rid: RowId,
+        /// Deleted row.
+        old: Row,
+    },
+}
+
+impl UndoRecord {
+    /// The table this record touches.
+    pub fn table(&self) -> TableId {
+        match self {
+            UndoRecord::Insert { table, .. }
+            | UndoRecord::Update { table, .. }
+            | UndoRecord::Delete { table, .. } => *table,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::row;
+
+    #[test]
+    fn table_accessor() {
+        let t = TableId(3);
+        let rid = RowId::new(0, 0);
+        assert_eq!(UndoRecord::Insert { table: t, rid }.table(), t);
+        assert_eq!(
+            UndoRecord::Update {
+                table: t,
+                rid,
+                old: row![1]
+            }
+            .table(),
+            t
+        );
+        assert_eq!(
+            UndoRecord::Delete {
+                table: t,
+                rid,
+                old: row![1]
+            }
+            .table(),
+            t
+        );
+    }
+}

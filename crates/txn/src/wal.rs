@@ -1,0 +1,665 @@
+//! Redo write-ahead log.
+//!
+//! The WAL serves two purposes in this reproduction:
+//!
+//! 1. Ordinary **data recovery**: replaying committed transactions rebuilds
+//!    table contents.
+//! 2. **Migration-tracker recovery** (paper §3.5, described there as future
+//!    work — implemented here): `MigrationGranule` records are written
+//!    inside migration transactions, so replay can mark exactly the
+//!    granules whose migration committed as `[0 1]`/`migrated`.
+//!
+//! Records live in memory (a `Vec` behind a mutex) and are optionally
+//! mirrored durably to a file ([`Wal::with_file`]), appended and flushed
+//! per commit batch. The binary format is round-trip tested, and the file
+//! scanner ([`Wal::load_file`]) tolerates a torn tail from a crash
+//! mid-write.
+
+use std::io::Write;
+use std::path::Path;
+
+use bullfrog_common::{Error, Result, Row, RowId, TableId, TxnId, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+
+/// Identifies a granule within a migration for recovery purposes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GranuleKey {
+    /// A bitmap-tracked granule: its dense ordinal.
+    Ordinal(u64),
+    /// A hashmap-tracked granule: the group key values.
+    Group(Vec<Value>),
+}
+
+/// One WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Transaction start (informational).
+    Begin(TxnId),
+    /// Row inserted.
+    Insert {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Table mutated.
+        table: TableId,
+        /// Row id assigned.
+        rid: RowId,
+        /// Inserted row (after-image).
+        row: Row,
+    },
+    /// Row updated.
+    Update {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Table mutated.
+        table: TableId,
+        /// Row id updated.
+        rid: RowId,
+        /// After-image.
+        after: Row,
+    },
+    /// Row deleted.
+    Delete {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Table mutated.
+        table: TableId,
+        /// Row id deleted.
+        rid: RowId,
+    },
+    /// A migration granule was physically migrated inside `txn`; replay
+    /// marks it migrated iff `txn` committed.
+    MigrationGranule {
+        /// Migrating transaction.
+        txn: TxnId,
+        /// Which migration statement (assigned by `bullfrog-core`).
+        migration: u32,
+        /// The granule.
+        granule: GranuleKey,
+    },
+    /// Transaction committed — all earlier records of `txn` are durable.
+    Commit(TxnId),
+    /// Transaction aborted (written for completeness; replay ignores the
+    /// transaction's records either way).
+    Abort(TxnId),
+}
+
+impl LogRecord {
+    /// The transaction a record belongs to.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            LogRecord::Begin(t) | LogRecord::Commit(t) | LogRecord::Abort(t) => *t,
+            LogRecord::Insert { txn, .. }
+            | LogRecord::Update { txn, .. }
+            | LogRecord::Delete { txn, .. }
+            | LogRecord::MigrationGranule { txn, .. } => *txn,
+        }
+    }
+}
+
+/// The write-ahead log: an append-only, atomically-batched record list,
+/// optionally mirrored durably to a file (appended and flushed on every
+/// batch, i.e. on every commit).
+pub struct Wal {
+    records: Mutex<Vec<LogRecord>>,
+    file: Mutex<Option<std::fs::File>>,
+}
+
+impl Wal {
+    /// An in-memory-only log.
+    pub fn new() -> Self {
+        Wal {
+            records: Mutex::new(Vec::new()),
+            file: Mutex::new(None),
+        }
+    }
+
+    /// A log mirrored to `path` (created or appended to). Existing records
+    /// in the file are **not** loaded — use [`Wal::load_file`] first and
+    /// replay them, as recovery does.
+    pub fn with_file(path: impl AsRef<Path>) -> Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::Wal(format!("open wal file: {e}")))?;
+        Ok(Wal {
+            records: Mutex::new(Vec::new()),
+            file: Mutex::new(Some(file)),
+        })
+    }
+
+    /// Reads a WAL file, returning every complete record. A torn tail —
+    /// a partial record at EOF from a crash mid-write — is tolerated and
+    /// ignored, like any real log scanner.
+    pub fn load_file(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
+        let bytes = std::fs::read(path).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
+        Ok(Self::decode_prefix(Bytes::from(bytes)).0)
+    }
+
+    /// Decodes records until the bytes run out or a record is torn;
+    /// returns the records and how many bytes were consumed cleanly.
+    pub fn decode_prefix(bytes: Bytes) -> (Vec<LogRecord>, usize) {
+        let total = bytes.len();
+        let mut buf = bytes;
+        let mut out = Vec::new();
+        let mut consumed = 0usize;
+        loop {
+            if !buf.has_remaining() {
+                break;
+            }
+            let before = buf.remaining();
+            match decode_record(&mut buf) {
+                Ok(r) => {
+                    out.push(r);
+                    consumed += before - buf.remaining();
+                }
+                Err(_) => break,
+            }
+        }
+        debug_assert!(consumed <= total);
+        (out, consumed)
+    }
+
+    /// Appends a batch atomically (a committing transaction appends its
+    /// redo records followed by its `Commit` in one call, so no reader can
+    /// observe a commit record without its payload). Returns the LSN of the
+    /// first appended record.
+    pub fn append_batch(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
+        let mut records = self.records.lock();
+        let lsn = records.len() as u64;
+        let start = records.len();
+        records.extend(batch);
+        if let Some(file) = self.file.lock().as_mut() {
+            let mut buf = BytesMut::new();
+            for r in &records[start..] {
+                encode_record(&mut buf, r);
+            }
+            // Write + flush while still holding the records lock so file
+            // order matches memory order; a real engine would group-commit
+            // here instead. A WAL write failure means durability is gone —
+            // halt rather than silently acknowledge commits (the standard
+            // database response to a dead log device).
+            file.write_all(&buf)
+                .and_then(|()| file.flush())
+                .expect("WAL file write failed; cannot guarantee durability");
+        }
+        lsn
+    }
+
+    /// Appends one record.
+    pub fn append(&self, record: LogRecord) -> u64 {
+        self.append_batch([record])
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True when no records were written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the full log (recovery input).
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Serializes the whole log to its binary image.
+    pub fn encode_all(&self) -> Bytes {
+        let records = self.records.lock();
+        let mut buf = BytesMut::new();
+        for r in records.iter() {
+            encode_record(&mut buf, r);
+        }
+        buf.freeze()
+    }
+
+    /// Parses a binary image produced by [`Wal::encode_all`].
+    pub fn decode_all(mut bytes: Bytes) -> Result<Vec<LogRecord>> {
+        let mut out = Vec::new();
+        while bytes.has_remaining() {
+            out.push(decode_record(&mut bytes)?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal").field("records", &self.len()).finish()
+    }
+}
+
+// --- binary format -------------------------------------------------------
+//
+// record  := tag:u8 body
+// value   := vtag:u8 payload
+// row     := count:u32 value*
+// string  := len:u32 utf8-bytes
+
+const TAG_BEGIN: u8 = 1;
+const TAG_INSERT: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+const TAG_DELETE: u8 = 4;
+const TAG_GRANULE: u8 = 5;
+const TAG_COMMIT: u8 = 6;
+const TAG_ABORT: u8 = 7;
+
+fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
+    match r {
+        LogRecord::Begin(t) => {
+            buf.put_u8(TAG_BEGIN);
+            buf.put_u64(t.0);
+        }
+        LogRecord::Insert { txn, table, rid, row } => {
+            buf.put_u8(TAG_INSERT);
+            buf.put_u64(txn.0);
+            buf.put_u32(table.0);
+            put_rid(buf, *rid);
+            put_row(buf, row);
+        }
+        LogRecord::Update { txn, table, rid, after } => {
+            buf.put_u8(TAG_UPDATE);
+            buf.put_u64(txn.0);
+            buf.put_u32(table.0);
+            put_rid(buf, *rid);
+            put_row(buf, after);
+        }
+        LogRecord::Delete { txn, table, rid } => {
+            buf.put_u8(TAG_DELETE);
+            buf.put_u64(txn.0);
+            buf.put_u32(table.0);
+            put_rid(buf, *rid);
+        }
+        LogRecord::MigrationGranule { txn, migration, granule } => {
+            buf.put_u8(TAG_GRANULE);
+            buf.put_u64(txn.0);
+            buf.put_u32(*migration);
+            match granule {
+                GranuleKey::Ordinal(o) => {
+                    buf.put_u8(0);
+                    buf.put_u64(*o);
+                }
+                GranuleKey::Group(vals) => {
+                    buf.put_u8(1);
+                    buf.put_u32(vals.len() as u32);
+                    for v in vals {
+                        put_value(buf, v);
+                    }
+                }
+            }
+        }
+        LogRecord::Commit(t) => {
+            buf.put_u8(TAG_COMMIT);
+            buf.put_u64(t.0);
+        }
+        LogRecord::Abort(t) => {
+            buf.put_u8(TAG_ABORT);
+            buf.put_u64(t.0);
+        }
+    }
+}
+
+fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
+    if buf.remaining() < 1 {
+        return Err(Error::Wal("truncated record tag".into()));
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_BEGIN => Ok(LogRecord::Begin(TxnId(get_u64(buf)?))),
+        TAG_INSERT => Ok(LogRecord::Insert {
+            txn: TxnId(get_u64(buf)?),
+            table: TableId(get_u32(buf)?),
+            rid: get_rid(buf)?,
+            row: get_row(buf)?,
+        }),
+        TAG_UPDATE => Ok(LogRecord::Update {
+            txn: TxnId(get_u64(buf)?),
+            table: TableId(get_u32(buf)?),
+            rid: get_rid(buf)?,
+            after: get_row(buf)?,
+        }),
+        TAG_DELETE => Ok(LogRecord::Delete {
+            txn: TxnId(get_u64(buf)?),
+            table: TableId(get_u32(buf)?),
+            rid: get_rid(buf)?,
+        }),
+        TAG_GRANULE => {
+            let txn = TxnId(get_u64(buf)?);
+            let migration = get_u32(buf)?;
+            let kind = get_u8(buf)?;
+            let granule = match kind {
+                0 => GranuleKey::Ordinal(get_u64(buf)?),
+                1 => {
+                    let n = get_u32(buf)? as usize;
+                    let mut vals = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        vals.push(get_value(buf)?);
+                    }
+                    GranuleKey::Group(vals)
+                }
+                k => return Err(Error::Wal(format!("bad granule kind {k}"))),
+            };
+            Ok(LogRecord::MigrationGranule { txn, migration, granule })
+        }
+        TAG_COMMIT => Ok(LogRecord::Commit(TxnId(get_u64(buf)?))),
+        TAG_ABORT => Ok(LogRecord::Abort(TxnId(get_u64(buf)?))),
+        t => Err(Error::Wal(format!("bad record tag {t}"))),
+    }
+}
+
+fn put_rid(buf: &mut BytesMut, rid: RowId) {
+    buf.put_u32(rid.page());
+    buf.put_u16(rid.slot());
+}
+
+fn get_rid(buf: &mut Bytes) -> Result<RowId> {
+    Ok(RowId::new(get_u32(buf)?, get_u16(buf)?))
+}
+
+fn put_row(buf: &mut BytesMut, row: &Row) {
+    buf.put_u32(row.arity() as u32);
+    for v in row.iter() {
+        put_value(buf, v);
+    }
+}
+
+fn get_row(buf: &mut Bytes) -> Result<Row> {
+    let n = get_u32(buf)? as usize;
+    let mut vals = Vec::with_capacity(n);
+    for _ in 0..n {
+        vals.push(get_value(buf)?);
+    }
+    Ok(Row(vals))
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Null => buf.put_u8(0),
+        Value::Bool(b) => {
+            buf.put_u8(1);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(2);
+            buf.put_i64(*i);
+        }
+        Value::Float(f) => {
+            buf.put_u8(3);
+            buf.put_f64(*f);
+        }
+        Value::Decimal(d) => {
+            buf.put_u8(4);
+            buf.put_i64(*d);
+        }
+        Value::Text(s) => {
+            buf.put_u8(5);
+            buf.put_u32(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            buf.put_u8(6);
+            buf.put_i32(*d);
+        }
+        Value::Timestamp(t) => {
+            buf.put_u8(7);
+            buf.put_i64(*t);
+        }
+    }
+}
+
+fn get_value(buf: &mut Bytes) -> Result<Value> {
+    match get_u8(buf)? {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(get_u8(buf)? != 0)),
+        2 => Ok(Value::Int(get_i64(buf)?)),
+        3 => {
+            if buf.remaining() < 8 {
+                return Err(Error::Wal("truncated float".into()));
+            }
+            Ok(Value::Float(buf.get_f64()))
+        }
+        4 => Ok(Value::Decimal(get_i64(buf)?)),
+        5 => {
+            let n = get_u32(buf)? as usize;
+            if buf.remaining() < n {
+                return Err(Error::Wal("truncated string".into()));
+            }
+            let bytes = buf.copy_to_bytes(n);
+            String::from_utf8(bytes.to_vec())
+                .map(Value::Text)
+                .map_err(|_| Error::Wal("invalid utf8 in string".into()))
+        }
+        6 => {
+            if buf.remaining() < 4 {
+                return Err(Error::Wal("truncated date".into()));
+            }
+            Ok(Value::Date(buf.get_i32()))
+        }
+        7 => Ok(Value::Timestamp(get_i64(buf)?)),
+        t => Err(Error::Wal(format!("bad value tag {t}"))),
+    }
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.remaining() < 1 {
+        return Err(Error::Wal("truncated u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut Bytes) -> Result<u16> {
+    if buf.remaining() < 2 {
+        return Err(Error::Wal("truncated u16".into()));
+    }
+    Ok(buf.get_u16())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(Error::Wal("truncated u32".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Wal("truncated u64".into()));
+    }
+    Ok(buf.get_u64())
+}
+
+fn get_i64(buf: &mut Bytes) -> Result<i64> {
+    if buf.remaining() < 8 {
+        return Err(Error::Wal("truncated i64".into()));
+    }
+    Ok(buf.get_i64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::row;
+
+    fn sample_records() -> Vec<LogRecord> {
+        vec![
+            LogRecord::Begin(TxnId(1)),
+            LogRecord::Insert {
+                txn: TxnId(1),
+                table: TableId(2),
+                rid: RowId::new(0, 3),
+                row: row![42, "hello", 2.5],
+            },
+            LogRecord::Update {
+                txn: TxnId(1),
+                table: TableId(2),
+                rid: RowId::new(0, 3),
+                after: Row(vec![Value::Null, Value::Bool(true), Value::Decimal(199)]),
+            },
+            LogRecord::Delete {
+                txn: TxnId(1),
+                table: TableId(2),
+                rid: RowId::new(1, 0),
+            },
+            LogRecord::MigrationGranule {
+                txn: TxnId(1),
+                migration: 7,
+                granule: GranuleKey::Ordinal(12345),
+            },
+            LogRecord::MigrationGranule {
+                txn: TxnId(1),
+                migration: 7,
+                granule: GranuleKey::Group(vec![Value::Int(1), Value::text("grp")]),
+            },
+            LogRecord::Commit(TxnId(1)),
+            LogRecord::Abort(TxnId(2)),
+        ]
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let wal = Wal::new();
+        wal.append_batch(sample_records());
+        let bytes = wal.encode_all();
+        let decoded = Wal::decode_all(bytes).unwrap();
+        assert_eq!(decoded, sample_records());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let wal = Wal::new();
+        wal.append_batch(sample_records());
+        let bytes = wal.encode_all();
+        for cut in [1usize, 5, bytes.len() - 1] {
+            let truncated = bytes.slice(..cut);
+            assert!(
+                Wal::decode_all(truncated).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag() {
+        let bytes = Bytes::from_static(&[0xFF]);
+        assert!(matches!(Wal::decode_all(bytes), Err(Error::Wal(_))));
+    }
+
+    #[test]
+    fn lsn_is_record_offset() {
+        let wal = Wal::new();
+        assert_eq!(wal.append(LogRecord::Begin(TxnId(1))), 0);
+        assert_eq!(
+            wal.append_batch([LogRecord::Commit(TxnId(1)), LogRecord::Begin(TxnId(2))]),
+            1
+        );
+        assert_eq!(wal.len(), 3);
+    }
+
+    #[test]
+    fn append_batch_is_atomic_under_concurrency() {
+        use std::sync::Arc;
+        let wal = Arc::new(Wal::new());
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let wal = Arc::clone(&wal);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let txn = TxnId(t * 1000 + i);
+                    wal.append_batch([
+                        LogRecord::Begin(txn),
+                        LogRecord::Delete {
+                            txn,
+                            table: TableId(1),
+                            rid: RowId::new(0, 0),
+                        },
+                        LogRecord::Commit(txn),
+                    ]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every txn's three records must be contiguous.
+        let records = wal.snapshot();
+        assert_eq!(records.len(), 2400);
+        for chunk in records.chunks(3) {
+            let t = chunk[0].txn();
+            assert!(matches!(chunk[0], LogRecord::Begin(_)));
+            assert!(matches!(chunk[2], LogRecord::Commit(_)));
+            assert_eq!(chunk[1].txn(), t);
+            assert_eq!(chunk[2].txn(), t);
+        }
+    }
+
+    #[test]
+    fn file_mirror_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bullfrog-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append_batch(sample_records());
+        }
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded, sample_records());
+        // Appending to an existing file keeps prior records.
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append(LogRecord::Begin(TxnId(9)));
+        }
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), sample_records().len() + 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let dir = std::env::temp_dir().join(format!("bullfrog-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append_batch(sample_records());
+        }
+        // Chop a few bytes off the end — a crash mid-append.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), sample_records().len() - 1);
+        assert_eq!(loaded[..], sample_records()[..loaded.len()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn decode_prefix_reports_consumed_bytes() {
+        let wal = Wal::new();
+        wal.append_batch(sample_records());
+        let bytes = wal.encode_all();
+        let full = bytes.len();
+        let (records, consumed) = Wal::decode_prefix(bytes.clone());
+        assert_eq!(records.len(), sample_records().len());
+        assert_eq!(consumed, full);
+        let (records, consumed) = Wal::decode_prefix(bytes.slice(..full - 1));
+        assert!(consumed < full - 1 || records.len() == sample_records().len() - 1);
+    }
+
+    #[test]
+    fn txn_accessor() {
+        for r in sample_records() {
+            let t = r.txn();
+            assert!(t == TxnId(1) || t == TxnId(2));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Quickstart: the paper's §2.1 airline example, end to end.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the FLIGHTS/FLEWON schema, submits the backwards-incompatible
+//! FLEWONINFO migration (rename + derived column + dropped CHECK
+//! constraint), and shows that:
+//!
+//! 1. the logical switch is instant — the new table answers queries
+//!    immediately while physically empty;
+//! 2. a client query migrates exactly the tuples its predicate needs;
+//! 3. the dropped constraint is really gone (a zero-passenger flight —
+//!    packages during a pandemic — inserts fine);
+//! 4. background threads finish the rest, after which the old schema can
+//!    be dropped.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog::common::{row, CheckExpr, ColumnDef, DataType, Row, TableSchema, Value};
+use bullfrog::core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, MigrationPlan, MigrationStatement,
+};
+use bullfrog::engine::{Database, LockPolicy};
+use bullfrog::query::{ColRef, Expr, Func, SelectSpec};
+
+fn main() {
+    // --- the old schema -------------------------------------------------
+    let db = Arc::new(Database::new());
+    db.create_table(
+        TableSchema::new(
+            "flights",
+            vec![
+                ColumnDef::new("flightid", DataType::Text),
+                ColumnDef::new("source", DataType::Text),
+                ColumnDef::new("dest", DataType::Text),
+                ColumnDef::new("airlineid", DataType::Text),
+                ColumnDef::new("departure_time", DataType::Timestamp),
+                ColumnDef::new("arrival_time", DataType::Timestamp),
+                ColumnDef::new("capacity", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["flightid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "flewon",
+            vec![
+                ColumnDef::new("flightid", DataType::Text),
+                ColumnDef::new("flightdate", DataType::Date),
+                ColumnDef::new("passenger_count", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["flightid", "flightdate"])
+        // The constraint the migration will drop.
+        .with_check("positive_passengers", CheckExpr::gt("passenger_count", 0)),
+    )
+    .unwrap();
+
+    let airlines = ["AA", "UA", "DL"];
+    for (i, airline) in airlines.iter().enumerate() {
+        for n in 100..110 {
+            let fid = format!("{airline}{n}");
+            db.insert_unlogged(
+                "flights",
+                row![
+                    fid.clone(),
+                    "JFK",
+                    "SFO",
+                    *airline,
+                    Value::Timestamp((i as i64 + 8) * 3_600_000_000),
+                    Value::Timestamp((i as i64 + 14) * 3_600_000_000),
+                    180
+                ],
+            )
+            .unwrap();
+            for day in 1..=30 {
+                db.insert_unlogged(
+                    "flewon",
+                    Row(vec![
+                        Value::text(fid.clone()),
+                        Value::Date(day),
+                        Value::Int(100 + day as i64),
+                    ]),
+                )
+                .unwrap();
+            }
+        }
+    }
+    println!(
+        "old schema loaded: {} flights, {} flewon rows",
+        db.table("flights").unwrap().live_count(),
+        db.table("flewon").unwrap().live_count()
+    );
+
+    // --- the migration DDL (paper §2.1) ---------------------------------
+    // CREATE TABLE FLEWONINFO AS
+    //   SELECT f.flightid AS fid, flightdate, passenger_count,
+    //          (capacity - passenger_count) AS empty_seats,
+    //          departure_time AS expected_departure_time,
+    //          NULL AS actual_departure_time, ...
+    //   FROM flights f, flewon fi WHERE f.flightid = fi.flightid;
+    // (and the PASSENGER_COUNT > 0 constraint is NOT re-declared — dropped.)
+    let spec = SelectSpec::new()
+        .from_table("flights", "f")
+        .from_table("flewon", "fi")
+        .join_on(ColRef::new("f", "flightid"), ColRef::new("fi", "flightid"))
+        .select("fid", Expr::col("f", "flightid"))
+        .select("flightdate", Expr::col("fi", "flightdate"))
+        .select("passenger_count", Expr::col("fi", "passenger_count"))
+        .select(
+            "empty_seats",
+            Expr::col("f", "capacity").sub(Expr::col("fi", "passenger_count")),
+        )
+        .select("expected_departure_time", Expr::col("f", "departure_time"))
+        .select("actual_departure_time", Expr::null())
+        .select("expected_arrival_time", Expr::col("f", "arrival_time"))
+        .select("actual_arrival_time", Expr::null());
+    let flewoninfo = TableSchema::new(
+        "flewoninfo",
+        vec![
+            ColumnDef::new("fid", DataType::Text),
+            ColumnDef::new("flightdate", DataType::Date),
+            ColumnDef::nullable("passenger_count", DataType::Int),
+            ColumnDef::nullable("empty_seats", DataType::Int),
+            ColumnDef::nullable("expected_departure_time", DataType::Timestamp),
+            ColumnDef::nullable("actual_departure_time", DataType::Timestamp),
+            ColumnDef::nullable("expected_arrival_time", DataType::Timestamp),
+            ColumnDef::nullable("actual_arrival_time", DataType::Timestamp),
+        ],
+    )
+    .with_primary_key(&["fid", "flightdate"]);
+
+    let bf = Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: true,
+                start_delay: Duration::from_millis(200),
+                batch: 64,
+                pause: Duration::from_millis(1),
+                threads: 2,
+            },
+            ..Default::default()
+        },
+    );
+    let migration = bf
+        .submit_migration(
+            MigrationPlan::new("flewoninfo").with_statement(MigrationStatement::new(
+                flewoninfo, spec,
+            )),
+        )
+        .unwrap();
+    println!(
+        "\nmigration submitted — logical switch done, flewoninfo rows: {}",
+        db.table("flewoninfo").unwrap().live_count()
+    );
+
+    // --- a client query over the new schema -----------------------------
+    // SELECT * FROM flewoninfo WHERE fid = 'AA101'
+    //   AND EXTRACT(DAY FROM flightdate) = 9;
+    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
+        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
+    );
+    let mut txn = db.begin();
+    let rows = bf
+        .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)
+        .unwrap();
+    db.commit(&mut txn).unwrap();
+    println!(
+        "client query returned {} row(s); physically migrated so far: {} \
+         (only AA101's days — lazy!)",
+        rows.len(),
+        db.table("flewoninfo").unwrap().live_count()
+    );
+    for (_, r) in &rows {
+        println!("  fid={} date={} passengers={} empty_seats={}", r[0], r[1], r[2], r[3]);
+    }
+
+    // --- the backwards-incompatible part ---------------------------------
+    // A zero-passenger (cargo-only) flight violates the OLD check
+    // constraint but is legal in the new schema.
+    let mut txn = db.begin();
+    bf.insert(
+        &mut txn,
+        "flewoninfo",
+        Row(vec![
+            Value::text("AA100"),
+            Value::Date(31),
+            Value::Int(0), // packages, not passengers
+            Value::Int(180),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ]),
+    )
+    .unwrap();
+    db.commit(&mut txn).unwrap();
+    println!("\ninserted a zero-passenger flight — the dropped constraint is gone");
+
+    // Old-schema access is rejected after the big flip.
+    let mut txn = db.begin();
+    let err = bf
+        .select(&mut txn, "flewon", None, LockPolicy::Shared)
+        .unwrap_err();
+    db.abort(&mut txn);
+    println!("old-schema query rejected as expected: {err}");
+
+    // --- background completion -------------------------------------------
+    assert!(bf.wait_migration_complete(Duration::from_secs(60)));
+    println!(
+        "\nbackground migration complete: {} rows in flewoninfo; stats: {}",
+        db.table("flewoninfo").unwrap().live_count(),
+        migration.stats.summary()
+    );
+    bf.finalize_migration(true).unwrap();
+    println!("old tables dropped; remaining tables: {:?}", db.catalog().table_names());
+    bf.shutdown_background();
+}

@@ -1,0 +1,106 @@
+//! Side-by-side strategy comparison on one migration.
+//!
+//! ```text
+//! cargo run --release --example strategies
+//! ```
+//!
+//! Runs the same aggregation migration (order totals, the paper's §4.2)
+//! under all three evolution strategies and prints when clients could use
+//! the new schema vs when the physical migration finished — the paper's
+//! core trade-off in one table:
+//!
+//! - **eager**: new schema usable only after the full copy (downtime);
+//! - **multi-step**: no downtime, but the new schema arrives *last* —
+//!   clients wait for the background copy before they may switch;
+//! - **BullFrog**: the new schema is usable immediately; physical
+//!   migration completes in the background.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog::core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, EagerMigrator, MultiStepMigrator,
+    SchemaVersion,
+};
+use bullfrog::engine::{Database, DbConfig};
+use bullfrog::tpcc::{load, Scenario, TpccScale};
+
+fn fresh() -> Arc<Database> {
+    let db = Arc::new(Database::with_config(DbConfig {
+        enforce_fk_on_delete: false,
+        ..Default::default()
+    }));
+    let scale = TpccScale {
+        warehouses: 1,
+        districts_per_warehouse: 10,
+        customers_per_district: 100,
+        items: 500,
+        orders_per_district: 400,
+        seed: 1,
+    };
+    load(&db, &scale).unwrap();
+    db
+}
+
+fn main() {
+    let plan = || Scenario::OrderTotals.plan();
+    println!("strategy     | new schema usable | physically complete");
+    println!("-------------|-------------------|--------------------");
+
+    // Eager.
+    {
+        let db = fresh();
+        let eager = EagerMigrator::new(Arc::clone(&db));
+        let t0 = Instant::now();
+        eager.migrate(plan()).unwrap();
+        let done = t0.elapsed();
+        assert_eq!(eager.version(), SchemaVersion::New);
+        println!(
+            "eager        | {:>13.0?} | {:>15.0?}   (clients blocked meanwhile)",
+            done, done
+        );
+    }
+
+    // Multi-step.
+    {
+        let db = fresh();
+        let ms = MultiStepMigrator::new(Arc::clone(&db));
+        let t0 = Instant::now();
+        ms.register(plan()).unwrap();
+        assert!(ms.wait_caught_up(Duration::from_secs(120)));
+        let done = t0.elapsed();
+        println!(
+            "multi-step   | {:>13.0?} | {:>15.0?}   (old schema served reads until then)",
+            done, done
+        );
+    }
+
+    // BullFrog.
+    {
+        let db = fresh();
+        let bf = Bullfrog::with_config(
+            Arc::clone(&db),
+            BullfrogConfig {
+                background: BackgroundConfig {
+                    enabled: true,
+                    start_delay: Duration::from_millis(10),
+                    batch: 64,
+                    pause: Duration::ZERO,
+                    threads: 2,
+                },
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        bf.submit_migration(plan()).unwrap();
+        let usable = t0.elapsed();
+        assert_eq!(bf.version(), SchemaVersion::New);
+        assert!(bf.wait_migration_complete(Duration::from_secs(120)));
+        let done = t0.elapsed();
+        println!(
+            "bullfrog     | {:>13.0?} | {:>15.0?}   (lazy + background, zero downtime)",
+            usable, done
+        );
+        bf.shutdown_background();
+    }
+}

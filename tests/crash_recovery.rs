@@ -1,0 +1,237 @@
+//! Cross-crate crash-recovery test: WAL binary round trip, data replay,
+//! tracker rebuild (§3.5), and migration resumption — including the
+//! mixed case where some granules were migrated by committed transactions
+//! and others were in flight (uncommitted) at the crash.
+
+use std::sync::Arc;
+
+use bullfrog::common::{row, ColumnDef, DataType, TableSchema, Value};
+use bullfrog::core::{
+    candidates_for, migrate_candidates, BitmapTracker, Bullfrog, BullfrogConfig, ClientAccess,
+    Granule, GranuleState, HashTracker, MigrationPlan, MigrationStatement, MigrationStats,
+    StatementRuntime, Tracker,
+};
+use bullfrog::engine::{recovery::replay, Database, LockPolicy};
+use bullfrog::query::{AggFunc, Expr, SelectSpec};
+use bullfrog::txn::Wal;
+
+fn make_schema(db: &Database) {
+    db.create_table(
+        TableSchema::new(
+            "readings",
+            vec![
+                ColumnDef::new("r_id", DataType::Int),
+                ColumnDef::new("r_sensor", DataType::Int),
+                ColumnDef::new("r_value", DataType::Decimal),
+            ],
+        )
+        .with_primary_key(&["r_id"]),
+    )
+    .unwrap();
+}
+
+fn plan() -> MigrationPlan {
+    MigrationPlan::new("sensor_totals")
+        .with_statement(MigrationStatement::new(
+            TableSchema::new(
+                "readings_v2",
+                vec![
+                    ColumnDef::new("r_id", DataType::Int),
+                    ColumnDef::new("r_value", DataType::Decimal),
+                ],
+            )
+            .with_primary_key(&["r_id"]),
+            SelectSpec::new()
+                .from_table("readings", "r")
+                .select("r_id", Expr::col("r", "r_id"))
+                .select("r_value", Expr::col("r", "r_value")),
+        ))
+        .with_statement(MigrationStatement::new(
+            TableSchema::new(
+                "sensor_totals",
+                vec![
+                    ColumnDef::new("sensor", DataType::Int),
+                    ColumnDef::nullable("total", DataType::Decimal),
+                ],
+            )
+            .with_primary_key(&["sensor"]),
+            SelectSpec::new()
+                .from_table("readings", "r")
+                .select("sensor", Expr::col("r", "r_sensor"))
+                .select_agg("total", AggFunc::Sum, Expr::col("r", "r_value")),
+        ))
+}
+
+#[test]
+fn crash_recovery_resumes_both_tracker_kinds() {
+    // --- before the crash -------------------------------------------------
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    for i in 0..200i64 {
+        db.with_txn(|txn| db.insert(txn, "readings", row![i, i % 8, i * 10]))
+            .unwrap();
+    }
+    let bf = Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: bullfrog::core::BackgroundConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    bf.submit_migration(plan()).unwrap();
+    // Migrate part of each statement via client requests.
+    for i in 0..60i64 {
+        let mut txn = db.begin();
+        bf.get_by_pk(&mut txn, "readings_v2", &[Value::Int(i)], LockPolicy::Shared)
+            .unwrap()
+            .unwrap();
+        db.commit(&mut txn).unwrap();
+    }
+    for s in 0..3i64 {
+        let mut txn = db.begin();
+        bf.get_by_pk(&mut txn, "sensor_totals", &[Value::Int(s)], LockPolicy::Shared)
+            .unwrap()
+            .unwrap();
+        db.commit(&mut txn).unwrap();
+    }
+    let image = db.wal().encode_all();
+    drop(bf);
+    drop(db);
+
+    // --- after the crash ---------------------------------------------------
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    let mut recovered_plan = plan();
+    // Recreate output tables in the same order (ids must line up).
+    db.create_table(recovered_plan.statements[0].output.clone())
+        .unwrap();
+    db.create_table(recovered_plan.statements[1].output.clone())
+        .unwrap();
+
+    let records = Wal::decode_all(image).unwrap();
+    let stats = replay(&db, &records).unwrap();
+    // Data recovered: 200 source rows, 60 migrated copies, 3 totals.
+    assert_eq!(db.table("readings").unwrap().live_count(), 200);
+    assert_eq!(db.table("readings_v2").unwrap().live_count(), 60);
+    assert_eq!(db.table("sensor_totals").unwrap().live_count(), 3);
+    assert_eq!(stats.migrated_granules.len(), 63);
+
+    // Tracker rebuild.
+    recovered_plan.resolve(&db).unwrap();
+    let cap = db.table("readings").unwrap().heap().ordinal_bound();
+    let rts: Vec<Arc<StatementRuntime>> = recovered_plan
+        .statements
+        .into_iter()
+        .enumerate()
+        .map(|(i, stmt)| {
+            let tracker: Arc<dyn Tracker> = if i == 0 {
+                Arc::new(BitmapTracker::new(cap, 1))
+            } else {
+                Arc::new(HashTracker::new())
+            };
+            Arc::new(StatementRuntime {
+                id: i as u32,
+                stmt,
+                tracker,
+                stats: Arc::new(MigrationStats::new()),
+            })
+        })
+        .collect();
+    let applied = bullfrog::core::recovery::rebuild_trackers(&rts, &stats.migrated_granules);
+    assert_eq!(applied, 63);
+    assert_eq!(rts[0].tracker.migrated_count(), 60);
+    assert_eq!(rts[1].tracker.migrated_count(), 3);
+    assert_eq!(
+        rts[1].tracker.state(&Granule::Group(vec![Value::Int(2)])),
+        GranuleState::Migrated
+    );
+    assert_eq!(
+        rts[1].tracker.state(&Granule::Group(vec![Value::Int(5)])),
+        GranuleState::NotStarted
+    );
+
+    // Resume: the remaining granules migrate exactly once.
+    for rt in &rts {
+        let pending = candidates_for(&db, rt, None).unwrap();
+        migrate_candidates(&db, rt, pending, &Default::default()).unwrap();
+    }
+    assert_eq!(db.table("readings_v2").unwrap().live_count(), 200);
+    assert_eq!(db.table("sensor_totals").unwrap().live_count(), 8);
+    // Totals are correct (not double-counted across the crash).
+    for (_, r) in db.select_unlocked("sensor_totals", None).unwrap() {
+        let s = r[0].as_i64().unwrap();
+        let expected: i64 = (0..200).filter(|i| i % 8 == s).map(|i| i * 10).sum();
+        assert_eq!(r[1].as_i64().unwrap(), expected, "sensor {s}");
+    }
+}
+
+#[test]
+fn wal_image_survives_byte_round_trip() {
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    for i in 0..50i64 {
+        db.with_txn(|txn| db.insert(txn, "readings", row![i, i % 4, i]))
+            .unwrap();
+    }
+    let image = db.wal().encode_all();
+    let records = Wal::decode_all(image.clone()).unwrap();
+    assert_eq!(records.len(), db.wal().len());
+    // Re-encode equals original image (canonical format).
+    let wal2 = Wal::new();
+    wal2.append_batch(records);
+    assert_eq!(wal2.encode_all(), image);
+}
+
+#[test]
+fn durable_wal_file_survives_process_style_crash() {
+    // Same flow as above but through the on-disk WAL: open a file-backed
+    // database, do work, "crash" (drop everything), then recover a fresh
+    // database purely from the file — including a torn tail.
+    let dir = std::env::temp_dir().join(format!("bullfrog-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.wal");
+    let _ = std::fs::remove_file(&path);
+
+    {
+        let db = Arc::new(
+            Database::with_wal_file(Default::default(), &path).unwrap(),
+        );
+        make_schema(&db);
+        for i in 0..80i64 {
+            db.with_txn(|txn| db.insert(txn, "readings", row![i, i % 4, i]))
+                .unwrap();
+        }
+        db.with_txn(|txn| {
+            let (rid, _) = db
+                .get_by_pk(
+                    txn,
+                    "readings",
+                    &[Value::Int(7)],
+                    bullfrog::engine::LockPolicy::Exclusive,
+                )?
+                .unwrap();
+            db.update(txn, "readings", rid, row![7, 3, 777])
+        })
+        .unwrap();
+    } // <- crash: everything in memory is gone
+
+    // Tear the tail to simulate a crash mid-append.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+
+    let records = Wal::load_file(&path).unwrap();
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    replay(&db, &records).unwrap();
+    // The torn record belonged to the last commit batch; since its Commit
+    // record is gone, the whole last transaction is ignored — atomicity
+    // across the crash.
+    let t = db.table("readings").unwrap();
+    assert_eq!(t.live_count(), 80);
+    let (_, r) = t.get_by_pk(&[Value::Int(7)]).unwrap();
+    assert_eq!(r, row![7, 3, 7], "torn update transaction must not apply");
+    std::fs::remove_file(&path).unwrap();
+}

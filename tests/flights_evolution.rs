@@ -1,0 +1,267 @@
+//! Integration test of the paper's §2.1 running example, spanning every
+//! crate: schema + data (engine/storage), migration spec (query), lazy
+//! evolution (core), and the exact predicate-transposition behavior the
+//! paper walks through.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog::common::{row, CheckExpr, ColumnDef, DataType, Error, Row, TableSchema, Value};
+use bullfrog::core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, MigrationCategory, MigrationPlan,
+    MigrationStatement,
+};
+use bullfrog::engine::{Database, LockPolicy};
+use bullfrog::query::{transpose, ColRef, Expr, Func, SelectSpec};
+
+fn flights_db() -> Arc<Database> {
+    let db = Arc::new(Database::new());
+    db.create_table(
+        TableSchema::new(
+            "flights",
+            vec![
+                ColumnDef::new("flightid", DataType::Text),
+                ColumnDef::new("source", DataType::Text),
+                ColumnDef::new("dest", DataType::Text),
+                ColumnDef::new("airlineid", DataType::Text),
+                ColumnDef::new("departure_time", DataType::Timestamp),
+                ColumnDef::new("arrival_time", DataType::Timestamp),
+                ColumnDef::new("capacity", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["flightid"]),
+    )
+    .unwrap();
+    db.create_table(
+        TableSchema::new(
+            "flewon",
+            vec![
+                ColumnDef::new("flightid", DataType::Text),
+                ColumnDef::new("flightdate", DataType::Date),
+                ColumnDef::new("passenger_count", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["flightid", "flightdate"])
+        .with_check("positive_passengers", CheckExpr::gt("passenger_count", 0)),
+    )
+    .unwrap();
+    for a in ["AA", "UA"] {
+        for n in [101i64, 102] {
+            let fid = format!("{a}{n}");
+            db.insert_unlogged(
+                "flights",
+                row![
+                    fid.clone(),
+                    "JFK",
+                    "SFO",
+                    a,
+                    Value::Timestamp(8 * 3_600_000_000),
+                    Value::Timestamp(14 * 3_600_000_000),
+                    180
+                ],
+            )
+            .unwrap();
+            for day in 0..20 {
+                db.insert_unlogged(
+                    "flewon",
+                    Row(vec![
+                        Value::text(fid.clone()),
+                        Value::Date(day),
+                        Value::Int(100 + day as i64),
+                    ]),
+                )
+                .unwrap();
+            }
+        }
+    }
+    db
+}
+
+fn flewoninfo_spec() -> SelectSpec {
+    SelectSpec::new()
+        .from_table("flights", "f")
+        .from_table("flewon", "fi")
+        .join_on(ColRef::new("f", "flightid"), ColRef::new("fi", "flightid"))
+        .select("fid", Expr::col("f", "flightid"))
+        .select("flightdate", Expr::col("fi", "flightdate"))
+        .select("passenger_count", Expr::col("fi", "passenger_count"))
+        .select(
+            "empty_seats",
+            Expr::col("f", "capacity").sub(Expr::col("fi", "passenger_count")),
+        )
+        .select("expected_departure_time", Expr::col("f", "departure_time"))
+        .select("actual_departure_time", Expr::null())
+}
+
+fn flewoninfo_schema() -> TableSchema {
+    TableSchema::new(
+        "flewoninfo",
+        vec![
+            ColumnDef::new("fid", DataType::Text),
+            ColumnDef::new("flightdate", DataType::Date),
+            ColumnDef::nullable("passenger_count", DataType::Int),
+            ColumnDef::nullable("empty_seats", DataType::Int),
+            ColumnDef::nullable("expected_departure_time", DataType::Timestamp),
+            ColumnDef::nullable("actual_departure_time", DataType::Timestamp),
+        ],
+    )
+    .with_primary_key(&["fid", "flightdate"])
+}
+
+/// The paper's exact client request and its predicate movement.
+#[test]
+fn paper_predicates_reach_both_old_tables() {
+    let spec = flewoninfo_spec();
+    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
+        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
+    );
+    let t = transpose(&spec, Some(&pred));
+    // FLIGHTID = 'AA101' lands on both flights and flewon; the EXTRACT
+    // lands on flewon only — exactly the PostgreSQL plan in the paper.
+    assert_eq!(
+        t.filter_for("f").unwrap().to_string(),
+        "(f.flightid = 'AA101')"
+    );
+    let fi = t.filter_for("fi").unwrap().to_string();
+    assert!(fi.contains("(fi.flightid = 'AA101')"));
+    assert!(fi.contains("EXTRACT(DAY FROM fi.flightdate)"));
+    assert!(t.dropped.is_empty());
+}
+
+#[test]
+fn end_to_end_flights_evolution() {
+    let db = flights_db();
+    let bf = Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: true,
+                start_delay: Duration::from_millis(30),
+                batch: 32,
+                pause: Duration::ZERO,
+                threads: 2,
+            },
+            ..Default::default()
+        },
+    );
+    let mut plan = MigrationPlan::new("flewoninfo")
+        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    plan.resolve(&db).unwrap();
+    // The FK side (flewon) drives; flights is the untracked PK side
+    // (§3.6 option 2).
+    assert_eq!(
+        plan.statements[0].category(),
+        MigrationCategory::OneToOne
+    );
+    let plan = MigrationPlan::new("flewoninfo")
+        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    bf.submit_migration(plan).unwrap();
+
+    // The paper's client request: only AA101/day-9 tuples migrate.
+    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
+        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
+    );
+    let mut txn = db.begin();
+    let rows = bf
+        .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)
+        .unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(rows.len(), 1);
+    let r = &rows[0].1;
+    assert_eq!(r[0], Value::text("AA101"));
+    assert_eq!(r[1], Value::Date(8)); // 1970-01-09 → day-of-month 9
+    assert_eq!(r[3], Value::Int(180 - 108)); // derived empty_seats
+    assert_eq!(r[5], Value::Null); // actual_departure_time starts NULL
+    assert_eq!(db.table("flewoninfo").unwrap().live_count(), 1);
+
+    // Backwards-incompatible insert (constraint dropped in the new schema).
+    let mut txn = db.begin();
+    bf.insert(
+        &mut txn,
+        "flewoninfo",
+        Row(vec![
+            Value::text("UA102"),
+            Value::Date(99),
+            Value::Int(0),
+            Value::Int(180),
+            Value::Null,
+            Value::Null,
+        ]),
+    )
+    .unwrap();
+    db.commit(&mut txn).unwrap();
+
+    // Old schema is retired.
+    let mut txn = db.begin();
+    assert!(matches!(
+        bf.select(&mut txn, "flewon", None, LockPolicy::Shared),
+        Err(Error::SchemaRetired(_))
+    ));
+    db.abort(&mut txn);
+
+    // Background completion covers all 80 join rows + our insert.
+    assert!(bf.wait_migration_complete(Duration::from_secs(30)));
+    assert_eq!(db.table("flewoninfo").unwrap().live_count(), 81);
+
+    // Final state matches the full eager evaluation of the same spec.
+    let mut txn = db.begin();
+    let eager_rows = bullfrog::engine::exec::execute_spec(
+        &db,
+        &mut txn,
+        &flewoninfo_spec(),
+        &Default::default(),
+    )
+    .unwrap();
+    db.commit(&mut txn).unwrap();
+    let mut expected: Vec<Row> = eager_rows.rows;
+    expected.push(Row(vec![
+        Value::text("UA102"),
+        Value::Date(99),
+        Value::Int(0),
+        Value::Int(180),
+        Value::Null,
+        Value::Null,
+    ]));
+    expected.sort();
+    let mut got: Vec<Row> = db
+        .select_unlocked("flewoninfo", None)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect();
+    got.sort();
+    assert_eq!(got, expected);
+    bf.shutdown_background();
+}
+
+/// The worst case the paper calls out: a predicate that cannot be
+/// transposed (derived column) widens the migration scope to everything —
+/// sound, just not lazy.
+#[test]
+fn untransposable_predicate_migrates_superset() {
+    let db = flights_db();
+    let bf = Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let plan = MigrationPlan::new("flewoninfo")
+        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    bf.submit_migration(plan).unwrap();
+    let pred = Expr::column("empty_seats").lt(Expr::lit(75));
+    let mut txn = db.begin();
+    let rows = bf
+        .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)
+        .unwrap();
+    db.commit(&mut txn).unwrap();
+    // Correct answer...
+    assert!(rows.iter().all(|(_, r)| r[3].as_i64().unwrap() < 75));
+    assert!(!rows.is_empty());
+    // ...at the cost of migrating every tuple.
+    assert_eq!(db.table("flewoninfo").unwrap().live_count(), 80);
+}
