@@ -14,9 +14,7 @@ use std::time::Instant;
 
 use bullfrog_bench::figures::FigureConfig;
 use bullfrog_bench::harness::percentile;
-use bullfrog_core::{
-    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, Passthrough,
-};
+use bullfrog_core::{BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, Passthrough};
 use bullfrog_engine::exec::{execute_spec, ExecOptions};
 use bullfrog_engine::LockPolicy;
 use bullfrog_query::Expr;
@@ -78,7 +76,8 @@ fn main() {
             ..Default::default()
         },
     );
-    bf.submit_migration(customer_split_plan(FkLevel::None)).unwrap();
+    bf.submit_migration(customer_split_plan(FkLevel::None))
+        .unwrap();
     Scenario::CustomerSplit.create_output_indexes(&db).unwrap();
     let (el, ops, p50, p99) = cover_all(&fig.scale, batch, |w, d, lo, hi| {
         let pred = Expr::column("c_w_id")

@@ -30,8 +30,13 @@ fn main() {
         ("hot=0.2%", (total / 500).max(4)),
     ] {
         let cfg = fig.run_config(fig.rates.moderate);
-        let (db, strategy) =
-            build_strategy(Scenario::CustomerSplit, StrategyKind::Bullfrog, &fig.scale, &cfg, &StrategyOptions::default());
+        let (db, strategy) = build_strategy(
+            Scenario::CustomerSplit,
+            StrategyKind::Bullfrog,
+            &fig.scale,
+            &cfg,
+            &StrategyOptions::default(),
+        );
         let scale = fig.scale.clone();
         let bf_access = Arc::clone(&strategy.access);
         let op: CustomOp = Arc::new(move |access, rng, now| {

@@ -79,11 +79,7 @@ fn hashmap_ops(c: &mut Criterion) {
             |t| {
                 let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
                 for k in 0..1000i64 {
-                    t.try_claim(
-                        &Granule::Group(vec![Value::Int(k)]),
-                        &mut wip,
-                        &mut skip,
-                    );
+                    t.try_claim(&Granule::Group(vec![Value::Int(k)]), &mut wip, &mut skip);
                 }
                 t.mark_migrated(wip.items());
                 black_box(wip.len())
@@ -98,13 +94,63 @@ fn hashmap_ops(c: &mut Criterion) {
                 let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
                 for k in 0..500i64 {
                     t.try_claim(
-                        &Granule::Group(vec![Value::Int(k % 10), Value::Int(k / 10), Value::Int(k)]),
+                        &Granule::Group(vec![
+                            Value::Int(k % 10),
+                            Value::Int(k / 10),
+                            Value::Int(k),
+                        ]),
                         &mut wip,
                         &mut skip,
                     );
                 }
                 t.mark_migrated(wip.items());
                 black_box(wip.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn lock_shard_hash(c: &mut Criterion) {
+    use bullfrog_common::{RowId, TableId, TxnId};
+    use bullfrog_txn::{LockKey, LockManager, LockMode};
+    use std::time::Duration;
+
+    let mut g = c.benchmark_group("lock_shard");
+    // The deterministic FNV hash that picks a lock-table shard (and a
+    // tracker partition) — the per-acquire cost the DefaultHasher swap
+    // had to not regress.
+    g.bench_function("fnv_hash_key", |b| {
+        let keys: Vec<LockKey> = (0..1024u64)
+            .map(|r| LockKey::Row(TableId(3), RowId::from_ordinal(r, 64)))
+            .collect();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for k in &keys {
+                acc ^= bullfrog_common::fnv_hash_one(k);
+            }
+            black_box(acc)
+        })
+    });
+    // End-to-end acquire/release through the sharded table, single txn,
+    // distinct rows: dominated by shard pick + mutex + map entry.
+    g.bench_function("acquire_release_1k", |b| {
+        b.iter_batched(
+            || LockManager::new(Duration::from_millis(50)),
+            |lm| {
+                for r in 0..1000u64 {
+                    lm.acquire(
+                        TxnId(1),
+                        LockKey::Row(TableId(3), RowId::from_ordinal(r, 64)),
+                        LockMode::X,
+                    )
+                    .unwrap();
+                }
+                lm.release_all(
+                    TxnId(1),
+                    (0..1000u64).map(|r| LockKey::Row(TableId(3), RowId::from_ordinal(r, 64))),
+                );
             },
             BatchSize::SmallInput,
         )
@@ -135,6 +181,6 @@ fn transposition(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bitmap_ops, hashmap_ops, transposition
+    targets = bitmap_ops, hashmap_ops, lock_shard_hash, transposition
 }
 criterion_main!(benches);

@@ -75,6 +75,9 @@ pub struct RunResult {
     pub committed: u64,
     /// Transactions that exhausted retries.
     pub failed: u64,
+    /// Durability counters captured at run end (`None` when the caller
+    /// did not have the database at hand to capture them).
+    pub durability: Option<bullfrog_core::DurabilityStats>,
 }
 
 impl RunResult {
@@ -93,10 +96,7 @@ impl RunResult {
     pub fn latency_cdf(&self, fractions: &[f64]) -> Vec<(u64, f64)> {
         let mut v = self.new_order_latencies_us.clone();
         v.sort_unstable();
-        fractions
-            .iter()
-            .map(|&f| (percentile(&v, f), f))
-            .collect()
+        fractions.iter().map(|&f| (percentile(&v, f), f)).collect()
     }
 }
 
@@ -256,6 +256,7 @@ pub fn run_custom_workload(strategy: Strategy, op: CustomOp, cfg: &RunConfig) ->
         migration_end_s: migration_end,
         committed: committed.load(Ordering::Relaxed),
         failed: failed.load(Ordering::Relaxed),
+        durability: None,
     }
 }
 
@@ -337,6 +338,9 @@ pub fn print_series(result: &RunResult) {
         p99 as f64 / 1000.0,
         result.new_order_latencies_us.len()
     );
+    if let Some(d) = &result.durability {
+        println!("  wal  {}", d.summary());
+    }
 }
 
 /// Prints a latency CDF as the textual equivalent of a latency figure.

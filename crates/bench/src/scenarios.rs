@@ -75,11 +75,21 @@ pub fn calibrate(scale: &TpccScale, clients: usize) -> Rates {
 }
 
 fn fresh_db() -> Arc<Database> {
-    Arc::new(Database::with_config(DbConfig {
+    let config = DbConfig {
         lock_timeout: Duration::from_millis(100),
         enforce_fk_on_delete: false,
         ..Default::default()
-    }))
+    };
+    // Benches default to an in-memory WAL (the paper's figures measure
+    // migration interference, not disk). Set BULLFROG_WAL_DIR to run
+    // file-backed and get real group-commit/fsync numbers in the report.
+    if let Ok(dir) = std::env::var("BULLFROG_WAL_DIR") {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::path::Path::new(&dir).join(format!("bench-{}-{n}.wal", std::process::id()));
+        return Arc::new(Database::with_wal_file(config, path).expect("file-backed bench WAL"));
+    }
+    Arc::new(Database::with_config(config))
 }
 
 /// Background settings scaled to the bench windows: the paper delays the
@@ -126,7 +136,7 @@ pub fn run_strategy(
     cfg: &RunConfig,
     opts: &StrategyOptions,
 ) -> RunResult {
-    let (_db, strategy) = build_strategy(scenario, kind, scale, cfg, opts);
+    let (db, strategy) = build_strategy(scenario, kind, scale, cfg, opts);
     let mut driver = Driver::new(scale.clone(), Some(scenario));
     if let Some(w) = opts.weights {
         driver.weights = w;
@@ -134,7 +144,9 @@ pub fn run_strategy(
     // OLTP-Bench queues requests rather than failing them; a generous
     // retry budget emulates that during eager migration's lock window.
     driver.max_retries = 100;
-    run_workload(strategy, Arc::new(driver), cfg)
+    let mut result = run_workload(strategy, Arc::new(driver), cfg);
+    result.durability = Some(bullfrog_core::DurabilityStats::capture(&db));
+    result
 }
 
 /// Loads a fresh database and builds one strategy (without running a
@@ -200,7 +212,8 @@ pub fn build_strategy(
                 is_complete: Box::new(move || m3.is_caught_up()),
             }
         }
-        StrategyKind::Bullfrog | StrategyKind::BullfrogOnConflict
+        StrategyKind::Bullfrog
+        | StrategyKind::BullfrogOnConflict
         | StrategyKind::BullfrogNoBackground => {
             let config = BullfrogConfig {
                 dedup: if kind == StrategyKind::BullfrogOnConflict {

@@ -117,10 +117,7 @@ impl Error {
     /// should abort the transaction and retry (the TPC-C driver and the
     /// migration loop both use this).
     pub fn is_retryable(&self) -> bool {
-        matches!(
-            self,
-            Error::LockTimeout { .. } | Error::TxnAborted(_)
-        )
+        matches!(self, Error::LockTimeout { .. } | Error::TxnAborted(_))
     }
 }
 

@@ -12,6 +12,7 @@
 //! - [`Error`] — the workspace-wide error type.
 
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod row;
 pub mod schema;
@@ -19,6 +20,7 @@ pub mod types;
 pub mod value;
 
 pub use error::{Error, Result};
+pub use hash::{fnv_hash_one, FnvHasher};
 pub use ids::{IndexId, PageNo, RowId, SlotNo, TableId, TxnId};
 pub use row::Row;
 pub use schema::{

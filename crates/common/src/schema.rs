@@ -158,20 +158,16 @@ impl CheckExpr {
                 let idx = schema.col_index(column)?;
                 Ok(Some(!row[idx].is_null()))
             }
-            CheckExpr::And(a, b) => {
-                Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
-                    (Some(false), _) | (_, Some(false)) => Some(false),
-                    (Some(true), Some(true)) => Some(true),
-                    _ => None,
-                })
-            }
-            CheckExpr::Or(a, b) => {
-                Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
-                    (Some(true), _) | (_, Some(true)) => Some(true),
-                    (Some(false), Some(false)) => Some(false),
-                    _ => None,
-                })
-            }
+            CheckExpr::And(a, b) => Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            }),
+            CheckExpr::Or(a, b) => Ok(match (a.eval(schema, row)?, b.eval(schema, row)?) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            }),
             CheckExpr::Not(e) => Ok(e.eval(schema, row)?.map(|b| !b)),
         }
     }
@@ -365,10 +361,7 @@ mod tests {
     fn col_resolution() {
         let s = flewon();
         assert_eq!(s.col_index("flightdate").unwrap(), 1);
-        assert!(matches!(
-            s.col_index("nope"),
-            Err(Error::ColumnNotFound(_))
-        ));
+        assert!(matches!(s.col_index("nope"), Err(Error::ColumnNotFound(_))));
         assert_eq!(s.pk_indices().unwrap(), vec![0, 1]);
     }
 
@@ -392,17 +385,17 @@ mod tests {
     fn validate_rejects_type_mismatch() {
         let s = flewon();
         let r = Row::new(vec![Value::Int(5), Value::Date(9), Value::Int(1)]);
-        assert!(matches!(
-            s.validate_row(&r),
-            Err(Error::SchemaMismatch(_))
-        ));
+        assert!(matches!(s.validate_row(&r), Err(Error::SchemaMismatch(_))));
     }
 
     #[test]
     fn validate_rejects_null_in_not_null() {
         let s = flewon();
         let r = Row::new(vec![Value::Null, Value::Date(9), Value::Int(1)]);
-        assert!(matches!(s.validate_row(&r), Err(Error::NullViolation { .. })));
+        assert!(matches!(
+            s.validate_row(&r),
+            Err(Error::NullViolation { .. })
+        ));
     }
 
     #[test]
@@ -437,10 +430,7 @@ mod tests {
 
     #[test]
     fn int_accepted_in_decimal_column() {
-        let s = TableSchema::new(
-            "t",
-            vec![ColumnDef::new("amount", DataType::Decimal)],
-        );
+        let s = TableSchema::new("t", vec![ColumnDef::new("amount", DataType::Decimal)]);
         s.validate_row(&row![5]).unwrap();
     }
 

@@ -171,7 +171,9 @@ mod tests {
             .unwrap();
         assert_eq!(got, Some((rid, row![1])));
         access.update(&mut txn, "t", rid, row![2]).unwrap();
-        let all = access.select(&mut txn, "t", None, LockPolicy::Shared).unwrap();
+        let all = access
+            .select(&mut txn, "t", None, LockPolicy::Shared)
+            .unwrap();
         assert_eq!(all, vec![(rid, row![2])]);
         access.delete(&mut txn, "t", rid).unwrap();
         db.commit(&mut txn).unwrap();

@@ -55,11 +55,7 @@ impl EagerMigrator {
         let mut txn = self.db.begin();
         let result = (|| -> Result<()> {
             // X-lock every affected table for the duration (clients queue).
-            for name in plan
-                .input_tables()
-                .into_iter()
-                .chain(plan.output_tables())
-            {
+            for name in plan.input_tables().into_iter().chain(plan.output_tables()) {
                 let t = self.db.table(&name)?;
                 // Eager migration may hold these locks for a long time;
                 // wait well beyond the normal client deadline.
@@ -273,10 +269,8 @@ impl MultiStepMigrator {
         let rules = self.rules.lock();
         for rule in rules.iter().filter(|r| r.input_table == table) {
             let s = &plan.statements[rule.stmt];
-            let mut keys: Vec<Vec<Value>> = rows
-                .iter()
-                .map(|r| r.key(&rule.input_key_cols))
-                .collect();
+            let mut keys: Vec<Vec<Value>> =
+                rows.iter().map(|r| r.key(&rule.input_key_cols)).collect();
             keys.sort();
             keys.dedup();
             for key in keys {
@@ -371,7 +365,10 @@ impl MultiStepMigrator {
                 continue;
             };
             let opts = ExecOptions {
-                driving: vec![(alias, vec![(bullfrog_common::RowId::new(0, 0), new.clone())])],
+                driving: vec![(
+                    alias,
+                    vec![(bullfrog_common::RowId::new(0, 0), new.clone())],
+                )],
                 lock: LockPolicy::None,
                 ..Default::default()
             };
@@ -380,7 +377,8 @@ impl MultiStepMigrator {
             for out_row in out.rows {
                 let key = out_row.key(&pk);
                 if let Some((rid, _)) =
-                    self.db.get_by_pk(txn, &s.output.name, &key, LockPolicy::Exclusive)?
+                    self.db
+                        .get_by_pk(txn, &s.output.name, &key, LockPolicy::Exclusive)?
                 {
                     self.db.update(txn, &s.output.name, rid, out_row)?;
                 } else {
@@ -547,9 +545,7 @@ fn derive_mirror_rules(
                 input.table, s.output.name
             )));
         }
-        let input_key_cols = table
-            .schema()
-            .col_indices(&input_cols)?;
+        let input_key_cols = table.schema().col_indices(&input_cols)?;
         rules.push(MirrorRule {
             stmt: stmt_idx,
             input_table: input.table.clone(),
@@ -612,7 +608,10 @@ fn copy_statement(
                 }
             }
         }
-        Tracking::Hash { key_alias, key_exprs } => {
+        Tracking::Hash {
+            key_alias,
+            key_exprs,
+        } => {
             let input = &s.spec.input(key_alias).expect("resolved").table;
             let table = db.table(input)?;
             let scope = bullfrog_engine::db::table_scope(&table);

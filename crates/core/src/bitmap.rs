@@ -101,7 +101,11 @@ impl BitmapTracker {
 
     #[inline]
     fn locate(&self, g: u64) -> (usize, usize, u32) {
-        debug_assert!(g < self.capacity, "granule {g} out of range {}", self.capacity);
+        debug_assert!(
+            g < self.capacity,
+            "granule {g} out of range {}",
+            self.capacity
+        );
         let part = (g / PART_GRANULES) as usize;
         let within = g % PART_GRANULES;
         let word = (within / GRANULES_PER_WORD) as usize;
@@ -355,9 +359,8 @@ mod tests {
             let (mut wip, mut skip) = (WorkList::new(), WorkList::new());
             t.try_claim(&g(3), &mut wip, &mut skip);
             let t2 = Arc::clone(&t);
-            let waiter = std::thread::spawn(move || {
-                t2.wait_not_in_progress(&g(3), Duration::from_secs(5))
-            });
+            let waiter =
+                std::thread::spawn(move || t2.wait_not_in_progress(&g(3), Duration::from_secs(5)));
             std::thread::sleep(Duration::from_millis(30));
             if reset {
                 t.reset_aborted(wip.items());

@@ -205,18 +205,15 @@ impl Bullfrog {
         let mut runtimes = Vec::with_capacity(plan.statements.len());
         for (i, s) in plan.statements.iter().enumerate() {
             let tracker: Arc<dyn Tracker> = match s.tracking() {
-                Tracking::Bitmap { driving_alias, granule_rows } => {
-                    let table_name = &s
-                        .spec
-                        .input(driving_alias)
-                        .expect("resolved alias")
-                        .table;
+                Tracking::Bitmap {
+                    driving_alias,
+                    granule_rows,
+                } => {
+                    let table_name = &s.spec.input(driving_alias).expect("resolved alias").table;
                     let cap = self.db.table(table_name)?.heap().ordinal_bound();
                     Arc::new(BitmapTracker::new(cap.max(1), *granule_rows))
                 }
-                Tracking::Hash { .. } | Tracking::PairHash { .. } => {
-                    Arc::new(HashTracker::new())
-                }
+                Tracking::Hash { .. } | Tracking::PairHash { .. } => Arc::new(HashTracker::new()),
             };
             runtimes.push(Arc::new(StatementRuntime {
                 id: i as u32,
@@ -313,7 +310,11 @@ impl Bullfrog {
         Ok(())
     }
 
-    fn migrate_options(&self, background: bool, peers: Vec<Arc<StatementRuntime>>) -> MigrateOptions {
+    fn migrate_options(
+        &self,
+        background: bool,
+        peers: Vec<Arc<StatementRuntime>>,
+    ) -> MigrateOptions {
         MigrateOptions {
             dedup: self.config.dedup,
             wait_timeout: self.config.wait_timeout,
@@ -380,8 +381,7 @@ impl Bullfrog {
             let pred = conjoin(
                 cols.iter()
                     .map(|&i| {
-                        Expr::column(schema.columns[i].name.clone())
-                            .eq(Expr::Lit(row[i].clone()))
+                        Expr::column(schema.columns[i].name.clone()).eq(Expr::Lit(row[i].clone()))
                     })
                     .collect(),
             );

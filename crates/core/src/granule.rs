@@ -139,11 +139,7 @@ pub trait Tracker: Send + Sync {
     /// Blocks until `g` stops being `InProgress` (either outcome), up to
     /// `timeout`; returns the state seen last. This is worker w3 in Figure
     /// 1 waiting on tuple 6.
-    fn wait_not_in_progress(
-        &self,
-        g: &Granule,
-        timeout: std::time::Duration,
-    ) -> GranuleState;
+    fn wait_not_in_progress(&self, g: &Granule, timeout: std::time::Duration) -> GranuleState;
 
     /// Marks a granule migrated without a prior claim — used by the ON
     /// CONFLICT mode (§3.7), where the unique index, not the tracker,

@@ -19,7 +19,6 @@
 //! the exclusive latch with a full re-check.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -67,9 +66,9 @@ impl HashTracker {
     }
 
     fn partition(&self, key: &[Value]) -> &Partition {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.partitions[(h.finish() as usize) & (PARTITIONS - 1)]
+        // Deterministic FNV so partition assignment is stable across runs
+        // (DESIGN.md: trackers partition by an in-repo FNV-style hash).
+        &self.partitions[(bullfrog_common::fnv_hash_one(key) as usize) & (PARTITIONS - 1)]
     }
 
     fn status(&self, key: &[Value]) -> Option<GroupStatus> {
@@ -356,6 +355,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(t.migrated_count(), 200);
-        assert_eq!(migrations.load(Ordering::Relaxed), 200, "no double migration");
+        assert_eq!(
+            migrations.load(Ordering::Relaxed),
+            200,
+            "no double migration"
+        );
     }
 }

@@ -52,7 +52,5 @@ pub use hashmap::HashTracker;
 pub use migrate::{
     candidates_for, migrate_candidates, DedupMode, MigrateOptions, StatementRuntime,
 };
-pub use plan::{
-    JoinStrategy, MigrationCategory, MigrationPlan, MigrationStatement, Tracking,
-};
-pub use stats::MigrationStats;
+pub use plan::{JoinStrategy, MigrationCategory, MigrationPlan, MigrationStatement, Tracking};
+pub use stats::{DurabilityStats, MigrationStats};

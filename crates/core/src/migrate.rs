@@ -109,7 +109,10 @@ pub fn candidates_for(
             granules.dedup();
             Ok(granules.into_iter().map(Granule::Ordinal).collect())
         }
-        Tracking::Hash { key_alias, key_exprs } => {
+        Tracking::Hash {
+            key_alias,
+            key_exprs,
+        } => {
             let filter = transposed.filter_for(key_alias).map(strip_aliases);
             let table = db.table(driving_table)?;
             let scope = bullfrog_engine::db::table_scope(&table);
@@ -127,9 +130,10 @@ pub fn candidates_for(
             keys.dedup();
             Ok(keys.into_iter().map(Granule::Group).collect())
         }
-        Tracking::PairHash { left_alias, right_alias } => {
-            pair_candidates(db, rt, &transposed, left_alias, right_alias)
-        }
+        Tracking::PairHash {
+            left_alias,
+            right_alias,
+        } => pair_candidates(db, rt, &transposed, left_alias, right_alias),
     }
 }
 
@@ -175,7 +179,10 @@ fn pair_candidates(
         if key.iter().any(Value::is_null) {
             continue;
         }
-        by_key.entry(key).or_default().push(rid.ordinal(right_slots));
+        by_key
+            .entry(key)
+            .or_default()
+            .push(rid.ordinal(right_slots));
     }
     let mut out = Vec::new();
     for (rid, row) in &left_rows {
@@ -319,12 +326,10 @@ pub fn migrate_candidates(
                         return Err(Error::Internal("migration cancelled".into()));
                     }
                 }
-                let chunk: Vec<Granule> =
-                    candidates[..candidates.len().min(cap)].to_vec();
+                let chunk: Vec<Granule> = candidates[..candidates.len().min(cap)].to_vec();
                 match migrate_once(db, rt, &chunk, opts) {
                     Ok(skip) => {
-                        let mut rest: Vec<Granule> =
-                            candidates.split_off(chunk.len());
+                        let mut rest: Vec<Granule> = candidates.split_off(chunk.len());
                         if skip.is_empty() && rest.is_empty() {
                             return Ok(());
                         }
@@ -333,8 +338,7 @@ pub fn migrate_candidates(
                             // until its owner finishes or aborts, then
                             // recheck it (appended after the fresh work).
                             MigrationStats::add(&rt.stats.waits, 1);
-                            rt.tracker
-                                .wait_not_in_progress(&skip[0], opts.wait_timeout);
+                            rt.tracker.wait_not_in_progress(&skip[0], opts.wait_timeout);
                             rest.extend(skip);
                         }
                         candidates = rest;
@@ -379,11 +383,7 @@ fn migrate_once(
     }
     MigrationStats::add(&rt.stats.skips, skip.len() as u64);
 
-    let inject_abort = opts
-        .failpoint
-        .as_ref()
-        .map(|f| f())
-        .unwrap_or(false);
+    let inject_abort = opts.failpoint.as_ref().map(|f| f()).unwrap_or(false);
 
     if let Some(e) = failure {
         db.abort(&mut txn);
@@ -521,7 +521,10 @@ fn migrate_granule(
                 Err(e) => return Err(e),
             },
             DedupMode::OnConflict => {
-                if db.insert_or_ignore_with(txn, out_table, row, false)?.is_some() {
+                if db
+                    .insert_or_ignore_with(txn, out_table, row, false)?
+                    .is_some()
+                {
                     counts.migrated += 1;
                 } else {
                     counts.conflicts += 1;
@@ -572,7 +575,13 @@ fn execute_granule_spec(
             }
             opts.driving = vec![(driving_alias, rows)];
         }
-        (Tracking::Hash { key_alias, key_exprs }, Granule::Group(key)) => {
+        (
+            Tracking::Hash {
+                key_alias,
+                key_exprs,
+            },
+            Granule::Group(key),
+        ) => {
             // Restrict the spec to the group: key_exprs = key values.
             let mut filter: Option<Expr> = None;
             for (e, v) in key_exprs.iter().zip(key.iter()) {
@@ -586,7 +595,13 @@ fn execute_granule_spec(
                 opts.extra_filters.insert(key_alias.clone(), f);
             }
         }
-        (Tracking::PairHash { left_alias, right_alias }, Granule::Group(key)) => {
+        (
+            Tracking::PairHash {
+                left_alias,
+                right_alias,
+            },
+            Granule::Group(key),
+        ) => {
             // key = [left ordinal, right ordinal]; pin one row per side.
             let (l, r) = match key.as_slice() {
                 [Value::Int(l), Value::Int(r)] => (*l as u64, *r as u64),
@@ -629,11 +644,11 @@ fn execute_granule_spec(
 mod tests {
     use super::*;
     use crate::bitmap::BitmapTracker;
-    use std::sync::atomic::Ordering;
     use crate::hashmap::HashTracker;
     use crate::plan::MigrationStatement;
     use bullfrog_common::{row, ColumnDef, DataType, TableSchema};
     use bullfrog_query::{AggFunc, SelectSpec};
+    use std::sync::atomic::Ordering;
 
     fn orders_db() -> Arc<Database> {
         let db = Arc::new(Database::new());
@@ -667,7 +682,10 @@ mod tests {
             .from_table("order_line", "ol")
             .select("ol_o_id", Expr::col("ol", "ol_o_id"))
             .select("ol_number", Expr::col("ol", "ol_number"))
-            .select("double_amount", Expr::col("ol", "ol_amount").mul(Expr::lit(2)));
+            .select(
+                "double_amount",
+                Expr::col("ol", "ol_amount").mul(Expr::lit(2)),
+            );
         let out = TableSchema::new(
             "order_line2",
             vec![
@@ -743,9 +761,7 @@ mod tests {
         let pred = Expr::column("ol_o_id").eq(Expr::lit(3));
         let c = candidates_for(&db, &rt, Some(&pred)).unwrap();
         migrate_candidates(&db, &rt, c, &MigrateOptions::default()).unwrap();
-        let rows = db
-            .select_unlocked("order_line2", Some(&pred))
-            .unwrap();
+        let rows = db.select_unlocked("order_line2", Some(&pred)).unwrap();
         assert_eq!(rows.len(), 5);
         // Derived column is computed.
         assert!(rows.iter().any(|(_, r)| r[2] == Value::Decimal(2 * 302)));
@@ -766,7 +782,10 @@ mod tests {
         let rows = db.select_unlocked("order_totals", None).unwrap();
         assert_eq!(rows.len(), 1);
         let expected: i64 = (0..5).map(|n| 700 + n).sum();
-        assert_eq!(rows[0].1, Row(vec![Value::Int(7), Value::Decimal(expected)]));
+        assert_eq!(
+            rows[0].1,
+            Row(vec![Value::Int(7), Value::Decimal(expected)])
+        );
     }
 
     #[test]
@@ -859,10 +878,8 @@ mod tests {
                 let cd = Arc::clone(&countdown);
                 let opts = MigrateOptions {
                     failpoint: Some(Arc::new(move || {
-                        cd.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
-                            v.checked_sub(1)
-                        })
-                        .is_ok()
+                        cd.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+                            .is_ok()
                     })),
                     ..Default::default()
                 };

@@ -37,7 +37,10 @@ impl MigrationCategory {
     /// Whether this category is tracked by a bitmap (vs a hashmap) —
     /// the paper's "bitmap migrations" vs "hashmap migrations".
     pub fn uses_bitmap(self) -> bool {
-        matches!(self, MigrationCategory::OneToOne | MigrationCategory::OneToMany)
+        matches!(
+            self,
+            MigrationCategory::OneToOne | MigrationCategory::OneToMany
+        )
     }
 }
 
@@ -141,7 +144,9 @@ impl MigrationStatement {
 
     /// The resolved tracking (after [`MigrationStatement::resolve`]).
     pub fn tracking(&self) -> &Tracking {
-        self.tracking.as_ref().expect("statement resolved at submission")
+        self.tracking
+            .as_ref()
+            .expect("statement resolved at submission")
     }
 
     /// Validates the statement against the catalog and resolves category +
@@ -195,9 +200,10 @@ impl MigrationStatement {
                 let mut cols = Vec::new();
                 k.columns(&mut cols);
                 for c in cols {
-                    let a = c.table.clone().unwrap_or_else(|| {
-                        self.spec.inputs[0].alias.clone()
-                    });
+                    let a = c
+                        .table
+                        .clone()
+                        .unwrap_or_else(|| self.spec.inputs[0].alias.clone());
                     match &alias {
                         None => alias = Some(a),
                         Some(prev) if *prev == a => {}
@@ -381,12 +387,7 @@ impl MigrationStatement {
             .map(|c| table.schema().col_index(&c.column))
             .collect::<Result<_>>()?;
         Ok(table.indexes().iter().any(|idx| {
-            idx.def().unique
-                && idx
-                    .def()
-                    .key_columns
-                    .iter()
-                    .all(|k| positions.contains(k))
+            idx.def().unique && idx.def().key_columns.iter().all(|k| positions.contains(k))
         }))
     }
 }
@@ -460,7 +461,10 @@ impl MigrationPlan {
 
     /// All new-schema table names this plan creates.
     pub fn output_tables(&self) -> Vec<String> {
-        self.statements.iter().map(|s| s.output.name.clone()).collect()
+        self.statements
+            .iter()
+            .map(|s| s.output.name.clone())
+            .collect()
     }
 
     /// Resolves every statement (validation + classification).
@@ -515,15 +519,13 @@ mod tests {
             .with_primary_key(&["l_id"]),
         )
         .unwrap();
-        db.create_table(
-            TableSchema::new(
-                "stock",
-                vec![
-                    ColumnDef::new("s_i_id", DataType::Int),
-                    ColumnDef::new("s_qty", DataType::Int),
-                ],
-            ),
-        )
+        db.create_table(TableSchema::new(
+            "stock",
+            vec![
+                ColumnDef::new("s_i_id", DataType::Int),
+                ColumnDef::new("s_qty", DataType::Int),
+            ],
+        ))
         .unwrap();
         db
     }
@@ -543,10 +545,7 @@ mod tests {
         let spec = SelectSpec::new()
             .from_table("lines", "l")
             .select("l_id", Expr::col("l", "l_id"));
-        let mut s = MigrationStatement::new(
-            out_schema("lines2", &[("l_id", DataType::Int)]),
-            spec,
-        );
+        let mut s = MigrationStatement::new(out_schema("lines2", &[("l_id", DataType::Int)]), spec);
         s.resolve(&db).unwrap();
         assert_eq!(s.category(), MigrationCategory::OneToOne);
         assert!(matches!(
@@ -563,13 +562,19 @@ mod tests {
             .select("o_id", Expr::col("l", "l_o_id"))
             .select_agg("total", AggFunc::Sum, Expr::col("l", "l_amount"));
         let mut s = MigrationStatement::new(
-            out_schema("order_totals", &[("o_id", DataType::Int), ("total", DataType::Decimal)]),
+            out_schema(
+                "order_totals",
+                &[("o_id", DataType::Int), ("total", DataType::Decimal)],
+            ),
             spec,
         );
         s.resolve(&db).unwrap();
         assert_eq!(s.category(), MigrationCategory::ManyToOne);
         match s.tracking() {
-            Tracking::Hash { key_alias, key_exprs } => {
+            Tracking::Hash {
+                key_alias,
+                key_exprs,
+            } => {
                 assert_eq!(key_alias, "l");
                 assert_eq!(key_exprs.len(), 1);
             }
@@ -587,7 +592,10 @@ mod tests {
             .select("l_id", Expr::col("l", "l_id"))
             .select("o_c_id", Expr::col("o", "o_c_id"));
         let mut s = MigrationStatement::new(
-            out_schema("lines_denorm", &[("l_id", DataType::Int), ("o_c_id", DataType::Int)]),
+            out_schema(
+                "lines_denorm",
+                &[("l_id", DataType::Int), ("o_c_id", DataType::Int)],
+            ),
             spec,
         );
         s.resolve(&db).unwrap();
@@ -607,11 +615,8 @@ mod tests {
             .from_table("orders", "o")
             .join_on(ColRef::new("l", "l_o_id"), ColRef::new("o", "o_id"))
             .select("l_id", Expr::col("l", "l_id"));
-        let mut s = MigrationStatement::new(
-            out_schema("x", &[("l_id", DataType::Int)]),
-            spec,
-        )
-        .with_join_strategy(JoinStrategy::DrivingSide { alias: "o".into() });
+        let mut s = MigrationStatement::new(out_schema("x", &[("l_id", DataType::Int)]), spec)
+            .with_join_strategy(JoinStrategy::DrivingSide { alias: "o".into() });
         s.resolve(&db).unwrap();
         // Driving the PK side: each order joins many lines ⇒ 1:n.
         assert_eq!(s.category(), MigrationCategory::OneToMany);
@@ -646,10 +651,8 @@ mod tests {
         let spec = SelectSpec::new()
             .from_table("lines", "l")
             .select("l_id", Expr::col("l", "l_id"));
-        let mut s = MigrationStatement::new(
-            out_schema("bad", &[("wrong_name", DataType::Int)]),
-            spec,
-        );
+        let mut s =
+            MigrationStatement::new(out_schema("bad", &[("wrong_name", DataType::Int)]), spec);
         assert!(matches!(s.resolve(&db), Err(Error::InvalidMigration(_))));
     }
 
@@ -659,8 +662,7 @@ mod tests {
         let spec = SelectSpec::new()
             .from_table("nope", "n")
             .select("x", Expr::col("n", "x"));
-        let mut s =
-            MigrationStatement::new(out_schema("o", &[("x", DataType::Int)]), spec);
+        let mut s = MigrationStatement::new(out_schema("o", &[("x", DataType::Int)]), spec);
         assert!(matches!(s.resolve(&db), Err(Error::TableNotFound(_))));
     }
 
@@ -706,9 +708,11 @@ mod tests {
     #[test]
     fn global_aggregate_gets_constant_key() {
         let db = db();
-        let spec = SelectSpec::new()
-            .from_table("lines", "l")
-            .select_agg("total", AggFunc::Sum, Expr::col("l", "l_amount"));
+        let spec = SelectSpec::new().from_table("lines", "l").select_agg(
+            "total",
+            AggFunc::Sum,
+            Expr::col("l", "l_amount"),
+        );
         let mut s = MigrationStatement::new(
             out_schema("grand_total", &[("total", DataType::Decimal)]),
             spec,

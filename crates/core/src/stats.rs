@@ -1,6 +1,10 @@
-//! Migration progress and overhead counters.
+//! Migration progress and overhead counters, plus a snapshot of the
+//! engine's durability (group-commit WAL + checkpoint) counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+
+use bullfrog_engine::Database;
+use bullfrog_txn::WalStatsSnapshot;
 
 /// Counters published by an active migration (all monotonically
 /// increasing; read with relaxed ordering — they are diagnostics, not
@@ -63,9 +67,68 @@ impl MigrationStats {
     }
 }
 
+/// Point-in-time durability counters captured from a database: the WAL's
+/// group-commit/flush/checkpoint totals plus the current log shape. One
+/// capture per run is enough — everything in here is monotonic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DurabilityStats {
+    /// The WAL's own counters (flushes, group sizes, bytes, latency,
+    /// checkpoints, truncated records).
+    pub wal: WalStatsSnapshot,
+    /// LSN-space length of the log (records ever appended).
+    pub log_len: u64,
+    /// Records currently resident in memory (bounded by checkpointing).
+    pub resident_records: u64,
+    /// Highest LSN known durable on disk.
+    pub durable_lsn: u64,
+}
+
+impl DurabilityStats {
+    /// Captures the counters from `db`'s WAL.
+    pub fn capture(db: &Database) -> Self {
+        let wal = db.wal();
+        DurabilityStats {
+            wal: wal.stats(),
+            log_len: wal.len() as u64,
+            resident_records: wal.resident_records() as u64,
+            durable_lsn: wal.durable_lsn(),
+        }
+    }
+
+    /// One-line summary for bench reports: fsync count vs. batches (the
+    /// group-commit win), group sizes, flush latency, and log footprint.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} len={} resident={} durable_lsn={}",
+            self.wal.summary(),
+            self.log_len,
+            self.resident_records,
+            self.durable_lsn,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durability_capture_reflects_wal_shape() {
+        use bullfrog_common::{row, ColumnDef, DataType, TableSchema};
+        let db = Database::new();
+        db.create_table(
+            TableSchema::new("t", vec![ColumnDef::new("id", DataType::Int)])
+                .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        db.with_txn(|txn| db.insert(txn, "t", row![1]).map(|_| ()))
+            .unwrap();
+        let d = DurabilityStats::capture(&db);
+        // One txn = Insert + Commit records.
+        assert_eq!(d.log_len, 2);
+        assert_eq!(d.resident_records, 2);
+        assert!(d.summary().contains("len=2"));
+    }
 
     #[test]
     fn counters_accumulate() {

@@ -237,7 +237,12 @@ fn lazy_and_eager_final_states_agree() {
     // Touch some groups through the client path too.
     for cat in 0..7i64 {
         let mut txn = db_lazy.begin();
-        let _ = bf.get_by_pk(&mut txn, "cat_totals", &[Value::Int(cat)], LockPolicy::Shared);
+        let _ = bf.get_by_pk(
+            &mut txn,
+            "cat_totals",
+            &[Value::Int(cat)],
+            LockPolicy::Shared,
+        );
         let _ = db_lazy.commit(&mut txn);
     }
     assert!(bf.wait_migration_complete(Duration::from_secs(30)));

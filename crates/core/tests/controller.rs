@@ -33,11 +33,8 @@ fn seed_db(rows: i64) -> Arc<Database> {
     db.create_index("employees", "employees_dept_idx", &["e_dept"], false)
         .unwrap();
     for i in 0..rows {
-        db.insert_unlogged(
-            "employees",
-            row![i, format!("emp{i}"), i % 10, i * 100],
-        )
-        .unwrap();
+        db.insert_unlogged("employees", row![i, format!("emp{i}"), i % 10, i * 100])
+            .unwrap();
     }
     db
 }
@@ -139,10 +136,7 @@ fn select_migrates_only_relevant_tuples() {
 
     let active = bf.active().unwrap();
     let stats = &active.stats;
-    assert_eq!(
-        bullfrog_core::MigrationStats::get(&stats.rows_migrated),
-        10
-    );
+    assert_eq!(bullfrog_core::MigrationStats::get(&stats.rows_migrated), 10);
 }
 
 #[test]
@@ -152,7 +146,12 @@ fn get_by_pk_migrates_the_point() {
     bf.submit_migration(split_plan()).unwrap();
     let mut txn = db.begin();
     let got = bf
-        .get_by_pk(&mut txn, "emp_private", &[Value::Int(7)], LockPolicy::Shared)
+        .get_by_pk(
+            &mut txn,
+            "emp_private",
+            &[Value::Int(7)],
+            LockPolicy::Shared,
+        )
         .unwrap();
     db.commit(&mut txn).unwrap();
     let (_, r) = got.unwrap();
@@ -218,7 +217,12 @@ fn clients_and_background_cooperate_exactly_once() {
                 let id = ((rng >> 33) % 400) as i64;
                 let mut txn = db.begin();
                 let got = bf
-                    .get_by_pk(&mut txn, "emp_public", &[Value::Int(id)], LockPolicy::Shared)
+                    .get_by_pk(
+                        &mut txn,
+                        "emp_public",
+                        &[Value::Int(id)],
+                        LockPolicy::Shared,
+                    )
                     .unwrap();
                 db.commit(&mut txn).unwrap();
                 assert!(got.is_some(), "employee {id} must be visible");
@@ -324,7 +328,10 @@ fn aggregate_migration_on_access() {
     assert_eq!(rows.len(), 1);
     // dept 4: employees 4, 14, ..., 94 → salaries 400 + 1400 + ... + 9400.
     let expected: i64 = (0..10).map(|k| (4 + 10 * k) * 100).sum();
-    assert_eq!(rows[0].1, Row(vec![Value::Int(4), Value::Decimal(expected)]));
+    assert_eq!(
+        rows[0].1,
+        Row(vec![Value::Int(4), Value::Decimal(expected)])
+    );
     // Only the accessed group was migrated.
     assert_eq!(db.table("dept_salary").unwrap().live_count(), 1);
 }
@@ -341,9 +348,14 @@ fn on_conflict_mode_end_to_end() {
     // Client requests during background migration.
     for id in 0..20i64 {
         let mut txn = db.begin();
-        bf.get_by_pk(&mut txn, "emp_public", &[Value::Int(id)], LockPolicy::Shared)
-            .unwrap()
-            .unwrap();
+        bf.get_by_pk(
+            &mut txn,
+            "emp_public",
+            &[Value::Int(id)],
+            LockPolicy::Shared,
+        )
+        .unwrap()
+        .unwrap();
         db.commit(&mut txn).unwrap();
     }
     assert!(bf.wait_migration_complete(Duration::from_secs(30)));
@@ -361,10 +373,7 @@ fn on_conflict_mode_requires_unique_output() {
     };
     let bf = Bullfrog::with_config(Arc::clone(&db), cfg);
     let plan = MigrationPlan::new("no_unique").with_statement(MigrationStatement::new(
-        TableSchema::new(
-            "emp_copy",
-            vec![ColumnDef::new("e_id", DataType::Int)],
-        ), // no PK!
+        TableSchema::new("emp_copy", vec![ColumnDef::new("e_id", DataType::Int)]), // no PK!
         SelectSpec::new()
             .from_table("employees", "e")
             .select("e_id", Expr::col("e", "e_id")),
@@ -393,11 +402,8 @@ fn eager_validation_rejects_doomed_unique_constraint() {
     // validation the submit itself fails (§2.4 option 1)...
     let plan = MigrationPlan::new("doomed")
         .with_statement(MigrationStatement::new(
-            TableSchema::new(
-                "t2",
-                vec![ColumnDef::new("dup", DataType::Int)],
-            )
-            .with_primary_key(&["dup"]),
+            TableSchema::new("t2", vec![ColumnDef::new("dup", DataType::Int)])
+                .with_primary_key(&["dup"]),
             SelectSpec::new()
                 .from_table("t", "s")
                 .select("dup", Expr::col("s", "dup")),
@@ -546,11 +552,8 @@ fn page_granularity_migrates_whole_pages() {
     let db = Arc::new(Database::new());
     // Small pages so granularity is visible.
     db.create_table_with_slots(
-        TableSchema::new(
-            "src",
-            vec![ColumnDef::new("id", DataType::Int)],
-        )
-        .with_primary_key(&["id"]),
+        TableSchema::new("src", vec![ColumnDef::new("id", DataType::Int)])
+            .with_primary_key(&["id"]),
         8,
     )
     .unwrap();
@@ -612,7 +615,12 @@ fn sequential_migrations_after_finalize() {
     bf.submit_migration(merge).unwrap();
     let mut txn = db.begin();
     let got = bf
-        .get_by_pk(&mut txn, "employees_v2", &[Value::Int(5)], LockPolicy::Shared)
+        .get_by_pk(
+            &mut txn,
+            "employees_v2",
+            &[Value::Int(5)],
+            LockPolicy::Shared,
+        )
         .unwrap()
         .unwrap();
     db.commit(&mut txn).unwrap();
@@ -632,7 +640,12 @@ fn update_changing_unique_key_widens_migration() {
     // Migrate employee 3 via a point read, then try to take employee 7's id.
     let mut txn = db.begin();
     let (rid, _) = bf
-        .get_by_pk(&mut txn, "emp_public", &[Value::Int(3)], LockPolicy::Exclusive)
+        .get_by_pk(
+            &mut txn,
+            "emp_public",
+            &[Value::Int(3)],
+            LockPolicy::Exclusive,
+        )
         .unwrap()
         .unwrap();
     let err = bf
@@ -664,7 +677,12 @@ fn wait_and_skip_paths_under_heavy_point_contention() {
                 let id = ((t + i) % 8) as i64;
                 let mut txn = db.begin();
                 let got = bf
-                    .get_by_pk(&mut txn, "emp_private", &[Value::Int(id)], LockPolicy::Shared)
+                    .get_by_pk(
+                        &mut txn,
+                        "emp_private",
+                        &[Value::Int(id)],
+                        LockPolicy::Shared,
+                    )
                     .unwrap();
                 db.commit(&mut txn).unwrap();
                 assert!(got.is_some());

@@ -96,9 +96,14 @@ fn run_with(strategy: Option<JoinStrategy>) -> Vec<Row> {
     // Touch a few points through each access path first.
     for b in [3i64, 57, 99] {
         let mut txn = db.begin();
-        bf.get_by_pk(&mut txn, "books_denorm", &[Value::Int(b)], LockPolicy::Shared)
-            .unwrap()
-            .unwrap();
+        bf.get_by_pk(
+            &mut txn,
+            "books_denorm",
+            &[Value::Int(b)],
+            LockPolicy::Shared,
+        )
+        .unwrap()
+        .unwrap();
         db.commit(&mut txn).unwrap();
     }
     assert!(bf.wait_migration_complete(Duration::from_secs(30)));
@@ -158,9 +163,9 @@ fn pk_side_granule_drags_the_whole_fan_out() {
         },
     );
     bf.submit_migration(
-        MigrationPlan::new("denorm").with_statement(denorm_stmt(Some(
-            JoinStrategy::DrivingSide { alias: "a".into() },
-        ))),
+        MigrationPlan::new("denorm").with_statement(denorm_stmt(Some(JoinStrategy::DrivingSide {
+            alias: "a".into(),
+        }))),
     )
     .unwrap();
     // A point read of one book's denormalized row cannot be satisfied by a
@@ -171,7 +176,12 @@ fn pk_side_granule_drags_the_whole_fan_out() {
     // set — the coarse behavior the paper warns about for option 1.
     let mut txn = db.begin();
     let got = bf
-        .get_by_pk(&mut txn, "books_denorm", &[Value::Int(42)], LockPolicy::Shared)
+        .get_by_pk(
+            &mut txn,
+            "books_denorm",
+            &[Value::Int(42)],
+            LockPolicy::Shared,
+        )
         .unwrap();
     db.commit(&mut txn).unwrap();
     assert!(got.is_some());
@@ -200,9 +210,14 @@ fn fk_side_granule_is_fine_grained() {
     bf.submit_migration(MigrationPlan::new("denorm").with_statement(denorm_stmt(None)))
         .unwrap();
     let mut txn = db.begin();
-    bf.get_by_pk(&mut txn, "books_denorm", &[Value::Int(42)], LockPolicy::Shared)
-        .unwrap()
-        .unwrap();
+    bf.get_by_pk(
+        &mut txn,
+        "books_denorm",
+        &[Value::Int(42)],
+        LockPolicy::Shared,
+    )
+    .unwrap()
+    .unwrap();
     db.commit(&mut txn).unwrap();
     assert_eq!(db.table("books_denorm").unwrap().live_count(), 1);
 }
@@ -237,14 +252,18 @@ fn tuple_pairs_point_read_is_maximally_lazy() {
         },
     );
     bf.submit_migration(
-        MigrationPlan::new("denorm")
-            .with_statement(denorm_stmt(Some(JoinStrategy::TuplePairs))),
+        MigrationPlan::new("denorm").with_statement(denorm_stmt(Some(JoinStrategy::TuplePairs))),
     )
     .unwrap();
     let mut txn = db.begin();
-    bf.get_by_pk(&mut txn, "books_denorm", &[Value::Int(42)], LockPolicy::Shared)
-        .unwrap()
-        .unwrap();
+    bf.get_by_pk(
+        &mut txn,
+        "books_denorm",
+        &[Value::Int(42)],
+        LockPolicy::Shared,
+    )
+    .unwrap()
+    .unwrap();
     db.commit(&mut txn).unwrap();
     assert_eq!(
         db.table("books_denorm").unwrap().live_count(),
@@ -262,11 +281,8 @@ fn tuple_pairs_requires_two_inputs() {
     let spec = SelectSpec::new()
         .from_table("books", "b")
         .select("b_id", Expr::col("b", "b_id"));
-    let schema = TableSchema::new(
-        "copy",
-        vec![ColumnDef::new("b_id", DataType::Int)],
-    )
-    .with_primary_key(&["b_id"]);
+    let schema = TableSchema::new("copy", vec![ColumnDef::new("b_id", DataType::Int)])
+        .with_primary_key(&["b_id"]);
     let mut stmt =
         MigrationStatement::new(schema, spec).with_join_strategy(JoinStrategy::TuplePairs);
     assert!(stmt.resolve(&db).is_err());

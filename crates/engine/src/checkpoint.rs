@@ -1,0 +1,367 @@
+//! Checkpointing: bound the WAL by snapshotting its committed prefix.
+//!
+//! A checkpoint turns the log prefix below a transaction-safe cut (see
+//! [`Wal::safe_cut`]) into a [`CheckpointImage`] — the rows every table
+//! would hold after replaying that prefix, plus the migration granules
+//! whose migration committed in it. The image is **built by replay, not by
+//! scanning live heaps**, so it needs no table locks and is trivially
+//! consistent: it is exactly what recovery would have produced.
+//!
+//! Images are incremental. Each checkpoint absorbs only the log delta
+//! since the previous cut into the running image, persists the image to a
+//! sidecar file (temp + rename, so a crash never leaves a half-written
+//! image), and only then truncates the log ([`Wal::truncate_to`]).
+//! Crashing between those steps is safe in both orders: recovery replays
+//! `image + tail records at or above the image's base LSN`, and
+//! [`recovery::recover_from_files`](crate::recovery::recover_from_files)
+//! skips the already-absorbed file prefix using the rotation header.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use bullfrog_common::{Error, Result, Row, RowId, TableId, TxnId};
+use bullfrog_txn::wal::{codec, GranuleKey};
+use bullfrog_txn::LogRecord;
+pub use bytes::Bytes;
+
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+
+use crate::db::Database;
+
+/// Magic prefix of checkpoint sidecar files.
+const CKPT_MAGIC: [u8; 7] = *b"BFCKPT1";
+
+/// The effect of replaying the committed log prefix below `base_lsn`:
+/// every table's rows (at their original row ids) and the committed
+/// migration granules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckpointImage {
+    /// Records below this LSN are covered by the image.
+    pub base_lsn: u64,
+    /// Surviving rows per table.
+    pub tables: BTreeMap<TableId, BTreeMap<RowId, Row>>,
+    /// `(migration id, granule)` pairs whose migration committed.
+    pub migrated: Vec<(u32, GranuleKey)>,
+}
+
+impl CheckpointImage {
+    /// An empty image covering nothing.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rows in the image, across all tables.
+    pub fn row_count(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Folds a log delta into the image. The delta must be the records in
+    /// `[self.base_lsn, cut)` for a transaction-safe `cut`: every
+    /// transaction in it is then fully contained, so commit status is
+    /// decidable from the slice alone (exactly like recovery's two-pass
+    /// replay, applied to maps instead of heaps).
+    pub fn absorb(&mut self, delta: &[LogRecord], cut: u64) {
+        let committed: std::collections::HashSet<TxnId> = delta
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        for rec in delta {
+            if !committed.contains(&rec.txn()) {
+                continue;
+            }
+            match rec {
+                LogRecord::Insert {
+                    table, rid, row, ..
+                } => {
+                    self.tables
+                        .entry(*table)
+                        .or_default()
+                        .insert(*rid, row.clone());
+                }
+                LogRecord::Update {
+                    table, rid, after, ..
+                } => {
+                    self.tables
+                        .entry(*table)
+                        .or_default()
+                        .insert(*rid, after.clone());
+                }
+                LogRecord::Delete { table, rid, .. } => {
+                    self.tables.entry(*table).or_default().remove(rid);
+                }
+                LogRecord::MigrationGranule {
+                    migration, granule, ..
+                } => {
+                    self.migrated.push((*migration, granule.clone()));
+                }
+                LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+            }
+        }
+        self.base_lsn = cut;
+    }
+
+    /// Places the image's rows into `db` (whose catalog must already hold
+    /// the same tables, like [`crate::recovery::replay`]). Returns rows
+    /// applied.
+    pub fn apply_to(&self, db: &Database) -> Result<usize> {
+        let mut applied = 0;
+        for (table, rows) in &self.tables {
+            let t = db.catalog().get_by_id(*table)?;
+            for (rid, row) in rows {
+                t.place(*rid, row.clone())?;
+                applied += 1;
+            }
+        }
+        Ok(applied)
+    }
+
+    /// Serializes the image (rows in deterministic table/rid order).
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&CKPT_MAGIC);
+        buf.put_u64(self.base_lsn);
+        buf.put_u32(self.tables.len() as u32);
+        for (table, rows) in &self.tables {
+            buf.put_u32(table.0);
+            buf.put_u32(rows.len() as u32);
+            for (rid, row) in rows {
+                codec::put_rid(&mut buf, *rid);
+                codec::put_row(&mut buf, row);
+            }
+        }
+        buf.put_u32(self.migrated.len() as u32);
+        for (migration, granule) in &self.migrated {
+            buf.put_u32(*migration);
+            codec::put_granule(&mut buf, granule);
+        }
+        buf.freeze()
+    }
+
+    /// Parses an image produced by [`CheckpointImage::encode`].
+    pub fn decode(bytes: impl Into<Bytes>) -> Result<Self> {
+        let mut bytes = bytes.into();
+        if bytes.len() < CKPT_MAGIC.len() || bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+            return Err(Error::Wal("bad checkpoint magic".into()));
+        }
+        bytes.advance(CKPT_MAGIC.len());
+        let base_lsn = codec::get_u64(&mut bytes)?;
+        let mut tables = BTreeMap::new();
+        let ntables = codec::get_u32(&mut bytes)?;
+        for _ in 0..ntables {
+            let table = TableId(codec::get_u32(&mut bytes)?);
+            let nrows = codec::get_u32(&mut bytes)?;
+            let mut rows = BTreeMap::new();
+            for _ in 0..nrows {
+                let rid = codec::get_rid(&mut bytes)?;
+                let row = codec::get_row(&mut bytes)?;
+                rows.insert(rid, row);
+            }
+            tables.insert(table, rows);
+        }
+        let nmigrated = codec::get_u32(&mut bytes)?;
+        let mut migrated = Vec::with_capacity(nmigrated as usize);
+        for _ in 0..nmigrated {
+            let migration = codec::get_u32(&mut bytes)?;
+            migrated.push((migration, codec::get_granule(&mut bytes)?));
+        }
+        Ok(CheckpointImage {
+            base_lsn,
+            tables,
+            migrated,
+        })
+    }
+}
+
+/// Outcome of one [`Database::checkpoint`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// The transaction-safe cut the checkpoint covered up to.
+    pub cut_lsn: u64,
+    /// Log records folded into the image this round.
+    pub absorbed_records: usize,
+    /// Records dropped from WAL memory by the truncation.
+    pub dropped_records: u64,
+    /// Records still resident in the WAL afterwards.
+    pub resident_records: usize,
+}
+
+/// The sidecar path convention for a WAL at `wal_path`.
+pub fn checkpoint_path_for(wal_path: &Path) -> PathBuf {
+    wal_path.with_extension("ckpt")
+}
+
+/// Owns the running image and drives the checkpoint cycle. One per
+/// [`Database`]; the internal mutex serializes concurrent checkpoints.
+pub struct Checkpointer {
+    image: Mutex<CheckpointImage>,
+    /// Sidecar file (durable databases); `None` keeps the image in memory
+    /// only, which still bounds WAL memory for in-memory databases.
+    path: Option<PathBuf>,
+}
+
+impl Checkpointer {
+    /// A checkpointer persisting to `path` (or memory-only for `None`).
+    pub fn new(path: Option<PathBuf>) -> Self {
+        Checkpointer {
+            image: Mutex::new(CheckpointImage::new()),
+            path,
+        }
+    }
+
+    /// The sidecar path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Runs one checkpoint cycle against `db`: pick the cut, absorb the
+    /// delta, persist the image, truncate the log.
+    pub fn run(&self, db: &Database) -> Result<CheckpointStats> {
+        let mut image = self.image.lock();
+        let cut = db.wal().safe_cut();
+        if cut <= image.base_lsn {
+            // Nothing new is coverable (e.g. a long-running transaction
+            // pins the cut); report without touching the log.
+            return Ok(CheckpointStats {
+                cut_lsn: image.base_lsn,
+                absorbed_records: 0,
+                dropped_records: 0,
+                resident_records: db.wal().resident_records(),
+            });
+        }
+        let delta = db.wal().records_in(image.base_lsn, cut);
+        image.absorb(&delta, cut);
+        if let Some(path) = &self.path {
+            write_sidecar(path, &image.encode())?;
+        }
+        let dropped = db.wal().truncate_to(cut)?;
+        Ok(CheckpointStats {
+            cut_lsn: cut,
+            absorbed_records: delta.len(),
+            dropped_records: dropped,
+            resident_records: db.wal().resident_records(),
+        })
+    }
+}
+
+impl std::fmt::Debug for Checkpointer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let image = self.image.lock();
+        f.debug_struct("Checkpointer")
+            .field("base_lsn", &image.base_lsn)
+            .field("rows", &image.row_count())
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file, fsync, rename.
+fn write_sidecar(path: &Path, bytes: &Bytes) -> Result<()> {
+    let tmp = path.with_extension("ckpt-tmp");
+    (|| -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })()
+    .map_err(|e| Error::Wal(format!("write checkpoint sidecar: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::{row, Value};
+
+    fn sample_image() -> CheckpointImage {
+        let mut img = CheckpointImage::new();
+        img.absorb(
+            &[
+                LogRecord::Begin(TxnId(1)),
+                LogRecord::Insert {
+                    txn: TxnId(1),
+                    table: TableId(0),
+                    rid: RowId::new(0, 0),
+                    row: row![1, "one"],
+                },
+                LogRecord::Insert {
+                    txn: TxnId(1),
+                    table: TableId(0),
+                    rid: RowId::new(0, 1),
+                    row: row![2, "two"],
+                },
+                LogRecord::MigrationGranule {
+                    txn: TxnId(1),
+                    migration: 3,
+                    granule: GranuleKey::Group(vec![Value::Int(9)]),
+                },
+                LogRecord::Commit(TxnId(1)),
+                // Uncommitted noise that must not surface.
+                LogRecord::Begin(TxnId(2)),
+                LogRecord::Insert {
+                    txn: TxnId(2),
+                    table: TableId(0),
+                    rid: RowId::new(0, 2),
+                    row: row![3, "ghost"],
+                },
+                LogRecord::Abort(TxnId(2)),
+            ],
+            8,
+        );
+        img
+    }
+
+    #[test]
+    fn absorb_applies_committed_only() {
+        let img = sample_image();
+        assert_eq!(img.base_lsn, 8);
+        assert_eq!(img.row_count(), 2);
+        assert_eq!(
+            img.migrated,
+            vec![(3, GranuleKey::Group(vec![Value::Int(9)]))]
+        );
+    }
+
+    #[test]
+    fn absorb_folds_updates_and_deletes() {
+        let mut img = sample_image();
+        img.absorb(
+            &[
+                LogRecord::Update {
+                    txn: TxnId(4),
+                    table: TableId(0),
+                    rid: RowId::new(0, 0),
+                    after: row![1, "uno"],
+                },
+                LogRecord::Delete {
+                    txn: TxnId(4),
+                    table: TableId(0),
+                    rid: RowId::new(0, 1),
+                },
+                LogRecord::Commit(TxnId(4)),
+            ],
+            11,
+        );
+        assert_eq!(img.base_lsn, 11);
+        let rows = &img.tables[&TableId(0)];
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[&RowId::new(0, 0)], row![1, "uno"]);
+    }
+
+    #[test]
+    fn image_encoding_round_trips() {
+        let img = sample_image();
+        let decoded = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(decoded, img);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(CheckpointImage::decode(Bytes::from_static(b"nope")).is_err());
+        let good = sample_image().encode();
+        assert!(CheckpointImage::decode(good.slice(..good.len() - 1)).is_err());
+    }
+}

@@ -56,6 +56,7 @@ pub struct Database {
     lm: LockManager,
     tm: TxnManager,
     wal: Wal,
+    ckpt: crate::checkpoint::Checkpointer,
     config: DbConfig,
 }
 
@@ -72,24 +73,42 @@ impl Database {
             lm: LockManager::new(config.lock_timeout),
             tm: TxnManager::new(),
             wal: Wal::new(),
+            ckpt: crate::checkpoint::Checkpointer::new(None),
             config,
         }
     }
 
     /// Creates an empty database whose WAL is durably mirrored to `path`
-    /// (see [`Wal::with_file`]). Recovery flow: read the old file with
-    /// [`Wal::load_file`], re-create the schema, replay via
-    /// [`crate::recovery::replay`], then open a fresh database on a new
-    /// file.
+    /// (see [`Wal::with_file`]), with checkpoints persisted to the
+    /// sidecar path derived by
+    /// [`checkpoint_path_for`](crate::checkpoint::checkpoint_path_for).
+    /// Recovery flow: re-create the schema, replay the old files via
+    /// [`crate::recovery::recover_from_files`], then open a fresh database
+    /// on a new file.
     pub fn with_wal_file(
         config: DbConfig,
         path: impl AsRef<std::path::Path>,
     ) -> bullfrog_common::Result<Self> {
+        Self::with_wal_file_opts(config, path, bullfrog_txn::WalOptions::default())
+    }
+
+    /// As [`Database::with_wal_file`], with explicit WAL tuning — most
+    /// usefully a non-zero [`WalOptions::group_window`](bullfrog_txn::WalOptions)
+    /// so concurrent commits coalesce into fewer fsyncs.
+    pub fn with_wal_file_opts(
+        config: DbConfig,
+        path: impl AsRef<std::path::Path>,
+        opts: bullfrog_txn::WalOptions,
+    ) -> bullfrog_common::Result<Self> {
+        let path = path.as_ref();
         Ok(Database {
             catalog: Catalog::new(),
             lm: LockManager::new(config.lock_timeout),
             tm: TxnManager::new(),
-            wal: Wal::with_file(path)?,
+            wal: Wal::with_file_opts(path, opts)?,
+            ckpt: crate::checkpoint::Checkpointer::new(Some(
+                crate::checkpoint::checkpoint_path_for(path),
+            )),
             config,
         })
     }
@@ -173,15 +192,30 @@ impl Database {
     }
 
     /// Commits: appends the redo batch + `Commit` atomically to the WAL,
-    /// marks the transaction committed, and releases its locks.
+    /// waits on the group-commit barrier until the batch is on disk
+    /// (no-op for in-memory databases), marks the transaction committed,
+    /// and releases its locks.
     pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
         txn.assert_active()?;
         let mut batch = std::mem::take(&mut txn.redo);
         batch.push(LogRecord::Commit(txn.id()));
-        self.wal.append_batch(batch);
+        self.wal.append_batch_durable(batch);
         txn.mark_committed()?;
         self.release_locks(txn);
         Ok(())
+    }
+
+    /// Runs one checkpoint cycle: snapshots the committed log prefix into
+    /// the (persisted) checkpoint image and truncates the WAL, bounding
+    /// its resident memory and the recovery tail. See
+    /// [`crate::checkpoint`].
+    pub fn checkpoint(&self) -> Result<crate::checkpoint::CheckpointStats> {
+        self.ckpt.run(self)
+    }
+
+    /// The checkpointer (its running image and sidecar path).
+    pub fn checkpointer(&self) -> &crate::checkpoint::Checkpointer {
+        &self.ckpt
     }
 
     /// Aborts: applies the undo log in reverse, writes an `Abort` record,
@@ -477,12 +511,7 @@ impl Database {
     /// Candidate row ids for a predicate: an index point/prefix lookup when
     /// the predicate's `col = literal` conjuncts cover an index prefix,
     /// otherwise a heap scan filtered by the predicate.
-    fn candidates(
-        &self,
-        t: &Table,
-        predicate: Option<&Expr>,
-        scope: &Scope,
-    ) -> Result<Vec<RowId>> {
+    fn candidates(&self, t: &Table, predicate: Option<&Expr>, scope: &Scope) -> Result<Vec<RowId>> {
         if let Some(p) = predicate {
             let eqs = pred::sargable_equalities(p);
             let ranges = pred::sargable_ranges(p);
@@ -496,8 +525,11 @@ impl Database {
                 }
                 let mut positions: Vec<usize> = by_pos.iter().map(|(i, _)| *i).collect();
                 // Range columns also make an index eligible.
-                let mut range_by_pos: Vec<(usize, Option<pred::RangeBound>, Option<pred::RangeBound>)> =
-                    Vec::new();
+                let mut range_by_pos: Vec<(
+                    usize,
+                    Option<pred::RangeBound>,
+                    Option<pred::RangeBound>,
+                )> = Vec::new();
                 for (col, lo, hi) in &ranges {
                     if let Ok(i) = t.schema().col_index(&col.column) {
                         range_by_pos.push((i, lo.clone(), hi.clone()));
@@ -521,9 +553,7 @@ impl Database {
                     // prefix turns the prefix lookup into a range scan
                     // (TPC-C StockLevel's "last 20 orders" window).
                     if let Some(kc) = next_kc {
-                        if let Some((_, lo, hi)) =
-                            range_by_pos.iter().find(|(i, _, _)| *i == kc)
-                        {
+                        if let Some((_, lo, hi)) = range_by_pos.iter().find(|(i, _, _)| *i == kc) {
                             if !key.is_empty() || lo.is_some() {
                                 return Ok(idx.range_scan(&key, lo.as_ref(), hi.as_ref()));
                             }
@@ -638,7 +668,9 @@ mod tests {
             .with_txn(|txn| db.insert(txn, "accounts", row![1, "alice", 1000]))
             .unwrap();
         let mut txn = db.begin();
-        let got = db.get(&mut txn, "accounts", rid, LockPolicy::Shared).unwrap();
+        let got = db
+            .get(&mut txn, "accounts", rid, LockPolicy::Shared)
+            .unwrap();
         assert_eq!(got, Some(row![1, "alice", 1000]));
         db.commit(&mut txn).unwrap();
     }
@@ -846,14 +878,26 @@ mod tests {
                     let to = (from + 1 + (rng >> 20) % 9) % 10;
                     let _ = db.with_txn_retry(20, |txn| {
                         let (rid_a, a) = db
-                            .get_by_pk(txn, "accounts", &[Value::Int(from as i64)], LockPolicy::Exclusive)?
+                            .get_by_pk(
+                                txn,
+                                "accounts",
+                                &[Value::Int(from as i64)],
+                                LockPolicy::Exclusive,
+                            )?
                             .ok_or(Error::RowNotFound)?;
                         let (rid_b, b) = db
-                            .get_by_pk(txn, "accounts", &[Value::Int(to as i64)], LockPolicy::Exclusive)?
+                            .get_by_pk(
+                                txn,
+                                "accounts",
+                                &[Value::Int(to as i64)],
+                                LockPolicy::Exclusive,
+                            )?
                             .ok_or(Error::RowNotFound)?;
                         let amount = Value::Decimal(7);
-                        let new_a = Row(vec![a[0].clone(), a[1].clone(), a[2].sub(&amount).unwrap()]);
-                        let new_b = Row(vec![b[0].clone(), b[1].clone(), b[2].add(&amount).unwrap()]);
+                        let new_a =
+                            Row(vec![a[0].clone(), a[1].clone(), a[2].sub(&amount).unwrap()]);
+                        let new_b =
+                            Row(vec![b[0].clone(), b[1].clone(), b[2].add(&amount).unwrap()]);
                         db.update(txn, "accounts", rid_a, new_a)?;
                         db.update(txn, "accounts", rid_b, new_b)?;
                         Ok(())

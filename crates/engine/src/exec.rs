@@ -17,9 +17,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use bullfrog_common::{Error, Result, Row, RowId, Value};
-use bullfrog_query::{
-    conjoin, conjuncts, AggFunc, ColRef, Expr, OutputColumn, Scope, SelectSpec,
-};
+use bullfrog_query::{conjoin, conjuncts, AggFunc, ColRef, Expr, OutputColumn, Scope, SelectSpec};
 use bullfrog_txn::Transaction;
 
 use crate::db::{Database, LockPolicy};
@@ -178,7 +176,8 @@ pub fn execute_spec(
             if let Some(idx) = index {
                 // Index nested-loop join.
                 for left in &combined {
-                    let key: Vec<Value> = probe_positions.iter().map(|&i| left[i].clone()).collect();
+                    let key: Vec<Value> =
+                        probe_positions.iter().map(|&i| left[i].clone()).collect();
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
@@ -209,7 +208,8 @@ pub fn execute_spec(
                     ht.entry(key).or_default().push(r);
                 }
                 for left in &combined {
-                    let key: Vec<Value> = probe_positions.iter().map(|&i| left[i].clone()).collect();
+                    let key: Vec<Value> =
+                        probe_positions.iter().map(|&i| left[i].clone()).collect();
                     if key.iter().any(Value::is_null) {
                         continue;
                     }
@@ -362,7 +362,10 @@ fn aggregate(spec: &SelectSpec, scope: &Scope, rows: &[Row]) -> Result<Vec<Row>>
 
     if global {
         // A global aggregate has exactly one group, even over zero rows.
-        groups.insert(Vec::new(), aggs.iter().map(|(f, _)| AggState::new(**f)).collect());
+        groups.insert(
+            Vec::new(),
+            aggs.iter().map(|(f, _)| AggState::new(**f)).collect(),
+        );
     }
     for r in rows {
         let key: Vec<Value> = key_exprs
@@ -464,9 +467,7 @@ impl AggState {
     fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n),
-            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => {
-                v.unwrap_or(Value::Null)
-            }
+            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => v.unwrap_or(Value::Null),
             AggState::CountDistinct(set) => Value::Int(set.len() as i64),
         }
     }
@@ -552,10 +553,12 @@ mod tests {
     fn join_projects_derived_columns() {
         let db = flights_db();
         let mut txn = db.begin();
-        let out = execute_spec(&db, &mut txn, &flewoninfo_spec(), &ExecOptions::default())
-            .unwrap();
+        let out = execute_spec(&db, &mut txn, &flewoninfo_spec(), &ExecOptions::default()).unwrap();
         db.commit(&mut txn).unwrap();
-        assert_eq!(out.names, vec!["fid", "flightdate", "passenger_count", "empty_seats"]);
+        assert_eq!(
+            out.names,
+            vec!["fid", "flightdate", "passenger_count", "empty_seats"]
+        );
         assert_eq!(out.rows.len(), 6);
         let aa_day1 = out
             .rows
@@ -644,7 +647,11 @@ mod tests {
         let out = execute_spec(&db, &mut txn, &spec, &ExecOptions::default()).unwrap();
         db.commit(&mut txn).unwrap();
         assert_eq!(out.rows.len(), 2);
-        let aa = out.rows.iter().find(|r| r[0] == Value::text("AA101")).unwrap();
+        let aa = out
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("AA101"))
+            .unwrap();
         assert_eq!(aa[1], Value::Int(101 + 102 + 103));
         assert_eq!(aa[2], Value::Int(3));
         assert_eq!(aa[3], Value::Int(103));
@@ -653,9 +660,11 @@ mod tests {
     #[test]
     fn count_distinct() {
         let db = flights_db();
-        let spec = SelectSpec::new()
-            .from_table("flewon", "fi")
-            .select_agg("n_flights", AggFunc::CountDistinct, Expr::col("fi", "flightid"));
+        let spec = SelectSpec::new().from_table("flewon", "fi").select_agg(
+            "n_flights",
+            AggFunc::CountDistinct,
+            Expr::col("fi", "flightid"),
+        );
         let mut txn = db.begin();
         let out = execute_spec(&db, &mut txn, &spec, &ExecOptions::default()).unwrap();
         db.commit(&mut txn).unwrap();
@@ -714,10 +723,13 @@ mod tests {
         })
         .unwrap();
         let mut txn = db.begin();
-        let out = execute_spec(&db, &mut txn, &flewoninfo_spec(), &ExecOptions::default())
-            .unwrap();
+        let out = execute_spec(&db, &mut txn, &flewoninfo_spec(), &ExecOptions::default()).unwrap();
         db.commit(&mut txn).unwrap();
-        assert_eq!(out.rows.len(), 6, "unmatched flights row contributes nothing");
+        assert_eq!(
+            out.rows.len(),
+            6,
+            "unmatched flights row contributes nothing"
+        );
     }
 
     #[test]

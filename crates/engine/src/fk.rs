@@ -97,7 +97,12 @@ pub fn check_outgoing_with(
 /// Checks that deleting `rid` from `table` leaves no dangling references:
 /// scans every table whose FKs point at `table` for rows matching the
 /// deleted key (index-assisted when the referencing columns are indexed).
-pub fn check_incoming(db: &Database, txn: &mut Transaction, table: &Table, rid: RowId) -> Result<()> {
+pub fn check_incoming(
+    db: &Database,
+    txn: &mut Transaction,
+    table: &Table,
+    rid: RowId,
+) -> Result<()> {
     let Some(victim) = table.heap().get(rid) else {
         return Ok(()); // nothing to protect
     };
@@ -120,9 +125,7 @@ pub fn check_incoming(db: &Database, txn: &mut Transaction, table: &Table, rid: 
             }
             let fk_positions = referencing.schema().col_indices(&fk.columns)?;
             let hit = match referencing.index_for_columns(&fk_positions) {
-                Some(idx) if idx.def().key_columns == fk_positions => {
-                    !idx.get(&key).is_empty()
-                }
+                Some(idx) if idx.def().key_columns == fk_positions => !idx.get(&key).is_empty(),
                 _ => {
                     let mut found = false;
                     referencing.heap().scan(|_, r| {
@@ -223,10 +226,8 @@ mod tests {
     #[test]
     fn null_fk_passes() {
         let db = db();
-        db.with_txn(|txn| {
-            db.insert(txn, "customer", Row(vec![Value::Int(10), Value::Null]))
-        })
-        .unwrap();
+        db.with_txn(|txn| db.insert(txn, "customer", Row(vec![Value::Int(10), Value::Null])))
+            .unwrap();
     }
 
     #[test]
@@ -273,8 +274,12 @@ mod tests {
         )
         .unwrap();
         db.create_table(
-            TableSchema::new("c", vec![ColumnDef::new("pid", DataType::Int)])
-                .with_foreign_key("c_fk", &["pid"], "p", &["id"]),
+            TableSchema::new("c", vec![ColumnDef::new("pid", DataType::Int)]).with_foreign_key(
+                "c_fk",
+                &["pid"],
+                "p",
+                &["id"],
+            ),
         )
         .unwrap();
         let prid = db.with_txn(|txn| db.insert(txn, "p", row![1])).unwrap();

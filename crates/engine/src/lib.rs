@@ -11,7 +11,10 @@
 //! - [`exec`]: execution of [`SelectSpec`](bullfrog_query::SelectSpec)s —
 //!   filters, inner equi-joins, grouped aggregation — used both by client
 //!   read queries and by the migration machinery in `bullfrog-core`;
-//! - WAL-based recovery (`recovery`).
+//! - WAL-based recovery (`recovery`) and checkpointing (`checkpoint`):
+//!   the commit path rides the WAL's group-commit barrier, and
+//!   [`Database::checkpoint`](db::Database::checkpoint) bounds log memory
+//!   by snapshotting the committed prefix and truncating the log.
 //!
 //! ## Isolation
 //!
@@ -22,10 +25,12 @@
 //! do not require serializable isolation, and neither do the migration
 //! algorithms (they have their own exactly-once tracking).
 
+pub mod checkpoint;
 pub mod db;
 pub mod exec;
 pub mod fk;
 pub mod recovery;
 
+pub use checkpoint::{CheckpointImage, CheckpointStats, Checkpointer};
 pub use db::{Database, DbConfig, LockPolicy};
 pub use exec::QueryOutput;

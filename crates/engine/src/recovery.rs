@@ -14,11 +14,14 @@
 //! (paper §3.5 — listed there as unimplemented future work).
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use bullfrog_common::{Result, TxnId};
 use bullfrog_txn::wal::GranuleKey;
-use bullfrog_txn::LogRecord;
+use bullfrog_txn::{LogRecord, Wal};
+use bytes::Bytes;
 
+use crate::checkpoint::CheckpointImage;
 use crate::db::Database;
 
 /// Outcome of a replay.
@@ -53,12 +56,16 @@ pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
             continue;
         }
         match rec {
-            LogRecord::Insert { table, rid, row, .. } => {
+            LogRecord::Insert {
+                table, rid, row, ..
+            } => {
                 let t = db.catalog().get_by_id(*table)?;
                 t.place(*rid, row.clone())?;
                 stats.applied += 1;
             }
-            LogRecord::Update { table, rid, after, .. } => {
+            LogRecord::Update {
+                table, rid, after, ..
+            } => {
                 let t = db.catalog().get_by_id(*table)?;
                 t.update(*rid, after.clone())?;
                 stats.applied += 1;
@@ -68,13 +75,63 @@ pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
                 t.delete(*rid)?;
                 stats.applied += 1;
             }
-            LogRecord::MigrationGranule { migration, granule, .. } => {
+            LogRecord::MigrationGranule {
+                migration, granule, ..
+            } => {
                 stats.migrated_granules.push((*migration, granule.clone()));
             }
             LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
         }
     }
     Ok(stats)
+}
+
+/// Replays a checkpoint image plus the log tail: the image's rows and
+/// migrated granules are applied first, then `tail` (whose records must
+/// all be at or above `image.base_lsn` — the part of the log the image
+/// does not cover). Equivalent to [`replay`] over the full original log,
+/// because checkpoint cuts are transaction-safe.
+pub fn replay_with_checkpoint(
+    db: &Database,
+    image: &CheckpointImage,
+    tail: &[LogRecord],
+) -> Result<RecoveryStats> {
+    let applied = image.apply_to(db)?;
+    let mut stats = replay(db, tail)?;
+    stats.applied += applied;
+    stats.migrated_granules = image
+        .migrated
+        .iter()
+        .cloned()
+        .chain(stats.migrated_granules)
+        .collect();
+    Ok(stats)
+}
+
+/// Full file recovery: loads the checkpoint sidecar (if present) and the
+/// WAL, skips the file prefix the image already covers (a crash between
+/// sidecar persistence and log truncation leaves both on disk), and
+/// replays image + tail into `db`. The catalog must already hold the same
+/// tables, as with [`replay`].
+pub fn recover_from_files(
+    db: &Database,
+    wal_path: impl AsRef<Path>,
+    ckpt_path: impl AsRef<Path>,
+) -> Result<RecoveryStats> {
+    let image = match std::fs::read(ckpt_path.as_ref()) {
+        Ok(bytes) => CheckpointImage::decode(Bytes::from(bytes))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => CheckpointImage::new(),
+        Err(e) => {
+            return Err(bullfrog_common::Error::Wal(format!(
+                "read checkpoint sidecar: {e}"
+            )))
+        }
+    };
+    let (file_base, records) = Wal::load_file_with_base(wal_path)?;
+    // Records below the image's base are already folded into the image.
+    let skip = image.base_lsn.saturating_sub(file_base) as usize;
+    let tail = records.get(skip.min(records.len())..).unwrap_or(&[]);
+    replay_with_checkpoint(db, &image, tail)
 }
 
 #[cfg(test)]
@@ -135,8 +192,16 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1, row![1, "uno"]);
         // The pk index was rebuilt too.
-        assert!(db2.table("t").unwrap().get_by_pk(&[Value::Int(1)]).is_some());
-        assert!(db2.table("t").unwrap().get_by_pk(&[Value::Int(2)]).is_none());
+        assert!(db2
+            .table("t")
+            .unwrap()
+            .get_by_pk(&[Value::Int(1)])
+            .is_some());
+        assert!(db2
+            .table("t")
+            .unwrap()
+            .get_by_pk(&[Value::Int(2)])
+            .is_none());
     }
 
     #[test]
@@ -168,7 +233,9 @@ mod tests {
         let mut t1 = db.begin();
         db.insert(&mut t1, "t", row![1, "gone"]).unwrap();
         db.abort(&mut t1);
-        let rid2 = db.with_txn(|txn| db.insert(txn, "t", row![2, "kept"])).unwrap();
+        let rid2 = db
+            .with_txn(|txn| db.insert(txn, "t", row![2, "kept"]))
+            .unwrap();
 
         let db2 = Database::new();
         db2.create_table(schema()).unwrap();

@@ -37,7 +37,9 @@ fn no_dirty_reads_through_shared_locks() {
 
     // A shared-lock reader cannot observe v=99: it blocks and times out.
     let mut reader = db.begin();
-    let err = db.get(&mut reader, "t", rid, LockPolicy::Shared).unwrap_err();
+    let err = db
+        .get(&mut reader, "t", rid, LockPolicy::Shared)
+        .unwrap_err();
     assert!(matches!(err, Error::LockTimeout { .. }));
     db.abort(&mut reader);
 
@@ -83,7 +85,8 @@ fn abort_releases_all_locks_immediately() {
     db.update(&mut t1, "t", rid, row![1, 11]).unwrap();
     db.abort(&mut t1);
     // No residual locks: an immediate exclusive access succeeds.
-    db.with_txn(|txn| db.update(txn, "t", rid, row![1, 12])).unwrap();
+    db.with_txn(|txn| db.update(txn, "t", rid, row![1, 12]))
+        .unwrap();
     assert_eq!(db.lock_manager().locked_key_count(), 0);
 }
 

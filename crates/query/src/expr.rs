@@ -340,9 +340,7 @@ fn eval_func(f: Func, v: Value) -> Result<Value> {
             let days = match v {
                 Value::Date(d) => d as i64,
                 Value::Timestamp(us) => us.div_euclid(86_400_000_000),
-                other => {
-                    return Err(Error::Eval(format!("EXTRACT(DAY) from non-date {other}")))
-                }
+                other => return Err(Error::Eval(format!("EXTRACT(DAY) from non-date {other}"))),
             };
             Ok(Value::Int(day_of_month(days)))
         }
@@ -499,7 +497,11 @@ mod tests {
     fn scope() -> Scope {
         Scope::table(
             "f",
-            &["flightid".into(), "flightdate".into(), "passenger_count".into()],
+            &[
+                "flightid".into(),
+                "flightdate".into(),
+                "passenger_count".into(),
+            ],
         )
     }
 
@@ -566,10 +568,16 @@ mod tests {
         let fa = Expr::lit(false);
         let u = Expr::null();
         // false AND unknown = false; true AND unknown = unknown.
-        assert_eq!(fa.clone().and(u.clone()).eval(&s, &r).unwrap(), Value::Bool(false));
+        assert_eq!(
+            fa.clone().and(u.clone()).eval(&s, &r).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(t.clone().and(u.clone()).eval(&s, &r).unwrap(), Value::Null);
         // true OR unknown = true; false OR unknown = unknown.
-        assert_eq!(t.clone().or(u.clone()).eval(&s, &r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            t.clone().or(u.clone()).eval(&s, &r).unwrap(),
+            Value::Bool(true)
+        );
         assert_eq!(fa.clone().or(u.clone()).eval(&s, &r).unwrap(), Value::Null);
     }
 
@@ -605,7 +613,10 @@ mod tests {
         let e = Expr::Call(Func::ExtractDay, Box::new(Expr::Lit(Value::Date(8))));
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(9));
         let us_day8 = 8 * 86_400_000_000i64 + 3_600_000_000;
-        let e = Expr::Call(Func::ExtractDay, Box::new(Expr::Lit(Value::Timestamp(us_day8))));
+        let e = Expr::Call(
+            Func::ExtractDay,
+            Box::new(Expr::Lit(Value::Timestamp(us_day8))),
+        );
         assert_eq!(e.eval(&s, &r).unwrap(), Value::Int(9));
     }
 
@@ -628,16 +639,19 @@ mod tests {
         p.columns(&mut cols);
         assert_eq!(
             cols,
-            vec![ColRef::new("f", "a"), ColRef::new("g", "b"), ColRef::bare("c")]
+            vec![
+                ColRef::new("f", "a"),
+                ColRef::new("g", "b"),
+                ColRef::bare("c")
+            ]
         );
     }
 
     #[test]
     fn map_columns_substitutes() {
         let p = Expr::column("fid").eq(Expr::lit("AA101"));
-        let mapped = p.map_columns(&|c| {
-            (c.column == "fid").then(|| Expr::col("flights", "flightid"))
-        });
+        let mapped =
+            p.map_columns(&|c| (c.column == "fid").then(|| Expr::col("flights", "flightid")));
         assert_eq!(
             mapped,
             Expr::col("flights", "flightid").eq(Expr::lit("AA101"))

@@ -99,9 +99,7 @@ pub fn sargable_ranges(expr: &Expr) -> Vec<(ColRef, Option<RangeBound>, Option<R
                 let incl = op == CmpOp::Ge;
                 let tighter = match &entry.0 {
                     None => true,
-                    Some((cur, cur_incl)) => {
-                        lit > *cur || (lit == *cur && *cur_incl && !incl)
-                    }
+                    Some((cur, cur_incl)) => lit > *cur || (lit == *cur && *cur_incl && !incl),
                 };
                 if tighter {
                     entry.0 = Some((lit, incl));
@@ -111,9 +109,7 @@ pub fn sargable_ranges(expr: &Expr) -> Vec<(ColRef, Option<RangeBound>, Option<R
                 let incl = op == CmpOp::Le;
                 let tighter = match &entry.1 {
                     None => true,
-                    Some((cur, cur_incl)) => {
-                        lit < *cur || (lit == *cur && *cur_incl && !incl)
-                    }
+                    Some((cur, cur_incl)) => lit < *cur || (lit == *cur && *cur_incl && !incl),
                 };
                 if tighter {
                     entry.1 = Some((lit, incl));
@@ -147,13 +143,17 @@ mod tests {
 
     #[test]
     fn conjunct_split_flattens_nested_ands() {
-        let p = Expr::column("a")
-            .eq(Expr::lit(1))
-            .and(Expr::column("b").gt(Expr::lit(2)).and(Expr::column("c").lt(Expr::lit(3))));
+        let p = Expr::column("a").eq(Expr::lit(1)).and(
+            Expr::column("b")
+                .gt(Expr::lit(2))
+                .and(Expr::column("c").lt(Expr::lit(3))),
+        );
         let cs = conjuncts(&p);
         assert_eq!(cs.len(), 3);
         // ORs are atomic conjuncts.
-        let p = Expr::column("a").eq(Expr::lit(1)).or(Expr::column("b").eq(Expr::lit(2)));
+        let p = Expr::column("a")
+            .eq(Expr::lit(1))
+            .or(Expr::column("b").eq(Expr::lit(2)));
         assert_eq!(conjuncts(&p).len(), 1);
     }
 
@@ -169,7 +169,9 @@ mod tests {
 
     #[test]
     fn referenced_tables_classifies() {
-        let p = Expr::col("f", "x").eq(Expr::col("g", "y")).and(Expr::column("z").gt(Expr::lit(0)));
+        let p = Expr::col("f", "x")
+            .eq(Expr::col("g", "y"))
+            .and(Expr::column("z").gt(Expr::lit(0)));
         let tables = referenced_tables(&p);
         assert!(tables.contains("f"));
         assert!(tables.contains("g"));

@@ -231,8 +231,7 @@ mod tests {
     fn paper_example_transposes_to_both_tables() {
         let spec = flewoninfo();
         let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
-            Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate")))
-                .eq(Expr::lit(9)),
+            Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
         );
         let t = transpose(&spec, Some(&pred));
         assert!(t.dropped.is_empty());
@@ -281,10 +280,7 @@ mod tests {
         // Group-key output: transposable.
         let pred = Expr::column("o_id").eq(Expr::lit(7));
         let t = transpose(&spec, Some(&pred));
-        assert_eq!(
-            t.filter_for("ol").unwrap().to_string(),
-            "(ol.ol_o_id = 7)"
-        );
+        assert_eq!(t.filter_for("ol").unwrap().to_string(), "(ol.ol_o_id = 7)");
     }
 
     #[test]

@@ -101,12 +101,7 @@ impl SelectSpec {
     }
 
     /// Adds an aggregate output column (builder).
-    pub fn select_agg(
-        mut self,
-        name: impl Into<String>,
-        func: AggFunc,
-        arg: Expr,
-    ) -> Self {
+    pub fn select_agg(mut self, name: impl Into<String>, func: AggFunc, arg: Expr) -> Self {
         self.columns.push(OutputColumn::Agg {
             name: name.into(),
             func,
@@ -197,10 +192,7 @@ mod tests {
     #[test]
     fn projection_lookup() {
         let s = flewoninfo_spec();
-        assert_eq!(
-            s.projection_of("fid"),
-            Some(&Expr::col("f", "flightid"))
-        );
+        assert_eq!(s.projection_of("fid"), Some(&Expr::col("f", "flightid")));
         assert!(s.projection_of("nope").is_none());
         assert_eq!(s.output_names()[3], "empty_seats");
     }

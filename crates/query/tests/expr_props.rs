@@ -24,8 +24,12 @@ fn arb_row() -> impl Strategy<Value = Row> {
 /// Random boolean expression over columns a, b, c and small literals.
 fn arb_bool_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
-        (prop_oneof![Just("a"), Just("b"), Just("c")], -5i64..5, 0u8..3).prop_map(
-            |(c, v, op)| {
+        (
+            prop_oneof![Just("a"), Just("b"), Just("c")],
+            -5i64..5,
+            0u8..3
+        )
+            .prop_map(|(c, v, op)| {
                 let lhs = Expr::column(c);
                 let rhs = Expr::lit(v);
                 match op {
@@ -33,8 +37,7 @@ fn arb_bool_expr() -> impl Strategy<Value = Expr> {
                     1 => lhs.lt(rhs),
                     _ => lhs.ge(rhs),
                 }
-            }
-        ),
+            }),
         arb_value().prop_map(|v| match v {
             Value::Bool(b) => Expr::lit(b),
             Value::Null => Expr::null(),

@@ -35,7 +35,9 @@ pub fn qualify_spec(db: &Database, spec: &SelectSpec) -> Result<SelectSpec> {
                 found = Some(ColRef::new(input.alias.clone(), c.column.clone()));
             }
         }
-        Ok(Some(found.ok_or_else(|| Error::ColumnNotFound(c.to_string()))?))
+        Ok(Some(
+            found.ok_or_else(|| Error::ColumnNotFound(c.to_string()))?,
+        ))
     };
 
     // map_columns is infallible; collect errors on the side.
@@ -243,8 +245,7 @@ mod tests {
              FROM flights f, flewon fi WHERE f.flightid = fi.flightid",
         )
         .unwrap();
-        let s = infer_output_schema(&db, "out", &spec, &[("actual", DataType::Timestamp)])
-            .unwrap();
+        let s = infer_output_schema(&db, "out", &spec, &[("actual", DataType::Timestamp)]).unwrap();
         let types: Vec<(String, DataType, bool)> = s
             .columns
             .iter()

@@ -128,9 +128,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                         i += 1;
                     }
                     let text = &input[start..i];
-                    out.push(Token::Float(text.parse().map_err(|_| {
-                        Error::Eval(format!("bad float literal {text}"))
-                    })?));
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|_| Error::Eval(format!("bad float literal {text}")))?,
+                    ));
                 } else {
                     let text = &input[start..i];
                     out.push(Token::Int(text.parse().map_err(|_| {

@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the BullFrog SQL dialect.
 
-use bullfrog_common::{
-    CheckExpr, CheckOp, ColumnDef, DataType, Error, Result, TableSchema, Value,
-};
+use bullfrog_common::{CheckExpr, CheckOp, ColumnDef, DataType, Error, Result, TableSchema, Value};
 use bullfrog_core::MigrationStatement;
 use bullfrog_engine::Database;
 use bullfrog_query::{AggFunc, CmpOp, ColRef, Expr, Func, SelectSpec};
@@ -190,7 +188,9 @@ impl Parser {
                     // operand grouping; restart as a comparison.
                     if !matches!(
                         self.peek(),
-                        Some(Token::Sym("=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*"))
+                        Some(Token::Sym(
+                            "=" | "<" | ">" | "<=" | ">=" | "<>" | "+" | "-" | "*"
+                        ))
                     ) {
                         return Ok(inner);
                     }
@@ -341,9 +341,7 @@ impl Parser {
         loop {
             let table = self.ident()?;
             let alias = match self.peek() {
-                Some(Token::Word(w))
-                    if !matches!(w.as_str(), "where" | "group" | "as" | "on") =>
-                {
+                Some(Token::Word(w)) if !matches!(w.as_str(), "where" | "group" | "as" | "on") => {
                     self.ident()?
                 }
                 _ => {
@@ -595,7 +593,11 @@ impl Parser {
                 )))
             }
         };
-        Ok(CheckExpr::Cmp { column: col, op, literal })
+        Ok(CheckExpr::Cmp {
+            column: col,
+            op,
+            literal,
+        })
     }
 
     fn paren_ident_list(&mut self) -> Result<Vec<String>> {
@@ -667,7 +669,10 @@ mod tests {
 
     #[test]
     fn is_null_forms() {
-        assert_eq!(parse_predicate("x IS NULL").unwrap().to_string(), "(x IS NULL)");
+        assert_eq!(
+            parse_predicate("x IS NULL").unwrap().to_string(),
+            "(x IS NULL)"
+        );
         assert_eq!(
             parse_predicate("x IS NOT NULL").unwrap().to_string(),
             "(NOT (x IS NULL))"
@@ -694,10 +699,9 @@ mod tests {
 
     #[test]
     fn select_where_splits_joins_from_filters() {
-        let spec = parse_select(
-            "SELECT a.x FROM t a, u b WHERE a.id = b.id AND a.x > 5 AND b.y = 'z'",
-        )
-        .unwrap();
+        let spec =
+            parse_select("SELECT a.x FROM t a, u b WHERE a.id = b.id AND a.x > 5 AND b.y = 'z'")
+                .unwrap();
         assert_eq!(spec.join_conds.len(), 1);
         let filter = spec.filter.unwrap().to_string();
         assert!(filter.contains("(a.x > 5)"));

@@ -4,9 +4,7 @@
 use std::sync::Arc;
 
 use bullfrog_common::{row, DataType, Row, Value};
-use bullfrog_core::{
-    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, MigrationPlan,
-};
+use bullfrog_core::{BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, MigrationPlan};
 use bullfrog_engine::{Database, LockPolicy};
 use bullfrog_sql::{parse_create_table, parse_migration, parse_predicate};
 
@@ -98,8 +96,7 @@ fn paper_ddl_end_to_end() {
         .unwrap();
 
     // The paper's client WHERE clause, parsed from text.
-    let pred =
-        parse_predicate("FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9").unwrap();
+    let pred = parse_predicate("FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9").unwrap();
     let mut txn = db.begin();
     let rows = bf
         .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)

@@ -129,8 +129,7 @@ mod tests {
     use bullfrog_common::{ColumnDef, DataType};
 
     fn schema(name: &str) -> TableSchema {
-        TableSchema::new(name, vec![ColumnDef::new("id", DataType::Int)])
-            .with_primary_key(&["id"])
+        TableSchema::new(name, vec![ColumnDef::new("id", DataType::Int)]).with_primary_key(&["id"])
     }
 
     #[test]

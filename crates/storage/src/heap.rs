@@ -279,7 +279,9 @@ mod tests {
         for t in 0..8 {
             let h = Arc::clone(&h);
             handles.push(std::thread::spawn(move || {
-                (0..500).map(|i| h.insert(row![t * 1000 + i])).collect::<Vec<_>>()
+                (0..500)
+                    .map(|i| h.insert(row![t * 1000 + i]))
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all = HashSet::new();

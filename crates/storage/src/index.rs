@@ -148,18 +148,16 @@ impl BTreeIndex {
                     _ => true,
                 }
             })
-            .filter(|(k, _)| {
-                match (lo, k.get(p)) {
-                    (Some((v, incl)), Some(next)) => {
-                        if *incl {
-                            next >= v
-                        } else {
-                            next > v
-                        }
+            .filter(|(k, _)| match (lo, k.get(p)) {
+                (Some((v, incl)), Some(next)) => {
+                    if *incl {
+                        next >= v
+                    } else {
+                        next > v
                     }
-                    (Some(_), None) => false,
-                    _ => true,
                 }
+                (Some(_), None) => false,
+                _ => true,
             })
             .flat_map(|(_, rids)| rids.iter().copied())
             .collect()
@@ -261,7 +259,8 @@ mod tests {
             (1, 2, RowId::new(0, 1)),
             (2, 1, RowId::new(0, 2)),
         ] {
-            i.insert("t", vec![Value::Int(a), Value::Int(b)], rid).unwrap();
+            i.insert("t", vec![Value::Int(a), Value::Int(b)], rid)
+                .unwrap();
         }
         let got = i.get_prefix(&[Value::Int(1)]);
         assert_eq!(got, vec![RowId::new(0, 0), RowId::new(0, 1)]);

@@ -103,15 +103,15 @@ impl Table {
         }));
         // Backfill before publishing so readers never see a partial index.
         let mut failure = None;
-        self.heap.scan(|rid, row| {
-            match idx.insert(self.name(), row.key(&key_columns), rid) {
+        self.heap.scan(
+            |rid, row| match idx.insert(self.name(), row.key(&key_columns), rid) {
                 Ok(()) => true,
                 Err(e) => {
                     failure = Some(e);
                     false
                 }
-            }
-        });
+            },
+        );
         if let Some(e) = failure {
             return Err(e);
         }
@@ -185,8 +185,11 @@ impl Table {
         let old_row = self.heap.get(rid).ok_or(Error::RowNotFound)?;
         let indexes = self.indexes();
         // Move index entries key-by-key, tracking what we did for rollback.
-        let mut moved: Vec<(usize, Vec<bullfrog_common::Value>, Vec<bullfrog_common::Value>)> =
-            Vec::new();
+        let mut moved: Vec<(
+            usize,
+            Vec<bullfrog_common::Value>,
+            Vec<bullfrog_common::Value>,
+        )> = Vec::new();
         for (n, idx) in indexes.iter().enumerate() {
             let old_key = old_row.key(&idx.def().key_columns);
             let new_key = new_row.key(&idx.def().key_columns);
@@ -336,7 +339,10 @@ mod tests {
     fn insert_maintains_indexes() {
         let t = customers();
         let rid = t.insert(row![1, "alice", 100]).unwrap();
-        assert_eq!(t.get_by_pk(&[Value::Int(1)]), Some((rid, row![1, "alice", 100])));
+        assert_eq!(
+            t.get_by_pk(&[Value::Int(1)]),
+            Some((rid, row![1, "alice", 100]))
+        );
         let by_name = t.index("customer_name_key").unwrap();
         assert_eq!(by_name.get(&[Value::text("alice")]), vec![rid]);
     }
@@ -438,11 +444,8 @@ mod tests {
 
     #[test]
     fn check_constraint_enforced_on_insert_and_update() {
-        let schema = TableSchema::new(
-            "t",
-            vec![ColumnDef::new("v", DataType::Int)],
-        )
-        .with_check("v_positive", bullfrog_common::schema::CheckExpr::gt("v", 0));
+        let schema = TableSchema::new("t", vec![ColumnDef::new("v", DataType::Int)])
+            .with_check("v_positive", bullfrog_common::schema::CheckExpr::gt("v", 0));
         let t = Table::new(TableId(9), schema).unwrap();
         assert!(matches!(
             t.insert(row![0]),

@@ -6,8 +6,8 @@
 
 use std::collections::BTreeMap;
 
-use bullfrog_common::{Error, Row, RowId, TableId, TableSchema, Value};
 use bullfrog_common::{ColumnDef, DataType};
+use bullfrog_common::{Error, Row, RowId, TableId, TableSchema, Value};
 use bullfrog_storage::Table;
 use proptest::prelude::*;
 

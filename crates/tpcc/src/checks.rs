@@ -10,8 +10,7 @@ use bullfrog_engine::Database;
 pub fn check_warehouse_ytd(db: &Database) -> Result<()> {
     let mut district_sums: BTreeMap<i64, i64> = BTreeMap::new();
     for (_, d) in db.select_unlocked("district", None)? {
-        *district_sums.entry(d[1].as_i64().unwrap()).or_insert(0) +=
-            d[8].as_i64().unwrap_or(0);
+        *district_sums.entry(d[1].as_i64().unwrap()).or_insert(0) += d[8].as_i64().unwrap_or(0);
     }
     for (_, w) in db.select_unlocked("warehouse", None)? {
         let w_id = w[0].as_i64().unwrap();
@@ -110,9 +109,7 @@ pub fn check_split_complete(db: &Database) -> Result<()> {
         // Balance may legitimately have moved post-flip; columns that are
         // immutable in the workload must match.
         if v[3] != c[10] || v[4] != c[11] {
-            return Err(Error::Internal(format!(
-                "priv credit mismatch for {key:?}"
-            )));
+            return Err(Error::Internal(format!("priv credit mismatch for {key:?}")));
         }
     }
     Ok(())

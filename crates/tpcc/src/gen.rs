@@ -105,7 +105,7 @@ impl TpccRng {
 
     /// True with probability `pct`/100.
     pub fn chance(&mut self, pct: u32) -> bool {
-        self.rng.gen_range(0..100) < pct
+        self.rng.gen_range(0u32..100) < pct
     }
 }
 

@@ -204,13 +204,7 @@ fn load_customers(
     Ok(())
 }
 
-fn load_orders(
-    db: &Database,
-    rng: &mut TpccRng,
-    scale: &TpccScale,
-    w: i64,
-    d: i64,
-) -> Result<()> {
+fn load_orders(db: &Database, rng: &mut TpccRng, scale: &TpccScale, w: i64, d: i64) -> Result<()> {
     // A permutation of customer ids for o_c_id (clause 4.3.3.1).
     let mut perm: Vec<i64> = (1..=scale.customers_per_district).collect();
     for i in (1..perm.len()).rev() {

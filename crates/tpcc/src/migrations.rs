@@ -109,8 +109,8 @@ pub fn customer_priv_schema(fk: FkLevel) -> TableSchema {
 /// §4.1 table-split plan (with optional §4.5 FK constraints).
 pub fn customer_split_plan(fk: FkLevel) -> MigrationPlan {
     let pub_cols = [
-        "c_w_id", "c_d_id", "c_id", "c_first", "c_last", "c_street", "c_city", "c_state",
-        "c_zip", "c_phone",
+        "c_w_id", "c_d_id", "c_id", "c_first", "c_last", "c_street", "c_city", "c_state", "c_zip",
+        "c_phone",
     ];
     let priv_cols = [
         "c_w_id",
@@ -300,7 +300,10 @@ mod tests {
         let s = &plan.statements[0];
         assert_eq!(s.category(), MigrationCategory::ManyToOne);
         match s.tracking() {
-            Tracking::Hash { key_alias, key_exprs } => {
+            Tracking::Hash {
+                key_alias,
+                key_exprs,
+            } => {
                 assert_eq!(key_alias, "ol");
                 assert_eq!(key_exprs.len(), 3);
             }

@@ -108,8 +108,7 @@ pub fn delivery(
                     .eq(Expr::lit(p.w_id))
                     .and(Expr::column("ol_d_id").eq(Expr::lit(d)))
                     .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
-                let rows =
-                    access.select(txn, "order_line", Some(&pred), LockPolicy::Exclusive)?;
+                let rows = access.select(txn, "order_line", Some(&pred), LockPolicy::Exclusive)?;
                 let mut total = 0i64;
                 for (rid, mut row) in rows {
                     total += row[8].as_i64().unwrap_or(0);

@@ -89,7 +89,11 @@ pub fn new_order(
     access.insert(
         txn,
         "neworder",
-        Row(vec![Value::Int(p.w_id), Value::Int(p.d_id), Value::Int(o_id)]),
+        Row(vec![
+            Value::Int(p.w_id),
+            Value::Int(p.d_id),
+            Value::Int(o_id),
+        ]),
     )?;
 
     let mut total: i64 = 0;

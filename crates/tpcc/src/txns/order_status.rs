@@ -55,10 +55,7 @@ pub fn order_status(
         .and(Expr::column("o_d_id").eq(Expr::lit(p.d_id)))
         .and(Expr::column("o_c_id").eq(Expr::lit(customer.c_id)));
     let orders = access.select(txn, "orders", Some(&pred), LockPolicy::Shared)?;
-    let last = orders
-        .iter()
-        .filter_map(|(_, r)| r[2].as_i64())
-        .max();
+    let last = orders.iter().filter_map(|(_, r)| r[2].as_i64()).max();
     let Some(o_id) = last else {
         return Ok(OrderStatusResult {
             balance: customer.balance,
@@ -76,8 +73,7 @@ pub fn order_status(
                 .and(Expr::column("ol_o_id").eq(Expr::lit(o_id)));
             let rows = access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Shared)?;
             // The denormalized table has one row per (line, stock-wh) pair.
-            let mut numbers: Vec<i64> =
-                rows.iter().filter_map(|(_, r)| r[3].as_i64()).collect();
+            let mut numbers: Vec<i64> = rows.iter().filter_map(|(_, r)| r[3].as_i64()).collect();
             numbers.sort_unstable();
             numbers.dedup();
             numbers.len()

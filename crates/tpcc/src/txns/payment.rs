@@ -55,7 +55,12 @@ pub fn payment(
 
     // Warehouse YTD.
     let (w_rid, w_row) = access
-        .get_by_pk(txn, "warehouse", &[Value::Int(p.w_id)], LockPolicy::Exclusive)?
+        .get_by_pk(
+            txn,
+            "warehouse",
+            &[Value::Int(p.w_id)],
+            LockPolicy::Exclusive,
+        )?
         .ok_or(Error::RowNotFound)?;
     access.update(txn, "warehouse", w_rid, bump_decimal(&w_row, 7, p.amount)?)?;
 

@@ -47,8 +47,7 @@ pub fn stock_level(
                 .and(Expr::column("ol_o_id").lt(Expr::lit(next_o)))
                 .and(Expr::column("s_w_id").eq(Expr::lit(p.w_id)))
                 .and(Expr::column("s_quantity").lt(Expr::lit(p.threshold)));
-            let rows =
-                access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Shared)?;
+            let rows = access.select(txn, "orderline_stock", Some(&pred), LockPolicy::Shared)?;
             let mut items: Vec<i64> = rows.iter().filter_map(|(_, r)| r[4].as_i64()).collect();
             items.sort_unstable();
             items.dedup();

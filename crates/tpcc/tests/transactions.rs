@@ -49,8 +49,16 @@ fn new_order_mutates_everything_the_spec_says() {
         d_id: 1,
         c_id: 3,
         items: vec![
-            NewOrderItem { i_id: 5, supply_w_id: 1, quantity: 4 },
-            NewOrderItem { i_id: 6, supply_w_id: 1, quantity: 2 },
+            NewOrderItem {
+                i_id: 5,
+                supply_w_id: 1,
+                quantity: 4,
+            },
+            NewOrderItem {
+                i_id: 6,
+                supply_w_id: 1,
+                quantity: 2,
+            },
         ],
         now: 42,
     };
@@ -120,8 +128,16 @@ fn new_order_rollback_leaves_no_trace() {
         d_id: 1,
         c_id: 3,
         items: vec![
-            NewOrderItem { i_id: 5, supply_w_id: 1, quantity: 4 },
-            NewOrderItem { i_id: 0, supply_w_id: 1, quantity: 1 }, // unused item
+            NewOrderItem {
+                i_id: 5,
+                supply_w_id: 1,
+                quantity: 4,
+            },
+            NewOrderItem {
+                i_id: 0,
+                supply_w_id: 1,
+                quantity: 1,
+            }, // unused item
         ],
         now: 42,
     };
@@ -143,7 +159,12 @@ fn new_order_rollback_leaves_no_trace() {
 #[test]
 fn payment_moves_exact_amounts() {
     let (db, access, _) = setup();
-    let w_ytd = db.table("warehouse").unwrap().get_by_pk(&[Value::Int(1)]).unwrap().1[7]
+    let w_ytd = db
+        .table("warehouse")
+        .unwrap()
+        .get_by_pk(&[Value::Int(1)])
+        .unwrap()
+        .1[7]
         .as_i64()
         .unwrap();
     let c_key = [Value::Int(1), Value::Int(1), Value::Int(2)];
@@ -165,7 +186,11 @@ fn payment_moves_exact_amounts() {
     db.commit(&mut txn).unwrap();
     assert_eq!(c_id, 2);
     assert_eq!(
-        db.table("warehouse").unwrap().get_by_pk(&[Value::Int(1)]).unwrap().1[7]
+        db.table("warehouse")
+            .unwrap()
+            .get_by_pk(&[Value::Int(1)])
+            .unwrap()
+            .1[7]
             .as_i64()
             .unwrap(),
         w_ytd + 12_345
@@ -259,14 +284,22 @@ fn stock_level_counts_low_items() {
         &access,
         &mut txn,
         Variant::Base,
-        &StockLevelParams { w_id: 1, d_id: 1, threshold: 1_000_000 },
+        &StockLevelParams {
+            w_id: 1,
+            d_id: 1,
+            threshold: 1_000_000,
+        },
     )
     .unwrap();
     let none = stock_level(
         &access,
         &mut txn,
         Variant::Base,
-        &StockLevelParams { w_id: 1, d_id: 1, threshold: 0 },
+        &StockLevelParams {
+            w_id: 1,
+            d_id: 1,
+            threshold: 0,
+        },
     )
     .unwrap();
     db.commit(&mut txn).unwrap();

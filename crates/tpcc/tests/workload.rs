@@ -5,9 +5,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bullfrog_core::{
-    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, Passthrough,
-};
+use bullfrog_core::{BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, Passthrough};
 use bullfrog_engine::{Database, DbConfig};
 use bullfrog_tpcc::{checks, load, Driver, Scenario, TpccRng, TpccScale, TxnKind, TxnOutcome};
 

@@ -6,7 +6,7 @@
 //! expected to abort and retry — this is the deadlock-avoidance policy.
 
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hash;
 use std::time::{Duration, Instant};
 
 use bullfrog_common::{Error, Result, RowId, TableId, TxnId};
@@ -33,9 +33,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
-                | (IX, IS) | (IX, IX)
-                | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -185,9 +190,10 @@ impl LockManager {
     }
 
     fn shard(&self, key: &LockKey) -> &Shard {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+        // Deterministic FNV (not the per-process-seeded DefaultHasher), so
+        // shard assignment is reproducible across runs — same reasoning as
+        // the trackers' partitioning.
+        &self.shards[(bullfrog_common::fnv_hash_one(key) as usize) & (SHARDS - 1)]
     }
 
     /// Acquires `mode` on `key` for `txn`, blocking up to the default

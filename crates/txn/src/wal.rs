@@ -1,4 +1,4 @@
-//! Redo write-ahead log.
+//! Redo write-ahead log with group commit and checkpoint truncation.
 //!
 //! The WAL serves two purposes in this reproduction:
 //!
@@ -9,18 +9,43 @@
 //!    inside migration transactions, so replay can mark exactly the
 //!    granules whose migration committed as `[0 1]`/`migrated`.
 //!
-//! Records live in memory (a `Vec` behind a mutex) and are optionally
-//! mirrored durably to a file ([`Wal::with_file`]), appended and flushed
-//! per commit batch. The binary format is round-trip tested, and the file
-//! scanner ([`Wal::load_file`]) tolerates a torn tail from a crash
+//! # Structure
+//!
+//! Records live in **segments**: a bounded open segment receives appends
+//! under a short mutex, and full segments are sealed into immutable
+//! `Arc<Segment>`s that readers can walk without copying. LSNs are record
+//! offsets from the birth of the log and are assigned under the same mutex,
+//! so batches stay contiguous.
+//!
+//! Durability is decoupled from appending. File-backed logs encode each
+//! batch *outside* the lock, stage the bytes in a pending buffer, and a
+//! dedicated **flusher thread** drains the buffer with one combined
+//! `write` + `fsync` per wakeup — the group commit. Committers that need
+//! durability ([`Wal::append_batch_durable`]) park on the commit barrier
+//! and are woken once the durable horizon ([`Wal::durable_lsn`]) covers
+//! their records. No fsync ever happens under the log lock.
+//!
+//! [`Wal::truncate_to`] supports checkpointing: once a caller has
+//! persisted a snapshot of the committed prefix (see
+//! `bullfrog-engine::checkpoint`), the prefix is dropped from memory at
+//! segment granularity and the backing file is rotated to a fresh log
+//! holding only the tail, prefixed by a `BFWAL1` header carrying the base
+//! LSN. Headerless files from older logs read as base 0.
+//!
+//! The binary record format is unchanged and round-trip tested, and the
+//! file scanner ([`Wal::load_file`]) tolerates a torn tail from a crash
 //! mid-write.
 
+use std::collections::HashMap;
 use std::io::Write;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use bullfrog_common::{Error, Result, Row, RowId, TableId, TxnId, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// Identifies a granule within a migration for recovery purposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -95,46 +120,320 @@ impl LogRecord {
             | LogRecord::MigrationGranule { txn, .. } => *txn,
         }
     }
+
+    /// True for the records that resolve a transaction.
+    fn resolves(&self) -> bool {
+        matches!(self, LogRecord::Commit(_) | LogRecord::Abort(_))
+    }
 }
 
-/// The write-ahead log: an append-only, atomically-batched record list,
-/// optionally mirrored durably to a file (appended and flushed on every
-/// batch, i.e. on every commit).
-pub struct Wal {
-    records: Mutex<Vec<LogRecord>>,
-    file: Mutex<Option<std::fs::File>>,
+/// Records per segment; full open segments are sealed at this size, so
+/// resident memory after a checkpoint is bounded by the tail length plus
+/// one partially-covered segment.
+const SEGMENT_RECORDS: usize = 1024;
+
+/// Magic prefix of rotated WAL files; followed by the base LSN (u64 BE).
+const FILE_MAGIC: [u8; 6] = *b"BFWAL1";
+const HEADER_LEN: usize = FILE_MAGIC.len() + 8;
+
+/// An immutable, sealed run of records starting at a fixed LSN. Shared out
+/// under `Arc` so readers iterate without cloning records or holding the
+/// log lock.
+#[derive(Debug)]
+pub struct Segment {
+    base_lsn: u64,
+    records: Vec<LogRecord>,
 }
 
-impl Wal {
-    /// An in-memory-only log.
-    pub fn new() -> Self {
-        Wal {
-            records: Mutex::new(Vec::new()),
-            file: Mutex::new(None),
+impl Segment {
+    /// LSN of the first record in the segment.
+    pub fn base_lsn(&self) -> u64 {
+        self.base_lsn
+    }
+
+    /// One past the LSN of the last record.
+    pub fn end_lsn(&self) -> u64 {
+        self.base_lsn + self.records.len() as u64
+    }
+
+    /// The records.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+}
+
+/// Tuning knobs for a file-backed log.
+#[derive(Debug, Clone, Default)]
+pub struct WalOptions {
+    /// How long the flusher waits after the first staged batch before
+    /// issuing the combined write+fsync, to let concurrent committers pile
+    /// into the same group. Zero (the default) flushes as soon as the
+    /// flusher is free — grouping then happens naturally while a previous
+    /// fsync is in flight.
+    pub group_window: Duration,
+}
+
+/// Point-in-time view of the durability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WalStatsSnapshot {
+    /// Combined write+fsync calls issued.
+    pub flushes: u64,
+    /// Commit batches covered by those flushes.
+    pub flushed_batches: u64,
+    /// Bytes written.
+    pub flushed_bytes: u64,
+    /// Total time spent in write+fsync, microseconds.
+    pub flush_micros: u64,
+    /// Largest number of batches retired by a single flush.
+    pub max_group: u64,
+    /// Checkpoint truncations performed.
+    pub checkpoints: u64,
+    /// Records dropped from memory by truncation.
+    pub truncated_records: u64,
+}
+
+impl WalStatsSnapshot {
+    /// Mean batches per flush — the observed group-commit factor.
+    pub fn mean_group(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flushed_batches as f64 / self.flushes as f64
         }
     }
 
-    /// A log mirrored to `path` (created or appended to). Existing records
-    /// in the file are **not** loaded — use [`Wal::load_file`] first and
-    /// replay them, as recovery does.
+    /// Mean write+fsync latency in microseconds.
+    pub fn mean_flush_micros(&self) -> f64 {
+        if self.flushes == 0 {
+            0.0
+        } else {
+            self.flush_micros as f64 / self.flushes as f64
+        }
+    }
+
+    /// One-line summary for reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "fsyncs={} batches={} group(mean/max)={:.2}/{} bytes={} flush_us(mean)={:.0} checkpoints={} truncated={}",
+            self.flushes,
+            self.flushed_batches,
+            self.mean_group(),
+            self.max_group,
+            self.flushed_bytes,
+            self.mean_flush_micros(),
+            self.checkpoints,
+            self.truncated_records,
+        )
+    }
+}
+
+/// Internal atomic counters behind [`WalStatsSnapshot`].
+#[derive(Debug, Default)]
+struct WalStats {
+    flushes: AtomicU64,
+    flushed_batches: AtomicU64,
+    flushed_bytes: AtomicU64,
+    flush_micros: AtomicU64,
+    max_group: AtomicU64,
+    checkpoints: AtomicU64,
+    truncated_records: AtomicU64,
+}
+
+impl WalStats {
+    fn snapshot(&self) -> WalStatsSnapshot {
+        WalStatsSnapshot {
+            flushes: self.flushes.load(Ordering::Relaxed),
+            flushed_batches: self.flushed_batches.load(Ordering::Relaxed),
+            flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
+            flush_micros: self.flush_micros.load(Ordering::Relaxed),
+            max_group: self.max_group.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            truncated_records: self.truncated_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Log state under the (short) log mutex. Appenders extend the open
+/// segment and memcpy pre-encoded bytes into `pending`; nothing here does
+/// IO.
+struct WalCore {
+    /// Sealed, immutable segments in LSN order, all below `open_base`.
+    sealed: Vec<Arc<Segment>>,
+    /// The open segment's records; `open_base` is the LSN of `open[0]`.
+    open: Vec<LogRecord>,
+    open_base: u64,
+    /// First retained LSN — records below it were checkpointed away.
+    base_lsn: u64,
+    /// Next LSN to assign (== `open_base + open.len()`).
+    next_lsn: u64,
+    /// Encoded-but-unflushed bytes (file-backed logs only).
+    pending: BytesMut,
+    /// Batches staged in `pending`.
+    pending_batches: u64,
+    /// When the oldest staged batch arrived (drives the group window).
+    pending_since: Option<Instant>,
+    /// Set by `Drop`; the flusher drains and exits.
+    shutdown: bool,
+}
+
+impl WalCore {
+    fn push(&mut self, record: LogRecord) {
+        self.open.push(record);
+        self.next_lsn += 1;
+        if self.open.len() >= SEGMENT_RECORDS {
+            let records = std::mem::take(&mut self.open);
+            self.sealed.push(Arc::new(Segment {
+                base_lsn: self.open_base,
+                records,
+            }));
+            self.open_base = self.next_lsn;
+        }
+    }
+
+    /// Visits every retained record with its LSN, in LSN order.
+    fn for_each(&self, mut f: impl FnMut(u64, &LogRecord)) {
+        for seg in &self.sealed {
+            for (i, r) in seg.records.iter().enumerate() {
+                let lsn = seg.base_lsn + i as u64;
+                if lsn >= self.base_lsn {
+                    f(lsn, r);
+                }
+            }
+        }
+        for (i, r) in self.open.iter().enumerate() {
+            let lsn = self.open_base + i as u64;
+            if lsn >= self.base_lsn {
+                f(lsn, r);
+            }
+        }
+    }
+}
+
+/// State shared between the log handle and its flusher thread.
+struct WalShared {
+    core: Mutex<WalCore>,
+    /// Signaled when `pending` gains bytes or shutdown is requested.
+    work: Condvar,
+    /// The commit barrier: signaled when `durable_lsn` advances.
+    durable: Condvar,
+    /// All records with LSN below this are on disk.
+    durable_lsn: AtomicU64,
+    /// Bumped by rotation so an in-flight flush of pre-rotation bytes is
+    /// discarded instead of being appended to the new file.
+    file_epoch: AtomicU64,
+    /// Set when a flush failed; waiters panic rather than hang.
+    poisoned: AtomicBool,
+    /// The append handle (file-backed logs only); never touched while
+    /// holding `core` except during rotation, which owns both.
+    file: Mutex<Option<std::fs::File>>,
+    path: Option<PathBuf>,
+    file_backed: bool,
+    group_window: Duration,
+    stats: WalStats,
+}
+
+/// The write-ahead log: an append-only, atomically-batched, segmented
+/// record list, optionally made durable in a file by a group-commit
+/// flusher thread.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Wal {
+    /// An in-memory-only log: appends are visible immediately and
+    /// durability waits return at once.
+    pub fn new() -> Self {
+        Wal {
+            shared: Arc::new(Self::make_shared(None, WalOptions::default())),
+            flusher: None,
+        }
+    }
+
+    /// A log mirrored to `path` (created or appended to) with default
+    /// options. Existing records in the file are **not** loaded — use
+    /// [`Wal::load_file`] first and replay them, as recovery does.
     pub fn with_file(path: impl AsRef<Path>) -> Result<Self> {
-        let file = std::fs::OpenOptions::new()
+        Self::with_file_opts(path, WalOptions::default())
+    }
+
+    /// As [`Wal::with_file`] with explicit [`WalOptions`].
+    pub fn with_file_opts(path: impl AsRef<Path>, opts: WalOptions) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
-            .open(path)
+            .open(&path)
             .map_err(|e| Error::Wal(format!("open wal file: {e}")))?;
+        let len = file
+            .metadata()
+            .map_err(|e| Error::Wal(format!("stat wal file: {e}")))?
+            .len();
+        if len == 0 {
+            // Fresh log: stamp the header before any record can land.
+            file.write_all(&encode_header(0))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| Error::Wal(format!("write wal header: {e}")))?;
+        }
+        let shared = Arc::new(Self::make_shared(Some((path, file)), opts));
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("bullfrog-wal-flush".into())
+                .spawn(move || flusher_loop(&shared))
+                .map_err(|e| Error::Wal(format!("spawn wal flusher: {e}")))?
+        };
         Ok(Wal {
-            records: Mutex::new(Vec::new()),
-            file: Mutex::new(Some(file)),
+            shared,
+            flusher: Some(flusher),
         })
+    }
+
+    fn make_shared(file: Option<(PathBuf, std::fs::File)>, opts: WalOptions) -> WalShared {
+        let (path, file) = match file {
+            Some((p, f)) => (Some(p), Some(f)),
+            None => (None, None),
+        };
+        WalShared {
+            core: Mutex::new(WalCore {
+                sealed: Vec::new(),
+                open: Vec::new(),
+                open_base: 0,
+                base_lsn: 0,
+                next_lsn: 0,
+                pending: BytesMut::new(),
+                pending_batches: 0,
+                pending_since: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            durable: Condvar::new(),
+            durable_lsn: AtomicU64::new(0),
+            file_epoch: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            file_backed: file.is_some(),
+            file: Mutex::new(file),
+            path,
+            group_window: opts.group_window,
+            stats: WalStats::default(),
+        }
     }
 
     /// Reads a WAL file, returning every complete record. A torn tail —
     /// a partial record at EOF from a crash mid-write — is tolerated and
-    /// ignored, like any real log scanner.
+    /// ignored, like any real log scanner. A `BFWAL1` rotation header is
+    /// skipped; headerless files read as base LSN 0.
     pub fn load_file(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
+        Ok(Self::load_file_with_base(path)?.1)
+    }
+
+    /// As [`Wal::load_file`], also returning the base LSN from the
+    /// rotation header (0 for headerless legacy files).
+    pub fn load_file_with_base(path: impl AsRef<Path>) -> Result<(u64, Vec<LogRecord>)> {
         let bytes = std::fs::read(path).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
-        Ok(Self::decode_prefix(Bytes::from(bytes)).0)
+        let (base, offset) = parse_header(&bytes);
+        let tail = Bytes::from(bytes).slice(offset..);
+        Ok((base, Self::decode_prefix(tail).0))
     }
 
     /// Decodes records until the bytes run out or a record is torn;
@@ -163,28 +462,52 @@ impl Wal {
 
     /// Appends a batch atomically (a committing transaction appends its
     /// redo records followed by its `Commit` in one call, so no reader can
-    /// observe a commit record without its payload). Returns the LSN of the
-    /// first appended record.
+    /// observe a commit record without its payload). Returns the LSN of
+    /// the first appended record without waiting for durability; use
+    /// [`Wal::append_batch_durable`] on the commit path.
     pub fn append_batch(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
-        let mut records = self.records.lock();
-        let lsn = records.len() as u64;
-        let start = records.len();
-        records.extend(batch);
-        if let Some(file) = self.file.lock().as_mut() {
+        self.append_batch_inner(batch).0
+    }
+
+    /// Appends a batch and blocks on the commit barrier until a combined
+    /// write+fsync covers it. The calling thread parks; the flusher wakes
+    /// every committer whose records the flush made durable. In-memory
+    /// logs return immediately. Returns the LSN of the first record.
+    pub fn append_batch_durable(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
+        let (first, end) = self.append_batch_inner(batch);
+        self.wait_durable(end);
+        first
+    }
+
+    /// Returns `(first_lsn, end_lsn)` of the appended batch.
+    fn append_batch_inner(&self, batch: impl IntoIterator<Item = LogRecord>) -> (u64, u64) {
+        let records: Vec<LogRecord> = batch.into_iter().collect();
+        // Encode outside the lock; appenders pay serialization in
+        // parallel and the critical section is push + memcpy.
+        let encoded = if self.shared.file_backed && !records.is_empty() {
             let mut buf = BytesMut::new();
-            for r in &records[start..] {
+            for r in &records {
                 encode_record(&mut buf, r);
             }
-            // Write + flush while still holding the records lock so file
-            // order matches memory order; a real engine would group-commit
-            // here instead. A WAL write failure means durability is gone —
-            // halt rather than silently acknowledge commits (the standard
-            // database response to a dead log device).
-            file.write_all(&buf)
-                .and_then(|()| file.flush())
-                .expect("WAL file write failed; cannot guarantee durability");
+            Some(buf)
+        } else {
+            None
+        };
+        let mut core = self.shared.core.lock();
+        let first = core.next_lsn;
+        for r in records {
+            core.push(r);
         }
-        lsn
+        let end = core.next_lsn;
+        if let Some(bytes) = encoded {
+            if core.pending.is_empty() {
+                core.pending_since = Some(Instant::now());
+            }
+            core.pending.extend_from_slice(&bytes);
+            core.pending_batches += 1;
+            self.shared.work.notify_one();
+        }
+        (first, end)
     }
 
     /// Appends one record.
@@ -192,26 +515,102 @@ impl Wal {
         self.append_batch([record])
     }
 
-    /// Number of records.
-    pub fn len(&self) -> usize {
-        self.records.lock().len()
+    /// Blocks until every record below `lsn` is on disk (no-op for
+    /// in-memory logs). Panics if the flusher died of an IO error —
+    /// acknowledging a commit without durability would be a lie.
+    pub fn wait_durable(&self, lsn: u64) {
+        if !self.shared.file_backed || self.shared.durable_lsn.load(Ordering::Acquire) >= lsn {
+            return;
+        }
+        let mut core = self.shared.core.lock();
+        while self.shared.durable_lsn.load(Ordering::Acquire) < lsn {
+            if self.shared.poisoned.load(Ordering::Acquire) {
+                panic!("WAL flusher failed; cannot guarantee durability");
+            }
+            self.shared.durable.wait(&mut core);
+        }
     }
 
-    /// True when no records were written.
+    /// Forces everything appended so far to disk and waits for it.
+    pub fn sync(&self) {
+        let lsn = self.shared.core.lock().next_lsn;
+        self.shared.work.notify_one();
+        self.wait_durable(lsn);
+    }
+
+    /// The durability horizon: every record below this LSN is on disk.
+    /// Always 0 for in-memory logs.
+    pub fn durable_lsn(&self) -> u64 {
+        self.shared.durable_lsn.load(Ordering::Acquire)
+    }
+
+    /// Total records ever appended — the length of the LSN space. Not
+    /// reduced by checkpoint truncation.
+    pub fn len(&self) -> usize {
+        self.shared.core.lock().next_lsn as usize
+    }
+
+    /// True when no records were ever written.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Snapshot of the full log (recovery input).
-    pub fn snapshot(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+    /// First retained LSN (0 until a checkpoint truncates the log).
+    pub fn base_lsn(&self) -> u64 {
+        self.shared.core.lock().base_lsn
     }
 
-    /// Serializes the whole log to its binary image.
+    /// Records currently resident in memory (tail + partially-covered
+    /// segments). Bounded after checkpoints, unlike `len()`.
+    pub fn resident_records(&self) -> usize {
+        let core = self.shared.core.lock();
+        core.sealed.iter().map(|s| s.records.len()).sum::<usize>() + core.open.len()
+    }
+
+    /// Durability counters.
+    pub fn stats(&self) -> WalStatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Snapshot of the retained log (recovery input).
+    pub fn snapshot(&self) -> Vec<LogRecord> {
+        let core = self.shared.core.lock();
+        self.collect_range(&core, core.base_lsn, core.next_lsn)
+    }
+
+    /// Clones the retained records with LSN in `[lo, hi)` (checkpoint
+    /// input). Walks the segments; does not copy the rest of the log.
+    pub fn records_in(&self, lo: u64, hi: u64) -> Vec<LogRecord> {
+        let core = self.shared.core.lock();
+        self.collect_range(&core, lo.max(core.base_lsn), hi.min(core.next_lsn))
+    }
+
+    fn collect_range(&self, core: &WalCore, lo: u64, hi: u64) -> Vec<LogRecord> {
+        let mut out = Vec::new();
+        core.for_each(|lsn, r| {
+            if lsn >= lo && lsn < hi {
+                out.push(r.clone());
+            }
+        });
+        out
+    }
+
+    /// Serializes the retained log to its binary image. Sealed segments
+    /// are shared out of the lock; only the open segment is cloned.
     pub fn encode_all(&self) -> Bytes {
-        let records = self.records.lock();
+        let (sealed, open, base) = {
+            let core = self.shared.core.lock();
+            (core.sealed.clone(), core.open.clone(), core.base_lsn)
+        };
         let mut buf = BytesMut::new();
-        for r in records.iter() {
+        for seg in &sealed {
+            for (i, r) in seg.records.iter().enumerate() {
+                if seg.base_lsn + i as u64 >= base {
+                    encode_record(&mut buf, r);
+                }
+            }
+        }
+        for r in &open {
             encode_record(&mut buf, r);
         }
         buf.freeze()
@@ -225,6 +624,109 @@ impl Wal {
         }
         Ok(out)
     }
+
+    /// The largest transaction-interval-safe cut: no transaction has
+    /// records both below and at-or-above the returned LSN (transactions
+    /// without a `Commit`/`Abort` yet may still append, so they pin the
+    /// cut below their first record). Found by a decreasing fixpoint from
+    /// the log end; never below the current base LSN.
+    pub fn safe_cut(&self) -> u64 {
+        let core = self.shared.core.lock();
+        // (first record LSN, last record LSN, resolved?) per txn.
+        let mut spans: HashMap<TxnId, (u64, u64, bool)> = HashMap::new();
+        core.for_each(|lsn, r| {
+            let e = spans.entry(r.txn()).or_insert((lsn, lsn, false));
+            e.1 = lsn;
+            e.2 |= r.resolves();
+        });
+        let mut cut = core.next_lsn;
+        loop {
+            let mut moved = false;
+            for (first, last, resolved) in spans.values() {
+                let hi = if *resolved { *last } else { u64::MAX };
+                if *first < cut && cut <= hi {
+                    cut = *first;
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        cut.max(core.base_lsn)
+    }
+
+    /// Truncates the log at `cut` (clamped to a valid range): sealed
+    /// segments wholly below `cut` and the covered prefix of the open
+    /// segment are dropped from memory, and a file-backed log is rotated
+    /// to a fresh file holding only records at or above `cut` behind a
+    /// `BFWAL1` + base-LSN header. The rotation itself fsyncs, so the
+    /// whole tail becomes durable. Returns the records dropped.
+    ///
+    /// The caller is responsible for having persisted a checkpoint image
+    /// covering everything below `cut` first, and for picking a
+    /// transaction-safe `cut` (see [`Wal::safe_cut`]).
+    pub fn truncate_to(&self, cut: u64) -> Result<u64> {
+        let shared = &self.shared;
+        let mut core = shared.core.lock();
+        let cut = cut.clamp(core.base_lsn, core.next_lsn);
+        if shared.file_backed {
+            let mut image = BytesMut::new();
+            image.put_slice(&encode_header(cut));
+            core.for_each(|lsn, r| {
+                if lsn >= cut {
+                    encode_record(&mut image, r);
+                }
+            });
+            let path = shared.path.as_ref().expect("file-backed wal has a path");
+            let tmp = path.with_extension("wal-rotate");
+            let rotate = || -> std::io::Result<std::fs::File> {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&image)?;
+                f.sync_all()?;
+                std::fs::rename(&tmp, path)?;
+                std::fs::OpenOptions::new().append(true).open(path)
+            };
+            // Holding `core` (and then `file`) keeps appenders and the
+            // flusher out for the duration; rotation is rare.
+            let mut file = shared.file.lock();
+            let new_file = rotate().map_err(|e| Error::Wal(format!("rotate wal file: {e}")))?;
+            *file = Some(new_file);
+            shared.file_epoch.fetch_add(1, Ordering::AcqRel);
+            drop(file);
+            // Everything the rotation wrote is durable; any in-flight
+            // flusher buffer is discarded via the epoch check.
+            core.pending.clear();
+            core.pending_batches = 0;
+            core.pending_since = None;
+            if shared.durable_lsn.load(Ordering::Acquire) < core.next_lsn {
+                shared.durable_lsn.store(core.next_lsn, Ordering::Release);
+            }
+            shared.durable.notify_all();
+        }
+        let mut dropped = 0u64;
+        core.sealed.retain(|seg| {
+            if seg.end_lsn() <= cut {
+                dropped += seg.records.len() as u64;
+                false
+            } else {
+                true
+            }
+        });
+        if cut > core.open_base {
+            let covered = (cut - core.open_base) as usize;
+            core.open.drain(..covered);
+            core.open_base = cut;
+            dropped += covered as u64;
+        }
+        core.base_lsn = cut;
+        shared
+            .stats
+            .truncated_records
+            .fetch_add(dropped, Ordering::Relaxed);
+        shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(dropped)
+    }
 }
 
 impl Default for Wal {
@@ -233,14 +735,136 @@ impl Default for Wal {
     }
 }
 
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if let Some(handle) = self.flusher.take() {
+            {
+                let mut core = self.shared.core.lock();
+                core.shutdown = true;
+            }
+            self.shared.work.notify_all();
+            if handle.join().is_err() && !std::thread::panicking() {
+                panic!("WAL flusher thread panicked");
+            }
+        }
+    }
+}
+
 impl std::fmt::Debug for Wal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wal").field("records", &self.len()).finish()
+        f.debug_struct("Wal")
+            .field("records", &self.len())
+            .field("base_lsn", &self.base_lsn())
+            .field("durable_lsn", &self.durable_lsn())
+            .finish()
+    }
+}
+
+/// The group-commit flusher: drains the pending buffer with one combined
+/// write+fsync per wakeup, then advances the durable horizon and wakes
+/// every committer it covered. Exits when the log shuts down and the
+/// buffer is drained.
+fn flusher_loop(shared: &WalShared) {
+    loop {
+        let (buf, batches, end_lsn, epoch) = {
+            let mut core = shared.core.lock();
+            loop {
+                if core.pending.is_empty() {
+                    if core.shutdown {
+                        return;
+                    }
+                    shared.work.wait(&mut core);
+                    continue;
+                }
+                if !core.shutdown && !shared.group_window.is_zero() {
+                    let deadline =
+                        core.pending_since.expect("pending implies since") + shared.group_window;
+                    if Instant::now() < deadline {
+                        shared.work.wait_until(&mut core, deadline);
+                        continue;
+                    }
+                }
+                break;
+            }
+            let buf = std::mem::take(&mut core.pending);
+            let batches = std::mem::replace(&mut core.pending_batches, 0);
+            core.pending_since = None;
+            (
+                buf,
+                batches,
+                core.next_lsn,
+                shared.file_epoch.load(Ordering::Acquire),
+            )
+        };
+        let started = Instant::now();
+        let mut rotated_away = false;
+        {
+            let mut file = shared.file.lock();
+            if shared.file_epoch.load(Ordering::Acquire) != epoch {
+                // A checkpoint rotated the file between our buffer swap
+                // and this write; the rotation already persisted (or
+                // dropped) these records. Writing them would duplicate.
+                rotated_away = true;
+            } else if let Some(f) = file.as_mut() {
+                if let Err(e) = f.write_all(&buf).and_then(|()| f.sync_data()) {
+                    shared.poisoned.store(true, Ordering::Release);
+                    drop(file);
+                    let _core = shared.core.lock();
+                    shared.durable.notify_all();
+                    panic!("WAL flush failed; cannot guarantee durability: {e}");
+                }
+            }
+        }
+        if !rotated_away {
+            let stats = &shared.stats;
+            stats.flushes.fetch_add(1, Ordering::Relaxed);
+            stats.flushed_batches.fetch_add(batches, Ordering::Relaxed);
+            stats
+                .flushed_bytes
+                .fetch_add(buf.len() as u64, Ordering::Relaxed);
+            stats
+                .flush_micros
+                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            stats.max_group.fetch_max(batches, Ordering::Relaxed);
+        }
+        {
+            let _core = shared.core.lock();
+            if shared.durable_lsn.load(Ordering::Acquire) < end_lsn {
+                shared.durable_lsn.store(end_lsn, Ordering::Release);
+            }
+            shared.durable.notify_all();
+        }
+    }
+}
+
+fn encode_header(base_lsn: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..FILE_MAGIC.len()].copy_from_slice(&FILE_MAGIC);
+    h[FILE_MAGIC.len()..].copy_from_slice(&base_lsn.to_be_bytes());
+    h
+}
+
+/// Returns `(base_lsn, record offset)`. Headerless legacy files read as
+/// base 0 from offset 0; a torn header (magic present, LSN cut off) reads
+/// as an empty log.
+fn parse_header(bytes: &[u8]) -> (u64, usize) {
+    if bytes.len() >= FILE_MAGIC.len() && bytes[..FILE_MAGIC.len()] == FILE_MAGIC {
+        if bytes.len() >= HEADER_LEN {
+            let mut lsn = [0u8; 8];
+            lsn.copy_from_slice(&bytes[FILE_MAGIC.len()..HEADER_LEN]);
+            (u64::from_be_bytes(lsn), HEADER_LEN)
+        } else {
+            (0, bytes.len())
+        }
+    } else {
+        (0, 0)
     }
 }
 
 // --- binary format -------------------------------------------------------
 //
+// file    := header? record*
+// header  := "BFWAL1" base_lsn:u64          (rotated logs; legacy = none)
 // record  := tag:u8 body
 // value   := vtag:u8 payload
 // row     := count:u32 value*
@@ -260,14 +884,24 @@ fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
             buf.put_u8(TAG_BEGIN);
             buf.put_u64(t.0);
         }
-        LogRecord::Insert { txn, table, rid, row } => {
+        LogRecord::Insert {
+            txn,
+            table,
+            rid,
+            row,
+        } => {
             buf.put_u8(TAG_INSERT);
             buf.put_u64(txn.0);
             buf.put_u32(table.0);
             put_rid(buf, *rid);
             put_row(buf, row);
         }
-        LogRecord::Update { txn, table, rid, after } => {
+        LogRecord::Update {
+            txn,
+            table,
+            rid,
+            after,
+        } => {
             buf.put_u8(TAG_UPDATE);
             buf.put_u64(txn.0);
             buf.put_u32(table.0);
@@ -280,23 +914,15 @@ fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
             buf.put_u32(table.0);
             put_rid(buf, *rid);
         }
-        LogRecord::MigrationGranule { txn, migration, granule } => {
+        LogRecord::MigrationGranule {
+            txn,
+            migration,
+            granule,
+        } => {
             buf.put_u8(TAG_GRANULE);
             buf.put_u64(txn.0);
             buf.put_u32(*migration);
-            match granule {
-                GranuleKey::Ordinal(o) => {
-                    buf.put_u8(0);
-                    buf.put_u64(*o);
-                }
-                GranuleKey::Group(vals) => {
-                    buf.put_u8(1);
-                    buf.put_u32(vals.len() as u32);
-                    for v in vals {
-                        put_value(buf, v);
-                    }
-                }
-            }
+            put_granule(buf, granule);
         }
         LogRecord::Commit(t) => {
             buf.put_u8(TAG_COMMIT);
@@ -336,24 +962,47 @@ fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
         TAG_GRANULE => {
             let txn = TxnId(get_u64(buf)?);
             let migration = get_u32(buf)?;
-            let kind = get_u8(buf)?;
-            let granule = match kind {
-                0 => GranuleKey::Ordinal(get_u64(buf)?),
-                1 => {
-                    let n = get_u32(buf)? as usize;
-                    let mut vals = Vec::with_capacity(n);
-                    for _ in 0..n {
-                        vals.push(get_value(buf)?);
-                    }
-                    GranuleKey::Group(vals)
-                }
-                k => return Err(Error::Wal(format!("bad granule kind {k}"))),
-            };
-            Ok(LogRecord::MigrationGranule { txn, migration, granule })
+            let granule = get_granule(buf)?;
+            Ok(LogRecord::MigrationGranule {
+                txn,
+                migration,
+                granule,
+            })
         }
         TAG_COMMIT => Ok(LogRecord::Commit(TxnId(get_u64(buf)?))),
         TAG_ABORT => Ok(LogRecord::Abort(TxnId(get_u64(buf)?))),
         t => Err(Error::Wal(format!("bad record tag {t}"))),
+    }
+}
+
+fn put_granule(buf: &mut BytesMut, granule: &GranuleKey) {
+    match granule {
+        GranuleKey::Ordinal(o) => {
+            buf.put_u8(0);
+            buf.put_u64(*o);
+        }
+        GranuleKey::Group(vals) => {
+            buf.put_u8(1);
+            buf.put_u32(vals.len() as u32);
+            for v in vals {
+                put_value(buf, v);
+            }
+        }
+    }
+}
+
+fn get_granule(buf: &mut Bytes) -> Result<GranuleKey> {
+    match get_u8(buf)? {
+        0 => Ok(GranuleKey::Ordinal(get_u64(buf)?)),
+        1 => {
+            let n = get_u32(buf)? as usize;
+            let mut vals = Vec::with_capacity(n);
+            for _ in 0..n {
+                vals.push(get_value(buf)?);
+            }
+            Ok(GranuleKey::Group(vals))
+        }
+        k => Err(Error::Wal(format!("bad granule kind {k}"))),
     }
 }
 
@@ -485,6 +1134,52 @@ fn get_i64(buf: &mut Bytes) -> Result<i64> {
     Ok(buf.get_i64())
 }
 
+/// Wire-format helpers shared with the checkpoint image codec in
+/// `bullfrog-engine` (same value/row/granule encoding as the log itself).
+pub mod codec {
+    use super::*;
+
+    /// Encodes a row.
+    pub fn put_row(buf: &mut BytesMut, row: &Row) {
+        super::put_row(buf, row);
+    }
+
+    /// Decodes a row.
+    pub fn get_row(buf: &mut Bytes) -> Result<Row> {
+        super::get_row(buf)
+    }
+
+    /// Encodes a row id.
+    pub fn put_rid(buf: &mut BytesMut, rid: RowId) {
+        super::put_rid(buf, rid);
+    }
+
+    /// Decodes a row id.
+    pub fn get_rid(buf: &mut Bytes) -> Result<RowId> {
+        super::get_rid(buf)
+    }
+
+    /// Encodes a granule key.
+    pub fn put_granule(buf: &mut BytesMut, granule: &GranuleKey) {
+        super::put_granule(buf, granule);
+    }
+
+    /// Decodes a granule key.
+    pub fn get_granule(buf: &mut Bytes) -> Result<GranuleKey> {
+        super::get_granule(buf)
+    }
+
+    /// Decodes a u32 with truncation checking.
+    pub fn get_u32(buf: &mut Bytes) -> Result<u32> {
+        super::get_u32(buf)
+    }
+
+    /// Decodes a u64 with truncation checking.
+    pub fn get_u64(buf: &mut Bytes) -> Result<u64> {
+        super::get_u64(buf)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +1218,16 @@ mod tests {
             LogRecord::Commit(TxnId(1)),
             LogRecord::Abort(TxnId(2)),
         ]
+    }
+
+    /// A per-test temp file path (tests run in one process, so the pid
+    /// alone is not unique).
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("bullfrog-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{tag}.wal"));
+        let _ = std::fs::remove_file(&path);
+        path
     }
 
     #[test]
@@ -604,10 +1309,7 @@ mod tests {
 
     #[test]
     fn file_mirror_round_trips() {
-        let dir = std::env::temp_dir().join(format!("bullfrog-wal-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("test.wal");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_wal("mirror");
         {
             let wal = Wal::with_file(&path).unwrap();
             wal.append_batch(sample_records());
@@ -626,9 +1328,7 @@ mod tests {
 
     #[test]
     fn torn_tail_is_ignored() {
-        let dir = std::env::temp_dir().join(format!("bullfrog-wal-torn-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("torn.wal");
+        let path = temp_wal("torn");
         {
             let wal = Wal::with_file(&path).unwrap();
             wal.append_batch(sample_records());
@@ -639,6 +1339,20 @@ mod tests {
         let loaded = Wal::load_file(&path).unwrap();
         assert_eq!(loaded.len(), sample_records().len() - 1);
         assert_eq!(loaded[..], sample_records()[..loaded.len()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_headerless_file_reads_as_base_zero() {
+        let path = temp_wal("legacy");
+        let mut buf = BytesMut::new();
+        for r in &sample_records() {
+            encode_record(&mut buf, r);
+        }
+        std::fs::write(&path, &buf).unwrap();
+        let (base, records) = Wal::load_file_with_base(&path).unwrap();
+        assert_eq!(base, 0);
+        assert_eq!(records, sample_records());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -661,5 +1375,157 @@ mod tests {
             let t = r.txn();
             assert!(t == TxnId(1) || t == TxnId(2));
         }
+    }
+
+    #[test]
+    fn durable_append_is_on_disk_when_it_returns() {
+        let path = temp_wal("durable");
+        let wal = Wal::with_file(&path).unwrap();
+        wal.append_batch_durable(sample_records());
+        // No drop, no join: the file must already hold every record.
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded, sample_records());
+        assert_eq!(wal.durable_lsn(), sample_records().len() as u64);
+        drop(wal);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn group_commit_coalesces_fsyncs() {
+        use std::sync::{Arc, Barrier};
+        let path = temp_wal("group");
+        const THREADS: u64 = 8;
+        let wal = Arc::new(
+            Wal::with_file_opts(
+                &path,
+                WalOptions {
+                    group_window: Duration::from_millis(30),
+                },
+            )
+            .unwrap(),
+        );
+        let barrier = Arc::new(Barrier::new(THREADS as usize));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let wal = Arc::clone(&wal);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let txn = TxnId(t + 1);
+                wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.flushed_batches, THREADS);
+        // The whole point of group commit: fewer fsyncs than commits.
+        assert!(
+            stats.flushes < THREADS,
+            "expected coalescing, got {} flushes for {THREADS} commits",
+            stats.flushes
+        );
+        assert!(stats.max_group >= 2, "no grouping observed: {stats:?}");
+        drop(wal);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn safe_cut_respects_unresolved_transactions() {
+        let wal = Wal::new();
+        let t1 = TxnId(1);
+        wal.append_batch([LogRecord::Begin(t1), LogRecord::Commit(t1)]);
+        assert_eq!(wal.safe_cut(), 2);
+        // An unresolved transaction pins the cut below its first record.
+        let t2 = TxnId(2);
+        wal.append_batch([LogRecord::Begin(t2)]);
+        let t3 = TxnId(3);
+        wal.append_batch([LogRecord::Begin(t3), LogRecord::Commit(t3)]);
+        assert_eq!(wal.safe_cut(), 2);
+        wal.append(LogRecord::Commit(t2));
+        assert_eq!(wal.safe_cut(), wal.len() as u64);
+    }
+
+    #[test]
+    fn truncation_bounds_resident_memory() {
+        let wal = Wal::new();
+        for t in 0..3000u64 {
+            let txn = TxnId(t);
+            wal.append_batch([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        let before = wal.resident_records();
+        assert_eq!(before, 6000);
+        let cut = wal.safe_cut();
+        assert_eq!(cut, 6000);
+        let dropped = wal.truncate_to(cut).unwrap();
+        // Whole sealed segments and the covered open prefix are gone;
+        // what remains is bounded by one segment.
+        assert_eq!(dropped as usize, before - wal.resident_records());
+        assert!(wal.resident_records() <= SEGMENT_RECORDS);
+        assert_eq!(wal.base_lsn(), cut);
+        assert_eq!(wal.len(), 6000, "LSN space is not rewound");
+        assert!(wal.snapshot().is_empty());
+        let stats = wal.stats();
+        assert_eq!(stats.checkpoints, 1);
+        assert_eq!(stats.truncated_records, dropped);
+        // The log keeps working after truncation.
+        let txn = TxnId(9000);
+        assert_eq!(
+            wal.append_batch([LogRecord::Begin(txn), LogRecord::Commit(txn)]),
+            6000
+        );
+        assert_eq!(wal.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn rotation_keeps_only_tail_with_base_header() {
+        let path = temp_wal("rotate");
+        let wal = Wal::with_file(&path).unwrap();
+        for t in 0..50u64 {
+            let txn = TxnId(t);
+            wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        let cut = wal.safe_cut();
+        assert_eq!(cut, 100);
+        wal.truncate_to(cut).unwrap();
+        // Post-truncation appends land in the rotated file.
+        let txn = TxnId(77);
+        wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        drop(wal);
+        let (base, records) = Wal::load_file_with_base(&path).unwrap();
+        assert_eq!(base, 100);
+        assert_eq!(
+            records,
+            vec![LogRecord::Begin(TxnId(77)), LogRecord::Commit(TxnId(77))]
+        );
+        // Reopening appends after the rotated tail.
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append(LogRecord::Begin(TxnId(78)));
+        }
+        let (base, records) = Wal::load_file_with_base(&path).unwrap();
+        assert_eq!(base, 100);
+        assert_eq!(records.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_in_walks_segment_ranges() {
+        let wal = Wal::new();
+        for t in 0..2000u64 {
+            wal.append(LogRecord::Begin(TxnId(t)));
+        }
+        let mid = wal.records_in(1500, 1503);
+        assert_eq!(
+            mid,
+            vec![
+                LogRecord::Begin(TxnId(1500)),
+                LogRecord::Begin(TxnId(1501)),
+                LogRecord::Begin(TxnId(1502)),
+            ]
+        );
+        assert_eq!(wal.records_in(1999, 5000).len(), 1);
+        assert_eq!(wal.records_in(5000, 6000).len(), 0);
     }
 }

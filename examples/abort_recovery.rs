@@ -39,10 +39,8 @@ fn schema_and_data(db: &Database, rows: i64) {
     )
     .unwrap();
     for i in 0..rows {
-        db.with_txn(|txn| {
-            db.insert(txn, "events", row![i, i % 5, format!("payload-{i}")])
-        })
-        .unwrap();
+        db.with_txn(|txn| db.insert(txn, "events", row![i, i % 5, format!("payload-{i}")]))
+            .unwrap();
     }
 }
 

@@ -149,9 +149,8 @@ fn main() {
     );
     let migration = bf
         .submit_migration(
-            MigrationPlan::new("flewoninfo").with_statement(MigrationStatement::new(
-                flewoninfo, spec,
-            )),
+            MigrationPlan::new("flewoninfo")
+                .with_statement(MigrationStatement::new(flewoninfo, spec)),
         )
         .unwrap();
     println!(
@@ -162,9 +161,9 @@ fn main() {
     // --- a client query over the new schema -----------------------------
     // SELECT * FROM flewoninfo WHERE fid = 'AA101'
     //   AND EXTRACT(DAY FROM flightdate) = 9;
-    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
-        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
-    );
+    let pred = Expr::column("fid")
+        .eq(Expr::lit("AA101"))
+        .and(Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)));
     let mut txn = db.begin();
     let rows = bf
         .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)
@@ -177,7 +176,10 @@ fn main() {
         db.table("flewoninfo").unwrap().live_count()
     );
     for (_, r) in &rows {
-        println!("  fid={} date={} passengers={} empty_seats={}", r[0], r[1], r[2], r[3]);
+        println!(
+            "  fid={} date={} passengers={} empty_seats={}",
+            r[0], r[1], r[2], r[3]
+        );
     }
 
     // --- the backwards-incompatible part ---------------------------------
@@ -218,6 +220,9 @@ fn main() {
         migration.stats.summary()
     );
     bf.finalize_migration(true).unwrap();
-    println!("old tables dropped; remaining tables: {:?}", db.catalog().table_names());
+    println!(
+        "old tables dropped; remaining tables: {:?}",
+        db.catalog().table_names()
+    );
     bf.shutdown_background();
 }

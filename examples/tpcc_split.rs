@@ -80,16 +80,20 @@ fn main() {
     run_phase("phase 1 (old schema)", &bf, &driver, &mut rng, 2000);
 
     // The single-step migration: one call, no advance warning, no downtime.
-    let migration = bf
-        .submit_migration(Scenario::CustomerSplit.plan())
-        .unwrap();
+    let migration = bf.submit_migration(Scenario::CustomerSplit.plan()).unwrap();
     Scenario::CustomerSplit.create_output_indexes(&db).unwrap();
     println!(
         "\nmigration submitted — customer_pub rows now: {}",
         db.table("customer_pub").unwrap().live_count()
     );
 
-    run_phase("phase 2 (new schema, migrating)", &bf, &driver, &mut rng, 2000);
+    run_phase(
+        "phase 2 (new schema, migrating)",
+        &bf,
+        &driver,
+        &mut rng,
+        2000,
+    );
     println!(
         "  mid-migration: customer_pub={} of {}; stats: {}",
         db.table("customer_pub").unwrap().live_count(),

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus style/lint gates. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== rustfmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --all-targets -- -D warnings
+
+echo "verify: OK"

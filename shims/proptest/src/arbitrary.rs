@@ -1,0 +1,75 @@
+//! `any::<T>()` for the primitive types the workspace asks for.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-range strategy for a primitive, driven by a generator function.
+pub struct AnyStrategy<T> {
+    gen: fn(&mut TestRng) -> T,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for AnyStrategy<T> {}
+
+impl<T> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+macro_rules! arbitrary_via {
+    ($($t:ty => $gen:expr;)+) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyStrategy { gen: $gen, _marker: PhantomData }
+            }
+        }
+    )+};
+}
+
+arbitrary_via! {
+    bool => |rng| rng.next_u64() & 1 == 1;
+    u8 => |rng| rng.next_u64() as u8;
+    u16 => |rng| rng.next_u64() as u16;
+    u32 => |rng| rng.next_u64() as u32;
+    u64 => |rng| rng.next_u64();
+    usize => |rng| rng.next_u64() as usize;
+    i8 => |rng| rng.next_u64() as i8;
+    i16 => |rng| rng.next_u64() as i16;
+    i32 => |rng| rng.next_u64() as i32;
+    i64 => |rng| rng.next_u64() as i64;
+    isize => |rng| rng.next_u64() as isize;
+    // Finite floats only, matching real proptest's default float classes
+    // (no NaN or infinities).
+    f64 => |rng| loop {
+        let f = f64::from_bits(rng.next_u64());
+        if f.is_finite() {
+            return f;
+        }
+    };
+    f32 => |rng| loop {
+        let f = f32::from_bits(rng.next_u64() as u32);
+        if f.is_finite() {
+            return f;
+        }
+    };
+}

@@ -1,0 +1,17 @@
+//! The `prop::bool` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Any;
+
+/// Generates `true` or `false` with equal probability.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

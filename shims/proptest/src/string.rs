@@ -1,0 +1,99 @@
+//! String generation from a small regex subset: a sequence of atoms,
+//! where an atom is a character class `[a-z0-9_]` or a literal character,
+//! optionally followed by a `{n}` / `{lo,hi}` repetition. This covers the
+//! patterns the workspace's property tests use (e.g. `"[a-zA-Z0-9]{0,12}"`).
+
+use crate::test_runner::TestRng;
+
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices: Vec<char> = match c {
+            '[' => {
+                let mut class = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                            class.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        }
+                        other => {
+                            class.push(other);
+                            prev = Some(other);
+                        }
+                    }
+                }
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                class
+            }
+            '\\' => vec![chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"))],
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '.' => {
+                panic!("unsupported regex feature {c:?} in pattern {pattern:?}")
+            }
+            literal => vec![literal],
+        };
+        let (lo, hi) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            loop {
+                match chars.next() {
+                    Some('}') => break,
+                    Some(c) => spec.push(c),
+                    None => panic!("unterminated repetition in pattern {pattern:?}"),
+                }
+            }
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n: usize = spec.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.usize_inclusive(lo, hi);
+        for _ in 0..count {
+            let pick = rng.usize_inclusive(0, choices.len() - 1);
+            out.push(choices[pick]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_repetition() {
+        let mut rng = TestRng::from_seed_str("class");
+        for _ in 0..200 {
+            let s = generate_matching("[a-zA-Z0-9]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed_str("lit");
+        let s = generate_matching("ab[01]{3}z", &mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+        assert!(s[2..5].chars().all(|c| c == '0' || c == '1'));
+    }
+}

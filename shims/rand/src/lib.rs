@@ -1,0 +1,171 @@
+//! Vendored stand-in for the `rand` crate: a seedable xoshiro256++
+//! generator behind the `rand 0.8` trait names (`SeedableRng`, `Rng`,
+//! `gen_range`) for the subset the workspace uses. Deterministic per
+//! seed, which is all the TPC-C generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn from_seed(seed: [u8; 32]) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand via splitmix64, as rand does for small seeds.
+        let mut sm = state;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Rng: RngCore + Sized {
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        sample_f64(self) < p
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// A range that can produce a uniform sample. Implemented for `Range`
+/// and `RangeInclusive` over the integer types the workspace uses, and
+/// for half-open `f64` ranges.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * sample_f64(rng)
+    }
+}
+
+/// Uniform in `[0, 1)` from the top 53 bits.
+fn sample_f64<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the standard small, fast, high-quality PRNG.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                let mut raw = [0u8; 8];
+                raw.copy_from_slice(chunk);
+                s[i] = u64::from_le_bytes(raw);
+            }
+            // An all-zero state would be a fixed point; nudge it.
+            if s == [0; 4] {
+                s = [0x9e3779b97f4a7c15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same: Vec<u64> = (0..16).map(|_| c.gen_range(0..1_000_000)).collect();
+        let mut a2 = StdRng::seed_from_u64(42);
+        let orig: Vec<u64> = (0..16).map(|_| a2.gen_range(0..1_000_000)).collect();
+        assert_ne!(same, orig);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&v));
+            hit_lo |= v == -3;
+            hit_hi |= v == 3;
+            let f = r.gen_range(1.0f64..2.0);
+            assert!((1.0..2.0).contains(&f));
+            let u = r.gen_range(0usize..5);
+            assert!(u < 5);
+        }
+        assert!(hit_lo && hit_hi);
+    }
+}

@@ -85,16 +85,26 @@ fn crash_recovery_resumes_both_tracker_kinds() {
     // Migrate part of each statement via client requests.
     for i in 0..60i64 {
         let mut txn = db.begin();
-        bf.get_by_pk(&mut txn, "readings_v2", &[Value::Int(i)], LockPolicy::Shared)
-            .unwrap()
-            .unwrap();
+        bf.get_by_pk(
+            &mut txn,
+            "readings_v2",
+            &[Value::Int(i)],
+            LockPolicy::Shared,
+        )
+        .unwrap()
+        .unwrap();
         db.commit(&mut txn).unwrap();
     }
     for s in 0..3i64 {
         let mut txn = db.begin();
-        bf.get_by_pk(&mut txn, "sensor_totals", &[Value::Int(s)], LockPolicy::Shared)
-            .unwrap()
-            .unwrap();
+        bf.get_by_pk(
+            &mut txn,
+            "sensor_totals",
+            &[Value::Int(s)],
+            LockPolicy::Shared,
+        )
+        .unwrap()
+        .unwrap();
         db.commit(&mut txn).unwrap();
     }
     let image = db.wal().encode_all();
@@ -196,9 +206,7 @@ fn durable_wal_file_survives_process_style_crash() {
     let _ = std::fs::remove_file(&path);
 
     {
-        let db = Arc::new(
-            Database::with_wal_file(Default::default(), &path).unwrap(),
-        );
+        let db = Arc::new(Database::with_wal_file(Default::default(), &path).unwrap());
         make_schema(&db);
         for i in 0..80i64 {
             db.with_txn(|txn| db.insert(txn, "readings", row![i, i % 4, i]))
@@ -234,4 +242,225 @@ fn durable_wal_file_survives_process_style_crash() {
     let (_, r) = t.get_by_pk(&[Value::Int(7)]).unwrap();
     assert_eq!(r, row![7, 3, 7], "torn update transaction must not apply");
     std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn torn_tail_mid_group_commit_batch_keeps_atomicity() {
+    // Concurrent committers share fsyncs through the group-commit window;
+    // a crash tearing the file mid-batch must still recover every fully
+    // durable transaction and drop the torn one whole.
+    use bullfrog::txn::WalOptions;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!("bullfrog-group-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("group.wal");
+    let _ = std::fs::remove_file(&path);
+
+    const THREADS: i64 = 8;
+    const PER_THREAD: i64 = 5;
+    {
+        let db = Arc::new(
+            Database::with_wal_file_opts(
+                Default::default(),
+                &path,
+                WalOptions {
+                    group_window: Duration::from_millis(15),
+                },
+            )
+            .unwrap(),
+        );
+        make_schema(&db);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let db = Arc::clone(&db);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..PER_THREAD {
+                        let id = t * 100 + i;
+                        db.with_txn(|txn| db.insert(txn, "readings", row![id, t, id * 10]))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Group commit observable at the engine level: fewer fsyncs than
+        // commit batches, and at least one multi-transaction group.
+        let stats = db.wal().stats();
+        assert_eq!(stats.flushed_batches, (THREADS * PER_THREAD) as u64);
+        assert!(
+            stats.flushes < stats.flushed_batches,
+            "expected coalescing: {} flushes for {} batches",
+            stats.flushes,
+            stats.flushed_batches
+        );
+        assert!(stats.max_group >= 2, "no batch ever grouped: {stats:?}");
+    } // <- crash
+
+    // Tear into the middle of the final flushed batch.
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+
+    let records = Wal::load_file(&path).unwrap();
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    let stats = replay(&db, &records).unwrap();
+    let t = db.table("readings").unwrap();
+    // Each transaction inserted exactly one row, so atomicity means:
+    // rows recovered == transactions whose Commit survived the tear, and
+    // the torn transaction (its Commit was cut) is dropped entirely.
+    assert_eq!(t.live_count(), stats.committed_txns);
+    assert!(
+        stats.committed_txns < (THREADS * PER_THREAD) as usize,
+        "the tear must have cut at least the final commit"
+    );
+    // Every surviving row is complete and correct.
+    for (_, r) in db.select_unlocked("readings", None).unwrap() {
+        let id = r[0].as_i64().unwrap();
+        assert_eq!(r, row![id, id / 100, id * 10]);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_truncation_and_file_recovery_restore_tables_and_trackers() {
+    // Full durability cycle: work → checkpoint (sidecar + log truncation)
+    // → more work in the log tail → crash → recover_from_files. Table
+    // contents AND migration-tracker state must come back exactly, with
+    // granules merged from both the checkpoint image and the tail.
+    use bullfrog::engine::checkpoint::checkpoint_path_for;
+    use bullfrog::engine::recovery::recover_from_files;
+
+    let dir = std::env::temp_dir().join(format!("bullfrog-ckpt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ckpt.wal");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(checkpoint_path_for(&path));
+
+    {
+        let db = Arc::new(Database::with_wal_file(Default::default(), &path).unwrap());
+        make_schema(&db);
+        for i in 0..200i64 {
+            db.with_txn(|txn| db.insert(txn, "readings", row![i, i % 8, i * 10]))
+                .unwrap();
+        }
+        let bf = Bullfrog::with_config(
+            Arc::clone(&db),
+            BullfrogConfig {
+                background: bullfrog::core::BackgroundConfig {
+                    enabled: false,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        bf.submit_migration(plan()).unwrap();
+        for i in 0..60i64 {
+            let mut txn = db.begin();
+            bf.get_by_pk(
+                &mut txn,
+                "readings_v2",
+                &[Value::Int(i)],
+                LockPolicy::Shared,
+            )
+            .unwrap()
+            .unwrap();
+            db.commit(&mut txn).unwrap();
+        }
+        for s in 0..3i64 {
+            let mut txn = db.begin();
+            bf.get_by_pk(
+                &mut txn,
+                "sensor_totals",
+                &[Value::Int(s)],
+                LockPolicy::Shared,
+            )
+            .unwrap()
+            .unwrap();
+            db.commit(&mut txn).unwrap();
+        }
+
+        // Checkpoint: committed prefix folded into the sidecar image, log
+        // memory bounded by truncation.
+        let before = db.wal().resident_records();
+        let cstats = db.checkpoint().unwrap();
+        assert!(cstats.dropped_records > 0, "nothing truncated: {cstats:?}");
+        assert!(db.wal().resident_records() < before);
+        assert_eq!(db.wal().len(), cstats.cut_lsn as usize);
+
+        // Post-checkpoint tail: migrate two more totals granules, so the
+        // recovered granule set must merge image + tail.
+        for s in 3..5i64 {
+            let mut txn = db.begin();
+            bf.get_by_pk(
+                &mut txn,
+                "sensor_totals",
+                &[Value::Int(s)],
+                LockPolicy::Shared,
+            )
+            .unwrap()
+            .unwrap();
+            db.commit(&mut txn).unwrap();
+        }
+    } // <- crash
+
+    let db = Arc::new(Database::new());
+    make_schema(&db);
+    let mut recovered_plan = plan();
+    db.create_table(recovered_plan.statements[0].output.clone())
+        .unwrap();
+    db.create_table(recovered_plan.statements[1].output.clone())
+        .unwrap();
+    let stats = recover_from_files(&db, &path, checkpoint_path_for(&path)).unwrap();
+
+    assert_eq!(db.table("readings").unwrap().live_count(), 200);
+    assert_eq!(db.table("readings_v2").unwrap().live_count(), 60);
+    assert_eq!(db.table("sensor_totals").unwrap().live_count(), 5);
+    assert_eq!(stats.migrated_granules.len(), 65);
+
+    // Tracker rebuild from the merged granule list, then exactly-once
+    // resumption.
+    recovered_plan.resolve(&db).unwrap();
+    let cap = db.table("readings").unwrap().heap().ordinal_bound();
+    let rts: Vec<Arc<StatementRuntime>> = recovered_plan
+        .statements
+        .into_iter()
+        .enumerate()
+        .map(|(i, stmt)| {
+            let tracker: Arc<dyn Tracker> = if i == 0 {
+                Arc::new(BitmapTracker::new(cap, 1))
+            } else {
+                Arc::new(HashTracker::new())
+            };
+            Arc::new(StatementRuntime {
+                id: i as u32,
+                stmt,
+                tracker,
+                stats: Arc::new(MigrationStats::new()),
+            })
+        })
+        .collect();
+    let applied = bullfrog::core::recovery::rebuild_trackers(&rts, &stats.migrated_granules);
+    assert_eq!(applied, 65);
+    assert_eq!(rts[0].tracker.migrated_count(), 60);
+    assert_eq!(rts[1].tracker.migrated_count(), 5);
+
+    for rt in &rts {
+        let pending = candidates_for(&db, rt, None).unwrap();
+        migrate_candidates(&db, rt, pending, &Default::default()).unwrap();
+    }
+    assert_eq!(db.table("readings_v2").unwrap().live_count(), 200);
+    assert_eq!(db.table("sensor_totals").unwrap().live_count(), 8);
+    for (_, r) in db.select_unlocked("sensor_totals", None).unwrap() {
+        let s = r[0].as_i64().unwrap();
+        let expected: i64 = (0..200).filter(|i| i % 8 == s).map(|i| i * 10).sum();
+        assert_eq!(r[1].as_i64().unwrap(), expected, "sensor {s}");
+    }
+    std::fs::remove_file(&path).unwrap();
+    let _ = std::fs::remove_file(checkpoint_path_for(&path));
 }

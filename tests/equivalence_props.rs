@@ -3,8 +3,8 @@
 //! injections, lazy migration ends in exactly the state eager evaluation
 //! of the same statement produces — nothing lost, nothing duplicated.
 
-use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bullfrog::common::{row, ColumnDef, DataType, Row, TableSchema};
 use bullfrog::core::{
@@ -72,7 +72,8 @@ fn build_db(rows: &[(i64, i64, i64)], tags: &[(i64, String)]) -> Arc<Database> {
         db.insert_unlogged("items", row![*id, *grp, *val]).unwrap();
     }
     for (grp, label) in tags {
-        db.insert_unlogged("tags", row![*grp, label.clone()]).unwrap();
+        db.insert_unlogged("tags", row![*grp, label.clone()])
+            .unwrap();
         // Two multi-tag rows per group → genuine n:n fan-out.
         db.insert_unlogged("multi_tags", row![*grp, format!("{label}-a")])
             .unwrap();

@@ -112,9 +112,9 @@ fn flewoninfo_schema() -> TableSchema {
 #[test]
 fn paper_predicates_reach_both_old_tables() {
     let spec = flewoninfo_spec();
-    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
-        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
-    );
+    let pred = Expr::column("fid")
+        .eq(Expr::lit("AA101"))
+        .and(Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)));
     let t = transpose(&spec, Some(&pred));
     // FLIGHTID = 'AA101' lands on both flights and flewon; the EXTRACT
     // lands on flewon only — exactly the PostgreSQL plan in the paper.
@@ -144,23 +144,24 @@ fn end_to_end_flights_evolution() {
             ..Default::default()
         },
     );
-    let mut plan = MigrationPlan::new("flewoninfo")
-        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    let mut plan = MigrationPlan::new("flewoninfo").with_statement(MigrationStatement::new(
+        flewoninfo_schema(),
+        flewoninfo_spec(),
+    ));
     plan.resolve(&db).unwrap();
     // The FK side (flewon) drives; flights is the untracked PK side
     // (§3.6 option 2).
-    assert_eq!(
-        plan.statements[0].category(),
-        MigrationCategory::OneToOne
-    );
-    let plan = MigrationPlan::new("flewoninfo")
-        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    assert_eq!(plan.statements[0].category(), MigrationCategory::OneToOne);
+    let plan = MigrationPlan::new("flewoninfo").with_statement(MigrationStatement::new(
+        flewoninfo_schema(),
+        flewoninfo_spec(),
+    ));
     bf.submit_migration(plan).unwrap();
 
     // The paper's client request: only AA101/day-9 tuples migrate.
-    let pred = Expr::column("fid").eq(Expr::lit("AA101")).and(
-        Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)),
-    );
+    let pred = Expr::column("fid")
+        .eq(Expr::lit("AA101"))
+        .and(Expr::Call(Func::ExtractDay, Box::new(Expr::column("flightdate"))).eq(Expr::lit(9)));
     let mut txn = db.begin();
     let rows = bf
         .select(&mut txn, "flewoninfo", Some(&pred), LockPolicy::Shared)
@@ -250,8 +251,10 @@ fn untransposable_predicate_migrates_superset() {
             ..Default::default()
         },
     );
-    let plan = MigrationPlan::new("flewoninfo")
-        .with_statement(MigrationStatement::new(flewoninfo_schema(), flewoninfo_spec()));
+    let plan = MigrationPlan::new("flewoninfo").with_statement(MigrationStatement::new(
+        flewoninfo_schema(),
+        flewoninfo_spec(),
+    ));
     bf.submit_migration(plan).unwrap();
     let pred = Expr::column("empty_seats").lt(Expr::lit(75));
     let mut txn = db.begin();

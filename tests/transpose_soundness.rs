@@ -26,7 +26,10 @@ fn spec() -> SelectSpec {
         .select("pid", Expr::col("p", "pid"))
         .select("pval", Expr::col("p", "pval"))
         .select("cval", Expr::col("c", "cval"))
-        .select("derived", Expr::col("p", "pval").add(Expr::col("c", "cval")))
+        .select(
+            "derived",
+            Expr::col("p", "pval").add(Expr::col("c", "cval")),
+        )
 }
 
 fn build(parents: &[(i64, i64)], children: &[(i64, i64)]) -> Arc<Database> {
@@ -64,12 +67,7 @@ fn build(parents: &[(i64, i64)], children: &[(i64, i64)]) -> Arc<Database> {
 /// A random conjunct over the output columns (some transposable, some —
 /// on the derived column — not).
 fn arb_conjunct() -> impl Strategy<Value = Expr> {
-    let col = prop_oneof![
-        Just("pid"),
-        Just("pval"),
-        Just("cval"),
-        Just("derived"),
-    ];
+    let col = prop_oneof![Just("pid"), Just("pval"), Just("cval"), Just("derived"),];
     (col, -10i64..10, 0u8..4).prop_map(|(c, v, op)| {
         let lhs = Expr::column(c);
         let rhs = Expr::lit(v);

@@ -1,0 +1,184 @@
+//! Property: recovering from a checkpoint image plus the log tail is
+//! indistinguishable from replaying the full log — for table contents AND
+//! for the committed migration-granule set the trackers are rebuilt from —
+//! no matter where the checkpoint cut lands (any transaction boundary) and
+//! no matter what mix of inserts/updates/deletes/granules the log holds.
+
+use std::sync::Arc;
+
+use bullfrog::common::{row, ColumnDef, DataType, TableSchema, Value};
+use bullfrog::core::recovery::rebuild_trackers;
+use bullfrog::engine::checkpoint::CheckpointImage;
+use bullfrog::engine::recovery::{replay, replay_with_checkpoint};
+use bullfrog::engine::{Database, LockPolicy};
+use bullfrog::txn::wal::GranuleKey;
+use bullfrog::txn::LogRecord;
+use proptest::prelude::*;
+
+/// One logical client transaction in the generated history.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a fresh row keyed by the op index.
+    Insert(i64),
+    /// Update the row created by op `target` (if it still exists).
+    Update { target: usize, val: i64 },
+    /// Delete the row created by op `target` (if it still exists).
+    Delete { target: usize },
+    /// A committed migration transaction marking one granule.
+    Granule { stmt: u32, ordinal: u64 },
+    /// An aborted transaction — its records must never replay.
+    AbortedInsert(i64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..1000).prop_map(Op::Insert),
+        ((0usize..40), (0i64..1000)).prop_map(|(target, val)| Op::Update { target, val }),
+        (0usize..40).prop_map(|target| Op::Delete { target }),
+        ((0u32..2), (0u64..64)).prop_map(|(stmt, ordinal)| Op::Granule { stmt, ordinal }),
+        (0i64..1000).prop_map(Op::AbortedInsert),
+    ]
+}
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["id"])
+}
+
+/// Runs the ops against a fresh database, returning its full WAL record
+/// history. Row ids are disambiguated by op index so inserts never
+/// collide on the primary key.
+fn run_history(ops: &[Op]) -> (Arc<Database>, Vec<LogRecord>) {
+    let db = Arc::new(Database::new());
+    db.create_table(schema()).unwrap();
+    let mut rids = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Op::Insert(v) => {
+                let rid = db
+                    .with_txn(|txn| db.insert(txn, "t", row![i as i64, *v]))
+                    .unwrap();
+                rids.push(Some((i as i64, rid)));
+            }
+            Op::Update { target, val } => {
+                rids.push(None);
+                if let Some(Some((id, _))) = rids.get(*target).cloned() {
+                    let _ = db.with_txn(|txn| {
+                        match db.get_by_pk(txn, "t", &[Value::Int(id)], LockPolicy::Exclusive)? {
+                            Some((rid, _)) => db.update(txn, "t", rid, row![id, *val]).map(|_| ()),
+                            None => Ok(()),
+                        }
+                    });
+                }
+            }
+            Op::Delete { target } => {
+                rids.push(None);
+                if let Some(Some((id, _))) = rids.get(*target).cloned() {
+                    let _ = db.with_txn(|txn| {
+                        match db.get_by_pk(txn, "t", &[Value::Int(id)], LockPolicy::Exclusive)? {
+                            Some((rid, _)) => db.delete(txn, "t", rid).map(|_| ()),
+                            None => Ok(()),
+                        }
+                    });
+                }
+            }
+            Op::Granule { stmt, ordinal } => {
+                rids.push(None);
+                let mut txn = db.begin();
+                txn.push_redo(LogRecord::MigrationGranule {
+                    txn: txn.id(),
+                    migration: *stmt,
+                    granule: GranuleKey::Ordinal(*ordinal),
+                });
+                db.commit(&mut txn).unwrap();
+            }
+            Op::AbortedInsert(v) => {
+                rids.push(None);
+                let mut txn = db.begin();
+                db.insert(&mut txn, "t", row![10_000 + i as i64, *v])
+                    .unwrap();
+                db.abort(&mut txn);
+            }
+        }
+    }
+    let records = db.wal().snapshot();
+    (db, records)
+}
+
+/// Indices one past each Commit/Abort record — the transaction boundaries
+/// a checkpoint cut may legally land on (every record batch in this
+/// engine is a whole transaction).
+fn txn_boundaries(records: &[LogRecord]) -> Vec<usize> {
+    let mut cuts = vec![0];
+    for (i, r) in records.iter().enumerate() {
+        if matches!(r, LogRecord::Commit(_) | LogRecord::Abort(_)) {
+            cuts.push(i + 1);
+        }
+    }
+    cuts
+}
+
+fn table_contents(db: &Database) -> Vec<(bullfrog::common::RowId, bullfrog::common::Row)> {
+    let mut rows = db.select_unlocked("t", None).unwrap();
+    rows.sort();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn checkpoint_plus_tail_equals_full_replay(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        cut_sel in 0usize..1000,
+    ) {
+        let (_src, records) = run_history(&ops);
+        let cuts = txn_boundaries(&records);
+        let cut = cuts[cut_sel % cuts.len()];
+
+        // Path A: plain full-log replay.
+        let full = Database::new();
+        full.create_table(schema()).unwrap();
+        let full_stats = replay(&full, &records).unwrap();
+
+        // Path B: fold the prefix into a checkpoint image (surviving an
+        // encode/decode round trip, as the on-disk sidecar would), then
+        // replay image + tail.
+        let mut image = CheckpointImage::new();
+        image.absorb(&records[..cut], cut as u64);
+        let image = CheckpointImage::decode(image.encode()).unwrap();
+        let ckpt = Database::new();
+        ckpt.create_table(schema()).unwrap();
+        let ckpt_stats = replay_with_checkpoint(&ckpt, &image, &records[cut..]).unwrap();
+
+        prop_assert_eq!(table_contents(&full), table_contents(&ckpt));
+        prop_assert_eq!(&full_stats.migrated_granules, &ckpt_stats.migrated_granules);
+
+        // The granule set drives tracker rebuild; equal sets must yield
+        // equal tracker state (checked via the marked count for each
+        // statement id).
+        for stmt in 0..2u32 {
+            let full_n = full_stats
+                .migrated_granules
+                .iter()
+                .filter(|(s, _)| *s == stmt)
+                .count();
+            let ckpt_n = ckpt_stats
+                .migrated_granules
+                .iter()
+                .filter(|(s, _)| *s == stmt)
+                .count();
+            prop_assert_eq!(full_n, ckpt_n);
+        }
+        // Silence the unused-import warning path: rebuild_trackers is the
+        // consumer of this list; its behaviour over equal lists is
+        // exercised in tests/crash_recovery.rs.
+        let _ = rebuild_trackers(&[], &full_stats.migrated_granules);
+    }
+}
