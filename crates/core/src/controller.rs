@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use bullfrog_common::{Error, Result, Row, RowId, Value};
+use bullfrog_common::{Error, Result, Row, RowId, TxnId, Value};
 use bullfrog_engine::exec::{ExecOptions, QueryOutput};
 use bullfrog_engine::{Database, LockPolicy};
 use bullfrog_query::{conjoin, conjuncts, Expr, SelectSpec};
@@ -127,6 +127,24 @@ impl std::fmt::Debug for ActiveMigration {
     }
 }
 
+/// Point-in-time view of an active migration's progress, as reported by
+/// [`Bullfrog::progress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationProgress {
+    /// Plan name.
+    pub name: String,
+    /// Statements in the plan.
+    pub statements: u64,
+    /// Statements whose physical migration has finished.
+    pub statements_complete: u64,
+    /// Whether every statement finished.
+    pub complete: bool,
+    /// Whether the old input tables reject writes while migrating.
+    pub frozen_inputs: bool,
+    /// Counter snapshot.
+    pub stats: crate::stats::MigrationStatsSnapshot,
+}
+
 /// The BullFrog database: an engine plus lazy schema evolution.
 pub struct Bullfrog {
     db: Arc<Database>,
@@ -165,6 +183,23 @@ impl Bullfrog {
     /// The active migration, if one is running.
     pub fn active(&self) -> Option<Arc<ActiveMigration>> {
         self.active.read().clone()
+    }
+
+    /// Point-in-time progress of the active migration (`None` when no
+    /// migration is live). This is what the server's `STATUS` opcode
+    /// reports to remote clients.
+    pub fn progress(&self) -> Option<MigrationProgress> {
+        let active = self.active()?;
+        Some(MigrationProgress {
+            name: active.name.clone(),
+            statements: active.runtimes.len() as u64,
+            statements_complete: (0..active.runtimes.len())
+                .filter(|&i| active.is_statement_complete(i))
+                .count() as u64,
+            complete: active.is_complete(),
+            frozen_inputs: active.frozen_inputs,
+            stats: active.stats.snapshot(),
+        })
     }
 
     /// Submits a migration: validates, creates output tables, flips the
@@ -251,7 +286,7 @@ impl Bullfrog {
 
         // Background migration threads (§2.2).
         if self.config.background.enabled {
-            let mut bg_opts = self.migrate_options(true, migration.runtimes.clone());
+            let mut bg_opts = self.migrate_options(true, migration.runtimes.clone(), None);
             bg_opts.cancel = Some(Arc::clone(&self.shutdown));
             let handles = crate::background::spawn_background(
                 Arc::clone(&self.db),
@@ -314,6 +349,7 @@ impl Bullfrog {
         &self,
         background: bool,
         peers: Vec<Arc<StatementRuntime>>,
+        parent: Option<TxnId>,
     ) -> MigrateOptions {
         MigrateOptions {
             dedup: self.config.dedup,
@@ -322,6 +358,7 @@ impl Bullfrog {
             background,
             peers,
             fk_depth: 0,
+            parent,
             ..Default::default()
         }
     }
@@ -338,6 +375,20 @@ impl Bullfrog {
     /// `output_table` might touch. No-op when the table is not an output
     /// of the active migration or its statement already completed.
     pub fn ensure_migrated(&self, output_table: &str, pred: Option<&Expr>) -> Result<()> {
+        self.ensure_migrated_as(output_table, pred, None)
+    }
+
+    /// As [`Bullfrog::ensure_migrated`], on behalf of client transaction
+    /// `parent`: the migration transactions it spawns treat `parent`'s
+    /// locks as compatible, so a transaction that wrote input rows itself
+    /// (co-maintained plans keep inputs writable) can still lazily migrate
+    /// the granules those rows belong to.
+    fn ensure_migrated_as(
+        &self,
+        output_table: &str,
+        pred: Option<&Expr>,
+        parent: Option<TxnId>,
+    ) -> Result<()> {
         let Some(active) = self.active() else {
             return Ok(());
         };
@@ -353,7 +404,7 @@ impl Bullfrog {
             &self.db,
             rt,
             candidates,
-            &self.migrate_options(false, active.runtimes.clone()),
+            &self.migrate_options(false, active.runtimes.clone(), parent),
         )
     }
 
@@ -361,7 +412,7 @@ impl Bullfrog {
     /// before the insert's uniqueness and FK checks can be trusted, any
     /// old-schema data that could conflict or be referenced must be in the
     /// new schema.
-    fn ensure_for_insert(&self, table: &str, row: &Row) -> Result<()> {
+    fn ensure_for_insert(&self, table: &str, row: &Row, parent: Option<TxnId>) -> Result<()> {
         let Some(active) = self.active() else {
             return Ok(());
         };
@@ -385,7 +436,7 @@ impl Bullfrog {
                     })
                     .collect(),
             );
-            self.ensure_migrated(table, pred.as_ref())?;
+            self.ensure_migrated_as(table, pred.as_ref(), parent)?;
         }
         // FK constraints whose target is itself being migrated: the
         // referenced key must exist in the new schema before the check.
@@ -405,7 +456,7 @@ impl Bullfrog {
                     .map(|(c, v)| Expr::column(c.clone()).eq(Expr::Lit(v)))
                     .collect(),
             );
-            self.ensure_migrated(&fk.ref_table, pred.as_ref())?;
+            self.ensure_migrated_as(&fk.ref_table, pred.as_ref(), parent)?;
         }
         Ok(())
     }
@@ -526,7 +577,7 @@ impl ClientAccess for Bullfrog {
         policy: LockPolicy,
     ) -> Result<Vec<(RowId, Row)>> {
         self.check_not_retired(table)?;
-        self.ensure_migrated(table, predicate)?;
+        self.ensure_migrated_as(table, predicate, Some(txn.id()))?;
         self.db.select(txn, table, predicate, policy)
     }
 
@@ -548,9 +599,9 @@ impl ClientAccess for Bullfrog {
                         .map(|(c, v)| Expr::column(c.clone()).eq(Expr::Lit(v.clone())))
                         .collect(),
                 );
-                self.ensure_migrated(table, pred.as_ref())?;
+                self.ensure_migrated_as(table, pred.as_ref(), Some(txn.id()))?;
             } else {
-                self.ensure_migrated(table, None)?;
+                self.ensure_migrated_as(table, None, Some(txn.id()))?;
             }
         }
         self.db.get_by_pk(txn, table, key, policy)
@@ -559,7 +610,7 @@ impl ClientAccess for Bullfrog {
     fn insert(&self, txn: &mut Transaction, table: &str, row: Row) -> Result<RowId> {
         self.check_not_retired(table)?;
         self.check_not_frozen_input(table)?;
-        self.ensure_for_insert(table, &row)?;
+        self.ensure_for_insert(table, &row, Some(txn.id()))?;
         self.db.insert(txn, table, row)
     }
 
@@ -568,7 +619,7 @@ impl ClientAccess for Bullfrog {
         self.check_not_frozen_input(table)?;
         // Updates changing a unique key must respect the same widening as
         // inserts (§2.1: "updates to the unique attribute").
-        self.ensure_for_insert(table, &row)?;
+        self.ensure_for_insert(table, &row, Some(txn.id()))?;
         self.db.update(txn, table, rid, row)
     }
 
@@ -606,7 +657,7 @@ impl ClientAccess for Bullfrog {
             if let Some(extra) = opts.extra_filters.get(&input.alias) {
                 parts.push(bullfrog_engine::exec::strip_aliases(extra));
             }
-            self.ensure_migrated(&input.table, conjoin(parts).as_ref())?;
+            self.ensure_migrated_as(&input.table, conjoin(parts).as_ref(), Some(txn.id()))?;
         }
         bullfrog_engine::exec::execute_spec(&self.db, txn, spec, opts)
     }

@@ -46,11 +46,11 @@ pub use access::{ClientAccess, Passthrough, SchemaVersion};
 pub use background::BackgroundConfig;
 pub use baselines::{EagerMigrator, MultiStepMigrator};
 pub use bitmap::BitmapTracker;
-pub use controller::{ActiveMigration, Bullfrog, BullfrogConfig};
+pub use controller::{ActiveMigration, Bullfrog, BullfrogConfig, MigrationProgress};
 pub use granule::{Granule, GranuleState, Tracker};
 pub use hashmap::HashTracker;
 pub use migrate::{
     candidates_for, migrate_candidates, DedupMode, MigrateOptions, StatementRuntime,
 };
 pub use plan::{JoinStrategy, MigrationCategory, MigrationPlan, MigrationStatement, Tracking};
-pub use stats::{DurabilityStats, MigrationStats};
+pub use stats::{DurabilityStats, MigrationStats, MigrationStatsSnapshot};

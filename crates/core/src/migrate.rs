@@ -25,7 +25,7 @@ use bullfrog_engine::exec::{execute_spec, strip_aliases, ExecOptions};
 use bullfrog_engine::{Database, LockPolicy};
 use bullfrog_query::{transpose, Expr};
 use bullfrog_txn::wal::GranuleKey;
-use bullfrog_txn::{LogRecord, Transaction};
+use bullfrog_txn::{LockKey, LockMode, LogRecord, Transaction};
 
 use crate::granule::{Granule, GranuleState, Tracker, WorkList};
 use crate::plan::{MigrationStatement, Tracking};
@@ -228,6 +228,13 @@ pub struct MigrateOptions {
     pub peers: Vec<Arc<StatementRuntime>>,
     /// Recursion guard for FK chains between outputs.
     pub fk_depth: u32,
+    /// The client transaction that triggered this lazy migration, when
+    /// there is one. The migration transaction declares it an ally so the
+    /// client's own X locks on input rows (co-maintained plans with
+    /// unfrozen inputs write both schemas in one transaction) don't
+    /// deadlock the shared thread; locks held by *other* transactions
+    /// still block the migration's S reads.
+    pub parent: Option<bullfrog_common::TxnId>,
     /// Cooperative cancellation: when set, the migration loop stops with
     /// an error between transactions (background workers pass the
     /// controller's shutdown flag so `Drop` can never hang on a granule
@@ -245,6 +252,7 @@ impl Default for MigrateOptions {
             txn_granule_cap: 1024,
             peers: Vec::new(),
             fk_depth: 0,
+            parent: None,
             cancel: None,
         }
     }
@@ -367,6 +375,9 @@ fn migrate_once(
     let mut wip = WorkList::new();
     let mut skip = WorkList::new();
     let mut txn = db.begin();
+    if let Some(parent) = opts.parent {
+        txn.set_ally(parent);
+    }
 
     let mut counts = RowCounts::default();
     let mut failure: Option<Error> = None;
@@ -427,6 +438,9 @@ fn migrate_on_conflict(
     opts: &MigrateOptions,
 ) -> Result<()> {
     let mut txn = db.begin();
+    if let Some(parent) = opts.parent {
+        txn.set_ally(parent);
+    }
     let mut counts = RowCounts::default();
     for g in &candidates {
         if rt.tracker.state(g) == GranuleState::Migrated {
@@ -545,7 +559,15 @@ fn migrate_granule(
 }
 
 /// Evaluates the statement spec restricted to one granule. Old-schema
-/// reads are unlocked: after the logical flip the input tables are frozen.
+/// reads take SHARED locks in the migration transaction: the logical
+/// flip freezes the input tables against *new* writers, but a client
+/// transaction that updated an input row *before* the flip may still be
+/// in flight, holding X locks over dirty in-place heap values. An
+/// unlocked read in that window can capture an uncommitted update that
+/// later aborts (or see half of one that commits) and freeze the wrong
+/// value into the output table. The S lock blocks until the straggler
+/// resolves, so the copied value is always a committed one; the freeze
+/// guarantees the wait is bounded by the in-flight transactions alone.
 fn execute_granule_spec(
     db: &Database,
     txn: &mut Transaction,
@@ -556,19 +578,21 @@ fn execute_granule_spec(
     let driving_table = db.table(rt.driving_table())?;
 
     let mut opts = ExecOptions {
-        lock: LockPolicy::None,
+        lock: LockPolicy::Shared,
         ..Default::default()
     };
     match (rt.stmt.tracking(), g) {
         (Tracking::Bitmap { granule_rows, .. }, Granule::Ordinal(go)) => {
             // The granule covers `granule_rows` consecutive row ordinals;
             // ALL its live rows migrate together (page granularity migrates
-            // the page, §4.4.3).
+            // the page, §4.4.3). Lock each row before reading it.
             let slots = driving_table.heap().slots_per_page();
             let start = go * granule_rows;
             let mut rows: Vec<(RowId, Row)> = Vec::new();
+            db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
             for ordinal in start..start + granule_rows {
                 let rid = RowId::from_ordinal(ordinal, slots);
+                db.lock(txn, LockKey::Row(driving_table.id(), rid), LockMode::S)?;
                 if let Some(row) = driving_table.heap().get(rid) {
                     rows.push((rid, row));
                 }
@@ -615,6 +639,10 @@ fn execute_granule_spec(
             let right_table = db.table(&spec.input(right_alias).expect("resolved").table)?;
             let left_rid = RowId::from_ordinal(l, driving_table.heap().slots_per_page());
             let right_rid = RowId::from_ordinal(r, right_table.heap().slots_per_page());
+            db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
+            db.lock(txn, LockKey::Row(driving_table.id(), left_rid), LockMode::S)?;
+            db.lock(txn, LockKey::Table(right_table.id()), LockMode::IS)?;
+            db.lock(txn, LockKey::Row(right_table.id(), right_rid), LockMode::S)?;
             let left_rows = driving_table
                 .heap()
                 .get(left_rid)

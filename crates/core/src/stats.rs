@@ -50,6 +50,23 @@ impl MigrationStats {
         counter.load(Ordering::Relaxed)
     }
 
+    /// A coherent-enough point-in-time copy of every counter (each read
+    /// is individually atomic; the set is advisory, as all diagnostics
+    /// here are).
+    pub fn snapshot(&self) -> MigrationStatsSnapshot {
+        MigrationStatsSnapshot {
+            granules_migrated: Self::get(&self.granules_migrated),
+            rows_migrated: Self::get(&self.rows_migrated),
+            migration_txns: Self::get(&self.migration_txns),
+            migration_aborts: Self::get(&self.migration_aborts),
+            skips: Self::get(&self.skips),
+            waits: Self::get(&self.waits),
+            rows_dropped: Self::get(&self.rows_dropped),
+            conflict_skips: Self::get(&self.conflict_skips),
+            background_granules: Self::get(&self.background_granules),
+        }
+    }
+
     /// One-line progress summary.
     pub fn summary(&self) -> String {
         format!(
@@ -65,6 +82,30 @@ impl MigrationStats {
             Self::get(&self.background_granules),
         )
     }
+}
+
+/// Plain-value copy of [`MigrationStats`], fit for shipping over the
+/// wire (the server's `STATUS` opcode) or embedding in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStatsSnapshot {
+    /// See [`MigrationStats::granules_migrated`].
+    pub granules_migrated: u64,
+    /// See [`MigrationStats::rows_migrated`].
+    pub rows_migrated: u64,
+    /// See [`MigrationStats::migration_txns`].
+    pub migration_txns: u64,
+    /// See [`MigrationStats::migration_aborts`].
+    pub migration_aborts: u64,
+    /// See [`MigrationStats::skips`].
+    pub skips: u64,
+    /// See [`MigrationStats::waits`].
+    pub waits: u64,
+    /// See [`MigrationStats::rows_dropped`].
+    pub rows_dropped: u64,
+    /// See [`MigrationStats::conflict_skips`].
+    pub conflict_skips: u64,
+    /// See [`MigrationStats::background_granules`].
+    pub background_granules: u64,
 }
 
 /// Point-in-time durability counters captured from a database: the WAL's

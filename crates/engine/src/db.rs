@@ -22,6 +22,11 @@ pub struct DbConfig {
     /// (full referential integrity; TPC-C never deletes parents, so
     /// workloads may disable this).
     pub enforce_fk_on_delete: bool,
+    /// Background checkpoint policy. `None` leaves checkpointing manual;
+    /// `Some` lets [`CheckpointScheduler::from_config`]
+    /// (crate::scheduler::CheckpointScheduler::from_config) spawn a
+    /// policy thread that cuts the WAL on these thresholds.
+    pub checkpoint_policy: Option<crate::scheduler::CheckpointPolicy>,
 }
 
 impl Default for DbConfig {
@@ -30,6 +35,7 @@ impl Default for DbConfig {
             lock_timeout: Duration::from_millis(200),
             slots_per_page: bullfrog_storage::DEFAULT_SLOTS_PER_PAGE,
             enforce_fk_on_delete: true,
+            checkpoint_policy: None,
         }
     }
 }
@@ -290,10 +296,14 @@ impl Database {
 
     // --- locking helpers ---------------------------------------------------
 
-    /// Acquires a lock and records it on the transaction.
+    /// Acquires a lock and records it on the transaction. A declared ally
+    /// (`Transaction::ally`) never conflicts with the request.
     pub fn lock(&self, txn: &mut Transaction, key: LockKey, mode: LockMode) -> Result<()> {
         txn.assert_active()?;
-        if self.lm.acquire(txn.id(), key, mode)? {
+        if self
+            .lm
+            .acquire_deadline_ally(txn.id(), key, mode, self.lm.timeout(), txn.ally())?
+        {
             txn.record_lock(key);
         }
         Ok(())

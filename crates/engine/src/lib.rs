@@ -30,7 +30,9 @@ pub mod db;
 pub mod exec;
 pub mod fk;
 pub mod recovery;
+pub mod scheduler;
 
 pub use checkpoint::{CheckpointImage, CheckpointStats, Checkpointer};
 pub use db::{Database, DbConfig, LockPolicy};
 pub use exec::QueryOutput;
+pub use scheduler::{CheckpointPolicy, CheckpointScheduler, SchedulerStatus};

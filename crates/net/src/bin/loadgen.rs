@@ -1,0 +1,375 @@
+//! loadgen: concurrent TCP clients driving a lazy migration end to end.
+//!
+//! The scenario the paper cares about, over real sockets:
+//!
+//! 1. an admin session creates `accounts` and loads it;
+//! 2. N worker clients hammer it with transfer transactions
+//!    (`BEGIN`/`UPDATE`/`UPDATE`/`COMMIT`) while the admin submits
+//!    migration DDL mid-traffic — the 1:1 (bitmap-tracked) migration
+//!    `accounts → accounts_v2`;
+//! 3. workers switch to the new table without a pause, their reads and
+//!    writes lazily migrating the slices they touch, background threads
+//!    sweeping the rest;
+//! 4. after the drain: exactly-once verification (row count, conserved
+//!    balance, `rows_migrated == rows loaded`, zero conflict skips),
+//!    `FINALIZE MIGRATION`, then a second, aggregating (hash-tracked)
+//!    migration `accounts_v2 → owner_totals` driven the same way;
+//! 5. `SHUTDOWN`, which must drain without dropping a committed write.
+//!
+//! Deterministic per `--seed`. Exits non-zero on any violated invariant.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_core::Bullfrog;
+use bullfrog_engine::{CheckpointPolicy, Database, DbConfig};
+use bullfrog_net::{Client, ClientError, Server, ServerConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+struct Args {
+    clients: usize,
+    accounts: i64,
+    owners: i64,
+    ops: usize,
+    seed: u64,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut args = Args {
+            clients: 32,
+            accounts: 256,
+            owners: 16,
+            ops: 20,
+            seed: 42,
+        };
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut take = |name: &str| -> u64 {
+                it.next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--clients" => args.clients = take("--clients") as usize,
+                "--accounts" => args.accounts = take("--accounts") as i64,
+                "--owners" => args.owners = take("--owners") as i64,
+                "--ops" => args.ops = take("--ops") as usize,
+                "--seed" => args.seed = take("--seed"),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        args
+    }
+}
+
+const INITIAL_BALANCE: i64 = 1000;
+
+/// Phases broadcast from the admin thread to the workers.
+const PHASE_OLD: usize = 0; // write `accounts`
+const PHASE_NEW: usize = 1; // write `accounts_v2`
+const PHASE_PAUSE: usize = 2; // quiesce while the admin verifies
+const PHASE_TOTALS: usize = 3; // read `owner_totals`
+const PHASE_DONE: usize = 4;
+
+fn main() {
+    let args = Args::parse();
+    let started = Instant::now();
+
+    // Self-hosted server on an ephemeral loopback port, background
+    // checkpointing on so the scheduler satellite runs under load too.
+    let db = Arc::new(Database::with_config(DbConfig {
+        checkpoint_policy: Some(CheckpointPolicy {
+            max_resident_records: 2_000,
+            max_flushed_bytes: 0,
+            poll_interval: Duration::from_millis(20),
+        }),
+        ..DbConfig::default()
+    }));
+    let bf = Arc::new(Bullfrog::new(db));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&bf),
+        ServerConfig {
+            max_connections: args.clients + 8,
+            idle_timeout: Duration::from_secs(30),
+            statement_timeout: Duration::from_secs(10),
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("loadgen: serving on {addr} ({} clients)", args.clients);
+
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .expect("create accounts");
+    for chunk in (0..args.accounts).collect::<Vec<_>>().chunks(64) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, 'o{}', {INITIAL_BALANCE})", i % args.owners))
+            .collect();
+        admin
+            .execute(&format!(
+                "INSERT INTO accounts VALUES {}",
+                values.join(", ")
+            ))
+            .expect("load accounts");
+    }
+
+    // Workers: transfer transactions against the phase's current table.
+    let phase = Arc::new(AtomicUsize::new(PHASE_OLD));
+    let committed = Arc::new(AtomicU64::new(0));
+    let retried = Arc::new(AtomicU64::new(0));
+    let paused = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for w in 0..args.clients {
+        let phase = Arc::clone(&phase);
+        let committed = Arc::clone(&committed);
+        let retried = Arc::clone(&retried);
+        let paused = Arc::clone(&paused);
+        let accounts = args.accounts;
+        let owners = args.owners;
+        let ops = args.ops;
+        let seed = args.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut client = Client::connect(addr).expect("worker connect");
+            // Keep issuing transfers until the admin has finished both
+            // migrations; each phase change just swaps the table name.
+            let mut acked_pause = false;
+            loop {
+                match phase.load(Ordering::Acquire) {
+                    PHASE_DONE => break,
+                    PHASE_PAUSE => {
+                        // Acknowledge the quiesce exactly once, *after*
+                        // any in-flight transfer bracket finished: the
+                        // admin's verification scan only starts when
+                        // every worker has acked, so a read-committed
+                        // scan can't interleave with a live transfer.
+                        if !acked_pause {
+                            acked_pause = true;
+                            paused.fetch_add(1, Ordering::AcqRel);
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    PHASE_TOTALS => {
+                        // Drive the hash-tracked migration: per-owner
+                        // point reads lazily migrate each group.
+                        let o = rng.gen_range(0..owners);
+                        let _ = client
+                            .query_rows(&format!(
+                                "SELECT owner, total FROM owner_totals WHERE owner = 'o{o}'"
+                            ))
+                            .map_err(fatal_if_transport);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    p => {
+                        let table = if p == PHASE_OLD {
+                            "accounts"
+                        } else {
+                            "accounts_v2"
+                        };
+                        let a = rng.gen_range(0..accounts);
+                        let b = (a + 1 + rng.gen_range(0..accounts - 1)) % accounts;
+                        if transfer(&mut client, table, a, b, &retried) {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // Pace each worker to its op budget per phase by
+                // yielding; total runtime is bounded by the admin.
+                if rng.gen_bool(1.0 / ops.max(1) as f64) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }));
+    }
+
+    // Let pre-migration traffic run, then flip mid-traffic.
+    std::thread::sleep(Duration::from_millis(150));
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .expect("submit bitmap migration");
+    phase.store(PHASE_NEW, Ordering::Release);
+    println!(
+        "loadgen: bitmap migration submitted at {:?}, workers flipped",
+        started.elapsed()
+    );
+
+    // Lazy + background migration finish while traffic continues.
+    wait_complete(&mut admin, Duration::from_secs(20));
+    let status = admin.status().expect("status");
+    let rows_migrated = stat(&status, "migration.rows_migrated");
+    let conflict_skips = stat(&status, "migration.conflict_skips");
+    let rows_dropped = stat(&status, "migration.rows_dropped");
+    // Quiesce the workers so the verification scan sees a settled table
+    // (read-committed scans have no snapshot to hide in-flight
+    // transfers behind). Workers ack the pause only between transfer
+    // brackets, so waiting for every ack — not a fixed sleep — is what
+    // rules out scan/transfer read skew.
+    phase.store(PHASE_PAUSE, Ordering::Release);
+    while paused.load(Ordering::Acquire) < args.clients {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    admin
+        .execute("FINALIZE MIGRATION DROP OLD")
+        .expect("finalize bitmap");
+
+    // Exactly-once: every source row arrived in the output exactly once.
+    assert_eq!(
+        rows_migrated, args.accounts,
+        "exactly-once violated: {rows_migrated} rows migrated for {} sources",
+        args.accounts
+    );
+    assert_eq!(conflict_skips, 0, "duplicate migration attempts detected");
+    assert_eq!(rows_dropped, 0, "migration dropped rows");
+    let rows = scan_retry(&mut admin, "SELECT id, balance FROM accounts_v2");
+    assert_eq!(rows.len() as i64, args.accounts, "row count changed");
+    let total: i64 = rows.iter().map(|r| r.0[1].as_i64().unwrap()).sum();
+    assert_eq!(
+        total,
+        args.accounts * INITIAL_BALANCE,
+        "transfers must conserve total balance"
+    );
+    println!(
+        "loadgen: bitmap migration exactly-once verified ({} rows, total {total}) at {:?}",
+        rows.len(),
+        started.elapsed()
+    );
+
+    // Phase 2: the n:1 aggregation (hash-tracked) migration, submitted
+    // while workers keep reading.
+    admin
+        .execute(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .expect("submit hash migration");
+    phase.store(PHASE_TOTALS, Ordering::Release);
+    wait_complete(&mut admin, Duration::from_secs(20));
+    admin.execute("FINALIZE MIGRATION").expect("finalize hash");
+    let totals = scan_retry(&mut admin, "SELECT owner, total FROM owner_totals");
+    assert_eq!(totals.len() as i64, args.owners, "one group per owner");
+    let grand: i64 = totals.iter().map(|r| r.0[1].as_i64().unwrap()).sum();
+    assert_eq!(
+        grand,
+        args.accounts * INITIAL_BALANCE,
+        "aggregation must conserve total balance"
+    );
+    println!(
+        "loadgen: hash migration verified ({} owners, total {grand}) at {:?}",
+        totals.len(),
+        started.elapsed()
+    );
+
+    phase.store(PHASE_DONE, Ordering::Release);
+    for h in handles {
+        h.join().expect("worker");
+    }
+
+    let status = admin.status().expect("final status");
+    println!(
+        "loadgen: {} transfers committed, {} retries, {} statements, {} scheduler checkpoints",
+        committed.load(Ordering::Relaxed),
+        retried.load(Ordering::Relaxed),
+        stat(&status, "sessions.statements"),
+        stat(&status, "scheduler.checkpoints"),
+    );
+
+    // Graceful remote shutdown: the server drains and syncs.
+    admin.shutdown_server().expect("shutdown opcode");
+    server.shutdown();
+    println!("loadgen: done in {:?}", started.elapsed());
+}
+
+/// One transfer transaction; returns whether it committed. Retries the
+/// whole bracket on retryable failures (the server aborts the open
+/// transaction on any statement error, so a retry restarts cleanly).
+fn transfer(client: &mut Client, table: &str, a: i64, b: i64, retried: &AtomicU64) -> bool {
+    for _ in 0..8 {
+        match try_transfer(client, table, a, b) {
+            Ok(committed) => return committed,
+            Err(ClientError::Server {
+                retryable: true, ..
+            }) => {
+                retried.fetch_add(1, Ordering::Relaxed);
+            }
+            // Frozen/retired table: the phase just flipped under us.
+            Err(ClientError::Server { .. }) => return false,
+            Err(e) => panic!("transport failure during transfer: {e}"),
+        }
+    }
+    false
+}
+
+fn try_transfer(client: &mut Client, table: &str, a: i64, b: i64) -> Result<bool, ClientError> {
+    client.execute("BEGIN")?;
+    let debited = client.execute(&format!(
+        "UPDATE {table} SET balance = balance - 7 WHERE id = {a}"
+    ))?;
+    let credited = client.execute(&format!(
+        "UPDATE {table} SET balance = balance + 7 WHERE id = {b}"
+    ))?;
+    // Both rows exist for the table's whole lifetime, so each UPDATE
+    // must match exactly one row; a half-matched transfer would destroy
+    // balance, so refuse to commit it.
+    if debited != credited {
+        let _ = client.execute("ROLLBACK");
+        panic!("transfer matched {debited} debit rows but {credited} credit rows (table {table}, {a}->{b})");
+    }
+    client.execute("COMMIT")?;
+    Ok(debited > 0)
+}
+
+/// Scans with bounded retries: a worker's X lock can time a scan out.
+fn scan_retry(client: &mut Client, sql: &str) -> Vec<bullfrog_common::Row> {
+    let mut last = None;
+    for _ in 0..20 {
+        match client.query_rows(sql) {
+            Ok((_, rows)) => return rows,
+            Err(ClientError::Server {
+                retryable: true,
+                message,
+            }) => last = Some(message),
+            Err(e) => panic!("{sql} failed: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("{sql} kept timing out: {last:?}");
+}
+
+fn fatal_if_transport(e: ClientError) -> ClientError {
+    if matches!(e, ClientError::Io(_) | ClientError::Protocol(_)) {
+        panic!("transport failure: {e}");
+    }
+    e
+}
+
+/// Polls `STATUS` until the active migration reports complete.
+fn wait_complete(admin: &mut Client, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let status = admin.status().expect("status poll");
+        if stat(&status, "migration.active") == 0 || stat(&status, "migration.complete") == 1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "migration did not complete within {timeout:?}: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn stat(pairs: &[(String, i64)], key: &str) -> i64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("STATUS is missing {key}"))
+}

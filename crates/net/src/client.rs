@@ -1,0 +1,206 @@
+//! Blocking BFNET1 client.
+//!
+//! [`Client`] wraps one TCP connection, sends the preamble on connect,
+//! and reuses the connection for every subsequent call — the loadgen
+//! binary and tests never pay a reconnect per statement. All calls are
+//! strictly request/response, matching the session loop on the server.
+//!
+//! Errors split three ways: [`ClientError::Io`] (the transport broke),
+//! [`ClientError::Protocol`] (the peer spoke something that is not
+//! BFNET1), and [`ClientError::Server`] (the statement failed; the
+//! connection is still usable, and `retryable` says whether resubmitting
+//! may succeed).
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use bullfrog_common::Row;
+
+use crate::wire::{self, Request, Response};
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure; the connection is dead.
+    Io(std::io::Error),
+    /// Framing/decoding failure; the connection is not trustworthy.
+    Protocol(String),
+    /// The server executed the request and reported an error; the
+    /// connection remains usable.
+    Server {
+        /// Whether a retry may succeed (lock timeouts, server busy).
+        retryable: bool,
+        /// Server-reported cause.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { retryable, message } => {
+                write!(f, "server: {message} (retryable: {retryable})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Result alias for client calls.
+pub type ClientResult<T> = std::result::Result<T, ClientError>;
+
+/// A query's successful outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// A result set.
+    Rows {
+        /// Output column names.
+        names: Vec<String>,
+        /// Output rows.
+        rows: Vec<Row>,
+    },
+    /// A write/DDL acknowledgement.
+    Ok {
+        /// Rows written.
+        affected: u64,
+    },
+}
+
+/// One BFNET1 connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and sends the preamble.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Client> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        wire::write_preamble(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    /// As [`Client::connect`] with a connect timeout per resolved
+    /// address.
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> ClientResult<Client> {
+        let mut stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        wire::write_preamble(&mut stream)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> ClientResult<Response> {
+        wire::write_frame(&mut self.stream, &request.encode())?;
+        let payload = wire::read_frame(&mut self.stream)
+            .map_err(|e| ClientError::Protocol(e.to_string()))?
+            .ok_or_else(|| {
+                ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ))
+            })?;
+        Response::decode(payload).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    fn expect_reply(&mut self, request: &Request) -> ClientResult<QueryReply> {
+        match self.round_trip(request)? {
+            Response::Rows { names, rows } => Ok(QueryReply::Rows { names, rows }),
+            Response::Ok { affected } => Ok(QueryReply::Ok { affected }),
+            Response::Err { retryable, message } => Err(ClientError::Server { retryable, message }),
+            Response::Stats(_) => Err(ClientError::Protocol(
+                "unexpected STATS reply to a query".into(),
+            )),
+        }
+    }
+
+    /// Executes one SQL statement.
+    pub fn query(&mut self, sql: &str) -> ClientResult<QueryReply> {
+        self.expect_reply(&Request::Query(sql.to_string()))
+    }
+
+    /// Executes a statement and returns its affected-row count; a
+    /// result set is a protocol error.
+    pub fn execute(&mut self, sql: &str) -> ClientResult<u64> {
+        match self.query(sql)? {
+            QueryReply::Ok { affected } => Ok(affected),
+            QueryReply::Rows { .. } => Err(ClientError::Protocol(
+                "expected an OK reply, got a result set".into(),
+            )),
+        }
+    }
+
+    /// Executes a statement, retrying (bounded) while the server reports
+    /// a retryable error — remote lock timeouts under contention.
+    pub fn execute_retry(&mut self, sql: &str, max_attempts: usize) -> ClientResult<u64> {
+        let mut last: Option<ClientError> = None;
+        for _ in 0..max_attempts {
+            match self.execute(sql) {
+                Ok(n) => return Ok(n),
+                Err(ClientError::Server {
+                    retryable: true,
+                    message,
+                }) => {
+                    last = Some(ClientError::Server {
+                        retryable: true,
+                        message,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Protocol("retry limit of zero".into())))
+    }
+
+    /// Executes a SELECT and returns `(names, rows)`; an OK reply is a
+    /// protocol error.
+    pub fn query_rows(&mut self, sql: &str) -> ClientResult<(Vec<String>, Vec<Row>)> {
+        match self.query(sql)? {
+            QueryReply::Rows { names, rows } => Ok((names, rows)),
+            QueryReply::Ok { .. } => Err(ClientError::Protocol(
+                "expected a result set, got an OK reply".into(),
+            )),
+        }
+    }
+
+    /// Asks the server to run a checkpoint cycle; returns the records
+    /// absorbed.
+    pub fn checkpoint(&mut self) -> ClientResult<u64> {
+        match self.round_trip(&Request::Checkpoint)? {
+            Response::Ok { affected } => Ok(affected),
+            Response::Err { retryable, message } => Err(ClientError::Server { retryable, message }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected checkpoint reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's `STATUS` counters.
+    pub fn status(&mut self) -> ClientResult<Vec<(String, i64)>> {
+        match self.round_trip(&Request::Status)? {
+            Response::Stats(pairs) => Ok(pairs),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected status reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a graceful server shutdown. The server acknowledges,
+    /// then drains every session and syncs its WAL.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected shutdown reply {other:?}"
+            ))),
+        }
+    }
+}

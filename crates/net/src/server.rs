@@ -1,0 +1,409 @@
+//! The BullFrog TCP server.
+//!
+//! [`Server::bind`] takes an [`Arc<Bullfrog>`] and a [`ServerConfig`],
+//! binds a listener, and serves BFNET1 connections with one thread per
+//! session (the engine's locking model drives each
+//! [`Transaction`](bullfrog_txn::Transaction) from a single thread, so
+//! thread-per-connection is the honest architecture, not a shortcut).
+//! The accept loop enforces `max_connections` as backpressure: a
+//! connection over the cap is told `server busy` (retryable) and
+//! closed — never silently dropped.
+//!
+//! Shutdown — via [`Server::shutdown`], dropping the server, or a
+//! client's `SHUTDOWN` opcode — is graceful: the listener stops
+//! accepting, every session finishes the statement it is executing,
+//! in-flight sessions are joined, open transactions are aborted, and
+//! the WAL is synced. Committed writes are durable when `shutdown`
+//! returns; uncommitted ones are gone, which is what a transaction
+//! means.
+//!
+//! If the database was configured with a
+//! [`CheckpointPolicy`](bullfrog_engine::CheckpointPolicy), the server
+//! also runs the background [`CheckpointScheduler`] for its lifetime
+//! and reports its counters under `STATUS`.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use bullfrog_core::{Bullfrog, ClientAccess, DurabilityStats};
+use bullfrog_engine::CheckpointScheduler;
+
+use crate::session::{Session, SessionCounters};
+use crate::wire::{self, Request, Response};
+
+/// Granularity of the idle/stop polling slice.
+const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent session cap; further connections get a retryable
+    /// `server busy` error.
+    pub max_connections: usize,
+    /// Close a connection after this long with no complete request.
+    pub idle_timeout: Duration,
+    /// Abort (never commit) a statement that ran longer than this.
+    pub statement_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(30),
+            statement_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared between the accept loop, session threads, and handles.
+struct Shared {
+    bf: Arc<Bullfrog>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    active: AtomicUsize,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    counters: Arc<SessionCounters>,
+    scheduler: Mutex<Option<CheckpointScheduler>>,
+}
+
+/// A running server. Dropping it shuts it down gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving `bf`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        bf: Arc<Bullfrog>,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let scheduler = CheckpointScheduler::from_config(bf.db());
+        let shared = Arc::new(Shared {
+            bf,
+            config,
+            stop: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            counters: Arc::new(SessionCounters::default()),
+            scheduler: Mutex::new(scheduler),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("bf-net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Sessions currently connected.
+    pub fn active_sessions(&self) -> usize {
+        self.shared.active.load(Ordering::Acquire)
+    }
+
+    /// True once shutdown has been requested (locally or via the
+    /// `SHUTDOWN` opcode).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// The shared per-session counters.
+    pub fn session_counters(&self) -> Arc<SessionCounters> {
+        Arc::clone(&self.shared.counters)
+    }
+
+    /// Blocks until shutdown is requested (e.g. by a remote `SHUTDOWN`),
+    /// then drains. For server main loops.
+    pub fn wait_shutdown(&mut self) {
+        while !self.is_stopping() {
+            std::thread::sleep(POLL_SLICE);
+        }
+        self.shutdown();
+    }
+
+    /// Gracefully shuts down: stop accepting, drain in-flight sessions,
+    /// stop the checkpoint scheduler, and sync the WAL so every
+    /// committed write is on disk. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Session threads poll the stop flag between frames and exit on
+        // their own; wait for the drain.
+        while self.shared.active.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        if let Some(mut s) = self.shared.scheduler.lock().unwrap().take() {
+            s.stop();
+        }
+        self.shared.bf.db().wal().sync();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                spawn_session(stream, Arc::clone(&shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn spawn_session(mut stream: TcpStream, shared: Arc<Shared>) {
+    // Claim a slot before spawning so the cap is enforced at accept
+    // time, not after a thread already exists.
+    let prev = shared.active.fetch_add(1, Ordering::AcqRel);
+    if prev >= shared.config.max_connections {
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        let busy = Response::Err {
+            retryable: true,
+            message: format!(
+                "server busy: {} connections (max {})",
+                prev, shared.config.max_connections
+            ),
+        };
+        let _ = wire::write_frame(&mut stream, &busy.encode());
+        return;
+    }
+    let spawned = std::thread::Builder::new()
+        .name("bf-net-session".into())
+        .spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                let _ = serve_connection(stream, &shared);
+                shared.active.fetch_sub(1, Ordering::AcqRel);
+            }
+        });
+    if spawned.is_err() {
+        // Spawn failure: release the slot; the dropped stream reads as a
+        // disconnect on the client side.
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// What the readability poll observed.
+enum Readiness {
+    /// Bytes are waiting; a blocking read will not stall.
+    Ready,
+    /// The peer closed the connection.
+    Eof,
+    /// No complete request arrived within the idle timeout.
+    Idle,
+    /// The server is shutting down.
+    Stopping,
+}
+
+/// Polls `stream` for readability in short slices so the thread notices
+/// both the idle timeout and the server stop flag without consuming any
+/// stream bytes (peek never desynchronizes framing, unlike a timed-out
+/// `read_exact`).
+fn wait_readable(stream: &TcpStream, shared: &Shared) -> Readiness {
+    let mut idle = Duration::ZERO;
+    let mut probe = [0u8; 1];
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Readiness::Stopping;
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Readiness::Eof,
+            Ok(_) => return Readiness::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                idle += POLL_SLICE;
+                if idle >= shared.config.idle_timeout {
+                    return Readiness::Idle;
+                }
+            }
+            Err(_) => return Readiness::Eof,
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, idle timeout, or shutdown.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(POLL_SLICE))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = stream.try_clone()?;
+
+    // Preamble first: reject strangers before touching the database.
+    if !matches!(wait_readable(&stream, shared), Readiness::Ready) {
+        return Ok(());
+    }
+    // A peer that started writing gets a generous transport timeout for
+    // the rest of each message; idle gaps are detected between frames.
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut preamble = [0u8; 8];
+    if reader.read_exact(&mut preamble).is_err()
+        || wire::read_preamble(&mut std::io::Cursor::new(preamble.to_vec())).is_err()
+    {
+        return Ok(());
+    }
+
+    let mut session = Session::new(
+        Arc::clone(&shared.bf),
+        Arc::clone(&shared.counters),
+        shared.config.statement_timeout,
+    );
+    loop {
+        stream.set_read_timeout(Some(POLL_SLICE))?;
+        match wait_readable(&stream, shared) {
+            Readiness::Ready => {}
+            Readiness::Eof | Readiness::Idle | Readiness::Stopping => {
+                session.abort_open();
+                return Ok(());
+            }
+        }
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => {
+                session.abort_open();
+                return Ok(());
+            }
+        };
+        let response = match Request::decode(payload) {
+            Err(e) => Response::from_error(&e),
+            Ok(Request::Query(sql)) => session.execute(&sql),
+            Ok(Request::Checkpoint) => match shared.bf.db().checkpoint() {
+                Ok(stats) => Response::Ok {
+                    affected: stats.absorbed_records as u64,
+                },
+                Err(e) => Response::from_error(&e),
+            },
+            Ok(Request::Status) => Response::Stats(status_pairs(shared)),
+            Ok(Request::Shutdown) => {
+                let _ = wire::write_frame(&mut writer, &Response::Ok { affected: 0 }.encode());
+                session.abort_open();
+                shared.stop.store(true, Ordering::Release);
+                return Ok(());
+            }
+        };
+        wire::write_frame(&mut writer, &response.encode())?;
+    }
+}
+
+/// Assembles the `STATUS` report: server, session, migration,
+/// durability, and checkpoint-scheduler counters as ordered pairs.
+fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
+    let mut out: Vec<(String, i64)> = Vec::new();
+    let mut push = |k: &str, v: i64| out.push((k.to_string(), v));
+
+    push(
+        "server.active_sessions",
+        shared.active.load(Ordering::Acquire) as i64,
+    );
+    push(
+        "server.accepted",
+        shared.accepted.load(Ordering::Relaxed) as i64,
+    );
+    push(
+        "server.rejected",
+        shared.rejected.load(Ordering::Relaxed) as i64,
+    );
+
+    let c = &shared.counters;
+    push(
+        "sessions.statements",
+        c.statements.load(Ordering::Relaxed) as i64,
+    );
+    push("sessions.errors", c.errors.load(Ordering::Relaxed) as i64);
+    push(
+        "sessions.rows_returned",
+        c.rows_returned.load(Ordering::Relaxed) as i64,
+    );
+    push(
+        "sessions.rows_written",
+        c.rows_written.load(Ordering::Relaxed) as i64,
+    );
+    push("sessions.commits", c.commits.load(Ordering::Relaxed) as i64);
+    push("sessions.aborts", c.aborts.load(Ordering::Relaxed) as i64);
+
+    match shared.bf.progress() {
+        Some(p) => {
+            push("migration.active", 1);
+            push("migration.complete", i64::from(p.complete));
+            push("migration.statements", p.statements as i64);
+            push(
+                "migration.statements_complete",
+                p.statements_complete as i64,
+            );
+            push(
+                "migration.granules_migrated",
+                p.stats.granules_migrated as i64,
+            );
+            push("migration.rows_migrated", p.stats.rows_migrated as i64);
+            push("migration.txns", p.stats.migration_txns as i64);
+            push("migration.aborts", p.stats.migration_aborts as i64);
+            push("migration.skips", p.stats.skips as i64);
+            push("migration.waits", p.stats.waits as i64);
+            push("migration.rows_dropped", p.stats.rows_dropped as i64);
+            push("migration.conflict_skips", p.stats.conflict_skips as i64);
+            push(
+                "migration.background_granules",
+                p.stats.background_granules as i64,
+            );
+        }
+        None => push("migration.active", 0),
+    }
+
+    let d = DurabilityStats::capture(shared.bf.db());
+    push("wal.log_len", d.log_len as i64);
+    push("wal.resident_records", d.resident_records as i64);
+    push("wal.durable_lsn", d.durable_lsn as i64);
+    push("wal.flushes", d.wal.flushes as i64);
+    push("wal.flushed_batches", d.wal.flushed_batches as i64);
+    push("wal.flushed_bytes", d.wal.flushed_bytes as i64);
+    push("wal.checkpoints", d.wal.checkpoints as i64);
+    push("wal.truncated_records", d.wal.truncated_records as i64);
+
+    if let Some(s) = shared.scheduler.lock().unwrap().as_ref() {
+        let st = s.status();
+        push("scheduler.enabled", 1);
+        push("scheduler.checkpoints", st.checkpoints as i64);
+        push("scheduler.errors", st.errors as i64);
+        push("scheduler.last_cut_lsn", st.last_cut_lsn as i64);
+        push("scheduler.last_absorbed", st.last_absorbed as i64);
+    } else {
+        push("scheduler.enabled", 0);
+    }
+    out
+}

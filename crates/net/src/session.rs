@@ -1,0 +1,317 @@
+//! Per-connection session: statement execution and transaction
+//! lifecycle.
+//!
+//! A [`Session`] owns at most one open [`Transaction`]. Statements
+//! outside an explicit `BEGIN`/`COMMIT` bracket run in autocommit: the
+//! session begins a transaction, executes, and commits (or aborts on
+//! error) before replying. Dropping a session — which is what happens
+//! when the client disconnects or the server drains — aborts any open
+//! transaction, so a half-finished remote transaction can never leave
+//! locks or uncommitted rows behind.
+//!
+//! All DML flows through [`ClientAccess`], so when the session's access
+//! is a [`Bullfrog`](bullfrog_core::Bullfrog) controller every remote
+//! read and write gets the lazy-migration interposition: touching a
+//! not-yet-migrated slice of an output table migrates it, exactly once,
+//! before the statement proceeds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_common::{Error, Result};
+use bullfrog_core::{Bullfrog, ClientAccess};
+use bullfrog_engine::exec::ExecOptions;
+use bullfrog_engine::LockPolicy;
+use bullfrog_sql::{parse_statement, reorder_insert_rows, Statement};
+use bullfrog_txn::Transaction;
+
+use crate::wire::Response;
+
+/// Counters shared by every session of a server (reported by `STATUS`).
+#[derive(Debug, Default)]
+pub struct SessionCounters {
+    /// Statements executed (including failed ones).
+    pub statements: AtomicU64,
+    /// Statements that returned an error.
+    pub errors: AtomicU64,
+    /// Rows returned to clients.
+    pub rows_returned: AtomicU64,
+    /// Rows written (insert/update/delete) by committed statements.
+    pub rows_written: AtomicU64,
+    /// Transactions committed (autocommit and explicit).
+    pub commits: AtomicU64,
+    /// Transactions aborted (errors, rollbacks, disconnects).
+    pub aborts: AtomicU64,
+}
+
+impl SessionCounters {
+    fn bump(c: &AtomicU64, n: u64) {
+        c.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// How long a session waits in `FINALIZE MIGRATION` for stragglers.
+const FINALIZE_WAIT: Duration = Duration::from_secs(5);
+
+/// One client session.
+pub struct Session {
+    bf: Arc<Bullfrog>,
+    counters: Arc<SessionCounters>,
+    statement_timeout: Duration,
+    txn: Option<Transaction>,
+}
+
+impl Session {
+    /// Creates a session over `bf`, reporting into `counters`.
+    pub fn new(
+        bf: Arc<Bullfrog>,
+        counters: Arc<SessionCounters>,
+        statement_timeout: Duration,
+    ) -> Self {
+        Session {
+            bf,
+            counters,
+            statement_timeout,
+            txn: None,
+        }
+    }
+
+    /// True while an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Parses and executes one statement, returning the wire response.
+    /// Errors abort the statement's transaction (and a surrounding
+    /// explicit transaction too — its locks are gone, so pretending it
+    /// is still open would be a lie) but never poison the session.
+    pub fn execute(&mut self, sql: &str) -> Response {
+        SessionCounters::bump(&self.counters.statements, 1);
+        let started = Instant::now();
+        let result = parse_statement(sql).and_then(|stmt| self.run(stmt, started));
+        match result {
+            Ok(resp) => resp,
+            Err(e) => {
+                SessionCounters::bump(&self.counters.errors, 1);
+                // A failed statement cannot leave a broken transaction
+                // open behind the client's back.
+                if let Some(mut txn) = self.txn.take() {
+                    self.bf.db().abort(&mut txn);
+                    SessionCounters::bump(&self.counters.aborts, 1);
+                }
+                Response::from_error(&e)
+            }
+        }
+    }
+
+    /// Aborts any open transaction (disconnect / drain path).
+    pub fn abort_open(&mut self) {
+        if let Some(mut txn) = self.txn.take() {
+            self.bf.db().abort(&mut txn);
+            SessionCounters::bump(&self.counters.aborts, 1);
+        }
+    }
+
+    fn run(&mut self, stmt: Statement, started: Instant) -> Result<Response> {
+        match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(Error::Eval("transaction already open".into()));
+                }
+                self.txn = Some(self.bf.db().begin());
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::Commit => {
+                let mut txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::Eval("COMMIT outside a transaction".into()))?;
+                self.bf.db().commit(&mut txn)?;
+                SessionCounters::bump(&self.counters.commits, 1);
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::Rollback => {
+                let mut txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::Eval("ROLLBACK outside a transaction".into()))?;
+                self.bf.db().abort(&mut txn);
+                SessionCounters::bump(&self.counters.aborts, 1);
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::CreateTable(schema) => {
+                self.bf.db().create_table(schema)?;
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::CreateTableAs {
+                name,
+                select,
+                primary_key,
+            } => self.submit_migration(name, select, primary_key),
+            Statement::Checkpoint => {
+                let stats = self.bf.db().checkpoint()?;
+                Ok(Response::Ok {
+                    affected: stats.absorbed_records as u64,
+                })
+            }
+            Statement::FinalizeMigration { drop_old } => {
+                // Give lazy stragglers and background threads a bounded
+                // chance to finish before the authoritative check.
+                self.bf.wait_migration_complete(FINALIZE_WAIT);
+                self.bf.finalize_migration(drop_old)?;
+                Ok(Response::Ok { affected: 0 })
+            }
+            dml => self.run_dml(dml, started),
+        }
+    }
+
+    /// Runs a DML statement inside the session's transaction (or an
+    /// autocommit one), enforcing the statement timeout before commit:
+    /// a statement that overran is aborted, not committed, so the
+    /// client's timeout error is truthful.
+    fn run_dml(&mut self, stmt: Statement, started: Instant) -> Result<Response> {
+        let autocommit = self.txn.is_none();
+        if autocommit {
+            self.txn = Some(self.bf.db().begin());
+        }
+        let mut txn = self.txn.take().expect("transaction set above");
+        let result = self.apply_dml(&mut txn, stmt).and_then(|resp| {
+            if started.elapsed() > self.statement_timeout {
+                Err(Error::Eval(format!(
+                    "statement timeout ({:?}) exceeded",
+                    self.statement_timeout
+                )))
+            } else {
+                Ok(resp)
+            }
+        });
+        match result {
+            Ok(resp) => {
+                if autocommit {
+                    self.bf.db().commit(&mut txn)?;
+                    SessionCounters::bump(&self.counters.commits, 1);
+                } else {
+                    self.txn = Some(txn);
+                }
+                if let Response::Rows { rows, .. } = &resp {
+                    SessionCounters::bump(&self.counters.rows_returned, rows.len() as u64);
+                }
+                if let Response::Ok { affected } = &resp {
+                    SessionCounters::bump(&self.counters.rows_written, *affected);
+                }
+                Ok(resp)
+            }
+            Err(e) => {
+                self.bf.db().abort(&mut txn);
+                SessionCounters::bump(&self.counters.aborts, 1);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_dml(&self, txn: &mut Transaction, stmt: Statement) -> Result<Response> {
+        match stmt {
+            Statement::Select(spec) => {
+                let spec = bullfrog_sql::qualify_spec(self.bf.db(), &spec)?;
+                let opts = ExecOptions {
+                    lock: LockPolicy::Shared,
+                    ..ExecOptions::default()
+                };
+                let out = self.bf.execute_spec(txn, &spec, &opts)?;
+                Ok(Response::Rows {
+                    names: out.names,
+                    rows: out.rows,
+                })
+            }
+            Statement::Insert {
+                table,
+                columns,
+                rows,
+            } => {
+                let schema = self.bf.db().table(&table)?.schema().clone();
+                let rows = reorder_insert_rows(&schema, &columns, &rows)?;
+                let n = rows.len() as u64;
+                for row in rows {
+                    self.bf.insert(txn, &table, row)?;
+                }
+                Ok(Response::Ok { affected: n })
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => {
+                let t = self.bf.db().table(&table)?;
+                let scope = bullfrog_engine::db::table_scope(&t);
+                let schema = t.schema().clone();
+                let mut set_idx = Vec::with_capacity(sets.len());
+                for (col, e) in &sets {
+                    set_idx.push((schema.col_index(col)?, e));
+                }
+                let matched =
+                    self.bf
+                        .select(txn, &table, predicate.as_ref(), LockPolicy::Exclusive)?;
+                let n = matched.len() as u64;
+                for (rid, row) in matched {
+                    let mut new_row = row.clone();
+                    for (pos, e) in &set_idx {
+                        new_row.0[*pos] = e.eval(&scope, &row)?;
+                    }
+                    self.bf.update(txn, &table, rid, new_row)?;
+                }
+                Ok(Response::Ok { affected: n })
+            }
+            Statement::Delete { table, predicate } => {
+                let matched =
+                    self.bf
+                        .select(txn, &table, predicate.as_ref(), LockPolicy::Exclusive)?;
+                let n = matched.len() as u64;
+                for (rid, _) in matched {
+                    self.bf.delete(txn, &table, rid)?;
+                }
+                Ok(Response::Ok { affected: n })
+            }
+            other => Err(Error::Internal(format!(
+                "non-DML statement {other:?} reached run_dml"
+            ))),
+        }
+    }
+
+    /// Turns migration DDL into a [`MigrationPlan`]
+    /// (bullfrog_core::MigrationPlan) and submits it: schema inference
+    /// against the live catalog, then the O(statements) logical flip.
+    fn submit_migration(
+        &mut self,
+        name: String,
+        select: bullfrog_query::SelectSpec,
+        primary_key: Vec<String>,
+    ) -> Result<Response> {
+        if self.txn.is_some() {
+            return Err(Error::Eval(
+                "migration DDL cannot run inside an explicit transaction".into(),
+            ));
+        }
+        let db = self.bf.db();
+        let spec = bullfrog_sql::qualify_spec(db, &select)?;
+        let mut schema = bullfrog_sql::infer_output_schema(db, &name, &spec, &[])?;
+        if !primary_key.is_empty() {
+            schema.primary_key = primary_key;
+            for c in &mut schema.columns {
+                if schema.primary_key.contains(&c.name) {
+                    c.nullable = false;
+                }
+            }
+        }
+        let plan = bullfrog_core::MigrationPlan::new(name)
+            .with_statement(bullfrog_core::MigrationStatement::new(schema, spec));
+        self.bf.submit_migration(plan)?;
+        Ok(Response::Ok { affected: 0 })
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        self.abort_open();
+    }
+}

@@ -1,0 +1,350 @@
+//! The BFNET1 wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A connection opens with an 8-byte preamble — the ASCII magic
+//! `BFNET1`, a protocol version byte, and a reserved zero byte — so a
+//! server can reject a stale or foreign client before any statement is
+//! read. After the preamble both directions speak frames:
+//!
+//! ```text
+//! +----------------+---------------------------+
+//! | u32 BE length  | payload (length bytes)    |
+//! +----------------+---------------------------+
+//! payload = u8 opcode, opcode-specific body
+//! ```
+//!
+//! Row and value encoding reuses the WAL's codec
+//! ([`bullfrog_txn::wal::codec`]) so the wire and the log agree on what
+//! a row looks like. Frames are capped at [`MAX_FRAME_BYTES`]; a peer
+//! announcing a larger frame is a protocol error, not an allocation.
+
+use bullfrog_common::{Error, Result, Row};
+use bullfrog_txn::wal::codec;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Connection preamble: magic, version, reserved byte.
+pub const PREAMBLE: [u8; 8] = *b"BFNET1\x01\x00";
+
+/// Hard cap on a single frame's payload.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Request opcodes (client → server).
+mod req {
+    pub const QUERY: u8 = 0x01;
+    pub const CHECKPOINT: u8 = 0x02;
+    pub const STATUS: u8 = 0x03;
+    pub const SHUTDOWN: u8 = 0x04;
+}
+
+/// Response opcodes (server → client).
+mod resp {
+    pub const ROWS: u8 = 0x81;
+    pub const OK: u8 = 0x82;
+    pub const ERR: u8 = 0x83;
+    pub const STATS: u8 = 0x84;
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Execute one SQL statement (DML, DDL, migration DDL, or
+    /// transaction control).
+    Query(String),
+    /// Run a checkpoint cycle now.
+    Checkpoint,
+    /// Report server, migration, durability, and session counters.
+    Status,
+    /// Gracefully shut the server down (drain sessions, sync the WAL).
+    Shutdown,
+}
+
+/// One server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result set: column names plus rows.
+    Rows {
+        /// Output column names.
+        names: Vec<String>,
+        /// Output rows.
+        rows: Vec<Row>,
+    },
+    /// Statement succeeded; `affected` rows were written (0 for DDL and
+    /// transaction control).
+    Ok {
+        /// Rows written.
+        affected: u64,
+    },
+    /// Statement failed. The connection stays usable.
+    Err {
+        /// Whether retrying the statement may succeed (lock timeouts).
+        retryable: bool,
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Counter report: ordered `name → value` pairs.
+    Stats(Vec<(String, i64)>),
+}
+
+impl Request {
+    /// Encodes the request as one frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Request::Query(sql) => {
+                buf.put_u8(req::QUERY);
+                put_str(&mut buf, sql);
+            }
+            Request::Checkpoint => buf.put_u8(req::CHECKPOINT),
+            Request::Status => buf.put_u8(req::STATUS),
+            Request::Shutdown => buf.put_u8(req::SHUTDOWN),
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame payload as a request.
+    pub fn decode(mut payload: Bytes) -> Result<Request> {
+        match get_u8(&mut payload)? {
+            req::QUERY => Ok(Request::Query(get_str(&mut payload)?)),
+            req::CHECKPOINT => Ok(Request::Checkpoint),
+            req::STATUS => Ok(Request::Status),
+            req::SHUTDOWN => Ok(Request::Shutdown),
+            other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes the response as one frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        match self {
+            Response::Rows { names, rows } => {
+                buf.put_u8(resp::ROWS);
+                buf.put_u32(names.len() as u32);
+                for n in names {
+                    put_str(&mut buf, n);
+                }
+                buf.put_u32(rows.len() as u32);
+                for r in rows {
+                    codec::put_row(&mut buf, r);
+                }
+            }
+            Response::Ok { affected } => {
+                buf.put_u8(resp::OK);
+                buf.put_u64(*affected);
+            }
+            Response::Err { retryable, message } => {
+                buf.put_u8(resp::ERR);
+                buf.put_u8(u8::from(*retryable));
+                put_str(&mut buf, message);
+            }
+            Response::Stats(pairs) => {
+                buf.put_u8(resp::STATS);
+                buf.put_u32(pairs.len() as u32);
+                for (k, v) in pairs {
+                    put_str(&mut buf, k);
+                    buf.put_u64(*v as u64);
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a frame payload as a response.
+    pub fn decode(mut payload: Bytes) -> Result<Response> {
+        match get_u8(&mut payload)? {
+            resp::ROWS => {
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    names.push(get_str(&mut payload)?);
+                }
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(codec::get_row(&mut payload)?);
+                }
+                Ok(Response::Rows { names, rows })
+            }
+            resp::OK => Ok(Response::Ok {
+                affected: codec::get_u64(&mut payload)?,
+            }),
+            resp::ERR => {
+                let retryable = get_u8(&mut payload)? != 0;
+                let message = get_str(&mut payload)?;
+                Ok(Response::Err { retryable, message })
+            }
+            resp::STATS => {
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let k = get_str(&mut payload)?;
+                    let v = codec::get_u64(&mut payload)? as i64;
+                    pairs.push((k, v));
+                }
+                Ok(Response::Stats(pairs))
+            }
+            other => Err(Error::Eval(format!("unknown response opcode {other:#04x}"))),
+        }
+    }
+
+    /// Builds the error response for `e`, carrying its retryability.
+    pub fn from_error(e: &Error) -> Response {
+        Response::Err {
+            retryable: e.is_retryable(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Writes the connection preamble.
+pub fn write_preamble(w: &mut impl Write) -> std::io::Result<()> {
+    w.write_all(&PREAMBLE)
+}
+
+/// Reads and validates the connection preamble.
+pub fn read_preamble(r: &mut impl Read) -> Result<()> {
+    let mut got = [0u8; 8];
+    r.read_exact(&mut got)
+        .map_err(|e| Error::Eval(format!("preamble read failed: {e}")))?;
+    if got[..6] != PREAMBLE[..6] {
+        return Err(Error::Eval("bad protocol magic (want BFNET1)".into()));
+    }
+    if got[6] != PREAMBLE[6] {
+        return Err(Error::Eval(format!(
+            "unsupported protocol version {} (want {})",
+            got[6], PREAMBLE[6]
+        )));
+    }
+    Ok(())
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &Bytes) -> std::io::Result<()> {
+    let len = (payload.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame payload. `Ok(None)` on clean EOF at a frame boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(Error::Eval(format!("frame read failed: {e}"))),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Eval(format!(
+            "frame of {len} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| Error::Eval(format!("frame body read failed: {e}")))?;
+    Ok(Some(Bytes::copy_from_slice(&payload)))
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32(s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    let len = codec::get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(Error::Eval(format!(
+            "truncated string: want {len} bytes, have {}",
+            buf.len()
+        )));
+    }
+    let s = String::from_utf8(buf.slice(..len).to_vec())
+        .map_err(|_| Error::Eval("string field is not UTF-8".into()))?;
+    *buf = buf.slice(len..);
+    Ok(s)
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    if buf.is_empty() {
+        return Err(Error::Eval("truncated frame: missing byte".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_common::row;
+
+    #[test]
+    fn requests_round_trip() {
+        for r in [
+            Request::Query("SELECT a FROM t WHERE café = 'naïve'".into()),
+            Request::Checkpoint,
+            Request::Status,
+            Request::Shutdown,
+        ] {
+            assert_eq!(Request::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for r in [
+            Response::Rows {
+                names: vec!["id".into(), "owner".into()],
+                rows: vec![row![1, "alice"], row![2, "✈"]],
+            },
+            Response::Ok { affected: 7 },
+            Response::Err {
+                retryable: true,
+                message: "lock timeout".into(),
+            },
+            Response::Stats(vec![("wal.flushes".into(), 12), ("neg".into(), -3)]),
+        ] {
+            assert_eq!(Response::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_are_errors() {
+        let full = Response::Rows {
+            names: vec!["id".into()],
+            rows: vec![row![1]],
+        }
+        .encode();
+        for cut in 0..full.len() {
+            // Every truncation decodes to Err, never panics.
+            assert!(Response::decode(full.slice(..cut)).is_err(), "cut={cut}");
+        }
+        assert!(Request::decode(Bytes::new()).is_err());
+        assert!(Request::decode(Bytes::from_static(&[0x7f])).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_and_cap() {
+        let mut buf = Vec::new();
+        let payload = Request::Query("SELECT 1".into()).encode();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), payload);
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
+        assert!(read_frame(&mut std::io::Cursor::new(oversized)).is_err());
+    }
+
+    #[test]
+    fn preamble_rejects_strangers() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf).unwrap();
+        assert!(read_preamble(&mut std::io::Cursor::new(&buf)).is_ok());
+        assert!(read_preamble(&mut std::io::Cursor::new(b"HTTP/1.1".to_vec())).is_err());
+        let mut wrong_ver = PREAMBLE;
+        wrong_ver[6] = 9;
+        assert!(read_preamble(&mut std::io::Cursor::new(wrong_ver.to_vec())).is_err());
+    }
+}

@@ -1,6 +1,18 @@
 //! Tokenizer for the BullFrog SQL dialect.
+//!
+//! The lexer walks characters (not bytes), so multi-byte UTF-8 input —
+//! accented identifiers, emoji inside string literals — either tokenizes
+//! correctly or produces a clean [`Error::Eval`]; it never panics and
+//! never slices the input off a character boundary. Oversized numeric
+//! literals are rejected by the overflow-checked parses, and a total
+//! input-size cap bounds what a hostile network client can make the
+//! server tokenize.
 
 use bullfrog_common::{Error, Result};
+
+/// Hard cap on statement text size (network sessions feed untrusted
+/// input straight into `lex`).
+pub const MAX_SQL_BYTES: usize = 1 << 20;
 
 /// A token with its upper-cased text (identifiers keep their original
 /// form in `raw`; SQL keywords and identifiers are matched
@@ -29,22 +41,29 @@ impl Token {
     }
 }
 
-/// Tokenizes `input`; errors carry the offending position.
+/// Tokenizes `input`; errors carry the offending byte position.
 pub fn lex(input: &str) -> Result<Vec<Token>> {
-    let bytes = input.as_bytes();
+    if input.len() > MAX_SQL_BYTES {
+        return Err(Error::Eval(format!(
+            "statement text too large ({} bytes, max {MAX_SQL_BYTES})",
+            input.len()
+        )));
+    }
+    let chars: Vec<(usize, char)> = input.char_indices().collect();
     let mut i = 0usize;
     let mut out = Vec::new();
-    while i < bytes.len() {
-        let c = bytes[i] as char;
+    while i < chars.len() {
+        let (pos, c) = chars[i];
+        let next = chars.get(i + 1).map(|&(_, c)| c);
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
-            '-' if bytes.get(i + 1) == Some(&b'-') => {
+            '-' if next == Some('-') => {
                 // Line comment.
-                while i < bytes.len() && bytes[i] != b'\n' {
+                while i < chars.len() && chars[i].1 != '\n' {
                     i += 1;
                 }
             }
-            '(' | ')' | ',' | '.' | '*' | '+' | ';' => {
+            '(' | ')' | ',' | '.' | '*' | '+' | ';' | '-' | '=' => {
                 out.push(Token::Sym(match c {
                     '(' => "(",
                     ')' => ")",
@@ -52,23 +71,17 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     '.' => ".",
                     '*' => "*",
                     ';' => ";",
+                    '-' => "-",
+                    '=' => "=",
                     _ => "+",
                 }));
                 i += 1;
             }
-            '-' => {
-                out.push(Token::Sym("-"));
-                i += 1;
-            }
-            '=' => {
-                out.push(Token::Sym("="));
-                i += 1;
-            }
             '<' => {
-                if bytes.get(i + 1) == Some(&b'=') {
+                if next == Some('=') {
                     out.push(Token::Sym("<="));
                     i += 2;
-                } else if bytes.get(i + 1) == Some(&b'>') {
+                } else if next == Some('>') {
                     out.push(Token::Sym("<>"));
                     i += 2;
                 } else {
@@ -77,7 +90,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 }
             }
             '>' => {
-                if bytes.get(i + 1) == Some(&b'=') {
+                if next == Some('=') {
                     out.push(Token::Sym(">="));
                     i += 2;
                 } else {
@@ -85,72 +98,75 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
             }
-            '!' if bytes.get(i + 1) == Some(&b'=') => {
+            '!' if next == Some('=') => {
                 out.push(Token::Sym("<>"));
                 i += 2;
             }
             '\'' => {
-                let start = i + 1;
-                let mut j = start;
+                let mut j = i + 1;
                 let mut s = String::new();
                 loop {
-                    if j >= bytes.len() {
-                        return Err(Error::Eval(format!(
-                            "unterminated string literal at byte {i}"
-                        )));
-                    }
-                    if bytes[j] == b'\'' {
-                        // '' escapes a quote.
-                        if bytes.get(j + 1) == Some(&b'\'') {
-                            s.push('\'');
-                            j += 2;
-                            continue;
+                    match chars.get(j) {
+                        None => {
+                            return Err(Error::Eval(format!(
+                                "unterminated string literal at byte {pos}"
+                            )))
                         }
-                        break;
+                        Some(&(_, '\'')) => {
+                            // '' escapes a quote.
+                            if chars.get(j + 1).map(|&(_, c)| c) == Some('\'') {
+                                s.push('\'');
+                                j += 2;
+                                continue;
+                            }
+                            break;
+                        }
+                        Some(&(_, c)) => {
+                            s.push(c);
+                            j += 1;
+                        }
                     }
-                    s.push(bytes[j] as char);
-                    j += 1;
                 }
                 out.push(Token::Str(s));
                 i = j + 1;
             }
             '0'..='9' => {
-                let start = i;
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                let mut text = String::new();
+                while i < chars.len() && chars[i].1.is_ascii_digit() {
+                    text.push(chars[i].1);
                     i += 1;
                 }
-                let is_float = i < bytes.len()
-                    && bytes[i] == b'.'
-                    && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit());
+                let is_float = chars.get(i).map(|&(_, c)| c) == Some('.')
+                    && chars.get(i + 1).is_some_and(|&(_, c)| c.is_ascii_digit());
                 if is_float {
+                    text.push('.');
                     i += 1;
-                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    while i < chars.len() && chars[i].1.is_ascii_digit() {
+                        text.push(chars[i].1);
                         i += 1;
                     }
-                    let text = &input[start..i];
                     out.push(Token::Float(
                         text.parse()
                             .map_err(|_| Error::Eval(format!("bad float literal {text}")))?,
                     ));
                 } else {
-                    let text = &input[start..i];
+                    // Overflow-checked: oversized literals are a clean error.
                     out.push(Token::Int(text.parse().map_err(|_| {
-                        Error::Eval(format!("bad integer literal {text}"))
+                        Error::Eval(format!("integer literal {text} out of range"))
                     })?));
                 }
             }
-            c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while i < chars.len() && (chars[i].1.is_alphanumeric() || chars[i].1 == '_') {
+                    word.extend(chars[i].1.to_lowercase());
                     i += 1;
                 }
-                out.push(Token::Word(input[start..i].to_ascii_lowercase()));
+                out.push(Token::Word(word));
             }
             other => {
                 return Err(Error::Eval(format!(
-                    "unexpected character {other:?} at byte {i}"
+                    "unexpected character {other:?} at byte {pos}"
                 )))
             }
         }
@@ -196,5 +212,30 @@ mod tests {
     fn errors_are_reported() {
         assert!(lex("a = 'unterminated").is_err());
         assert!(lex("a ? b").is_err());
+    }
+
+    #[test]
+    fn multibyte_identifiers_and_strings() {
+        let toks = lex("SÉLÉCTION = 'naïve ✈ café'").unwrap();
+        assert_eq!(toks[0], Token::Word("séléction".into()));
+        assert_eq!(toks[2], Token::Str("naïve ✈ café".into()));
+    }
+
+    #[test]
+    fn multibyte_unterminated_string_is_error_not_panic() {
+        assert!(lex("x = 'héllo").is_err());
+        assert!(lex("'✈").is_err());
+    }
+
+    #[test]
+    fn oversized_int_literal_rejected() {
+        assert!(lex("99999999999999999999999999").is_err());
+        assert_eq!(lex("9223372036854775807").unwrap()[0], Token::Int(i64::MAX));
+    }
+
+    #[test]
+    fn input_size_cap() {
+        let big = "a ".repeat(MAX_SQL_BYTES / 2 + 1);
+        assert!(lex(&big).is_err());
     }
 }

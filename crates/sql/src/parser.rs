@@ -71,24 +71,52 @@ pub fn parse_migration(
     Ok(MigrationStatement::new(schema, spec))
 }
 
-struct Parser {
+/// Maximum expression nesting depth. Recursive descent means parser
+/// recursion tracks input nesting; without a cap, `((((((...` from an
+/// untrusted network client overflows the stack (a panic/abort, not an
+/// `Err`). 100 is far beyond any real statement.
+const MAX_DEPTH: usize = 100;
+
+pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
-    fn new(sql: &str) -> Result<Self> {
+    pub(crate) fn new(sql: &str) -> Result<Self> {
         Ok(Parser {
             tokens: lex(sql)?,
             pos: 0,
+            depth: 0,
         })
     }
 
-    fn peek(&self) -> Option<&Token> {
+    pub(crate) fn peek(&self) -> Option<&Token> {
         self.tokens.get(self.pos)
     }
 
-    fn next(&mut self) -> Result<Token> {
+    /// Current position, for [`Parser::rewind`]-based lookahead.
+    pub(crate) fn mark(&self) -> usize {
+        self.pos
+    }
+
+    /// Rewinds to a position previously returned by [`Parser::mark`].
+    pub(crate) fn rewind(&mut self, pos: usize) {
+        self.pos = pos;
+    }
+
+    fn descend(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::Eval(format!(
+                "expression nesting exceeds {MAX_DEPTH} levels"
+            )));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn next(&mut self) -> Result<Token> {
         let t = self
             .tokens
             .get(self.pos)
@@ -98,7 +126,7 @@ impl Parser {
         Ok(t)
     }
 
-    fn eat_word(&mut self, w: &str) -> bool {
+    pub(crate) fn eat_word(&mut self, w: &str) -> bool {
         if self.peek().and_then(Token::word) == Some(w) {
             self.pos += 1;
             true
@@ -107,7 +135,7 @@ impl Parser {
         }
     }
 
-    fn eat_sym(&mut self, s: &str) -> bool {
+    pub(crate) fn eat_sym(&mut self, s: &str) -> bool {
         if matches!(self.peek(), Some(Token::Sym(t)) if *t == s) {
             self.pos += 1;
             true
@@ -116,7 +144,7 @@ impl Parser {
         }
     }
 
-    fn keyword(&mut self, w: &str) -> Result<()> {
+    pub(crate) fn keyword(&mut self, w: &str) -> Result<()> {
         if self.eat_word(w) {
             Ok(())
         } else {
@@ -127,7 +155,7 @@ impl Parser {
         }
     }
 
-    fn sym(&mut self, s: &str) -> Result<()> {
+    pub(crate) fn sym(&mut self, s: &str) -> Result<()> {
         if self.eat_sym(s) {
             Ok(())
         } else {
@@ -138,14 +166,14 @@ impl Parser {
         }
     }
 
-    fn ident(&mut self) -> Result<String> {
+    pub(crate) fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Token::Word(w) => Ok(w),
             other => Err(Error::Eval(format!("expected identifier, found {other:?}"))),
         }
     }
 
-    fn expect_end(&mut self) -> Result<()> {
+    pub(crate) fn expect_end(&mut self) -> Result<()> {
         // Allow a trailing semicolon.
         if matches!(self.peek(), Some(Token::Sym(";"))) {
             self.pos += 1;
@@ -158,7 +186,7 @@ impl Parser {
 
     // --- predicates -------------------------------------------------------
 
-    fn or_expr(&mut self) -> Result<Expr> {
+    pub(crate) fn or_expr(&mut self) -> Result<Expr> {
         let mut e = self.and_expr()?;
         while self.eat_word("or") {
             e = e.or(self.and_expr()?);
@@ -175,6 +203,13 @@ impl Parser {
     }
 
     fn unary_pred(&mut self) -> Result<Expr> {
+        self.descend()?;
+        let r = self.unary_pred_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_pred_inner(&mut self) -> Result<Expr> {
         if self.eat_word("not") {
             return Ok(self.unary_pred()?.not());
         }
@@ -230,7 +265,7 @@ impl Parser {
 
     // --- scalar expressions -------------------------------------------------
 
-    fn additive(&mut self) -> Result<Expr> {
+    pub(crate) fn additive(&mut self) -> Result<Expr> {
         let mut e = self.term()?;
         loop {
             if self.eat_sym("+") {
@@ -252,6 +287,13 @@ impl Parser {
     }
 
     fn factor(&mut self) -> Result<Expr> {
+        self.descend()?;
+        let r = self.factor_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn factor_inner(&mut self) -> Result<Expr> {
         if self.eat_sym("(") {
             let e = self.additive()?;
             self.sym(")")?;
@@ -298,7 +340,7 @@ impl Parser {
         }
     }
 
-    fn int_literal(&mut self) -> Result<i64> {
+    pub(crate) fn int_literal(&mut self) -> Result<i64> {
         match self.next()? {
             Token::Int(i) => Ok(i),
             other => Err(Error::Eval(format!("expected integer, found {other:?}"))),
@@ -307,7 +349,7 @@ impl Parser {
 
     // --- SELECT ---------------------------------------------------------------
 
-    fn select(&mut self) -> Result<SelectSpec> {
+    pub(crate) fn select(&mut self) -> Result<SelectSpec> {
         self.keyword("select")?;
         let mut spec = SelectSpec::new();
         // Select list.
@@ -446,7 +488,7 @@ impl Parser {
 
     // --- CREATE TABLE ---------------------------------------------------------
 
-    fn create_table(&mut self) -> Result<TableSchema> {
+    pub(crate) fn create_table(&mut self) -> Result<TableSchema> {
         self.keyword("create")?;
         self.keyword("table")?;
         let name = self.ident()?;
@@ -600,7 +642,7 @@ impl Parser {
         })
     }
 
-    fn paren_ident_list(&mut self) -> Result<Vec<String>> {
+    pub(crate) fn paren_ident_list(&mut self) -> Result<Vec<String>> {
         self.sym("(")?;
         let mut out = vec![self.ident()?];
         while self.eat_sym(",") {

@@ -1,0 +1,377 @@
+//! Statement-level entry point: the full command surface a network
+//! session accepts.
+//!
+//! [`parse_statement`] turns one statement of text into a [`Statement`] —
+//! the union of everything a remote client may submit: reads
+//! (`SELECT`), writes (`INSERT`/`UPDATE`/`DELETE`), transaction control
+//! (`BEGIN`/`COMMIT`/`ROLLBACK`), plain DDL (`CREATE TABLE`), migration
+//! DDL (`CREATE TABLE ... AS SELECT ...`, optionally followed by
+//! `PRIMARY KEY (...)` re-declaring the new table's key, as the paper's
+//! DDL does), and the BullFrog maintenance verbs `CHECKPOINT` and
+//! `FINALIZE MIGRATION [DROP OLD]`.
+//!
+//! Parsing is catalog-independent: migration DDL carries its defining
+//! [`SelectSpec`] unresolved, and the executor (the server session)
+//! performs schema inference against its own catalog. `INSERT` values
+//! are constant-folded at parse time — they may be arithmetic over
+//! literals, but any column reference is a parse error.
+
+use bullfrog_common::{Error, Result, Row, TableSchema, Value};
+use bullfrog_query::{Expr, Scope, SelectSpec};
+
+use crate::parser::Parser;
+
+/// One parsed client statement.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// `SELECT ...` — a read (possibly joining/aggregating).
+    Select(SelectSpec),
+    /// `INSERT INTO t [(cols)] VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Explicit column list (empty = schema order).
+        columns: Vec<String>,
+        /// Constant-folded value tuples.
+        rows: Vec<Row>,
+    },
+    /// `UPDATE t SET col = expr, ... [WHERE pred]`; set expressions may
+    /// reference the row's own columns (`balance = balance + 1`).
+    Update {
+        /// Target table.
+        table: String,
+        /// `(column, new value expression)` pairs.
+        sets: Vec<(String, Expr)>,
+        /// Row filter (`None` = all rows).
+        predicate: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE pred]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter (`None` = all rows).
+        predicate: Option<Expr>,
+    },
+    /// `CREATE TABLE t (col type ..., constraints...)`.
+    CreateTable(TableSchema),
+    /// Migration DDL: `CREATE TABLE t AS (SELECT ...) [PRIMARY KEY (...)]`.
+    CreateTableAs {
+        /// New table name.
+        name: String,
+        /// Defining query over the old schema (unresolved).
+        select: SelectSpec,
+        /// Re-declared primary key of the new table (may be empty).
+        primary_key: Vec<String>,
+    },
+    /// `BEGIN` — open an explicit transaction.
+    Begin,
+    /// `COMMIT` — commit the session's open transaction.
+    Commit,
+    /// `ROLLBACK` (or `ABORT`) — abort the session's open transaction.
+    Rollback,
+    /// `CHECKPOINT` — run one checkpoint cycle.
+    Checkpoint,
+    /// `FINALIZE MIGRATION [DROP OLD]` — clear a completed migration.
+    FinalizeMigration {
+        /// Also drop the old input tables.
+        drop_old: bool,
+    },
+}
+
+/// Parses one statement. Never panics: malformed input, oversized
+/// literals, and absurd nesting all return `Err`.
+pub fn parse_statement(sql: &str) -> Result<Statement> {
+    let mut p = Parser::new(sql)?;
+    let stmt = statement(&mut p)?;
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+fn statement(p: &mut Parser) -> Result<Statement> {
+    use crate::lexer::Token;
+    match p.peek().and_then(Token::word) {
+        Some("select") => return Ok(Statement::Select(p.select()?)),
+        Some("create") => return create(p),
+        _ => {}
+    }
+    if p.eat_word("insert") {
+        return insert(p);
+    }
+    if p.eat_word("update") {
+        return update(p);
+    }
+    if p.eat_word("delete") {
+        p.keyword("from")?;
+        let table = p.ident()?;
+        let predicate = where_clause(p)?;
+        return Ok(Statement::Delete { table, predicate });
+    }
+    if p.eat_word("begin") {
+        let _ = p.eat_word("transaction");
+        return Ok(Statement::Begin);
+    }
+    if p.eat_word("commit") {
+        return Ok(Statement::Commit);
+    }
+    if p.eat_word("rollback") || p.eat_word("abort") {
+        return Ok(Statement::Rollback);
+    }
+    if p.eat_word("checkpoint") {
+        return Ok(Statement::Checkpoint);
+    }
+    if p.eat_word("finalize") {
+        p.keyword("migration")?;
+        let drop_old = if p.eat_word("drop") {
+            p.keyword("old")?;
+            true
+        } else {
+            false
+        };
+        return Ok(Statement::FinalizeMigration { drop_old });
+    }
+    Err(Error::Eval(format!(
+        "expected a statement keyword, found {:?}",
+        p.peek()
+    )))
+}
+
+fn create(p: &mut Parser) -> Result<Statement> {
+    // Look ahead past `CREATE TABLE <name>` to distinguish plain DDL
+    // from migration DDL, then rewind for the plain-DDL path (whose
+    // parser consumes the whole prefix itself).
+    let start = p.mark();
+    p.keyword("create")?;
+    p.keyword("table")?;
+    let name = p.ident()?;
+    if p.eat_word("as") {
+        let parenthesized = p.eat_sym("(");
+        let select = p.select()?;
+        if parenthesized {
+            p.sym(")")?;
+        }
+        let mut primary_key = Vec::new();
+        if p.eat_word("primary") {
+            p.keyword("key")?;
+            primary_key = p.paren_ident_list()?;
+        }
+        return Ok(Statement::CreateTableAs {
+            name,
+            select,
+            primary_key,
+        });
+    }
+    p.rewind(start);
+    Ok(Statement::CreateTable(p.create_table()?))
+}
+
+fn insert(p: &mut Parser) -> Result<Statement> {
+    p.keyword("into")?;
+    let table = p.ident()?;
+    let mut columns = Vec::new();
+    // A '(' here is ambiguous only with VALUES, which must follow anyway.
+    if matches!(p.peek(), Some(crate::lexer::Token::Sym("("))) {
+        columns = p.paren_ident_list()?;
+    }
+    p.keyword("values")?;
+    let empty_scope = Scope::new();
+    let empty_row = Row(Vec::new());
+    let mut rows = Vec::new();
+    loop {
+        p.sym("(")?;
+        let mut vals = Vec::new();
+        loop {
+            let e = p.additive()?;
+            // Constant-fold: INSERT values must be literal expressions.
+            vals.push(e.eval(&empty_scope, &empty_row).map_err(|_| {
+                Error::Eval(format!("INSERT value {e} is not a constant expression"))
+            })?);
+            if !p.eat_sym(",") {
+                break;
+            }
+        }
+        p.sym(")")?;
+        rows.push(Row(vals));
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    Ok(Statement::Insert {
+        table,
+        columns,
+        rows,
+    })
+}
+
+fn update(p: &mut Parser) -> Result<Statement> {
+    let table = p.ident()?;
+    p.keyword("set")?;
+    let mut sets = Vec::new();
+    loop {
+        let col = p.ident()?;
+        p.sym("=")?;
+        sets.push((col, p.additive()?));
+        if !p.eat_sym(",") {
+            break;
+        }
+    }
+    let predicate = where_clause(p)?;
+    Ok(Statement::Update {
+        table,
+        sets,
+        predicate,
+    })
+}
+
+fn where_clause(p: &mut Parser) -> Result<Option<Expr>> {
+    if p.eat_word("where") {
+        Ok(Some(p.or_expr()?))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Convenience: the value tuples of an INSERT reordered to `schema`'s
+/// column order (resolving an explicit column list, `NULL`-filling
+/// omitted nullable columns). Errors on unknown columns or arity
+/// mismatches — never panics.
+pub fn reorder_insert_rows(
+    schema: &TableSchema,
+    columns: &[String],
+    rows: &[Row],
+) -> Result<Vec<Row>> {
+    if columns.is_empty() {
+        for r in rows {
+            if r.0.len() != schema.columns.len() {
+                return Err(Error::SchemaMismatch(format!(
+                    "INSERT into {} supplies {} values for {} columns",
+                    schema.name,
+                    r.0.len(),
+                    schema.columns.len()
+                )));
+            }
+        }
+        return Ok(rows.to_vec());
+    }
+    let mut positions = Vec::with_capacity(columns.len());
+    for c in columns {
+        positions.push(schema.col_index(c)?);
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for r in rows {
+        if r.0.len() != positions.len() {
+            return Err(Error::SchemaMismatch(format!(
+                "INSERT into {} supplies {} values for {} named columns",
+                schema.name,
+                r.0.len(),
+                positions.len()
+            )));
+        }
+        let mut full = vec![Value::Null; schema.columns.len()];
+        for (v, &pos) in r.0.iter().zip(&positions) {
+            full[pos] = v.clone();
+        }
+        out.push(Row(full));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_statement_kind() {
+        assert!(matches!(
+            parse_statement("SELECT a FROM t").unwrap(),
+            Statement::Select(_)
+        ));
+        assert!(matches!(
+            parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap(),
+            Statement::Insert { ref rows, .. } if rows.len() == 2
+        ));
+        assert!(matches!(
+            parse_statement("UPDATE t SET a = a + 1 WHERE id = 3").unwrap(),
+            Statement::Update { ref sets, .. } if sets.len() == 1
+        ));
+        assert!(matches!(
+            parse_statement("DELETE FROM t WHERE id = 3").unwrap(),
+            Statement::Delete { .. }
+        ));
+        assert!(matches!(
+            parse_statement("CREATE TABLE t (a INT, PRIMARY KEY (a))").unwrap(),
+            Statement::CreateTable(_)
+        ));
+        assert!(matches!(
+            parse_statement("BEGIN").unwrap(),
+            Statement::Begin
+        ));
+        assert!(matches!(
+            parse_statement("COMMIT;").unwrap(),
+            Statement::Commit
+        ));
+        assert!(matches!(
+            parse_statement("ROLLBACK").unwrap(),
+            Statement::Rollback
+        ));
+        assert!(matches!(
+            parse_statement("CHECKPOINT").unwrap(),
+            Statement::Checkpoint
+        ));
+        assert!(matches!(
+            parse_statement("FINALIZE MIGRATION DROP OLD").unwrap(),
+            Statement::FinalizeMigration { drop_old: true }
+        ));
+    }
+
+    #[test]
+    fn migration_ddl_with_primary_key() {
+        let s = parse_statement(
+            "CREATE TABLE flewoninfo AS (SELECT f.flightid AS fid, fi.flightdate \
+             FROM flights f, flewon fi WHERE f.flightid = fi.flightid) \
+             PRIMARY KEY (fid, flightdate)",
+        )
+        .unwrap();
+        match s {
+            Statement::CreateTableAs {
+                name,
+                select,
+                primary_key,
+            } => {
+                assert_eq!(name, "flewoninfo");
+                assert_eq!(select.inputs.len(), 2);
+                assert_eq!(primary_key, vec!["fid", "flightdate"]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_values_are_constant_folded() {
+        match parse_statement("INSERT INTO t VALUES (1 + 2, -3, 'x')").unwrap() {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(
+                    rows[0],
+                    Row(vec![Value::Int(3), Value::Int(-3), Value::text("x")])
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_statement("INSERT INTO t VALUES (a)").is_err());
+    }
+
+    #[test]
+    fn reorder_fills_missing_with_null() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                bullfrog_common::ColumnDef::new("a", bullfrog_common::DataType::Int),
+                bullfrog_common::ColumnDef::nullable("b", bullfrog_common::DataType::Text),
+            ],
+        );
+        let rows =
+            reorder_insert_rows(&schema, &["a".into()], &[Row(vec![Value::Int(7)])]).unwrap();
+        assert_eq!(rows[0], Row(vec![Value::Int(7), Value::Null]));
+        assert!(reorder_insert_rows(&schema, &["zz".into()], &[Row(vec![Value::Int(7)])]).is_err());
+        assert!(reorder_insert_rows(&schema, &[], &[Row(vec![Value::Int(7)])]).is_err());
+    }
+}

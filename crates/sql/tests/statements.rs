@@ -1,0 +1,110 @@
+//! Robustness tests for the statement surface: malformed input must be a
+//! clean `Err`, never a panic. Network sessions feed untrusted bytes
+//! straight into these entry points.
+
+use bullfrog_sql::{parse_create_table, parse_predicate, parse_select, parse_statement};
+
+/// Statements whose every prefix (and single-char corruption) is thrown
+/// at the parser.
+const CORPUS: &[&str] = &[
+    "SELECT f.flightid AS fid, (capacity - passenger_count) AS empty_seats \
+     FROM flights f, flewon fi WHERE f.flightid = fi.flightid AND capacity > 100",
+    "INSERT INTO accounts (id, owner, balance) VALUES (1, 'alice', 100), (2, 'bob', -5)",
+    "UPDATE accounts SET balance = balance + 1, owner = 'x' WHERE id = 42 AND balance >= 0",
+    "DELETE FROM accounts WHERE owner = 'O''Hare'",
+    "CREATE TABLE t (a INT NOT NULL, b CHAR(6), PRIMARY KEY (a), \
+     FOREIGN KEY (b) REFERENCES u (b), CHECK (a > 0))",
+    "CREATE TABLE v2 AS (SELECT id, balance FROM accounts WHERE balance > 0) PRIMARY KEY (id)",
+    "SELECT owner, SUM(balance) AS total, COUNT(DISTINCT id) AS n FROM accounts GROUP BY owner",
+    "FINALIZE MIGRATION DROP OLD",
+    "BEGIN; -- comment",
+];
+
+#[test]
+fn every_prefix_parses_or_errs() {
+    for sql in CORPUS {
+        for (i, _) in sql.char_indices() {
+            // Any prefix must produce Ok or Err — a panic fails the test.
+            let _ = parse_statement(&sql[..i]);
+        }
+        parse_statement(sql).unwrap_or_else(|e| panic!("corpus entry failed: {sql}: {e}"));
+    }
+}
+
+#[test]
+fn single_char_corruptions_never_panic() {
+    let junk = ['\'', '(', ')', '?', '\u{00e9}', '\u{2708}', ';', '9'];
+    for sql in CORPUS {
+        for (i, _) in sql.char_indices().step_by(3) {
+            for j in junk {
+                let mut s = String::with_capacity(sql.len() + 4);
+                s.push_str(&sql[..i]);
+                s.push(j);
+                s.push_str(&sql[i..]);
+                let _ = parse_statement(&s);
+                let _ = parse_predicate(&s);
+            }
+        }
+    }
+}
+
+#[test]
+fn multibyte_identifiers_round_trip() {
+    match parse_statement("INSERT INTO caf\u{00e9} VALUES ('\u{00fc}ber \u{2708}')").unwrap() {
+        bullfrog_sql::Statement::Insert { table, rows, .. } => {
+            assert_eq!(table, "caf\u{00e9}");
+            assert_eq!(
+                rows[0].0[0],
+                bullfrog_common::Value::text("\u{00fc}ber \u{2708}")
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    // Truncating inside a multi-byte string literal: clean error.
+    assert!(parse_statement("INSERT INTO t VALUES ('\u{2708}").is_err());
+}
+
+#[test]
+fn oversized_literals_are_errors() {
+    assert!(parse_predicate("a = 99999999999999999999999999999").is_err());
+    assert!(parse_statement("INSERT INTO t VALUES (123456789012345678901234567890)").is_err());
+    // A huge-but-bounded string literal is fine.
+    let s = format!("INSERT INTO t VALUES ('{}')", "x".repeat(100_000));
+    assert!(parse_statement(&s).is_ok());
+    // Anything beyond the input cap is rejected before tokenizing.
+    let too_big = format!("SELECT a FROM t WHERE b = '{}'", "x".repeat(2 << 20));
+    assert!(parse_select(&too_big).is_err());
+}
+
+#[test]
+fn deep_nesting_is_an_error_not_a_stack_overflow() {
+    // Each paren level descends through both unary_pred and factor, so
+    // the usable paren depth is about half the raw guard.
+    for depth in [10usize, 40] {
+        let sql = format!("{}a = 1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(parse_predicate(&sql).is_ok(), "depth {depth} should parse");
+    }
+    for depth in [200usize, 10_000] {
+        let sql = format!("{}a = 1{}", "(".repeat(depth), ")".repeat(depth));
+        assert!(
+            parse_predicate(&sql).is_err(),
+            "depth {depth} must be rejected"
+        );
+    }
+    // Arithmetic nesting goes through the same guard.
+    let arith = format!("a = {}1{}", "(1 + ".repeat(50_000), ")".repeat(50_000));
+    assert!(parse_predicate(&arith).is_err());
+    // NOT chains recurse through unary_pred.
+    let nots = format!("{} a = 1", "NOT".repeat(50_000));
+    assert!(parse_predicate(&nots).is_err());
+}
+
+#[test]
+fn truncated_create_table_paths() {
+    let full = "CREATE TABLE t (a INT, CONSTRAINT c CHECK (a > 0), UNIQUE (a))";
+    for (i, _) in full.char_indices() {
+        let _ = parse_create_table(&full[..i]);
+    }
+    assert!(parse_create_table("CREATE TABLE t (a SOMETYPE)").is_err());
+    assert!(parse_create_table("CREATE TABLE t (CONSTRAINT x a INT)").is_err());
+}

@@ -100,12 +100,13 @@ impl LockState {
     /// Can `txn` acquire `mode` given the other holders and the queue?
     /// Transactions that already hold the key (lock upgrades) bypass the
     /// queue; everyone else must be compatible with all waiters ahead of
-    /// them, so a queued writer blocks later readers.
-    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+    /// them, so a queued writer blocks later readers. Holds by `ally` are
+    /// treated as compatible (see [`LockManager::acquire_deadline_ally`]).
+    fn grantable(&self, txn: TxnId, mode: LockMode, ally: Option<TxnId>) -> bool {
         let compatible_with_holders = self
             .holders
             .iter()
-            .filter(|(t, _)| *t != txn)
+            .filter(|(t, _)| *t != txn && Some(*t) != ally)
             .all(|(_, held)| held.compatible(mode));
         if !compatible_with_holders {
             return false;
@@ -212,6 +213,26 @@ impl LockManager {
         mode: LockMode,
         timeout: Duration,
     ) -> Result<bool> {
+        self.acquire_deadline_ally(txn, key, mode, timeout, None)
+    }
+
+    /// As [`LockManager::acquire_deadline`], but holds by `ally` are
+    /// treated as compatible with the request.
+    ///
+    /// This exists for lazy migration transactions, which run on the
+    /// thread of the client transaction that triggered them: the client
+    /// may hold X locks on input rows it wrote itself (co-maintained
+    /// plans with unfrozen inputs), and blocking on those locks would
+    /// deadlock the thread against itself. The ally never waits — it is
+    /// suspended while the migration runs — so only its holds matter.
+    pub fn acquire_deadline_ally(
+        &self,
+        txn: TxnId,
+        key: LockKey,
+        mode: LockMode,
+        timeout: Duration,
+        ally: Option<TxnId>,
+    ) -> Result<bool> {
         let shard = self.shard(&key);
         let deadline = Instant::now() + timeout;
         let mut locks = shard.locks.lock();
@@ -223,7 +244,7 @@ impl LockManager {
                     return Ok(false); // already strong enough
                 }
             }
-            if state.grantable(txn, mode) {
+            if state.grantable(txn, mode, ally) {
                 let newly = state.held_mode(txn).is_none();
                 state.grant(txn, mode);
                 state.dequeue(txn);
@@ -260,7 +281,7 @@ impl LockManager {
                 return Ok(false);
             }
         }
-        if state.grantable(txn, mode) {
+        if state.grantable(txn, mode, None) {
             let newly = state.held_mode(txn).is_none();
             state.grant(txn, mode);
             Ok(newly)

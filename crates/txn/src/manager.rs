@@ -29,6 +29,10 @@ pub enum TxnState {
 pub struct Transaction {
     id: TxnId,
     state: TxnState,
+    /// A transaction whose locks this one may pass through (lazy
+    /// migration transactions set this to the client transaction that
+    /// triggered them — see `LockManager::acquire_deadline_ally`).
+    ally: Option<TxnId>,
     /// Every lock key acquired (released wholesale at commit/abort; strict
     /// 2PL never releases early).
     pub locks: Vec<LockKey>,
@@ -43,6 +47,7 @@ impl Transaction {
         Transaction {
             id,
             state: TxnState::Active,
+            ally: None,
             locks: Vec::new(),
             undo: Vec::new(),
             redo: Vec::new(),
@@ -57,6 +62,19 @@ impl Transaction {
     /// Current state.
     pub fn state(&self) -> TxnState {
         self.state
+    }
+
+    /// Declares `parent` an ally: its locks never conflict with this
+    /// transaction's requests. Set by lazy migration transactions for the
+    /// client transaction whose request triggered them (which is
+    /// suspended on this thread until the migration finishes).
+    pub fn set_ally(&mut self, parent: TxnId) {
+        self.ally = Some(parent);
+    }
+
+    /// The declared ally, if any.
+    pub fn ally(&self) -> Option<TxnId> {
+        self.ally
     }
 
     /// Errors unless the transaction is still active.

@@ -9,6 +9,13 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== server integration tests =="
+cargo test -q -p bullfrog-net --test server_integration --test migration_race
+
+echo "== loadgen smoke (loopback, fixed seed, bounded) =="
+timeout 10 cargo run --release -q -p bullfrog-net --bin loadgen -- \
+  --clients 32 --accounts 128 --ops 5 --seed 42
+
 echo "== rustfmt =="
 cargo fmt --check
 

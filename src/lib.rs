@@ -13,6 +13,8 @@
 //!   eager / multi-step baselines.
 //! - [`sql`] — a SQL front-end: predicates, SELECT specs, CREATE TABLE,
 //!   and `CREATE TABLE ... AS SELECT` migration DDL.
+//! - [`net`] — the BFNET1 TCP server/client: lazy migrations under real
+//!   multi-client traffic, plus the `loadgen` binary.
 //! - [`tpcc`] — the TPC-C workload extended with schema migrations.
 //!
 //! See the `examples/` directory for end-to-end usage, starting with
@@ -21,6 +23,7 @@
 pub use bullfrog_common as common;
 pub use bullfrog_core as core;
 pub use bullfrog_engine as engine;
+pub use bullfrog_net as net;
 pub use bullfrog_query as query;
 pub use bullfrog_sql as sql;
 pub use bullfrog_storage as storage;

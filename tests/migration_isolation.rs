@@ -1,0 +1,242 @@
+//! Regression tests for migration-read isolation at the flip boundary.
+//!
+//! The logical flip freezes input tables against *new* writers, but a
+//! client transaction that updated an input row *before* the flip may
+//! still be in flight while the migration copies data. The engine
+//! updates heap pages in place (undo-based), so that straggler's X lock
+//! guards an uncommitted value. Migration reads must take S locks and
+//! wait the straggler out; an unlocked read would freeze a dirty value
+//! into the output table — and if the straggler then aborts, the
+//! migrated row is wrong forever (the committed write effectively
+//! vanishes, which is exactly the lost-money symptom the TCP load
+//! generator caught).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog::common::{row, ColumnDef, DataType, TableSchema, Value};
+use bullfrog::core::{
+    BackgroundConfig, Bullfrog, BullfrogConfig, ClientAccess, MigrationPlan, MigrationStatement,
+};
+use bullfrog::engine::{Database, DbConfig, LockPolicy};
+use bullfrog::query::{AggFunc, Expr, SelectSpec};
+
+const INITIAL: i64 = 1000;
+const DIRTY: i64 = 993;
+
+/// A one-row `accounts` table plus a straggler transaction T1 that has
+/// already updated the row (holding its X lock over the dirty heap
+/// value) when the migration is submitted.
+fn straggler_setup() -> (
+    Arc<Database>,
+    Arc<Bullfrog>,
+    bullfrog::txn::Transaction,
+    bullfrog::common::RowId,
+) {
+    // Generous lock timeout: the migration's S-lock wait must outlive
+    // the straggler, not race its own deadlock-avoidance abort.
+    let db = Arc::new(Database::with_config(DbConfig {
+        lock_timeout: Duration::from_secs(5),
+        ..DbConfig::default()
+    }));
+    db.create_table(
+        TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("balance", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    let rid = db.insert_unlogged("accounts", row![1, INITIAL]).unwrap();
+
+    let mut t1 = db.begin();
+    db.update(&mut t1, "accounts", rid, row![1, DIRTY]).unwrap();
+
+    // Background migration off: the only thing that can copy the row is
+    // the lazy path triggered by our own read below.
+    let bf = Arc::new(Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: false,
+                ..BackgroundConfig::default()
+            },
+            ..BullfrogConfig::default()
+        },
+    ));
+    let spec = SelectSpec::new()
+        .from_table("accounts", "a")
+        .select("id", Expr::col("a", "id"))
+        .select("balance", Expr::col("a", "balance"));
+    let schema = TableSchema::new(
+        "accounts_v2",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::nullable("balance", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["id"]);
+    bf.submit_migration(
+        MigrationPlan::new("accounts_v2").with_statement(MigrationStatement::new(schema, spec)),
+    )
+    .unwrap();
+    (db, bf, t1, rid)
+}
+
+/// Reads the single migrated row out of `accounts_v2`, driving the lazy
+/// migration in the process.
+fn migrated_balance(db: &Database, bf: &Bullfrog) -> i64 {
+    let mut txn = db.begin();
+    let rows = bf
+        .select(&mut txn, "accounts_v2", None, LockPolicy::Shared)
+        .unwrap();
+    db.commit(&mut txn).unwrap();
+    assert_eq!(rows.len(), 1, "exactly one row must have migrated");
+    match rows[0].1[1] {
+        Value::Int(v) => v,
+        ref other => panic!("unexpected balance {other:?}"),
+    }
+}
+
+/// The straggler aborts: its in-place update is undone, so the
+/// migration must copy the original committed value — never the dirty
+/// one its X lock was guarding. This is the deterministic reproduction
+/// of the dirty read the unlocked migration path had.
+#[test]
+fn aborted_straggler_write_is_not_migrated() {
+    let (db, bf, mut t1, _rid) = straggler_setup();
+
+    let started = Instant::now();
+    let db2 = Arc::clone(&db);
+    let straggler = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        db2.abort(&mut t1);
+    });
+
+    let balance = migrated_balance(&db, &bf);
+    straggler.join().unwrap();
+
+    assert_eq!(
+        balance, INITIAL,
+        "migration copied a dirty value that was later rolled back"
+    );
+    // The S lock must actually have blocked on the straggler's X lock;
+    // an instant return means the read went around the lock manager.
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "migration read did not wait for the in-flight writer"
+    );
+}
+
+/// Co-maintained plan (unfrozen inputs): a transaction that wrote input
+/// rows itself then reads the output table triggers a lazy migration *on
+/// its own thread*. The migration transaction must treat the triggering
+/// transaction's X locks as compatible (it is suspended, so it can never
+/// release them) — without that, the S-lock fix above livelocks the
+/// thread against itself: the migration transaction times out on the
+/// parent's lock, aborts, retries, forever. This is the TPC-C
+/// `order_totals` shape (new-order inserts order lines, then upserts the
+/// co-maintained total).
+#[test]
+fn self_triggered_migration_passes_through_own_locks() {
+    let db = Arc::new(Database::new());
+    db.create_table(
+        TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("owner", DataType::Text),
+                ColumnDef::new("balance", DataType::Int),
+            ],
+        )
+        .with_primary_key(&["id"]),
+    )
+    .unwrap();
+    db.insert_unlogged("accounts", row![1, "o1", INITIAL])
+        .unwrap();
+    db.insert_unlogged("accounts", row![2, "o1", INITIAL])
+        .unwrap();
+
+    let bf = Arc::new(Bullfrog::with_config(
+        Arc::clone(&db),
+        BullfrogConfig {
+            background: BackgroundConfig {
+                enabled: false,
+                ..BackgroundConfig::default()
+            },
+            ..BullfrogConfig::default()
+        },
+    ));
+    let spec = SelectSpec::new()
+        .from_table("accounts", "a")
+        .select("owner", Expr::col("a", "owner"))
+        .select_agg("total", AggFunc::Sum, Expr::col("a", "balance"));
+    let schema = TableSchema::new(
+        "owner_totals",
+        vec![
+            ColumnDef::new("owner", DataType::Text),
+            ColumnDef::nullable("total", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["owner"]);
+    let mut plan = MigrationPlan::new("owner_totals")
+        .with_statement(MigrationStatement::new(schema, spec))
+        .backwards_compatible();
+    plan.freeze_inputs = false;
+    bf.submit_migration(plan).unwrap();
+
+    // The whole scenario is single-threaded; a livelock would hang the
+    // test forever, so run it under a watchdog.
+    let (done_tx, done_rx) = std::sync::mpsc::channel();
+    let db2 = Arc::clone(&db);
+    let bf2 = Arc::clone(&bf);
+    std::thread::spawn(move || {
+        let mut txn = db2.begin();
+        // Write an input row of group o1 — X locks held by this txn.
+        bf2.insert(&mut txn, "accounts", row![3, "o1", 500])
+            .unwrap();
+        // Reading the group's output row lazily migrates granule o1,
+        // whose input rows include the one this very transaction just
+        // wrote. Per the co-maintenance contract the migration folds the
+        // transaction's own (uncommitted) write into the total.
+        let pred = Expr::column("owner").eq(Expr::lit("o1"));
+        let rows = bf2
+            .select(&mut txn, "owner_totals", Some(&pred), LockPolicy::Shared)
+            .unwrap();
+        db2.commit(&mut txn).unwrap();
+        done_tx.send(rows).unwrap();
+    });
+    let rows = done_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("lazy migration livelocked against its own transaction");
+    assert_eq!(rows.len(), 1, "one output row for group o1");
+    assert_eq!(
+        rows[0].1[1],
+        Value::Int(2 * INITIAL + 500),
+        "the group total folds the transaction's own write"
+    );
+}
+
+/// The straggler commits: now its value is the one truth, and the
+/// migration (after waiting out the X lock) must copy it.
+#[test]
+fn committed_straggler_write_is_migrated() {
+    let (db, bf, mut t1, _rid) = straggler_setup();
+
+    let db2 = Arc::clone(&db);
+    let straggler = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        db2.commit(&mut t1).unwrap();
+    });
+
+    let balance = migrated_balance(&db, &bf);
+    straggler.join().unwrap();
+
+    assert_eq!(
+        balance, DIRTY,
+        "migration must see the straggler's committed value"
+    );
+}
