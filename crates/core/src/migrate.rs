@@ -408,7 +408,19 @@ fn migrate_once(
         MigrationStats::add(&rt.stats.migration_aborts, 1);
         return Err(Error::TxnAborted(txn.id()));
     }
-    match db.commit(&mut txn) {
+    // Background migrations pipeline past the group-commit barrier:
+    // their batch is ordered in the WAL at enqueue time, so any client
+    // that later reads migrated rows commits at a higher LSN and its own
+    // synchronous wait transitively covers this one. Recovery replays
+    // only durable commits, so granule marks and rows stay atomic.
+    // Foreground (lazy, on the client's query path) keeps synchronous
+    // semantics — the client is about to read what it migrated.
+    let committed = if opts.background {
+        db.commit_nowait(&mut txn).map(drop)
+    } else {
+        db.commit(&mut txn)
+    };
+    match committed {
         Ok(()) => {
             rt.tracker.mark_migrated(wip.items());
             counts.apply(&rt.stats);
@@ -460,7 +472,14 @@ fn migrate_on_conflict(
         MigrationStats::add(&rt.stats.migration_aborts, 1);
         return Err(Error::TxnAborted(txn.id()));
     }
-    match db.commit(&mut txn) {
+    // Same async-commit rule as `migrate_once`: background transactions
+    // enqueue and move on, foreground ones wait for durability.
+    let committed = if opts.background {
+        db.commit_nowait(&mut txn).map(drop)
+    } else {
+        db.commit(&mut txn)
+    };
+    match committed {
         Ok(()) => {
             counts.apply(&rt.stats);
             MigrationStats::add(&rt.stats.migration_txns, 1);

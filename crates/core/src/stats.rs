@@ -111,16 +111,18 @@ pub struct MigrationStatsSnapshot {
 /// Point-in-time durability counters captured from a database: the WAL's
 /// group-commit/flush/checkpoint totals plus the current log shape. One
 /// capture per run is enough — everything in here is monotonic.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DurabilityStats {
-    /// The WAL's own counters (flushes, group sizes, bytes, latency,
-    /// checkpoints, truncated records).
+    /// The WAL's aggregated counters (flushes, group sizes, bytes,
+    /// latency, checkpoints, truncated records) summed over every shard.
     pub wal: WalStatsSnapshot,
+    /// Per-shard flush counters, indexed by durability shard.
+    pub shards: Vec<WalStatsSnapshot>,
     /// LSN-space length of the log (records ever appended).
     pub log_len: u64,
     /// Records currently resident in memory (bounded by checkpointing).
     pub resident_records: u64,
-    /// Highest LSN known durable on disk.
+    /// The merged durable horizon (min over shard frontiers).
     pub durable_lsn: u64,
 }
 
@@ -130,6 +132,7 @@ impl DurabilityStats {
         let wal = db.wal();
         DurabilityStats {
             wal: wal.stats(),
+            shards: wal.shard_stats(),
             log_len: wal.len() as u64,
             resident_records: wal.resident_records() as u64,
             durable_lsn: wal.durable_lsn(),
@@ -137,11 +140,14 @@ impl DurabilityStats {
     }
 
     /// One-line summary for bench reports: fsync count vs. batches (the
-    /// group-commit win), group sizes, flush latency, and log footprint.
+    /// group-commit win), group sizes, flush latency, per-shard fsync
+    /// spread, and log footprint.
     pub fn summary(&self) -> String {
+        let spread: Vec<String> = self.shards.iter().map(|s| s.flushes.to_string()).collect();
         format!(
-            "{} len={} resident={} durable_lsn={}",
+            "{} shards[fsyncs]=[{}] len={} resident={} durable_lsn={}",
             self.wal.summary(),
+            spread.join("/"),
             self.log_len,
             self.resident_records,
             self.durable_lsn,

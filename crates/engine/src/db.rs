@@ -7,7 +7,8 @@ use bullfrog_common::{Error, Result, Row, RowId, TableSchema, Value};
 use bullfrog_query::{pred, Expr, Scope};
 use bullfrog_storage::{Catalog, Table};
 use bullfrog_txn::{
-    LockKey, LockManager, LockMode, LogRecord, Transaction, TxnManager, UndoRecord, Wal,
+    CommitTicket, LockKey, LockManager, LockMode, LogRecord, Transaction, TxnManager, UndoRecord,
+    Wal,
 };
 
 /// Tuning knobs for a [`Database`].
@@ -201,14 +202,46 @@ impl Database {
     /// waits on the group-commit barrier until the batch is on disk
     /// (no-op for in-memory databases), marks the transaction committed,
     /// and releases its locks.
+    ///
+    /// Read-only transactions (empty redo) skip the WAL entirely: there
+    /// is nothing to replay, so appending a lone `Commit` and parking on
+    /// the commit barrier would buy no durability — just an fsync and a
+    /// stall behind unrelated writers.
     pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
         txn.assert_active()?;
-        let mut batch = std::mem::take(&mut txn.redo);
-        batch.push(LogRecord::Commit(txn.id()));
-        self.wal.append_batch_durable(batch);
+        if !txn.redo.is_empty() {
+            let mut batch = std::mem::take(&mut txn.redo);
+            batch.push(LogRecord::Commit(txn.id()));
+            self.wal.append_batch_durable(batch);
+        }
         txn.mark_committed()?;
         self.release_locks(txn);
         Ok(())
+    }
+
+    /// Asynchronous commit: appends the redo batch + `Commit` atomically
+    /// and returns a [`CommitTicket`] **at enqueue time**, without waiting
+    /// for the flush. The caller keeps running (and may start its next
+    /// transaction) while the WAL shard makes the batch durable; call
+    /// [`CommitTicket::wait`] before acknowledging the commit to anyone
+    /// who needs durability. Locks are released immediately — strict 2PL
+    /// is preserved because the batch is already ordered in the log, so
+    /// any later reader of this data commits with a higher LSN and a
+    /// synchronous waiter at that LSN transitively covers this one.
+    ///
+    /// Read-only transactions get a trivially-durable ticket.
+    pub fn commit_nowait(&self, txn: &mut Transaction) -> Result<CommitTicket> {
+        txn.assert_active()?;
+        let ticket = if txn.redo.is_empty() {
+            self.wal.durable_ticket()
+        } else {
+            let mut batch = std::mem::take(&mut txn.redo);
+            batch.push(LogRecord::Commit(txn.id()));
+            self.wal.append_batch_enqueue(batch)
+        };
+        txn.mark_committed()?;
+        self.release_locks(txn);
+        Ok(ticket)
     }
 
     /// Runs one checkpoint cycle: snapshots the committed log prefix into
@@ -231,6 +264,7 @@ impl Database {
         if txn.assert_active().is_err() {
             return;
         }
+        let wrote = !txn.redo.is_empty() || !txn.undo.is_empty();
         for rec in std::mem::take(&mut txn.undo).into_iter().rev() {
             // Undo application must not fail: the operations below only
             // reverse changes this transaction itself made while holding
@@ -251,7 +285,10 @@ impl Database {
             }
         }
         txn.redo.clear();
-        self.wal.append(LogRecord::Abort(txn.id()));
+        // A transaction that never wrote leaves no trace to disclaim.
+        if wrote {
+            self.wal.append(LogRecord::Abort(txn.id()));
+        }
         txn.mark_aborted().expect("active checked above");
         self.release_locks(txn);
     }

@@ -127,11 +127,14 @@ pub fn recover_from_files(
             )))
         }
     };
-    let (file_base, records) = Wal::load_file_with_base(wal_path)?;
-    // Records below the image's base are already folded into the image.
-    let skip = image.base_lsn.saturating_sub(file_base) as usize;
-    let tail = records.get(skip.min(records.len())..).unwrap_or(&[]);
-    replay_with_checkpoint(db, &image, tail)
+    // Merge every WAL shard file into one LSN-ordered stream; records
+    // below the image's base are already folded into the image.
+    let tail: Vec<LogRecord> = Wal::load_sharded(wal_path)?
+        .into_iter()
+        .filter(|(lsn, _)| *lsn >= image.base_lsn)
+        .map(|(_, r)| r)
+        .collect();
+    replay_with_checkpoint(db, &image, &tail)
 }
 
 #[cfg(test)]

@@ -1,0 +1,271 @@
+//! Durability-path integration tests for the sharded WAL: read-only
+//! commits, async commit tickets, crash-recovery equivalence between
+//! shard counts, and the checkpoint-vs-commit race.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog_common::{row, ColumnDef, DataType, TableSchema, Value};
+use bullfrog_engine::checkpoint::checkpoint_path_for;
+use bullfrog_engine::{recovery, Database, DbConfig, LockPolicy};
+use bullfrog_txn::wal::shard_file_path;
+use bullfrog_txn::WalOptions;
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "bullfrog-durability-{tag}-{}.wal",
+        std::process::id()
+    ))
+}
+
+fn remove_wal_shards(wal_path: &Path) {
+    let _ = std::fs::remove_file(wal_path);
+    for shard in 1.. {
+        if std::fs::remove_file(shard_file_path(wal_path, shard)).is_err() {
+            break;
+        }
+    }
+}
+
+fn schema() -> TableSchema {
+    TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Int),
+            ColumnDef::new("v", DataType::Int),
+        ],
+    )
+    .with_primary_key(&["id"])
+}
+
+fn file_db(tag: &str, shards: usize) -> (Database, PathBuf, PathBuf) {
+    let wal_path = temp_path(tag);
+    remove_wal_shards(&wal_path);
+    let ckpt_path = checkpoint_path_for(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+    let db = Database::with_wal_file_opts(
+        DbConfig::default(),
+        &wal_path,
+        WalOptions {
+            group_window: Duration::ZERO,
+            shards,
+        },
+    )
+    .expect("file-backed db");
+    db.create_table(schema()).unwrap();
+    (db, wal_path, ckpt_path)
+}
+
+/// Replays `wal_path` + sidecar into a fresh catalog-matched database and
+/// returns the sorted live rows of `t`.
+fn recovered_rows(wal_path: &Path, ckpt_path: &Path) -> Vec<(i64, i64)> {
+    let db = Database::new();
+    db.create_table(schema()).unwrap();
+    recovery::recover_from_files(&db, wal_path, ckpt_path).expect("recovery");
+    let mut rows: Vec<(i64, i64)> = db
+        .select_unlocked("t", None)
+        .unwrap()
+        .into_iter()
+        .map(|(_, r)| (r.0[0].as_i64().unwrap(), r.0[1].as_i64().unwrap()))
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// Regression for the read-only commit bug: a transaction that never
+/// wrote used to append a lone `Commit` record and park on the group
+/// commit barrier — an fsync (or a full group window of latency) for a
+/// transaction with nothing to make durable.
+#[test]
+fn read_only_commit_issues_zero_flushes() {
+    let (db, wal_path, ckpt_path) = file_db("readonly", 2);
+    db.with_txn(|txn| db.insert(txn, "t", row![1, 10]).map(|_| ()))
+        .unwrap();
+    db.wal().sync();
+    let len_before = db.wal().len();
+    let flushes_before = db.wal().stats().flushes;
+
+    // Read-only commit: select under shared locks, then commit.
+    let mut txn = db.begin();
+    let got = db
+        .get_by_pk(&mut txn, "t", &[Value::Int(1)], LockPolicy::Shared)
+        .unwrap();
+    assert!(got.is_some());
+    db.commit(&mut txn).unwrap();
+
+    // Read-only abort writes nothing either.
+    let mut txn = db.begin();
+    let _ = db
+        .get_by_pk(&mut txn, "t", &[Value::Int(1)], LockPolicy::Shared)
+        .unwrap();
+    db.abort(&mut txn);
+
+    db.wal().sync();
+    assert_eq!(db.wal().len(), len_before, "read-only txns must not log");
+    assert_eq!(
+        db.wal().stats().flushes,
+        flushes_before,
+        "read-only commit must not force a flush"
+    );
+
+    // And the nowait path hands back an already-durable ticket.
+    let mut txn = db.begin();
+    let _ = db
+        .get_by_pk(&mut txn, "t", &[Value::Int(1)], LockPolicy::Shared)
+        .unwrap();
+    let ticket = db.commit_nowait(&mut txn).unwrap();
+    assert!(ticket.is_durable());
+
+    drop(db);
+    remove_wal_shards(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+}
+
+/// The same single-threaded workload — inserts, updates, deletes, an
+/// abort, and a mid-way checkpoint — must recover to the same rows
+/// whether durability ran on one flusher or four.
+#[test]
+fn sharded_log_recovers_identically_to_single_flusher() {
+    let run = |shards: usize| -> Vec<(i64, i64)> {
+        let (db, wal_path, ckpt_path) = file_db(&format!("equiv{shards}"), shards);
+        for i in 0..40i64 {
+            db.with_txn(|txn| db.insert(txn, "t", row![i, i * 10]).map(|_| ()))
+                .unwrap();
+        }
+        // Fold the prefix into the checkpoint image; recovery must stitch
+        // image + sharded tail back together.
+        db.checkpoint().unwrap();
+        for i in 0..40i64 {
+            if i % 3 == 0 {
+                db.with_txn(|txn| {
+                    let (rid, _) = db
+                        .get_by_pk(txn, "t", &[Value::Int(i)], LockPolicy::Exclusive)?
+                        .unwrap();
+                    db.update(txn, "t", rid, row![i, i * 10 + 1]).map(|_| ())
+                })
+                .unwrap();
+            } else if i % 3 == 1 {
+                db.with_txn(|txn| {
+                    let (rid, _) = db
+                        .get_by_pk(txn, "t", &[Value::Int(i)], LockPolicy::Exclusive)?
+                        .unwrap();
+                    db.delete(txn, "t", rid).map(|_| ())
+                })
+                .unwrap();
+            }
+        }
+        // An aborted write leaves no trace.
+        let mut txn = db.begin();
+        db.insert(&mut txn, "t", row![999, 999]).unwrap();
+        db.abort(&mut txn);
+        db.wal().sync();
+        drop(db);
+
+        let rows = recovered_rows(&wal_path, &ckpt_path);
+        remove_wal_shards(&wal_path);
+        let _ = std::fs::remove_file(&ckpt_path);
+        rows
+    };
+
+    let single = run(1);
+    let sharded = run(4);
+    assert!(!single.is_empty());
+    assert_eq!(
+        single, sharded,
+        "shard count must not change recovered state"
+    );
+}
+
+/// Every `commit_nowait` whose ticket was awaited must survive recovery:
+/// an acknowledged-durable commit is a promise.
+#[test]
+fn acked_nowait_commits_survive_recovery() {
+    let (db, wal_path, ckpt_path) = file_db("nowait", 4);
+    let db = Arc::new(db);
+    let handles: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..25i64 {
+                    let id = (w as i64) * 100 + i;
+                    let mut txn = db.begin();
+                    db.insert(&mut txn, "t", row![id, id]).unwrap();
+                    tickets.push(db.commit_nowait(&mut txn).unwrap());
+                }
+                // Await durability only after enqueueing the whole batch,
+                // so flushes overlap with later commits.
+                for t in &tickets {
+                    t.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // No sync: every awaited ticket already guarantees its commit is on
+    // disk, so recovery sees all 100 rows even without a drain.
+    let rows = recovered_rows(&wal_path, &ckpt_path);
+    assert_eq!(rows.len(), 100, "an acked-durable commit was lost");
+
+    drop(db);
+    remove_wal_shards(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+}
+
+/// Checkpoints racing live committers: the rotation must keep every
+/// staged-but-unflushed commit (the `truncate_to` bugfix), so recovery
+/// sees exactly the committed rows no matter where the cut landed.
+#[test]
+fn checkpoint_racing_commits_loses_nothing() {
+    let (db, wal_path, ckpt_path) = file_db("ckptrace", 4);
+    let db = Arc::new(db);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    let ckpt = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut cuts = 0u32;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                db.checkpoint().unwrap();
+                cuts += 1;
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            cuts
+        })
+    };
+
+    let writers: Vec<_> = (0..4)
+        .map(|w| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    let id = (w as i64) * 100 + i;
+                    db.with_txn(|txn| db.insert(txn, "t", row![id, id]).map(|_| ()))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let cuts = ckpt.join().unwrap();
+    assert!(cuts > 0, "checkpointer never ran");
+    db.wal().sync();
+    drop(db);
+
+    let rows = recovered_rows(&wal_path, &ckpt_path);
+    assert_eq!(
+        rows.len(),
+        200,
+        "a checkpoint cut dropped a committed write"
+    );
+
+    remove_wal_shards(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+}

@@ -33,6 +33,12 @@ struct Args {
     owners: i64,
     ops: usize,
     seed: u64,
+    /// `COMMIT` (sync, waits for the merged durable horizon) or
+    /// `COMMIT NOWAIT` (acknowledged at WAL-enqueue time).
+    nowait: bool,
+    /// When set, the server runs file-backed: sharded WAL under this
+    /// directory instead of a purely in-memory log.
+    wal_dir: Option<std::path::PathBuf>,
 }
 
 impl Args {
@@ -43,6 +49,8 @@ impl Args {
             owners: 16,
             ops: 20,
             seed: 42,
+            nowait: false,
+            wal_dir: None,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -57,6 +65,20 @@ impl Args {
                 "--owners" => args.owners = take("--owners") as i64,
                 "--ops" => args.ops = take("--ops") as usize,
                 "--seed" => args.seed = take("--seed"),
+                "--commit-mode" => {
+                    args.nowait = match it.next().as_deref() {
+                        Some("sync") => false,
+                        Some("nowait") => true,
+                        other => panic!("--commit-mode must be sync or nowait, got {other:?}"),
+                    }
+                }
+                "--wal-dir" => {
+                    args.wal_dir = Some(
+                        it.next()
+                            .unwrap_or_else(|| panic!("--wal-dir needs a directory"))
+                            .into(),
+                    )
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -79,14 +101,19 @@ fn main() {
 
     // Self-hosted server on an ephemeral loopback port, background
     // checkpointing on so the scheduler satellite runs under load too.
-    let db = Arc::new(Database::with_config(DbConfig {
+    let config = DbConfig {
         checkpoint_policy: Some(CheckpointPolicy {
             max_resident_records: 2_000,
             max_flushed_bytes: 0,
             poll_interval: Duration::from_millis(20),
         }),
         ..DbConfig::default()
-    }));
+    };
+    let db = Arc::new(match &args.wal_dir {
+        Some(dir) => Database::with_wal_file(config, dir.join("loadgen.wal"))
+            .expect("open WAL under --wal-dir"),
+        None => Database::with_config(config),
+    });
     let bf = Arc::new(Bullfrog::new(db));
     let mut server = Server::bind(
         ("127.0.0.1", 0),
@@ -119,6 +146,11 @@ fn main() {
     }
 
     // Workers: transfer transactions against the phase's current table.
+    let commit_sql: &'static str = if args.nowait {
+        "COMMIT NOWAIT"
+    } else {
+        "COMMIT"
+    };
     let phase = Arc::new(AtomicUsize::new(PHASE_OLD));
     let committed = Arc::new(AtomicU64::new(0));
     let retried = Arc::new(AtomicU64::new(0));
@@ -173,7 +205,7 @@ fn main() {
                         };
                         let a = rng.gen_range(0..accounts);
                         let b = (a + 1 + rng.gen_range(0..accounts - 1)) % accounts;
-                        if transfer(&mut client, table, a, b, &retried) {
+                        if transfer(&mut client, table, a, b, commit_sql, &retried) {
                             committed.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -290,9 +322,16 @@ fn main() {
 /// One transfer transaction; returns whether it committed. Retries the
 /// whole bracket on retryable failures (the server aborts the open
 /// transaction on any statement error, so a retry restarts cleanly).
-fn transfer(client: &mut Client, table: &str, a: i64, b: i64, retried: &AtomicU64) -> bool {
+fn transfer(
+    client: &mut Client,
+    table: &str,
+    a: i64,
+    b: i64,
+    commit_sql: &str,
+    retried: &AtomicU64,
+) -> bool {
     for _ in 0..8 {
-        match try_transfer(client, table, a, b) {
+        match try_transfer(client, table, a, b, commit_sql) {
             Ok(committed) => return committed,
             Err(ClientError::Server {
                 retryable: true, ..
@@ -307,7 +346,13 @@ fn transfer(client: &mut Client, table: &str, a: i64, b: i64, retried: &AtomicU6
     false
 }
 
-fn try_transfer(client: &mut Client, table: &str, a: i64, b: i64) -> Result<bool, ClientError> {
+fn try_transfer(
+    client: &mut Client,
+    table: &str,
+    a: i64,
+    b: i64,
+    commit_sql: &str,
+) -> Result<bool, ClientError> {
     client.execute("BEGIN")?;
     let debited = client.execute(&format!(
         "UPDATE {table} SET balance = balance - 7 WHERE id = {a}"
@@ -322,7 +367,7 @@ fn try_transfer(client: &mut Client, table: &str, a: i64, b: i64) -> Result<bool
         let _ = client.execute("ROLLBACK");
         panic!("transfer matched {debited} debit rows but {credited} credit rows (table {table}, {a}->{b})");
     }
-    client.execute("COMMIT")?;
+    client.execute(commit_sql)?;
     Ok(debited > 0)
 }
 

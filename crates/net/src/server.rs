@@ -394,6 +394,18 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     push("wal.flushed_bytes", d.wal.flushed_bytes as i64);
     push("wal.checkpoints", d.wal.checkpoints as i64);
     push("wal.truncated_records", d.wal.truncated_records as i64);
+    push("wal.shards", d.shards.len() as i64);
+    for (i, s) in d.shards.iter().enumerate() {
+        push(&format!("wal.shard{i}.flushes"), s.flushes as i64);
+        push(
+            &format!("wal.shard{i}.flushed_batches"),
+            s.flushed_batches as i64,
+        );
+        push(
+            &format!("wal.shard{i}.flushed_bytes"),
+            s.flushed_bytes as i64,
+        );
+    }
 
     if let Some(s) = shared.scheduler.lock().unwrap().as_ref() {
         let st = s.status();

@@ -131,6 +131,22 @@ impl Session {
                 SessionCounters::bump(&self.counters.commits, 1);
                 Ok(Response::Ok { affected: 0 })
             }
+            Statement::CommitNowait => {
+                let mut txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| Error::Eval("COMMIT outside a transaction".into()))?;
+                // Acknowledge at enqueue time; the shard flusher makes the
+                // batch durable in the background. The server's shutdown
+                // drain syncs the WAL, so an orderly stop loses nothing.
+                // `affected` carries the ticket's wait-LSN so clients can
+                // correlate with `wal.durable_lsn` in STATUS.
+                let ticket = self.bf.db().commit_nowait(&mut txn)?;
+                SessionCounters::bump(&self.counters.commits, 1);
+                Ok(Response::Ok {
+                    affected: ticket.wait_lsn(),
+                })
+            }
             Statement::Rollback => {
                 let mut txn = self
                     .txn

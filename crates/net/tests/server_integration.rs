@@ -276,7 +276,7 @@ fn statement_timeout_aborts_instead_of_committing() {
 #[test]
 fn shutdown_drains_without_dropping_committed_writes() {
     let wal_path = temp_path("shutdown-drain");
-    let _ = std::fs::remove_file(&wal_path);
+    remove_wal_shards(&wal_path);
     let ckpt_path = bullfrog_engine::checkpoint::checkpoint_path_for(&wal_path);
     let _ = std::fs::remove_file(&ckpt_path);
 
@@ -342,8 +342,19 @@ fn shutdown_drains_without_dropping_committed_writes() {
         committed,
         "every committed write must survive shutdown + recovery"
     );
-    let _ = std::fs::remove_file(&wal_path);
+    remove_wal_shards(&wal_path);
     let _ = std::fs::remove_file(&ckpt_path);
+}
+
+/// Removes a WAL's shard 0 file plus every `.sN` sibling (the sharded
+/// log spreads one logical WAL over several files).
+fn remove_wal_shards(wal_path: &std::path::Path) {
+    let _ = std::fs::remove_file(wal_path);
+    for shard in 1.. {
+        if std::fs::remove_file(bullfrog_txn::wal::shard_file_path(wal_path, shard)).is_err() {
+            break;
+        }
+    }
 }
 
 #[test]

@@ -67,6 +67,9 @@ pub enum Statement {
     Begin,
     /// `COMMIT` — commit the session's open transaction.
     Commit,
+    /// `COMMIT NOWAIT` — commit asynchronously: the server acknowledges
+    /// at WAL-enqueue time instead of waiting for the group-commit fsync.
+    CommitNowait,
     /// `ROLLBACK` (or `ABORT`) — abort the session's open transaction.
     Rollback,
     /// `CHECKPOINT` — run one checkpoint cycle.
@@ -111,6 +114,9 @@ fn statement(p: &mut Parser) -> Result<Statement> {
         return Ok(Statement::Begin);
     }
     if p.eat_word("commit") {
+        if p.eat_word("nowait") {
+            return Ok(Statement::CommitNowait);
+        }
         return Ok(Statement::Commit);
     }
     if p.eat_word("rollback") || p.eat_word("abort") {
@@ -308,6 +314,10 @@ mod tests {
         assert!(matches!(
             parse_statement("COMMIT;").unwrap(),
             Statement::Commit
+        ));
+        assert!(matches!(
+            parse_statement("COMMIT NOWAIT").unwrap(),
+            Statement::CommitNowait
         ));
         assert!(matches!(
             parse_statement("ROLLBACK").unwrap(),

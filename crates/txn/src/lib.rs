@@ -24,4 +24,4 @@ pub mod wal;
 pub use lock::{LockKey, LockManager, LockMode};
 pub use manager::{Transaction, TxnManager, TxnState};
 pub use undo::UndoRecord;
-pub use wal::{LogRecord, Wal, WalOptions, WalStatsSnapshot};
+pub use wal::{CommitTicket, LogRecord, Wal, WalOptions, WalStatsSnapshot};

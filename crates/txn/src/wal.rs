@@ -1,4 +1,5 @@
-//! Redo write-ahead log with group commit and checkpoint truncation.
+//! Sharded redo write-ahead log with group commit, async commit tickets,
+//! and checkpoint truncation.
 //!
 //! The WAL serves two purposes in this reproduction:
 //!
@@ -15,35 +16,60 @@
 //! under a short mutex, and full segments are sealed into immutable
 //! `Arc<Segment>`s that readers can walk without copying. LSNs are record
 //! offsets from the birth of the log and are assigned under the same mutex,
-//! so batches stay contiguous.
+//! so batches stay contiguous and totally ordered no matter which shard
+//! makes them durable.
 //!
-//! Durability is decoupled from appending. File-backed logs encode each
-//! batch *outside* the lock, stage the bytes in a pending buffer, and a
-//! dedicated **flusher thread** drains the buffer with one combined
-//! `write` + `fsync` per wakeup — the group commit. Committers that need
-//! durability ([`Wal::append_batch_durable`]) park on the commit barrier
-//! and are woken once the durable horizon ([`Wal::durable_lsn`]) covers
-//! their records. No fsync ever happens under the log lock.
+//! # Sharded durability
+//!
+//! Durability is decoupled from appending and **partitioned by
+//! transaction**: a file-backed log keeps `N` shards
+//! ([`WalOptions::shards`]), each with its own backing file, staging queue,
+//! and flusher thread. A committing batch is encoded *outside* the lock,
+//! assigned contiguous LSNs under it, and staged on the shard
+//! [`shard_of`]`(txn)` hashes to, so independent committers fan out over
+//! `N` fsync pipelines instead of serializing behind one.
+//!
+//! The commit barrier is a **merged durable horizon**: `durable_lsn` is
+//! the minimum, over all shards, of the first LSN each shard still has
+//! staged or in flight (and `next_lsn` when all are drained). It is
+//! recomputed under the log mutex whenever a shard completes a flush, so
+//! it is exactly the horizon a single-flusher log would expose — every
+//! record below it is on disk in some shard file. Committers that need
+//! durability ([`Wal::append_batch_durable`]) park on the barrier;
+//! asynchronous committers ([`Wal::append_batch_enqueue`]) get a
+//! [`CommitTicket`] back at enqueue time and may wait (or poll) later.
+//! No fsync ever happens under the log lock.
+//!
+//! # File format
+//!
+//! Shard 0 lives at the configured path, shard `i` at `<path>.s<i>`. Each
+//! file starts with a `BFWAL2` header (base LSN, shard index, shard
+//! count) and holds **frames**: `first_lsn:u64 nbytes:u32 payload`, where
+//! the payload is one or more contiguous records starting at `first_lsn`.
+//! Explicit frame LSNs are what let [`Wal::load_sharded`] merge the shard
+//! files back into one totally ordered stream (duplicates from a crash
+//! mid-rotation dedupe by LSN). Legacy single-file logs — `BFWAL1` flat
+//! headers or headerless files — are still read, and are upgraded in
+//! place to the framed format when opened for appending. The scanner
+//! tolerates a torn tail frame from a crash mid-write.
 //!
 //! [`Wal::truncate_to`] supports checkpointing: once a caller has
 //! persisted a snapshot of the committed prefix (see
 //! `bullfrog-engine::checkpoint`), the prefix is dropped from memory at
-//! segment granularity and the backing file is rotated to a fresh log
-//! holding only the tail, prefixed by a `BFWAL1` header carrying the base
-//! LSN. Headerless files from older logs read as base 0.
-//!
-//! The binary record format is unchanged and round-trip tested, and the
-//! file scanner ([`Wal::load_file`]) tolerates a torn tail from a crash
-//! mid-write.
+//! segment granularity and every shard file is rotated to a fresh log
+//! holding only that shard's slice of the tail. Rotation writes from the
+//! in-memory record store — a superset of anything staged or in flight —
+//! so a checkpoint racing a commit can never drop staged-but-unflushed
+//! bytes past the cut.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bullfrog_common::{Error, Result, Row, RowId, TableId, TxnId, Value};
+use bullfrog_common::{fnv_hash_one, Error, Result, Row, RowId, TableId, TxnId, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
 
@@ -132,9 +158,47 @@ impl LogRecord {
 /// one partially-covered segment.
 const SEGMENT_RECORDS: usize = 1024;
 
-/// Magic prefix of rotated WAL files; followed by the base LSN (u64 BE).
-const FILE_MAGIC: [u8; 6] = *b"BFWAL1";
-const HEADER_LEN: usize = FILE_MAGIC.len() + 8;
+/// Magic prefix of sharded/framed WAL files (base LSN + shard id header).
+const FILE_MAGIC: [u8; 6] = *b"BFWAL2";
+/// Magic prefix of pre-sharding flat files (base LSN header, records
+/// concatenated positionally). Read-supported, upgraded on open.
+const LEGACY_MAGIC: [u8; 6] = *b"BFWAL1";
+/// `BFWAL2` header: magic + base_lsn:u64 + shard:u32 + shards:u32.
+const HEADER_LEN: usize = FILE_MAGIC.len() + 8 + 4 + 4;
+/// `BFWAL1` header: magic + base_lsn:u64.
+const LEGACY_HEADER_LEN: usize = LEGACY_MAGIC.len() + 8;
+/// Frame header: first_lsn:u64 + nbytes:u32.
+const FRAME_HEADER_LEN: usize = 8 + 4;
+
+/// Default durability shard count for file-backed logs.
+pub const DEFAULT_WAL_SHARDS: usize = 4;
+
+/// The durability shard a transaction's batches are staged on: a
+/// deterministic FNV-1a hash of the transaction id, so a transaction's
+/// records always land in the same shard file in LSN order.
+pub fn shard_of(txn: TxnId, shards: usize) -> usize {
+    (fnv_hash_one(&txn.0) % shards.max(1) as u64) as usize
+}
+
+/// Shard `i`'s backing file: the configured path for shard 0, `<path>.s<i>`
+/// otherwise (so single-shard logs keep the legacy layout).
+pub fn shard_file_path(path: &Path, shard: usize) -> PathBuf {
+    if shard == 0 {
+        path.to_path_buf()
+    } else {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(format!(".s{shard}"));
+        PathBuf::from(os)
+    }
+}
+
+/// Rotation scratch file for a shard file (unique per shard — the shard
+/// suffix is part of the stem, not an extension swap).
+fn rotate_tmp_path(spath: &Path) -> PathBuf {
+    let mut os = spath.as_os_str().to_os_string();
+    os.push(".rotate");
+    PathBuf::from(os)
+}
 
 /// An immutable, sealed run of records starting at a fixed LSN. Shared out
 /// under `Arc` so readers iterate without cloning records or holding the
@@ -163,14 +227,26 @@ impl Segment {
 }
 
 /// Tuning knobs for a file-backed log.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct WalOptions {
-    /// How long the flusher waits after the first staged batch before
-    /// issuing the combined write+fsync, to let concurrent committers pile
-    /// into the same group. Zero (the default) flushes as soon as the
-    /// flusher is free — grouping then happens naturally while a previous
-    /// fsync is in flight.
+    /// How long a shard's flusher waits after the first staged batch
+    /// before issuing the combined write+fsync, to let concurrent
+    /// committers pile into the same group. Zero (the default) flushes as
+    /// soon as the flusher is free — grouping then happens naturally while
+    /// a previous fsync is in flight.
     pub group_window: Duration,
+    /// Durability shards: backing files and flusher threads. Clamped to at
+    /// least 1. More shards let independent committers overlap fsyncs.
+    pub shards: usize,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            group_window: Duration::ZERO,
+            shards: DEFAULT_WAL_SHARDS,
+        }
+    }
 }
 
 /// Point-in-time view of the durability counters.
@@ -227,7 +303,8 @@ impl WalStatsSnapshot {
     }
 }
 
-/// Internal atomic counters behind [`WalStatsSnapshot`].
+/// Internal atomic flush counters, one set per shard. Checkpoint counters
+/// are log-global and live on [`WalShared`].
 #[derive(Debug, Default)]
 struct WalStats {
     flushes: AtomicU64,
@@ -235,8 +312,6 @@ struct WalStats {
     flushed_bytes: AtomicU64,
     flush_micros: AtomicU64,
     max_group: AtomicU64,
-    checkpoints: AtomicU64,
-    truncated_records: AtomicU64,
 }
 
 impl WalStats {
@@ -247,15 +322,50 @@ impl WalStats {
             flushed_bytes: self.flushed_bytes.load(Ordering::Relaxed),
             flush_micros: self.flush_micros.load(Ordering::Relaxed),
             max_group: self.max_group.load(Ordering::Relaxed),
-            checkpoints: self.checkpoints.load(Ordering::Relaxed),
-            truncated_records: self.truncated_records.load(Ordering::Relaxed),
+            checkpoints: 0,
+            truncated_records: 0,
+        }
+    }
+}
+
+/// One durability shard's staging state (under the log mutex). A batch is
+/// one `(first_lsn, encoded payload)` entry; the flusher turns each into
+/// one frame.
+#[derive(Default)]
+struct ShardPending {
+    /// Encoded-but-unflushed batches, in LSN order.
+    queue: Vec<(u64, Bytes)>,
+    /// Batches in `queue`.
+    queued_batches: u64,
+    /// When the oldest staged batch arrived (drives the group window).
+    pending_since: Option<Instant>,
+    /// First LSN of the batch group currently being written+fsynced, if
+    /// any. Pins the merged horizon until the flush completes.
+    inflight_first: Option<u64>,
+}
+
+impl ShardPending {
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.queued_batches = 0;
+        self.pending_since = None;
+        self.inflight_first = None;
+    }
+
+    /// First LSN this shard has not yet made durable, if any.
+    fn frontier(&self) -> Option<u64> {
+        match (self.inflight_first, self.queue.first()) {
+            (Some(a), Some((b, _))) => Some(a.min(*b)),
+            (Some(a), None) => Some(a),
+            (None, Some((b, _))) => Some(*b),
+            (None, None) => None,
         }
     }
 }
 
 /// Log state under the (short) log mutex. Appenders extend the open
-/// segment and memcpy pre-encoded bytes into `pending`; nothing here does
-/// IO.
+/// segment and stage pre-encoded bytes on their shard's queue; nothing
+/// here does IO.
 struct WalCore {
     /// Sealed, immutable segments in LSN order, all below `open_base`.
     sealed: Vec<Arc<Segment>>,
@@ -266,13 +376,9 @@ struct WalCore {
     base_lsn: u64,
     /// Next LSN to assign (== `open_base + open.len()`).
     next_lsn: u64,
-    /// Encoded-but-unflushed bytes (file-backed logs only).
-    pending: BytesMut,
-    /// Batches staged in `pending`.
-    pending_batches: u64,
-    /// When the oldest staged batch arrived (drives the group window).
-    pending_since: Option<Instant>,
-    /// Set by `Drop`; the flusher drains and exits.
+    /// Per-shard staging queues (file-backed logs only stage into them).
+    shards: Vec<ShardPending>,
+    /// Set by `Drop`; the flushers drain and exit.
     shutdown: bool,
 }
 
@@ -309,35 +415,160 @@ impl WalCore {
     }
 }
 
-/// State shared between the log handle and its flusher thread.
+/// State shared between the log handle, its flusher threads, and any
+/// outstanding [`CommitTicket`]s.
 struct WalShared {
     core: Mutex<WalCore>,
-    /// Signaled when `pending` gains bytes or shutdown is requested.
-    work: Condvar,
-    /// The commit barrier: signaled when `durable_lsn` advances.
+    /// Per-shard: signaled when that shard's queue gains a batch or
+    /// shutdown is requested. All condvars wait on `core`.
+    shard_work: Vec<Condvar>,
+    /// The commit barrier: signaled when `durable_lsn` or any per-shard
+    /// frontier advances.
     durable: Condvar,
-    /// All records with LSN below this are on disk.
+    /// The merged durable horizon: all records with LSN below this are on
+    /// disk (in whichever shard file owns them).
     durable_lsn: AtomicU64,
+    /// Per-shard durable frontiers: every record *owned by shard i* with
+    /// LSN below `shard_durable[i]` is on disk. A transaction's records
+    /// all hash to one shard, so its commit is durable as soon as its own
+    /// shard's frontier passes it — commits never wait on a neighbour
+    /// shard's fsync. The merged horizon (the minimum) is what checkpoint
+    /// cuts and `sync` still use.
+    shard_durable: Vec<AtomicU64>,
     /// Bumped by rotation so an in-flight flush of pre-rotation bytes is
-    /// discarded instead of being appended to the new file.
+    /// discarded instead of being appended to the new files.
     file_epoch: AtomicU64,
     /// Set when a flush failed; waiters panic rather than hang.
     poisoned: AtomicBool,
-    /// The append handle (file-backed logs only); never touched while
-    /// holding `core` except during rotation, which owns both.
-    file: Mutex<Option<std::fs::File>>,
+    /// Per-shard append handles (file-backed logs only). A flusher never
+    /// holds its file lock while waiting for `core`; rotation takes every
+    /// file lock (index order) and then `core`.
+    files: Vec<Mutex<Option<std::fs::File>>>,
     path: Option<PathBuf>,
     file_backed: bool,
     group_window: Duration,
-    stats: WalStats,
+    /// Per-shard flush counters.
+    shard_stats: Vec<WalStats>,
+    /// Checkpoint truncations performed (log-global).
+    checkpoints: AtomicU64,
+    /// Records dropped from memory by truncation (log-global).
+    truncated_records: AtomicU64,
+}
+
+/// Recomputes the merged durable horizon from the per-shard frontiers and
+/// publishes it. Must be called with the `core` lock held — LSN
+/// assignment and staging are atomic under it, so the computed minimum
+/// can never miss a batch that exists but is not yet visible.
+fn advance_durable(core: &WalCore, shared: &WalShared) {
+    let mut horizon = core.next_lsn;
+    let mut advanced = false;
+    for (sp, durable) in core.shards.iter().zip(&shared.shard_durable) {
+        // This shard's frontier: its oldest unflushed batch, or the log
+        // head if it has nothing outstanding. Monotonic because LSNs only
+        // grow and staging happens under the same lock.
+        let frontier = sp.frontier().unwrap_or(core.next_lsn);
+        if durable.load(Ordering::Acquire) < frontier {
+            durable.store(frontier, Ordering::Release);
+            advanced = true;
+        }
+        horizon = horizon.min(frontier);
+    }
+    if shared.durable_lsn.load(Ordering::Acquire) < horizon {
+        shared.durable_lsn.store(horizon, Ordering::Release);
+        advanced = true;
+    }
+    if advanced {
+        shared.durable.notify_all();
+    }
+}
+
+/// Blocks until the merged horizon covers `lsn`. Free function so
+/// [`CommitTicket`]s can wait without borrowing the [`Wal`] handle.
+fn wait_durable_shared(shared: &WalShared, lsn: u64) {
+    if !shared.file_backed || shared.durable_lsn.load(Ordering::Acquire) >= lsn {
+        return;
+    }
+    let mut core = shared.core.lock();
+    while shared.durable_lsn.load(Ordering::Acquire) < lsn {
+        if shared.poisoned.load(Ordering::Acquire) {
+            panic!("WAL flusher failed; cannot guarantee durability");
+        }
+        shared.durable.wait(&mut core);
+    }
+}
+
+/// Blocks until shard `shard`'s frontier covers `lsn` — the ack point for
+/// a commit whose records all live on that shard. Does not wait for
+/// neighbour shards.
+fn wait_shard_durable(shared: &WalShared, shard: usize, lsn: u64) {
+    if !shared.file_backed || shared.shard_durable[shard].load(Ordering::Acquire) >= lsn {
+        return;
+    }
+    let mut core = shared.core.lock();
+    while shared.shard_durable[shard].load(Ordering::Acquire) < lsn {
+        if shared.poisoned.load(Ordering::Acquire) {
+            panic!("WAL flusher failed; cannot guarantee durability");
+        }
+        shared.durable.wait(&mut core);
+    }
+}
+
+/// An acknowledgement handle from an asynchronous commit
+/// ([`Wal::append_batch_enqueue`]): the batch is in the log and will be
+/// flushed by its shard, but may not be durable yet. Detached from the
+/// `Wal` handle, so it can outlive it — dropping the `Wal` drains every
+/// shard, at which point all tickets are trivially durable.
+#[derive(Clone)]
+pub struct CommitTicket {
+    /// `None` for in-memory logs (and read-only commits): durability is
+    /// immediate by definition.
+    shared: Option<Arc<WalShared>>,
+    /// The durability shard that owns the batch's records.
+    shard: usize,
+    lsn: u64,
+}
+
+impl CommitTicket {
+    /// The LSN the owning shard's frontier must reach for this commit to
+    /// be durable (one past the batch's last record).
+    pub fn wait_lsn(&self) -> u64 {
+        self.lsn
+    }
+
+    /// True once the batch is on disk. Never blocks.
+    pub fn is_durable(&self) -> bool {
+        match &self.shared {
+            None => true,
+            Some(s) => s.shard_durable[self.shard].load(Ordering::Acquire) >= self.lsn,
+        }
+    }
+
+    /// Blocks until the batch is durable — its own shard's write+fsync,
+    /// not the merged horizon, so a commit never waits out a neighbour
+    /// shard's flush. Panics if the flusher died of an IO error — same
+    /// contract as [`Wal::wait_durable`].
+    pub fn wait(&self) {
+        if let Some(s) = &self.shared {
+            wait_shard_durable(s, self.shard, self.lsn);
+        }
+    }
+}
+
+impl std::fmt::Debug for CommitTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitTicket")
+            .field("wait_lsn", &self.lsn)
+            .field("durable", &self.is_durable())
+            .finish()
+    }
 }
 
 /// The write-ahead log: an append-only, atomically-batched, segmented
-/// record list, optionally made durable in a file by a group-commit
-/// flusher thread.
+/// record list, optionally made durable across N shard files by
+/// per-shard group-commit flusher threads.
 pub struct Wal {
     shared: Arc<WalShared>,
-    flusher: Option<std::thread::JoinHandle<()>>,
+    flushers: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Wal {
@@ -345,14 +576,16 @@ impl Wal {
     /// durability waits return at once.
     pub fn new() -> Self {
         Wal {
-            shared: Arc::new(Self::make_shared(None, WalOptions::default())),
-            flusher: None,
+            shared: Arc::new(Self::make_shared(None, WalOptions::default(), 0)),
+            flushers: Vec::new(),
         }
     }
 
-    /// A log mirrored to `path` (created or appended to) with default
-    /// options. Existing records in the file are **not** loaded — use
-    /// [`Wal::load_file`] first and replay them, as recovery does.
+    /// A log mirrored to shard files rooted at `path` (created or appended
+    /// to) with default options. Existing records in the files are **not**
+    /// loaded into memory — use [`Wal::load_sharded`] first and replay
+    /// them, as recovery does — but the LSN frontier resumes past them, so
+    /// new appends never reuse an LSN already on disk.
     pub fn with_file(path: impl AsRef<Path>) -> Result<Self> {
         Self::with_file_opts(path, WalOptions::default())
     }
@@ -360,80 +593,124 @@ impl Wal {
     /// As [`Wal::with_file`] with explicit [`WalOptions`].
     pub fn with_file_opts(path: impl AsRef<Path>, opts: WalOptions) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let mut file = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-            .map_err(|e| Error::Wal(format!("open wal file: {e}")))?;
-        let len = file
-            .metadata()
-            .map_err(|e| Error::Wal(format!("stat wal file: {e}")))?
-            .len();
-        if len == 0 {
-            // Fresh log: stamp the header before any record can land.
-            file.write_all(&encode_header(0))
-                .and_then(|()| file.sync_data())
-                .map_err(|e| Error::Wal(format!("write wal header: {e}")))?;
+        let nshards = opts.shards.max(1);
+        let mut files = Vec::with_capacity(nshards);
+        let mut next_lsn = 0u64;
+        for i in 0..nshards {
+            let (file, end) = open_shard(&shard_file_path(&path, i), i as u32, nshards as u32)?;
+            next_lsn = next_lsn.max(end);
+            files.push(file);
         }
-        let shared = Arc::new(Self::make_shared(Some((path, file)), opts));
-        let flusher = {
+        // A previous run may have used more shards; their files still
+        // bound the LSN frontier (and recovery still merges them).
+        let mut extra = nshards;
+        loop {
+            let spath = shard_file_path(&path, extra);
+            if !spath.exists() {
+                break;
+            }
+            let (base, frames) = load_shard_file(&spath)?;
+            let end = frames.last().map(|(l, _)| l + 1).unwrap_or(base);
+            next_lsn = next_lsn.max(end);
+            extra += 1;
+        }
+        let shared = Arc::new(Self::make_shared(Some((path, files)), opts, next_lsn));
+        let mut flushers = Vec::with_capacity(nshards);
+        for i in 0..nshards {
             let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("bullfrog-wal-flush".into())
-                .spawn(move || flusher_loop(&shared))
-                .map_err(|e| Error::Wal(format!("spawn wal flusher: {e}")))?
-        };
-        Ok(Wal {
-            shared,
-            flusher: Some(flusher),
-        })
+            flushers.push(
+                std::thread::Builder::new()
+                    .name(format!("bullfrog-wal-flush-{i}"))
+                    .spawn(move || flusher_loop(&shared, i))
+                    .map_err(|e| Error::Wal(format!("spawn wal flusher: {e}")))?,
+            );
+        }
+        Ok(Wal { shared, flushers })
     }
 
-    fn make_shared(file: Option<(PathBuf, std::fs::File)>, opts: WalOptions) -> WalShared {
-        let (path, file) = match file {
-            Some((p, f)) => (Some(p), Some(f)),
-            None => (None, None),
+    fn make_shared(
+        file: Option<(PathBuf, Vec<std::fs::File>)>,
+        opts: WalOptions,
+        start_lsn: u64,
+    ) -> WalShared {
+        let nshards = opts.shards.max(1);
+        let (path, files) = match file {
+            Some((p, fs)) => (
+                Some(p),
+                fs.into_iter().map(|f| Mutex::new(Some(f))).collect(),
+            ),
+            None => (None, Vec::new()),
         };
+        let file_backed = path.is_some();
         WalShared {
             core: Mutex::new(WalCore {
                 sealed: Vec::new(),
                 open: Vec::new(),
-                open_base: 0,
-                base_lsn: 0,
-                next_lsn: 0,
-                pending: BytesMut::new(),
-                pending_batches: 0,
-                pending_since: None,
+                open_base: start_lsn,
+                base_lsn: start_lsn,
+                next_lsn: start_lsn,
+                shards: (0..nshards).map(|_| ShardPending::default()).collect(),
                 shutdown: false,
             }),
-            work: Condvar::new(),
+            shard_work: (0..nshards).map(|_| Condvar::new()).collect(),
             durable: Condvar::new(),
-            durable_lsn: AtomicU64::new(0),
+            durable_lsn: AtomicU64::new(start_lsn),
+            shard_durable: (0..nshards).map(|_| AtomicU64::new(start_lsn)).collect(),
             file_epoch: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
-            file_backed: file.is_some(),
-            file: Mutex::new(file),
+            files,
             path,
+            file_backed,
             group_window: opts.group_window,
-            stats: WalStats::default(),
+            shard_stats: (0..nshards).map(|_| WalStats::default()).collect(),
+            checkpoints: AtomicU64::new(0),
+            truncated_records: AtomicU64::new(0),
         }
     }
 
-    /// Reads a WAL file, returning every complete record. A torn tail —
-    /// a partial record at EOF from a crash mid-write — is tolerated and
-    /// ignored, like any real log scanner. A `BFWAL1` rotation header is
-    /// skipped; headerless files read as base LSN 0.
+    /// Reads every shard file rooted at `path` and merges them into one
+    /// LSN-ordered record stream (without LSNs; see [`Wal::load_sharded`]
+    /// for the LSN-tagged form). Torn tail frames are tolerated; crashes
+    /// mid-rotation may leave a record in two files, which dedupes by LSN.
     pub fn load_file(path: impl AsRef<Path>) -> Result<Vec<LogRecord>> {
-        Ok(Self::load_file_with_base(path)?.1)
+        Ok(Self::load_sharded(path)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect())
     }
 
-    /// As [`Wal::load_file`], also returning the base LSN from the
-    /// rotation header (0 for headerless legacy files).
+    /// Reads **one** WAL file (not its sibling shards), returning the base
+    /// LSN from its header and its records in LSN order. Kept for
+    /// single-shard logs and legacy flat files; sharded recovery wants
+    /// [`Wal::load_sharded`].
     pub fn load_file_with_base(path: impl AsRef<Path>) -> Result<(u64, Vec<LogRecord>)> {
-        let bytes = std::fs::read(path).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
-        let (base, offset) = parse_header(&bytes);
-        let tail = Bytes::from(bytes).slice(offset..);
-        Ok((base, Self::decode_prefix(tail).0))
+        let (base, frames) = load_shard_file(path.as_ref())?;
+        Ok((base, frames.into_iter().map(|(_, r)| r).collect()))
+    }
+
+    /// Reads every shard file rooted at `path` — `path` itself plus each
+    /// existing `<path>.s<i>` — and merges them into one LSN-ordered
+    /// stream. Duplicated LSNs (possible only from a crash between
+    /// per-shard rotations) keep one copy; the copies are byte-identical
+    /// because rotation rewrites the same records at the same LSNs.
+    pub fn load_sharded(path: impl AsRef<Path>) -> Result<Vec<(u64, LogRecord)>> {
+        let path = path.as_ref();
+        let mut merged: BTreeMap<u64, LogRecord> = BTreeMap::new();
+        for (lsn, r) in load_shard_file(path)?.1 {
+            merged.insert(lsn, r);
+        }
+        let mut i = 1usize;
+        loop {
+            let spath = shard_file_path(path, i);
+            if !spath.exists() {
+                break;
+            }
+            for (lsn, r) in load_shard_file(&spath)?.1 {
+                merged.insert(lsn, r);
+            }
+            i += 1;
+        }
+        Ok(merged.into_iter().collect())
     }
 
     /// Decodes records until the bytes run out or a record is torn;
@@ -469,29 +746,56 @@ impl Wal {
         self.append_batch_inner(batch).0
     }
 
-    /// Appends a batch and blocks on the commit barrier until a combined
-    /// write+fsync covers it. The calling thread parks; the flusher wakes
-    /// every committer whose records the flush made durable. In-memory
-    /// logs return immediately. Returns the LSN of the first record.
+    /// Appends a batch and blocks until its own shard's write+fsync
+    /// covers it. A batch holds one transaction's records and they all
+    /// hash to one shard, so this is full durability for the committing
+    /// transaction without waiting for neighbour shards (the concurrency
+    /// win of sharding). In-memory logs return immediately. Returns the
+    /// LSN of the first record.
     pub fn append_batch_durable(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
-        let (first, end) = self.append_batch_inner(batch);
-        self.wait_durable(end);
+        let (first, end, shard) = self.append_batch_inner(batch);
+        wait_shard_durable(&self.shared, shard, end);
         first
     }
 
-    /// Returns `(first_lsn, end_lsn)` of the appended batch.
-    fn append_batch_inner(&self, batch: impl IntoIterator<Item = LogRecord>) -> (u64, u64) {
+    /// Appends a batch and returns an acknowledgement ticket **at enqueue
+    /// time**: the caller keeps running while the shard flusher makes the
+    /// batch durable in the background. [`CommitTicket::wait`] parks on
+    /// the same barrier `append_batch_durable` uses.
+    pub fn append_batch_enqueue(&self, batch: impl IntoIterator<Item = LogRecord>) -> CommitTicket {
+        let (_, end, shard) = self.append_batch_inner(batch);
+        CommitTicket {
+            shared: self.shared.file_backed.then(|| Arc::clone(&self.shared)),
+            shard,
+            lsn: end,
+        }
+    }
+
+    /// A ticket that is already durable (read-only commits, in-memory
+    /// logs): carries the current horizon and never blocks.
+    pub fn durable_ticket(&self) -> CommitTicket {
+        CommitTicket {
+            shared: None,
+            shard: 0,
+            lsn: self.durable_lsn(),
+        }
+    }
+
+    /// Returns `(first_lsn, end_lsn, owning shard)` of the appended batch.
+    fn append_batch_inner(&self, batch: impl IntoIterator<Item = LogRecord>) -> (u64, u64, usize) {
         let records: Vec<LogRecord> = batch.into_iter().collect();
-        // Encode outside the lock; appenders pay serialization in
-        // parallel and the critical section is push + memcpy.
-        let encoded = if self.shared.file_backed && !records.is_empty() {
+        // Encode (and pick the shard) outside the lock; appenders pay
+        // serialization in parallel and the critical section is push +
+        // queue staging.
+        let (encoded, shard) = if self.shared.file_backed && !records.is_empty() {
             let mut buf = BytesMut::new();
             for r in &records {
                 encode_record(&mut buf, r);
             }
-            Some(buf)
+            let shard = shard_of(records[0].txn(), self.shared.shard_work.len());
+            (Some(buf.freeze()), shard)
         } else {
-            None
+            (None, 0)
         };
         let mut core = self.shared.core.lock();
         let first = core.next_lsn;
@@ -500,14 +804,15 @@ impl Wal {
         }
         let end = core.next_lsn;
         if let Some(bytes) = encoded {
-            if core.pending.is_empty() {
-                core.pending_since = Some(Instant::now());
+            let sp = &mut core.shards[shard];
+            if sp.queue.is_empty() {
+                sp.pending_since = Some(Instant::now());
             }
-            core.pending.extend_from_slice(&bytes);
-            core.pending_batches += 1;
-            self.shared.work.notify_one();
+            sp.queue.push((first, bytes));
+            sp.queued_batches += 1;
+            self.shared.shard_work[shard].notify_one();
         }
-        (first, end)
+        (first, end, shard)
     }
 
     /// Appends one record.
@@ -516,36 +821,30 @@ impl Wal {
     }
 
     /// Blocks until every record below `lsn` is on disk (no-op for
-    /// in-memory logs). Panics if the flusher died of an IO error —
+    /// in-memory logs). Panics if a flusher died of an IO error —
     /// acknowledging a commit without durability would be a lie.
     pub fn wait_durable(&self, lsn: u64) {
-        if !self.shared.file_backed || self.shared.durable_lsn.load(Ordering::Acquire) >= lsn {
-            return;
-        }
-        let mut core = self.shared.core.lock();
-        while self.shared.durable_lsn.load(Ordering::Acquire) < lsn {
-            if self.shared.poisoned.load(Ordering::Acquire) {
-                panic!("WAL flusher failed; cannot guarantee durability");
-            }
-            self.shared.durable.wait(&mut core);
-        }
+        wait_durable_shared(&self.shared, lsn);
     }
 
     /// Forces everything appended so far to disk and waits for it.
     pub fn sync(&self) {
         let lsn = self.shared.core.lock().next_lsn;
-        self.shared.work.notify_one();
+        for cv in &self.shared.shard_work {
+            cv.notify_one();
+        }
         self.wait_durable(lsn);
     }
 
-    /// The durability horizon: every record below this LSN is on disk.
-    /// Always 0 for in-memory logs.
+    /// The merged durability horizon: every record below this LSN is on
+    /// disk. Always 0 for in-memory logs that never reopened a file.
     pub fn durable_lsn(&self) -> u64 {
         self.shared.durable_lsn.load(Ordering::Acquire)
     }
 
-    /// Total records ever appended — the length of the LSN space. Not
-    /// reduced by checkpoint truncation.
+    /// Total records ever appended — the end of the LSN space. Not
+    /// reduced by checkpoint truncation; resumes past on-disk records
+    /// when a log is reopened.
     pub fn len(&self) -> usize {
         self.shared.core.lock().next_lsn as usize
     }
@@ -567,9 +866,35 @@ impl Wal {
         core.sealed.iter().map(|s| s.records.len()).sum::<usize>() + core.open.len()
     }
 
-    /// Durability counters.
+    /// Number of durability shards.
+    pub fn shard_count(&self) -> usize {
+        self.shared.shard_work.len()
+    }
+
+    /// Aggregated durability counters across every shard.
     pub fn stats(&self) -> WalStatsSnapshot {
-        self.shared.stats.snapshot()
+        let mut agg = WalStatsSnapshot::default();
+        for s in &self.shared.shard_stats {
+            let snap = s.snapshot();
+            agg.flushes += snap.flushes;
+            agg.flushed_batches += snap.flushed_batches;
+            agg.flushed_bytes += snap.flushed_bytes;
+            agg.flush_micros += snap.flush_micros;
+            agg.max_group = agg.max_group.max(snap.max_group);
+        }
+        agg.checkpoints = self.shared.checkpoints.load(Ordering::Relaxed);
+        agg.truncated_records = self.shared.truncated_records.load(Ordering::Relaxed);
+        agg
+    }
+
+    /// Per-shard flush counters, indexed by shard. The checkpoint
+    /// counters are log-global and appear only in [`Wal::stats`].
+    pub fn shard_stats(&self) -> Vec<WalStatsSnapshot> {
+        self.shared
+            .shard_stats
+            .iter()
+            .map(|s| s.snapshot())
+            .collect()
     }
 
     /// Snapshot of the retained log (recovery input).
@@ -658,51 +983,98 @@ impl Wal {
 
     /// Truncates the log at `cut` (clamped to a valid range): sealed
     /// segments wholly below `cut` and the covered prefix of the open
-    /// segment are dropped from memory, and a file-backed log is rotated
-    /// to a fresh file holding only records at or above `cut` behind a
-    /// `BFWAL1` + base-LSN header. The rotation itself fsyncs, so the
-    /// whole tail becomes durable. Returns the records dropped.
+    /// segment are dropped from memory, and every shard file of a
+    /// file-backed log is rotated to a fresh file holding only that
+    /// shard's records at or above `cut`. The rotation images are built
+    /// from the in-memory record store — a superset of anything staged or
+    /// in flight — and the rotation itself fsyncs, so the whole tail
+    /// becomes durable and no staged-but-unflushed batch can be lost to a
+    /// racing checkpoint. Returns the records dropped.
     ///
     /// The caller is responsible for having persisted a checkpoint image
     /// covering everything below `cut` first, and for picking a
     /// transaction-safe `cut` (see [`Wal::safe_cut`]).
     pub fn truncate_to(&self, cut: u64) -> Result<u64> {
         let shared = &self.shared;
+        // Lock order: every shard file (index order), then core — the
+        // flushers take core and file locks in sequence but never hold a
+        // file lock while waiting for core, so this cannot deadlock.
+        let mut file_guards: Vec<_> = shared.files.iter().map(|m| m.lock()).collect();
         let mut core = shared.core.lock();
         let cut = cut.clamp(core.base_lsn, core.next_lsn);
         if shared.file_backed {
-            let mut image = BytesMut::new();
-            image.put_slice(&encode_header(cut));
+            let n = core.shards.len();
+            let mut images: Vec<BytesMut> = (0..n)
+                .map(|i| {
+                    let mut b = BytesMut::new();
+                    b.put_slice(&encode_header(cut, i as u32, n as u32));
+                    b
+                })
+                .collect();
+            // Coalesce each shard's records into frames of contiguous
+            // LSN runs (a shard sees gaps where other shards' records
+            // interleave).
+            struct Run {
+                first: u64,
+                count: u64,
+                payload: BytesMut,
+            }
+            let mut runs: Vec<Option<Run>> = (0..n).map(|_| None).collect();
             core.for_each(|lsn, r| {
-                if lsn >= cut {
-                    encode_record(&mut image, r);
+                if lsn < cut {
+                    return;
+                }
+                let s = shard_of(r.txn(), n);
+                if let Some(run) = &runs[s] {
+                    if run.first + run.count != lsn {
+                        let run = runs[s].take().expect("checked above");
+                        put_frame(&mut images[s], run.first, &run.payload);
+                    }
+                }
+                match &mut runs[s] {
+                    Some(run) => {
+                        encode_record(&mut run.payload, r);
+                        run.count += 1;
+                    }
+                    None => {
+                        let mut payload = BytesMut::new();
+                        encode_record(&mut payload, r);
+                        runs[s] = Some(Run {
+                            first: lsn,
+                            count: 1,
+                            payload,
+                        });
+                    }
                 }
             });
-            let path = shared.path.as_ref().expect("file-backed wal has a path");
-            let tmp = path.with_extension("wal-rotate");
-            let rotate = || -> std::io::Result<std::fs::File> {
-                let mut f = std::fs::File::create(&tmp)?;
-                f.write_all(&image)?;
-                f.sync_all()?;
-                std::fs::rename(&tmp, path)?;
-                std::fs::OpenOptions::new().append(true).open(path)
-            };
-            // Holding `core` (and then `file`) keeps appenders and the
-            // flusher out for the duration; rotation is rare.
-            let mut file = shared.file.lock();
-            let new_file = rotate().map_err(|e| Error::Wal(format!("rotate wal file: {e}")))?;
-            *file = Some(new_file);
-            shared.file_epoch.fetch_add(1, Ordering::AcqRel);
-            drop(file);
-            // Everything the rotation wrote is durable; any in-flight
-            // flusher buffer is discarded via the epoch check.
-            core.pending.clear();
-            core.pending_batches = 0;
-            core.pending_since = None;
-            if shared.durable_lsn.load(Ordering::Acquire) < core.next_lsn {
-                shared.durable_lsn.store(core.next_lsn, Ordering::Release);
+            for (s, run) in runs.into_iter().enumerate() {
+                if let Some(run) = run {
+                    put_frame(&mut images[s], run.first, &run.payload);
+                }
             }
-            shared.durable.notify_all();
+            let path = shared.path.as_ref().expect("file-backed wal has a path");
+            for (s, guard) in file_guards.iter_mut().enumerate() {
+                let spath = shard_file_path(path, s);
+                let tmp = rotate_tmp_path(&spath);
+                let image = &images[s];
+                let rotated = (|| -> std::io::Result<std::fs::File> {
+                    let mut f = std::fs::File::create(&tmp)?;
+                    f.write_all(image)?;
+                    f.sync_all()?;
+                    std::fs::rename(&tmp, &spath)?;
+                    std::fs::OpenOptions::new().append(true).open(&spath)
+                })()
+                .map_err(|e| Error::Wal(format!("rotate wal file: {e}")))?;
+                **guard = Some(rotated);
+            }
+            shared.file_epoch.fetch_add(1, Ordering::AcqRel);
+            // Everything the rotation wrote is durable (it covered every
+            // staged and in-flight batch); any in-flight flusher buffer
+            // is discarded via the epoch check.
+            for sp in &mut core.shards {
+                sp.reset();
+            }
+            advance_durable(&core, shared);
         }
         let mut dropped = 0u64;
         core.sealed.retain(|seg| {
@@ -721,11 +1093,29 @@ impl Wal {
         }
         core.base_lsn = cut;
         shared
-            .stats
             .truncated_records
             .fetch_add(dropped, Ordering::Relaxed);
-        shared.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        shared.checkpoints.fetch_add(1, Ordering::Relaxed);
         Ok(dropped)
+    }
+
+    /// Test hook: `(durable_lsn, per-shard frontier minimum, next_lsn)`
+    /// captured atomically under the core lock, for asserting the merged
+    /// horizon invariant `durable <= floor <= next`.
+    #[cfg(test)]
+    pub(crate) fn horizon_parts(&self) -> (u64, u64, u64) {
+        let core = self.shared.core.lock();
+        let mut floor = core.next_lsn;
+        for sp in &core.shards {
+            if let Some(f) = sp.frontier() {
+                floor = floor.min(f);
+            }
+        }
+        (
+            self.shared.durable_lsn.load(Ordering::Acquire),
+            floor,
+            core.next_lsn,
+        )
     }
 }
 
@@ -737,15 +1127,22 @@ impl Default for Wal {
 
 impl Drop for Wal {
     fn drop(&mut self) {
-        if let Some(handle) = self.flusher.take() {
-            {
-                let mut core = self.shared.core.lock();
-                core.shutdown = true;
-            }
-            self.shared.work.notify_all();
-            if handle.join().is_err() && !std::thread::panicking() {
-                panic!("WAL flusher thread panicked");
-            }
+        if self.flushers.is_empty() {
+            return;
+        }
+        {
+            let mut core = self.shared.core.lock();
+            core.shutdown = true;
+        }
+        for cv in &self.shared.shard_work {
+            cv.notify_all();
+        }
+        let mut failed = false;
+        for handle in self.flushers.drain(..) {
+            failed |= handle.join().is_err();
+        }
+        if failed && !std::thread::panicking() {
+            panic!("WAL flusher thread panicked");
         }
     }
 }
@@ -756,52 +1153,56 @@ impl std::fmt::Debug for Wal {
             .field("records", &self.len())
             .field("base_lsn", &self.base_lsn())
             .field("durable_lsn", &self.durable_lsn())
+            .field("shards", &self.shard_count())
             .finish()
     }
 }
 
-/// The group-commit flusher: drains the pending buffer with one combined
-/// write+fsync per wakeup, then advances the durable horizon and wakes
-/// every committer it covered. Exits when the log shuts down and the
-/// buffer is drained.
-fn flusher_loop(shared: &WalShared) {
+/// One shard's group-commit flusher: drains its staging queue with one
+/// combined write+fsync per wakeup (one frame per batch), then advances
+/// the merged horizon and wakes every committer it covered. Exits when
+/// the log shuts down and the queue is drained.
+fn flusher_loop(shared: &WalShared, shard: usize) {
     loop {
-        let (buf, batches, end_lsn, epoch) = {
+        let (frames, batches, epoch) = {
             let mut core = shared.core.lock();
             loop {
-                if core.pending.is_empty() {
+                if core.shards[shard].queue.is_empty() {
                     if core.shutdown {
                         return;
                     }
-                    shared.work.wait(&mut core);
+                    shared.shard_work[shard].wait(&mut core);
                     continue;
                 }
                 if !core.shutdown && !shared.group_window.is_zero() {
-                    let deadline =
-                        core.pending_since.expect("pending implies since") + shared.group_window;
+                    let deadline = core.shards[shard]
+                        .pending_since
+                        .expect("staged batch implies since")
+                        + shared.group_window;
                     if Instant::now() < deadline {
-                        shared.work.wait_until(&mut core, deadline);
+                        shared.shard_work[shard].wait_until(&mut core, deadline);
                         continue;
                     }
                 }
                 break;
             }
-            let buf = std::mem::take(&mut core.pending);
-            let batches = std::mem::replace(&mut core.pending_batches, 0);
-            core.pending_since = None;
-            (
-                buf,
-                batches,
-                core.next_lsn,
-                shared.file_epoch.load(Ordering::Acquire),
-            )
+            let sp = &mut core.shards[shard];
+            let frames = std::mem::take(&mut sp.queue);
+            let batches = std::mem::replace(&mut sp.queued_batches, 0);
+            sp.pending_since = None;
+            sp.inflight_first = Some(frames[0].0);
+            (frames, batches, shared.file_epoch.load(Ordering::Acquire))
         };
+        let mut buf = BytesMut::new();
+        for (first, payload) in &frames {
+            put_frame(&mut buf, *first, payload);
+        }
         let started = Instant::now();
         let mut rotated_away = false;
         {
-            let mut file = shared.file.lock();
+            let mut file = shared.files[shard].lock();
             if shared.file_epoch.load(Ordering::Acquire) != epoch {
-                // A checkpoint rotated the file between our buffer swap
+                // A checkpoint rotated the files between our queue swap
                 // and this write; the rotation already persisted (or
                 // dropped) these records. Writing them would duplicate.
                 rotated_away = true;
@@ -816,7 +1217,7 @@ fn flusher_loop(shared: &WalShared) {
             }
         }
         if !rotated_away {
-            let stats = &shared.stats;
+            let stats = &shared.shard_stats[shard];
             stats.flushes.fetch_add(1, Ordering::Relaxed);
             stats.flushed_batches.fetch_add(batches, Ordering::Relaxed);
             stats
@@ -828,43 +1229,194 @@ fn flusher_loop(shared: &WalShared) {
             stats.max_group.fetch_max(batches, Ordering::Relaxed);
         }
         {
-            let _core = shared.core.lock();
-            if shared.durable_lsn.load(Ordering::Acquire) < end_lsn {
-                shared.durable_lsn.store(end_lsn, Ordering::Release);
-            }
-            shared.durable.notify_all();
+            let mut core = shared.core.lock();
+            core.shards[shard].inflight_first = None;
+            advance_durable(&core, shared);
         }
     }
 }
 
-fn encode_header(base_lsn: u64) -> [u8; HEADER_LEN] {
+// --- shard file helpers --------------------------------------------------
+
+/// `BFWAL2` header bytes for one shard file.
+fn encode_header(base_lsn: u64, shard: u32, shards: u32) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..FILE_MAGIC.len()].copy_from_slice(&FILE_MAGIC);
-    h[FILE_MAGIC.len()..].copy_from_slice(&base_lsn.to_be_bytes());
+    h[6..14].copy_from_slice(&base_lsn.to_be_bytes());
+    h[14..18].copy_from_slice(&shard.to_be_bytes());
+    h[18..22].copy_from_slice(&shards.to_be_bytes());
     h
 }
 
-/// Returns `(base_lsn, record offset)`. Headerless legacy files read as
-/// base 0 from offset 0; a torn header (magic present, LSN cut off) reads
-/// as an empty log.
-fn parse_header(bytes: &[u8]) -> (u64, usize) {
+/// What a WAL file's leading bytes say about its format.
+enum WalHeader {
+    /// `BFWAL2`: framed records, explicit LSNs.
+    Framed { base: u64 },
+    /// `BFWAL1` or headerless legacy: records concatenated positionally
+    /// from `base`, starting at byte `offset`.
+    Flat { base: u64, offset: usize },
+    /// A magic prefix with the rest of the header cut off by a crash:
+    /// treat as an empty log.
+    Torn,
+}
+
+fn parse_file_header(bytes: &[u8]) -> WalHeader {
     if bytes.len() >= FILE_MAGIC.len() && bytes[..FILE_MAGIC.len()] == FILE_MAGIC {
         if bytes.len() >= HEADER_LEN {
-            let mut lsn = [0u8; 8];
-            lsn.copy_from_slice(&bytes[FILE_MAGIC.len()..HEADER_LEN]);
-            (u64::from_be_bytes(lsn), HEADER_LEN)
+            let mut base = [0u8; 8];
+            base.copy_from_slice(&bytes[6..14]);
+            WalHeader::Framed {
+                base: u64::from_be_bytes(base),
+            }
         } else {
-            (0, bytes.len())
+            WalHeader::Torn
+        }
+    } else if bytes.len() >= LEGACY_MAGIC.len() && bytes[..LEGACY_MAGIC.len()] == LEGACY_MAGIC {
+        if bytes.len() >= LEGACY_HEADER_LEN {
+            let mut base = [0u8; 8];
+            base.copy_from_slice(&bytes[6..14]);
+            WalHeader::Flat {
+                base: u64::from_be_bytes(base),
+                offset: LEGACY_HEADER_LEN,
+            }
+        } else {
+            WalHeader::Torn
         }
     } else {
-        (0, 0)
+        WalHeader::Flat { base: 0, offset: 0 }
+    }
+}
+
+/// Appends one frame: `first_lsn:u64 nbytes:u32 payload`.
+fn put_frame(buf: &mut BytesMut, first_lsn: u64, payload: &[u8]) {
+    buf.put_u64(first_lsn);
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+}
+
+/// Decodes frames from `bytes[start..]`, returning LSN-tagged records and
+/// the byte offset of the end of the last complete frame (a torn tail —
+/// short frame header, short payload, or a payload whose records do not
+/// decode cleanly — stops the scan there).
+fn decode_frames(bytes: &[u8], start: usize) -> (Vec<(u64, LogRecord)>, usize) {
+    let mut out = Vec::new();
+    let mut pos = start;
+    loop {
+        if bytes.len().saturating_sub(pos) < FRAME_HEADER_LEN {
+            break;
+        }
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&bytes[pos..pos + 8]);
+        let first = u64::from_be_bytes(first);
+        let mut nbytes = [0u8; 4];
+        nbytes.copy_from_slice(&bytes[pos + 8..pos + 12]);
+        let n = u32::from_be_bytes(nbytes) as usize;
+        if bytes.len().saturating_sub(pos + FRAME_HEADER_LEN) < n {
+            break;
+        }
+        let payload =
+            Bytes::copy_from_slice(&bytes[pos + FRAME_HEADER_LEN..pos + FRAME_HEADER_LEN + n]);
+        let (records, consumed) = Wal::decode_prefix(payload);
+        if consumed != n {
+            break;
+        }
+        for (i, r) in records.into_iter().enumerate() {
+            out.push((first + i as u64, r));
+        }
+        pos += FRAME_HEADER_LEN + n;
+    }
+    (out, pos)
+}
+
+/// Opens one shard file for appending, returning the append handle and
+/// one past the highest LSN the file holds. Fresh files get a `BFWAL2`
+/// header; legacy flat files (`BFWAL1` or headerless) are upgraded in
+/// place to a framed file holding their records in a single frame; torn
+/// tail frames from a crash are truncated away so the next flush appends
+/// cleanly.
+fn open_shard(spath: &Path, shard: u32, shards: u32) -> Result<(std::fs::File, u64)> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(spath)
+        .map_err(|e| Error::Wal(format!("open wal file: {e}")))?;
+    let bytes = std::fs::read(spath).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
+    if bytes.is_empty() {
+        file.write_all(&encode_header(0, shard, shards))
+            .and_then(|()| file.sync_data())
+            .map_err(|e| Error::Wal(format!("write wal header: {e}")))?;
+        return Ok((file, 0));
+    }
+    match parse_file_header(&bytes) {
+        WalHeader::Framed { base } => {
+            let (frames, clean) = decode_frames(&bytes, HEADER_LEN);
+            if clean < bytes.len() {
+                // Torn tail from a crash mid-flush: drop it so appended
+                // frames stay scannable.
+                file.set_len(clean as u64)
+                    .map_err(|e| Error::Wal(format!("truncate torn wal tail: {e}")))?;
+            }
+            let end = frames.last().map(|(l, _)| l + 1).unwrap_or(base).max(base);
+            Ok((file, end))
+        }
+        WalHeader::Flat { base, offset } => {
+            let (records, consumed) = Wal::decode_prefix(Bytes::copy_from_slice(&bytes[offset..]));
+            let mut image = BytesMut::new();
+            image.put_slice(&encode_header(base, shard, shards));
+            if consumed > 0 {
+                put_frame(&mut image, base, &bytes[offset..offset + consumed]);
+            }
+            let tmp = rotate_tmp_path(spath);
+            let upgraded = (|| -> std::io::Result<std::fs::File> {
+                let mut f = std::fs::File::create(&tmp)?;
+                f.write_all(&image)?;
+                f.sync_all()?;
+                std::fs::rename(&tmp, spath)?;
+                std::fs::OpenOptions::new().append(true).open(spath)
+            })()
+            .map_err(|e| Error::Wal(format!("upgrade legacy wal file: {e}")))?;
+            Ok((upgraded, base + records.len() as u64))
+        }
+        WalHeader::Torn => {
+            file.set_len(0)
+                .map_err(|e| Error::Wal(format!("reset torn wal header: {e}")))?;
+            file.write_all(&encode_header(0, shard, shards))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| Error::Wal(format!("write wal header: {e}")))?;
+            Ok((file, 0))
+        }
+    }
+}
+
+/// Reads one WAL file (any supported format) into LSN-tagged records.
+fn load_shard_file(spath: &Path) -> Result<(u64, Vec<(u64, LogRecord)>)> {
+    let bytes = std::fs::read(spath).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
+    match parse_file_header(&bytes) {
+        WalHeader::Framed { base } => {
+            let (frames, _) = decode_frames(&bytes, HEADER_LEN);
+            Ok((base, frames))
+        }
+        WalHeader::Flat { base, offset } => {
+            let (records, _) = Wal::decode_prefix(Bytes::from(bytes).slice(offset..));
+            Ok((
+                base,
+                records
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, r)| (base + i as u64, r))
+                    .collect(),
+            ))
+        }
+        WalHeader::Torn => Ok((0, Vec::new())),
     }
 }
 
 // --- binary format -------------------------------------------------------
 //
-// file    := header? record*
-// header  := "BFWAL1" base_lsn:u64          (rotated logs; legacy = none)
+// file    := header frame*
+// header  := "BFWAL2" base_lsn:u64 shard:u32 shards:u32
+//            (legacy: "BFWAL1" base_lsn:u64 record*, or bare record*)
+// frame   := first_lsn:u64 nbytes:u32 record*
 // record  := tag:u8 body
 // value   := vtag:u8 payload
 // row     := count:u32 value*
@@ -1184,6 +1736,7 @@ pub mod codec {
 mod tests {
     use super::*;
     use bullfrog_common::row;
+    use proptest::prelude::*;
 
     fn sample_records() -> Vec<LogRecord> {
         vec![
@@ -1220,14 +1773,32 @@ mod tests {
         ]
     }
 
+    /// Removes a WAL's shard 0 file and every `.sN` sibling (leftover
+    /// shard files from another run would otherwise pollute the LSN
+    /// frontier of the next test using the same tag).
+    fn remove_sharded(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let mut i = 1usize;
+        while std::fs::remove_file(shard_file_path(path, i)).is_ok() {
+            i += 1;
+        }
+    }
+
     /// A per-test temp file path (tests run in one process, so the pid
     /// alone is not unique).
     fn temp_wal(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("bullfrog-wal-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join(format!("{tag}.wal"));
-        let _ = std::fs::remove_file(&path);
+        remove_sharded(&path);
         path
+    }
+
+    fn one_shard(group_window: Duration) -> WalOptions {
+        WalOptions {
+            group_window,
+            shards: 1,
+        }
     }
 
     #[test]
@@ -1272,7 +1843,6 @@ mod tests {
 
     #[test]
     fn append_batch_is_atomic_under_concurrency() {
-        use std::sync::Arc;
         let wal = Arc::new(Wal::new());
         let mut handles = Vec::new();
         for t in 1..=8u64 {
@@ -1316,22 +1886,32 @@ mod tests {
         }
         let loaded = Wal::load_file(&path).unwrap();
         assert_eq!(loaded, sample_records());
-        // Appending to an existing file keeps prior records.
+        // Reopening an existing sharded log keeps prior records and
+        // resumes the LSN frontier past them.
         {
             let wal = Wal::with_file(&path).unwrap();
+            assert_eq!(wal.len(), sample_records().len());
             wal.append(LogRecord::Begin(TxnId(9)));
         }
-        let loaded = Wal::load_file(&path).unwrap();
+        let loaded = Wal::load_sharded(&path).unwrap();
         assert_eq!(loaded.len(), sample_records().len() + 1);
-        std::fs::remove_file(&path).unwrap();
+        assert_eq!(
+            loaded.last().unwrap(),
+            &(sample_records().len() as u64, LogRecord::Begin(TxnId(9)))
+        );
+        remove_sharded(&path);
     }
 
     #[test]
     fn torn_tail_is_ignored() {
         let path = temp_wal("torn");
         {
-            let wal = Wal::with_file(&path).unwrap();
-            wal.append_batch(sample_records());
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            // One frame per record, so chopping the tail kills exactly
+            // the last frame.
+            for r in sample_records() {
+                wal.append_batch_durable([r]);
+            }
         }
         // Chop a few bytes off the end — a crash mid-append.
         let bytes = std::fs::read(&path).unwrap();
@@ -1339,7 +1919,16 @@ mod tests {
         let loaded = Wal::load_file(&path).unwrap();
         assert_eq!(loaded.len(), sample_records().len() - 1);
         assert_eq!(loaded[..], sample_records()[..loaded.len()]);
-        std::fs::remove_file(&path).unwrap();
+        // Reopening truncates the torn frame and appends cleanly after it.
+        {
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            assert_eq!(wal.len(), sample_records().len() - 1);
+            wal.append_batch_durable([LogRecord::Begin(TxnId(50))]);
+        }
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), sample_records().len());
+        assert_eq!(loaded.last().unwrap(), &LogRecord::Begin(TxnId(50)));
+        remove_sharded(&path);
     }
 
     #[test]
@@ -1353,7 +1942,42 @@ mod tests {
         let (base, records) = Wal::load_file_with_base(&path).unwrap();
         assert_eq!(base, 0);
         assert_eq!(records, sample_records());
-        std::fs::remove_file(&path).unwrap();
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn legacy_flat_file_upgrades_on_open() {
+        let path = temp_wal("upgrade");
+        // A pre-sharding BFWAL1 flat file with a non-zero base LSN.
+        let mut buf = BytesMut::new();
+        buf.put_slice(&LEGACY_MAGIC);
+        buf.put_u64(5);
+        for r in &sample_records() {
+            encode_record(&mut buf, r);
+        }
+        std::fs::write(&path, &buf).unwrap();
+        {
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            assert_eq!(wal.len(), 5 + sample_records().len());
+            wal.append_batch_durable([LogRecord::Begin(TxnId(9))]);
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(
+            &bytes[..FILE_MAGIC.len()],
+            &FILE_MAGIC,
+            "upgraded to framed format"
+        );
+        let loaded = Wal::load_sharded(&path).unwrap();
+        assert_eq!(loaded.first().unwrap().0, 5);
+        assert_eq!(loaded.len(), sample_records().len() + 1);
+        assert_eq!(
+            loaded.last().unwrap(),
+            &(
+                5 + sample_records().len() as u64,
+                LogRecord::Begin(TxnId(9))
+            )
+        );
+        remove_sharded(&path);
     }
 
     #[test]
@@ -1382,28 +2006,89 @@ mod tests {
         let path = temp_wal("durable");
         let wal = Wal::with_file(&path).unwrap();
         wal.append_batch_durable(sample_records());
-        // No drop, no join: the file must already hold every record.
+        // No drop, no join: the shard files must already hold every record.
         let loaded = Wal::load_file(&path).unwrap();
         assert_eq!(loaded, sample_records());
         assert_eq!(wal.durable_lsn(), sample_records().len() as u64);
         drop(wal);
-        std::fs::remove_file(&path).unwrap();
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn commit_ticket_acknowledges_durability() {
+        let path = temp_wal("ticket");
+        let wal = Wal::with_file(&path).unwrap();
+        let ticket = wal.append_batch_enqueue(sample_records());
+        assert_eq!(ticket.wait_lsn(), sample_records().len() as u64);
+        ticket.wait();
+        assert!(ticket.is_durable());
+        assert!(wal.durable_lsn() >= ticket.wait_lsn());
+        // A ticket outlives the handle: dropping the log drains every
+        // shard first, so the ticket resolves durable.
+        let late = wal.append_batch_enqueue([LogRecord::Begin(TxnId(42))]);
+        drop(wal);
+        late.wait();
+        assert!(late.is_durable());
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), sample_records().len() + 1);
+        remove_sharded(&path);
+        // In-memory logs hand out trivially-durable tickets.
+        let mem = Wal::new();
+        let t = mem.append_batch_enqueue(sample_records());
+        assert!(t.is_durable());
+        t.wait();
+        assert_eq!(mem.durable_ticket().wait_lsn(), 0);
+    }
+
+    #[test]
+    fn sharded_concurrent_appends_merge_on_load() {
+        use std::sync::Barrier;
+        let path = temp_wal("sharded-merge");
+        const THREADS: u64 = 8;
+        const TXNS: u64 = 50;
+        let wal = Arc::new(Wal::with_file(&path).unwrap());
+        assert_eq!(wal.shard_count(), DEFAULT_WAL_SHARDS);
+        let barrier = Arc::new(Barrier::new(THREADS as usize));
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let wal = Arc::clone(&wal);
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..TXNS {
+                    let txn = TxnId(t * 1000 + i);
+                    wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = (THREADS * TXNS * 2) as usize;
+        assert_eq!(wal.len(), total);
+        assert_eq!(wal.durable_lsn(), total as u64);
+        let snapshot = wal.snapshot();
+        // Work spread across more than one fsync pipeline.
+        let busy = wal.shard_stats().iter().filter(|s| s.flushes > 0).count();
+        assert!(busy >= 2, "expected multiple shards flushing, got {busy}");
+        drop(wal);
+        // The merged stream is dense in LSN and matches the in-memory log.
+        let loaded = Wal::load_sharded(&path).unwrap();
+        assert_eq!(loaded.len(), total);
+        for (i, (lsn, r)) in loaded.iter().enumerate() {
+            assert_eq!(*lsn, i as u64);
+            assert_eq!(r, &snapshot[i]);
+        }
+        remove_sharded(&path);
     }
 
     #[test]
     fn group_commit_coalesces_fsyncs() {
-        use std::sync::{Arc, Barrier};
+        use std::sync::Barrier;
         let path = temp_wal("group");
         const THREADS: u64 = 8;
-        let wal = Arc::new(
-            Wal::with_file_opts(
-                &path,
-                WalOptions {
-                    group_window: Duration::from_millis(30),
-                },
-            )
-            .unwrap(),
-        );
+        let wal =
+            Arc::new(Wal::with_file_opts(&path, one_shard(Duration::from_millis(30))).unwrap());
         let barrier = Arc::new(Barrier::new(THREADS as usize));
         let mut handles = Vec::new();
         for t in 0..THREADS {
@@ -1428,7 +2113,7 @@ mod tests {
         );
         assert!(stats.max_group >= 2, "no grouping observed: {stats:?}");
         drop(wal);
-        std::fs::remove_file(&path).unwrap();
+        remove_sharded(&path);
     }
 
     #[test]
@@ -1481,7 +2166,7 @@ mod tests {
     #[test]
     fn rotation_keeps_only_tail_with_base_header() {
         let path = temp_wal("rotate");
-        let wal = Wal::with_file(&path).unwrap();
+        let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
         for t in 0..50u64 {
             let txn = TxnId(t);
             wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
@@ -1501,13 +2186,70 @@ mod tests {
         );
         // Reopening appends after the rotated tail.
         {
-            let wal = Wal::with_file(&path).unwrap();
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            assert_eq!(wal.len(), 102);
             wal.append(LogRecord::Begin(TxnId(78)));
         }
         let (base, records) = Wal::load_file_with_base(&path).unwrap();
         assert_eq!(base, 100);
         assert_eq!(records.len(), 3);
-        std::fs::remove_file(&path).unwrap();
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn rotation_preserves_staged_unflushed_batches() {
+        // Regression: a checkpoint racing an in-flight durable append
+        // used to clear the pending buffer and strand the staged bytes
+        // past the cut. Rotation now rebuilds the tail from the record
+        // store, which is a superset of anything staged.
+        let path = temp_wal("rotate-staged");
+        let wal = Wal::with_file_opts(&path, one_shard(Duration::from_secs(5))).unwrap();
+        let (t1, t2) = (TxnId(1), TxnId(2));
+        // Both batches are staged but unflushed: the 5s group window
+        // keeps the flusher parked.
+        wal.append_batch([LogRecord::Begin(t1), LogRecord::Commit(t1)]);
+        wal.append_batch([LogRecord::Begin(t2), LogRecord::Commit(t2)]);
+        assert_eq!(wal.durable_lsn(), 0);
+        // Checkpoint cuts between the batches while both sit staged.
+        wal.truncate_to(2).unwrap();
+        // The rotation itself made the whole tail durable — nothing for
+        // the second committer to lose.
+        assert_eq!(wal.durable_lsn(), 4);
+        drop(wal);
+        let loaded = Wal::load_sharded(&path).unwrap();
+        assert_eq!(
+            loaded,
+            vec![(2, LogRecord::Begin(t2)), (3, LogRecord::Commit(t2)),]
+        );
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn rotation_redistributes_tail_across_shards() {
+        let path = temp_wal("rotate-shards");
+        let wal = Wal::with_file(&path).unwrap();
+        for t in 0..50u64 {
+            let txn = TxnId(t);
+            wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        // An unresolved transaction pins the cut at its first record, so
+        // the rotated tail spans many transactions (and shards).
+        wal.append_batch_durable([LogRecord::Begin(TxnId(500))]);
+        for t in 600..610u64 {
+            let txn = TxnId(t);
+            wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        let cut = wal.safe_cut();
+        assert_eq!(cut, 100);
+        wal.truncate_to(cut).unwrap();
+        let snapshot = wal.snapshot();
+        drop(wal);
+        let loaded = Wal::load_sharded(&path).unwrap();
+        assert_eq!(loaded.first().unwrap().0, 100);
+        assert_eq!(loaded.len(), snapshot.len());
+        let records: Vec<LogRecord> = loaded.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(records, snapshot);
+        remove_sharded(&path);
     }
 
     #[test]
@@ -1527,5 +2269,83 @@ mod tests {
         );
         assert_eq!(wal.records_in(1999, 5000).len(), 1);
         assert_eq!(wal.records_in(5000, 6000).len(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The merged horizon never runs ahead of the slowest shard's
+        /// frontier under randomized concurrent interleavings, and the
+        /// sharded files replay to exactly the in-memory stream.
+        #[test]
+        fn merged_horizon_is_per_shard_minimum(
+            shards in 1usize..=4,
+            batches in proptest::collection::vec((1u64..64, 1usize..4), 1..24),
+        ) {
+            let path = temp_wal(&format!("horizon-{shards}"));
+            let wal = Arc::new(
+                Wal::with_file_opts(
+                    &path,
+                    WalOptions {
+                        group_window: Duration::ZERO,
+                        shards,
+                    },
+                )
+                .unwrap(),
+            );
+            let stop = Arc::new(AtomicBool::new(false));
+            let sampler = {
+                let wal = Arc::clone(&wal);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        let (durable, floor, next) = wal.horizon_parts();
+                        assert!(
+                            durable <= floor && floor <= next,
+                            "horizon invariant violated: durable={durable} floor={floor} next={next}"
+                        );
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            let mut appenders = Vec::new();
+            for chunk in 0..3usize {
+                let wal = Arc::clone(&wal);
+                let mine: Vec<(u64, usize)> = batches
+                    .iter()
+                    .skip(chunk)
+                    .step_by(3)
+                    .copied()
+                    .collect();
+                appenders.push(std::thread::spawn(move || {
+                    for (txn, count) in mine {
+                        let txn = TxnId(txn);
+                        let mut batch = vec![LogRecord::Begin(txn)];
+                        batch.extend((1..count).map(|_| LogRecord::Commit(txn)));
+                        wal.append_batch_durable(batch);
+                    }
+                }));
+            }
+            for h in appenders {
+                h.join().unwrap();
+            }
+            stop.store(true, Ordering::Release);
+            sampler.join().unwrap();
+            wal.sync();
+            let (durable, floor, next) = wal.horizon_parts();
+            prop_assert_eq!(durable, next);
+            prop_assert_eq!(floor, next);
+            let total: usize = batches.iter().map(|(_, c)| *c).sum();
+            prop_assert_eq!(next as usize, total);
+            let snapshot = wal.snapshot();
+            drop(wal);
+            let loaded = Wal::load_sharded(&path).unwrap();
+            prop_assert_eq!(loaded.len(), total);
+            for (i, (lsn, r)) in loaded.iter().enumerate() {
+                prop_assert_eq!(*lsn, i as u64);
+                prop_assert_eq!(r, &snapshot[i]);
+            }
+            remove_sharded(&path);
+        }
     }
 }

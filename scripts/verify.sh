@@ -9,12 +9,21 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== WAL tests under high thread pressure =="
+RUST_TEST_THREADS=16 cargo test -q -p bullfrog-txn wal
+RUST_TEST_THREADS=16 cargo test -q -p bullfrog-engine --test durability
+
 echo "== server integration tests =="
 cargo test -q -p bullfrog-net --test server_integration --test migration_race
 
 echo "== loadgen smoke (loopback, fixed seed, bounded) =="
 timeout 10 cargo run --release -q -p bullfrog-net --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42
+
+echo "== loadgen smoke (file-backed WAL, async commit) =="
+timeout 10 cargo run --release -q -p bullfrog-net --bin loadgen -- \
+  --clients 32 --accounts 128 --ops 5 --seed 42 \
+  --commit-mode nowait --wal-dir "$(mktemp -d)"
 
 echo "== rustfmt =="
 cargo fmt --check

@@ -266,6 +266,8 @@ fn torn_tail_mid_group_commit_batch_keeps_atomicity() {
                 &path,
                 WalOptions {
                     group_window: Duration::from_millis(15),
+                    // One shard: the tear below slices one flat file.
+                    shards: 1,
                 },
             )
             .unwrap(),
