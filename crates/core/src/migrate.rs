@@ -409,12 +409,17 @@ fn migrate_once(
         return Err(Error::TxnAborted(txn.id()));
     }
     // Background migrations pipeline past the group-commit barrier:
-    // their batch is ordered in the WAL at enqueue time, so any client
-    // that later reads migrated rows commits at a higher LSN and its own
-    // synchronous wait transitively covers this one. Recovery replays
-    // only durable commits, so granule marks and rows stay atomic.
-    // Foreground (lazy, on the client's query path) keeps synchronous
-    // semantics — the client is about to read what it migrated.
+    // their batch is ordered in the WAL at enqueue time, and every
+    // durability acknowledgement waits on the *merged* (all-shard)
+    // horizon, so a client that later reads migrated rows and commits
+    // at a higher LSN transitively covers this batch regardless of
+    // which shards the two transactions hash to. Recovery replays only
+    // the gap-free durable prefix, so granule marks and rows stay
+    // atomic, and a crash can only lose this batch together with
+    // everything that depended on it — the granule then simply shows
+    // unmigrated and is copied again. Foreground (lazy, on the client's
+    // query path) keeps synchronous semantics — the client is about to
+    // read what it migrated.
     let committed = if opts.background {
         db.commit_nowait(&mut txn).map(drop)
     } else {

@@ -224,10 +224,16 @@ impl Database {
     /// for the flush. The caller keeps running (and may start its next
     /// transaction) while the WAL shard makes the batch durable; call
     /// [`CommitTicket::wait`] before acknowledging the commit to anyone
-    /// who needs durability. Locks are released immediately — strict 2PL
-    /// is preserved because the batch is already ordered in the log, so
-    /// any later reader of this data commits with a higher LSN and a
-    /// synchronous waiter at that LSN transitively covers this one.
+    /// who needs durability. Locks are released immediately — sound
+    /// because every durability acknowledgement (synchronous commits and
+    /// ticket waits alike) parks on the WAL's **merged** durable horizon,
+    /// which covers all shards: a later transaction that read this data
+    /// appends at a higher LSN, so its ack transitively covers this
+    /// batch even when the two transactions hash to different shards.
+    /// If no dependent commit is ever acknowledged, recovery replays
+    /// only the gap-free on-disk prefix, so a crash can lose this
+    /// unacknowledged batch together with everything that depended on
+    /// it — never a dependent commit alone.
     ///
     /// Read-only transactions get a trivially-durable ticket.
     pub fn commit_nowait(&self, txn: &mut Transaction) -> Result<CommitTicket> {

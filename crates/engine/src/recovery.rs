@@ -113,6 +113,18 @@ pub fn replay_with_checkpoint(
 /// sidecar persistence and log truncation leaves both on disk), and
 /// replays image + tail into `db`. The catalog must already hold the same
 /// tables, as with [`replay`].
+///
+/// The replayed tail is the longest **LSN-contiguous** run of merged
+/// shard records starting at the image base. A crash can leave a gap in
+/// the merged stream — a batch staged on one shard was never flushed
+/// while a later-LSN batch on another shard was — and everything past
+/// the first gap is discarded rather than replayed. That is exactly the
+/// acknowledgement boundary: commits are only ever acknowledged at the
+/// merged durable horizon, which cannot pass a gap, so no acknowledged
+/// commit is dropped; and because WAL order respects lock order, a
+/// surviving commit's dependencies always sit below it in the dense
+/// prefix, so replay never applies an update to a row whose insert was
+/// lost with the gap.
 pub fn recover_from_files(
     db: &Database,
     wal_path: impl AsRef<Path>,
@@ -128,12 +140,23 @@ pub fn recover_from_files(
         }
     };
     // Merge every WAL shard file into one LSN-ordered stream; records
-    // below the image's base are already folded into the image.
-    let tail: Vec<LogRecord> = Wal::load_sharded(wal_path)?
-        .into_iter()
-        .filter(|(lsn, _)| *lsn >= image.base_lsn)
-        .map(|(_, r)| r)
-        .collect();
+    // below the image's base are already folded into the image. Stop at
+    // the first LSN gap: a missing record means some shard's staged
+    // batch died unflushed, so nothing at or above it was ever
+    // acknowledged durable (acks wait on the merged horizon), and a
+    // commit up there may depend on the very rows the gap swallowed.
+    let mut tail: Vec<LogRecord> = Vec::new();
+    let mut expect = image.base_lsn;
+    for (lsn, r) in Wal::load_sharded(wal_path)? {
+        if lsn < image.base_lsn {
+            continue;
+        }
+        if lsn != expect {
+            break;
+        }
+        tail.push(r);
+        expect = lsn + 1;
+    }
     replay_with_checkpoint(db, &image, &tail)
 }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 use bullfrog_common::{row, ColumnDef, DataType, TableSchema, Value};
 use bullfrog_engine::checkpoint::checkpoint_path_for;
 use bullfrog_engine::{recovery, Database, DbConfig, LockPolicy};
-use bullfrog_txn::wal::shard_file_path;
+use bullfrog_txn::wal::{shard_file_path, shard_of};
 use bullfrog_txn::WalOptions;
 
 fn temp_path(tag: &str) -> PathBuf {
@@ -211,6 +211,59 @@ fn acked_nowait_commits_survive_recovery() {
     assert_eq!(rows.len(), 100, "an acked-durable commit was lost");
 
     drop(db);
+    remove_wal_shards(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+}
+
+/// Regression for the cross-shard dependency hole: a crash can lose one
+/// shard's unflushed batch while a later-LSN, dependent commit on
+/// another shard is already on disk. Replay used to apply that commit's
+/// `Update` against the vanished row, fail with `RowNotFound`, and
+/// leave the whole database unrecoverable. Recovery now keeps only the
+/// gap-free LSN prefix — dropping the dependent (never-acknowledged)
+/// commit together with the lost batch it read from.
+#[test]
+fn lost_shard_batch_does_not_poison_recovery() {
+    let (db, wal_path, ckpt_path) = file_db("lostshard", 2);
+    // Transaction ids are assigned sequentially; spin until we hold one
+    // on the shard we want (discarded ones never wrote, so they leave
+    // no trace in the log).
+    let begin_on_shard = |want: usize| loop {
+        let txn = db.begin();
+        if shard_of(txn.id(), 2) == want {
+            return txn;
+        }
+    };
+
+    // Survivor: a shard-0 insert.
+    let mut t0 = begin_on_shard(0);
+    db.insert(&mut t0, "t", row![1, 10]).unwrap();
+    db.commit(&mut t0).unwrap();
+    // Casualty: a shard-1 insert (its file will vanish with the crash).
+    let mut t1 = begin_on_shard(1);
+    db.insert(&mut t1, "t", row![2, 20]).unwrap();
+    db.commit(&mut t1).unwrap();
+    // Dependent: a shard-0 update of the shard-1 row.
+    let mut t2 = begin_on_shard(0);
+    let (rid, _) = db
+        .get_by_pk(&mut t2, "t", &[Value::Int(2)], LockPolicy::Exclusive)
+        .unwrap()
+        .unwrap();
+    db.update(&mut t2, "t", rid, row![2, 21]).unwrap();
+    db.commit(&mut t2).unwrap();
+    db.wal().sync();
+    drop(db);
+
+    // Simulate the crash artifact: shard 1's flush never reached disk,
+    // so the merged stream has a gap where the insert of row 2 was.
+    std::fs::remove_file(shard_file_path(&wal_path, 1)).unwrap();
+    let rows = recovered_rows(&wal_path, &ckpt_path);
+    assert_eq!(
+        rows,
+        vec![(1, 10)],
+        "recovery must replay exactly the gap-free prefix"
+    );
+
     remove_wal_shards(&wal_path);
     let _ = std::fs::remove_file(&ckpt_path);
 }

@@ -40,6 +40,15 @@
 //! [`CommitTicket`] back at enqueue time and may wait (or poll) later.
 //! No fsync ever happens under the log lock.
 //!
+//! Acknowledgements deliberately wait on the **merged** horizon, never on
+//! just the acknowledging transaction's own shard: asynchronous commits
+//! release their locks at enqueue time, so a later transaction may read
+//! data whose redo is still in flight on a *different* shard. Because
+//! WAL order respects lock order, that dependency always has a lower
+//! LSN — an ack at the merged horizon therefore transitively covers
+//! every batch the acknowledged commit could depend on, and recovery can
+//! treat the longest LSN-contiguous on-disk prefix as the durable log.
+//!
 //! # File format
 //!
 //! Shard 0 lives at the configured path, shard `i` at `<path>.s<i>`. Each
@@ -169,6 +178,11 @@ const HEADER_LEN: usize = FILE_MAGIC.len() + 8 + 4 + 4;
 const LEGACY_HEADER_LEN: usize = LEGACY_MAGIC.len() + 8;
 /// Frame header: first_lsn:u64 + nbytes:u32.
 const FRAME_HEADER_LEN: usize = 8 + 4;
+/// Rotation closes a run's frame once its payload reaches this size, so a
+/// huge checkpoint tail can never build a frame whose length overflows
+/// the u32 `nbytes` field (frames carry absolute LSNs, so splitting a
+/// contiguous run across frames is free).
+const MAX_ROTATION_FRAME: usize = 256 << 20;
 
 /// Default durability shard count for file-backed logs.
 pub const DEFAULT_WAL_SHARDS: usize = 4;
@@ -426,15 +440,12 @@ struct WalShared {
     /// frontier advances.
     durable: Condvar,
     /// The merged durable horizon: all records with LSN below this are on
-    /// disk (in whichever shard file owns them).
+    /// disk (in whichever shard file owns them). Every acknowledgement —
+    /// `append_batch_durable` and ticket waits alike — parks on this, not
+    /// on the acknowledging shard's own frontier: with locks released at
+    /// enqueue time a commit may depend on an earlier-LSN batch staged on
+    /// a *different* shard, and an ack must cover that dependency too.
     durable_lsn: AtomicU64,
-    /// Per-shard durable frontiers: every record *owned by shard i* with
-    /// LSN below `shard_durable[i]` is on disk. A transaction's records
-    /// all hash to one shard, so its commit is durable as soon as its own
-    /// shard's frontier passes it — commits never wait on a neighbour
-    /// shard's fsync. The merged horizon (the minimum) is what checkpoint
-    /// cuts and `sync` still use.
-    shard_durable: Vec<AtomicU64>,
     /// Bumped by rotation so an in-flight flush of pre-rotation bytes is
     /// discarded instead of being appended to the new files.
     file_epoch: AtomicU64,
@@ -461,23 +472,14 @@ struct WalShared {
 /// can never miss a batch that exists but is not yet visible.
 fn advance_durable(core: &WalCore, shared: &WalShared) {
     let mut horizon = core.next_lsn;
-    let mut advanced = false;
-    for (sp, durable) in core.shards.iter().zip(&shared.shard_durable) {
+    for sp in &core.shards {
         // This shard's frontier: its oldest unflushed batch, or the log
         // head if it has nothing outstanding. Monotonic because LSNs only
         // grow and staging happens under the same lock.
-        let frontier = sp.frontier().unwrap_or(core.next_lsn);
-        if durable.load(Ordering::Acquire) < frontier {
-            durable.store(frontier, Ordering::Release);
-            advanced = true;
-        }
-        horizon = horizon.min(frontier);
+        horizon = horizon.min(sp.frontier().unwrap_or(core.next_lsn));
     }
     if shared.durable_lsn.load(Ordering::Acquire) < horizon {
         shared.durable_lsn.store(horizon, Ordering::Release);
-        advanced = true;
-    }
-    if advanced {
         shared.durable.notify_all();
     }
 }
@@ -497,22 +499,6 @@ fn wait_durable_shared(shared: &WalShared, lsn: u64) {
     }
 }
 
-/// Blocks until shard `shard`'s frontier covers `lsn` — the ack point for
-/// a commit whose records all live on that shard. Does not wait for
-/// neighbour shards.
-fn wait_shard_durable(shared: &WalShared, shard: usize, lsn: u64) {
-    if !shared.file_backed || shared.shard_durable[shard].load(Ordering::Acquire) >= lsn {
-        return;
-    }
-    let mut core = shared.core.lock();
-    while shared.shard_durable[shard].load(Ordering::Acquire) < lsn {
-        if shared.poisoned.load(Ordering::Acquire) {
-            panic!("WAL flusher failed; cannot guarantee durability");
-        }
-        shared.durable.wait(&mut core);
-    }
-}
-
 /// An acknowledgement handle from an asynchronous commit
 /// ([`Wal::append_batch_enqueue`]): the batch is in the log and will be
 /// flushed by its shard, but may not be durable yet. Detached from the
@@ -523,33 +509,34 @@ pub struct CommitTicket {
     /// `None` for in-memory logs (and read-only commits): durability is
     /// immediate by definition.
     shared: Option<Arc<WalShared>>,
-    /// The durability shard that owns the batch's records.
-    shard: usize,
     lsn: u64,
 }
 
 impl CommitTicket {
-    /// The LSN the owning shard's frontier must reach for this commit to
+    /// The LSN the merged durable horizon must reach for this commit to
     /// be durable (one past the batch's last record).
     pub fn wait_lsn(&self) -> u64 {
         self.lsn
     }
 
-    /// True once the batch is on disk. Never blocks.
+    /// True once the merged horizon covers the batch. Never blocks.
     pub fn is_durable(&self) -> bool {
         match &self.shared {
             None => true,
-            Some(s) => s.shard_durable[self.shard].load(Ordering::Acquire) >= self.lsn,
+            Some(s) => s.durable_lsn.load(Ordering::Acquire) >= self.lsn,
         }
     }
 
-    /// Blocks until the batch is durable — its own shard's write+fsync,
-    /// not the merged horizon, so a commit never waits out a neighbour
-    /// shard's flush. Panics if the flusher died of an IO error — same
-    /// contract as [`Wal::wait_durable`].
+    /// Blocks until the merged durable horizon covers the batch — i.e.
+    /// this commit *and every batch ordered before it on any shard* are
+    /// on disk. The cross-shard wait is what makes the acknowledgement
+    /// sound: an earlier enqueued commit whose locks were already
+    /// released may be this one's dependency, and it must not be lost
+    /// while this one survives. Panics if a flusher died of an IO error —
+    /// same contract as [`Wal::wait_durable`].
     pub fn wait(&self) {
         if let Some(s) = &self.shared {
-            wait_shard_durable(s, self.shard, self.lsn);
+            wait_durable_shared(s, self.lsn);
         }
     }
 }
@@ -655,7 +642,6 @@ impl Wal {
             shard_work: (0..nshards).map(|_| Condvar::new()).collect(),
             durable: Condvar::new(),
             durable_lsn: AtomicU64::new(start_lsn),
-            shard_durable: (0..nshards).map(|_| AtomicU64::new(start_lsn)).collect(),
             file_epoch: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             files,
@@ -746,15 +732,21 @@ impl Wal {
         self.append_batch_inner(batch).0
     }
 
-    /// Appends a batch and blocks until its own shard's write+fsync
-    /// covers it. A batch holds one transaction's records and they all
-    /// hash to one shard, so this is full durability for the committing
-    /// transaction without waiting for neighbour shards (the concurrency
-    /// win of sharding). In-memory logs return immediately. Returns the
-    /// LSN of the first record.
+    /// Appends a batch and blocks until the merged durable horizon covers
+    /// it — this commit and everything ordered before it, on every shard,
+    /// is then on disk. Waiting on the merged horizon (not just the
+    /// batch's own shard) is required for correctness, not politeness:
+    /// asynchronous commits release locks at enqueue time, so this
+    /// transaction may have read rows whose redo is still in flight on a
+    /// neighbour shard at a lower LSN, and acknowledging this commit
+    /// while that dependency can still be lost would let a crash recover
+    /// a durable `Commit` whose inputs never existed. The shards still
+    /// flush concurrently, so throughput keeps the fan-out win; only the
+    /// ack observes the slowest outstanding shard. In-memory logs return
+    /// immediately. Returns the LSN of the first record.
     pub fn append_batch_durable(&self, batch: impl IntoIterator<Item = LogRecord>) -> u64 {
-        let (first, end, shard) = self.append_batch_inner(batch);
-        wait_shard_durable(&self.shared, shard, end);
+        let (first, end, _shard) = self.append_batch_inner(batch);
+        wait_durable_shared(&self.shared, end);
         first
     }
 
@@ -763,10 +755,9 @@ impl Wal {
     /// batch durable in the background. [`CommitTicket::wait`] parks on
     /// the same barrier `append_batch_durable` uses.
     pub fn append_batch_enqueue(&self, batch: impl IntoIterator<Item = LogRecord>) -> CommitTicket {
-        let (_, end, shard) = self.append_batch_inner(batch);
+        let (_, end, _shard) = self.append_batch_inner(batch);
         CommitTicket {
             shared: self.shared.file_backed.then(|| Arc::clone(&self.shared)),
-            shard,
             lsn: end,
         }
     }
@@ -776,7 +767,6 @@ impl Wal {
     pub fn durable_ticket(&self) -> CommitTicket {
         CommitTicket {
             shared: None,
-            shard: 0,
             lsn: self.durable_lsn(),
         }
     }
@@ -1035,6 +1025,10 @@ impl Wal {
                     Some(run) => {
                         encode_record(&mut run.payload, r);
                         run.count += 1;
+                        if run.payload.len() >= MAX_ROTATION_FRAME {
+                            let run = runs[s].take().expect("just matched");
+                            put_frame(&mut images[s], run.first, &run.payload);
+                        }
                     }
                     None => {
                         let mut payload = BytesMut::new();
@@ -1066,6 +1060,23 @@ impl Wal {
                 })()
                 .map_err(|e| Error::Wal(format!("rotate wal file: {e}")))?;
                 **guard = Some(rotated);
+            }
+            // A previous run may have used more shards. Those trailing
+            // `.s<i>` files hold only records below the LSN this log
+            // opened at (the frontier resumed past them), hence below
+            // `cut` and covered by the caller's checkpoint image — so
+            // delete them here instead of letting fully-checkpointed
+            // records accumulate and be re-read (then discarded) by
+            // every future recovery.
+            let mut extra = n;
+            loop {
+                let spath = shard_file_path(path, extra);
+                if !spath.exists() {
+                    break;
+                }
+                std::fs::remove_file(&spath)
+                    .map_err(|e| Error::Wal(format!("remove stale wal shard file: {e}")))?;
+                extra += 1;
             }
             shared.file_epoch.fetch_add(1, Ordering::AcqRel);
             // Everything the rotation wrote is durable (it covered every
@@ -1287,8 +1298,17 @@ fn parse_file_header(bytes: &[u8]) -> WalHeader {
     }
 }
 
-/// Appends one frame: `first_lsn:u64 nbytes:u32 payload`.
+/// Appends one frame: `first_lsn:u64 nbytes:u32 payload`. The length
+/// field is a u32; a payload past that would silently truncate `nbytes`
+/// and tear the frame stream at decode, so oversized payloads are a hard
+/// error here (rotation splits long runs well below this; a single
+/// transaction batch this large is unsupported).
 fn put_frame(buf: &mut BytesMut, first_lsn: u64, payload: &[u8]) {
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "WAL frame payload of {} bytes overflows the u32 length field",
+        payload.len()
+    );
     buf.put_u64(first_lsn);
     buf.put_u32(payload.len() as u32);
     buf.put_slice(payload);
@@ -2113,6 +2133,96 @@ mod tests {
         );
         assert!(stats.max_group >= 2, "no grouping observed: {stats:?}");
         drop(wal);
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn durable_ack_covers_earlier_enqueues_on_every_shard() {
+        // Regression for the cross-shard dependency hole: async commits
+        // release locks at enqueue time, so a later synchronous commit
+        // may depend on any earlier enqueued batch regardless of shard.
+        // Its acknowledgement must therefore imply *all* earlier batches
+        // are durable, not just those on its own shard.
+        let path = temp_wal("cross-shard-ack");
+        let wal = Wal::with_file(&path).unwrap();
+        let n = wal.shard_count();
+        let mut tickets = Vec::new();
+        let mut covered = vec![false; n];
+        let mut t = 1u64;
+        while covered.iter().any(|c| !c) {
+            let s = shard_of(TxnId(t), n);
+            if !covered[s] {
+                covered[s] = true;
+                tickets.push(wal.append_batch_enqueue([
+                    LogRecord::Begin(TxnId(t)),
+                    LogRecord::Commit(TxnId(t)),
+                ]));
+            }
+            t += 1;
+        }
+        wal.append_batch_durable([LogRecord::Begin(TxnId(t)), LogRecord::Commit(TxnId(t))]);
+        for ticket in &tickets {
+            assert!(
+                ticket.is_durable(),
+                "a sync ack returned while an earlier enqueue was still in flight"
+            );
+        }
+        drop(wal);
+        remove_sharded(&path);
+    }
+
+    #[test]
+    fn truncation_removes_stale_extra_shard_files() {
+        // A run with fewer shards than its predecessor leaves trailing
+        // `.s<i>` files behind; their records are all below the reopened
+        // log's base, so the first checkpoint truncation deletes them.
+        let path = temp_wal("shrink-shards");
+        {
+            let wal = Wal::with_file_opts(
+                &path,
+                WalOptions {
+                    group_window: Duration::ZERO,
+                    shards: 4,
+                },
+            )
+            .unwrap();
+            for t in 0..16u64 {
+                let txn = TxnId(t);
+                wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+            }
+        }
+        assert!(shard_file_path(&path, 2).exists());
+        assert!(shard_file_path(&path, 3).exists());
+        let wal = Wal::with_file_opts(
+            &path,
+            WalOptions {
+                group_window: Duration::ZERO,
+                shards: 2,
+            },
+        )
+        .unwrap();
+        assert_eq!(wal.len(), 32, "stale files still bound the LSN frontier");
+        let txn = TxnId(100);
+        wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        let cut = wal.safe_cut();
+        assert_eq!(cut, 34);
+        wal.truncate_to(cut).unwrap();
+        assert!(
+            !shard_file_path(&path, 2).exists() && !shard_file_path(&path, 3).exists(),
+            "stale shard files must be deleted by truncation"
+        );
+        // The shrunk log keeps working and holds only the new tail.
+        let txn = TxnId(101);
+        wal.append_batch_durable([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        drop(wal);
+        let loaded = Wal::load_sharded(&path).unwrap();
+        assert_eq!(
+            loaded,
+            vec![
+                (34, LogRecord::Begin(TxnId(101))),
+                (35, LogRecord::Commit(TxnId(101))),
+            ]
+        );
         remove_sharded(&path);
     }
 
