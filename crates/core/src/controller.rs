@@ -127,6 +127,28 @@ impl std::fmt::Debug for ActiveMigration {
     }
 }
 
+/// Per-statement `(row_capacity, granule_size)` bitmap tracker
+/// dimensions; `(0, 0)` entries mean "hash-tracked, nothing to size".
+pub type TrackerCaps = Vec<(u64, u64)>;
+
+/// Controls for a non-standard migration submission, used by replication
+/// mirrors ([`Bullfrog::submit_migration_with`]). The default mirrors
+/// [`Bullfrog::submit_migration`] exactly.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitOptions {
+    /// Overrides `config.background.enabled` for this migration. Replicas
+    /// pass `Some(false)`: their granule state comes from the primary's
+    /// log, never from local migration work.
+    pub background: Option<bool>,
+    /// Per-statement bitmap dimensions to use instead of deriving them
+    /// from the local heap.
+    pub tracker_caps: Option<TrackerCaps>,
+    /// Skips §2.4 eager validation even when the plan requests it (the
+    /// primary already validated; re-running against a lagging replica
+    /// heap could spuriously fail).
+    pub skip_validation: bool,
+}
+
 /// Point-in-time view of an active migration's progress, as reported by
 /// [`Bullfrog::progress`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -205,7 +227,23 @@ impl Bullfrog {
     /// Submits a migration: validates, creates output tables, flips the
     /// logical schema, and (per config) schedules background migration.
     /// Returns as soon as the flip is done — O(statements), never O(data).
-    pub fn submit_migration(&self, mut plan: MigrationPlan) -> Result<Arc<ActiveMigration>> {
+    pub fn submit_migration(&self, plan: MigrationPlan) -> Result<Arc<ActiveMigration>> {
+        self.submit_migration_with(plan, SubmitOptions::default())
+            .map(|(m, _)| m)
+    }
+
+    /// As [`Bullfrog::submit_migration`], with replication-mirror controls,
+    /// returning the per-statement bitmap tracker dimensions actually used
+    /// (`(row_capacity, granule_size)`; `(0, 0)` for hash-tracked
+    /// statements). A primary journals these so its replicas allocate
+    /// identically-shaped trackers: the replica's heap bound at apply time
+    /// can lag the primary's at submit time, and a smaller bitmap would
+    /// panic on out-of-range granule marks shipped in the log.
+    pub fn submit_migration_with(
+        &self,
+        mut plan: MigrationPlan,
+        opts: SubmitOptions,
+    ) -> Result<(Arc<ActiveMigration>, TrackerCaps)> {
         if self.active.read().is_some() {
             return Err(Error::InvalidMigration(
                 "a migration is already in progress".into(),
@@ -213,7 +251,7 @@ impl Bullfrog {
         }
         plan.resolve(&self.db)?;
 
-        if plan.validate_eagerly {
+        if plan.validate_eagerly && !opts.skip_validation {
             self.validate_plan(&plan)?;
         }
 
@@ -238,17 +276,29 @@ impl Bullfrog {
         // Allocate trackers.
         let stats = Arc::new(MigrationStats::new());
         let mut runtimes = Vec::with_capacity(plan.statements.len());
+        let mut caps = Vec::with_capacity(plan.statements.len());
         for (i, s) in plan.statements.iter().enumerate() {
             let tracker: Arc<dyn Tracker> = match s.tracking() {
                 Tracking::Bitmap {
                     driving_alias,
                     granule_rows,
                 } => {
-                    let table_name = &s.spec.input(driving_alias).expect("resolved alias").table;
-                    let cap = self.db.table(table_name)?.heap().ordinal_bound();
-                    Arc::new(BitmapTracker::new(cap.max(1), *granule_rows))
+                    let (cap, gran) = match opts.tracker_caps.as_ref().and_then(|c| c.get(i)) {
+                        Some(&(cap, gran)) if cap > 0 => (cap, gran),
+                        _ => {
+                            let table_name =
+                                &s.spec.input(driving_alias).expect("resolved alias").table;
+                            let cap = self.db.table(table_name)?.heap().ordinal_bound();
+                            (cap.max(1), *granule_rows)
+                        }
+                    };
+                    caps.push((cap, gran));
+                    Arc::new(BitmapTracker::new(cap, gran))
                 }
-                Tracking::Hash { .. } | Tracking::PairHash { .. } => Arc::new(HashTracker::new()),
+                Tracking::Hash { .. } | Tracking::PairHash { .. } => {
+                    caps.push((0, 0));
+                    Arc::new(HashTracker::new())
+                }
             };
             runtimes.push(Arc::new(StatementRuntime {
                 id: i as u32,
@@ -285,7 +335,7 @@ impl Bullfrog {
         self.flipped.store(true, Ordering::Release);
 
         // Background migration threads (§2.2).
-        if self.config.background.enabled {
+        if opts.background.unwrap_or(self.config.background.enabled) {
             let mut bg_opts = self.migrate_options(true, migration.runtimes.clone(), None);
             bg_opts.cancel = Some(Arc::clone(&self.shutdown));
             let handles = crate::background::spawn_background(
@@ -297,7 +347,7 @@ impl Bullfrog {
             );
             self.bg_threads.lock().extend(handles);
         }
-        Ok(migration)
+        Ok((migration, caps))
     }
 
     /// §2.4 synchronous validation: evaluates every statement fully and
@@ -497,7 +547,8 @@ impl Bullfrog {
     }
 
     /// Finishes a completed migration: drops the old tables (when
-    /// `drop_old`) and clears the active slot. Errors when incomplete.
+    /// `drop_old`) and clears the active slot. Errors when incomplete or
+    /// when no migration is active.
     ///
     /// The per-statement completion flags are normally set by the
     /// background workers; when they are unset (e.g. background migration
@@ -505,10 +556,31 @@ impl Bullfrog {
     /// authoritative check itself: every candidate granule of every
     /// statement must be migrated.
     pub fn finalize_migration(&self, drop_old: bool) -> Result<()> {
+        self.finalize_inner(drop_old, false)
+    }
+
+    /// Finalizes without the completeness gate. A replication replica
+    /// mirrors a primary's already-gated `FINALIZE MIGRATION`: granule
+    /// records committed between the journal point and the finalize check
+    /// may still sit in the unapplied tail, so the replica's local tracker
+    /// can lag even though the primary proved completeness.
+    pub fn finalize_migration_force(&self, drop_old: bool) -> Result<()> {
+        self.finalize_inner(drop_old, true)
+    }
+
+    fn finalize_inner(&self, drop_old: bool, force: bool) -> Result<()> {
         let Some(active) = self.active() else {
-            return Ok(());
+            // Forced (mirror) finalizes stay idempotent: a replica that
+            // bootstrapped from a post-finalize snapshot has no active
+            // migration when the journaled Finalize event replays.
+            if force {
+                return Ok(());
+            }
+            return Err(Error::InvalidMigration(
+                "no active migration to finalize".into(),
+            ));
         };
-        if !active.is_complete() {
+        if !force && !active.is_complete() {
             for (idx, rt) in active.runtimes.iter().enumerate() {
                 if active.is_statement_complete(idx) {
                     continue;
@@ -522,7 +594,7 @@ impl Bullfrog {
                 }
             }
         }
-        if !active.is_complete() {
+        if !force && !active.is_complete() {
             return Err(Error::InvalidMigration(format!(
                 "migration '{}' is not complete",
                 active.name

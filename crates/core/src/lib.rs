@@ -46,7 +46,9 @@ pub use access::{ClientAccess, Passthrough, SchemaVersion};
 pub use background::BackgroundConfig;
 pub use baselines::{EagerMigrator, MultiStepMigrator};
 pub use bitmap::BitmapTracker;
-pub use controller::{ActiveMigration, Bullfrog, BullfrogConfig, MigrationProgress};
+pub use controller::{
+    ActiveMigration, Bullfrog, BullfrogConfig, MigrationProgress, SubmitOptions, TrackerCaps,
+};
 pub use granule::{Granule, GranuleState, Tracker};
 pub use hashmap::HashTracker;
 pub use migrate::{

@@ -218,6 +218,19 @@ impl Checkpointer {
         self.path.as_deref()
     }
 
+    /// A consistent clone of the running image. Used by replication to
+    /// serve snapshot bootstraps without re-reading the sidecar file.
+    pub fn image_snapshot(&self) -> CheckpointImage {
+        self.image.lock().clone()
+    }
+
+    /// Replaces the running image. Used when restoring a primary from
+    /// files: the restored image must seed the checkpointer, or the next
+    /// checkpoint would absorb from LSN 0 and miss the truncated prefix.
+    pub fn seed(&self, image: CheckpointImage) {
+        *self.image.lock() = image;
+    }
+
     /// Runs one checkpoint cycle against `db`: pick the cut, absorb the
     /// delta, persist the image, truncate the log.
     pub fn run(&self, db: &Database) -> Result<CheckpointStats> {

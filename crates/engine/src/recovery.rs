@@ -13,7 +13,7 @@
 //! caller; `bullfrog-core` uses them to rebuild its bitmap/hashmap trackers
 //! (paper §3.5 — listed there as unimplemented future work).
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::Path;
 
 use bullfrog_common::{Result, TxnId};
@@ -160,6 +160,121 @@ pub fn recover_from_files(
     replay_with_checkpoint(db, &image, &tail)
 }
 
+/// Effect of feeding one record to a [`StreamingReplay`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApplyOutcome {
+    /// Data records applied to the database by this call (non-zero only
+    /// when the record was a `Commit`, which flushes its buffered txn).
+    pub applied: usize,
+    /// Whether this record committed a transaction.
+    pub committed: bool,
+    /// Migration granules of the committed transaction, if any.
+    pub granules: Vec<(u32, GranuleKey)>,
+    /// Buffered records dropped because their table is unknown locally.
+    pub skipped_unknown_table: usize,
+}
+
+/// Incremental redo-apply for a live log tail, e.g. replicated frames.
+///
+/// [`replay`] needs the whole record slice up front to decide commit
+/// status; a replication stream never ends, so this buffers each
+/// transaction's records until its `Commit` arrives (then applies the
+/// whole txn atomically from the caller's perspective) or its `Abort`
+/// (then drops them). Because a replica only ever receives frames below
+/// the primary's merged durable horizon, the stream it sees is exactly a
+/// recoverable log prefix — applying txn-at-a-time here produces the same
+/// state [`replay`] would.
+///
+/// Records whose table is unknown locally are skipped (counted, not
+/// fatal): the replica applies DDL at journal-defined points, and a
+/// record for a table dropped by a later `FINALIZE MIGRATION` can
+/// legitimately still sit in the tail.
+#[derive(Debug, Default)]
+pub struct StreamingReplay {
+    buffered: HashMap<TxnId, Vec<LogRecord>>,
+}
+
+impl StreamingReplay {
+    /// An empty replay with no buffered transactions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every buffered transaction (re-bootstrap from a snapshot:
+    /// the image's cut is transaction-safe, so any half-buffered txn is
+    /// either fully inside the image or will be re-streamed above it).
+    pub fn clear(&mut self) {
+        self.buffered.clear();
+    }
+
+    /// Transactions currently buffered awaiting their outcome.
+    pub fn buffered_txns(&self) -> usize {
+        self.buffered.len()
+    }
+
+    /// Feeds the next record in LSN order. Data records buffer; `Commit`
+    /// applies the transaction's buffered records to `db` and reports
+    /// granules; `Abort` discards them.
+    pub fn apply(&mut self, db: &Database, rec: &LogRecord) -> Result<ApplyOutcome> {
+        let mut out = ApplyOutcome::default();
+        match rec {
+            LogRecord::Begin(txn) => {
+                self.buffered.entry(*txn).or_default();
+            }
+            LogRecord::Abort(txn) => {
+                self.buffered.remove(txn);
+            }
+            LogRecord::Commit(txn) => {
+                out.committed = true;
+                for rec in self.buffered.remove(txn).unwrap_or_default() {
+                    match &rec {
+                        LogRecord::Insert {
+                            table, rid, row, ..
+                        } => match db.catalog().get_by_id(*table) {
+                            Ok(t) => {
+                                t.place(*rid, row.clone())?;
+                                out.applied += 1;
+                            }
+                            Err(_) => out.skipped_unknown_table += 1,
+                        },
+                        LogRecord::Update {
+                            table, rid, after, ..
+                        } => match db.catalog().get_by_id(*table) {
+                            Ok(t) => {
+                                t.update(*rid, after.clone())?;
+                                out.applied += 1;
+                            }
+                            Err(_) => out.skipped_unknown_table += 1,
+                        },
+                        LogRecord::Delete { table, rid, .. } => {
+                            match db.catalog().get_by_id(*table) {
+                                Ok(t) => {
+                                    t.delete(*rid)?;
+                                    out.applied += 1;
+                                }
+                                Err(_) => out.skipped_unknown_table += 1,
+                            }
+                        }
+                        LogRecord::MigrationGranule {
+                            migration, granule, ..
+                        } => {
+                            out.granules.push((*migration, granule.clone()));
+                        }
+                        LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+                    }
+                }
+            }
+            data => {
+                self.buffered
+                    .entry(data.txn())
+                    .or_default()
+                    .push(rec.clone());
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +414,77 @@ mod tests {
         db2.create_table(schema()).unwrap();
         let stats = replay(&db2, &db.wal().snapshot()).unwrap();
         assert_eq!(stats.migrated_granules, vec![(1, GranuleKey::Ordinal(5))]);
+    }
+
+    #[test]
+    fn streaming_replay_matches_batch_replay() {
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+        db.with_txn(|txn| {
+            db.insert(txn, "t", row![1, "one"])?;
+            db.insert(txn, "t", row![2, "two"])
+        })
+        .unwrap();
+        let mut aborted = db.begin();
+        db.insert(&mut aborted, "t", row![3, "ghost"]).unwrap();
+        db.abort(&mut aborted);
+        db.with_txn(|txn| {
+            let (rid, _) = db
+                .get_by_pk(txn, "t", &[Value::Int(2)], LockPolicy::Exclusive)?
+                .unwrap();
+            db.delete(txn, "t", rid).map(|_| ())
+        })
+        .unwrap();
+
+        let db2 = Database::new();
+        db2.create_table(schema()).unwrap();
+        let mut stream = StreamingReplay::new();
+        let mut applied = 0;
+        for rec in db.wal().snapshot() {
+            applied += stream.apply(&db2, &rec).unwrap().applied;
+        }
+        assert_eq!(stream.buffered_txns(), 0);
+
+        let db3 = Database::new();
+        db3.create_table(schema()).unwrap();
+        let stats = replay(&db3, &db.wal().snapshot()).unwrap();
+        assert_eq!(applied, stats.applied);
+        assert_eq!(
+            db2.select_unlocked("t", None).unwrap(),
+            db3.select_unlocked("t", None).unwrap()
+        );
+    }
+
+    #[test]
+    fn streaming_replay_skips_unknown_tables_and_reports_granules() {
+        use bullfrog_common::TableId;
+        use bullfrog_txn::LogRecord;
+        let db = Database::new();
+        db.create_table(schema()).unwrap();
+        let txn = TxnId(7);
+        let recs = vec![
+            LogRecord::Begin(txn),
+            LogRecord::Insert {
+                txn,
+                table: TableId(99),
+                rid: bullfrog_common::RowId::new(0, 0),
+                row: row![1, "orphan"],
+            },
+            LogRecord::MigrationGranule {
+                txn,
+                migration: 2,
+                granule: GranuleKey::Ordinal(4),
+            },
+            LogRecord::Commit(txn),
+        ];
+        let mut stream = StreamingReplay::new();
+        let mut last = ApplyOutcome::default();
+        for rec in &recs {
+            last = stream.apply(&db, rec).unwrap();
+        }
+        assert!(last.committed);
+        assert_eq!(last.applied, 0);
+        assert_eq!(last.skipped_unknown_table, 1);
+        assert_eq!(last.granules, vec![(2, GranuleKey::Ordinal(4))]);
     }
 }

@@ -322,3 +322,57 @@ fn checkpoint_racing_commits_loses_nothing() {
     remove_wal_shards(&wal_path);
     let _ = std::fs::remove_file(&ckpt_path);
 }
+
+/// A registered retain horizon (a replication subscription's resume
+/// point) must pin checkpoint truncation: the tail at or above the
+/// horizon stays readable until the consumer releases it.
+#[test]
+fn checkpoint_truncation_respects_retain_horizon() {
+    let (db, wal_path, ckpt_path) = file_db("retain", 2);
+    for i in 0..30i64 {
+        db.with_txn(|txn| db.insert(txn, "t", row![i, i]).map(|_| ()))
+            .unwrap();
+    }
+    db.wal().sync();
+    let mid = db.wal().frontier() / 2;
+    let (retain_id, granted) = db.wal().register_retain(mid);
+    assert_eq!(
+        granted, mid,
+        "nothing truncated yet: horizon granted as asked"
+    );
+
+    for i in 30..60i64 {
+        db.with_txn(|txn| db.insert(txn, "t", row![i, i]).map(|_| ()))
+            .unwrap();
+    }
+    db.wal().sync();
+    db.checkpoint().unwrap();
+    assert_eq!(
+        db.wal().base_lsn(),
+        mid,
+        "truncation must clamp to the registered retain horizon"
+    );
+    let (tail, _) = db.wal().durable_records_from(mid, usize::MAX);
+    assert!(
+        !tail.is_empty() && tail[0].0 == mid,
+        "the retained tail must still be streamable from the horizon"
+    );
+
+    // Release, write a little more (so the next safe cut moves), and the
+    // next checkpoint reclaims the formerly pinned tail.
+    db.wal().release_retain(retain_id);
+    for i in 60..70i64 {
+        db.with_txn(|txn| db.insert(txn, "t", row![i, i]).map(|_| ()))
+            .unwrap();
+    }
+    db.wal().sync();
+    db.checkpoint().unwrap();
+    assert!(
+        db.wal().base_lsn() > mid,
+        "released horizon must stop pinning truncation"
+    );
+
+    drop(db);
+    remove_wal_shards(&wal_path);
+    let _ = std::fs::remove_file(&ckpt_path);
+}

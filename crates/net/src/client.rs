@@ -30,6 +30,11 @@ pub enum ClientError {
     Server {
         /// Whether a retry may succeed (lock timeouts, server busy).
         retryable: bool,
+        /// Machine-readable classification
+        /// ([`err_code`](crate::wire::err_code)) — e.g. distinguishing
+        /// "server busy" from "read-only replica", which are both
+        /// retryable but want different retry targets.
+        code: u8,
         /// Server-reported cause.
         message: String,
     },
@@ -40,8 +45,15 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "io: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
-            ClientError::Server { retryable, message } => {
-                write!(f, "server: {message} (retryable: {retryable})")
+            ClientError::Server {
+                retryable,
+                code,
+                message,
+            } => {
+                write!(
+                    f,
+                    "server: {message} (retryable: {retryable}, code: {code})"
+                )
             }
         }
     }
@@ -115,10 +127,18 @@ impl Client {
         match self.round_trip(request)? {
             Response::Rows { names, rows } => Ok(QueryReply::Rows { names, rows }),
             Response::Ok { affected } => Ok(QueryReply::Ok { affected }),
-            Response::Err { retryable, message } => Err(ClientError::Server { retryable, message }),
-            Response::Stats(_) => Err(ClientError::Protocol(
-                "unexpected STATS reply to a query".into(),
-            )),
+            Response::Err {
+                retryable,
+                code,
+                message,
+            } => Err(ClientError::Server {
+                retryable,
+                code,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to a query: {other:?}"
+            ))),
         }
     }
 
@@ -147,10 +167,12 @@ impl Client {
                 Ok(n) => return Ok(n),
                 Err(ClientError::Server {
                     retryable: true,
+                    code,
                     message,
                 }) => {
                     last = Some(ClientError::Server {
                         retryable: true,
+                        code,
                         message,
                     });
                 }
@@ -176,7 +198,15 @@ impl Client {
     pub fn checkpoint(&mut self) -> ClientResult<u64> {
         match self.round_trip(&Request::Checkpoint)? {
             Response::Ok { affected } => Ok(affected),
-            Response::Err { retryable, message } => Err(ClientError::Server { retryable, message }),
+            Response::Err {
+                retryable,
+                code,
+                message,
+            } => Err(ClientError::Server {
+                retryable,
+                code,
+                message,
+            }),
             other => Err(ClientError::Protocol(format!(
                 "unexpected checkpoint reply {other:?}"
             ))),

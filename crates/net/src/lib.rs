@@ -26,6 +26,6 @@ pub mod session;
 pub mod wire;
 
 pub use client::{Client, ClientError, ClientResult, QueryReply};
-pub use server::{Server, ServerConfig};
-pub use session::{Session, SessionCounters};
-pub use wire::{Request, Response, MAX_FRAME_BYTES, PREAMBLE};
+pub use server::{DdlEvent, ReadOnly, ReplicationHooks, Server, ServerConfig};
+pub use session::{build_migration_plan, Session, SessionCounters};
+pub use wire::{err_code, Request, Response, WireDdl, MAX_FRAME_BYTES, PREAMBLE};

@@ -28,17 +28,107 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use bullfrog_common::Result;
 use bullfrog_core::{Bullfrog, ClientAccess, DurabilityStats};
 use bullfrog_engine::CheckpointScheduler;
+use bytes::Bytes;
 
 use crate::session::{Session, SessionCounters};
-use crate::wire::{self, Request, Response};
+use crate::wire::{self, err_code, Request, Response};
 
 /// Granularity of the idle/stop polling slice.
 const POLL_SLICE: Duration = Duration::from_millis(25);
 
+/// A DDL action a primary records for its replicas. DDL is not
+/// WAL-logged (recovery re-creates the catalog from the caller's
+/// schema), so replication carries it out-of-band in a journal; the
+/// payloads here are what the journal stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdlEvent {
+    /// `CREATE TABLE ...` — the statement text, re-parsed on the replica.
+    Create {
+        /// Original statement text.
+        sql: String,
+    },
+    /// Migration DDL (`CREATE TABLE ... AS SELECT ...`). `caps` are the
+    /// primary's per-statement bitmap tracker dimensions
+    /// (`(row_capacity, granule_size)`; `(0, 0)` for hash tracking): the
+    /// replica must allocate identically-shaped trackers or the granule
+    /// ordinals shipped in the log would not line up.
+    Migrate {
+        /// Original statement text.
+        sql: String,
+        /// Primary's tracker dimensions, per plan statement.
+        caps: Vec<(u64, u64)>,
+    },
+    /// `FINALIZE MIGRATION [DROP OLD]` — the statement text.
+    Finalize {
+        /// Original statement text.
+        sql: String,
+    },
+}
+
+/// Primary-side replication callbacks. Implemented by
+/// `bullfrog-repl`'s `ReplicationSender`; kept as a trait here so `net`
+/// (which `repl` depends on) never depends back on `repl`.
+pub trait ReplicationHooks: Send + Sync {
+    /// Runs one DDL statement under the replication DDL-journal lock:
+    /// `exec` performs the catalog change and returns the event to
+    /// journal; the implementation samples the WAL frontier *before*
+    /// calling it (the event's apply point) and appends the event only
+    /// if `exec` succeeds. The lock serializes DDL, so journal order
+    /// equals catalog-creation order and
+    /// [`TableId`](bullfrog_common::TableId)s match on every replica.
+    fn journaled_ddl(&self, exec: &mut dyn FnMut() -> Result<DdlEvent>) -> Result<()>;
+
+    /// Encodes a bootstrap snapshot (checkpoint image + DDL journal).
+    fn snapshot(&self) -> Result<Bytes>;
+
+    /// Takes over `stream` as a replication subscription: validates
+    /// `from_lsn`/`ddl_seq`, answers `OK` or `ERR SNAPSHOT_REQUIRED`
+    /// itself, then streams `FRAMES` until the replica disconnects or
+    /// `stop()` turns true.
+    fn subscribe(
+        &self,
+        stream: TcpStream,
+        from_lsn: u64,
+        ddl_seq: u64,
+        stop: &dyn Fn() -> bool,
+    ) -> std::io::Result<()>;
+
+    /// `repl.*` counters for `STATUS`.
+    fn status(&self) -> Vec<(String, i64)>;
+}
+
+/// Marks a server as a read-only replica: sessions accept `SELECT`
+/// (and `STATUS`/`CHECKPOINT` plumbing) but reject writes and DDL with
+/// a retryable [`err_code::READ_ONLY`] error naming the primary.
+#[derive(Clone)]
+pub struct ReadOnly {
+    /// Primary address, quoted in rejection messages so clients can
+    /// redirect.
+    pub primary: String,
+    /// The replica's apply gate: the log applier holds the write half
+    /// around each transaction batch, read sessions hold the read half
+    /// per statement — readers never observe a half-applied transaction.
+    pub gate: Arc<parking_lot::RwLock<()>>,
+    /// Replica-side `repl.*` counters for `STATUS`.
+    pub status: Option<StatusFn>,
+}
+
+/// A pluggable `STATUS` counter source (replica-side `repl.*` pairs).
+pub type StatusFn = Arc<dyn Fn() -> Vec<(String, i64)> + Send + Sync>;
+
+impl std::fmt::Debug for ReadOnly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReadOnly")
+            .field("primary", &self.primary)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Server tuning knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Concurrent session cap; further connections get a retryable
     /// `server busy` error.
@@ -47,6 +137,11 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Abort (never commit) a statement that ran longer than this.
     pub statement_timeout: Duration,
+    /// Primary-side replication: serve `SUBSCRIBE`/`SNAPSHOT` and
+    /// journal DDL through these hooks.
+    pub replication: Option<Arc<dyn ReplicationHooks>>,
+    /// Replica-side read-only mode.
+    pub read_only: Option<ReadOnly>,
 }
 
 impl Default for ServerConfig {
@@ -55,7 +150,21 @@ impl Default for ServerConfig {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             statement_timeout: Duration::from_secs(10),
+            replication: None,
+            read_only: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("max_connections", &self.max_connections)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("statement_timeout", &self.statement_timeout)
+            .field("replication", &self.replication.is_some())
+            .field("read_only", &self.read_only)
+            .finish()
     }
 }
 
@@ -191,6 +300,7 @@ fn spawn_session(mut stream: TcpStream, shared: Arc<Shared>) {
         shared.rejected.fetch_add(1, Ordering::Relaxed);
         let busy = Response::Err {
             retryable: true,
+            code: err_code::BUSY,
             message: format!(
                 "server busy: {} connections (max {})",
                 prev, shared.config.max_connections
@@ -283,6 +393,12 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
         Arc::clone(&shared.counters),
         shared.config.statement_timeout,
     );
+    if let Some(hooks) = &shared.config.replication {
+        session = session.with_ddl_hooks(Arc::clone(hooks));
+    }
+    if let Some(ro) = &shared.config.read_only {
+        session = session.with_read_only(ro.clone());
+    }
     loop {
         stream.set_read_timeout(Some(POLL_SLICE))?;
         match wait_readable(&stream, shared) {
@@ -316,6 +432,39 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 shared.stop.store(true, Ordering::Release);
                 return Ok(());
             }
+            Ok(Request::Subscribe { from_lsn, ddl_seq }) => match &shared.config.replication {
+                Some(hooks) => {
+                    // Hand the socket to the replication sender; it owns
+                    // framing from here until the replica disconnects or
+                    // the server stops. The session slot stays claimed,
+                    // so shutdown drains subscriptions like any session.
+                    session.abort_open();
+                    let stop = || shared.stop.load(Ordering::Acquire);
+                    let _ = hooks.subscribe(stream, from_lsn, ddl_seq, &stop);
+                    return Ok(());
+                }
+                None => Response::Err {
+                    retryable: false,
+                    code: err_code::GENERAL,
+                    message: "replication is not enabled on this server".into(),
+                },
+            },
+            Ok(Request::Snapshot) => match &shared.config.replication {
+                Some(hooks) => match hooks.snapshot() {
+                    Ok(payload) => Response::Snapshot { payload },
+                    Err(e) => Response::from_error(&e),
+                },
+                None => Response::Err {
+                    retryable: false,
+                    code: err_code::GENERAL,
+                    message: "replication is not enabled on this server".into(),
+                },
+            },
+            Ok(Request::ReplAck { .. }) => Response::Err {
+                retryable: false,
+                code: err_code::GENERAL,
+                message: "REPL_ACK is only valid on a subscribed connection".into(),
+            },
         };
         wire::write_frame(&mut writer, &response.encode())?;
     }
@@ -416,6 +565,20 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
         push("scheduler.last_absorbed", st.last_absorbed as i64);
     } else {
         push("scheduler.enabled", 0);
+    }
+
+    // Replication: the primary's sender hooks or the replica's local
+    // counters, whichever side this server is.
+    if let Some(hooks) = &shared.config.replication {
+        out.extend(hooks.status());
+    }
+    if let Some(f) = shared
+        .config
+        .read_only
+        .as_ref()
+        .and_then(|ro| ro.status.as_ref())
+    {
+        out.extend(f());
     }
     out
 }

@@ -15,18 +15,20 @@
 //! not-yet-migrated slice of an output table migrates it, exactly once,
 //! before the statement proceeds.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bullfrog_common::{Error, Result};
-use bullfrog_core::{Bullfrog, ClientAccess};
+use bullfrog_core::{Bullfrog, ClientAccess, Passthrough};
 use bullfrog_engine::exec::ExecOptions;
 use bullfrog_engine::LockPolicy;
 use bullfrog_sql::{parse_statement, reorder_insert_rows, Statement};
-use bullfrog_txn::Transaction;
+use bullfrog_txn::{CommitTicket, Transaction};
 
-use crate::wire::Response;
+use crate::server::{DdlEvent, ReadOnly, ReplicationHooks};
+use crate::wire::{err_code, Response};
 
 /// Counters shared by every session of a server (reported by `STATUS`).
 #[derive(Debug, Default)]
@@ -60,6 +62,46 @@ pub struct Session {
     counters: Arc<SessionCounters>,
     statement_timeout: Duration,
     txn: Option<Transaction>,
+    /// `SET COMMIT_MODE NOWAIT(n)`: the bounded window of un-durable
+    /// commit tickets (`None` = synchronous commits).
+    commit_window: Option<CommitWindow>,
+    /// Primary-side replication: DDL runs through the journal.
+    hooks: Option<Arc<dyn ReplicationHooks>>,
+    /// Replica-side read-only mode.
+    read_only: Option<ReadOnly>,
+}
+
+/// The `NOWAIT(max_unacked)` session state: every commit is
+/// acknowledged at WAL-enqueue time, and the session blocks on the
+/// oldest outstanding ticket once more than `max_unacked` commits are
+/// still un-durable.
+struct CommitWindow {
+    max_unacked: u64,
+    outstanding: VecDeque<CommitTicket>,
+}
+
+impl CommitWindow {
+    /// Admits a fresh ticket: prune tickets the durable horizon already
+    /// covers, then block on the oldest while the window is over
+    /// capacity. The wait is on the *merged* horizon (see
+    /// `CommitTicket::wait`), so a drained window implies every earlier
+    /// commit of this session is durable.
+    fn push(&mut self, ticket: CommitTicket) {
+        self.outstanding.push_back(ticket);
+        while self.outstanding.front().is_some_and(|t| t.is_durable()) {
+            self.outstanding.pop_front();
+        }
+        while self.outstanding.len() as u64 > self.max_unacked {
+            let t = self.outstanding.pop_front().expect("len > 0");
+            t.wait();
+        }
+    }
+
+    fn drain(&mut self) {
+        for t in self.outstanding.drain(..) {
+            t.wait();
+        }
+    }
 }
 
 impl Session {
@@ -74,7 +116,23 @@ impl Session {
             counters,
             statement_timeout,
             txn: None,
+            commit_window: None,
+            hooks: None,
+            read_only: None,
         }
+    }
+
+    /// Routes this session's DDL through the primary's replication
+    /// journal.
+    pub fn with_ddl_hooks(mut self, hooks: Arc<dyn ReplicationHooks>) -> Self {
+        self.hooks = Some(hooks);
+        self
+    }
+
+    /// Makes this a read-only replica session.
+    pub fn with_read_only(mut self, ro: ReadOnly) -> Self {
+        self.read_only = Some(ro);
+        self
     }
 
     /// True while an explicit transaction is open.
@@ -89,31 +147,104 @@ impl Session {
     pub fn execute(&mut self, sql: &str) -> Response {
         SessionCounters::bump(&self.counters.statements, 1);
         let started = Instant::now();
-        let result = parse_statement(sql).and_then(|stmt| self.run(stmt, started));
-        match result {
+        let stmt = match parse_statement(sql) {
+            Ok(stmt) => stmt,
+            Err(e) => return self.fail(&e),
+        };
+        if self.read_only.is_some() {
+            return self.run_read_only(stmt);
+        }
+        match self.run(stmt, sql, started) {
             Ok(resp) => resp,
-            Err(e) => {
-                SessionCounters::bump(&self.counters.errors, 1);
-                // A failed statement cannot leave a broken transaction
-                // open behind the client's back.
-                if let Some(mut txn) = self.txn.take() {
-                    self.bf.db().abort(&mut txn);
-                    SessionCounters::bump(&self.counters.aborts, 1);
-                }
-                Response::from_error(&e)
-            }
+            Err(e) => self.fail(&e),
         }
     }
 
-    /// Aborts any open transaction (disconnect / drain path).
+    /// Error path shared by every statement: count it, abort any open
+    /// transaction, and build the wire error.
+    fn fail(&mut self, e: &Error) -> Response {
+        SessionCounters::bump(&self.counters.errors, 1);
+        // A failed statement cannot leave a broken transaction open
+        // behind the client's back.
+        if let Some(mut txn) = self.txn.take() {
+            self.bf.db().abort(&mut txn);
+            SessionCounters::bump(&self.counters.aborts, 1);
+        }
+        Response::from_error(e)
+    }
+
+    /// Aborts any open transaction (disconnect / drain path) and drains
+    /// the async-commit window so an orderly close acknowledges nothing
+    /// it cannot keep.
     pub fn abort_open(&mut self) {
         if let Some(mut txn) = self.txn.take() {
             self.bf.db().abort(&mut txn);
             SessionCounters::bump(&self.counters.aborts, 1);
         }
+        if let Some(w) = &mut self.commit_window {
+            w.drain();
+        }
     }
 
-    fn run(&mut self, stmt: Statement, started: Instant) -> Result<Response> {
+    /// Replica statement surface: `SELECT` runs against the local heaps
+    /// under the apply gate; everything else is redirected to the
+    /// primary with a retryable [`err_code::READ_ONLY`] error.
+    fn run_read_only(&mut self, stmt: Statement) -> Response {
+        let ro = self.read_only.clone().expect("read_only checked");
+        match stmt {
+            Statement::Select(spec) => {
+                // Hold the apply gate's read half for the whole
+                // statement: the log applier takes the write half per
+                // transaction batch, so this read sees only whole
+                // transactions. Reads bypass the migration controller
+                // (`Passthrough`) — interposition would try to *write*
+                // migrated rows, and this node's granule state comes
+                // from the primary's log, never from local work.
+                let _gate = ro.gate.read();
+                let pass = Passthrough::new(Arc::clone(self.bf.db()));
+                let result = (|| {
+                    let spec = bullfrog_sql::qualify_spec(self.bf.db(), &spec)?;
+                    let mut txn = self.bf.db().begin();
+                    let out = pass.execute_spec(
+                        &mut txn,
+                        &spec,
+                        &ExecOptions {
+                            lock: LockPolicy::Shared,
+                            ..ExecOptions::default()
+                        },
+                    );
+                    self.bf.db().abort(&mut txn); // read-only; release locks
+                    out
+                })();
+                match result {
+                    Ok(out) => {
+                        SessionCounters::bump(&self.counters.rows_returned, out.rows.len() as u64);
+                        Response::Rows {
+                            names: out.names,
+                            rows: out.rows,
+                        }
+                    }
+                    Err(e) => {
+                        SessionCounters::bump(&self.counters.errors, 1);
+                        Response::from_error(&e)
+                    }
+                }
+            }
+            _ => {
+                SessionCounters::bump(&self.counters.errors, 1);
+                Response::Err {
+                    retryable: true,
+                    code: err_code::READ_ONLY,
+                    message: format!(
+                        "read-only replica: writes and DDL must go to the primary at {}",
+                        ro.primary
+                    ),
+                }
+            }
+        }
+    }
+
+    fn run(&mut self, stmt: Statement, sql: &str, started: Instant) -> Result<Response> {
         match stmt {
             Statement::Begin => {
                 if self.txn.is_some() {
@@ -127,9 +258,10 @@ impl Session {
                     .txn
                     .take()
                     .ok_or_else(|| Error::Eval("COMMIT outside a transaction".into()))?;
-                self.bf.db().commit(&mut txn)?;
-                SessionCounters::bump(&self.counters.commits, 1);
-                Ok(Response::Ok { affected: 0 })
+                let acked_lsn = self.commit_txn(&mut txn)?;
+                Ok(Response::Ok {
+                    affected: acked_lsn,
+                })
             }
             Statement::CommitNowait => {
                 let mut txn = self
@@ -156,15 +288,38 @@ impl Session {
                 SessionCounters::bump(&self.counters.aborts, 1);
                 Ok(Response::Ok { affected: 0 })
             }
+            Statement::SetCommitMode { max_unacked } => {
+                // Leaving NOWAIT (or shrinking the window) drains first:
+                // the mode switch must not silently strand acknowledged
+                // commits outside any window bound.
+                if let Some(w) = &mut self.commit_window {
+                    w.drain();
+                }
+                self.commit_window = max_unacked.map(|max_unacked| CommitWindow {
+                    max_unacked,
+                    outstanding: VecDeque::new(),
+                });
+                Ok(Response::Ok { affected: 0 })
+            }
             Statement::CreateTable(schema) => {
-                self.bf.db().create_table(schema)?;
+                if let Some(hooks) = self.hooks.clone() {
+                    let db = Arc::clone(self.bf.db());
+                    hooks.journaled_ddl(&mut || {
+                        db.create_table(schema.clone())?;
+                        Ok(DdlEvent::Create {
+                            sql: sql.to_string(),
+                        })
+                    })?;
+                } else {
+                    self.bf.db().create_table(schema)?;
+                }
                 Ok(Response::Ok { affected: 0 })
             }
             Statement::CreateTableAs {
                 name,
                 select,
                 primary_key,
-            } => self.submit_migration(name, select, primary_key),
+            } => self.submit_migration(name, select, primary_key, sql),
             Statement::Checkpoint => {
                 let stats = self.bf.db().checkpoint()?;
                 Ok(Response::Ok {
@@ -175,11 +330,44 @@ impl Session {
                 // Give lazy stragglers and background threads a bounded
                 // chance to finish before the authoritative check.
                 self.bf.wait_migration_complete(FINALIZE_WAIT);
-                self.bf.finalize_migration(drop_old)?;
+                if let Some(hooks) = self.hooks.clone() {
+                    let bf = Arc::clone(&self.bf);
+                    hooks.journaled_ddl(&mut || {
+                        bf.finalize_migration(drop_old)?;
+                        Ok(DdlEvent::Finalize {
+                            sql: sql.to_string(),
+                        })
+                    })?;
+                } else {
+                    self.bf.finalize_migration(drop_old)?;
+                }
                 Ok(Response::Ok { affected: 0 })
             }
             dml => self.run_dml(dml, started),
         }
+    }
+
+    /// Commits per the session's commit mode: synchronous by default;
+    /// in `NOWAIT(n)` the acknowledgement happens at enqueue time and
+    /// the ticket joins the bounded window. Returns the value for the
+    /// response's `affected` field (the ticket's wait-LSN in NOWAIT
+    /// mode, 0 for a synchronous commit, matching `COMMIT`'s historic
+    /// reply).
+    fn commit_txn(&mut self, txn: &mut Transaction) -> Result<u64> {
+        let acked = match &mut self.commit_window {
+            None => {
+                self.bf.db().commit(txn)?;
+                0
+            }
+            Some(window) => {
+                let ticket = self.bf.db().commit_nowait(txn)?;
+                let lsn = ticket.wait_lsn();
+                window.push(ticket);
+                lsn
+            }
+        };
+        SessionCounters::bump(&self.counters.commits, 1);
+        Ok(acked)
     }
 
     /// Runs a DML statement inside the session's transaction (or an
@@ -205,8 +393,7 @@ impl Session {
         match result {
             Ok(resp) => {
                 if autocommit {
-                    self.bf.db().commit(&mut txn)?;
-                    SessionCounters::bump(&self.counters.commits, 1);
+                    self.commit_txn(&mut txn)?;
                 } else {
                     self.txn = Some(txn);
                 }
@@ -302,28 +489,55 @@ impl Session {
         name: String,
         select: bullfrog_query::SelectSpec,
         primary_key: Vec<String>,
+        sql: &str,
     ) -> Result<Response> {
         if self.txn.is_some() {
             return Err(Error::Eval(
                 "migration DDL cannot run inside an explicit transaction".into(),
             ));
         }
-        let db = self.bf.db();
-        let spec = bullfrog_sql::qualify_spec(db, &select)?;
-        let mut schema = bullfrog_sql::infer_output_schema(db, &name, &spec, &[])?;
-        if !primary_key.is_empty() {
-            schema.primary_key = primary_key;
-            for c in &mut schema.columns {
-                if schema.primary_key.contains(&c.name) {
-                    c.nullable = false;
-                }
-            }
+        let plan = build_migration_plan(&self.bf, name, &select, primary_key)?;
+        if let Some(hooks) = self.hooks.clone() {
+            let bf = Arc::clone(&self.bf);
+            hooks.journaled_ddl(&mut || {
+                let (_migration, caps) = bf
+                    .submit_migration_with(plan.clone(), bullfrog_core::SubmitOptions::default())?;
+                Ok(DdlEvent::Migrate {
+                    sql: sql.to_string(),
+                    caps,
+                })
+            })?;
+        } else {
+            self.bf.submit_migration(plan)?;
         }
-        let plan = bullfrog_core::MigrationPlan::new(name)
-            .with_statement(bullfrog_core::MigrationStatement::new(schema, spec));
-        self.bf.submit_migration(plan)?;
         Ok(Response::Ok { affected: 0 })
     }
+}
+
+/// Migration DDL → [`MigrationPlan`](bullfrog_core::MigrationPlan):
+/// schema inference against the live catalog, plus the optional
+/// re-declared primary key. Shared with `bullfrog-repl`, which replays
+/// journaled migration DDL through exactly this path so the replica's
+/// plan resolution matches the primary's.
+pub fn build_migration_plan(
+    bf: &Bullfrog,
+    name: String,
+    select: &bullfrog_query::SelectSpec,
+    primary_key: Vec<String>,
+) -> Result<bullfrog_core::MigrationPlan> {
+    let db = bf.db();
+    let spec = bullfrog_sql::qualify_spec(db, select)?;
+    let mut schema = bullfrog_sql::infer_output_schema(db, &name, &spec, &[])?;
+    if !primary_key.is_empty() {
+        schema.primary_key = primary_key;
+        for c in &mut schema.columns {
+            if schema.primary_key.contains(&c.name) {
+                c.nullable = false;
+            }
+        }
+    }
+    Ok(bullfrog_core::MigrationPlan::new(name)
+        .with_statement(bullfrog_core::MigrationStatement::new(schema, spec)))
 }
 
 impl Drop for Session {

@@ -16,9 +16,21 @@
 //! ([`bullfrog_txn::wal::codec`]) so the wire and the log agree on what
 //! a row looks like. Frames are capped at [`MAX_FRAME_BYTES`]; a peer
 //! announcing a larger frame is a protocol error, not an allocation.
+//!
+//! ## Wire-compatible revisions within version 1
+//!
+//! `ERR` payloads grew a trailing error-code byte (see [`err_code`])
+//! after the first release of the protocol. The byte sits at the *end*
+//! of the payload and decoders treat its absence as
+//! [`err_code::GENERAL`], so old clients ignore it and new clients
+//! interoperate with old servers — no version bump needed. The
+//! replication opcodes (`SUBSCRIBE`/`SNAPSHOT`/`REPL_ACK` requests,
+//! `FRAMES`/`SNAPSHOT` responses) are new opcodes, which old peers
+//! reject as unknown; they never appear unless a client asks.
 
 use bullfrog_common::{Error, Result, Row};
 use bullfrog_txn::wal::codec;
+use bullfrog_txn::LogRecord;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::io::{Read, Write};
 
@@ -34,6 +46,9 @@ mod req {
     pub const CHECKPOINT: u8 = 0x02;
     pub const STATUS: u8 = 0x03;
     pub const SHUTDOWN: u8 = 0x04;
+    pub const SUBSCRIBE: u8 = 0x05;
+    pub const SNAPSHOT: u8 = 0x06;
+    pub const REPL_ACK: u8 = 0x07;
 }
 
 /// Response opcodes (server → client).
@@ -42,6 +57,27 @@ mod resp {
     pub const OK: u8 = 0x82;
     pub const ERR: u8 = 0x83;
     pub const STATS: u8 = 0x84;
+    pub const FRAMES: u8 = 0x85;
+    pub const SNAPSHOT: u8 = 0x86;
+}
+
+/// Machine-readable `ERR` classification, carried as a trailing payload
+/// byte so clients can pick a retry policy without parsing messages.
+pub mod err_code {
+    /// Anything without a more specific class (also what decoders assume
+    /// when an old peer omits the byte).
+    pub const GENERAL: u8 = 0;
+    /// The server is at its connection cap; retry against the same node.
+    pub const BUSY: u8 = 1;
+    /// A write or DDL hit a read-only replica; retry against the primary
+    /// named in the message.
+    pub const READ_ONLY: u8 = 2;
+    /// A `SUBSCRIBE` asked for log the primary has truncated; the replica
+    /// must re-bootstrap from a fresh `SNAPSHOT`.
+    pub const SNAPSHOT_REQUIRED: u8 = 3;
+    /// A transient transaction failure (lock timeout, abort); retrying
+    /// the statement may succeed.
+    pub const TXN_RETRY: u8 = 4;
 }
 
 /// One client request.
@@ -56,6 +92,37 @@ pub enum Request {
     Status,
     /// Gracefully shut the server down (drain sessions, sync the WAL).
     Shutdown,
+    /// Replica → primary: turn this connection into a replication stream
+    /// starting at `from_lsn`. `ddl_seq` is the next DDL-journal sequence
+    /// the replica expects, so the primary can resend missed DDL events.
+    Subscribe {
+        /// First LSN the replica has not yet applied.
+        from_lsn: u64,
+        /// Next DDL-journal sequence number the replica expects.
+        ddl_seq: u64,
+    },
+    /// Replica → primary: send a bootstrap snapshot (checkpoint image +
+    /// DDL journal).
+    Snapshot,
+    /// Replica → primary, on a subscribed connection: everything below
+    /// `lsn` is applied on the replica (drives lag accounting and the
+    /// primary's retain horizon).
+    ReplAck {
+        /// Exclusive upper bound of the replica's applied log prefix.
+        lsn: u64,
+    },
+}
+
+/// One DDL-journal event in a [`Response::Frames`] batch, opaque to the
+/// wire layer (`bullfrog-repl` owns the payload encoding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDdl {
+    /// Journal sequence number (dense, starting at 0).
+    pub seq: u64,
+    /// Apply the event once the replica's applied LSN reaches this.
+    pub apply_at_lsn: u64,
+    /// Encoded event.
+    pub payload: Bytes,
 }
 
 /// One server response.
@@ -78,11 +145,31 @@ pub enum Response {
     Err {
         /// Whether retrying the statement may succeed (lock timeouts).
         retryable: bool,
+        /// Machine-readable classification (see [`err_code`]).
+        code: u8,
         /// Human-readable cause.
         message: String,
     },
     /// Counter report: ordered `name → value` pairs.
     Stats(Vec<(String, i64)>),
+    /// Primary → replica: a batch of replication state. `records` are
+    /// committed-durable log records in LSN order; `ddl` are journal
+    /// events the replica is missing; `durable_lsn` is the primary's
+    /// merged durable horizon (for lag reporting, also sent with empty
+    /// batches as a heartbeat).
+    Frames {
+        /// The primary's merged durable horizon at send time.
+        durable_lsn: u64,
+        /// DDL-journal events at or above the subscriber's `ddl_seq`.
+        ddl: Vec<WireDdl>,
+        /// `(lsn, record)` pairs, dense and ascending.
+        records: Vec<(u64, LogRecord)>,
+    },
+    /// Bootstrap snapshot; payload encoding is owned by `bullfrog-repl`.
+    Snapshot {
+        /// Encoded snapshot (checkpoint image + DDL journal).
+        payload: Bytes,
+    },
 }
 
 impl Request {
@@ -97,6 +184,16 @@ impl Request {
             Request::Checkpoint => buf.put_u8(req::CHECKPOINT),
             Request::Status => buf.put_u8(req::STATUS),
             Request::Shutdown => buf.put_u8(req::SHUTDOWN),
+            Request::Subscribe { from_lsn, ddl_seq } => {
+                buf.put_u8(req::SUBSCRIBE);
+                buf.put_u64(*from_lsn);
+                buf.put_u64(*ddl_seq);
+            }
+            Request::Snapshot => buf.put_u8(req::SNAPSHOT),
+            Request::ReplAck { lsn } => {
+                buf.put_u8(req::REPL_ACK);
+                buf.put_u64(*lsn);
+            }
         }
         buf.freeze()
     }
@@ -108,6 +205,14 @@ impl Request {
             req::CHECKPOINT => Ok(Request::Checkpoint),
             req::STATUS => Ok(Request::Status),
             req::SHUTDOWN => Ok(Request::Shutdown),
+            req::SUBSCRIBE => Ok(Request::Subscribe {
+                from_lsn: codec::get_u64(&mut payload)?,
+                ddl_seq: codec::get_u64(&mut payload)?,
+            }),
+            req::SNAPSHOT => Ok(Request::Snapshot),
+            req::REPL_ACK => Ok(Request::ReplAck {
+                lsn: codec::get_u64(&mut payload)?,
+            }),
             other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
         }
     }
@@ -133,10 +238,16 @@ impl Response {
                 buf.put_u8(resp::OK);
                 buf.put_u64(*affected);
             }
-            Response::Err { retryable, message } => {
+            Response::Err {
+                retryable,
+                code,
+                message,
+            } => {
                 buf.put_u8(resp::ERR);
                 buf.put_u8(u8::from(*retryable));
                 put_str(&mut buf, message);
+                // Trailing so a pre-code decoder sees a valid payload.
+                buf.put_u8(*code);
             }
             Response::Stats(pairs) => {
                 buf.put_u8(resp::STATS);
@@ -145,6 +256,31 @@ impl Response {
                     put_str(&mut buf, k);
                     buf.put_u64(*v as u64);
                 }
+            }
+            Response::Frames {
+                durable_lsn,
+                ddl,
+                records,
+            } => {
+                buf.put_u8(resp::FRAMES);
+                buf.put_u64(*durable_lsn);
+                buf.put_u32(ddl.len() as u32);
+                for d in ddl {
+                    buf.put_u64(d.seq);
+                    buf.put_u64(d.apply_at_lsn);
+                    buf.put_u32(d.payload.len() as u32);
+                    buf.extend_from_slice(&d.payload);
+                }
+                buf.put_u32(records.len() as u32);
+                for (lsn, r) in records {
+                    buf.put_u64(*lsn);
+                    codec::put_record(&mut buf, r);
+                }
+            }
+            Response::Snapshot { payload } => {
+                buf.put_u8(resp::SNAPSHOT);
+                buf.put_u32(payload.len() as u32);
+                buf.extend_from_slice(payload);
             }
         }
         buf.freeze()
@@ -172,7 +308,13 @@ impl Response {
             resp::ERR => {
                 let retryable = get_u8(&mut payload)? != 0;
                 let message = get_str(&mut payload)?;
-                Ok(Response::Err { retryable, message })
+                // Absent on frames from pre-code peers.
+                let code = get_u8(&mut payload).unwrap_or(err_code::GENERAL);
+                Ok(Response::Err {
+                    retryable,
+                    code,
+                    message,
+                })
             }
             resp::STATS => {
                 let n = codec::get_u32(&mut payload)? as usize;
@@ -184,6 +326,34 @@ impl Response {
                 }
                 Ok(Response::Stats(pairs))
             }
+            resp::FRAMES => {
+                let durable_lsn = codec::get_u64(&mut payload)?;
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut ddl = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let seq = codec::get_u64(&mut payload)?;
+                    let apply_at_lsn = codec::get_u64(&mut payload)?;
+                    ddl.push(WireDdl {
+                        seq,
+                        apply_at_lsn,
+                        payload: get_bytes(&mut payload)?,
+                    });
+                }
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut records = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let lsn = codec::get_u64(&mut payload)?;
+                    records.push((lsn, codec::get_record(&mut payload)?));
+                }
+                Ok(Response::Frames {
+                    durable_lsn,
+                    ddl,
+                    records,
+                })
+            }
+            resp::SNAPSHOT => Ok(Response::Snapshot {
+                payload: get_bytes(&mut payload)?,
+            }),
             other => Err(Error::Eval(format!("unknown response opcode {other:#04x}"))),
         }
     }
@@ -192,6 +362,11 @@ impl Response {
     pub fn from_error(e: &Error) -> Response {
         Response::Err {
             retryable: e.is_retryable(),
+            code: if e.is_retryable() {
+                err_code::TXN_RETRY
+            } else {
+                err_code::GENERAL
+            },
             message: e.to_string(),
         }
     }
@@ -273,6 +448,19 @@ fn get_u8(buf: &mut Bytes) -> Result<u8> {
     Ok(buf.get_u8())
 }
 
+fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
+    let len = codec::get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(Error::Eval(format!(
+            "truncated bytes field: want {len}, have {}",
+            buf.len()
+        )));
+    }
+    let out = buf.slice(..len);
+    *buf = buf.slice(len..);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +473,12 @@ mod tests {
             Request::Checkpoint,
             Request::Status,
             Request::Shutdown,
+            Request::Subscribe {
+                from_lsn: 12345,
+                ddl_seq: 3,
+            },
+            Request::Snapshot,
+            Request::ReplAck { lsn: u64::MAX },
         ] {
             assert_eq!(Request::decode(r.encode()).unwrap(), r);
         }
@@ -292,6 +486,7 @@ mod tests {
 
     #[test]
     fn responses_round_trip() {
+        use bullfrog_common::TxnId;
         for r in [
             Response::Rows {
                 names: vec!["id".into(), "owner".into()],
@@ -300,12 +495,56 @@ mod tests {
             Response::Ok { affected: 7 },
             Response::Err {
                 retryable: true,
+                code: err_code::TXN_RETRY,
                 message: "lock timeout".into(),
             },
             Response::Stats(vec![("wal.flushes".into(), 12), ("neg".into(), -3)]),
+            Response::Frames {
+                durable_lsn: 99,
+                ddl: vec![WireDdl {
+                    seq: 0,
+                    apply_at_lsn: 42,
+                    payload: Bytes::from_static(b"create table t"),
+                }],
+                records: vec![
+                    (97, LogRecord::Begin(TxnId(5))),
+                    (98, LogRecord::Commit(TxnId(5))),
+                ],
+            },
+            Response::Snapshot {
+                payload: Bytes::from_static(b"\x00\x01\x02"),
+            },
         ] {
             assert_eq!(Response::decode(r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn err_code_is_wire_compatible() {
+        // A payload from a pre-code peer (no trailing byte) decodes with
+        // code GENERAL; new payloads carry the byte at the end.
+        let old = {
+            let mut buf = BytesMut::new();
+            buf.put_u8(0x83);
+            buf.put_u8(1);
+            put_str(&mut buf, "server busy");
+            buf.freeze()
+        };
+        match Response::decode(old).unwrap() {
+            Response::Err {
+                retryable, code, ..
+            } => {
+                assert!(retryable);
+                assert_eq!(code, err_code::GENERAL);
+            }
+            other => panic!("{other:?}"),
+        }
+        let new = Response::Err {
+            retryable: true,
+            code: err_code::READ_ONLY,
+            message: "read only".into(),
+        };
+        assert_eq!(Response::decode(new.encode()).unwrap(), new);
     }
 
     #[test]

@@ -46,6 +46,7 @@ fn boot() -> Harness {
             max_connections: WORKERS + 4,
             idle_timeout: Duration::from_secs(30),
             statement_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
         },
     )
     .unwrap();

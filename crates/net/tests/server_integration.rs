@@ -25,6 +25,7 @@ fn quick_config() -> ServerConfig {
         max_connections: 16,
         idle_timeout: Duration::from_secs(10),
         statement_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
     }
 }
 
@@ -115,7 +116,9 @@ fn over_capacity_connection_is_told_busy() {
     // busy error (possibly needing one probe statement to read it).
     let mut second = Client::connect(addr).unwrap();
     match second.query("SELECT id FROM t") {
-        Err(ClientError::Server { retryable, message }) => {
+        Err(ClientError::Server {
+            retryable, message, ..
+        }) => {
             assert!(retryable, "busy must be retryable");
             assert!(message.contains("busy"), "unexpected message {message:?}");
         }

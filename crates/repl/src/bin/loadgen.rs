@@ -24,7 +24,8 @@ use std::time::{Duration, Instant};
 
 use bullfrog_core::Bullfrog;
 use bullfrog_engine::{CheckpointPolicy, Database, DbConfig};
-use bullfrog_net::{Client, ClientError, Server, ServerConfig};
+use bullfrog_net::{err_code, Client, ClientError, Server, ServerConfig};
+use bullfrog_repl::{DdlJournal, Replica, ReplicationSender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 struct Args {
@@ -39,6 +40,14 @@ struct Args {
     /// When set, the server runs file-backed: sharded WAL under this
     /// directory instead of a purely in-memory log.
     wal_dir: Option<std::path::PathBuf>,
+    /// Drive an external server at this address instead of self-hosting
+    /// (the external server is left running: no SHUTDOWN at the end).
+    addr: Option<String>,
+    /// Attach a read-only replica to the self-hosted primary and verify
+    /// primary/replica equivalence after the drain. Implies a
+    /// file-backed WAL (replication ships durable frames only); uses a
+    /// scratch directory when `--wal-dir` is not given.
+    replica: bool,
 }
 
 impl Args {
@@ -51,6 +60,8 @@ impl Args {
             seed: 42,
             nowait: false,
             wal_dir: None,
+            addr: None,
+            replica: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -79,8 +90,18 @@ impl Args {
                             .into(),
                     )
                 }
+                "--addr" => {
+                    args.addr = Some(
+                        it.next()
+                            .unwrap_or_else(|| panic!("--addr needs host:port")),
+                    )
+                }
+                "--replica" => args.replica = true,
                 other => panic!("unknown flag {other}"),
             }
+        }
+        if args.replica && args.addr.is_some() {
+            panic!("--replica needs the self-hosted server; drop --addr");
         }
         args
     }
@@ -99,33 +120,83 @@ fn main() {
     let args = Args::parse();
     let started = Instant::now();
 
-    // Self-hosted server on an ephemeral loopback port, background
-    // checkpointing on so the scheduler satellite runs under load too.
-    let config = DbConfig {
-        checkpoint_policy: Some(CheckpointPolicy {
-            max_resident_records: 2_000,
-            max_flushed_bytes: 0,
-            poll_interval: Duration::from_millis(20),
-        }),
-        ..DbConfig::default()
-    };
-    let db = Arc::new(match &args.wal_dir {
-        Some(dir) => Database::with_wal_file(config, dir.join("loadgen.wal"))
-            .expect("open WAL under --wal-dir"),
-        None => Database::with_config(config),
+    // Scratch WAL directory when --replica needs a file-backed log and
+    // the caller did not provide one.
+    let scratch_dir = (args.replica && args.addr.is_none() && args.wal_dir.is_none()).then(|| {
+        let dir = std::env::temp_dir().join(format!("bf-loadgen-repl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch WAL dir");
+        dir
     });
-    let bf = Arc::new(Bullfrog::new(db));
-    let mut server = Server::bind(
-        ("127.0.0.1", 0),
-        Arc::clone(&bf),
-        ServerConfig {
-            max_connections: args.clients + 8,
-            idle_timeout: Duration::from_secs(30),
-            statement_timeout: Duration::from_secs(10),
-        },
-    )
-    .expect("bind loopback");
-    let addr = server.local_addr();
+
+    // Self-hosted server on an ephemeral loopback port (background
+    // checkpointing on so the scheduler satellite runs under load too),
+    // unless --addr points at an external one.
+    let mut hosted: Option<(Server, Arc<Bullfrog>)> = None;
+    let mut attached: Option<(Server, Replica)> = None;
+    let addr: std::net::SocketAddr = match &args.addr {
+        Some(a) => {
+            use std::net::ToSocketAddrs;
+            a.to_socket_addrs()
+                .expect("--addr must resolve")
+                .next()
+                .expect("--addr must resolve")
+        }
+        None => {
+            let config = DbConfig {
+                checkpoint_policy: Some(CheckpointPolicy {
+                    max_resident_records: 2_000,
+                    max_flushed_bytes: 0,
+                    poll_interval: Duration::from_millis(20),
+                }),
+                ..DbConfig::default()
+            };
+            let wal_dir = args.wal_dir.clone().or_else(|| scratch_dir.clone());
+            let wal_path = wal_dir.as_ref().map(|d| d.join("loadgen.wal"));
+            let db = Arc::new(match &wal_path {
+                Some(path) => {
+                    Database::with_wal_file(config, path).expect("open WAL under --wal-dir")
+                }
+                None => Database::with_config(config),
+            });
+            let bf = Arc::new(Bullfrog::new(db));
+            let mut server_config = ServerConfig {
+                max_connections: args.clients + 8,
+                idle_timeout: Duration::from_secs(30),
+                statement_timeout: Duration::from_secs(10),
+                ..ServerConfig::default()
+            };
+            if args.replica {
+                let journal = Arc::new(
+                    DdlJournal::open(DdlJournal::path_for(
+                        wal_path.as_ref().expect("--replica implies a WAL path"),
+                    ))
+                    .expect("open DDL journal"),
+                );
+                server_config.replication =
+                    Some(ReplicationSender::new(Arc::clone(&bf), journal) as _);
+            }
+            let server = Server::bind(("127.0.0.1", 0), Arc::clone(&bf), server_config)
+                .expect("bind loopback");
+            let addr = server.local_addr();
+            if args.replica {
+                let rbf = Arc::new(Bullfrog::new(Arc::new(Database::new())));
+                let replica = Replica::start(addr.to_string(), Arc::clone(&rbf));
+                let rserver = Server::bind(
+                    ("127.0.0.1", 0),
+                    rbf,
+                    ServerConfig {
+                        read_only: Some(replica.read_only()),
+                        ..ServerConfig::default()
+                    },
+                )
+                .expect("bind replica loopback");
+                println!("loadgen: replica serving on {}", rserver.local_addr());
+                attached = Some((rserver, replica));
+            }
+            hosted = Some((server, bf));
+            addr
+        }
+    };
     println!("loadgen: serving on {addr} ({} clients)", args.clients);
 
     let mut admin = Client::connect(addr).expect("admin connect");
@@ -274,6 +345,24 @@ fn main() {
         started.elapsed()
     );
 
+    // Mid-run equivalence: accounts_v2 is live right now, but the next
+    // migration is a big flip that retires it on both sides — compare
+    // here or never.
+    if let Some((rserver, replica)) = &attached {
+        let (_, bf) = hosted.as_ref().expect("--replica implies self-hosting");
+        compare_scans(
+            &mut admin,
+            bf,
+            rserver,
+            replica,
+            "SELECT id, owner, balance FROM accounts_v2",
+        );
+        println!(
+            "loadgen: replica matched accounts_v2 mid-run at {:?}",
+            started.elapsed()
+        );
+    }
+
     // Phase 2: the n:1 aggregation (hash-tracked) migration, submitted
     // while workers keep reading.
     admin
@@ -313,10 +402,90 @@ fn main() {
         stat(&status, "scheduler.checkpoints"),
     );
 
-    // Graceful remote shutdown: the server drains and syncs.
-    admin.shutdown_server().expect("shutdown opcode");
-    server.shutdown();
+    if let Some((rserver, replica)) = &attached {
+        let (_, bf) = hosted.as_ref().expect("--replica implies self-hosting");
+        verify_replica(&mut admin, bf, rserver, replica);
+    }
+
+    match hosted {
+        Some((mut server, _)) => {
+            // Graceful remote shutdown: the server drains and syncs.
+            admin.shutdown_server().expect("shutdown opcode");
+            server.shutdown();
+        }
+        None => println!("loadgen: external server at {addr} left running"),
+    }
+    if let Some((mut rserver, mut replica)) = attached {
+        replica.shutdown();
+        rserver.shutdown();
+    }
+    if let Some(dir) = scratch_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     println!("loadgen: done in {:?}", started.elapsed());
+}
+
+/// Waits for the replica to reach the primary's current frontier with
+/// zero lag, then asserts both sides return identical rows for `sql`.
+fn compare_scans(
+    admin: &mut Client,
+    bf: &Arc<Bullfrog>,
+    rserver: &Server,
+    replica: &Replica,
+    sql: &str,
+) {
+    use bullfrog_core::ClientAccess;
+    bf.db().wal().sync();
+    let target = bf.db().wal().frontier();
+    assert!(
+        replica.wait_caught_up(target, Duration::from_secs(30)),
+        "replica failed to reach primary frontier {target}: {:?}",
+        replica.stats()
+    );
+    assert_eq!(replica.stats().lag_lsns(), 0, "replica lag after catch-up");
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica connect");
+    let mut primary_rows = scan_retry(admin, sql);
+    let mut replica_rows = scan_retry(&mut rclient, sql);
+    primary_rows.sort_by_key(|r| format!("{r:?}"));
+    replica_rows.sort_by_key(|r| format!("{r:?}"));
+    assert_eq!(
+        primary_rows, replica_rows,
+        "primary/replica scans diverged for {sql}"
+    );
+}
+
+/// Post-drain primary/replica equivalence: converged scans on the final
+/// table, writes rejected with the READ_ONLY code, repl.* summary.
+fn verify_replica(admin: &mut Client, bf: &Arc<Bullfrog>, rserver: &Server, replica: &Replica) {
+    compare_scans(
+        admin,
+        bf,
+        rserver,
+        replica,
+        "SELECT owner, total FROM owner_totals",
+    );
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica connect");
+
+    // Writes must bounce with the READ_ONLY code — the signal loadgen's
+    // retry policy treats as "wrong endpoint", never as retry-here.
+    match rclient.execute("INSERT INTO owner_totals VALUES ('zz', 1)") {
+        Err(ClientError::Server { code, .. }) if code == err_code::READ_ONLY => {}
+        other => panic!("replica accepted a write (or wrong error): {other:?}"),
+    }
+
+    let rstatus = rclient.status().expect("replica status");
+    assert_eq!(stat(&rstatus, "repl.role_replica"), 1);
+    println!(
+        "loadgen: replica converged (applied {}, {} txns, {} granules mirrored, {} reconnects)",
+        stat(&rstatus, "repl.applied_lsn"),
+        stat(&rstatus, "repl.txns_applied"),
+        stat(&rstatus, "repl.granules_mirrored"),
+        stat(&rstatus, "repl.reconnects"),
+    );
+    let pstatus = admin.status().expect("primary status");
+    for (k, v) in pstatus.iter().filter(|(k, _)| k.starts_with("repl.")) {
+        println!("loadgen:   {k} = {v}");
+    }
 }
 
 /// One transfer transaction; returns whether it committed. Retries the
@@ -334,8 +503,16 @@ fn transfer(
         match try_transfer(client, table, a, b, commit_sql) {
             Ok(committed) => return committed,
             Err(ClientError::Server {
-                retryable: true, ..
+                retryable: true,
+                code,
+                message,
             }) => {
+                // Retryable is not always retry-here: a READ_ONLY bounce
+                // means we are pointed at a replica, and retrying would
+                // loop forever. The error code disambiguates.
+                if code == err_code::READ_ONLY {
+                    panic!("transfer rejected as read-only (wrong endpoint?): {message}");
+                }
                 retried.fetch_add(1, Ordering::Relaxed);
             }
             // Frozen/retired table: the phase just flipped under us.
@@ -380,6 +557,7 @@ fn scan_retry(client: &mut Client, sql: &str) -> Vec<bullfrog_common::Row> {
             Err(ClientError::Server {
                 retryable: true,
                 message,
+                ..
             }) => last = Some(message),
             Err(e) => panic!("{sql} failed: {e}"),
         }

@@ -1,0 +1,204 @@
+//! repld: a minimal replication daemon for multi-process deployments.
+//!
+//! One binary, role per subcommand:
+//!
+//! - `repld primary --listen <addr> --wal-dir <dir>` — restore (or
+//!   create) a file-backed primary from `<dir>/repld.wal` + sidecar +
+//!   DDL journal, serve SQL and replication on `<addr>` until a remote
+//!   `SHUTDOWN`.
+//! - `repld replica --listen <addr> --primary <addr>` — read-only
+//!   replica: bootstraps/subscribes to the primary, serves `SELECT`s on
+//!   `<addr>`, rejects writes with the READ_ONLY error code.
+//! - `repld status --addr <addr>` — print the server's `STATUS` pairs.
+//! - `repld wait-zero-lag --addr <addr> [--timeout-secs N]` — poll
+//!   `STATUS` until replication lag is zero (on a primary: at least one
+//!   replica connected and fully acked); exit non-zero on timeout.
+//! - `repld shutdown --addr <addr>` — remote graceful shutdown.
+//!
+//! The verify script drives a two-process loopback pair through this
+//! binary; it is also the smallest real deployment shape.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_core::Bullfrog;
+use bullfrog_engine::{CheckpointPolicy, Database, DbConfig};
+use bullfrog_net::{Client, Server, ServerConfig};
+use bullfrog_repl::{restore, Replica, ReplicationSender};
+use bullfrog_txn::WalOptions;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_exit();
+    }
+    let cmd = args.remove(0);
+    let mut opts = std::collections::HashMap::new();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .unwrap_or_else(|| fail(&format!("{flag} needs a value")));
+        opts.insert(flag, value);
+    }
+    let get = |name: &str| -> String {
+        opts.get(name)
+            .cloned()
+            .unwrap_or_else(|| fail(&format!("{cmd} requires {name}")))
+    };
+    match cmd.as_str() {
+        "primary" => run_primary(&get("--listen"), &get("--wal-dir")),
+        "replica" => run_replica(&get("--listen"), &get("--primary")),
+        "status" => {
+            let mut client = connect(&get("--addr"));
+            let status = client
+                .status()
+                .unwrap_or_else(|e| fail(&format!("STATUS: {e}")));
+            for (k, v) in status {
+                println!("{k} = {v}");
+            }
+        }
+        "wait-zero-lag" => {
+            let timeout = opts
+                .get("--timeout-secs")
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| fail("--timeout-secs must be numeric"))
+                })
+                .unwrap_or(30);
+            wait_zero_lag(&get("--addr"), Duration::from_secs(timeout));
+        }
+        "shutdown" => {
+            let mut client = connect(&get("--addr"));
+            client
+                .shutdown_server()
+                .unwrap_or_else(|e| fail(&format!("SHUTDOWN: {e}")));
+            println!("repld: shutdown acknowledged");
+        }
+        _ => usage_exit(),
+    }
+}
+
+fn run_primary(listen: &str, wal_dir: &str) {
+    let dir = std::path::PathBuf::from(wal_dir);
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("create {wal_dir}: {e}")));
+    let wal_path = dir.join("repld.wal");
+    let config = DbConfig {
+        checkpoint_policy: Some(CheckpointPolicy {
+            max_resident_records: 4_096,
+            max_flushed_bytes: 0,
+            poll_interval: Duration::from_millis(50),
+        }),
+        ..DbConfig::default()
+    };
+    // restore() handles the empty-directory case too: no sidecar, no
+    // journal, empty WAL — a fresh primary.
+    let (bf, journal, report) = restore(&wal_path, config, WalOptions::default())
+        .unwrap_or_else(|e| fail(&format!("restore from {wal_dir}: {e}")));
+    if report.tail_records > 0 || report.image_rows > 0 || report.ddl_applied > 0 {
+        println!(
+            "repld: restored {} image rows + {} tail records ({} txns), {} DDL events, \
+             {} granules, log [{}, {})",
+            report.image_rows,
+            report.tail_records,
+            report.tail_txns,
+            report.ddl_applied,
+            report.granules,
+            report.start_lsn,
+            report.end_lsn,
+        );
+    }
+    let sender = ReplicationSender::new(Arc::clone(&bf), Arc::clone(&journal));
+    let mut server = Server::bind(
+        listen,
+        bf,
+        ServerConfig {
+            replication: Some(sender),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("bind {listen}: {e}")));
+    println!("repld: primary serving on {}", server.local_addr());
+    server.wait_shutdown();
+    println!("repld: primary stopped");
+}
+
+fn run_replica(listen: &str, primary: &str) {
+    let bf = Arc::new(Bullfrog::new(Arc::new(Database::new())));
+    let mut replica = Replica::start(primary.to_string(), Arc::clone(&bf));
+    let mut server = Server::bind(
+        listen,
+        bf,
+        ServerConfig {
+            read_only: Some(replica.read_only()),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| fail(&format!("bind {listen}: {e}")));
+    println!(
+        "repld: replica serving on {} (primary {primary})",
+        server.local_addr()
+    );
+    server.wait_shutdown();
+    replica.shutdown();
+    println!("repld: replica stopped");
+}
+
+/// Polls `STATUS` until replication lag reads zero. On a primary that
+/// additionally requires a connected, fully-acked replica; on a replica
+/// it requires the applied LSN to have reached the primary's durable
+/// horizon.
+fn wait_zero_lag(addr: &str, timeout: Duration) {
+    let mut client = connect(addr);
+    let deadline = Instant::now() + timeout;
+    let mut last = Vec::new();
+    loop {
+        let status = client
+            .status()
+            .unwrap_or_else(|e| fail(&format!("STATUS: {e}")));
+        let get = |key: &str| status.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+        let settled = if get("repl.role_primary") == Some(1) {
+            get("repl.replicas").unwrap_or(0) >= 1 && get("repl.lag_lsns") == Some(0)
+        } else if get("repl.role_replica") == Some(1) {
+            get("repl.lag_lsns") == Some(0)
+        } else {
+            fail(&format!(
+                "{addr} reports no repl.* role — not a replication node"
+            ))
+        };
+        if settled {
+            println!("repld: zero lag at {addr}");
+            return;
+        }
+        if Instant::now() >= deadline {
+            fail(&format!(
+                "timed out waiting for zero lag at {addr}: {last:?}"
+            ));
+        }
+        last = status
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("repl."))
+            .collect();
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("repld: {msg}");
+    std::process::exit(1);
+}
+
+fn usage_exit() -> ! {
+    eprintln!(
+        "usage: repld primary --listen <addr> --wal-dir <dir>\n\
+         \x20      repld replica --listen <addr> --primary <addr>\n\
+         \x20      repld status --addr <addr>\n\
+         \x20      repld wait-zero-lag --addr <addr> [--timeout-secs N]\n\
+         \x20      repld shutdown --addr <addr>"
+    );
+    std::process::exit(2);
+}

@@ -1,0 +1,474 @@
+//! Replica-side replication: bootstrap, tail apply, read-only serving.
+//!
+//! [`Replica::start`] spawns the apply thread: connect to the primary,
+//! `SUBSCRIBE` from the local applied LSN, and feed every streamed
+//! record through
+//! [`StreamingReplay`](bullfrog_engine::recovery::StreamingReplay) —
+//! transactions buffer until their `Commit` arrives and then apply
+//! atomically under the apply gate's write lock, so concurrent read
+//! sessions (which hold the read half per statement) never observe a
+//! half-applied transaction. Journaled DDL applies at its recorded
+//! `apply_at_lsn`, interleaved with the record stream, so the replica's
+//! catalog evolves exactly when the primary's did; mid-flight lazy
+//! migrations mirror their bitmap/hashmap tracker state from the
+//! shipped `MigrationGranule` records
+//! ([`rebuild_trackers`](bullfrog_core::recovery::rebuild_trackers)).
+//!
+//! When the primary answers `SNAPSHOT_REQUIRED` — the replica's resume
+//! point fell below the primary's retained log base while it was away —
+//! the replica re-bootstraps: fetch a snapshot (checkpoint image + DDL
+//! journal), clear local rows, rebuild catalog and heap from it, and
+//! resubscribe from the image's base. Disconnects retry with bounded
+//! exponential backoff; the replica keeps serving (stale) reads
+//! throughout.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_common::{Error, Result};
+use bullfrog_core::{Bullfrog, ClientAccess};
+use bullfrog_engine::recovery::StreamingReplay;
+use bullfrog_net::{err_code, wire, ReadOnly, Request, Response, WireDdl};
+use parking_lot::{Mutex, RwLock};
+
+use crate::apply::{apply_ddl_event, apply_image_tolerant, clear_all_rows, mark_granules};
+use crate::journal::{decode_event, decode_snapshot, JournalEntry};
+
+/// Reconnect backoff bounds.
+const BACKOFF_MIN: Duration = Duration::from_millis(50);
+const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// Replica progress counters, shared with `STATUS` reporting.
+#[derive(Debug, Default)]
+pub struct ReplicaStats {
+    /// Exclusive upper bound of the applied log prefix.
+    pub applied_lsn: AtomicU64,
+    /// The primary's durable horizon as of the last frame (heartbeats
+    /// included), for lag reporting.
+    pub primary_durable: AtomicU64,
+    /// Data records applied to local heaps.
+    pub records_applied: AtomicU64,
+    /// Transactions committed locally.
+    pub txns_applied: AtomicU64,
+    /// Journaled DDL events applied.
+    pub ddl_applied: AtomicU64,
+    /// Migration granules mirrored into trackers.
+    pub granules_mirrored: AtomicU64,
+    /// Snapshot bootstraps performed.
+    pub snapshots: AtomicU64,
+    /// Connection attempts after the first.
+    pub reconnects: AtomicU64,
+}
+
+impl ReplicaStats {
+    /// Replication lag in LSNs, as of the last heartbeat.
+    pub fn lag_lsns(&self) -> u64 {
+        self.primary_durable
+            .load(Ordering::Acquire)
+            .saturating_sub(self.applied_lsn.load(Ordering::Acquire))
+    }
+
+    fn pairs(&self) -> Vec<(String, i64)> {
+        vec![
+            ("repl.role_replica".into(), 1),
+            (
+                "repl.applied_lsn".into(),
+                self.applied_lsn.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.primary_durable".into(),
+                self.primary_durable.load(Ordering::Acquire) as i64,
+            ),
+            ("repl.lag_lsns".into(), self.lag_lsns() as i64),
+            (
+                "repl.records_applied".into(),
+                self.records_applied.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.txns_applied".into(),
+                self.txns_applied.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.ddl_applied".into(),
+                self.ddl_applied.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.granules_mirrored".into(),
+                self.granules_mirrored.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.snapshots".into(),
+                self.snapshots.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.reconnects".into(),
+                self.reconnects.load(Ordering::Acquire) as i64,
+            ),
+        ]
+    }
+}
+
+/// Mutable apply-loop state (one owner: the apply thread).
+struct ApplyState {
+    bf: Arc<Bullfrog>,
+    gate: Arc<RwLock<()>>,
+    stats: Arc<ReplicaStats>,
+    replay: StreamingReplay,
+    /// Next LSN to request (exclusive bound of the applied prefix).
+    applied: u64,
+    /// Next journal sequence to request from the primary.
+    recv_seq: u64,
+    /// Next journal sequence to apply locally (≤ everything in
+    /// `pending`; entries below it in a snapshot's journal are already
+    /// in the local catalog).
+    apply_seq: u64,
+    /// Received, not yet applied (waiting for their apply point), in
+    /// sequence order.
+    pending: Vec<JournalEntry>,
+}
+
+impl ApplyState {
+    /// Applies pending DDL whose apply point has been reached.
+    fn apply_ready_ddl(&mut self, up_to_lsn: u64) -> Result<()> {
+        while let Some(front) = self.pending.first() {
+            if front.apply_at_lsn > up_to_lsn {
+                break;
+            }
+            let entry = self.pending.remove(0);
+            debug_assert_eq!(entry.seq, self.apply_seq);
+            apply_ddl_event(&self.bf, &entry.event)?;
+            self.apply_seq = entry.seq + 1;
+            self.stats.ddl_applied.fetch_add(1, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    /// Applies one `FRAMES` batch under the apply gate.
+    fn apply_frames(
+        &mut self,
+        durable_lsn: u64,
+        ddl: Vec<WireDdl>,
+        records: Vec<(u64, bullfrog_txn::LogRecord)>,
+    ) -> Result<()> {
+        for d in ddl {
+            if d.seq < self.recv_seq {
+                continue; // duplicate after a resubscribe race
+            }
+            self.pending.push(JournalEntry {
+                seq: d.seq,
+                apply_at_lsn: d.apply_at_lsn,
+                event: decode_event(d.payload)?,
+            });
+            self.recv_seq = d.seq + 1;
+        }
+        {
+            let gate = Arc::clone(&self.gate);
+            let _exclusive = gate.write();
+            for (lsn, rec) in &records {
+                // Catalog changes interleave with the data stream at
+                // their recorded apply points.
+                self.apply_ready_ddl(*lsn)?;
+                let out = self.replay.apply(self.bf.db(), rec)?;
+                self.stats
+                    .records_applied
+                    .fetch_add(out.applied as u64, Ordering::Release);
+                if out.committed {
+                    self.stats.txns_applied.fetch_add(1, Ordering::Release);
+                }
+                let marked = mark_granules(&self.bf, &out.granules);
+                self.stats
+                    .granules_mirrored
+                    .fetch_add(marked as u64, Ordering::Release);
+                self.applied = lsn + 1;
+            }
+            // An empty batch proves the retained log holds nothing in
+            // [applied, durable): everything below the horizon has been
+            // shipped, so the cursor may jump to it — which also
+            // releases DDL whose apply point sits beyond the last data
+            // record (quiet log right after a migration submit). A
+            // *non*-empty batch proves nothing (it may have been capped),
+            // so the cursor stays at the last record.
+            if records.is_empty() {
+                self.applied = self.applied.max(durable_lsn);
+            }
+            self.apply_ready_ddl(self.applied)?;
+        }
+        self.stats
+            .applied_lsn
+            .store(self.applied, Ordering::Release);
+        self.stats
+            .primary_durable
+            .store(durable_lsn, Ordering::Release);
+        Ok(())
+    }
+
+    /// Rebuilds local state from a snapshot payload.
+    fn bootstrap(&mut self, payload: bytes::Bytes) -> Result<()> {
+        let (image, entries) = decode_snapshot(payload)?;
+        let gate = Arc::clone(&self.gate);
+        let _exclusive = gate.write();
+        // The image's cut is transaction-safe: any transaction this
+        // replay had half-buffered is either fully inside the image or
+        // will be re-streamed above its base.
+        self.replay.clear();
+        clear_all_rows(self.bf.db())?;
+        self.pending.clear();
+        for entry in entries {
+            if entry.seq < self.apply_seq {
+                continue; // already in the local catalog
+            }
+            if entry.apply_at_lsn <= image.base_lsn {
+                debug_assert_eq!(entry.seq, self.apply_seq);
+                apply_ddl_event(&self.bf, &entry.event)?;
+                self.apply_seq = entry.seq + 1;
+                self.stats.ddl_applied.fetch_add(1, Ordering::Release);
+            } else {
+                self.recv_seq = self.recv_seq.max(entry.seq + 1);
+                self.pending.push(entry);
+            }
+        }
+        self.recv_seq = self.recv_seq.max(self.apply_seq);
+        let (placed, _skipped) = apply_image_tolerant(self.bf.db(), &image)?;
+        self.stats
+            .records_applied
+            .fetch_add(placed as u64, Ordering::Release);
+        let marked = mark_granules(&self.bf, &image.migrated);
+        self.stats
+            .granules_mirrored
+            .fetch_add(marked as u64, Ordering::Release);
+        self.applied = image.base_lsn;
+        self.stats
+            .applied_lsn
+            .store(self.applied, Ordering::Release);
+        self.stats.snapshots.fetch_add(1, Ordering::Release);
+        Ok(())
+    }
+}
+
+/// A live replica: the apply thread plus its shared state.
+pub struct Replica {
+    gate: Arc<RwLock<()>>,
+    stats: Arc<ReplicaStats>,
+    stop: Arc<AtomicBool>,
+    primary: Arc<Mutex<String>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Replica {
+    /// Starts replicating `bf` (which should be a fresh, empty
+    /// controller — the whole catalog and heap arrive from the primary)
+    /// from the primary at `primary_addr`.
+    pub fn start(primary_addr: impl Into<String>, bf: Arc<Bullfrog>) -> Replica {
+        let gate = Arc::new(RwLock::new(()));
+        let stats = Arc::new(ReplicaStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let primary = Arc::new(Mutex::new(primary_addr.into()));
+        let state = ApplyState {
+            bf,
+            gate: Arc::clone(&gate),
+            stats: Arc::clone(&stats),
+            replay: StreamingReplay::new(),
+            applied: 0,
+            recv_seq: 0,
+            apply_seq: 0,
+            pending: Vec::new(),
+        };
+        let thread = {
+            let stop = Arc::clone(&stop);
+            let primary = Arc::clone(&primary);
+            std::thread::Builder::new()
+                .name("bf-repl-apply".into())
+                .spawn(move || apply_loop(state, &stop, &primary))
+                .expect("spawn replica apply thread")
+        };
+        Replica {
+            gate,
+            stats,
+            stop,
+            primary,
+            thread: Some(thread),
+        }
+    }
+
+    /// The [`ReadOnly`] config that serves this replica over TCP:
+    /// sessions share the apply gate and report `repl.*` counters.
+    pub fn read_only(&self) -> ReadOnly {
+        let stats = Arc::clone(&self.stats);
+        ReadOnly {
+            primary: self.primary.lock().clone(),
+            gate: Arc::clone(&self.gate),
+            status: Some(Arc::new(move || stats.pairs())),
+        }
+    }
+
+    /// Progress counters.
+    pub fn stats(&self) -> &Arc<ReplicaStats> {
+        &self.stats
+    }
+
+    /// The apply gate (write-held around each applied transaction).
+    pub fn gate(&self) -> &Arc<RwLock<()>> {
+        &self.gate
+    }
+
+    /// Repoints the replica at a different (restarted/moved) primary;
+    /// takes effect on the next connection attempt.
+    pub fn set_primary(&self, addr: impl Into<String>) {
+        *self.primary.lock() = addr.into();
+    }
+
+    /// Blocks until the applied LSN reaches `target` or `timeout`
+    /// elapses; true on success.
+    pub fn wait_caught_up(&self, target: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.stats.applied_lsn.load(Ordering::Acquire) < target {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        true
+    }
+
+    /// Stops the apply thread and joins it.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Replica {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("primary", &*self.primary.lock())
+            .field(
+                "applied_lsn",
+                &self.stats.applied_lsn.load(Ordering::Acquire),
+            )
+            .finish()
+    }
+}
+
+fn connect(addr: &str) -> Result<TcpStream> {
+    let stream =
+        TcpStream::connect(addr).map_err(|e| Error::Eval(format!("connect {addr}: {e}")))?;
+    stream.set_nodelay(true).ok();
+    let mut stream = stream;
+    wire::write_preamble(&mut stream).map_err(|e| Error::Eval(format!("preamble: {e}")))?;
+    Ok(stream)
+}
+
+fn request(stream: &mut TcpStream, req: &Request) -> Result<Response> {
+    wire::write_frame(stream, &req.encode()).map_err(|e| Error::Eval(format!("send: {e}")))?;
+    let payload = wire::read_frame(stream)?
+        .ok_or_else(|| Error::Eval("primary closed the connection".into()))?;
+    Response::decode(payload)
+}
+
+/// One subscription attempt's outcome.
+enum Attempt {
+    /// Stream ended (disconnect or shutdown): reconnect after backoff.
+    Reconnect,
+    /// The primary demands a snapshot bootstrap first.
+    SnapshotRequired,
+}
+
+fn apply_loop(mut state: ApplyState, stop: &AtomicBool, primary: &Arc<Mutex<String>>) {
+    let mut backoff = BACKOFF_MIN;
+    let mut first = true;
+    while !stop.load(Ordering::Acquire) {
+        if !first {
+            state.stats.reconnects.fetch_add(1, Ordering::Release);
+        }
+        first = false;
+        let addr = primary.lock().clone();
+        if let Ok(Attempt::SnapshotRequired) = subscribe_once(&mut state, &addr, stop) {
+            if bootstrap_once(&mut state, &addr).is_ok() {
+                backoff = BACKOFF_MIN;
+                continue; // resubscribe immediately from the new base
+            }
+        }
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(backoff);
+        backoff = (backoff * 2).min(BACKOFF_MAX);
+    }
+}
+
+fn subscribe_once(state: &mut ApplyState, addr: &str, stop: &AtomicBool) -> Result<Attempt> {
+    let mut stream = connect(addr)?;
+    // Heartbeats arrive every ~250ms; a silence this long means the
+    // primary is gone (or the stream desynced), and a timed-out
+    // `read_exact` may have consumed a partial frame either way — the
+    // only safe continuation is a fresh connection.
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    let reply = request(
+        &mut stream,
+        &Request::Subscribe {
+            from_lsn: state.applied,
+            ddl_seq: state.recv_seq,
+        },
+    )?;
+    match reply {
+        Response::Ok { .. } => {}
+        Response::Err { code, message, .. } if code == err_code::SNAPSHOT_REQUIRED => {
+            let _ = message;
+            return Ok(Attempt::SnapshotRequired);
+        }
+        Response::Err { message, .. } => {
+            return Err(Error::Eval(format!("subscribe rejected: {message}")));
+        }
+        other => {
+            return Err(Error::Eval(format!("unexpected subscribe reply {other:?}")));
+        }
+    }
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return Ok(Attempt::Reconnect);
+        }
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(Attempt::Reconnect),
+            Err(_) => return Ok(Attempt::Reconnect),
+        };
+        match Response::decode(payload)? {
+            Response::Frames {
+                durable_lsn,
+                ddl,
+                records,
+            } => {
+                state.apply_frames(durable_lsn, ddl, records)?;
+                let ack = Request::ReplAck { lsn: state.applied };
+                if wire::write_frame(&mut stream, &ack.encode()).is_err() {
+                    return Ok(Attempt::Reconnect);
+                }
+            }
+            Response::Err { code, .. } if code == err_code::SNAPSHOT_REQUIRED => {
+                return Ok(Attempt::SnapshotRequired);
+            }
+            other => {
+                return Err(Error::Eval(format!("unexpected stream frame {other:?}")));
+            }
+        }
+    }
+}
+
+fn bootstrap_once(state: &mut ApplyState, addr: &str) -> Result<()> {
+    let mut stream = connect(addr)?;
+    match request(&mut stream, &Request::Snapshot)? {
+        Response::Snapshot { payload } => state.bootstrap(payload),
+        Response::Err { message, .. } => Err(Error::Eval(format!("snapshot refused: {message}"))),
+        other => Err(Error::Eval(format!("unexpected snapshot reply {other:?}"))),
+    }
+}

@@ -1,0 +1,168 @@
+//! Primary restart: rebuild a [`Bullfrog`] controller — catalog, heap,
+//! and in-flight migration trackers — from its on-disk trio: the
+//! sharded WAL, the checkpoint sidecar image, and the DDL journal.
+//!
+//! Plain engine recovery ([`bullfrog_engine::recovery`]) rebuilds heaps
+//! but expects the caller to re-create the catalog, because DDL is not
+//! WAL-logged. A replication primary has its DDL journal instead:
+//! [`restore`] interleaves journal events with the log tail at their
+//! recorded apply points (exactly like a replica applying a stream),
+//! which also rebuilds the lazy-migration bitmap/hashmap trackers from
+//! committed `MigrationGranule` records (paper §3.5). The restored
+//! controller resumes on the same WAL files — the reopened log's
+//! frontier continues past the on-disk records — so reconnecting
+//! replicas either resume from their acked LSN or, if a checkpoint had
+//! truncated past it, re-bootstrap from a snapshot.
+//!
+//! Restored mid-flight migrations run without background sweeps (the
+//! restart dropped those threads); lazy interposition still migrates
+//! touched granules, and a full scan of the new table completes the
+//! rest. Resuming background sweeps after restore is future work (see
+//! ROADMAP).
+
+use std::path::Path;
+use std::sync::Arc;
+
+use bullfrog_common::Result;
+use bullfrog_core::Bullfrog;
+use bullfrog_engine::checkpoint::checkpoint_path_for;
+use bullfrog_engine::recovery::StreamingReplay;
+use bullfrog_engine::{CheckpointImage, Database, DbConfig};
+use bullfrog_txn::{Wal, WalOptions};
+
+use crate::apply::{apply_ddl_event, apply_image_tolerant, mark_granules};
+use crate::journal::DdlJournal;
+
+/// What [`restore`] rebuilt.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RestoreReport {
+    /// Rows placed from the checkpoint image.
+    pub image_rows: usize,
+    /// Image rows skipped (tables since dropped).
+    pub image_rows_skipped: usize,
+    /// Data records applied from the log tail.
+    pub tail_records: usize,
+    /// Transactions the tail committed.
+    pub tail_txns: usize,
+    /// DDL journal events re-applied.
+    pub ddl_applied: usize,
+    /// Migration granules marked in rebuilt trackers.
+    pub granules: usize,
+    /// First LSN of the replayed tail (the image's base).
+    pub start_lsn: u64,
+    /// One past the last contiguous tail record.
+    pub end_lsn: u64,
+}
+
+/// Rebuilds a primary from `wal_path`'s WAL shards, checkpoint sidecar,
+/// and DDL journal, returning the controller (resumed on the same WAL
+/// files) and the journal (hand both to a
+/// [`ReplicationSender`](crate::ReplicationSender) to resume serving
+/// replicas).
+pub fn restore(
+    wal_path: &Path,
+    config: DbConfig,
+    wal_opts: WalOptions,
+) -> Result<(Arc<Bullfrog>, Arc<DdlJournal>, RestoreReport)> {
+    let journal = Arc::new(DdlJournal::open(DdlJournal::path_for(wal_path))?);
+    let ckpt_path = checkpoint_path_for(wal_path);
+    let mut image = match std::fs::read(&ckpt_path) {
+        Ok(bytes) => CheckpointImage::decode(bytes)?,
+        Err(_) => CheckpointImage::new(),
+    };
+
+    // Longest LSN-contiguous tail from the image's base. Shards flush
+    // independently, so a crash can leave a gap; records above the first
+    // gap belong to transactions whose commit never acknowledged (the
+    // ack gate waits on the *merged* horizon), and replicas never saw
+    // them either (frames ship below the same horizon).
+    let on_disk = if wal_path.exists() {
+        Wal::load_sharded(wal_path)?
+    } else {
+        Vec::new() // fresh primary: nothing to restore
+    };
+    let mut tail: Vec<(u64, bullfrog_txn::LogRecord)> = Vec::new();
+    let mut next = image.base_lsn;
+    for (lsn, rec) in on_disk {
+        if lsn < next {
+            continue; // already inside the image
+        }
+        if lsn > next {
+            break; // cross-shard gap: stop at the recoverable prefix
+        }
+        tail.push((lsn, rec));
+        next += 1;
+    }
+
+    let db = Arc::new(Database::with_wal_file_opts(config, wal_path, wal_opts)?);
+    // The reopened log resumes appending past every on-disk record —
+    // including any beyond a cross-shard gap — and retains nothing below
+    // that point in memory. Sample it now (no writers yet): it is the
+    // restored image's cut, so a snapshot covers everything the log no
+    // longer serves and a reconnecting replica never loops between
+    // SNAPSHOT_REQUIRED and a snapshot that ends short of the log base.
+    let resume_frontier = db.wal().frontier();
+    let bf = Arc::new(Bullfrog::new(Arc::clone(&db)));
+    let mut report = RestoreReport {
+        start_lsn: image.base_lsn,
+        end_lsn: next,
+        ..RestoreReport::default()
+    };
+
+    // 1. Catalog as of the image: journal events at or below its base.
+    let entries = journal.entries();
+    let mut pending = entries.iter().peekable();
+    while let Some(e) = pending.peek() {
+        if e.apply_at_lsn > image.base_lsn {
+            break;
+        }
+        apply_ddl_event(&bf, &e.event)?;
+        report.ddl_applied += 1;
+        pending.next();
+    }
+
+    // 2. The image's rows and migrated granules.
+    let (placed, skipped) = apply_image_tolerant(&db, &image)?;
+    report.image_rows = placed;
+    report.image_rows_skipped = skipped;
+    report.granules += mark_granules(&bf, &image.migrated);
+
+    // 3. The tail, interleaving the remaining journal events at their
+    // apply points — the same txn-at-a-time streaming apply a replica
+    // uses, so transactions straddling a DDL boundary buffer across it.
+    let mut replay = StreamingReplay::new();
+    for (lsn, rec) in &tail {
+        while let Some(e) = pending.peek() {
+            if e.apply_at_lsn > *lsn {
+                break;
+            }
+            apply_ddl_event(&bf, &e.event)?;
+            report.ddl_applied += 1;
+            pending.next();
+        }
+        let out = replay.apply(&db, rec)?;
+        report.tail_records += out.applied;
+        if out.committed {
+            report.tail_txns += 1;
+        }
+        report.granules += mark_granules(&bf, &out.granules);
+    }
+    // Journal events past the last record (DDL was the final act).
+    for e in pending {
+        apply_ddl_event(&bf, &e.event)?;
+        report.ddl_applied += 1;
+    }
+
+    // 4. Fold the replayed tail into the image and seed the
+    // checkpointer, so the next checkpoint builds on restored state
+    // instead of re-reading a log prefix that may partially truncate.
+    // Transactions left unfinished at the crash never commit (their
+    // writers are gone), so the full tail is a transaction-safe delta;
+    // records between the tail's end and the resume frontier (past a
+    // gap) belong to commits that never acknowledged and are dropped.
+    let tail_records: Vec<bullfrog_txn::LogRecord> = tail.into_iter().map(|(_, r)| r).collect();
+    image.absorb(&tail_records, report.end_lsn.max(resume_frontier));
+    db.checkpointer().seed(image);
+
+    Ok((bf, journal, report))
+}

@@ -1,0 +1,322 @@
+//! Primary-side replication: the WAL shipper.
+//!
+//! [`ReplicationSender`] implements
+//! [`ReplicationHooks`](bullfrog_net::ReplicationHooks), so plugging it
+//! into a [`ServerConfig`](bullfrog_net::ServerConfig) turns a plain
+//! server into a primary: `SUBSCRIBE` connections become frame streams,
+//! `SNAPSHOT` serves bootstrap images, and every DDL statement the
+//! server executes is journaled with its apply point.
+//!
+//! Two invariants carry the whole design:
+//!
+//! 1. **Only durable frames ship.** A subscription reads the log through
+//!    [`Wal::durable_records_from`](bullfrog_txn::Wal), which stops at
+//!    the merged durable horizon (the minimum of the per-shard flush
+//!    frontiers). A replica therefore never applies a commit the primary
+//!    could still lose — the replica's state is always a recoverable
+//!    prefix of the primary's log, and a primary crash can only leave
+//!    replicas *behind*, never diverged.
+//! 2. **Retain horizons fence truncation.** Each subscription registers
+//!    its resume LSN as a retain horizon before reading anything;
+//!    checkpoint truncation clamps to the minimum registered horizon, so
+//!    the tail a connected (even stalled) replica still needs stays on
+//!    disk. A replica whose resume point has already been truncated —
+//!    it was down across a checkpoint — is told
+//!    [`err_code::SNAPSHOT_REQUIRED`](bullfrog_net::err_code) and
+//!    re-bootstraps from a fresh snapshot instead.
+
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bullfrog_core::{Bullfrog, ClientAccess};
+use bullfrog_net::{err_code, Request, Response, WireDdl};
+use bullfrog_txn::wal::codec;
+use bytes::BytesMut;
+use parking_lot::Mutex;
+
+use crate::journal::{encode_event, encode_snapshot, DdlJournal};
+
+/// Records per `FRAMES` batch — bounds frame size and the time a batch
+/// holds the WAL core lock.
+const MAX_BATCH: usize = 1024;
+
+/// Heartbeat cadence: an idle subscription still sends an empty frame
+/// this often, carrying the current durable horizon for lag reporting.
+const HEARTBEAT: Duration = Duration::from_millis(250);
+
+#[derive(Debug)]
+struct Peer {
+    acked_lsn: u64,
+    sent_records: u64,
+    sent_bytes: u64,
+}
+
+/// The primary's replication state: the DDL journal, the DDL
+/// serialization lock, and per-replica progress.
+pub struct ReplicationSender {
+    bf: Arc<Bullfrog>,
+    journal: Arc<DdlJournal>,
+    ddl_lock: Mutex<()>,
+    peers: Mutex<HashMap<u64, Peer>>,
+    next_peer: AtomicU64,
+}
+
+impl ReplicationSender {
+    /// Wraps a controller and journal as a primary.
+    pub fn new(bf: Arc<Bullfrog>, journal: Arc<DdlJournal>) -> Arc<ReplicationSender> {
+        Arc::new(ReplicationSender {
+            bf,
+            journal,
+            ddl_lock: Mutex::new(()),
+            peers: Mutex::new(HashMap::new()),
+            next_peer: AtomicU64::new(0),
+        })
+    }
+
+    /// The journal (shared with [`crate::restore`] on restart).
+    pub fn journal(&self) -> &Arc<DdlJournal> {
+        &self.journal
+    }
+
+    /// Connected subscription count.
+    pub fn replica_count(&self) -> usize {
+        self.peers.lock().len()
+    }
+
+    /// The lowest acked LSN across connected replicas, if any.
+    pub fn min_acked_lsn(&self) -> Option<u64> {
+        self.peers.lock().values().map(|p| p.acked_lsn).min()
+    }
+
+    fn run_subscription(
+        &self,
+        mut stream: TcpStream,
+        from_lsn: u64,
+        ddl_seq: u64,
+        stop: &dyn Fn() -> bool,
+    ) -> std::io::Result<()> {
+        let wal = self.bf.db().wal();
+        let (retain_id, granted) = wal.register_retain(from_lsn);
+        if granted > from_lsn {
+            // The tail below `granted` is gone — truncated by a
+            // checkpoint while this replica was away.
+            wal.release_retain(retain_id);
+            let resp = Response::Err {
+                retryable: true,
+                code: err_code::SNAPSHOT_REQUIRED,
+                message: format!(
+                    "log truncated: resume point {from_lsn} is below the retained base \
+                     {granted}; bootstrap from a snapshot"
+                ),
+            };
+            return bullfrog_net::wire::write_frame(&mut stream, &resp.encode());
+        }
+        let peer_id = self.next_peer.fetch_add(1, Ordering::Relaxed);
+        self.peers.lock().insert(
+            peer_id,
+            Peer {
+                acked_lsn: from_lsn,
+                sent_records: 0,
+                sent_bytes: 0,
+            },
+        );
+        let result = self.stream_frames(&mut stream, from_lsn, ddl_seq, peer_id, retain_id, stop);
+        self.peers.lock().remove(&peer_id);
+        wal.release_retain(retain_id);
+        result
+    }
+
+    fn stream_frames(
+        &self,
+        stream: &mut TcpStream,
+        from_lsn: u64,
+        ddl_seq: u64,
+        peer_id: u64,
+        retain_id: u64,
+        stop: &dyn Fn() -> bool,
+    ) -> std::io::Result<()> {
+        let wal = self.bf.db().wal();
+        bullfrog_net::wire::write_frame(stream, &Response::Ok { affected: 0 }.encode())?;
+
+        // ACK reader: a dedicated thread owning the read half, so the
+        // send loop never blocks on a quiet replica. It dies when the
+        // stream closes (either side), flipping `alive`.
+        let acked = Arc::new(AtomicU64::new(from_lsn));
+        let alive = Arc::new(AtomicBool::new(true));
+        let reader = {
+            let mut read_half = stream.try_clone()?;
+            let acked = Arc::clone(&acked);
+            let alive = Arc::clone(&alive);
+            std::thread::Builder::new()
+                .name("bf-repl-ack".into())
+                .spawn(move || {
+                    while let Ok(Some(payload)) = bullfrog_net::wire::read_frame(&mut read_half) {
+                        match Request::decode(payload) {
+                            Ok(Request::ReplAck { lsn }) => {
+                                acked.fetch_max(lsn, Ordering::AcqRel);
+                            }
+                            _ => break,
+                        }
+                    }
+                    alive.store(false, Ordering::Release);
+                })?
+        };
+
+        let mut next_lsn = from_lsn;
+        let mut next_ddl = ddl_seq;
+        let send_result: std::io::Result<()> = loop {
+            if stop() || !alive.load(Ordering::Acquire) {
+                break Ok(());
+            }
+            // Propagate acks into lag accounting and the retain horizon
+            // (never past what we have actually sent).
+            let acked_lsn = acked.load(Ordering::Acquire).min(next_lsn);
+            wal.advance_retain(retain_id, acked_lsn);
+            if let Some(p) = self.peers.lock().get_mut(&peer_id) {
+                p.acked_lsn = acked_lsn;
+            }
+
+            // Durable log tail first, then the DDL journal tail: a
+            // journal entry's apply point can only reference LSNs the
+            // replica will have seen by the time it applies it.
+            let (records, durable_lsn) = wal.durable_records_from(next_lsn, MAX_BATCH);
+            let ddl: Vec<WireDdl> = self
+                .journal
+                .entries_from(next_ddl)
+                .into_iter()
+                .map(|e| WireDdl {
+                    seq: e.seq,
+                    apply_at_lsn: e.apply_at_lsn,
+                    payload: encode_event(&e.event),
+                })
+                .collect();
+            let idle = records.is_empty() && ddl.is_empty();
+            if let Some((last, _)) = records.last() {
+                next_lsn = last + 1;
+            }
+            next_ddl += ddl.len() as u64;
+            let nrecords = records.len() as u64;
+            let frame = Response::Frames {
+                durable_lsn,
+                ddl,
+                records,
+            }
+            .encode();
+            let frame_bytes = frame.len() as u64;
+            if let Err(e) = bullfrog_net::wire::write_frame(stream, &frame) {
+                break Err(e);
+            }
+            if let Some(p) = self.peers.lock().get_mut(&peer_id) {
+                p.sent_records += nrecords;
+                p.sent_bytes += frame_bytes;
+            }
+            if idle {
+                // Park until the horizon moves or a heartbeat is due.
+                // (In-memory logs return immediately; the floor sleep
+                // keeps this from spinning.)
+                let before = durable_lsn;
+                let after = wal.wait_durable_timeout(before + 1, HEARTBEAT);
+                if after == before {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        };
+        // Closing our half unblocks the reader's blocking read.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        let _ = reader.join();
+        send_result
+    }
+
+    /// Encoded size of the durable records a replica at `acked` has not
+    /// yet confirmed — the byte form of replication lag.
+    fn lag_bytes(&self, acked: u64, durable: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        for (_, r) in self.bf.db().wal().records_with_lsns(acked, durable) {
+            codec::put_record(&mut buf, &r);
+        }
+        buf.len() as u64
+    }
+}
+
+impl bullfrog_net::ReplicationHooks for ReplicationSender {
+    fn journaled_ddl(
+        &self,
+        exec: &mut dyn FnMut() -> bullfrog_common::Result<bullfrog_net::DdlEvent>,
+    ) -> bullfrog_common::Result<()> {
+        // The lock serializes DDL end to end: frontier sample, catalog
+        // mutation, journal append. Serial DDL means journal order is
+        // catalog-creation order, so TableIds match on every mirror.
+        let _serial = self.ddl_lock.lock();
+        let apply_at_lsn = self.bf.db().wal().frontier();
+        let event = exec()?;
+        self.journal.append(apply_at_lsn, event)?;
+        Ok(())
+    }
+
+    fn snapshot(&self) -> bullfrog_common::Result<bytes::Bytes> {
+        // Image before journal: a journal newer than the image is
+        // harmless (events defer by apply_at_lsn); an image newer than
+        // the journal could hold rows of tables the replica never
+        // learns to create.
+        let image = self.bf.db().checkpointer().image_snapshot();
+        let entries = self.journal.entries();
+        Ok(encode_snapshot(&image, &entries))
+    }
+
+    fn subscribe(
+        &self,
+        stream: TcpStream,
+        from_lsn: u64,
+        ddl_seq: u64,
+        stop: &dyn Fn() -> bool,
+    ) -> std::io::Result<()> {
+        self.run_subscription(stream, from_lsn, ddl_seq, stop)
+    }
+
+    fn status(&self) -> Vec<(String, i64)> {
+        let durable = self.bf.db().wal().durable_lsn();
+        let peers = self.peers.lock();
+        let min_acked = peers.values().map(|p| p.acked_lsn).min();
+        let mut out = vec![
+            ("repl.role_primary".into(), 1),
+            ("repl.replicas".into(), peers.len() as i64),
+            ("repl.durable_lsn".into(), durable as i64),
+            (
+                "repl.ddl_journal_entries".into(),
+                self.journal.next_seq() as i64,
+            ),
+        ];
+        let (lag_lsns, lag_bytes) = match min_acked {
+            Some(acked) => (
+                durable.saturating_sub(acked),
+                self.lag_bytes(acked, durable),
+            ),
+            None => (0, 0),
+        };
+        out.push(("repl.lag_lsns".into(), lag_lsns as i64));
+        out.push(("repl.lag_bytes".into(), lag_bytes as i64));
+        let mut ids: Vec<&u64> = peers.keys().collect();
+        ids.sort();
+        for id in ids {
+            let p = &peers[id];
+            out.push((format!("repl.peer.{id}.acked_lsn"), p.acked_lsn as i64));
+            out.push((
+                format!("repl.peer.{id}.sent_records"),
+                p.sent_records as i64,
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for ReplicationSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicationSender")
+            .field("replicas", &self.replica_count())
+            .field("journal", &self.journal)
+            .finish()
+    }
+}

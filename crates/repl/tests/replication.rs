@@ -1,0 +1,476 @@
+//! End-to-end replication tests: a real TCP primary with the
+//! [`ReplicationSender`] hooks, a real [`Replica`], and traffic driven
+//! through [`bullfrog_net::Client`] — including mid-stream lazy
+//! migrations, snapshot bootstraps after log truncation, and a primary
+//! kill/restore/reattach cycle.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_core::{Bullfrog, ClientAccess};
+use bullfrog_engine::{Database, DbConfig};
+use bullfrog_net::{err_code, Client, ClientError, Server, ServerConfig};
+use bullfrog_repl::{restore, DdlJournal, Replica, ReplicationSender};
+use bullfrog_txn::wal::shard_file_path;
+use bullfrog_txn::WalOptions;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bf-repl-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A file-backed primary serving SQL + replication on an ephemeral
+/// loopback port.
+fn start_primary(dir: &std::path::Path) -> (Server, Arc<Bullfrog>, Arc<ReplicationSender>) {
+    let wal_path = dir.join("primary.wal");
+    let db = Arc::new(
+        Database::with_wal_file_opts(DbConfig::default(), &wal_path, WalOptions::default())
+            .expect("file-backed primary"),
+    );
+    let bf = Arc::new(Bullfrog::new(db));
+    let journal = Arc::new(DdlJournal::open(DdlJournal::path_for(&wal_path)).expect("ddl journal"));
+    let sender = ReplicationSender::new(Arc::clone(&bf), journal);
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&bf),
+        ServerConfig {
+            replication: Some(Arc::clone(&sender) as _),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind primary");
+    (server, bf, sender)
+}
+
+/// An in-memory replica following `primary_addr`, serving read-only SQL.
+fn start_replica(primary_addr: std::net::SocketAddr) -> (Server, Replica) {
+    let bf = Arc::new(Bullfrog::new(Arc::new(Database::new())));
+    let replica = Replica::start(primary_addr.to_string(), Arc::clone(&bf));
+    let server = Server::bind(
+        ("127.0.0.1", 0),
+        bf,
+        ServerConfig {
+            read_only: Some(replica.read_only()),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind replica");
+    (server, replica)
+}
+
+fn stat(pairs: &[(String, i64)], key: &str) -> i64 {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("STATUS missing {key}: {pairs:?}"))
+}
+
+fn wait_complete(admin: &mut Client, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let status = admin.status().expect("status poll");
+        if stat(&status, "migration.active") == 0 || stat(&status, "migration.complete") == 1 {
+            return;
+        }
+        assert!(Instant::now() < deadline, "migration stalled: {status:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn sorted_rows(client: &mut Client, sql: &str) -> Vec<bullfrog_common::Row> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match client.query_rows(sql) {
+            Ok((_, mut rows)) => {
+                rows.sort_by_key(|r| format!("{r:?}"));
+                return rows;
+            }
+            Err(ClientError::Server {
+                retryable: true, ..
+            }) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => panic!("{sql} failed: {e}"),
+        }
+    }
+}
+
+/// Syncs the primary, waits for the replica to reach its frontier, and
+/// asserts both servers answer `sql` identically.
+fn assert_converged(
+    bf: &Arc<Bullfrog>,
+    replica: &Replica,
+    primary: &mut Client,
+    replica_client: &mut Client,
+    sql: &str,
+) {
+    bf.db().wal().sync();
+    let target = bf.db().wal().frontier();
+    assert!(
+        replica.wait_caught_up(target, Duration::from_secs(20)),
+        "replica stuck below {target}: {:?}",
+        replica.stats()
+    );
+    assert_eq!(replica.stats().lag_lsns(), 0);
+    assert_eq!(
+        sorted_rows(primary, sql),
+        sorted_rows(replica_client, sql),
+        "primary/replica diverged on {sql}"
+    );
+}
+
+/// The tentpole scenario: concurrent transfer traffic, a 1:1 bitmap
+/// migration and an n:1 hash migration submitted mid-stream, and a
+/// replica that must converge to identical scans after each drain.
+#[test]
+fn replica_converges_through_mid_stream_migrations() {
+    let dir = scratch_dir("converge");
+    let (server, bf, sender) = start_primary(&dir);
+    let addr = server.local_addr();
+    let (rserver, replica) = start_replica(addr);
+
+    let mut admin = Client::connect(addr).expect("admin");
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .unwrap();
+    let values: Vec<String> = (0..64)
+        .map(|i| format!("({i}, 'o{}', 100)", i % 8))
+        .collect();
+    admin
+        .execute(&format!(
+            "INSERT INTO accounts VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+
+    // Concurrent writers transferring balance; they swap tables when the
+    // migration flips.
+    let on_v2 = Arc::new(AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            let on_v2 = Arc::clone(&on_v2);
+            let stop = Arc::clone(&stop);
+            let committed = Arc::clone(&committed);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("worker");
+                let mut i: i64 = w;
+                while !stop.load(Ordering::Acquire) {
+                    let table = if on_v2.load(Ordering::Acquire) {
+                        "accounts_v2"
+                    } else {
+                        "accounts"
+                    };
+                    let a = i.rem_euclid(64);
+                    let b = (i + 17).rem_euclid(64);
+                    i += 13;
+                    let mut txn = || -> Result<(), ClientError> {
+                        client.execute("BEGIN")?;
+                        client.execute(&format!(
+                            "UPDATE {table} SET balance = balance - 3 WHERE id = {a}"
+                        ))?;
+                        client.execute(&format!(
+                            "UPDATE {table} SET balance = balance + 3 WHERE id = {b}"
+                        ))?;
+                        client.execute("COMMIT")?;
+                        Ok(())
+                    };
+                    match txn() {
+                        Ok(()) => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(ClientError::Server { .. }) => {} // retry next round
+                        Err(e) => panic!("transport: {e}"),
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+        })
+        .collect();
+
+    // Mid-stream 1:1 (bitmap) migration.
+    std::thread::sleep(Duration::from_millis(60));
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .unwrap();
+    on_v2.store(true, Ordering::Release);
+    wait_complete(&mut admin, Duration::from_secs(20));
+
+    // Quiesce before the scan comparison.
+    stop.store(true, Ordering::Release);
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert!(
+        committed.load(Ordering::Relaxed) > 0,
+        "no traffic committed"
+    );
+    admin.execute("FINALIZE MIGRATION DROP OLD").unwrap();
+
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica client");
+    assert_converged(
+        &bf,
+        &replica,
+        &mut admin,
+        &mut rclient,
+        "SELECT id, owner, balance FROM accounts_v2",
+    );
+
+    // Mid-stream n:1 (hash) migration: lazy point reads + background
+    // sweeps complete it, then the replica must match the aggregate.
+    admin
+        .execute(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .unwrap();
+    for o in 0..8 {
+        let _ = admin.query_rows(&format!(
+            "SELECT owner, total FROM owner_totals WHERE owner = 'o{o}'"
+        ));
+    }
+    wait_complete(&mut admin, Duration::from_secs(20));
+    admin.execute("FINALIZE MIGRATION").unwrap();
+    assert_converged(
+        &bf,
+        &replica,
+        &mut admin,
+        &mut rclient,
+        "SELECT owner, total FROM owner_totals",
+    );
+
+    // The replica rebuilt tracker state from shipped granule records.
+    assert!(
+        replica.stats().granules_mirrored.load(Ordering::Acquire) > 0,
+        "no granules mirrored"
+    );
+    assert_eq!(sender.replica_count(), 1);
+
+    drop((server, rserver, replica));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Replicas answer reads and bounce writes with a retryable READ_ONLY
+/// error naming the primary.
+#[test]
+fn replica_serves_reads_and_rejects_writes() {
+    let dir = scratch_dir("readonly");
+    let (server, bf, _sender) = start_primary(&dir);
+    let addr = server.local_addr();
+    let (rserver, replica) = start_replica(addr);
+
+    let mut admin = Client::connect(addr).expect("admin");
+    admin
+        .execute("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+        .unwrap();
+    admin
+        .execute("INSERT INTO kv VALUES (1, 10), (2, 20)")
+        .unwrap();
+
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica client");
+    assert_converged(
+        &bf,
+        &replica,
+        &mut admin,
+        &mut rclient,
+        "SELECT k, v FROM kv",
+    );
+
+    for sql in [
+        "INSERT INTO kv VALUES (3, 30)",
+        "UPDATE kv SET v = 0 WHERE k = 1",
+        "DELETE FROM kv WHERE k = 2",
+        "CREATE TABLE nope (x INT, PRIMARY KEY (x))",
+        "BEGIN",
+    ] {
+        match rclient.execute(sql) {
+            Err(ClientError::Server {
+                retryable,
+                code,
+                message,
+            }) => {
+                assert!(retryable, "{sql}: read-only rejection must be retryable");
+                assert_eq!(code, err_code::READ_ONLY, "{sql}: wrong code");
+                assert!(
+                    message.contains(&addr.to_string()),
+                    "{sql}: error must name the primary ({message})"
+                );
+            }
+            other => panic!("{sql} on replica: expected READ_ONLY, got {other:?}"),
+        }
+    }
+    // The connection is still usable for reads afterwards.
+    assert_eq!(sorted_rows(&mut rclient, "SELECT k, v FROM kv").len(), 2);
+
+    drop((server, rserver, replica));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A replica whose resume point has been truncated away re-bootstraps
+/// from a snapshot instead of failing: checkpoint truncation ran before
+/// it ever connected, so LSN 0 is gone.
+#[test]
+fn truncated_log_forces_snapshot_bootstrap() {
+    let dir = scratch_dir("snapshot");
+    let (server, bf, _sender) = start_primary(&dir);
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr).expect("admin");
+    admin
+        .execute("CREATE TABLE kv (k INT, v INT, PRIMARY KEY (k))")
+        .unwrap();
+    for k in 0..50 {
+        admin
+            .execute(&format!("INSERT INTO kv VALUES ({k}, {})", k * 2))
+            .unwrap();
+    }
+    bf.db().wal().sync();
+    let stats = bf.db().checkpoint().expect("manual checkpoint");
+    assert!(
+        stats.cut_lsn > 0,
+        "checkpoint must have truncated something"
+    );
+    assert!(bf.db().wal().base_lsn() > 0, "log base must have moved");
+
+    // Now attach a fresh replica: subscribe-from-0 must be refused with
+    // SNAPSHOT_REQUIRED and the replica must bootstrap.
+    let (rserver, replica) = start_replica(addr);
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica client");
+    assert_converged(
+        &bf,
+        &replica,
+        &mut admin,
+        &mut rclient,
+        "SELECT k, v FROM kv",
+    );
+    assert!(
+        replica.stats().snapshots.load(Ordering::Acquire) >= 1,
+        "replica must have bootstrapped from a snapshot: {:?}",
+        replica.stats()
+    );
+
+    // And it keeps streaming normally afterwards.
+    admin.execute("INSERT INTO kv VALUES (100, 200)").unwrap();
+    assert_converged(
+        &bf,
+        &replica,
+        &mut admin,
+        &mut rclient,
+        "SELECT k, v FROM kv",
+    );
+
+    drop((server, rserver, replica));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Kill the primary mid-stream — with a migration still in flight — and
+/// restore it from WAL + sidecar + DDL journal on a new port. The
+/// replica must reattach via its backoff loop and converge; the restored
+/// primary must be able to finish the migration lazily.
+#[test]
+fn primary_restart_replica_reconverges() {
+    let dir = scratch_dir("restart");
+    let (server, bf, sender) = start_primary(&dir);
+    let addr = server.local_addr();
+    let (rserver, replica) = start_replica(addr);
+
+    let mut admin = Client::connect(addr).expect("admin");
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .unwrap();
+    let values: Vec<String> = (0..40)
+        .map(|i| format!("({i}, 'o{}', 100)", i % 4))
+        .collect();
+    admin
+        .execute(&format!(
+            "INSERT INTO accounts VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+
+    // Submit the migration and kill the primary while it is in flight
+    // (no FINALIZE): trackers must survive via journal + granule
+    // records.
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .unwrap();
+    // Touch a few slices so some granule records are committed.
+    for id in 0..10 {
+        let _ = admin.query_rows(&format!(
+            "SELECT id, balance FROM accounts_v2 WHERE id = {id}"
+        ));
+    }
+    let caught = {
+        bf.db().wal().sync();
+        let target = bf.db().wal().frontier();
+        replica.wait_caught_up(target, Duration::from_secs(20))
+    };
+    assert!(caught, "replica behind before the kill");
+
+    // Kill: drop every handle so the WAL files are closed before
+    // restore reopens them. The replica now spins in reconnect backoff.
+    let wal_path = dir.join("primary.wal");
+    drop(admin);
+    drop(server);
+    drop(sender);
+    drop(bf);
+
+    let (bf2, journal2, report) =
+        restore(&wal_path, DbConfig::default(), WalOptions::default()).expect("restore");
+    assert!(
+        report.ddl_applied >= 2,
+        "journal must replay DDL: {report:?}"
+    );
+    let sender2 = ReplicationSender::new(Arc::clone(&bf2), journal2);
+    let server2 = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&bf2),
+        ServerConfig {
+            replication: Some(Arc::clone(&sender2) as _),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("rebind primary");
+    replica.set_primary(server2.local_addr().to_string());
+
+    let mut admin2 = Client::connect(server2.local_addr()).expect("admin after restart");
+    // The restored migration has no background sweepers; a full scan
+    // migrates every remaining slice lazily, then finalize.
+    let rows = sorted_rows(&mut admin2, "SELECT id, owner, balance FROM accounts_v2");
+    assert_eq!(rows.len(), 40, "restored migration lost rows");
+    // No background sweepers after restore, so the STATUS complete flag
+    // stays 0 — but finalize re-derives completeness from the trackers,
+    // which the full scan just filled.
+    admin2.execute("FINALIZE MIGRATION DROP OLD").unwrap();
+    admin2
+        .execute("UPDATE accounts_v2 SET balance = balance + 1 WHERE id = 0")
+        .unwrap();
+
+    let mut rclient = Client::connect(rserver.local_addr()).expect("replica client");
+    assert_converged(
+        &bf2,
+        &replica,
+        &mut admin2,
+        &mut rclient,
+        "SELECT id, owner, balance FROM accounts_v2",
+    );
+    assert!(
+        replica.stats().reconnects.load(Ordering::Acquire) >= 1,
+        "replica must have reconnected after the restart"
+    );
+
+    drop((server2, rserver, replica));
+    // Shard files plus journal/sidecar live under dir.
+    let _ = shard_file_path(&wal_path, 1); // (referenced for clarity; dir removal covers all)
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -79,6 +79,15 @@ pub enum Statement {
         /// Also drop the old input tables.
         drop_old: bool,
     },
+    /// `SET COMMIT_MODE NOWAIT(n) | SYNC` — switch the session's commit
+    /// acknowledgement mode: `NOWAIT(n)` makes every commit asynchronous
+    /// with at most `n` un-durable commits outstanding (the session blocks
+    /// on the oldest when the window fills); `SYNC` drains the window and
+    /// restores synchronous commits.
+    SetCommitMode {
+        /// `Some(max_unacked)` for `NOWAIT(n)`, `None` for `SYNC`.
+        max_unacked: Option<u64>,
+    },
 }
 
 /// Parses one statement. Never panics: malformed input, oversized
@@ -124,6 +133,24 @@ fn statement(p: &mut Parser) -> Result<Statement> {
     }
     if p.eat_word("checkpoint") {
         return Ok(Statement::Checkpoint);
+    }
+    if p.eat_word("set") {
+        p.keyword("commit_mode")?;
+        if p.eat_word("sync") {
+            return Ok(Statement::SetCommitMode { max_unacked: None });
+        }
+        p.keyword("nowait")?;
+        p.sym("(")?;
+        let n = p.int_literal()?;
+        p.sym(")")?;
+        if n < 0 {
+            return Err(Error::Eval(format!(
+                "COMMIT_MODE NOWAIT window must be non-negative, got {n}"
+            )));
+        }
+        return Ok(Statement::SetCommitMode {
+            max_unacked: Some(n as u64),
+        });
     }
     if p.eat_word("finalize") {
         p.keyword("migration")?;
@@ -331,6 +358,24 @@ mod tests {
             parse_statement("FINALIZE MIGRATION DROP OLD").unwrap(),
             Statement::FinalizeMigration { drop_old: true }
         ));
+        assert!(matches!(
+            parse_statement("SET COMMIT_MODE NOWAIT(8)").unwrap(),
+            Statement::SetCommitMode {
+                max_unacked: Some(8)
+            }
+        ));
+        assert!(matches!(
+            parse_statement("SET COMMIT_MODE SYNC").unwrap(),
+            Statement::SetCommitMode { max_unacked: None }
+        ));
+    }
+
+    #[test]
+    fn commit_mode_rejects_malformed_windows() {
+        assert!(parse_statement("SET COMMIT_MODE NOWAIT(-1)").is_err());
+        assert!(parse_statement("SET COMMIT_MODE NOWAIT").is_err());
+        assert!(parse_statement("SET COMMIT_MODE").is_err());
+        assert!(parse_statement("SET LOCK_MODE SYNC").is_err());
     }
 
     #[test]

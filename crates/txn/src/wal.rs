@@ -464,6 +464,13 @@ struct WalShared {
     checkpoints: AtomicU64,
     /// Records dropped from memory by truncation (log-global).
     truncated_records: AtomicU64,
+    /// Registered retain horizons, by consumer id: a tailing log reader
+    /// (e.g. a replication sender) records the first LSN it still needs,
+    /// and [`Wal::truncate_to`] never cuts past the minimum of these.
+    /// Lock order: `retain` before any file lock, before `core`.
+    retain: Mutex<HashMap<u64, u64>>,
+    /// Next consumer id to hand out.
+    retain_next: AtomicU64,
 }
 
 /// Recomputes the merged durable horizon from the per-shard frontiers and
@@ -651,6 +658,8 @@ impl Wal {
             shard_stats: (0..nshards).map(|_| WalStats::default()).collect(),
             checkpoints: AtomicU64::new(0),
             truncated_records: AtomicU64::new(0),
+            retain: Mutex::new(HashMap::new()),
+            retain_next: AtomicU64::new(0),
         }
     }
 
@@ -910,6 +919,103 @@ impl Wal {
         out
     }
 
+    /// The end of the LSN space (the next LSN to be assigned). Unlike
+    /// [`Wal::durable_lsn`] this moves at append time, so it is the right
+    /// sample point for "everything logged after this instant".
+    pub fn frontier(&self) -> u64 {
+        self.shared.core.lock().next_lsn
+    }
+
+    /// As [`Wal::records_in`], but tagged with each record's LSN — the
+    /// form a log shipper needs, since a reopened log's retained range
+    /// does not start at 0 and recovery holes make the stream non-dense.
+    pub fn records_with_lsns(&self, lo: u64, hi: u64) -> Vec<(u64, LogRecord)> {
+        let core = self.shared.core.lock();
+        let (lo, hi) = (lo.max(core.base_lsn), hi.min(core.next_lsn));
+        let mut out = Vec::new();
+        core.for_each(|lsn, r| {
+            if lsn >= lo && lsn < hi {
+                out.push((lsn, r.clone()));
+            }
+        });
+        out
+    }
+
+    /// Durable-tail iteration for replication: up to `max` retained
+    /// records with LSN in `[from, durable_lsn)`, plus the merged durable
+    /// horizon itself. Only records below the horizon are ever returned,
+    /// so a consumer can never observe a commit the log would refuse to
+    /// acknowledge (an unflushed batch on some shard below it).
+    pub fn durable_records_from(&self, from: u64, max: usize) -> (Vec<(u64, LogRecord)>, u64) {
+        let core = self.shared.core.lock();
+        let durable = self.shared.durable_lsn.load(Ordering::Acquire);
+        let lo = from.max(core.base_lsn);
+        let mut out = Vec::new();
+        core.for_each(|lsn, r| {
+            if lsn >= lo && lsn < durable && out.len() < max {
+                out.push((lsn, r.clone()));
+            }
+        });
+        (out, durable)
+    }
+
+    /// Blocks until the merged horizon reaches `lsn` or `timeout`
+    /// elapses; returns the horizon either way. The tailing-reader
+    /// variant of [`Wal::wait_durable`] — a sender with nothing to ship
+    /// parks here instead of spinning.
+    pub fn wait_durable_timeout(&self, lsn: u64, timeout: Duration) -> u64 {
+        if !self.shared.file_backed {
+            return self.shared.durable_lsn.load(Ordering::Acquire);
+        }
+        let deadline = Instant::now() + timeout;
+        let mut core = self.shared.core.lock();
+        loop {
+            let durable = self.shared.durable_lsn.load(Ordering::Acquire);
+            if durable >= lsn || self.shared.poisoned.load(Ordering::Acquire) {
+                return durable;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return durable;
+            }
+            self.shared.durable.wait_for(&mut core, deadline - now);
+        }
+    }
+
+    // --- Retain horizons ---------------------------------------------------
+
+    /// Registers a log consumer that still needs every record at or above
+    /// `at`: [`Wal::truncate_to`] will not cut past it. Returns the
+    /// consumer id and the granted horizon — `at` clamped up to the
+    /// current base LSN. A caller that asked for less than the base must
+    /// treat the gap as already gone (for replication: fetch a snapshot).
+    pub fn register_retain(&self, at: u64) -> (u64, u64) {
+        let mut retain = self.shared.retain.lock();
+        let base = self.shared.core.lock().base_lsn;
+        let granted = at.max(base);
+        let id = self.shared.retain_next.fetch_add(1, Ordering::Relaxed);
+        retain.insert(id, granted);
+        (id, granted)
+    }
+
+    /// Moves consumer `id`'s horizon forward to `lsn` (never backward).
+    pub fn advance_retain(&self, id: u64, lsn: u64) {
+        let mut retain = self.shared.retain.lock();
+        if let Some(h) = retain.get_mut(&id) {
+            *h = (*h).max(lsn);
+        }
+    }
+
+    /// Drops consumer `id`'s horizon; the log may truncate past it again.
+    pub fn release_retain(&self, id: u64) {
+        self.shared.retain.lock().remove(&id);
+    }
+
+    /// The lowest registered retain horizon, if any consumer is live.
+    pub fn retain_floor(&self) -> Option<u64> {
+        self.shared.retain.lock().values().min().copied()
+    }
+
     /// Serializes the retained log to its binary image. Sealed segments
     /// are shared out of the lock; only the open segment is cloned.
     pub fn encode_all(&self) -> Bytes {
@@ -986,12 +1092,23 @@ impl Wal {
     /// transaction-safe `cut` (see [`Wal::safe_cut`]).
     pub fn truncate_to(&self, cut: u64) -> Result<u64> {
         let shared = &self.shared;
-        // Lock order: every shard file (index order), then core — the
-        // flushers take core and file locks in sequence but never hold a
-        // file lock while waiting for core, so this cannot deadlock.
+        // Lock order: retain registry, then every shard file (index
+        // order), then core — the flushers take core and file locks in
+        // sequence but never hold a file lock while waiting for core, so
+        // this cannot deadlock. Holding `retain` across the whole
+        // truncation means a consumer registering concurrently either
+        // sees the pre-cut base (and is granted its horizon) or the
+        // post-cut base (and is clamped up to it) — never a base that
+        // moves out from under a granted horizon.
+        let retain = shared.retain.lock();
         let mut file_guards: Vec<_> = shared.files.iter().map(|m| m.lock()).collect();
         let mut core = shared.core.lock();
-        let cut = cut.clamp(core.base_lsn, core.next_lsn);
+        let mut cut = cut.clamp(core.base_lsn, core.next_lsn);
+        // A registered consumer (a replication sender's slowest replica)
+        // pins the cut: frames must not disappear under a tailing reader.
+        if let Some(floor) = retain.values().min() {
+            cut = cut.min((*floor).max(core.base_lsn));
+        }
         if shared.file_backed {
             let n = core.shards.len();
             let mut images: Vec<BytesMut> = (0..n)
@@ -1741,6 +1858,17 @@ pub mod codec {
         super::get_granule(buf)
     }
 
+    /// Encodes a full log record (the WAL's on-disk record format; also
+    /// the payload format of replication `FRAMES`).
+    pub fn put_record(buf: &mut BytesMut, r: &LogRecord) {
+        super::encode_record(buf, r);
+    }
+
+    /// Decodes a log record written by [`put_record`].
+    pub fn get_record(buf: &mut Bytes) -> Result<LogRecord> {
+        super::decode_record(buf)
+    }
+
     /// Decodes a u32 with truncation checking.
     pub fn get_u32(buf: &mut Bytes) -> Result<u32> {
         super::get_u32(buf)
@@ -2240,6 +2368,73 @@ mod tests {
         assert_eq!(wal.safe_cut(), 2);
         wal.append(LogRecord::Commit(t2));
         assert_eq!(wal.safe_cut(), wal.len() as u64);
+    }
+
+    #[test]
+    fn truncation_respects_retain_horizons() {
+        // Regression: a tailing log consumer (replication sender) registers
+        // the first LSN it still needs; truncation must never cut past it,
+        // or frames disappear under the reader mid-stream.
+        let wal = Wal::new();
+        for t in 0..100u64 {
+            let txn = TxnId(t);
+            wal.append_batch([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        let (id, granted) = wal.register_retain(40);
+        assert_eq!(granted, 40);
+        let cut = wal.safe_cut();
+        assert_eq!(cut, 200);
+        wal.truncate_to(cut).unwrap();
+        // The cut was clamped to the retain horizon, not the checkpoint LSN.
+        assert_eq!(wal.base_lsn(), 40);
+        let kept = wal.records_with_lsns(40, 200);
+        assert_eq!(kept.len(), 160);
+        assert_eq!(kept.first().unwrap().0, 40);
+        // The consumer advances; truncation follows it.
+        wal.advance_retain(id, 150);
+        wal.truncate_to(wal.safe_cut()).unwrap();
+        assert_eq!(wal.base_lsn(), 150);
+        // Releasing the horizon lets truncation cut the full prefix again.
+        wal.release_retain(id);
+        assert_eq!(wal.retain_floor(), None);
+        wal.truncate_to(wal.safe_cut()).unwrap();
+        assert_eq!(wal.base_lsn(), 200);
+    }
+
+    #[test]
+    fn register_retain_clamps_to_base() {
+        // Registering below the already-truncated base grants the base:
+        // those records are gone, and the consumer must be told where the
+        // guarantee actually starts (it will re-bootstrap from a snapshot).
+        let wal = Wal::new();
+        for t in 0..10u64 {
+            let txn = TxnId(t);
+            wal.append_batch([LogRecord::Begin(txn), LogRecord::Commit(txn)]);
+        }
+        wal.truncate_to(wal.safe_cut()).unwrap();
+        assert_eq!(wal.base_lsn(), 20);
+        let (_, granted) = wal.register_retain(5);
+        assert_eq!(granted, 20);
+    }
+
+    #[test]
+    fn durable_records_from_stops_at_durable_horizon() {
+        let path = temp_wal("durable-from");
+        let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+        let t1 = TxnId(1);
+        wal.append_batch_durable([LogRecord::Begin(t1), LogRecord::Commit(t1)]);
+        let (recs, durable) = wal.durable_records_from(0, usize::MAX);
+        assert_eq!(durable, 2);
+        assert_eq!(
+            recs,
+            vec![(0, LogRecord::Begin(t1)), (1, LogRecord::Commit(t1)),]
+        );
+        // `max` bounds the batch; the durable horizon is still reported.
+        let (recs, durable) = wal.durable_records_from(0, 1);
+        assert_eq!(durable, 2);
+        assert_eq!(recs.len(), 1);
+        drop(wal);
+        remove_sharded(&path);
     }
 
     #[test]

@@ -4,10 +4,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== build (release) =="
-cargo build --release
+cargo build --release --workspace
 
 echo "== tests =="
-cargo test -q
+cargo test -q --workspace
 
 echo "== WAL tests under high thread pressure =="
 RUST_TEST_THREADS=16 cargo test -q -p bullfrog-txn wal
@@ -16,14 +16,44 @@ RUST_TEST_THREADS=16 cargo test -q -p bullfrog-engine --test durability
 echo "== server integration tests =="
 cargo test -q -p bullfrog-net --test server_integration --test migration_race
 
+echo "== replication tests =="
+cargo test -q -p bullfrog-repl
+
 echo "== loadgen smoke (loopback, fixed seed, bounded) =="
-timeout 10 cargo run --release -q -p bullfrog-net --bin loadgen -- \
+timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42
 
 echo "== loadgen smoke (file-backed WAL, async commit) =="
-timeout 10 cargo run --release -q -p bullfrog-net --bin loadgen -- \
+timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42 \
   --commit-mode nowait --wal-dir "$(mktemp -d)"
+
+echo "== loadgen smoke (live replica, equivalence verified) =="
+timeout 30 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+  --clients 16 --accounts 128 --ops 5 --seed 42 --replica
+
+echo "== repld two-process loopback smoke (zero lag after drain) =="
+REPLD=target/release/repld
+LOADGEN=target/release/loadgen
+REPL_DIR="$(mktemp -d)"
+PRIMARY=127.0.0.1:7788
+REPLICA=127.0.0.1:7789
+cleanup() { kill "${PRIMARY_PID:-}" "${REPLICA_PID:-}" 2>/dev/null || true; rm -rf "$REPL_DIR"; }
+trap cleanup EXIT
+"$REPLD" primary --listen "$PRIMARY" --wal-dir "$REPL_DIR" &
+PRIMARY_PID=$!
+sleep 0.5
+"$REPLD" replica --listen "$REPLICA" --primary "$PRIMARY" &
+REPLICA_PID=$!
+sleep 0.5
+timeout 30 "$LOADGEN" --addr "$PRIMARY" --clients 8 --accounts 64 --ops 5 --seed 42
+timeout 30 "$REPLD" wait-zero-lag --addr "$REPLICA" --timeout-secs 25
+"$REPLD" status --addr "$REPLICA" | grep -q '^repl.role_replica = 1$'
+"$REPLD" shutdown --addr "$REPLICA"
+"$REPLD" shutdown --addr "$PRIMARY"
+wait "$PRIMARY_PID" "$REPLICA_PID"
+trap - EXIT
+cleanup
 
 echo "== rustfmt =="
 cargo fmt --check

@@ -14,7 +14,10 @@
 //! - [`sql`] — a SQL front-end: predicates, SELECT specs, CREATE TABLE,
 //!   and `CREATE TABLE ... AS SELECT` migration DDL.
 //! - [`net`] — the BFNET1 TCP server/client: lazy migrations under real
-//!   multi-client traffic, plus the `loadgen` binary.
+//!   multi-client traffic.
+//! - [`repl`] — physical replication by WAL shipping: primary-side
+//!   sender, read-only replicas, snapshot bootstrap, and the `repld` /
+//!   `loadgen` binaries.
 //! - [`tpcc`] — the TPC-C workload extended with schema migrations.
 //!
 //! See the `examples/` directory for end-to-end usage, starting with
@@ -25,6 +28,7 @@ pub use bullfrog_core as core;
 pub use bullfrog_engine as engine;
 pub use bullfrog_net as net;
 pub use bullfrog_query as query;
+pub use bullfrog_repl as repl;
 pub use bullfrog_sql as sql;
 pub use bullfrog_storage as storage;
 pub use bullfrog_tpcc as tpcc;
