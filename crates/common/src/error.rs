@@ -56,6 +56,15 @@ pub enum Error {
         /// The table whose lock was contended.
         table: TableId,
     },
+    /// Snapshot-isolation write-write conflict: the row was committed by
+    /// another transaction after this transaction's snapshot
+    /// (first-updater-wins). Abort and retry with a fresh snapshot.
+    WriteConflict {
+        /// The transaction that lost the conflict.
+        txn: TxnId,
+        /// The table holding the contended row.
+        table: TableId,
+    },
     /// The transaction was aborted (explicitly, by conflict, or by
     /// failpoint injection) and can no longer be used.
     TxnAborted(TxnId),
@@ -97,6 +106,9 @@ impl fmt::Display for Error {
             Error::LockTimeout { txn, table } => {
                 write!(f, "{txn} timed out waiting for lock on {table}")
             }
+            Error::WriteConflict { txn, table } => {
+                write!(f, "{txn} lost a write-write conflict on {table}")
+            }
             Error::TxnAborted(t) => write!(f, "{t} aborted"),
             Error::TxnNotActive(t) => write!(f, "{t} is not active"),
             Error::SchemaRetired(t) => {
@@ -117,7 +129,10 @@ impl Error {
     /// should abort the transaction and retry (the TPC-C driver and the
     /// migration loop both use this).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::LockTimeout { .. } | Error::TxnAborted(_))
+        matches!(
+            self,
+            Error::LockTimeout { .. } | Error::TxnAborted(_) | Error::WriteConflict { .. }
+        )
     }
 }
 
@@ -143,6 +158,11 @@ mod tests {
     fn retryable_classification() {
         assert!(Error::TxnAborted(TxnId(1)).is_retryable());
         assert!(Error::LockTimeout {
+            txn: TxnId(1),
+            table: TableId(0)
+        }
+        .is_retryable());
+        assert!(Error::WriteConflict {
             txn: TxnId(1),
             table: TableId(0)
         }

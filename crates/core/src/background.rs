@@ -102,6 +102,9 @@ fn run_worker(
     opts: &MigrateOptions,
     shutdown: &AtomicBool,
 ) {
+    // Wait out the flip-time writer quiesce (snapshot mode; opens
+    // immediately under 2PL).
+    migration.wait_ready();
     // Enumerate the full candidate space once (the old schema is frozen
     // during migration, so the space is stable).
     let all_granules = match candidates_for(db, rt, None) {

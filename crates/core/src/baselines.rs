@@ -584,11 +584,21 @@ fn copy_statement(
                 .into_iter()
                 .map(|(rid, _)| rid)
                 .collect();
+            // Under snapshot isolation a Shared read serves the txn's
+            // snapshot, which can predate a concurrent dual-written
+            // update or delete — the copier would resurrect the stale
+            // image. Exclusive reads observe the latest committed state
+            // in both engine modes.
+            let reread = if db.config().mode.is_snapshot() {
+                LockPolicy::Exclusive
+            } else {
+                LockPolicy::Shared
+            };
             for chunk in rids.chunks(batch.max(1)) {
                 db.with_txn_retry(20, |txn| {
                     let mut fresh = Vec::with_capacity(chunk.len());
                     for rid in chunk {
-                        if let Some(row) = db.get(txn, input, *rid, LockPolicy::Shared)? {
+                        if let Some(row) = db.get(txn, input, *rid, reread)? {
                             fresh.push((*rid, row));
                         }
                     }
@@ -642,10 +652,16 @@ fn copy_statement(
                                 Some(f) => f.and(c),
                             });
                         }
-                        // Shared-lock reads: group contents must be
-                        // committed and stable for the copied aggregate.
+                        // Group contents must be committed, stable, and
+                        // *current* for the copied aggregate; Shared
+                        // reads under snapshot isolation would serve a
+                        // snapshot that can trail dual writes.
                         let mut opts = ExecOptions {
-                            lock: LockPolicy::Shared,
+                            lock: if db.config().mode.is_snapshot() {
+                                LockPolicy::Exclusive
+                            } else {
+                                LockPolicy::Shared
+                            },
                             ..Default::default()
                         };
                         if let Some(f) = filter {

@@ -93,6 +93,12 @@ pub struct ActiveMigration {
     pub frozen_inputs: bool,
     /// Per-statement completion flags.
     complete: Vec<AtomicBool>,
+    /// Gate opened once the flip-time writer quiesce finishes (snapshot
+    /// engine mode). Granule reads run lock-free at their own snapshots,
+    /// so they must not start while a pre-flip writer could still commit
+    /// an input-table write behind them; 2PL needs no gate (its S locks
+    /// queue behind any straggler's X lock) and starts open.
+    ready: AtomicBool,
 }
 
 impl ActiveMigration {
@@ -114,6 +120,14 @@ impl ActiveMigration {
     /// True when every statement finished.
     pub fn is_complete(&self) -> bool {
         (0..self.runtimes.len()).all(|i| self.is_statement_complete(i))
+    }
+
+    /// Blocks until the flip-time quiesce gate opens (no-op under 2PL,
+    /// where the gate starts open).
+    pub fn wait_ready(&self) {
+        while !self.ready.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_micros(100));
+        }
     }
 }
 
@@ -313,6 +327,7 @@ impl Bullfrog {
             .enumerate()
             .map(|(i, rt)| (rt.stmt.output.name.clone(), i))
             .collect();
+        let si = self.db.config().mode.is_snapshot();
         let migration = Arc::new(ActiveMigration {
             name: plan.name.clone(),
             complete: runtimes.iter().map(|_| AtomicBool::new(false)).collect(),
@@ -321,6 +336,7 @@ impl Bullfrog {
             stats,
             frozen_inputs: plan.freeze_inputs,
             runtimes,
+            ready: AtomicBool::new(!si),
         });
 
         // The logical switch: new schema live, old schema (big flip)
@@ -334,20 +350,66 @@ impl Bullfrog {
         *self.active.write() = Some(Arc::clone(&migration));
         self.flipped.store(true, Ordering::Release);
 
+        // Snapshot mode: drain pre-flip writers before any granule work
+        // starts. Granule reads run lock-free at their own snapshots, so a
+        // transaction that wrote an input table before the flip and is
+        // still uncommitted could commit *behind* a granule read and be
+        // lost from the new schema. The flip above already makes new
+        // input-table writes fail the frozen/retired checks (those
+        // rejections also unwind any straggler blocked on this gate);
+        // draining the rest closes the window. On timeout (a writer held a
+        // write open pathologically long) we open the gate anyway — that
+        // degrades to at-flip-race semantics rather than wedging the
+        // migration forever.
+        if si {
+            let oracle = self.db.wal().oracle();
+            let barrier = oracle.barrier_seq();
+            oracle.quiesce_writers_before(barrier, Duration::from_secs(5));
+            migration.ready.store(true, Ordering::Release);
+        }
+
         // Background migration threads (§2.2).
         if opts.background.unwrap_or(self.config.background.enabled) {
-            let mut bg_opts = self.migrate_options(true, migration.runtimes.clone(), None);
-            bg_opts.cancel = Some(Arc::clone(&self.shutdown));
-            let handles = crate::background::spawn_background(
-                Arc::clone(&self.db),
-                Arc::clone(&migration),
-                self.config.background.clone(),
-                bg_opts,
-                Arc::clone(&self.shutdown),
-            );
-            self.bg_threads.lock().extend(handles);
+            self.spawn_background_for(&migration);
         }
         Ok((migration, caps))
+    }
+
+    /// Spawns background migration workers for `migration` and tracks
+    /// their join handles.
+    fn spawn_background_for(&self, migration: &Arc<ActiveMigration>) {
+        let mut bg_opts = self.migrate_options(true, migration.runtimes.clone(), None);
+        bg_opts.cancel = Some(Arc::clone(&self.shutdown));
+        let handles = crate::background::spawn_background(
+            Arc::clone(&self.db),
+            Arc::clone(migration),
+            self.config.background.clone(),
+            bg_opts,
+            Arc::clone(&self.shutdown),
+        );
+        self.bg_threads.lock().extend(handles);
+    }
+
+    /// (Re)spawns background migration workers for the currently active
+    /// migration, if any and if it is still incomplete. Recovery and
+    /// replication promotion call this after rebuilding the tracker state:
+    /// [`Bullfrog::submit_migration_with`] with `background: Some(false)`
+    /// (the mirror path) deliberately skips the spawn, and a restored
+    /// primary would otherwise never finish its migration without client
+    /// traffic. Honors `config.background.enabled`; idempotent in the
+    /// sense that extra workers cooperate harmlessly through the trackers,
+    /// but callers should invoke it once per restore.
+    pub fn respawn_background(&self) {
+        if !self.config.background.enabled {
+            return;
+        }
+        let Some(migration) = self.active() else {
+            return;
+        };
+        if migration.is_complete() {
+            return;
+        }
+        self.spawn_background_for(&migration);
     }
 
     /// §2.4 synchronous validation: evaluates every statement fully and
@@ -448,6 +510,7 @@ impl Bullfrog {
         if active.is_statement_complete(idx) {
             return Ok(());
         }
+        active.wait_ready();
         let rt = &active.runtimes[idx];
         let candidates = candidates_for(&self.db, rt, pred)?;
         migrate_candidates(
@@ -650,6 +713,9 @@ impl ClientAccess for Bullfrog {
     ) -> Result<Vec<(RowId, Row)>> {
         self.check_not_retired(table)?;
         self.ensure_migrated_as(table, predicate, Some(txn.id()))?;
+        // The lazy migration just committed rows this client's snapshot
+        // predates; advance a still-unused snapshot so the read sees them.
+        self.db.refresh_snapshot(txn);
         self.db.select(txn, table, predicate, policy)
     }
 
@@ -676,6 +742,7 @@ impl ClientAccess for Bullfrog {
                 self.ensure_migrated_as(table, None, Some(txn.id()))?;
             }
         }
+        self.db.refresh_snapshot(txn);
         self.db.get_by_pk(txn, table, key, policy)
     }
 
@@ -683,6 +750,7 @@ impl ClientAccess for Bullfrog {
         self.check_not_retired(table)?;
         self.check_not_frozen_input(table)?;
         self.ensure_for_insert(table, &row, Some(txn.id()))?;
+        self.db.refresh_snapshot(txn);
         self.db.insert(txn, table, row)
     }
 
@@ -692,6 +760,7 @@ impl ClientAccess for Bullfrog {
         // Updates changing a unique key must respect the same widening as
         // inserts (§2.1: "updates to the unique attribute").
         self.ensure_for_insert(table, &row, Some(txn.id()))?;
+        self.db.refresh_snapshot(txn);
         self.db.update(txn, table, rid, row)
     }
 
@@ -731,6 +800,7 @@ impl ClientAccess for Bullfrog {
             }
             self.ensure_migrated_as(&input.table, conjoin(parts).as_ref(), Some(txn.id()))?;
         }
+        self.db.refresh_snapshot(txn);
         bullfrog_engine::exec::execute_spec(&self.db, txn, spec, opts)
     }
 }

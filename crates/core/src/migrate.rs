@@ -582,16 +582,25 @@ fn migrate_granule(
     Ok(counts)
 }
 
-/// Evaluates the statement spec restricted to one granule. Old-schema
-/// reads take SHARED locks in the migration transaction: the logical
-/// flip freezes the input tables against *new* writers, but a client
-/// transaction that updated an input row *before* the flip may still be
-/// in flight, holding X locks over dirty in-place heap values. An
-/// unlocked read in that window can capture an uncommitted update that
-/// later aborts (or see half of one that commits) and freeze the wrong
-/// value into the output table. The S lock blocks until the straggler
-/// resolves, so the copied value is always a committed one; the freeze
-/// guarantees the wait is bounded by the in-flight transactions alone.
+/// Evaluates the statement spec restricted to one granule.
+///
+/// Under 2PL, old-schema reads take SHARED locks in the migration
+/// transaction: the logical flip freezes the input tables against *new*
+/// writers, but a client transaction that updated an input row *before*
+/// the flip may still be in flight, holding X locks over dirty in-place
+/// heap values. An unlocked read in that window can capture an
+/// uncommitted update that later aborts (or see half of one that
+/// commits) and freeze the wrong value into the output table. The S lock
+/// blocks until the straggler resolves, so the copied value is always a
+/// committed one; the freeze guarantees the wait is bounded by the
+/// in-flight transactions alone.
+///
+/// Under snapshot isolation there are no S locks to take: the migration
+/// transaction reads the version chains at its own snapshot, which is a
+/// committed prefix by construction. The flip quiesces pre-flip writers
+/// before migrations start (see the controller), so the value visible at
+/// any post-flip snapshot is the input row's final committed value — the
+/// same value the 2PL S lock would have waited for.
 fn execute_granule_spec(
     db: &Database,
     txn: &mut Transaction,
@@ -600,6 +609,14 @@ fn execute_granule_spec(
 ) -> Result<Vec<Row>> {
     let driving_alias = rt.driving_alias().to_owned();
     let driving_table = db.table(rt.driving_table())?;
+    let snap = txn.snapshot_ts();
+    // Visibility id for chain reads: the ally (the suspended client this
+    // migration runs on behalf of) when set, so a co-maintained client's
+    // own uncommitted input-table writes are migrated — the snapshot-mode
+    // analogue of the ally lock pass-through. The migration transaction
+    // itself never writes input tables, so its own id is only needed when
+    // there is no ally.
+    let vis = txn.ally().map(|a| a.0).unwrap_or(txn.id().0);
 
     let mut opts = ExecOptions {
         lock: LockPolicy::Shared,
@@ -609,15 +626,24 @@ fn execute_granule_spec(
         (Tracking::Bitmap { granule_rows, .. }, Granule::Ordinal(go)) => {
             // The granule covers `granule_rows` consecutive row ordinals;
             // ALL its live rows migrate together (page granularity migrates
-            // the page, §4.4.3). Lock each row before reading it.
+            // the page, §4.4.3). Lock each row before reading it (2PL) or
+            // read its chain at the migration snapshot (SI).
             let slots = driving_table.heap().slots_per_page();
             let start = go * granule_rows;
             let mut rows: Vec<(RowId, Row)> = Vec::new();
-            db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
+            if snap.is_none() {
+                db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
+            }
             for ordinal in start..start + granule_rows {
                 let rid = RowId::from_ordinal(ordinal, slots);
-                db.lock(txn, LockKey::Row(driving_table.id(), rid), LockMode::S)?;
-                if let Some(row) = driving_table.heap().get(rid) {
+                let row = match snap {
+                    Some(snap) => driving_table.heap().get_visible(rid, Some(vis), snap),
+                    None => {
+                        db.lock(txn, LockKey::Row(driving_table.id(), rid), LockMode::S)?;
+                        driving_table.heap().get(rid)
+                    }
+                };
+                if let Some(row) = row {
                     rows.push((rid, row));
                 }
             }
@@ -663,18 +689,26 @@ fn execute_granule_spec(
             let right_table = db.table(&spec.input(right_alias).expect("resolved").table)?;
             let left_rid = RowId::from_ordinal(l, driving_table.heap().slots_per_page());
             let right_rid = RowId::from_ordinal(r, right_table.heap().slots_per_page());
-            db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
-            db.lock(txn, LockKey::Row(driving_table.id(), left_rid), LockMode::S)?;
-            db.lock(txn, LockKey::Table(right_table.id()), LockMode::IS)?;
-            db.lock(txn, LockKey::Row(right_table.id(), right_rid), LockMode::S)?;
-            let left_rows = driving_table
-                .heap()
-                .get(left_rid)
+            let (left_row, right_row) = match snap {
+                Some(snap) => (
+                    driving_table.heap().get_visible(left_rid, Some(vis), snap),
+                    right_table.heap().get_visible(right_rid, Some(vis), snap),
+                ),
+                None => {
+                    db.lock(txn, LockKey::Table(driving_table.id()), LockMode::IS)?;
+                    db.lock(txn, LockKey::Row(driving_table.id(), left_rid), LockMode::S)?;
+                    db.lock(txn, LockKey::Table(right_table.id()), LockMode::IS)?;
+                    db.lock(txn, LockKey::Row(right_table.id(), right_rid), LockMode::S)?;
+                    (
+                        driving_table.heap().get(left_rid),
+                        right_table.heap().get(right_rid),
+                    )
+                }
+            };
+            let left_rows = left_row
                 .map(|row| vec![(left_rid, row)])
                 .unwrap_or_default();
-            let right_rows = right_table
-                .heap()
-                .get(right_rid)
+            let right_rows = right_row
                 .map(|row| vec![(right_rid, row)])
                 .unwrap_or_default();
             opts.driving = vec![

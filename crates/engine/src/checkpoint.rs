@@ -30,8 +30,13 @@ use parking_lot::Mutex;
 
 use crate::db::Database;
 
-/// Magic prefix of checkpoint sidecar files.
-const CKPT_MAGIC: [u8; 7] = *b"BFCKPT1";
+/// Magic prefix of checkpoint sidecar files (v2: carries `base_ts`).
+const CKPT_MAGIC: [u8; 7] = *b"BFCKPT2";
+/// Previous sidecar format, still accepted on open. v1 images predate
+/// commit timestamps, so they decode with `base_ts = 0` — correct, since
+/// a v1 image can only have been written by a 2PL-only build whose log
+/// never drew a timestamp.
+const CKPT_MAGIC_V1: [u8; 7] = *b"BFCKPT1";
 
 /// The effect of replaying the committed log prefix below `base_lsn`:
 /// every table's rows (at their original row ids) and the committed
@@ -40,6 +45,11 @@ const CKPT_MAGIC: [u8; 7] = *b"BFCKPT1";
 pub struct CheckpointImage {
     /// Records below this LSN are covered by the image.
     pub base_lsn: u64,
+    /// Highest commit timestamp folded into the image (0 when the
+    /// absorbed prefix held no `CommitTs` records). Recovery resumes the
+    /// timestamp oracle past this, so post-restart commits never reuse a
+    /// timestamp the image already covers.
+    pub base_ts: u64,
     /// Surviving rows per table.
     pub tables: BTreeMap<TableId, BTreeMap<RowId, Row>>,
     /// `(migration id, granule)` pairs whose migration committed.
@@ -65,11 +75,11 @@ impl CheckpointImage {
     pub fn absorb(&mut self, delta: &[LogRecord], cut: u64) {
         let committed: std::collections::HashSet<TxnId> = delta
             .iter()
-            .filter_map(|r| match r {
-                LogRecord::Commit(t) => Some(*t),
-                _ => None,
-            })
+            .filter_map(|r| if r.is_commit() { Some(r.txn()) } else { None })
             .collect();
+        if let Some(max_ts) = delta.iter().filter_map(|r| r.commit_ts()).max() {
+            self.base_ts = self.base_ts.max(max_ts);
+        }
         for rec in delta {
             if !committed.contains(&rec.txn()) {
                 continue;
@@ -99,7 +109,10 @@ impl CheckpointImage {
                 } => {
                     self.migrated.push((*migration, granule.clone()));
                 }
-                LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+                LogRecord::Begin(_)
+                | LogRecord::Commit(_)
+                | LogRecord::CommitTs { .. }
+                | LogRecord::Abort(_) => {}
             }
         }
         self.base_lsn = cut;
@@ -117,6 +130,9 @@ impl CheckpointImage {
                 applied += 1;
             }
         }
+        // Keep the timestamp oracle past the image's commit horizon
+        // (no-op for v1/2PL images, whose base_ts is 0).
+        db.wal().oracle().resume_past(self.base_ts);
         Ok(applied)
     }
 
@@ -125,6 +141,7 @@ impl CheckpointImage {
         let mut buf = BytesMut::new();
         buf.put_slice(&CKPT_MAGIC);
         buf.put_u64(self.base_lsn);
+        buf.put_u64(self.base_ts);
         buf.put_u32(self.tables.len() as u32);
         for (table, rows) in &self.tables {
             buf.put_u32(table.0);
@@ -142,14 +159,22 @@ impl CheckpointImage {
         buf.freeze()
     }
 
-    /// Parses an image produced by [`CheckpointImage::encode`].
+    /// Parses an image produced by [`CheckpointImage::encode`], current
+    /// (v2) or previous (v1, pre-timestamp) format. A v1 sidecar upgrades
+    /// transparently: the next checkpoint persists it back as v2.
     pub fn decode(bytes: impl Into<Bytes>) -> Result<Self> {
         let mut bytes = bytes.into();
-        if bytes.len() < CKPT_MAGIC.len() || bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        if bytes.len() < CKPT_MAGIC.len() {
             return Err(Error::Wal("bad checkpoint magic".into()));
         }
+        let v1 = match &bytes[..CKPT_MAGIC.len()] {
+            m if *m == CKPT_MAGIC => false,
+            m if *m == CKPT_MAGIC_V1 => true,
+            _ => return Err(Error::Wal("bad checkpoint magic".into())),
+        };
         bytes.advance(CKPT_MAGIC.len());
         let base_lsn = codec::get_u64(&mut bytes)?;
+        let base_ts = if v1 { 0 } else { codec::get_u64(&mut bytes)? };
         let mut tables = BTreeMap::new();
         let ntables = codec::get_u32(&mut bytes)?;
         for _ in 0..ntables {
@@ -171,6 +196,7 @@ impl CheckpointImage {
         }
         Ok(CheckpointImage {
             base_lsn,
+            base_ts,
             tables,
             migrated,
         })
@@ -376,5 +402,75 @@ mod tests {
         assert!(CheckpointImage::decode(Bytes::from_static(b"nope")).is_err());
         let good = sample_image().encode();
         assert!(CheckpointImage::decode(good.slice(..good.len() - 1)).is_err());
+        // A future/unknown version must be rejected, not misparsed.
+        let mut bad = good.to_vec();
+        bad[..7].copy_from_slice(b"BFCKPT9");
+        assert!(CheckpointImage::decode(Bytes::from(bad)).is_err());
+    }
+
+    /// Encodes `img` in the previous (v1, pre-`base_ts`) sidecar format.
+    fn encode_v1(img: &CheckpointImage) -> Bytes {
+        let v2 = img.encode();
+        let mut buf = BytesMut::new();
+        buf.put_slice(&CKPT_MAGIC_V1);
+        buf.put_u64(img.base_lsn);
+        // Everything after (magic, base_lsn, base_ts) is format-identical.
+        buf.put_slice(&v2[CKPT_MAGIC.len() + 16..]);
+        buf.freeze()
+    }
+
+    #[test]
+    fn stale_v1_image_upgrades_on_open() {
+        let img = sample_image();
+        let decoded = CheckpointImage::decode(encode_v1(&img)).unwrap();
+        assert_eq!(decoded.base_lsn, img.base_lsn);
+        assert_eq!(decoded.base_ts, 0, "v1 images predate timestamps");
+        assert_eq!(decoded.tables, img.tables);
+        assert_eq!(decoded.migrated, img.migrated);
+        // Re-encoding persists the current format.
+        let reencoded = CheckpointImage::decode(decoded.encode()).unwrap();
+        assert_eq!(reencoded, decoded);
+    }
+
+    #[test]
+    fn absorb_tracks_commit_ts_horizon_and_apply_resumes_oracle() {
+        let mut img = CheckpointImage::new();
+        img.absorb(
+            &[
+                LogRecord::Insert {
+                    txn: TxnId(1),
+                    table: TableId(1), // catalog ids start at 1
+                    rid: RowId::new(0, 0),
+                    row: row![1, "one"],
+                },
+                LogRecord::CommitTs {
+                    txn: TxnId(1),
+                    ts: 17,
+                },
+            ],
+            2,
+        );
+        assert_eq!(img.base_ts, 17);
+        assert_eq!(img.row_count(), 1, "CommitTs marks the txn committed");
+        let round = CheckpointImage::decode(img.encode()).unwrap();
+        assert_eq!(round.base_ts, 17);
+
+        let db = Database::new();
+        db.create_table(
+            bullfrog_common::TableSchema::new(
+                "t",
+                vec![
+                    bullfrog_common::ColumnDef::new("id", bullfrog_common::DataType::Int),
+                    bullfrog_common::ColumnDef::new("v", bullfrog_common::DataType::Text),
+                ],
+            )
+            .with_primary_key(&["id"]),
+        )
+        .unwrap();
+        img.apply_to(&db).unwrap();
+        assert!(
+            db.wal().oracle().stable() >= 17,
+            "oracle resumed past the image's commit horizon"
+        );
     }
 }

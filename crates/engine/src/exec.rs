@@ -182,10 +182,15 @@ pub fn execute_spec(
                         continue;
                     }
                     for rid in idx.get(&key) {
-                        if opts.lock != LockPolicy::None {
-                            lock_row(db, txn, &table, rid, opts.lock)?;
-                        }
-                        let Some(right) = table.heap().get(rid) else {
+                        // `read_row` takes the policy's locks under 2PL
+                        // and reads the version chain at the transaction's
+                        // snapshot (lock-free) in Snapshot mode.
+                        let right = if opts.lock == LockPolicy::None {
+                            table.heap().get(rid)
+                        } else {
+                            db.read_row(txn, &table, rid, opts.lock)?
+                        };
+                        let Some(right) = right else {
                             continue;
                         };
                         if let Some(f) = &next_filter {
@@ -255,27 +260,6 @@ pub fn execute_spec(
         out
     };
     Ok(QueryOutput { names, rows })
-}
-
-fn lock_row(
-    db: &Database,
-    txn: &mut Transaction,
-    table: &bullfrog_storage::Table,
-    rid: RowId,
-    policy: LockPolicy,
-) -> Result<()> {
-    use bullfrog_txn::{LockKey, LockMode};
-    match policy {
-        LockPolicy::None => Ok(()),
-        LockPolicy::Shared => {
-            db.lock(txn, LockKey::Table(table.id()), LockMode::IS)?;
-            db.lock(txn, LockKey::Row(table.id(), rid), LockMode::S)
-        }
-        LockPolicy::Exclusive => {
-            db.lock(txn, LockKey::Table(table.id()), LockMode::IX)?;
-            db.lock(txn, LockKey::Row(table.id(), rid), LockMode::X)
-        }
-    }
 }
 
 /// Scope of one input alias.

@@ -33,6 +33,6 @@ pub mod recovery;
 pub mod scheduler;
 
 pub use checkpoint::{CheckpointImage, CheckpointStats, Checkpointer};
-pub use db::{Database, DbConfig, LockPolicy};
+pub use db::{Database, DbConfig, EngineMode, LockPolicy};
 pub use exec::QueryOutput;
 pub use scheduler::{CheckpointPolicy, CheckpointScheduler, SchedulerStatus};

@@ -40,11 +40,14 @@ pub struct RecoveryStats {
 pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
     let committed: HashSet<TxnId> = records
         .iter()
-        .filter_map(|r| match r {
-            LogRecord::Commit(t) => Some(*t),
-            _ => None,
-        })
+        .filter_map(|r| if r.is_commit() { Some(r.txn()) } else { None })
         .collect();
+    // Snapshot-mode logs carry commit timestamps; fast-forward the oracle
+    // past the highest one so post-recovery commits never reuse a
+    // persisted timestamp.
+    if let Some(max_ts) = records.iter().filter_map(|r| r.commit_ts()).max() {
+        db.wal().oracle().resume_past(max_ts);
+    }
 
     let mut stats = RecoveryStats {
         committed_txns: committed.len(),
@@ -80,7 +83,10 @@ pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
             } => {
                 stats.migrated_granules.push((*migration, granule.clone()));
             }
-            LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+            LogRecord::Begin(_)
+            | LogRecord::Commit(_)
+            | LogRecord::CommitTs { .. }
+            | LogRecord::Abort(_) => {}
         }
     }
     Ok(stats)
@@ -224,8 +230,15 @@ impl StreamingReplay {
             LogRecord::Abort(txn) => {
                 self.buffered.remove(txn);
             }
-            LogRecord::Commit(txn) => {
+            commit if commit.is_commit() => {
+                let txn = &commit.txn();
                 out.committed = true;
+                // Snapshot-mode commits carry a timestamp: keep the local
+                // oracle past it so a promoted replica continues the
+                // timestamp space instead of reusing it.
+                if let Some(ts) = commit.commit_ts() {
+                    db.wal().oracle().resume_past(ts);
+                }
                 for rec in self.buffered.remove(txn).unwrap_or_default() {
                     match &rec {
                         LogRecord::Insert {
@@ -260,7 +273,10 @@ impl StreamingReplay {
                         } => {
                             out.granules.push((*migration, granule.clone()));
                         }
-                        LogRecord::Begin(_) | LogRecord::Commit(_) | LogRecord::Abort(_) => {}
+                        LogRecord::Begin(_)
+                        | LogRecord::Commit(_)
+                        | LogRecord::CommitTs { .. }
+                        | LogRecord::Abort(_) => {}
                     }
                 }
             }

@@ -35,12 +35,21 @@ fn no_dirty_reads_through_shared_locks() {
     let mut writer = db.begin();
     db.update(&mut writer, "t", rid, row![1, 99]).unwrap();
 
-    // A shared-lock reader cannot observe v=99: it blocks and times out.
+    // Neither engine mode lets the reader observe v=99: under 2PL the
+    // S-lock request blocks and times out; under snapshot isolation the
+    // read is lock-free and returns the last committed version.
     let mut reader = db.begin();
-    let err = db
-        .get(&mut reader, "t", rid, LockPolicy::Shared)
-        .unwrap_err();
-    assert!(matches!(err, Error::LockTimeout { .. }));
+    if db.config().mode.is_snapshot() {
+        assert_eq!(
+            db.get(&mut reader, "t", rid, LockPolicy::Shared).unwrap(),
+            Some(row![1, 10])
+        );
+    } else {
+        let err = db
+            .get(&mut reader, "t", rid, LockPolicy::Shared)
+            .unwrap_err();
+        assert!(matches!(err, Error::LockTimeout { .. }));
+    }
     db.abort(&mut reader);
 
     // Writer aborts; the reader then sees the original value.

@@ -506,6 +506,15 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     push("sessions.commits", c.commits.load(Ordering::Relaxed) as i64);
     push("sessions.aborts", c.aborts.load(Ordering::Relaxed) as i64);
 
+    // Engine mode and MVCC health. `engine.mode` is 0 under 2PL and 1
+    // under snapshot isolation; the mvcc.* gauges are always reported
+    // (all zero under 2PL) so pollers need not branch on the mode.
+    let db = shared.bf.db();
+    push("engine.mode", i64::from(db.config().mode.is_snapshot()));
+    push("mvcc.versions", db.version_count() as i64);
+    push("mvcc.gc_horizon", db.wal().oracle().gc_horizon() as i64);
+    push("mvcc.gc_reclaimed", db.gc_reclaimed() as i64);
+
     match shared.bf.progress() {
         Some(p) => {
             push("migration.active", 1);

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bullfrog_core::Bullfrog;
-use bullfrog_engine::{CheckpointPolicy, Database, DbConfig};
+use bullfrog_engine::{CheckpointPolicy, Database, DbConfig, EngineMode};
 use bullfrog_net::{err_code, Client, ClientError, Server, ServerConfig};
 use bullfrog_repl::{DdlJournal, Replica, ReplicationSender};
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -48,6 +48,11 @@ struct Args {
     /// file-backed WAL (replication ships durable frames only); uses a
     /// scratch directory when `--wal-dir` is not given.
     replica: bool,
+    /// Concurrency-control mode for the self-hosted server (and its
+    /// replica): `2pl` (default) or `si`. Defaults from
+    /// `BULLFROG_ENGINE_MODE` like every other harness, so the same
+    /// script drives either engine.
+    mode: EngineMode,
 }
 
 impl Args {
@@ -62,6 +67,7 @@ impl Args {
             wal_dir: None,
             addr: None,
             replica: false,
+            mode: EngineMode::from_env(),
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -97,6 +103,13 @@ impl Args {
                     )
                 }
                 "--replica" => args.replica = true,
+                "--engine-mode" => {
+                    args.mode = match it.next().as_deref() {
+                        Some("2pl") => EngineMode::TwoPL,
+                        Some("si" | "snapshot" | "mvcc") => EngineMode::Snapshot,
+                        other => panic!("--engine-mode must be 2pl or si, got {other:?}"),
+                    }
+                }
                 other => panic!("unknown flag {other}"),
             }
         }
@@ -148,6 +161,7 @@ fn main() {
                     max_flushed_bytes: 0,
                     poll_interval: Duration::from_millis(20),
                 }),
+                mode: args.mode,
                 ..DbConfig::default()
             };
             let wal_dir = args.wal_dir.clone().or_else(|| scratch_dir.clone());
@@ -179,7 +193,14 @@ fn main() {
                 .expect("bind loopback");
             let addr = server.local_addr();
             if args.replica {
-                let rbf = Arc::new(Bullfrog::new(Arc::new(Database::new())));
+                // The replica applies physical frames, so it could run
+                // either mode; matching the primary keeps its local
+                // reads under the same isolation the run is exercising.
+                let rdb = Database::with_config(DbConfig {
+                    mode: args.mode,
+                    ..DbConfig::default()
+                });
+                let rbf = Arc::new(Bullfrog::new(Arc::new(rdb)));
                 let replica = Replica::start(addr.to_string(), Arc::clone(&rbf));
                 let rserver = Server::bind(
                     ("127.0.0.1", 0),
@@ -197,7 +218,11 @@ fn main() {
             addr
         }
     };
-    println!("loadgen: serving on {addr} ({} clients)", args.clients);
+    println!(
+        "loadgen: serving on {addr} ({} clients, {} engine)",
+        args.clients,
+        args.mode.as_str()
+    );
 
     let mut admin = Client::connect(addr).expect("admin connect");
     admin
@@ -400,6 +425,17 @@ fn main() {
         retried.load(Ordering::Relaxed),
         stat(&status, "sessions.statements"),
         stat(&status, "scheduler.checkpoints"),
+    );
+    println!(
+        "loadgen: engine mode {} ({} live versions, gc horizon {}, {} reclaimed)",
+        if stat(&status, "engine.mode") == 1 {
+            "si"
+        } else {
+            "2pl"
+        },
+        stat(&status, "mvcc.versions"),
+        stat(&status, "mvcc.gc_horizon"),
+        stat(&status, "mvcc.gc_reclaimed"),
     );
 
     if let Some((rserver, replica)) = &attached {

@@ -14,11 +14,11 @@
 //! replicas either resume from their acked LSN or, if a checkpoint had
 //! truncated past it, re-bootstrap from a snapshot.
 //!
-//! Restored mid-flight migrations run without background sweeps (the
-//! restart dropped those threads); lazy interposition still migrates
-//! touched granules, and a full scan of the new table completes the
-//! rest. Resuming background sweeps after restore is future work (see
-//! ROADMAP).
+//! Restored mid-flight migrations resume their background sweeps: once
+//! the trackers are rebuilt from committed `MigrationGranule` records,
+//! [`restore`] respawns the sweeper threads (per the controller's
+//! background config), so a restarted primary finishes its migration
+//! even with no client traffic at all.
 
 use std::path::Path;
 use std::sync::Arc;
@@ -163,6 +163,11 @@ pub fn restore(
     let tail_records: Vec<bullfrog_txn::LogRecord> = tail.into_iter().map(|(_, r)| r).collect();
     image.absorb(&tail_records, report.end_lsn.max(resume_frontier));
     db.checkpointer().seed(image);
+
+    // 5. The crash dropped the previous process's background sweeper
+    // threads; restart them from the rebuilt trackers so an in-flight
+    // migration completes without depending on client traffic.
+    bf.respawn_background();
 
     Ok((bf, journal, report))
 }

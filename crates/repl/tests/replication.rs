@@ -444,13 +444,11 @@ fn primary_restart_replica_reconverges() {
     replica.set_primary(server2.local_addr().to_string());
 
     let mut admin2 = Client::connect(server2.local_addr()).expect("admin after restart");
-    // The restored migration has no background sweepers; a full scan
-    // migrates every remaining slice lazily, then finalize.
+    // Restore respawned the background sweepers, but don't rely on them
+    // here: a full scan migrates every remaining slice lazily, then
+    // finalize re-derives completeness from the trackers either way.
     let rows = sorted_rows(&mut admin2, "SELECT id, owner, balance FROM accounts_v2");
     assert_eq!(rows.len(), 40, "restored migration lost rows");
-    // No background sweepers after restore, so the STATUS complete flag
-    // stays 0 — but finalize re-derives completeness from the trackers,
-    // which the full scan just filled.
     admin2.execute("FINALIZE MIGRATION DROP OLD").unwrap();
     admin2
         .execute("UPDATE accounts_v2 SET balance = balance + 1 WHERE id = 0")
@@ -472,5 +470,75 @@ fn primary_restart_replica_reconverges() {
     drop((server2, rserver, replica));
     // Shard files plus journal/sidecar live under dir.
     let _ = shard_file_path(&wal_path, 1); // (referenced for clarity; dir removal covers all)
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression for sweeper respawn after restore: kill the primary while
+/// a migration is in flight, restore it, and issue **no client traffic
+/// at all** — the background sweepers respawned from the rebuilt
+/// trackers must finish the migration on their own.
+#[test]
+fn restored_primary_finishes_migration_without_traffic() {
+    let dir = scratch_dir("respawn");
+    let (server, bf, sender) = start_primary(&dir);
+    let addr = server.local_addr();
+
+    let mut admin = Client::connect(addr).expect("admin");
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .unwrap();
+    let values: Vec<String> = (0..60)
+        .map(|i| format!("({i}, 'o{}', 100)", i % 4))
+        .collect();
+    admin
+        .execute(&format!(
+            "INSERT INTO accounts VALUES {}",
+            values.join(", ")
+        ))
+        .unwrap();
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .unwrap();
+    // Touch a few slices so some (but not all) granule records are
+    // committed, then kill well inside the sweepers' start delay so the
+    // migration is genuinely in flight on disk.
+    for id in 0..5 {
+        let _ = admin.query_rows(&format!(
+            "SELECT id, balance FROM accounts_v2 WHERE id = {id}"
+        ));
+    }
+    let wal_path = dir.join("primary.wal");
+    drop(admin);
+    drop(server);
+    drop(sender);
+    drop(bf);
+
+    let (bf2, _journal2, report) =
+        restore(&wal_path, DbConfig::default(), WalOptions::default()).expect("restore");
+    assert!(
+        report.ddl_applied >= 2,
+        "journal must replay the migration DDL: {report:?}"
+    );
+    assert!(
+        bf2.active().is_some(),
+        "restored primary must have the in-flight migration active"
+    );
+
+    // No server, no clients: only the respawned sweepers can finish it.
+    assert!(
+        bf2.wait_migration_complete(Duration::from_secs(30)),
+        "respawned sweepers never completed the migration: {:?}",
+        bf2.progress()
+    );
+    bf2.finalize_migration(true).expect("finalize after sweep");
+    assert_eq!(
+        bf2.db().table("accounts_v2").unwrap().live_count(),
+        60,
+        "sweepers must have migrated every row"
+    );
+    bf2.shutdown_background();
     let _ = std::fs::remove_dir_all(&dir);
 }

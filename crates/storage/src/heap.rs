@@ -1,5 +1,6 @@
 //! Table heaps: append-only collections of slotted pages.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use bullfrog_common::{PageNo, Row, RowId};
@@ -21,6 +22,14 @@ pub struct TableHeap {
     /// Serializes the "last page full → allocate" decision.
     append: Mutex<()>,
     slots_per_page: u16,
+    /// Largest commit timestamp ever installed into a version chain of
+    /// this heap (monotone; GC never lowers it). Together with
+    /// `pending_writers` this gates the snapshot-read fast path: when no
+    /// version is newer than a snapshot and no write is in flight, the
+    /// latest slot state *is* the snapshot state.
+    max_version_ts: AtomicU64,
+    /// Number of slots currently carrying an uncommitted writer marker.
+    pending_writers: AtomicUsize,
 }
 
 impl TableHeap {
@@ -31,6 +40,8 @@ impl TableHeap {
             pages: RwLock::new(Vec::new()),
             append: Mutex::new(()),
             slots_per_page,
+            max_version_ts: AtomicU64::new(0),
+            pending_writers: AtomicUsize::new(0),
         }
     }
 
@@ -167,6 +178,150 @@ impl TableHeap {
         }
     }
 
+    // ---- MVCC version chains (Snapshot engine mode) ----
+
+    /// Inserts a row with `txn` marked as its pending writer, so snapshot
+    /// readers do not see it until [`TableHeap::install_version`] runs.
+    pub fn insert_versioned(&self, row: Row, txn: u64) -> RowId {
+        self.pending_writers.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.append.lock();
+        {
+            let pages = self.pages.read();
+            if let Some(last) = pages.last() {
+                let page_no = (pages.len() - 1) as PageNo;
+                let mut page = last.write();
+                if let Some(slot) = page.append_versioned(row.clone(), txn) {
+                    return RowId::new(page_no, slot);
+                }
+            }
+        }
+        let mut pages = self.pages.write();
+        let mut page = Page::new(self.slots_per_page);
+        let slot = page
+            .append_versioned(row, txn)
+            .expect("fresh page accepts at least one row");
+        pages.push(Arc::new(RwLock::new(page)));
+        RowId::new((pages.len() - 1) as PageNo, slot)
+    }
+
+    /// Marks `txn` as the pending writer of `rid` (call before the
+    /// in-place update/delete; seeds the base version on first use).
+    pub fn prepare_write(&self, rid: RowId, txn: u64) {
+        if let Some(page) = self.page(rid.page()) {
+            if page.write().prepare_write(rid.slot(), txn) {
+                self.pending_writers.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Publishes `txn`'s pending write on `rid` at commit timestamp `ts`.
+    ///
+    /// The ts high-water mark is raised *before* the pending gauge drops:
+    /// a reader that observes `pending_writers == 0` is then guaranteed to
+    /// also observe `max_version_ts >= ts`, so the snapshot-read fast-path
+    /// gate can never miss a concurrent commit.
+    pub fn install_version(&self, rid: RowId, txn: u64, ts: u64) {
+        self.max_version_ts.fetch_max(ts, Ordering::SeqCst);
+        if let Some(page) = self.page(rid.page()) {
+            if page.write().install_version(rid.slot(), txn, ts) {
+                self.pending_writers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Clears `txn`'s pending-writer marker on `rid` after an abort.
+    pub fn clear_pending(&self, rid: RowId, txn: u64) {
+        if let Some(page) = self.page(rid.page()) {
+            if page.write().clear_pending(rid.slot(), txn) {
+                self.pending_writers.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// True when the latest slot state is exactly the state at snapshot
+    /// `snap`: no committed version is newer and no write is in flight.
+    /// Under this condition index-assisted reads are exact for snapshot
+    /// readers. Callers must re-check *after* collecting results — a
+    /// writer that raced the read either still holds its pending marker
+    /// or has installed a version above `snap`, failing the re-check.
+    pub fn current_matches_snapshot(&self, snap: u64) -> bool {
+        self.pending_writers.load(Ordering::SeqCst) == 0
+            && self.max_version_ts.load(Ordering::SeqCst) <= snap
+    }
+
+    /// Reads the row at `rid` visible to `txn` at snapshot `snap`.
+    pub fn get_visible(&self, rid: RowId, txn: Option<u64>, snap: u64) -> Option<Row> {
+        let page = self.page(rid.page())?;
+        let guard = page.read();
+        guard.visible(rid.slot(), txn, snap).cloned()
+    }
+
+    /// Newest committed version timestamp at `rid` (0 when unversioned).
+    pub fn newest_version_ts(&self, rid: RowId) -> u64 {
+        match self.page(rid.page()) {
+            Some(page) => page.read().newest_version_ts(rid.slot()),
+            None => 0,
+        }
+    }
+
+    /// Visits every row visible at snapshot `snap`, including rows whose
+    /// slot is currently tombstoned or overwritten by an uncommitted
+    /// writer but whose chain still holds a visible version.
+    pub fn scan_visible(
+        &self,
+        txn: Option<u64>,
+        snap: u64,
+        mut f: impl FnMut(RowId, &Row) -> bool,
+    ) {
+        for (page_no, page) in self.snapshot().into_iter().enumerate() {
+            let guard = page.read();
+            for slot in 0..guard.used() {
+                if let Some(row) = guard.visible(slot, txn, snap) {
+                    if !f(RowId::new(page_no as PageNo, slot), row) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// [`TableHeap::scan_visible`] over a single page.
+    pub fn scan_page_visible(
+        &self,
+        page_no: PageNo,
+        txn: Option<u64>,
+        snap: u64,
+        mut f: impl FnMut(RowId, &Row) -> bool,
+    ) {
+        if let Some(page) = self.page(page_no) {
+            let guard = page.read();
+            for slot in 0..guard.used() {
+                if let Some(row) = guard.visible(slot, txn, snap) {
+                    if !f(RowId::new(page_no, slot), row) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of retained chain nodes across all pages (O(pages)).
+    pub fn version_count(&self) -> usize {
+        self.snapshot()
+            .iter()
+            .map(|p| p.read().version_count())
+            .sum()
+    }
+
+    /// Prunes version chains no snapshot at or above `horizon` needs.
+    /// Returns the number of freed chain nodes.
+    pub fn gc_versions(&self, horizon: u64) -> usize {
+        self.snapshot()
+            .iter()
+            .map(|p| p.write().gc_versions(horizon))
+            .sum()
+    }
+
     /// Collects `(RowId, Row)` for every live row (test/loader convenience).
     pub fn all_rows(&self) -> Vec<(RowId, Row)> {
         let mut out = Vec::new();
@@ -268,6 +423,59 @@ mod tests {
         h.insert(row![1]);
         assert_eq!(h.get(RowId::new(0, 1)), None);
         assert_eq!(h.get(RowId::new(5, 0)), None);
+    }
+
+    #[test]
+    fn visible_scan_traverses_chains() {
+        let h = TableHeap::new(2);
+        let a = h.insert(row![1]);
+        let b = h.insert(row![2]);
+        // Txn 9 updates a and deletes b in place; commit at ts 10.
+        h.prepare_write(a, 9);
+        h.update(a, row![10]);
+        h.prepare_write(b, 9);
+        h.delete(b);
+        let pre: Vec<_> = {
+            let mut v = Vec::new();
+            h.scan_visible(None, 5, |_, r| {
+                v.push(r.clone());
+                true
+            });
+            v
+        };
+        assert_eq!(pre, vec![row![1], row![2]], "pending writes invisible");
+        h.install_version(a, 9, 10);
+        h.install_version(b, 9, 10);
+        let mut old = Vec::new();
+        h.scan_visible(None, 9, |_, r| {
+            old.push(r.clone());
+            true
+        });
+        assert_eq!(old, vec![row![1], row![2]], "old snapshot still intact");
+        let mut new = Vec::new();
+        h.scan_visible(None, 10, |_, r| {
+            new.push(r.clone());
+            true
+        });
+        assert_eq!(new, vec![row![10]], "delete visible at ts 10");
+        assert_eq!(h.get_visible(b, None, 9), Some(row![2]));
+        assert_eq!(h.get_visible(b, None, 10), None);
+        assert!(h.version_count() > 0);
+        assert_eq!(h.gc_versions(10), 4);
+        assert_eq!(h.version_count(), 0, "chains collapse past the horizon");
+        assert_eq!(h.get_visible(a, None, 10), Some(row![10]));
+    }
+
+    #[test]
+    fn insert_versioned_hidden_until_install() {
+        let h = TableHeap::new(2);
+        let rid = h.insert_versioned(row![7], 3);
+        assert_eq!(h.get_visible(rid, None, 100), None);
+        assert_eq!(h.get_visible(rid, Some(3), 0), Some(row![7]));
+        assert_eq!(h.get(rid), Some(row![7]), "2PL read sees the slot");
+        h.install_version(rid, 3, 4);
+        assert_eq!(h.get_visible(rid, None, 4), Some(row![7]));
+        assert_eq!(h.newest_version_ts(rid), 4);
     }
 
     #[test]

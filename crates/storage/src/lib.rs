@@ -25,5 +25,5 @@ pub mod table;
 pub use catalog::Catalog;
 pub use heap::TableHeap;
 pub use index::{BTreeIndex, IndexDef};
-pub use page::{Page, Slot, DEFAULT_SLOTS_PER_PAGE};
+pub use page::{Page, Slot, VersionMeta, VersionNode, DEFAULT_SLOTS_PER_PAGE};
 pub use table::Table;

@@ -30,6 +30,46 @@ impl Slot {
     }
 }
 
+/// One committed version of a row (Snapshot engine mode).
+///
+/// `row == None` records a committed deletion: readers whose snapshot
+/// lands on this node see no row, while older snapshots keep reading the
+/// next (older) node in the chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionNode {
+    /// Commit timestamp this version became visible at. Timestamp 0 is
+    /// the pre-history base version (rows that existed before the first
+    /// snapshot transaction touched them).
+    pub begin_ts: u64,
+    /// The row image, or `None` for a committed delete.
+    pub row: Option<Row>,
+}
+
+/// Per-slot MVCC metadata, allocated lazily the first time a snapshot
+/// transaction writes the slot. Slots without metadata are implicitly a
+/// single committed version at timestamp 0 — TwoPL mode never allocates
+/// metadata, so the 2PL heap pays nothing for MVCC support.
+///
+/// Invariant: when `writer` is `None`, the newest chain node equals the
+/// slot's current state (commit pushes the slot image onto the chain), so
+/// version GC can drop a fully-pruned chain and fall back to the slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VersionMeta {
+    /// Transaction id with a pending in-place write on the slot. While
+    /// set, the slot content is uncommitted; only that transaction reads
+    /// the slot directly, everyone else traverses `chain`.
+    pub writer: Option<u64>,
+    /// Committed versions, newest first.
+    pub chain: Vec<VersionNode>,
+}
+
+impl VersionMeta {
+    /// Newest committed version timestamp (first-updater-wins check).
+    fn newest_begin_ts(&self) -> u64 {
+        self.chain.first().map_or(0, |n| n.begin_ts)
+    }
+}
+
 /// A fixed-capacity slotted page.
 ///
 /// Pages only ever grow (slots are appended until `capacity`), and slots
@@ -40,6 +80,11 @@ pub struct Page {
     slots: Vec<Slot>,
     capacity: u16,
     live: u16,
+    /// Parallel to `slots`; `None` for slots with no version history.
+    /// Boxed so the common (TwoPL / never-versioned) case costs one
+    /// pointer per slot. Guarded by the same page latch as `slots`, which
+    /// is what makes slot-vs-chain reads torn-free.
+    versions: Vec<Option<Box<VersionMeta>>>,
 }
 
 impl Page {
@@ -49,6 +94,7 @@ impl Page {
             slots: Vec::new(),
             capacity,
             live: 0,
+            versions: Vec::new(),
         }
     }
 
@@ -153,6 +199,152 @@ impl Page {
             .enumerate()
             .filter_map(|(i, s)| s.row().map(|r| (i as SlotNo, r)))
     }
+
+    // ---- MVCC version chains (Snapshot engine mode) ----
+
+    fn meta(&self, slot: SlotNo) -> Option<&VersionMeta> {
+        self.versions.get(slot as usize).and_then(|m| m.as_deref())
+    }
+
+    fn meta_mut(&mut self, slot: SlotNo) -> &mut Option<Box<VersionMeta>> {
+        if self.versions.len() < self.slots.len() {
+            self.versions.resize_with(self.slots.len(), || None);
+        }
+        &mut self.versions[slot as usize]
+    }
+
+    /// Appends a row with a pending-writer marker in the same critical
+    /// section, so concurrent snapshot readers never see the uncommitted
+    /// insert (empty chain + foreign writer ⇒ invisible).
+    pub fn append_versioned(&mut self, row: Row, txn: u64) -> Option<SlotNo> {
+        let slot = self.append(row)?;
+        *self.meta_mut(slot) = Some(Box::new(VersionMeta {
+            writer: Some(txn),
+            chain: Vec::new(),
+        }));
+        Some(slot)
+    }
+
+    /// Marks `txn` as the pending writer of `slot` before an in-place
+    /// update/delete. On first versioning of a slot the current committed
+    /// state is seeded as the timestamp-0 base version. Idempotent for
+    /// the same transaction. Returns whether a writer marker was newly
+    /// placed (false on an idempotent re-mark), so the heap can keep its
+    /// pending-writer gauge exact.
+    pub fn prepare_write(&mut self, slot: SlotNo, txn: u64) -> bool {
+        if slot as usize >= self.slots.len() {
+            return false;
+        }
+        let seed = self.slots[slot as usize].row().cloned();
+        let meta = self.meta_mut(slot);
+        match meta {
+            Some(m) => {
+                let newly = m.writer.is_none();
+                m.writer = Some(txn);
+                newly
+            }
+            None => {
+                *meta = Some(Box::new(VersionMeta {
+                    writer: Some(txn),
+                    chain: vec![VersionNode {
+                        begin_ts: 0,
+                        row: seed,
+                    }],
+                }));
+                true
+            }
+        }
+    }
+
+    /// Commits `txn`'s pending write on `slot`: pushes the slot's current
+    /// state onto the chain at `ts` and clears the writer marker. No-op
+    /// when `txn` is not the pending writer. Returns whether the marker
+    /// was actually cleared.
+    pub fn install_version(&mut self, slot: SlotNo, txn: u64, ts: u64) -> bool {
+        let row = self.slots.get(slot as usize).and_then(Slot::row).cloned();
+        if let Some(m) = self.meta_mut(slot).as_deref_mut() {
+            if m.writer == Some(txn) {
+                m.chain.insert(0, VersionNode { begin_ts: ts, row });
+                m.writer = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Aborts `txn`'s pending write on `slot` (the undo log has already
+    /// restored the slot itself). Drops chain-less metadata so an aborted
+    /// insert leaves no residue. Returns whether the marker was cleared.
+    pub fn clear_pending(&mut self, slot: SlotNo, txn: u64) -> bool {
+        let meta = self.meta_mut(slot);
+        if let Some(m) = meta.as_deref_mut() {
+            if m.writer == Some(txn) {
+                m.writer = None;
+                if m.chain.is_empty() {
+                    *meta = None;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The row visible to a reader at snapshot `snap`. `txn` is the
+    /// reader's id, used for read-your-own-writes: the pending writer of
+    /// a slot reads the slot state directly.
+    pub fn visible(&self, slot: SlotNo, txn: Option<u64>, snap: u64) -> Option<&Row> {
+        let slot_row = self.slots.get(slot as usize).and_then(Slot::row);
+        match self.meta(slot) {
+            // Never versioned: the slot is the ts-0 base version.
+            None => slot_row,
+            Some(m) => {
+                if m.writer.is_some() && m.writer == txn {
+                    return slot_row;
+                }
+                m.chain
+                    .iter()
+                    .find(|n| n.begin_ts <= snap)
+                    .and_then(|n| n.row.as_ref())
+            }
+        }
+    }
+
+    /// Newest committed version timestamp of `slot` (0 for unversioned
+    /// slots). Drives the first-updater-wins conflict check.
+    pub fn newest_version_ts(&self, slot: SlotNo) -> u64 {
+        self.meta(slot).map_or(0, VersionMeta::newest_begin_ts)
+    }
+
+    /// Number of chain nodes retained on this page.
+    pub fn version_count(&self) -> usize {
+        self.versions
+            .iter()
+            .filter_map(|m| m.as_deref())
+            .map(|m| m.chain.len())
+            .sum()
+    }
+
+    /// Prunes versions no active snapshot can reach: for each chain, keeps
+    /// everything newer than `horizon` plus the first node at or below it;
+    /// drops metadata entirely once only that node remains (the slot holds
+    /// the same image, per the commit invariant). Returns freed nodes.
+    pub fn gc_versions(&mut self, horizon: u64) -> usize {
+        let mut freed = 0;
+        for meta in &mut self.versions {
+            let Some(m) = meta.as_deref_mut() else {
+                continue;
+            };
+            if let Some(keep) = m.chain.iter().position(|n| n.begin_ts <= horizon) {
+                freed += m.chain.len() - (keep + 1);
+                m.chain.truncate(keep + 1);
+            }
+            if m.writer.is_none() && m.chain.len() <= 1 && m.newest_begin_ts() <= horizon {
+                freed += m.chain.len();
+                *meta = None;
+            }
+        }
+        freed
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +397,79 @@ mod tests {
         assert_eq!(p.live(), 1);
         // Can't undelete a live slot.
         assert!(!p.undelete(0, row![2]));
+    }
+
+    #[test]
+    fn version_chain_visibility() {
+        let mut p = Page::new(4);
+        p.append(row![1]); // unversioned base row
+        assert_eq!(p.visible(0, None, 0), Some(&row![1]));
+
+        // Writer 7 updates in place at snapshot 5, commits at ts 10.
+        p.prepare_write(0, 7);
+        p.update(0, row![2]);
+        assert_eq!(p.visible(0, Some(7), 5), Some(&row![2]), "own write");
+        assert_eq!(p.visible(0, Some(8), 5), Some(&row![1]), "other reader");
+        assert_eq!(p.visible(0, None, 5), Some(&row![1]));
+        p.install_version(0, 7, 10);
+        assert_eq!(p.visible(0, None, 9), Some(&row![1]), "old snapshot");
+        assert_eq!(p.visible(0, None, 10), Some(&row![2]), "new snapshot");
+        assert_eq!(p.newest_version_ts(0), 10);
+        assert_eq!(p.version_count(), 2);
+    }
+
+    #[test]
+    fn versioned_insert_hidden_until_install() {
+        let mut p = Page::new(4);
+        let s = p.append_versioned(row![9], 3).unwrap();
+        assert_eq!(p.visible(s, None, 100), None, "uncommitted insert hidden");
+        assert_eq!(p.visible(s, Some(3), 0), Some(&row![9]), "own insert");
+        p.install_version(s, 3, 20);
+        assert_eq!(p.visible(s, None, 19), None);
+        assert_eq!(p.visible(s, None, 20), Some(&row![9]));
+    }
+
+    #[test]
+    fn versioned_delete_keeps_old_snapshot_readable() {
+        let mut p = Page::new(4);
+        p.append(row![1]);
+        p.prepare_write(0, 5);
+        p.delete(0);
+        assert_eq!(p.visible(0, None, 50), Some(&row![1]), "pending delete");
+        p.install_version(0, 5, 30);
+        assert_eq!(p.visible(0, None, 29), Some(&row![1]));
+        assert_eq!(p.visible(0, None, 30), None, "committed delete");
+    }
+
+    #[test]
+    fn clear_pending_drops_abandoned_meta() {
+        let mut p = Page::new(4);
+        let s = p.append_versioned(row![1], 2).unwrap();
+        p.delete(s); // undo of the aborted insert
+        p.clear_pending(s, 2);
+        assert_eq!(p.version_count(), 0);
+        assert_eq!(p.visible(s, None, 100), None);
+    }
+
+    #[test]
+    fn gc_prunes_unreachable_versions() {
+        let mut p = Page::new(4);
+        p.append(row![0]);
+        for (txn, ts) in [(1u64, 10u64), (2, 20), (3, 30)] {
+            p.prepare_write(0, txn);
+            p.update(0, row![ts as i64]);
+            p.install_version(0, txn, ts);
+        }
+        assert_eq!(p.version_count(), 4); // base + three commits
+                                          // Horizon 20: versions 30 and 20 stay (20 is the first reachable
+                                          // at-or-below node); 10 and the base go.
+        assert_eq!(p.gc_versions(20), 2);
+        assert_eq!(p.visible(0, None, 25), Some(&row![20]));
+        assert_eq!(p.visible(0, None, 35), Some(&row![30]));
+        // Horizon 40: chain collapses to the slot, meta freed.
+        assert_eq!(p.gc_versions(40), 2);
+        assert_eq!(p.version_count(), 0);
+        assert_eq!(p.visible(0, None, 40), Some(&row![30]));
     }
 
     #[test]

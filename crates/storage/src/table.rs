@@ -177,6 +177,28 @@ impl Table {
         Ok(rid)
     }
 
+    /// As [`Table::insert`], but marks `txn` as the row's pending writer
+    /// so snapshot readers do not see it before its commit timestamp is
+    /// installed (Snapshot engine mode). Index entries are still made
+    /// eagerly — index probes re-check visibility against the heap.
+    pub fn insert_versioned(&self, row: Row, txn: u64) -> Result<RowId> {
+        self.schema.validate_row(&row)?;
+        let rid = self.heap.insert_versioned(row.clone(), txn);
+        let indexes = self.indexes();
+        for (n, idx) in indexes.iter().enumerate() {
+            let key = row.key(&idx.def().key_columns);
+            if let Err(e) = idx.insert(self.name(), key, rid) {
+                for done in &indexes[..n] {
+                    done.remove(&row.key(&done.def().key_columns), rid);
+                }
+                self.heap.delete(rid);
+                self.heap.clear_pending(rid, txn);
+                return Err(e);
+            }
+        }
+        Ok(rid)
+    }
+
     /// Updates the row at `rid`, returning the previous row. Index entries
     /// whose keys changed are moved; uniqueness conflicts roll everything
     /// back.

@@ -18,10 +18,12 @@
 
 pub mod lock;
 pub mod manager;
+pub mod ts;
 pub mod undo;
 pub mod wal;
 
 pub use lock::{LockKey, LockManager, LockMode};
 pub use manager::{Transaction, TxnManager, TxnState};
+pub use ts::{SnapshotHandle, TsOracle};
 pub use undo::UndoRecord;
 pub use wal::{CommitTicket, LogRecord, Wal, WalOptions, WalStatsSnapshot};

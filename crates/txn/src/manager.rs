@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use bullfrog_common::{Error, Result, TxnId};
 
 use crate::lock::LockKey;
+use crate::ts::SnapshotHandle;
 use crate::undo::UndoRecord;
 use crate::wal::LogRecord;
 
@@ -40,6 +41,15 @@ pub struct Transaction {
     pub undo: Vec<UndoRecord>,
     /// Redo records appended to the WAL at commit.
     pub redo: Vec<LogRecord>,
+    /// Registered read snapshot (Snapshot engine mode; `None` under 2PL).
+    /// Dropping it — explicitly at commit/abort or with the transaction —
+    /// releases the GC-horizon pin.
+    snapshot: Option<SnapshotHandle>,
+    /// True once any read or write ran at the registered snapshot. A
+    /// still-unused snapshot may be replaced with a fresh one (lazy
+    /// migration advances the client past granule commits it just
+    /// triggered); a used one must stay put for repeatable reads.
+    snapshot_used: bool,
 }
 
 impl Transaction {
@@ -51,6 +61,8 @@ impl Transaction {
             locks: Vec::new(),
             undo: Vec::new(),
             redo: Vec::new(),
+            snapshot: None,
+            snapshot_used: false,
         }
     }
 
@@ -75,6 +87,40 @@ impl Transaction {
     /// The declared ally, if any.
     pub fn ally(&self) -> Option<TxnId> {
         self.ally
+    }
+
+    /// Attaches the snapshot this transaction reads at (Snapshot engine
+    /// mode; the engine sets it at begin, and may replace a still-unused
+    /// one). The previous handle, if any, drops and unregisters.
+    pub fn set_snapshot(&mut self, snap: SnapshotHandle) {
+        self.snapshot = Some(snap);
+        self.snapshot_used = false;
+    }
+
+    /// Flags the snapshot as used (first read or write at it).
+    pub fn mark_snapshot_used(&mut self) {
+        self.snapshot_used = true;
+    }
+
+    /// Whether any read or write ran at the registered snapshot yet.
+    pub fn snapshot_used(&self) -> bool {
+        self.snapshot_used
+    }
+
+    /// The registered snapshot, if any.
+    pub fn snapshot(&self) -> Option<&SnapshotHandle> {
+        self.snapshot.as_ref()
+    }
+
+    /// Snapshot timestamp reads run at (`None` under 2PL).
+    pub fn snapshot_ts(&self) -> Option<u64> {
+        self.snapshot.as_ref().map(SnapshotHandle::ts)
+    }
+
+    /// Releases the snapshot registration (commit/abort path; dropping
+    /// the handle unpins the GC horizon).
+    pub fn release_snapshot(&mut self) {
+        self.snapshot = None;
     }
 
     /// Errors unless the transaction is still active.

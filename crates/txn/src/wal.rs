@@ -82,6 +82,8 @@ use bullfrog_common::{fnv_hash_one, Error, Result, Row, RowId, TableId, TxnId, V
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
 
+use crate::ts::TsOracle;
+
 /// Identifies a granule within a migration for recovery purposes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GranuleKey {
@@ -139,6 +141,17 @@ pub enum LogRecord {
     },
     /// Transaction committed — all earlier records of `txn` are durable.
     Commit(TxnId),
+    /// Transaction committed at commit timestamp `ts` (Snapshot engine
+    /// mode). The timestamp is drawn under the same mutex that assigns
+    /// LSNs ([`Wal::append_commit_durable`]), so timestamp order and LSN
+    /// order agree; replay treats it exactly like [`LogRecord::Commit`]
+    /// and additionally resumes the timestamp oracle past `ts`.
+    CommitTs {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Its global commit timestamp.
+        ts: u64,
+    },
     /// Transaction aborted (written for completeness; replay ignores the
     /// transaction's records either way).
     Abort(TxnId),
@@ -152,13 +165,27 @@ impl LogRecord {
             LogRecord::Insert { txn, .. }
             | LogRecord::Update { txn, .. }
             | LogRecord::Delete { txn, .. }
-            | LogRecord::MigrationGranule { txn, .. } => *txn,
+            | LogRecord::MigrationGranule { txn, .. }
+            | LogRecord::CommitTs { txn, .. } => *txn,
         }
+    }
+
+    /// The commit timestamp, for commit records that carry one.
+    pub fn commit_ts(&self) -> Option<u64> {
+        match self {
+            LogRecord::CommitTs { ts, .. } => Some(*ts),
+            _ => None,
+        }
+    }
+
+    /// True for the records that mark a transaction committed.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, LogRecord::Commit(_) | LogRecord::CommitTs { .. })
     }
 
     /// True for the records that resolve a transaction.
     fn resolves(&self) -> bool {
-        matches!(self, LogRecord::Commit(_) | LogRecord::Abort(_))
+        self.is_commit() || matches!(self, LogRecord::Abort(_))
     }
 }
 
@@ -168,7 +195,14 @@ impl LogRecord {
 const SEGMENT_RECORDS: usize = 1024;
 
 /// Magic prefix of sharded/framed WAL files (base LSN + shard id header).
-const FILE_MAGIC: [u8; 6] = *b"BFWAL2";
+/// `BFWAL3` added the `CommitTs` record tag; the frame layout is
+/// unchanged from `BFWAL2`, but a v2 reader would reject the new tag, so
+/// files that may carry it must say so.
+const FILE_MAGIC: [u8; 6] = *b"BFWAL3";
+/// Previous framed magic: same layout, no `CommitTs` records. Read
+/// directly; files opened for appending are re-stamped `BFWAL3` in place
+/// (only the magic differs) before any new record lands.
+const V2_MAGIC: [u8; 6] = *b"BFWAL2";
 /// Magic prefix of pre-sharding flat files (base LSN header, records
 /// concatenated positionally). Read-supported, upgraded on open.
 const LEGACY_MAGIC: [u8; 6] = *b"BFWAL1";
@@ -471,6 +505,11 @@ struct WalShared {
     retain: Mutex<HashMap<u64, u64>>,
     /// Next consumer id to hand out.
     retain_next: AtomicU64,
+    /// Commit-timestamp oracle: timestamps are drawn while `core` is
+    /// held, which is exactly what keeps timestamp order and LSN order
+    /// identical (the oracle's own lock nests inside `core` and is never
+    /// taken the other way around).
+    oracle: Arc<TsOracle>,
 }
 
 /// Recomputes the merged durable horizon from the per-shard frontiers and
@@ -660,6 +699,7 @@ impl Wal {
             truncated_records: AtomicU64::new(0),
             retain: Mutex::new(HashMap::new()),
             retain_next: AtomicU64::new(0),
+            oracle: Arc::new(TsOracle::new()),
         }
     }
 
@@ -769,6 +809,77 @@ impl Wal {
             shared: self.shared.file_backed.then(|| Arc::clone(&self.shared)),
             lsn: end,
         }
+    }
+
+    /// The commit-timestamp oracle backing [`Wal::append_commit_durable`]
+    /// (snapshot engines also read it for begin-snapshot and GC horizons).
+    pub fn oracle(&self) -> Arc<TsOracle> {
+        Arc::clone(&self.shared.oracle)
+    }
+
+    /// Appends `batch` plus a [`LogRecord::CommitTs`] for `txn`, drawing
+    /// the commit timestamp **under the core mutex** so that two commits'
+    /// timestamps compare exactly like their LSNs, then blocks until the
+    /// merged durable horizon covers the batch. Returns `(first_lsn, ts)`.
+    ///
+    /// The caller owns finishing the timestamp: after installing its
+    /// versions it must call [`TsOracle::finish`], or the stable horizon
+    /// (and every future snapshot) stalls behind this commit forever.
+    pub fn append_commit_durable(&self, batch: Vec<LogRecord>, txn: TxnId) -> (u64, u64) {
+        let (first, end, ts) = self.append_commit_inner(batch, txn);
+        wait_durable_shared(&self.shared, end);
+        (first, ts)
+    }
+
+    /// As [`Wal::append_commit_durable`], but acknowledged at enqueue
+    /// time with a [`CommitTicket`] (async commit). The caller still owes
+    /// a [`TsOracle::finish`] once its versions are installed.
+    pub fn append_commit_enqueue(&self, batch: Vec<LogRecord>, txn: TxnId) -> (CommitTicket, u64) {
+        let (_, end, ts) = self.append_commit_inner(batch, txn);
+        let ticket = CommitTicket {
+            shared: self.shared.file_backed.then(|| Arc::clone(&self.shared)),
+            lsn: end,
+        };
+        (ticket, ts)
+    }
+
+    /// Returns `(first_lsn, end_lsn, commit_ts)`. The batch body is
+    /// encoded outside the lock (as in [`Wal::append_batch_inner`]); only
+    /// the fixed-size `CommitTs` record is encoded inside it, because its
+    /// timestamp does not exist until drawn.
+    fn append_commit_inner(&self, batch: Vec<LogRecord>, txn: TxnId) -> (u64, u64, u64) {
+        let file_backed = self.shared.file_backed;
+        let mut buf = BytesMut::new();
+        if file_backed {
+            for r in &batch {
+                encode_record(&mut buf, r);
+            }
+        }
+        let owner = batch.first().map_or(txn, LogRecord::txn);
+        let shard = shard_of(owner, self.shared.shard_work.len());
+        let mut core = self.shared.core.lock();
+        let ts = self.shared.oracle.draw();
+        let commit = LogRecord::CommitTs { txn, ts };
+        let first = core.next_lsn;
+        for r in batch {
+            core.push(r);
+        }
+        if file_backed {
+            encode_record(&mut buf, &commit);
+        }
+        core.push(commit);
+        let end = core.next_lsn;
+        if file_backed {
+            let bytes = buf.freeze();
+            let sp = &mut core.shards[shard];
+            if sp.queue.is_empty() {
+                sp.pending_since = Some(Instant::now());
+            }
+            sp.queue.push((first, bytes));
+            sp.queued_batches += 1;
+            self.shared.shard_work[shard].notify_one();
+        }
+        (first, end, ts)
     }
 
     /// A ticket that is already durable (read-only commits, in-memory
@@ -1378,8 +1489,10 @@ fn encode_header(base_lsn: u64, shard: u32, shards: u32) -> [u8; HEADER_LEN] {
 
 /// What a WAL file's leading bytes say about its format.
 enum WalHeader {
-    /// `BFWAL2`: framed records, explicit LSNs.
-    Framed { base: u64 },
+    /// `BFWAL3`/`BFWAL2`: framed records, explicit LSNs. `stale_magic`
+    /// marks a v2 file that must be re-stamped before v3-only records
+    /// (`CommitTs`) may be appended to it.
+    Framed { base: u64, stale_magic: bool },
     /// `BFWAL1` or headerless legacy: records concatenated positionally
     /// from `base`, starting at byte `offset`.
     Flat { base: u64, offset: usize },
@@ -1389,12 +1502,15 @@ enum WalHeader {
 }
 
 fn parse_file_header(bytes: &[u8]) -> WalHeader {
-    if bytes.len() >= FILE_MAGIC.len() && bytes[..FILE_MAGIC.len()] == FILE_MAGIC {
+    let framed = bytes.len() >= FILE_MAGIC.len()
+        && (bytes[..FILE_MAGIC.len()] == FILE_MAGIC || bytes[..V2_MAGIC.len()] == V2_MAGIC);
+    if framed {
         if bytes.len() >= HEADER_LEN {
             let mut base = [0u8; 8];
             base.copy_from_slice(&bytes[6..14]);
             WalHeader::Framed {
                 base: u64::from_be_bytes(base),
+                stale_magic: bytes[..V2_MAGIC.len()] == V2_MAGIC,
             }
         } else {
             WalHeader::Torn
@@ -1485,13 +1601,27 @@ fn open_shard(spath: &Path, shard: u32, shards: u32) -> Result<(std::fs::File, u
         return Ok((file, 0));
     }
     match parse_file_header(&bytes) {
-        WalHeader::Framed { base } => {
+        WalHeader::Framed { base, stale_magic } => {
             let (frames, clean) = decode_frames(&bytes, HEADER_LEN);
             if clean < bytes.len() {
                 // Torn tail from a crash mid-flush: drop it so appended
                 // frames stay scannable.
                 file.set_len(clean as u64)
                     .map_err(|e| Error::Wal(format!("truncate torn wal tail: {e}")))?;
+            }
+            if stale_magic {
+                // v2 file, identical layout: re-stamp the magic so the
+                // file honestly advertises that `CommitTs` records may
+                // follow. Done before any append, through a separate
+                // write handle (the append handle cannot seek to 0).
+                (|| -> std::io::Result<()> {
+                    use std::io::{Seek, SeekFrom};
+                    let mut w = std::fs::OpenOptions::new().write(true).open(spath)?;
+                    w.seek(SeekFrom::Start(0))?;
+                    w.write_all(&FILE_MAGIC)?;
+                    w.sync_data()
+                })()
+                .map_err(|e| Error::Wal(format!("upgrade wal magic: {e}")))?;
             }
             let end = frames.last().map(|(l, _)| l + 1).unwrap_or(base).max(base);
             Ok((file, end))
@@ -1529,7 +1659,7 @@ fn open_shard(spath: &Path, shard: u32, shards: u32) -> Result<(std::fs::File, u
 fn load_shard_file(spath: &Path) -> Result<(u64, Vec<(u64, LogRecord)>)> {
     let bytes = std::fs::read(spath).map_err(|e| Error::Wal(format!("read wal file: {e}")))?;
     match parse_file_header(&bytes) {
-        WalHeader::Framed { base } => {
+        WalHeader::Framed { base, .. } => {
             let (frames, _) = decode_frames(&bytes, HEADER_LEN);
             Ok((base, frames))
         }
@@ -1551,8 +1681,9 @@ fn load_shard_file(spath: &Path) -> Result<(u64, Vec<(u64, LogRecord)>)> {
 // --- binary format -------------------------------------------------------
 //
 // file    := header frame*
-// header  := "BFWAL2" base_lsn:u64 shard:u32 shards:u32
-//            (legacy: "BFWAL1" base_lsn:u64 record*, or bare record*)
+// header  := "BFWAL3" base_lsn:u64 shard:u32 shards:u32
+//            (same layout as "BFWAL2", which lacked the commit_ts tag;
+//             legacy: "BFWAL1" base_lsn:u64 record*, or bare record*)
 // frame   := first_lsn:u64 nbytes:u32 record*
 // record  := tag:u8 body
 // value   := vtag:u8 payload
@@ -1566,6 +1697,8 @@ const TAG_DELETE: u8 = 4;
 const TAG_GRANULE: u8 = 5;
 const TAG_COMMIT: u8 = 6;
 const TAG_ABORT: u8 = 7;
+/// Commit with an explicit commit timestamp (`BFWAL3`+ only).
+const TAG_COMMIT_TS: u8 = 8;
 
 fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
     match r {
@@ -1617,6 +1750,11 @@ fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
             buf.put_u8(TAG_COMMIT);
             buf.put_u64(t.0);
         }
+        LogRecord::CommitTs { txn, ts } => {
+            buf.put_u8(TAG_COMMIT_TS);
+            buf.put_u64(txn.0);
+            buf.put_u64(*ts);
+        }
         LogRecord::Abort(t) => {
             buf.put_u8(TAG_ABORT);
             buf.put_u64(t.0);
@@ -1660,6 +1798,10 @@ fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
         }
         TAG_COMMIT => Ok(LogRecord::Commit(TxnId(get_u64(buf)?))),
         TAG_ABORT => Ok(LogRecord::Abort(TxnId(get_u64(buf)?))),
+        TAG_COMMIT_TS => Ok(LogRecord::CommitTs {
+            txn: TxnId(get_u64(buf)?),
+            ts: get_u64(buf)?,
+        }),
         t => Err(Error::Wal(format!("bad record tag {t}"))),
     }
 }
@@ -1956,6 +2098,94 @@ mod tests {
         let bytes = wal.encode_all();
         let decoded = Wal::decode_all(bytes).unwrap();
         assert_eq!(decoded, sample_records());
+    }
+
+    #[test]
+    fn commit_ts_round_trips_and_resolves() {
+        let rec = LogRecord::CommitTs {
+            txn: TxnId(7),
+            ts: 41,
+        };
+        let mut buf = BytesMut::new();
+        encode_record(&mut buf, &rec);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_record(&mut bytes).unwrap(), rec);
+        assert_eq!(rec.txn(), TxnId(7));
+        assert_eq!(rec.commit_ts(), Some(41));
+        assert!(rec.is_commit());
+        assert_eq!(LogRecord::Commit(TxnId(7)).commit_ts(), None);
+    }
+
+    #[test]
+    fn append_commit_draws_ts_in_lsn_order() {
+        let wal = Arc::new(Wal::new());
+        let mut handles = Vec::new();
+        for t in 1..=8u64 {
+            let wal = Arc::clone(&wal);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let txn = TxnId(t * 1000 + i);
+                    let batch = vec![
+                        LogRecord::Begin(txn),
+                        LogRecord::Delete {
+                            txn,
+                            table: TableId(1),
+                            rid: RowId::new(0, 0),
+                        },
+                    ];
+                    let (_, ts) = wal.append_commit_durable(batch, txn);
+                    wal.oracle().finish(ts);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Commit timestamps must appear in strictly increasing LSN order.
+        let mut last_ts = 0;
+        for r in wal.snapshot() {
+            if let Some(ts) = r.commit_ts() {
+                assert!(ts > last_ts, "ts {ts} out of LSN order (prev {last_ts})");
+                last_ts = ts;
+            }
+        }
+        assert_eq!(last_ts, 400);
+        assert_eq!(wal.oracle().stable(), 400);
+    }
+
+    #[test]
+    fn v2_magic_upgrades_on_open() {
+        let path = temp_wal("v2magic");
+        {
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            wal.append_batch_durable(sample_records());
+        }
+        // Rewind the magic to BFWAL2 — a log written before CommitTs
+        // existed (the layout is otherwise identical).
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[..V2_MAGIC.len()].copy_from_slice(&V2_MAGIC);
+        std::fs::write(&path, &bytes).unwrap();
+        // Read path accepts the old magic directly.
+        assert_eq!(Wal::load_file(&path).unwrap(), sample_records());
+        // Opening for append re-stamps it and CommitTs appends cleanly.
+        {
+            let wal = Wal::with_file_opts(&path, one_shard(Duration::ZERO)).unwrap();
+            assert_eq!(wal.len(), sample_records().len());
+            let (_, ts) = wal.append_commit_durable(vec![LogRecord::Begin(TxnId(9))], TxnId(9));
+            wal.oracle().finish(ts);
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(&bytes[..FILE_MAGIC.len()], &FILE_MAGIC);
+        let loaded = Wal::load_file(&path).unwrap();
+        assert_eq!(loaded.len(), sample_records().len() + 2);
+        assert_eq!(
+            loaded.last().unwrap(),
+            &LogRecord::CommitTs {
+                txn: TxnId(9),
+                ts: 1
+            }
+        );
+        remove_sharded(&path);
     }
 
     #[test]

@@ -19,6 +19,16 @@ cargo test -q -p bullfrog-net --test server_integration --test migration_race
 echo "== replication tests =="
 cargo test -q -p bullfrog-repl
 
+echo "== engine + migration suites under snapshot isolation =="
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-engine
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-core
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-repl
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-net --test si_conflicts
+
+echo "== loadgen smoke (snapshot isolation, bounded) =="
+timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+  --engine-mode si --clients 32 --accounts 128 --ops 5 --seed 42
+
 echo "== loadgen smoke (loopback, fixed seed, bounded) =="
 timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42
