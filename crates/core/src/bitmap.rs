@@ -249,6 +249,10 @@ impl Tracker for BitmapTracker {
     fn migrated_count(&self) -> u64 {
         self.migrated.load(Ordering::Acquire)
     }
+
+    fn total_granules(&self) -> u64 {
+        self.capacity
+    }
 }
 
 impl std::fmt::Debug for BitmapTracker {

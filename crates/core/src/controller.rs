@@ -117,9 +117,21 @@ impl ActiveMigration {
         self.complete[idx].load(Ordering::Acquire)
     }
 
-    /// True when every statement finished.
+    /// True when every statement finished **and** no migration transaction
+    /// is still in flight. The quiescence half matters in ON-CONFLICT mode,
+    /// where a redundant worker may still hold uncommitted duplicate
+    /// inserts after another worker marked the last granule migrated;
+    /// finalize and input-unfreeze also key off this, so old tables are
+    /// never dropped under a straggler transaction.
     pub fn is_complete(&self) -> bool {
-        (0..self.runtimes.len()).all(|i| self.is_statement_complete(i))
+        (0..self.runtimes.len()).all(|i| self.is_statement_complete(i)) && self.quiescent()
+    }
+
+    /// True when no migration transaction is currently in flight.
+    fn quiescent(&self) -> bool {
+        self.runtimes
+            .iter()
+            .all(|rt| rt.in_flight.load(Ordering::SeqCst) == 0)
     }
 
     /// Blocks until the flip-time quiesce gate opens (no-op under 2PL,
@@ -177,6 +189,11 @@ pub struct MigrationProgress {
     pub complete: bool,
     /// Whether the old input tables reject writes while migrating.
     pub frozen_inputs: bool,
+    /// Granules marked migrated, summed over every statement's tracker.
+    pub granules_done: u64,
+    /// Total granules across every tracker (hash-tracked statements
+    /// report groups observed so far, converging on the true total).
+    pub granules_total: u64,
     /// Counter snapshot.
     pub stats: crate::stats::MigrationStatsSnapshot,
 }
@@ -234,6 +251,16 @@ impl Bullfrog {
                 .count() as u64,
             complete: active.is_complete(),
             frozen_inputs: active.frozen_inputs,
+            granules_done: active
+                .runtimes
+                .iter()
+                .map(|rt| rt.tracker.migrated_count())
+                .sum(),
+            granules_total: active
+                .runtimes
+                .iter()
+                .map(|rt| rt.tracker.total_granules())
+                .sum(),
             stats: active.stats.snapshot(),
         })
     }
@@ -319,6 +346,7 @@ impl Bullfrog {
                 stmt: s.clone(),
                 tracker,
                 stats: Arc::clone(&stats),
+                in_flight: std::sync::atomic::AtomicU64::new(0),
             }));
         }
 

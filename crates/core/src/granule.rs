@@ -149,6 +149,12 @@ pub trait Tracker: Send + Sync {
 
     /// Number of granules currently marked migrated.
     fn migrated_count(&self) -> u64;
+
+    /// Total granules this tracker spans. Bitmap trackers know it up
+    /// front (capacity / granule size); hash trackers discover groups
+    /// lazily and report the count observed so far, which converges on
+    /// the true total as migration proceeds.
+    fn total_granules(&self) -> u64;
 }
 
 #[cfg(test)]

@@ -200,6 +200,10 @@ impl Tracker for HashTracker {
     fn migrated_count(&self) -> u64 {
         self.migrated.load(Ordering::Acquire)
     }
+
+    fn total_granules(&self) -> u64 {
+        self.key_count() as u64
+    }
 }
 
 impl std::fmt::Debug for HashTracker {

@@ -17,6 +17,7 @@
 //! 4. repeats with the SKIP list until it drains (line 10), blocking
 //!    briefly on in-progress granules rather than spinning.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -52,6 +53,32 @@ pub struct StatementRuntime {
     pub tracker: Arc<dyn Tracker>,
     /// Shared overhead counters.
     pub stats: Arc<MigrationStats>,
+    /// Migration transactions currently in flight for this statement.
+    /// Completion requires this gauge at zero as well as every granule
+    /// migrated: in ON-CONFLICT mode several workers may copy the same
+    /// granule, and a redundant worker can still hold uncommitted
+    /// duplicate inserts (pending heap slots) after another worker marked
+    /// the granule migrated. Declaring completion before that straggler
+    /// commits or rolls back would let post-migration observers see its
+    /// transient rows.
+    pub in_flight: AtomicU64,
+}
+
+/// RAII in-flight marker: one per migration transaction, covering it from
+/// before its first row copy until its commit/abort has fully applied.
+struct InFlight<'a>(&'a AtomicU64);
+
+impl<'a> InFlight<'a> {
+    fn enter(rt: &'a StatementRuntime) -> Self {
+        rt.in_flight.fetch_add(1, Ordering::SeqCst);
+        InFlight(&rt.in_flight)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl StatementRuntime {
@@ -372,6 +399,7 @@ fn migrate_once(
     candidates: &[Granule],
     opts: &MigrateOptions,
 ) -> Result<Vec<Granule>> {
+    let _in_flight = InFlight::enter(rt);
     let mut wip = WorkList::new();
     let mut skip = WorkList::new();
     let mut txn = db.begin();
@@ -454,6 +482,7 @@ fn migrate_on_conflict(
     candidates: Vec<Granule>,
     opts: &MigrateOptions,
 ) -> Result<()> {
+    let _in_flight = InFlight::enter(rt);
     let mut txn = db.begin();
     if let Some(parent) = opts.parent {
         txn.set_ally(parent);
@@ -461,7 +490,12 @@ fn migrate_on_conflict(
     let mut counts = RowCounts::default();
     for g in &candidates {
         if rt.tracker.state(g) == GranuleState::Migrated {
-            continue; // cheap skip; correctness never depends on this
+            // Skips row copies for already-migrated granules. Also load-
+            // bearing for quiescence: once every granule is migrated and
+            // `in_flight` has drained, any later transaction skips all its
+            // candidates here, so no new duplicate rows appear after
+            // completion was observable.
+            continue;
         }
         match migrate_granule(db, &mut txn, rt, g, DedupMode::OnConflict, opts) {
             Ok(c) => counts.merge(c),
@@ -790,6 +824,7 @@ mod tests {
             stmt,
             tracker: Arc::new(BitmapTracker::new(cap, 1)),
             stats: Arc::new(MigrationStats::new()),
+            in_flight: AtomicU64::new(0),
         }
     }
 
@@ -815,6 +850,7 @@ mod tests {
             stmt,
             tracker: Arc::new(HashTracker::new()),
             stats: Arc::new(MigrationStats::new()),
+            in_flight: AtomicU64::new(0),
         }
     }
 
@@ -919,6 +955,7 @@ mod tests {
                 1,
             )),
             stats: Arc::new(MigrationStats::new()),
+            in_flight: AtomicU64::new(0),
         };
         migrate_candidates(&db, &rt2, c, &opts).unwrap();
         assert_eq!(

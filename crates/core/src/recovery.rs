@@ -47,6 +47,7 @@ mod tests {
     use bullfrog_common::{ColumnDef, DataType, TableSchema, Value};
     use bullfrog_engine::Database;
     use bullfrog_query::{AggFunc, Expr, SelectSpec};
+    use std::sync::atomic::AtomicU64;
 
     fn runtimes() -> Vec<Arc<StatementRuntime>> {
         let db = Database::new();
@@ -90,12 +91,14 @@ mod tests {
                 stmt: s0,
                 tracker: Arc::new(BitmapTracker::new(100, 1)),
                 stats: Arc::new(MigrationStats::new()),
+                in_flight: AtomicU64::new(0),
             }),
             Arc::new(StatementRuntime {
                 id: 1,
                 stmt: s1,
                 tracker: Arc::new(HashTracker::new()),
                 stats: Arc::new(MigrationStats::new()),
+                in_flight: AtomicU64::new(0),
             }),
         ]
     }

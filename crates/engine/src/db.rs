@@ -326,6 +326,13 @@ impl Database {
         txn.release_snapshot();
         txn.mark_committed()?;
         self.release_locks(txn);
+        // A commit is acknowledged only once it is visible to new
+        // snapshots: with concurrent committers, our `finish` may not
+        // advance the stable horizon past `ts` while an older timestamp
+        // is still installing, and returning early would let the caller
+        // publish state (migration granule marks, replies to clients)
+        // that a fresh snapshot then contradicts.
+        self.wal.oracle().wait_stable(ts, Duration::from_secs(5));
         self.maybe_gc();
         Ok(())
     }
@@ -367,6 +374,7 @@ impl Database {
     /// Read-only transactions get a trivially-durable ticket.
     pub fn commit_nowait(&self, txn: &mut Transaction) -> Result<CommitTicket> {
         txn.assert_active()?;
+        let mut visible_ts = None;
         let ticket = if txn.redo.is_empty() {
             txn.release_snapshot();
             self.wal.durable_ticket()
@@ -381,6 +389,7 @@ impl Database {
             self.wal.oracle().finish(ts);
             txn.release_snapshot();
             self.maybe_gc();
+            visible_ts = Some(ts);
             ticket
         } else {
             let mut batch = std::mem::take(&mut txn.redo);
@@ -389,6 +398,12 @@ impl Database {
         };
         txn.mark_committed()?;
         self.release_locks(txn);
+        // NOWAIT defers durability, not visibility: same stable-horizon
+        // wait as the synchronous snapshot commit, so callers never
+        // publish state a fresh snapshot contradicts.
+        if let Some(ts) = visible_ts {
+            self.wal.oracle().wait_stable(ts, Duration::from_secs(5));
+        }
         Ok(ticket)
     }
 

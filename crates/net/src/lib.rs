@@ -21,11 +21,13 @@
 //! state machine, and shutdown semantics.
 
 pub mod client;
+pub mod cluster;
 pub mod server;
 pub mod session;
 pub mod wire;
 
 pub use client::{Client, ClientError, ClientResult, QueryReply};
+pub use cluster::{plan_flip, ClusterMember, ClusterReq, ExchangeSpec, FlipPlan, ShardMap};
 pub use server::{DdlEvent, ReadOnly, ReplicationHooks, Server, ServerConfig};
 pub use session::{build_migration_plan, Session, SessionCounters};
 pub use wire::{err_code, Request, Response, WireDdl, MAX_FRAME_BYTES, PREAMBLE};

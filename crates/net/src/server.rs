@@ -33,6 +33,7 @@ use bullfrog_core::{Bullfrog, ClientAccess, DurabilityStats};
 use bullfrog_engine::CheckpointScheduler;
 use bytes::Bytes;
 
+use crate::cluster::{plan_flip, ClusterMember, ClusterReq};
 use crate::session::{Session, SessionCounters};
 use crate::wire::{self, err_code, Request, Response};
 
@@ -142,6 +143,9 @@ pub struct ServerConfig {
     pub replication: Option<Arc<dyn ReplicationHooks>>,
     /// Replica-side read-only mode.
     pub read_only: Option<ReadOnly>,
+    /// Shared-nothing cluster membership: serve the `CLUSTER` opcodes
+    /// and enforce shard ownership / flip windows on every session.
+    pub cluster: Option<Arc<ClusterMember>>,
 }
 
 impl Default for ServerConfig {
@@ -152,6 +156,7 @@ impl Default for ServerConfig {
             statement_timeout: Duration::from_secs(10),
             replication: None,
             read_only: None,
+            cluster: None,
         }
     }
 }
@@ -164,6 +169,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("statement_timeout", &self.statement_timeout)
             .field("replication", &self.replication.is_some())
             .field("read_only", &self.read_only)
+            .field("cluster", &self.cluster.is_some())
             .finish()
     }
 }
@@ -399,6 +405,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     if let Some(ro) = &shared.config.read_only {
         session = session.with_read_only(ro.clone());
     }
+    if let Some(member) = &shared.config.cluster {
+        session = session.with_cluster(Arc::clone(member));
+    }
     loop {
         stream.set_read_timeout(Some(POLL_SLICE))?;
         match wait_readable(&stream, shared) {
@@ -465,8 +474,113 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 code: err_code::GENERAL,
                 message: "REPL_ACK is only valid on a subscribed connection".into(),
             },
+            Ok(Request::Cluster(op)) => match &shared.config.cluster {
+                Some(member) => {
+                    if !matches!(op, ClusterReq::GetMap) {
+                        session.set_cluster_admin();
+                    }
+                    handle_cluster(op, member, shared, &mut session)
+                }
+                None => Response::Err {
+                    retryable: false,
+                    code: err_code::GENERAL,
+                    message: "clustering is not enabled on this server".into(),
+                },
+            },
         };
         wire::write_frame(&mut writer, &response.encode())?;
+    }
+}
+
+/// Executes one cluster-control operation against this node's member
+/// state. The session is already marked admin for mutating ops, so the
+/// `Commit` arm's DDL runs through the normal session path (including
+/// any replication journal hooks) without tripping the member's own
+/// enforcement.
+fn handle_cluster(
+    op: ClusterReq,
+    member: &Arc<ClusterMember>,
+    shared: &Shared,
+    session: &mut Session,
+) -> Response {
+    match op {
+        ClusterReq::GetMap => match member.map() {
+            Some(map) => Response::ShardMap(map),
+            None => Response::Err {
+                retryable: false,
+                code: err_code::GENERAL,
+                message: "no shard map installed on this node".into(),
+            },
+        },
+        ClusterReq::SetMap { self_index, map } => {
+            match member.install_map(map, self_index as usize) {
+                Ok(()) => Response::Ok { affected: 0 },
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        ClusterReq::Prepare { sql } => cluster_prepare(&sql, member, shared),
+        ClusterReq::Commit => {
+            let sql = match member.commit_sql() {
+                Ok(sql) => sql,
+                Err(e) => return Response::from_error(&e),
+            };
+            match session.execute(&sql) {
+                Response::Ok { .. } => {
+                    member.mark_committed();
+                    Response::Ok { affected: 0 }
+                }
+                err => err,
+            }
+        }
+        ClusterReq::Abort => {
+            member.abort_flip();
+            Response::Ok { affected: 0 }
+        }
+        ClusterReq::EndExchange => match member.end_exchange() {
+            Ok(()) => Response::Ok { affected: 0 },
+            Err(e) => Response::from_error(&e),
+        },
+    }
+}
+
+/// Phase one of the two-phase flip: parse and resolve the migration DDL
+/// against the local catalog (every node resolves the same plan — the
+/// coordinator keeps catalogs identical), derive the flip windows and
+/// exchange work, and stage it. Nothing executes yet.
+fn cluster_prepare(sql: &str, member: &Arc<ClusterMember>, shared: &Shared) -> Response {
+    use bullfrog_sql::{parse_statement, Statement};
+    let stmt = match parse_statement(sql) {
+        Ok(stmt) => stmt,
+        Err(e) => return Response::from_error(&e),
+    };
+    let Statement::CreateTableAs {
+        name,
+        select,
+        primary_key,
+    } = stmt
+    else {
+        return Response::Err {
+            retryable: false,
+            code: err_code::GENERAL,
+            message: "cluster PREPARE expects migration DDL (CREATE TABLE ... AS SELECT)".into(),
+        };
+    };
+    let flip = (|| {
+        let mut plan =
+            crate::session::build_migration_plan(&shared.bf, name, &select, primary_key)?;
+        plan.resolve(shared.bf.db())?;
+        let multi_node = member.map().is_some_and(|m| m.nodes.len() > 1);
+        plan_flip(&plan, multi_node)
+    })();
+    match flip {
+        Ok(flip) => {
+            let exchange = flip.exchange.clone();
+            match member.begin_prepare(sql.to_string(), flip) {
+                Ok(()) => Response::Prepared { exchange },
+                Err(e) => Response::from_error(&e),
+            }
+        }
+        Err(e) => Response::from_error(&e),
     }
 }
 
@@ -539,6 +653,8 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
                 "migration.background_granules",
                 p.stats.background_granules as i64,
             );
+            push("migration.granules_done", p.granules_done as i64);
+            push("migration.granules_total", p.granules_total as i64);
         }
         None => push("migration.active", 0),
     }
@@ -588,6 +704,9 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
         .and_then(|ro| ro.status.as_ref())
     {
         out.extend(f());
+    }
+    if let Some(member) = &shared.config.cluster {
+        out.extend(member.status());
     }
     out
 }

@@ -27,6 +27,7 @@ use bullfrog_engine::LockPolicy;
 use bullfrog_sql::{parse_statement, reorder_insert_rows, Statement};
 use bullfrog_txn::{CommitTicket, Transaction};
 
+use crate::cluster::ClusterMember;
 use crate::server::{DdlEvent, ReadOnly, ReplicationHooks};
 use crate::wire::{err_code, Response};
 
@@ -69,6 +70,12 @@ pub struct Session {
     hooks: Option<Arc<dyn ReplicationHooks>>,
     /// Replica-side read-only mode.
     read_only: Option<ReadOnly>,
+    /// Cluster-member enforcement (shard ownership, flip windows).
+    cluster: Option<Arc<ClusterMember>>,
+    /// Set once this connection issues a cluster-control operation: the
+    /// coordinator's own statements (flip DDL, the exchange's
+    /// cross-shard reads and merge writes) bypass enforcement.
+    cluster_admin: bool,
 }
 
 /// The `NOWAIT(max_unacked)` session state: every commit is
@@ -119,6 +126,8 @@ impl Session {
             commit_window: None,
             hooks: None,
             read_only: None,
+            cluster: None,
+            cluster_admin: false,
         }
     }
 
@@ -133,6 +142,19 @@ impl Session {
     pub fn with_read_only(mut self, ro: ReadOnly) -> Self {
         self.read_only = Some(ro);
         self
+    }
+
+    /// Enables cluster-member enforcement on this session.
+    pub fn with_cluster(mut self, member: Arc<ClusterMember>) -> Self {
+        self.cluster = Some(member);
+        self
+    }
+
+    /// Marks this session as the flip coordinator's: its statements
+    /// bypass shard-ownership and flip-window enforcement (the same
+    /// trust model as the `SHUTDOWN` opcode).
+    pub fn set_cluster_admin(&mut self) {
+        self.cluster_admin = true;
     }
 
     /// True while an explicit transaction is open.
@@ -153,6 +175,17 @@ impl Session {
         };
         if self.read_only.is_some() {
             return self.run_read_only(stmt);
+        }
+        if let Some(member) = &self.cluster {
+            if !self.cluster_admin {
+                if let Some(resp) = member.reject(self.bf.db(), &stmt) {
+                    // Refused before execution: no transaction state to
+                    // clean up, and an open explicit transaction stays
+                    // open (the statement never ran).
+                    SessionCounters::bump(&self.counters.errors, 1);
+                    return resp;
+                }
+            }
         }
         match self.run(stmt, sql, started) {
             Ok(resp) => resp,

@@ -49,6 +49,7 @@ mod req {
     pub const SUBSCRIBE: u8 = 0x05;
     pub const SNAPSHOT: u8 = 0x06;
     pub const REPL_ACK: u8 = 0x07;
+    pub const CLUSTER: u8 = 0x08;
 }
 
 /// Response opcodes (server → client).
@@ -59,6 +60,8 @@ mod resp {
     pub const STATS: u8 = 0x84;
     pub const FRAMES: u8 = 0x85;
     pub const SNAPSHOT: u8 = 0x86;
+    pub const SHARD_MAP: u8 = 0x87;
+    pub const PREPARED: u8 = 0x88;
 }
 
 /// Machine-readable `ERR` classification, carried as a trailing payload
@@ -78,6 +81,16 @@ pub mod err_code {
     /// A transient transaction failure (lock timeout, abort); retrying
     /// the statement may succeed.
     pub const TXN_RETRY: u8 = 4;
+    /// A single-key statement reached a cluster node that does not own
+    /// the key's hash slot. Re-fetch the shard map and re-route — blind
+    /// retry against the same node can never succeed. The message names
+    /// the owning node's address.
+    pub const WRONG_SHARD: u8 = 5;
+    /// A two-phase schema flip has this table blocked (prepare→commit
+    /// window, or the post-commit exchange of partial aggregates). The
+    /// window is bounded; retry against the same node after a short
+    /// backoff.
+    pub const FLIP_PENDING: u8 = 6;
 }
 
 /// One client request.
@@ -111,6 +124,13 @@ pub enum Request {
         /// Exclusive upper bound of the replica's applied log prefix.
         lsn: u64,
     },
+    /// Cluster control (shard-map distribution and the two-phase schema
+    /// flip). Issuing any sub-operation except
+    /// [`ClusterReq::GetMap`](crate::cluster::ClusterReq::GetMap) marks
+    /// the connection as a cluster coordinator: its subsequent DML
+    /// bypasses shard-ownership and flip-pending enforcement (same trust
+    /// model as `SHUTDOWN`).
+    Cluster(crate::cluster::ClusterReq),
 }
 
 /// One DDL-journal event in a [`Response::Frames`] batch, opaque to the
@@ -170,6 +190,17 @@ pub enum Response {
         /// Encoded snapshot (checkpoint image + DDL journal).
         payload: Bytes,
     },
+    /// Reply to [`ClusterReq::GetMap`](crate::cluster::ClusterReq): the
+    /// node's installed shard map.
+    ShardMap(crate::cluster::ShardMap),
+    /// Reply to [`ClusterReq::Prepare`](crate::cluster::ClusterReq): the
+    /// flip is staged; `exchange` lists the output tables whose partial
+    /// aggregates must be shipped between nodes after every member
+    /// commits (empty for 1:1 migrations).
+    Prepared {
+        /// Cross-node merge work the coordinator owes after commit.
+        exchange: Vec<crate::cluster::ExchangeSpec>,
+    },
 }
 
 impl Request {
@@ -194,6 +225,10 @@ impl Request {
                 buf.put_u8(req::REPL_ACK);
                 buf.put_u64(*lsn);
             }
+            Request::Cluster(op) => {
+                buf.put_u8(req::CLUSTER);
+                op.encode_into(&mut buf);
+            }
         }
         buf.freeze()
     }
@@ -213,6 +248,9 @@ impl Request {
             req::REPL_ACK => Ok(Request::ReplAck {
                 lsn: codec::get_u64(&mut payload)?,
             }),
+            req::CLUSTER => Ok(Request::Cluster(crate::cluster::ClusterReq::decode(
+                &mut payload,
+            )?)),
             other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
         }
     }
@@ -281,6 +319,17 @@ impl Response {
                 buf.put_u8(resp::SNAPSHOT);
                 buf.put_u32(payload.len() as u32);
                 buf.extend_from_slice(payload);
+            }
+            Response::ShardMap(map) => {
+                buf.put_u8(resp::SHARD_MAP);
+                map.encode_into(&mut buf);
+            }
+            Response::Prepared { exchange } => {
+                buf.put_u8(resp::PREPARED);
+                buf.put_u32(exchange.len() as u32);
+                for e in exchange {
+                    e.encode_into(&mut buf);
+                }
             }
         }
         buf.freeze()
@@ -354,6 +403,17 @@ impl Response {
             resp::SNAPSHOT => Ok(Response::Snapshot {
                 payload: get_bytes(&mut payload)?,
             }),
+            resp::SHARD_MAP => Ok(Response::ShardMap(crate::cluster::ShardMap::decode(
+                &mut payload,
+            )?)),
+            resp::PREPARED => {
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut exchange = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    exchange.push(crate::cluster::ExchangeSpec::decode(&mut payload)?);
+                }
+                Ok(Response::Prepared { exchange })
+            }
             other => Err(Error::Eval(format!("unknown response opcode {other:#04x}"))),
         }
     }
@@ -422,12 +482,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>> {
     Ok(Some(Bytes::copy_from_slice(&payload)))
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String> {
     let len = codec::get_u32(buf)? as usize;
     if buf.len() < len {
         return Err(Error::Eval(format!(
@@ -441,7 +501,7 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
     Ok(s)
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8> {
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8> {
     if buf.is_empty() {
         return Err(Error::Eval("truncated frame: missing byte".into()));
     }
@@ -479,6 +539,20 @@ mod tests {
             },
             Request::Snapshot,
             Request::ReplAck { lsn: u64::MAX },
+            Request::Cluster(crate::cluster::ClusterReq::GetMap),
+            Request::Cluster(crate::cluster::ClusterReq::SetMap {
+                self_index: 2,
+                map: crate::cluster::ShardMap {
+                    version: 3,
+                    nodes: vec!["127.0.0.1:7001".into(), "127.0.0.1:7002".into()],
+                },
+            }),
+            Request::Cluster(crate::cluster::ClusterReq::Prepare {
+                sql: "CREATE TABLE t2 AS (SELECT id FROM t)".into(),
+            }),
+            Request::Cluster(crate::cluster::ClusterReq::Commit),
+            Request::Cluster(crate::cluster::ClusterReq::Abort),
+            Request::Cluster(crate::cluster::ClusterReq::EndExchange),
         ] {
             assert_eq!(Request::decode(r.encode()).unwrap(), r);
         }
@@ -513,6 +587,20 @@ mod tests {
             },
             Response::Snapshot {
                 payload: Bytes::from_static(b"\x00\x01\x02"),
+            },
+            Response::ShardMap(crate::cluster::ShardMap {
+                version: 9,
+                nodes: vec!["a:1".into(), "b:2".into(), "c:3".into()],
+            }),
+            Response::Prepared {
+                exchange: vec![crate::cluster::ExchangeSpec {
+                    table: "owner_totals".into(),
+                    key_cols: vec!["owner".into()],
+                    aggs: vec![
+                        ("total".into(), bullfrog_query::AggFunc::Sum),
+                        ("n".into(), bullfrog_query::AggFunc::Count),
+                    ],
+                }],
             },
         ] {
             assert_eq!(Response::decode(r.encode()).unwrap(), r);

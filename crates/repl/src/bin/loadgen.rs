@@ -22,6 +22,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use bullfrog_cluster::{ClusterClient, Coordinator, LocalCluster, ShardMap};
+use bullfrog_common::Value;
 use bullfrog_core::Bullfrog;
 use bullfrog_engine::{CheckpointPolicy, Database, DbConfig, EngineMode};
 use bullfrog_net::{err_code, Client, ClientError, Server, ServerConfig};
@@ -53,6 +55,13 @@ struct Args {
     /// `BULLFROG_ENGINE_MODE` like every other harness, so the same
     /// script drives either engine.
     mode: EngineMode,
+    /// When > 0, run the shared-nothing cluster scenario instead: this
+    /// many loopback member nodes under one shard map, workers routed
+    /// per key, migrations driven as two-phase cluster flips (with the
+    /// cross-node aggregate exchange for the GROUP BY step), and a
+    /// final scatter-gathered scan checked byte-identical to a
+    /// single-node oracle.
+    cluster: usize,
 }
 
 impl Args {
@@ -68,6 +77,7 @@ impl Args {
             addr: None,
             replica: false,
             mode: EngineMode::from_env(),
+            cluster: 0,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -103,6 +113,7 @@ impl Args {
                     )
                 }
                 "--replica" => args.replica = true,
+                "--cluster" => args.cluster = take("--cluster") as usize,
                 "--engine-mode" => {
                     args.mode = match it.next().as_deref() {
                         Some("2pl") => EngineMode::TwoPL,
@@ -115,6 +126,9 @@ impl Args {
         }
         if args.replica && args.addr.is_some() {
             panic!("--replica needs the self-hosted server; drop --addr");
+        }
+        if args.cluster > 0 && (args.replica || args.addr.is_some()) {
+            panic!("--cluster self-hosts its member nodes; drop --replica/--addr");
         }
         args
     }
@@ -132,6 +146,10 @@ const PHASE_DONE: usize = 4;
 fn main() {
     let args = Args::parse();
     let started = Instant::now();
+    if args.cluster > 0 {
+        run_cluster(&args, started);
+        return;
+    }
 
     // Scratch WAL directory when --replica needs a file-backed log and
     // the caller did not provide one.
@@ -631,4 +649,417 @@ fn stat(pairs: &[(String, i64)], key: &str) -> i64 {
         .find(|(k, _)| k == key)
         .map(|(_, v)| *v)
         .unwrap_or_else(|| panic!("STATUS is missing {key}"))
+}
+
+// ---------------------------------------------------------------------------
+// --cluster N: the shared-nothing scenario.
+// ---------------------------------------------------------------------------
+
+/// Runs the whole loadgen scenario against an N-node loopback cluster:
+///
+/// 1. create `accounts` on every node, load it with routed single-key
+///    inserts (each row lands on its hash owner);
+/// 2. exercise the `WRONG_SHARD` recovery path with a deliberately
+///    rotated (stale) shard map before traffic starts;
+/// 3. race the workers — same-node transfer pairs, every acked commit
+///    recorded in a per-account ledger — against a mid-traffic
+///    two-phase 1:1 cluster flip;
+/// 4. verify exactly-once cluster-wide (summed `rows_migrated`, zero
+///    conflict skips/drops) and zero lost acked commits (every final
+///    balance equals `INITIAL_BALANCE` plus the ledger's delta);
+/// 5. race point-readers against the cross-node n:1 GROUP BY flip and
+///    its aggregate exchange;
+/// 6. check the final scatter-gathered `owner_totals` byte-identical to
+///    a single-node oracle fed the same frozen `accounts_v2` rows.
+fn run_cluster(args: &Args, started: Instant) {
+    let n = args.cluster;
+    assert!(n >= 2, "--cluster needs at least 2 nodes to shard anything");
+    let mut cluster = LocalCluster::start(n, args.mode).expect("start loopback cluster");
+    let mut coord = Coordinator::connect(&cluster.addrs()).expect("coordinator connect");
+    println!(
+        "loadgen: {n}-node cluster up ({} clients, {} engine, shard map v{})",
+        args.clients,
+        args.mode.as_str(),
+        coord.map().version
+    );
+    coord
+        .execute_all("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .expect("create accounts everywhere");
+
+    // Routed load: one statement per row so each insert can go to the
+    // key's owner.
+    let mut router = ClusterClient::connect(&cluster.addrs()[0]).expect("routing client");
+    for id in 0..args.accounts {
+        router
+            .execute_key(
+                &[Value::Int(id)],
+                &format!(
+                    "INSERT INTO accounts VALUES ({id}, 'o{}', {INITIAL_BALANCE})",
+                    id % args.owners
+                ),
+            )
+            .expect("routed load");
+    }
+    let map = router.map().clone();
+    let mut per_node: Vec<Vec<i64>> = vec![Vec::new(); n];
+    for id in 0..args.accounts {
+        per_node[map.owner_of(&[Value::Int(id)])].push(id);
+    }
+    for (i, ids) in per_node.iter().enumerate() {
+        assert!(
+            ids.len() >= 2,
+            "node {i} owns {} accounts; raise --accounts so every node can host transfers",
+            ids.len()
+        );
+    }
+
+    // Satellite: a client with a stale (rotated) map must recover by
+    // re-fetching on WRONG_SHARD, never by retrying the same node.
+    let mut rotated_nodes = map.nodes.clone();
+    rotated_nodes.rotate_left(1);
+    let mut stale = ClusterClient::with_map(ShardMap {
+        version: 0,
+        nodes: rotated_nodes,
+    });
+    for id in 0..(args.owners.min(8)) {
+        stale
+            .query_key(
+                &[Value::Int(id)],
+                &format!("SELECT balance FROM accounts WHERE id = {id}"),
+            )
+            .expect("stale-map read");
+    }
+    assert!(
+        stale.wrong_shard_refetches >= 1,
+        "the rotated map never bounced — WRONG_SHARD path not exercised"
+    );
+    assert_eq!(
+        stale.map().nodes,
+        map.nodes,
+        "stale client converged on the wrong map"
+    );
+    println!(
+        "loadgen: stale-map client recovered via {} WRONG_SHARD re-fetch(es) at {:?}",
+        stale.wrong_shard_refetches,
+        started.elapsed()
+    );
+
+    // Workers: same-node transfer pairs (a distributed transaction
+    // would need a cross-node commit protocol, which the shard map
+    // deliberately avoids: route whole transactions instead). Every
+    // acked commit lands in the ledger; the final scan must account
+    // for each one.
+    let commit_sql: &'static str = if args.nowait {
+        "COMMIT NOWAIT"
+    } else {
+        "COMMIT"
+    };
+    let phase = Arc::new(AtomicUsize::new(PHASE_OLD));
+    let committed = Arc::new(AtomicU64::new(0));
+    let retried = Arc::new(AtomicU64::new(0));
+    let paused = Arc::new(AtomicUsize::new(0));
+    let ledger: Arc<Vec<std::sync::atomic::AtomicI64>> = Arc::new(
+        (0..args.accounts)
+            .map(|_| std::sync::atomic::AtomicI64::new(0))
+            .collect(),
+    );
+    let mut handles = Vec::new();
+    for w in 0..args.clients {
+        let phase = Arc::clone(&phase);
+        let committed = Arc::clone(&committed);
+        let retried = Arc::clone(&retried);
+        let paused = Arc::clone(&paused);
+        let ledger = Arc::clone(&ledger);
+        let my_node = w % n;
+        let my_accounts = per_node[my_node].clone();
+        let addr = map.nodes[my_node].clone();
+        let worker_map = map.clone();
+        let owners = args.owners;
+        let ops = args.ops;
+        let seed = args.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut client = Client::connect(addr.as_str()).expect("worker connect");
+            let mut reader: Option<ClusterClient> = None;
+            let mut acked_pause = false;
+            loop {
+                match phase.load(Ordering::Acquire) {
+                    PHASE_DONE => break,
+                    PHASE_PAUSE => {
+                        if !acked_pause {
+                            acked_pause = true;
+                            paused.fetch_add(1, Ordering::AcqRel);
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    PHASE_TOTALS => {
+                        // Routed point reads race the n:1 flip and its
+                        // exchange; FLIP_PENDING bounces back off in
+                        // the client, and reads before the flip (no
+                        // owner_totals yet) or past the retry budget
+                        // are simply dropped.
+                        let reader = reader
+                            .get_or_insert_with(|| ClusterClient::with_map(worker_map.clone()));
+                        let o = rng.gen_range(0..owners);
+                        let _ = reader.query_key(
+                            &[Value::Text(format!("o{o}"))],
+                            &format!("SELECT owner, total FROM owner_totals WHERE owner = 'o{o}'"),
+                        );
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    p => {
+                        let table = if p == PHASE_OLD {
+                            "accounts"
+                        } else {
+                            "accounts_v2"
+                        };
+                        let a = my_accounts[rng.gen_range(0..my_accounts.len() as i64) as usize];
+                        let b = loop {
+                            let b =
+                                my_accounts[rng.gen_range(0..my_accounts.len() as i64) as usize];
+                            if b != a {
+                                break b;
+                            }
+                        };
+                        if transfer(&mut client, table, a, b, commit_sql, &retried) {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            ledger[a as usize].fetch_sub(7, Ordering::Relaxed);
+                            ledger[b as usize].fetch_add(7, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if rng.gen_bool(1.0 / ops.max(1) as f64) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }));
+    }
+
+    // Mid-traffic two-phase 1:1 flip. Workers bounce off FLIP_PENDING
+    // during the prepare→commit window (counted as retries), then fail
+    // over to the new table when the phase flips.
+    std::thread::sleep(Duration::from_millis(150));
+    let specs = coord
+        .migrate(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .expect("1:1 cluster flip");
+    assert!(specs.is_empty(), "1:1 migration owes no exchange");
+    phase.store(PHASE_NEW, Ordering::Release);
+    println!(
+        "loadgen: 1:1 cluster flip committed on {n} nodes at {:?}, workers flipped",
+        started.elapsed()
+    );
+
+    assert!(
+        coord
+            .wait_all_complete(Duration::from_secs(30))
+            .expect("poll cluster migration"),
+        "1:1 lazy migration never drained on every node"
+    );
+    let status = coord.aggregate_status().expect("cluster status");
+    let rows_migrated = bullfrog_cluster::coordinator::stat(&status, "migration.rows_migrated");
+    let conflict_skips = bullfrog_cluster::coordinator::stat(&status, "migration.conflict_skips");
+    let rows_dropped = bullfrog_cluster::coordinator::stat(&status, "migration.rows_dropped");
+    // Granule-progress gauges, sampled while the migration runtime is
+    // still live (FINALIZE retires it, zeroing them).
+    let granules_done = bullfrog_cluster::coordinator::stat(&status, "migration.granules_done");
+    let granules_total = bullfrog_cluster::coordinator::stat(&status, "migration.granules_total");
+    // `total` counts the tracker's full capacity (rounded up past the
+    // occupied rows), so a drained migration reports done <= total.
+    assert!(
+        granules_done > 0 && granules_done <= granules_total,
+        "granule gauges inconsistent: {granules_done}/{granules_total}"
+    );
+    assert_eq!(
+        rows_migrated, args.accounts,
+        "cluster exactly-once violated: {rows_migrated} rows migrated for {} sources",
+        args.accounts
+    );
+    assert_eq!(conflict_skips, 0, "duplicate migration attempts detected");
+    assert_eq!(rows_dropped, 0, "migration dropped rows");
+    coord.run_exchange(&specs).expect("release 1:1 hold");
+
+    // Quiesce, then settle the books: every acked commit must be in the
+    // final balances (zero lost acked commits), nothing else may be.
+    phase.store(PHASE_PAUSE, Ordering::Release);
+    while paused.load(Ordering::Acquire) < args.clients {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    coord.finalize_all(true).expect("finalize 1:1");
+    let (_, mut frozen) = router
+        .scatter_rows("SELECT id, owner, balance FROM accounts_v2")
+        .expect("scatter accounts_v2");
+    frozen.sort_by_key(|r| r.0[0].as_i64().unwrap());
+    assert_eq!(frozen.len() as i64, args.accounts, "row count changed");
+    let mut total = 0;
+    for row in &frozen {
+        let id = row.0[0].as_i64().unwrap();
+        let balance = row.0[2].as_i64().unwrap();
+        let expected = INITIAL_BALANCE + ledger[id as usize].load(Ordering::Acquire);
+        assert_eq!(
+            balance, expected,
+            "acked commit lost (or phantom write) on account {id}: \
+             balance {balance}, ledger says {expected}"
+        );
+        total += balance;
+    }
+    assert_eq!(
+        total,
+        args.accounts * INITIAL_BALANCE,
+        "transfers must conserve total balance"
+    );
+    println!(
+        "loadgen: cluster 1:1 exactly-once + ledger verified ({} rows, total {total}) at {:?}",
+        frozen.len(),
+        started.elapsed()
+    );
+
+    // Single-node oracle: the same frozen rows through the same GROUP
+    // BY migration on one plain node.
+    let oracle_totals = cluster_oracle_totals(args, &frozen);
+
+    // The cross-node n:1 flip, raced by the point-readers.
+    phase.store(PHASE_TOTALS, Ordering::Release);
+    let specs = coord
+        .migrate(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .expect("n:1 cluster flip");
+    assert_eq!(specs.len(), 1, "one aggregate output table");
+    assert!(
+        coord
+            .wait_all_complete(Duration::from_secs(30))
+            .expect("poll cluster migration"),
+        "n:1 lazy migration never drained on every node"
+    );
+    let moved = coord.run_exchange(&specs).expect("aggregate exchange");
+    coord.finalize_all(false).expect("finalize n:1");
+    println!(
+        "loadgen: n:1 cluster flip + exchange done ({moved} partials moved) at {:?}",
+        started.elapsed()
+    );
+
+    let (_, totals) = router
+        .scatter_rows("SELECT owner, total FROM owner_totals")
+        .expect("scatter owner_totals");
+    let mut sorted_totals = totals.clone();
+    sorted_totals.sort_by_key(|r| format!("{r:?}"));
+    assert_eq!(
+        totals.len() as i64,
+        args.owners,
+        "one merged group per owner"
+    );
+    let grand: i64 = totals.iter().map(|r| r.0[1].as_i64().unwrap()).sum();
+    assert_eq!(
+        grand,
+        args.accounts * INITIAL_BALANCE,
+        "aggregation must conserve total balance"
+    );
+    assert_eq!(
+        format!("{sorted_totals:?}"),
+        format!("{oracle_totals:?}"),
+        "distributed owner_totals diverged from the single-node oracle"
+    );
+    println!(
+        "loadgen: scatter-gathered owner_totals byte-identical to the single-node oracle at {:?}",
+        started.elapsed()
+    );
+
+    phase.store(PHASE_DONE, Ordering::Release);
+    for h in handles {
+        h.join().expect("worker");
+    }
+
+    // Cluster-level summary gauges (per-node counters summed; topology
+    // gauges are cluster-wide constants).
+    let status = coord.aggregate_status().expect("final cluster status");
+    let gauge = |k: &str| bullfrog_cluster::coordinator::stat(&status, k);
+    println!(
+        "loadgen: {} transfers committed, {} retries, {} statements across the cluster",
+        committed.load(Ordering::Relaxed),
+        retried.load(Ordering::Relaxed),
+        gauge("sessions.statements"),
+    );
+    println!(
+        "loadgen: cluster.nodes = {}, cluster.shardmap_version = {}, \
+         cluster.migration.granules_done = {granules_done}, \
+         cluster.migration.granules_total = {granules_total}",
+        gauge("cluster.nodes"),
+        gauge("cluster.shardmap_version"),
+    );
+    println!(
+        "loadgen: cluster.wrong_shard_rejects = {}, cluster.flip_pending_rejects = {}",
+        gauge("cluster.wrong_shard_rejects"),
+        gauge("cluster.flip_pending_rejects"),
+    );
+    assert_eq!(gauge("cluster.nodes"), n as i64);
+    assert!(
+        gauge("cluster.wrong_shard_rejects") >= 1,
+        "the stale-map burst must have registered server-side"
+    );
+
+    cluster.shutdown();
+    println!("loadgen: cluster done in {:?}", started.elapsed());
+}
+
+/// Replays the frozen `accounts_v2` rows through the GROUP BY migration
+/// on one plain (cluster-less) node and returns its sorted
+/// `owner_totals` — the oracle the distributed run must match
+/// byte-for-byte.
+fn cluster_oracle_totals(
+    args: &Args,
+    frozen: &[bullfrog_common::Row],
+) -> Vec<bullfrog_common::Row> {
+    let db = Arc::new(Database::with_config(DbConfig {
+        mode: args.mode,
+        ..DbConfig::default()
+    }));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::new(Bullfrog::new(db)),
+        ServerConfig::default(),
+    )
+    .expect("bind oracle");
+    let mut admin = Client::connect(server.local_addr()).expect("oracle connect");
+    admin
+        .execute("CREATE TABLE accounts_v2 (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .expect("oracle create");
+    for chunk in frozen.chunks(64) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|r| {
+                format!(
+                    "({}, {}, {})",
+                    bullfrog_cluster::coordinator::sql_lit(&r.0[0]),
+                    bullfrog_cluster::coordinator::sql_lit(&r.0[1]),
+                    bullfrog_cluster::coordinator::sql_lit(&r.0[2]),
+                )
+            })
+            .collect();
+        admin
+            .execute(&format!(
+                "INSERT INTO accounts_v2 VALUES {}",
+                values.join(", ")
+            ))
+            .expect("oracle load");
+    }
+    admin
+        .execute(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .expect("oracle flip");
+    wait_complete(&mut admin, Duration::from_secs(30));
+    admin
+        .execute("FINALIZE MIGRATION")
+        .expect("oracle finalize");
+    let (_, mut totals) = admin
+        .query_rows("SELECT owner, total FROM owner_totals")
+        .expect("oracle scan");
+    totals.sort_by_key(|r| format!("{r:?}"));
+    server.shutdown();
+    totals
 }

@@ -102,6 +102,32 @@ impl TsOracle {
         self.stable.load(Ordering::Acquire)
     }
 
+    /// Blocks until the stable horizon reaches `ts`, i.e. until this
+    /// commit is visible to new snapshots. Commit acknowledgement must
+    /// park here: with concurrent committers, `finish(ts)` alone does
+    /// not advance the horizon past `ts` while an older timestamp is
+    /// still installing, and acking before visibility lets a caller
+    /// publish "done" markers (e.g. migration granule state) that a
+    /// fresh snapshot then contradicts. Bounded: every drawn timestamp
+    /// is finished promptly by its committer. Returns false on timeout.
+    pub fn wait_stable(&self, ts: u64, timeout: Duration) -> bool {
+        if self.stable() >= ts {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            if inner.stable >= ts {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.changed.wait_for(&mut inner, deadline - now);
+        }
+    }
+
     /// Highest commit timestamp drawn so far.
     pub fn last_drawn(&self) -> u64 {
         self.inner.lock().last
@@ -253,6 +279,24 @@ mod tests {
         assert_eq!(o.stable(), 0, "ts 1 still installing");
         o.finish(a);
         assert_eq!(o.stable(), 2, "prefix complete");
+    }
+
+    #[test]
+    fn wait_stable_blocks_until_prefix_finishes() {
+        let o = Arc::new(TsOracle::new());
+        let a = o.draw();
+        let b = o.draw();
+        o.finish(b);
+        assert!(
+            !o.wait_stable(b, Duration::from_millis(20)),
+            "ts 1 still installing, ts 2 must not be visible"
+        );
+        let o2 = Arc::clone(&o);
+        let h = std::thread::spawn(move || o2.wait_stable(b, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(30));
+        o.finish(a);
+        assert!(h.join().unwrap());
+        assert!(o.wait_stable(a, Duration::from_millis(1)));
     }
 
     #[test]

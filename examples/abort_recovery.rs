@@ -196,6 +196,7 @@ fn main() {
         stmt,
         tracker: Arc::new(bullfrog::core::BitmapTracker::new(cap, 1)),
         stats: Arc::new(bullfrog::core::MigrationStats::new()),
+        in_flight: std::sync::atomic::AtomicU64::new(0),
     });
     let applied =
         bullfrog::core::recovery::rebuild_trackers(&[Arc::clone(&rt)], &stats.migrated_granules);

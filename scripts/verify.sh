@@ -25,6 +25,10 @@ BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-core
 BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-repl
 BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-net --test si_conflicts
 
+echo "== cluster suites (both engine modes) =="
+cargo test -q -p bullfrog-cluster
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-cluster
+
 echo "== loadgen smoke (snapshot isolation, bounded) =="
 timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
   --engine-mode si --clients 32 --accounts 128 --ops 5 --seed 42
@@ -64,6 +68,40 @@ timeout 30 "$REPLD" wait-zero-lag --addr "$REPLICA" --timeout-secs 25
 wait "$PRIMARY_PID" "$REPLICA_PID"
 trap - EXIT
 cleanup
+
+echo "== loadgen 3-node cluster smoke (mid-traffic flips, exchange, oracle equality) =="
+timeout 60 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+  --cluster 3 --clients 16 --accounts 120 --owners 8 --ops 5 --seed 42
+timeout 60 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+  --engine-mode si --cluster 3 --clients 16 --accounts 120 --owners 8 --ops 5 --seed 42
+
+echo "== clusterd three-process loopback smoke =="
+CLUSTERD=target/release/clusterd
+N1=127.0.0.1:7791
+N2=127.0.0.1:7792
+N3=127.0.0.1:7793
+NODES="$N1,$N2,$N3"
+ccleanup() { kill "${N1_PID:-}" "${N2_PID:-}" "${N3_PID:-}" 2>/dev/null || true; }
+trap ccleanup EXIT
+"$CLUSTERD" node --listen "$N1" & N1_PID=$!
+"$CLUSTERD" node --listen "$N2" & N2_PID=$!
+"$CLUSTERD" node --listen "$N3" & N3_PID=$!
+sleep 0.5
+"$CLUSTERD" init --nodes "$NODES"
+"$CLUSTERD" exec --nodes "$NODES" \
+  --sql "CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))"
+timeout 60 "$CLUSTERD" migrate --nodes "$NODES" --finalize-drop \
+  --sql "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) PRIMARY KEY (id)"
+"$CLUSTERD" status --nodes "$NODES" | grep -q '^cluster.nodes = 3$'
+"$CLUSTERD" shutdown --nodes "$NODES"
+wait "$N1_PID" "$N2_PID" "$N3_PID"
+trap - EXIT
+ccleanup
+
+echo "== cluster scale bench (machine-readable JSON) =="
+BENCH_CLUSTER_JSON="$PWD/target/BENCH_cluster.json" \
+  timeout 120 cargo bench -q -p bullfrog-bench --bench cluster_scale
+grep -q '"bench": "cluster_scale"' target/BENCH_cluster.json
 
 echo "== rustfmt =="
 cargo fmt --check

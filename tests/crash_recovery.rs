@@ -147,6 +147,7 @@ fn crash_recovery_resumes_both_tracker_kinds() {
                 stmt,
                 tracker,
                 stats: Arc::new(MigrationStats::new()),
+                in_flight: std::sync::atomic::AtomicU64::new(0),
             })
         })
         .collect();
@@ -444,6 +445,7 @@ fn checkpoint_truncation_and_file_recovery_restore_tables_and_trackers() {
                 stmt,
                 tracker,
                 stats: Arc::new(MigrationStats::new()),
+                in_flight: std::sync::atomic::AtomicU64::new(0),
             })
         })
         .collect();
