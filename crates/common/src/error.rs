@@ -79,6 +79,14 @@ pub enum Error {
     InvalidMigration(String),
     /// WAL corruption or replay failure.
     Wal(String),
+    /// This node is fenced: it observed a higher fencing epoch (or
+    /// verifiably lost its leadership lease) and must not acknowledge
+    /// writes. The commit may be durable locally but was **not** acked;
+    /// the client must re-route to `leader` (when known) and retry.
+    Fenced {
+        /// The current primary's address, when the fenced node knows it.
+        leader: Option<String>,
+    },
     /// Generic invariant breakage; carries a description.
     Internal(String),
 }
@@ -117,6 +125,11 @@ impl fmt::Display for Error {
             Error::Eval(m) => write!(f, "evaluation error: {m}"),
             Error::InvalidMigration(m) => write!(f, "invalid migration: {m}"),
             Error::Wal(m) => write!(f, "wal error: {m}"),
+            Error::Fenced { leader } => write!(
+                f,
+                "fenced (stale epoch): writes and DDL must go to the primary at {}",
+                leader.as_deref().unwrap_or("unknown")
+            ),
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

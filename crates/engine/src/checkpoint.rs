@@ -109,6 +109,9 @@ impl CheckpointImage {
                 } => {
                     self.migrated.push((*migration, granule.clone()));
                 }
+                // The epoch's durable home is its sidecar (and the
+                // retained log tail); the image does not carry it.
+                LogRecord::Epoch { .. } => {}
                 LogRecord::Begin(_)
                 | LogRecord::Commit(_)
                 | LogRecord::CommitTs { .. }

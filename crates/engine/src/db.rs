@@ -8,8 +8,8 @@ use bullfrog_common::{Error, Result, Row, RowId, TableSchema, Value};
 use bullfrog_query::{pred, Expr, Scope};
 use bullfrog_storage::{Catalog, Table};
 use bullfrog_txn::{
-    CommitTicket, LockKey, LockManager, LockMode, LogRecord, Transaction, TxnManager, UndoRecord,
-    Wal,
+    AckOutcome, CommitTicket, LockKey, LockManager, LockMode, LogRecord, Transaction, TxnManager,
+    UndoRecord, Wal,
 };
 
 /// Concurrency-control mode of the engine.
@@ -289,18 +289,31 @@ impl Database {
     /// is nothing to replay, so appending a lone `Commit` and parking on
     /// the commit barrier would buy no durability — just an fsync and a
     /// stall behind unrelated writers.
+    ///
+    /// When synchronous replication is armed (`SET SYNC_REPLICAS`), the
+    /// acknowledgement additionally waits on the WAL's [`SyncGate`]
+    /// (local durability first, replica quorum second). A fenced node
+    /// completes the local commit — the batch is already in the log and
+    /// locks must not leak — but returns [`Error::Fenced`] so the client
+    /// is never acked and re-routes to the current primary.
     pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
         txn.assert_active()?;
         if txn.snapshot().is_some() {
             return self.commit_snapshot(txn);
         }
+        let mut outcome = AckOutcome::Synced;
         if !txn.redo.is_empty() {
             let mut batch = std::mem::take(&mut txn.redo);
             batch.push(LogRecord::Commit(txn.id()));
-            self.wal.append_batch_durable(batch);
+            (_, outcome) = self.wal.append_batch_acked(batch);
         }
         txn.mark_committed()?;
         self.release_locks(txn);
+        if outcome == AckOutcome::Fenced {
+            return Err(Error::Fenced {
+                leader: self.wal.sync_gate().leader_hint(),
+            });
+        }
         Ok(())
     }
 
@@ -320,7 +333,7 @@ impl Database {
             return Ok(());
         }
         let batch = std::mem::take(&mut txn.redo);
-        let (_first_lsn, ts) = self.wal.append_commit_durable(batch, txn.id());
+        let (_first_lsn, ts, outcome) = self.wal.append_commit_acked(batch, txn.id());
         self.install_versions(txn, ts);
         self.wal.oracle().finish(ts);
         txn.release_snapshot();
@@ -334,6 +347,14 @@ impl Database {
         // that a fresh snapshot then contradicts.
         self.wal.oracle().wait_stable(ts, Duration::from_secs(5));
         self.maybe_gc();
+        // The fence outcome is checked after the oracle bookkeeping —
+        // the timestamp must be finished either way or the stable
+        // horizon stalls for every other session.
+        if outcome == AckOutcome::Fenced {
+            return Err(Error::Fenced {
+                leader: self.wal.sync_gate().leader_hint(),
+            });
+        }
         Ok(())
     }
 

@@ -33,6 +33,10 @@ pub struct RecoveryStats {
     pub applied: usize,
     /// Migration granules whose migration committed: `(migration id, key)`.
     pub migrated_granules: Vec<(u32, GranuleKey)>,
+    /// Highest committed fencing epoch in the log (0 = none logged).
+    /// Recovery surfaces it so a restored primary can never regress
+    /// below an epoch it already promoted to, even without the sidecar.
+    pub max_epoch: u64,
 }
 
 /// Replays `records` into `db` (whose catalog must already hold the same
@@ -82,6 +86,9 @@ pub fn replay(db: &Database, records: &[LogRecord]) -> Result<RecoveryStats> {
                 migration, granule, ..
             } => {
                 stats.migrated_granules.push((*migration, granule.clone()));
+            }
+            LogRecord::Epoch { epoch, .. } => {
+                stats.max_epoch = stats.max_epoch.max(*epoch);
             }
             LogRecord::Begin(_)
             | LogRecord::Commit(_)
@@ -178,6 +185,9 @@ pub struct ApplyOutcome {
     pub granules: Vec<(u32, GranuleKey)>,
     /// Buffered records dropped because their table is unknown locally.
     pub skipped_unknown_table: usize,
+    /// A committed fencing-epoch raise carried by this transaction, if
+    /// any — a replica adopts (and persists) it on sight.
+    pub epoch: Option<u64>,
 }
 
 /// Incremental redo-apply for a live log tail, e.g. replicated frames.
@@ -272,6 +282,9 @@ impl StreamingReplay {
                             migration, granule, ..
                         } => {
                             out.granules.push((*migration, granule.clone()));
+                        }
+                        LogRecord::Epoch { epoch, .. } => {
+                            out.epoch = Some(out.epoch.unwrap_or(0).max(*epoch));
                         }
                         LogRecord::Begin(_)
                         | LogRecord::Commit(_)

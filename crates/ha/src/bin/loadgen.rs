@@ -16,9 +16,20 @@
 //!    migration `accounts_v2 → owner_totals` driven the same way;
 //! 5. `SHUTDOWN`, which must drain without dropping a committed write.
 //!
+//! `--failover` runs the high-availability end-state proof instead: a
+//! three-process `repld` group (primary + replica + witness, quorum
+//! leases, `SYNC_REPLICAS 1` with the `BLOCK` policy), seeded transfer
+//! traffic through [`FailoverClient`]s that log every transfer in an
+//! in-database `txlog`, `SIGKILL` of the primary mid-1:1-migration,
+//! lease-lapse election and promotion on the replica, respawned
+//! sweepers finishing the migration on the survivor, and a final audit:
+//! every acked commit present (`acked ⊆ txlog`), balances equal to the
+//! transaction log's replay, and the n:1 GROUP BY migration run to
+//! completion on the survivor.
+//!
 //! Deterministic per `--seed`. Exits non-zero on any violated invariant.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -26,8 +37,10 @@ use bullfrog_cluster::{ClusterClient, Coordinator, LocalCluster, ShardMap};
 use bullfrog_common::Value;
 use bullfrog_core::Bullfrog;
 use bullfrog_engine::{CheckpointPolicy, Database, DbConfig, EngineMode};
+use bullfrog_ha::FailoverClient;
 use bullfrog_net::{err_code, Client, ClientError, Server, ServerConfig};
 use bullfrog_repl::{DdlJournal, Replica, ReplicationSender};
+use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 struct Args {
@@ -62,6 +75,10 @@ struct Args {
     /// final scatter-gathered scan checked byte-identical to a
     /// single-node oracle.
     cluster: usize,
+    /// Run the HA failover scenario: spawn a `repld` primary + replica
+    /// + witness as child processes, kill the primary mid-migration
+    /// under load, and verify zero lost acked commits on the survivor.
+    failover: bool,
 }
 
 impl Args {
@@ -78,6 +95,7 @@ impl Args {
             replica: false,
             mode: EngineMode::from_env(),
             cluster: 0,
+            failover: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -114,6 +132,7 @@ impl Args {
                 }
                 "--replica" => args.replica = true,
                 "--cluster" => args.cluster = take("--cluster") as usize,
+                "--failover" => args.failover = true,
                 "--engine-mode" => {
                     args.mode = match it.next().as_deref() {
                         Some("2pl") => EngineMode::TwoPL,
@@ -129,6 +148,9 @@ impl Args {
         }
         if args.cluster > 0 && (args.replica || args.addr.is_some()) {
             panic!("--cluster self-hosts its member nodes; drop --replica/--addr");
+        }
+        if args.failover && (args.replica || args.addr.is_some() || args.cluster > 0) {
+            panic!("--failover spawns its own repld group; drop --replica/--addr/--cluster");
         }
         args
     }
@@ -146,6 +168,10 @@ const PHASE_DONE: usize = 4;
 fn main() {
     let args = Args::parse();
     let started = Instant::now();
+    if args.failover {
+        run_failover(&args, started);
+        return;
+    }
     if args.cluster > 0 {
         run_cluster(&args, started);
         return;
@@ -1062,4 +1088,478 @@ fn cluster_oracle_totals(
     totals.sort_by_key(|r| format!("{r:?}"));
     server.shutdown();
     totals
+}
+
+// ---------------------------------------------------------------------------
+// --failover: the HA end-state proof.
+// ---------------------------------------------------------------------------
+
+/// A spawned repld child, killed on drop so a panicking assertion never
+/// leaks daemon processes.
+struct RepldChild {
+    name: &'static str,
+    child: Option<std::process::Child>,
+}
+
+impl RepldChild {
+    fn spawn(repld: &std::path::Path, name: &'static str, args: &[&str]) -> RepldChild {
+        let child = std::process::Command::new(repld)
+            .args(args)
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn {name} ({}): {e}", repld.display()));
+        RepldChild {
+            name,
+            child: Some(child),
+        }
+    }
+
+    /// SIGKILL — the unclean death failover must survive.
+    fn kill(&mut self) {
+        if let Some(mut c) = self.child.take() {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+
+    /// Reap after a graceful remote shutdown.
+    fn wait(&mut self) {
+        if let Some(mut c) = self.child.take() {
+            let _ = c.wait();
+        }
+    }
+}
+
+impl Drop for RepldChild {
+    fn drop(&mut self) {
+        if self.child.is_some() {
+            eprintln!("loadgen: cleaning up leaked {} child", self.name);
+            self.kill();
+        }
+    }
+}
+
+/// Reserves a loopback port by binding and immediately releasing it —
+/// the child process re-binds it a moment later.
+fn free_addr() -> String {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    drop(listener);
+    addr
+}
+
+/// The repld binary next to this one (both live in target/<profile>/).
+fn repld_path() -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("current exe");
+    exe.parent()
+        .expect("exe dir")
+        .join(format!("repld{}", std::env::consts::EXE_SUFFIX))
+}
+
+fn wait_serving(addr: &str, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if Client::connect(addr).is_ok() {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{addr} never started serving within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Polls an address's `STATUS` until `key` satisfies `pred`.
+fn wait_stat(addr: &str, key: &str, timeout: Duration, pred: impl Fn(i64) -> bool) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok(mut c) = Client::connect(addr) {
+            if let Ok(status) = c.status() {
+                let v = status
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| *v)
+                    .unwrap_or(0);
+                if pred(v) {
+                    return;
+                }
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "{addr} never reached the wanted {key} within {timeout:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// One failover-safe transfer: a fresh `tid` per attempt (an ambiguous
+/// `COMMIT` may have applied, so a retry must never collide in
+/// `txlog`), the whole bracket restarted on re-route. Returns the
+/// acked transfer's tid, or `None` when it never (observably)
+/// committed.
+fn transfer_ha(
+    fc: &mut FailoverClient,
+    table: &str,
+    a: i64,
+    b: i64,
+    tids: &AtomicI64,
+) -> Option<i64> {
+    fc.with_retry(25, |c| {
+        let tid = tids.fetch_add(1, Ordering::Relaxed);
+        c.execute("BEGIN")?;
+        let debited = c.execute(&format!(
+            "UPDATE {table} SET balance = balance - 7 WHERE id = {a}"
+        ))?;
+        let credited = c.execute(&format!(
+            "UPDATE {table} SET balance = balance + 7 WHERE id = {b}"
+        ))?;
+        if debited != credited {
+            let _ = c.execute("ROLLBACK");
+            panic!("transfer matched {debited} debit rows but {credited} credit rows ({a}->{b})");
+        }
+        if debited == 0 {
+            let _ = c.execute("ROLLBACK");
+            return Ok(None);
+        }
+        c.execute(&format!("INSERT INTO txlog VALUES ({tid}, {a}, {b})"))?;
+        c.execute("COMMIT")?;
+        Ok(Some(tid))
+    })
+    .ok()
+    .flatten()
+}
+
+/// Polls the migration gauges through a failover-aware client.
+fn wait_complete_ha(fc: &mut FailoverClient, timeout: Duration) {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let status = fc.status().expect("status poll");
+        if stat(&status, "migration.active") == 0 || stat(&status, "migration.complete") == 1 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "migration did not complete within {timeout:?}: {status:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Kill the primary mid-migration; prove the replica promotes, the
+/// migration finishes on the survivor, and no acked commit is lost.
+fn run_failover(args: &Args, started: Instant) {
+    let repld = repld_path();
+    assert!(
+        repld.exists(),
+        "repld not found at {} — build it first (cargo build -p bullfrog-ha)",
+        repld.display()
+    );
+    let scratch = std::env::temp_dir().join(format!("bf-loadgen-ha-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    for sub in ["primary", "replica", "witness"] {
+        std::fs::create_dir_all(scratch.join(sub)).expect("create HA scratch dirs");
+    }
+    let (p_addr, r_addr, w_addr) = (free_addr(), free_addr(), free_addr());
+    let members = vec![p_addr.clone(), r_addr.clone(), w_addr.clone()];
+    let member_list = members.join(",");
+    let lease_ms = "800";
+
+    let mut primary = RepldChild::spawn(
+        &repld,
+        "primary",
+        &[
+            "primary",
+            "--listen",
+            &p_addr,
+            "--wal-dir",
+            scratch.join("primary").to_str().unwrap(),
+            "--ha-self",
+            &p_addr,
+            "--ha-members",
+            &member_list,
+            "--lease-ms",
+            lease_ms,
+            "--sync-replicas",
+            "1",
+            "--sync-policy",
+            "block",
+        ],
+    );
+    let mut replica = RepldChild::spawn(
+        &repld,
+        "replica",
+        &[
+            "replica",
+            "--listen",
+            &r_addr,
+            "--primary",
+            &p_addr,
+            "--wal-dir",
+            scratch.join("replica").to_str().unwrap(),
+            "--ha-self",
+            &r_addr,
+            "--ha-members",
+            &member_list,
+            "--lease-ms",
+            lease_ms,
+        ],
+    );
+    let mut witness = RepldChild::spawn(
+        &repld,
+        "witness",
+        &[
+            "witness",
+            "--listen",
+            &w_addr,
+            "--wal-dir",
+            scratch.join("witness").to_str().unwrap(),
+            "--ha-self",
+            &w_addr,
+            "--ha-members",
+            &member_list,
+            "--lease-ms",
+            lease_ms,
+        ],
+    );
+    for addr in [&p_addr, &r_addr, &w_addr] {
+        wait_serving(addr, Duration::from_secs(10));
+    }
+    // SYNC_REPLICAS 1 + BLOCK: no commit acks until the replica is
+    // subscribed and acking, so wait for it before the first write.
+    wait_stat(&p_addr, "repl.replicas", Duration::from_secs(10), |v| {
+        v >= 1
+    });
+    println!(
+        "loadgen: HA group up (primary {p_addr}, replica {r_addr}, witness {w_addr}) at {:?}",
+        started.elapsed()
+    );
+
+    let mut admin = FailoverClient::new(members.clone());
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .expect("create accounts");
+    admin
+        .execute("CREATE TABLE txlog (tid INT, src INT, dst INT, PRIMARY KEY (tid))")
+        .expect("create txlog");
+    for chunk in (0..args.accounts).collect::<Vec<_>>().chunks(64) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, 'o{}', {INITIAL_BALANCE})", i % args.owners))
+            .collect();
+        admin
+            .execute(&format!(
+                "INSERT INTO accounts VALUES {}",
+                values.join(", ")
+            ))
+            .expect("load accounts");
+    }
+
+    let phase = Arc::new(AtomicUsize::new(PHASE_OLD));
+    let paused = Arc::new(AtomicUsize::new(0));
+    let tids = Arc::new(AtomicI64::new(1));
+    let acked: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for w in 0..args.clients {
+        let phase = Arc::clone(&phase);
+        let paused = Arc::clone(&paused);
+        let tids = Arc::clone(&tids);
+        let acked = Arc::clone(&acked);
+        let members = members.clone();
+        let accounts = args.accounts;
+        let ops = args.ops;
+        let seed = args.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut fc = FailoverClient::new(members);
+            let mut acked_pause = false;
+            loop {
+                match phase.load(Ordering::Acquire) {
+                    PHASE_DONE => break,
+                    PHASE_PAUSE | PHASE_TOTALS => {
+                        if !acked_pause {
+                            acked_pause = true;
+                            paused.fetch_add(1, Ordering::AcqRel);
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    p => {
+                        let table = if p == PHASE_OLD {
+                            "accounts"
+                        } else {
+                            "accounts_v2"
+                        };
+                        let a = rng.gen_range(0..accounts);
+                        let b = (a + 1 + rng.gen_range(0..accounts - 1)) % accounts;
+                        if let Some(tid) = transfer_ha(&mut fc, table, a, b, &tids) {
+                            acked.lock().push(tid);
+                        }
+                    }
+                }
+                if rng.gen_bool(1.0 / ops.max(1) as f64) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            fc.reroutes
+        }));
+    }
+
+    // Let synchronous traffic run, then flip mid-traffic.
+    std::thread::sleep(Duration::from_millis(250));
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .expect("submit bitmap migration");
+    phase.store(PHASE_NEW, Ordering::Release);
+    println!(
+        "loadgen: bitmap migration submitted at {:?}, workers flipped",
+        started.elapsed()
+    );
+    // The survivor can only finish what it has heard about: make sure
+    // the migration DDL frame reached the replica before the murder.
+    wait_stat(&r_addr, "migration.active", Duration::from_secs(10), |v| {
+        v >= 1
+    });
+
+    println!(
+        "loadgen: SIGKILL primary mid-migration at {:?}",
+        started.elapsed()
+    );
+    primary.kill();
+
+    // The lease lapses, the replica stands, the witness's vote makes
+    // the majority, and the epoch bump lands in the survivor's WAL.
+    let promoted = std::process::Command::new(&repld)
+        .args(["wait-promoted", "--addr", &r_addr, "--timeout-secs", "30"])
+        .status()
+        .expect("run repld wait-promoted");
+    assert!(promoted.success(), "replica never promoted after the kill");
+    println!("loadgen: replica promoted at {:?}", started.elapsed());
+
+    // Traffic keeps flowing through re-routed clients while the
+    // respawned sweepers finish the migration on the survivor.
+    wait_complete_ha(&mut admin, Duration::from_secs(30));
+    std::thread::sleep(Duration::from_millis(250));
+    phase.store(PHASE_PAUSE, Ordering::Release);
+    while paused.load(Ordering::Acquire) < args.clients {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    admin
+        .execute("FINALIZE MIGRATION DROP OLD")
+        .expect("finalize bitmap migration on the survivor");
+
+    // The audit. The transaction log is ground truth: every acked tid
+    // must be in it (zero lost acked commits), and replaying it must
+    // reproduce every balance (no phantom or half-applied transfer).
+    let (_, logged) = admin
+        .query_rows("SELECT tid, src, dst FROM txlog")
+        .expect("scan txlog");
+    let mut applied = std::collections::HashSet::new();
+    let mut expected: Vec<i64> = vec![INITIAL_BALANCE; args.accounts as usize];
+    for row in &logged {
+        let tid = row.0[0].as_i64().unwrap();
+        let src = row.0[1].as_i64().unwrap() as usize;
+        let dst = row.0[2].as_i64().unwrap() as usize;
+        assert!(applied.insert(tid), "txlog tid {tid} applied twice");
+        expected[src] -= 7;
+        expected[dst] += 7;
+    }
+    // Workers are quiesced at PHASE_PAUSE, so the list is stable.
+    let acked: Vec<i64> = acked.lock().clone();
+    let lost: Vec<i64> = acked
+        .iter()
+        .copied()
+        .filter(|tid| !applied.contains(tid))
+        .collect();
+    assert!(
+        lost.is_empty(),
+        "{} acked commits lost across failover: {lost:?}",
+        lost.len()
+    );
+    let rows = admin
+        .query_rows("SELECT id, balance FROM accounts_v2")
+        .expect("scan accounts_v2")
+        .1;
+    assert_eq!(rows.len() as i64, args.accounts, "row count changed");
+    let mut total = 0;
+    for row in &rows {
+        let id = row.0[0].as_i64().unwrap();
+        let balance = row.0[1].as_i64().unwrap();
+        assert_eq!(
+            balance, expected[id as usize],
+            "account {id} diverged from the txlog replay across failover"
+        );
+        total += balance;
+    }
+    assert_eq!(
+        total,
+        args.accounts * INITIAL_BALANCE,
+        "transfers must conserve total balance"
+    );
+    println!(
+        "loadgen: zero lost acked commits ({} acked, {} logged, {} rows audited) at {:?}",
+        acked.len(),
+        logged.len(),
+        rows.len(),
+        started.elapsed()
+    );
+
+    // The n:1 (hash-tracked) migration must also run to completion on
+    // the promoted survivor — its sweepers are respawned state, not
+    // inherited threads.
+    admin
+        .execute(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .expect("submit hash migration on the survivor");
+    wait_complete_ha(&mut admin, Duration::from_secs(30));
+    admin
+        .execute("FINALIZE MIGRATION")
+        .expect("finalize hash migration");
+    let totals = admin
+        .query_rows("SELECT owner, total FROM owner_totals")
+        .expect("scan owner_totals")
+        .1;
+    assert_eq!(totals.len() as i64, args.owners, "one group per owner");
+    let grand: i64 = totals.iter().map(|r| r.0[1].as_i64().unwrap()).sum();
+    assert_eq!(
+        grand,
+        args.accounts * INITIAL_BALANCE,
+        "aggregation must conserve total balance"
+    );
+
+    phase.store(PHASE_DONE, Ordering::Release);
+    let mut reroutes = 0;
+    for h in handles {
+        reroutes += h.join().expect("worker");
+    }
+    assert!(
+        reroutes >= 1,
+        "no client ever re-routed — the kill happened outside the traffic window"
+    );
+
+    // Fencing evidence on the survivor: bumped epoch, leader role.
+    let mut survivor = Client::connect(r_addr.as_str()).expect("survivor connect");
+    let state = survivor.ha_state().expect("survivor HA state");
+    assert_eq!(state.role, "leader", "survivor must lead after promotion");
+    assert!(state.epoch >= 1, "promotion must bump the fencing epoch");
+    let sstatus = survivor.status().expect("survivor status");
+    assert_eq!(stat(&sstatus, "repl.promoted"), 1);
+    println!(
+        "loadgen: survivor leads at epoch {} ({} client re-routes, migration complete) at {:?}",
+        state.epoch,
+        reroutes,
+        started.elapsed()
+    );
+
+    survivor.shutdown_server().expect("survivor shutdown");
+    replica.wait();
+    let mut wclient = Client::connect(w_addr.as_str()).expect("witness connect");
+    wclient.shutdown_server().expect("witness shutdown");
+    witness.wait();
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("loadgen: failover scenario done in {:?}", started.elapsed());
 }

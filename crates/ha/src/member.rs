@@ -1,0 +1,527 @@
+//! The HA membership state machine: one [`HaMember`] per node, plugged
+//! into the TCP server as its [`HaHooks`], handling the BFNET1 HA
+//! opcodes (`RENEW`/`VOTE`/`PROMOTE`/`STATE`) and gating writes by
+//! leadership.
+//!
+//! The member is deliberately passive: it answers requests and keeps
+//! lease bookkeeping, while the active behaviour — renewing as a
+//! leader, detecting a lapsed lease and standing for election as a
+//! follower — lives in the loop ([`crate::HaNode`]). Splitting the two
+//! keeps every state transition inspectable: the member mutates only
+//! under its own lock, in response to either a wire request or a tick.
+//!
+//! Safety argument, in one paragraph: a commit is acknowledged only by
+//! a node whose [`SyncGate`] is unfenced, the gate degrades only while
+//! `lease_ok`, and `lease_ok` is set only after a majority of members
+//! granted the current epoch's lease within the last TTL. A candidate
+//! wins only with a majority of votes, each granted by a member whose
+//! *own* copy of the lease has verifiably lapsed, and each vote adopts
+//! the new epoch in the granter's persistent [`EpochStore`] ballot. So
+//! a majority that elects a new leader intersects every majority that
+//! could extend the old lease — the old leader can no longer renew, its
+//! lease lapses (no degrade), and the first message it exchanges with a
+//! newer-epoch peer fences it for good.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bullfrog_net::server::HaHooks;
+use bullfrog_net::wire::HaReq;
+use bullfrog_net::Response;
+use bullfrog_txn::{EpochStore, SyncGate};
+use parking_lot::Mutex;
+
+/// A member's current position in the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Holds (or is establishing) the leadership lease; accepts writes.
+    Leader,
+    /// Mirrors the leader (or waits for one); rejects writes with a
+    /// re-route hint.
+    Follower,
+    /// Mid-election: a follower that saw the lease lapse.
+    Candidate,
+    /// Quorum-only member: votes and grants leases, never leads and
+    /// holds no data.
+    Witness,
+}
+
+impl Role {
+    /// The wire string (`HA_STATE.role`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Leader => "leader",
+            Role::Follower => "follower",
+            Role::Candidate => "candidate",
+            Role::Witness => "witness",
+        }
+    }
+
+    /// Numeric encoding for `STATUS` gauges.
+    fn code(self) -> i64 {
+        match self {
+            Role::Leader => 1,
+            Role::Follower => 2,
+            Role::Candidate => 3,
+            Role::Witness => 4,
+        }
+    }
+}
+
+/// Static group configuration: this node's advertised address, the full
+/// member list (self included), and the lease TTL every grant uses.
+#[derive(Debug, Clone)]
+pub struct HaConfig {
+    /// The address peers and clients reach this node at.
+    pub self_addr: String,
+    /// Every member, self included. Order is irrelevant; identity is
+    /// the address string, so all members must spell each other
+    /// identically.
+    pub members: Vec<String>,
+    /// Lease duration; leaders renew at TTL/3.
+    pub lease_ttl: Duration,
+}
+
+impl HaConfig {
+    /// Votes/grants needed to win or hold leadership.
+    pub fn majority(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    /// Every member except this node.
+    pub fn peers(&self) -> impl Iterator<Item = &String> {
+        self.members.iter().filter(|m| **m != self.self_addr)
+    }
+}
+
+/// Lease bookkeeping, guarded by one lock.
+struct MemberState {
+    role: Role,
+    /// Who this member last granted a lease to (or itself, as leader).
+    leader: Option<String>,
+    /// When that grant (or the leader's own majority) expires.
+    lease_until: Instant,
+    /// Operator asked for an election (`repld promote`).
+    promote_requested: bool,
+}
+
+/// One node's HA membership.
+pub struct HaMember {
+    pub(crate) config: HaConfig,
+    pub(crate) epoch: Arc<EpochStore>,
+    /// The local commit gate, when this node has one (leaders and
+    /// followers; witnesses carry no data and pass `None`).
+    pub(crate) gate: Option<Arc<SyncGate>>,
+    /// Whether `PROMOTE` may target this node (followers with a live
+    /// replica; never witnesses or sitting leaders).
+    promotable: bool,
+    state: Mutex<MemberState>,
+    renews_granted: AtomicU64,
+    votes_granted: AtomicU64,
+}
+
+impl HaMember {
+    /// Builds a member starting in `role`. The initial lease horizon is
+    /// two TTLs out: a startup grace period so a follower does not call
+    /// an election before the leader's first renewal can possibly land.
+    pub fn new(
+        config: HaConfig,
+        epoch: Arc<EpochStore>,
+        role: Role,
+        gate: Option<Arc<SyncGate>>,
+    ) -> Arc<HaMember> {
+        let lease_until = Instant::now() + config.lease_ttl * 2;
+        Arc::new(HaMember {
+            promotable: role == Role::Follower,
+            config,
+            epoch,
+            gate,
+            state: Mutex::new(MemberState {
+                role,
+                leader: None,
+                lease_until,
+                promote_requested: false,
+            }),
+            renews_granted: AtomicU64::new(0),
+            votes_granted: AtomicU64::new(0),
+        })
+    }
+
+    /// This node's group configuration.
+    pub fn config(&self) -> &HaConfig {
+        &self.config
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.state.lock().role
+    }
+
+    /// Current fencing epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.epoch()
+    }
+
+    /// Who this member believes leads, if anyone.
+    pub fn leader(&self) -> Option<String> {
+        self.state.lock().leader.clone()
+    }
+
+    /// Milliseconds left on the lease this member is honoring (its own,
+    /// when leading).
+    pub fn lease_remaining_ms(&self) -> u64 {
+        let until = self.state.lock().lease_until;
+        until.saturating_duration_since(Instant::now()).as_millis() as u64
+    }
+
+    /// True once the honored lease has fully lapsed.
+    pub(crate) fn lease_lapsed(&self) -> bool {
+        Instant::now() >= self.state.lock().lease_until
+    }
+
+    /// Takes (and clears) a pending operator promotion request.
+    pub(crate) fn take_promote_request(&self) -> bool {
+        std::mem::take(&mut self.state.lock().promote_requested)
+    }
+
+    /// Marks the follower as mid-election.
+    pub(crate) fn set_candidate(&self) {
+        let mut st = self.state.lock();
+        if st.role == Role::Follower {
+            st.role = Role::Candidate;
+        }
+    }
+
+    /// Election lost (or failed to reach a majority): back to follower,
+    /// honoring a fresh full TTL before standing again so the group is
+    /// not hammered with back-to-back ballots.
+    pub(crate) fn election_lost(&self) {
+        let mut st = self.state.lock();
+        if st.role == Role::Candidate {
+            st.role = Role::Follower;
+        }
+        st.lease_until = Instant::now() + self.config.lease_ttl;
+    }
+
+    /// Election won and the local promotion committed: this node leads.
+    pub(crate) fn became_leader(&self) {
+        let mut st = self.state.lock();
+        st.role = Role::Leader;
+        st.leader = Some(self.config.self_addr.clone());
+        st.lease_until = Instant::now() + self.config.lease_ttl;
+        drop(st);
+        if let Some(g) = &self.gate {
+            g.set_lease_ok(true);
+            g.set_leader_hint(Some(self.config.self_addr.clone()));
+        }
+    }
+
+    /// A majority granted this leader's renewal: extend its own lease.
+    pub(crate) fn extend_lease(&self) {
+        let mut st = self.state.lock();
+        st.leader = Some(self.config.self_addr.clone());
+        st.lease_until = Instant::now() + self.config.lease_ttl;
+        drop(st);
+        if let Some(g) = &self.gate {
+            g.set_lease_ok(true);
+        }
+    }
+
+    /// The leader could not renew and its own lease has lapsed: it may
+    /// no longer degrade (acks without the replica quorum could be lost
+    /// to a promotion it cannot see). Not a fence — regaining a
+    /// majority restores the lease.
+    pub(crate) fn lease_lost(&self) {
+        if let Some(g) = &self.gate {
+            g.set_lease_ok(false);
+        }
+    }
+
+    /// A higher epoch surfaced (renewal reply, vote grant, or a peer's
+    /// renew): this node is deposed. Sitting leaders fence their gate —
+    /// sticky, by design: a zombie never acks again.
+    pub(crate) fn step_down(&self, new_leader: Option<String>) {
+        let mut st = self.state.lock();
+        let was_leader = st.role == Role::Leader;
+        if was_leader || st.role == Role::Candidate {
+            st.role = Role::Follower;
+        }
+        if let Some(l) = &new_leader {
+            st.leader = Some(l.clone());
+        }
+        st.lease_until = Instant::now() + self.config.lease_ttl;
+        drop(st);
+        if was_leader {
+            if let Some(g) = &self.gate {
+                g.fence(new_leader);
+                g.set_lease_ok(false);
+            }
+        }
+    }
+
+    fn handle_renew(&self, epoch: u64, leader: &str, ttl_ms: u64) -> bool {
+        if epoch < self.epoch.epoch() {
+            return false; // a zombie leader renewing on a stale epoch
+        }
+        let mut st = self.state.lock();
+        if st.role == Role::Leader && leader != self.config.self_addr {
+            if epoch <= self.epoch.epoch() {
+                // Same-epoch split leader should be impossible (one
+                // promotion per epoch); refuse rather than guess.
+                return false;
+            }
+            // A newer leader exists: step down and fence, then grant.
+            st.role = Role::Follower;
+            if let Some(g) = &self.gate {
+                g.fence(Some(leader.to_string()));
+                g.set_lease_ok(false);
+            }
+        }
+        if self.epoch.observe(epoch).is_err() {
+            return false; // could not persist the adoption: grant nothing
+        }
+        st.leader = Some(leader.to_string());
+        st.lease_until = Instant::now() + Duration::from_millis(ttl_ms);
+        self.renews_granted.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    fn handle_vote(&self, epoch: u64, candidate: &str, forced: bool) -> bool {
+        let mut st = self.state.lock();
+        // Honoring a live lease for anyone else — including our own, as
+        // a leader — refuses the ballot. This is the granter-side half
+        // of "promotion only after the lease verifiably lapsed". An
+        // operator-forced ballot (planned switchover) overrides it: the
+        // operator vouches for the old leader, and the persisted
+        // one-vote-per-epoch ballot still prevents double grants.
+        if !forced && Instant::now() < st.lease_until && st.leader.as_deref() != Some(candidate) {
+            return false;
+        }
+        let granted = self.epoch.grant_vote(epoch, candidate).unwrap_or(false);
+        if granted {
+            self.votes_granted.fetch_add(1, Ordering::Relaxed);
+            if st.role == Role::Leader {
+                // Granting a vote concedes the epoch: a leader only gets
+                // here after failing to renew its own lease.
+                st.role = Role::Follower;
+                drop(st);
+                if let Some(g) = &self.gate {
+                    g.fence(Some(candidate.to_string()));
+                    g.set_lease_ok(false);
+                }
+                return true;
+            }
+            // Election in progress: the winner's renewal names the
+            // leader; until then advertise nobody.
+            st.leader = None;
+        }
+        granted
+    }
+
+    fn handle_promote(&self) -> bool {
+        if !self.promotable {
+            return false;
+        }
+        self.state.lock().promote_requested = true;
+        true
+    }
+}
+
+impl HaHooks for HaMember {
+    fn handle(&self, req: &HaReq) -> Response {
+        let granted = match req {
+            HaReq::Renew {
+                epoch,
+                leader,
+                ttl_ms,
+            } => self.handle_renew(*epoch, leader, *ttl_ms),
+            HaReq::Vote {
+                epoch,
+                candidate,
+                forced,
+            } => self.handle_vote(*epoch, candidate, *forced),
+            HaReq::Promote => self.handle_promote(),
+            HaReq::State => true,
+        };
+        let st = self.state.lock();
+        Response::HaState {
+            granted,
+            epoch: self.epoch.epoch(),
+            role: st.role.as_str().to_string(),
+            leader: st.leader.clone().unwrap_or_default(),
+            lease_ms: st
+                .lease_until
+                .saturating_duration_since(Instant::now())
+                .as_millis() as u64,
+        }
+    }
+
+    fn write_block(&self) -> Option<String> {
+        let st = self.state.lock();
+        match st.role {
+            Role::Leader => None,
+            _ => Some(st.leader.clone().unwrap_or_else(|| "unknown".into())),
+        }
+    }
+
+    fn status(&self) -> Vec<(String, i64)> {
+        let (role, lease_ms) = {
+            let st = self.state.lock();
+            (
+                st.role,
+                st.lease_until
+                    .saturating_duration_since(Instant::now())
+                    .as_millis() as i64,
+            )
+        };
+        vec![
+            ("ha.role".into(), role.code()),
+            ("ha.is_leader".into(), i64::from(role == Role::Leader)),
+            ("ha.epoch".into(), self.epoch.epoch() as i64),
+            ("ha.lease_remaining_ms".into(), lease_ms),
+            ("ha.members".into(), self.config.members.len() as i64),
+            ("ha.majority".into(), self.config.majority() as i64),
+            (
+                "ha.renews_granted".into(),
+                self.renews_granted.load(Ordering::Relaxed) as i64,
+            ),
+            (
+                "ha.votes_granted".into(),
+                self.votes_granted.load(Ordering::Relaxed) as i64,
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(ttl_ms: u64) -> HaConfig {
+        HaConfig {
+            self_addr: "w:1".into(),
+            members: vec!["p:1".into(), "r:1".into(), "w:1".into()],
+            lease_ttl: Duration::from_millis(ttl_ms),
+        }
+    }
+
+    fn renew(m: &HaMember, epoch: u64, leader: &str, ttl_ms: u64) -> bool {
+        match m.handle(&HaReq::Renew {
+            epoch,
+            leader: leader.into(),
+            ttl_ms,
+        }) {
+            Response::HaState { granted, .. } => granted,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    fn vote(m: &HaMember, epoch: u64, candidate: &str) -> bool {
+        vote_as(m, epoch, candidate, false)
+    }
+
+    fn vote_as(m: &HaMember, epoch: u64, candidate: &str, forced: bool) -> bool {
+        match m.handle(&HaReq::Vote {
+            epoch,
+            candidate: candidate.into(),
+            forced,
+        }) {
+            Response::HaState { granted, .. } => granted,
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn majority_is_strict() {
+        assert_eq!(config(100).majority(), 2);
+        let mut five = config(100);
+        five.members.push("x:1".into());
+        five.members.push("y:1".into());
+        assert_eq!(five.majority(), 3);
+    }
+
+    #[test]
+    fn live_lease_refuses_votes_until_it_lapses() {
+        let m = HaMember::new(config(40), EpochStore::volatile(), Role::Witness, None);
+        assert!(renew(&m, 0, "p:1", 40));
+        // A live lease for p:1 refuses r:1's ballot even at a higher
+        // epoch — the lease has not verifiably lapsed.
+        assert!(!vote(&m, 1, "r:1"));
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(vote(&m, 1, "r:1"));
+        assert_eq!(m.epoch(), 1);
+        // One vote per epoch, ever — even after the first grant.
+        assert!(!vote(&m, 1, "p:1"));
+    }
+
+    #[test]
+    fn forced_vote_overrides_a_live_lease() {
+        let m = HaMember::new(config(10_000), EpochStore::volatile(), Role::Witness, None);
+        assert!(renew(&m, 0, "p:1", 10_000));
+        // Ordinary ballot: refused, the lease is live for hours.
+        assert!(!vote(&m, 1, "r:1"));
+        // Operator-forced ballot (planned switchover): granted.
+        assert!(vote_as(&m, 1, "r:1", true));
+        assert_eq!(m.epoch(), 1);
+        // The ballot is still one-per-epoch: forcing does not allow a
+        // second candidate through at the same epoch.
+        assert!(!vote_as(&m, 1, "p:1", true));
+    }
+
+    #[test]
+    fn stale_epoch_renewal_is_refused() {
+        let m = HaMember::new(config(40), EpochStore::volatile(), Role::Witness, None);
+        std::thread::sleep(Duration::from_millis(90)); // startup grace
+        assert!(vote(&m, 3, "r:1"));
+        assert!(!renew(&m, 2, "p:1", 40), "a deposed leader must not renew");
+        assert!(renew(&m, 3, "r:1", 40), "the winner renews at its epoch");
+        assert_eq!(m.leader().as_deref(), Some("r:1"));
+    }
+
+    #[test]
+    fn leader_write_block_and_role_strings() {
+        let m = HaMember::new(config(50), EpochStore::volatile(), Role::Leader, None);
+        assert_eq!(m.write_block(), None);
+        let f = HaMember::new(config(50), EpochStore::volatile(), Role::Follower, None);
+        assert_eq!(f.write_block().as_deref(), Some("unknown"));
+        assert!(renew(&f, 0, "p:1", 50));
+        assert_eq!(f.write_block().as_deref(), Some("p:1"));
+        assert_eq!(Role::Candidate.as_str(), "candidate");
+    }
+
+    #[test]
+    fn deposed_leader_fences_its_gate_on_newer_renewal() {
+        let gate = Arc::new(SyncGate::default());
+        let mut cfg = config(50);
+        cfg.self_addr = "p:1".into();
+        let m = HaMember::new(
+            cfg,
+            EpochStore::volatile(),
+            Role::Leader,
+            Some(Arc::clone(&gate)),
+        );
+        assert!(!gate.is_fenced());
+        // A renewal from a higher-epoch leader deposes and fences.
+        assert!(renew(&m, 1, "r:1", 50));
+        assert_eq!(m.role(), Role::Follower);
+        assert!(gate.is_fenced());
+        assert_eq!(gate.leader_hint().as_deref(), Some("r:1"));
+    }
+
+    #[test]
+    fn promote_targets_followers_only() {
+        let w = HaMember::new(config(50), EpochStore::volatile(), Role::Witness, None);
+        match w.handle(&HaReq::Promote) {
+            Response::HaState { granted, .. } => assert!(!granted),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let f = HaMember::new(config(50), EpochStore::volatile(), Role::Follower, None);
+        match f.handle(&HaReq::Promote) {
+            Response::HaState { granted, .. } => assert!(granted),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(f.take_promote_request());
+        assert!(!f.take_promote_request());
+    }
+}

@@ -17,7 +17,35 @@ use std::time::Duration;
 use bullfrog_common::Row;
 
 use crate::cluster::{ClusterReq, ExchangeSpec, ShardMap};
-use crate::wire::{self, Request, Response};
+use crate::wire::{self, HaReq, Request, Response};
+
+/// Extracts the primary address a read-only/fenced rejection names, if
+/// any — the re-route target for a client that talked to the wrong
+/// node. Both the replica's `READ_ONLY` message and the fenced
+/// ex-primary's error end with `... the primary at <addr>`.
+pub fn primary_hint(message: &str) -> Option<String> {
+    let rest = message.split("primary at ").nth(1)?;
+    let addr = rest.split_whitespace().next()?;
+    if addr.is_empty() || addr == "unknown" {
+        return None;
+    }
+    Some(addr.to_string())
+}
+
+/// A decoded `HA_STATE` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaStateReply {
+    /// Whether the request (renew/vote) was granted; `true` for probes.
+    pub granted: bool,
+    /// The responder's fencing epoch.
+    pub epoch: u64,
+    /// The responder's role (`leader`/`follower`/`candidate`/`witness`).
+    pub role: String,
+    /// Who the responder believes is leader (may be empty).
+    pub leader: String,
+    /// Milliseconds left on the lease the responder has granted.
+    pub lease_ms: u64,
+}
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -302,6 +330,42 @@ impl Client {
     /// Releases the post-commit exchange hold on n:1 output tables.
     pub fn cluster_end_exchange(&mut self) -> ClientResult<()> {
         self.cluster_ack(ClusterReq::EndExchange)
+    }
+
+    /// Sends one HA protocol request and decodes the `HA_STATE` reply.
+    pub fn ha(&mut self, req: HaReq) -> ClientResult<HaStateReply> {
+        match self.round_trip(&Request::Ha(req))? {
+            Response::HaState {
+                granted,
+                epoch,
+                role,
+                leader,
+                lease_ms,
+            } => Ok(HaStateReply {
+                granted,
+                epoch,
+                role,
+                leader,
+                lease_ms,
+            }),
+            Response::Err {
+                retryable,
+                code,
+                message,
+            } => Err(ClientError::Server {
+                retryable,
+                code,
+                message,
+            }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected HA reply {other:?}"
+            ))),
+        }
+    }
+
+    /// Probes the peer's HA state (role, epoch, leader, lease).
+    pub fn ha_state(&mut self) -> ClientResult<HaStateReply> {
+        self.ha(HaReq::State)
     }
 
     fn cluster_ack(&mut self, op: ClusterReq) -> ClientResult<()> {

@@ -26,8 +26,8 @@ pub mod server;
 pub mod session;
 pub mod wire;
 
-pub use client::{Client, ClientError, ClientResult, QueryReply};
+pub use client::{primary_hint, Client, ClientError, ClientResult, HaStateReply, QueryReply};
 pub use cluster::{plan_flip, ClusterMember, ClusterReq, ExchangeSpec, FlipPlan, ShardMap};
-pub use server::{DdlEvent, ReadOnly, ReplicationHooks, Server, ServerConfig};
+pub use server::{DdlEvent, HaHooks, ReadOnly, ReplicationHooks, Server, ServerConfig};
 pub use session::{build_migration_plan, Session, SessionCounters};
-pub use wire::{err_code, Request, Response, WireDdl, MAX_FRAME_BYTES, PREAMBLE};
+pub use wire::{err_code, HaReq, Request, Response, WireDdl, MAX_FRAME_BYTES, PREAMBLE};

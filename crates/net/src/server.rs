@@ -94,10 +94,27 @@ pub trait ReplicationHooks: Send + Sync {
         stream: TcpStream,
         from_lsn: u64,
         ddl_seq: u64,
+        epoch: u64,
         stop: &dyn Fn() -> bool,
     ) -> std::io::Result<()>;
 
     /// `repl.*` counters for `STATUS`.
+    fn status(&self) -> Vec<(String, i64)>;
+}
+
+/// High-availability callbacks. Implemented by `bullfrog-ha`'s member
+/// state machine; kept as a trait here so `net` never depends on `ha`.
+pub trait HaHooks: Send + Sync {
+    /// Answers one `HA` protocol request (lease renew, vote request,
+    /// operator promote, state probe) with an `HA_STATE` response.
+    fn handle(&self, req: &wire::HaReq) -> Response;
+
+    /// When `Some`, this node must not accept writes or DDL (it is a
+    /// fenced ex-leader or a non-leader member); the string names the
+    /// current leader for the client's redirect hint.
+    fn write_block(&self) -> Option<String>;
+
+    /// `ha.*` counters for `STATUS`.
     fn status(&self) -> Vec<(String, i64)>;
 }
 
@@ -115,6 +132,9 @@ pub struct ReadOnly {
     pub gate: Arc<parking_lot::RwLock<()>>,
     /// Replica-side `repl.*` counters for `STATUS`.
     pub status: Option<StatusFn>,
+    /// Flipped to `true` by `Replica::promote()`: existing and new
+    /// sessions start accepting writes without a server restart.
+    pub writable: Arc<AtomicBool>,
 }
 
 /// A pluggable `STATUS` counter source (replica-side `repl.*` pairs).
@@ -146,6 +166,9 @@ pub struct ServerConfig {
     /// Shared-nothing cluster membership: serve the `CLUSTER` opcodes
     /// and enforce shard ownership / flip windows on every session.
     pub cluster: Option<Arc<ClusterMember>>,
+    /// High-availability membership: serve the `HA` opcode and gate
+    /// writes on leadership.
+    pub ha: Option<Arc<dyn HaHooks>>,
 }
 
 impl Default for ServerConfig {
@@ -157,6 +180,7 @@ impl Default for ServerConfig {
             replication: None,
             read_only: None,
             cluster: None,
+            ha: None,
         }
     }
 }
@@ -170,6 +194,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("replication", &self.replication.is_some())
             .field("read_only", &self.read_only)
             .field("cluster", &self.cluster.is_some())
+            .field("ha", &self.ha.is_some())
             .finish()
     }
 }
@@ -408,6 +433,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     if let Some(member) = &shared.config.cluster {
         session = session.with_cluster(Arc::clone(member));
     }
+    if let Some(ha) = &shared.config.ha {
+        session = session.with_ha(Arc::clone(ha));
+    }
     loop {
         stream.set_read_timeout(Some(POLL_SLICE))?;
         match wait_readable(&stream, shared) {
@@ -441,7 +469,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 shared.stop.store(true, Ordering::Release);
                 return Ok(());
             }
-            Ok(Request::Subscribe { from_lsn, ddl_seq }) => match &shared.config.replication {
+            Ok(Request::Subscribe {
+                from_lsn,
+                ddl_seq,
+                epoch,
+            }) => match &shared.config.replication {
                 Some(hooks) => {
                     // Hand the socket to the replication sender; it owns
                     // framing from here until the replica disconnects or
@@ -449,7 +481,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                     // so shutdown drains subscriptions like any session.
                     session.abort_open();
                     let stop = || shared.stop.load(Ordering::Acquire);
-                    let _ = hooks.subscribe(stream, from_lsn, ddl_seq, &stop);
+                    let _ = hooks.subscribe(stream, from_lsn, ddl_seq, epoch, &stop);
                     return Ok(());
                 }
                 None => Response::Err {
@@ -485,6 +517,14 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                     retryable: false,
                     code: err_code::GENERAL,
                     message: "clustering is not enabled on this server".into(),
+                },
+            },
+            Ok(Request::Ha(req)) => match &shared.config.ha {
+                Some(hooks) => hooks.handle(&req),
+                None => Response::Err {
+                    retryable: false,
+                    code: err_code::GENERAL,
+                    message: "high availability is not enabled on this server".into(),
                 },
             },
         };
@@ -708,5 +748,21 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     if let Some(member) = &shared.config.cluster {
         out.extend(member.status());
     }
+    if let Some(ha) = &shared.config.ha {
+        out.extend(ha.status());
+    }
+
+    // Synchronous-replication gate gauges; all zero when SYNC_REPLICAS
+    // is off, so pollers need not branch on the HA configuration.
+    let gate = db.wal().sync_gate();
+    let gauges: [(&str, i64); 6] = [
+        ("repl.sync_replicas", gate.required() as i64),
+        ("repl.sync_peers", gate.peer_count() as i64),
+        ("repl.sync_replicated_lsn", gate.replicated_lsn() as i64),
+        ("repl.sync_degraded", gate.degraded_commits() as i64),
+        ("repl.sync_fenced", gate.fenced_commits() as i64),
+        ("repl.fenced", i64::from(gate.is_fenced())),
+    ];
+    out.extend(gauges.iter().map(|(k, v)| (k.to_string(), *v)));
     out
 }

@@ -25,10 +25,10 @@ use bullfrog_core::{Bullfrog, ClientAccess, Passthrough};
 use bullfrog_engine::exec::ExecOptions;
 use bullfrog_engine::LockPolicy;
 use bullfrog_sql::{parse_statement, reorder_insert_rows, Statement};
-use bullfrog_txn::{CommitTicket, Transaction};
+use bullfrog_txn::{AckOutcome, CommitTicket, SyncPolicy, Transaction};
 
 use crate::cluster::ClusterMember;
-use crate::server::{DdlEvent, ReadOnly, ReplicationHooks};
+use crate::server::{DdlEvent, HaHooks, ReadOnly, ReplicationHooks};
 use crate::wire::{err_code, Response};
 
 /// Counters shared by every session of a server (reported by `STATUS`).
@@ -72,6 +72,9 @@ pub struct Session {
     read_only: Option<ReadOnly>,
     /// Cluster-member enforcement (shard ownership, flip windows).
     cluster: Option<Arc<ClusterMember>>,
+    /// HA-member enforcement: writes and DDL are refused while this
+    /// node is not the leaseholder.
+    ha: Option<Arc<dyn HaHooks>>,
     /// Set once this connection issues a cluster-control operation: the
     /// coordinator's own statements (flip DDL, the exchange's
     /// cross-shard reads and merge writes) bypass enforcement.
@@ -91,24 +94,53 @@ impl CommitWindow {
     /// Admits a fresh ticket: prune tickets the durable horizon already
     /// covers, then block on the oldest while the window is over
     /// capacity. The wait is on the *merged* horizon (see
-    /// `CommitTicket::wait`), so a drained window implies every earlier
-    /// commit of this session is durable.
-    fn push(&mut self, ticket: CommitTicket) {
+    /// `CommitTicket::wait`) composed with the synchronous-replication
+    /// gate, so a drained window implies every earlier commit of this
+    /// session is durable and (under `SYNC_REPLICAS`) replicated.
+    fn push(&mut self, ticket: CommitTicket) -> AckOutcome {
         self.outstanding.push_back(ticket);
         while self.outstanding.front().is_some_and(|t| t.is_durable()) {
             self.outstanding.pop_front();
         }
+        let mut worst = AckOutcome::Synced;
         while self.outstanding.len() as u64 > self.max_unacked {
             let t = self.outstanding.pop_front().expect("len > 0");
-            t.wait();
+            worst = worse(worst, t.wait_acked());
         }
+        worst
     }
 
-    fn drain(&mut self) {
+    fn drain(&mut self) -> AckOutcome {
+        let mut worst = AckOutcome::Synced;
         for t in self.outstanding.drain(..) {
-            t.wait();
+            worst = worse(worst, t.wait_acked());
         }
+        worst
     }
+}
+
+/// Combines two gate outcomes, keeping the more severe one.
+fn worse(a: AckOutcome, b: AckOutcome) -> AckOutcome {
+    use AckOutcome::{Degraded, Fenced, Synced};
+    match (a, b) {
+        (Fenced, _) | (_, Fenced) => Fenced,
+        (Degraded, _) | (_, Degraded) => Degraded,
+        _ => Synced,
+    }
+}
+
+/// True for statements that mutate data or the catalog — the set the
+/// HA leadership gate refuses on a non-leader.
+fn statement_writes(stmt: &Statement) -> bool {
+    matches!(
+        stmt,
+        Statement::Insert { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. }
+            | Statement::CreateTable(_)
+            | Statement::CreateTableAs { .. }
+            | Statement::FinalizeMigration { .. }
+    )
 }
 
 impl Session {
@@ -127,6 +159,7 @@ impl Session {
             hooks: None,
             read_only: None,
             cluster: None,
+            ha: None,
             cluster_admin: false,
         }
     }
@@ -147,6 +180,12 @@ impl Session {
     /// Enables cluster-member enforcement on this session.
     pub fn with_cluster(mut self, member: Arc<ClusterMember>) -> Self {
         self.cluster = Some(member);
+        self
+    }
+
+    /// Enables HA-member enforcement on this session.
+    pub fn with_ha(mut self, ha: Arc<dyn HaHooks>) -> Self {
+        self.ha = Some(ha);
         self
     }
 
@@ -173,8 +212,27 @@ impl Session {
             Ok(stmt) => stmt,
             Err(e) => return self.fail(&e),
         };
-        if self.read_only.is_some() {
-            return self.run_read_only(stmt);
+        // A promoted replica flips `writable` and its sessions leave
+        // read-only routing without reconnecting.
+        if let Some(ro) = &self.read_only {
+            if !ro.writable.load(Ordering::Acquire) {
+                return self.run_read_only(stmt);
+            }
+        }
+        // HA leadership gate: a member that does not hold the lease
+        // refuses writes and DDL up front, naming the leader so clients
+        // re-route. Reads and session-local settings still run.
+        if statement_writes(&stmt) {
+            if let Some(leader) = self.ha.as_ref().and_then(|ha| ha.write_block()) {
+                SessionCounters::bump(&self.counters.errors, 1);
+                return Response::Err {
+                    retryable: false,
+                    code: err_code::READ_ONLY,
+                    message: format!(
+                        "not the HA leader: writes and DDL must go to the primary at {leader}"
+                    ),
+                };
+            }
         }
         if let Some(member) = &self.cluster {
             if !self.cluster_admin {
@@ -326,11 +384,24 @@ impl Session {
                 // the mode switch must not silently strand acknowledged
                 // commits outside any window bound.
                 if let Some(w) = &mut self.commit_window {
-                    w.drain();
+                    if matches!(w.drain(), AckOutcome::Fenced) {
+                        return Err(self.fenced_error());
+                    }
                 }
                 self.commit_window = max_unacked.map(|max_unacked| CommitWindow {
                     max_unacked,
                     outstanding: VecDeque::new(),
+                });
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::SetSyncReplicas { count } => {
+                self.bf.db().wal().sync_gate().set_required(count as usize);
+                Ok(Response::Ok { affected: 0 })
+            }
+            Statement::SetSyncPolicy { degrade_ms } => {
+                self.bf.db().wal().sync_gate().set_policy(match degrade_ms {
+                    None => SyncPolicy::Block,
+                    Some(ms) => SyncPolicy::Degrade(Duration::from_millis(ms)),
                 });
                 Ok(Response::Ok { affected: 0 })
             }
@@ -395,12 +466,23 @@ impl Session {
             Some(window) => {
                 let ticket = self.bf.db().commit_nowait(txn)?;
                 let lsn = ticket.wait_lsn();
-                window.push(ticket);
+                if matches!(window.push(ticket), AckOutcome::Fenced) {
+                    return Err(self.fenced_error());
+                }
                 lsn
             }
         };
         SessionCounters::bump(&self.counters.commits, 1);
         Ok(acked)
+    }
+
+    /// Builds the error a fenced gate outcome surfaces to the client:
+    /// the commit was not acknowledged here, and the message names the
+    /// new leader (when known) for the redirect.
+    fn fenced_error(&self) -> Error {
+        Error::Fenced {
+            leader: self.bf.db().wal().sync_gate().leader_hint(),
+        }
     }
 
     /// Runs a DML statement inside the session's transaction (or an

@@ -50,6 +50,7 @@ mod req {
     pub const SNAPSHOT: u8 = 0x06;
     pub const REPL_ACK: u8 = 0x07;
     pub const CLUSTER: u8 = 0x08;
+    pub const HA: u8 = 0x09;
 }
 
 /// Response opcodes (server → client).
@@ -62,6 +63,7 @@ mod resp {
     pub const SNAPSHOT: u8 = 0x86;
     pub const SHARD_MAP: u8 = 0x87;
     pub const PREPARED: u8 = 0x88;
+    pub const HA_STATE: u8 = 0x89;
 }
 
 /// Machine-readable `ERR` classification, carried as a trailing payload
@@ -91,6 +93,11 @@ pub mod err_code {
     /// window is bounded; retry against the same node after a short
     /// backoff.
     pub const FLIP_PENDING: u8 = 6;
+    /// A replication or HA peer presented a fencing epoch older than
+    /// ours (a deposed primary, or a subscriber that outran its sender).
+    /// Never retryable against the same pairing: the lower-epoch side
+    /// must fence or re-resolve the current primary.
+    pub const STALE_EPOCH: u8 = 7;
 }
 
 /// One client request.
@@ -113,6 +120,12 @@ pub enum Request {
         from_lsn: u64,
         /// Next DDL-journal sequence number the replica expects.
         ddl_seq: u64,
+        /// The subscriber's fencing epoch. A primary refuses (with
+        /// [`err_code::STALE_EPOCH`]) and fences itself when the
+        /// subscriber is *ahead* of it — the subscriber has seen a
+        /// promotion this node missed. Trailing field; decodes as 0 from
+        /// pre-HA peers.
+        epoch: u64,
     },
     /// Replica → primary: send a bootstrap snapshot (checkpoint image +
     /// DDL journal).
@@ -123,6 +136,10 @@ pub enum Request {
     ReplAck {
         /// Exclusive upper bound of the replica's applied log prefix.
         lsn: u64,
+        /// The replica's fencing epoch at ack time (trailing; 0 from
+        /// pre-HA peers). A sender that sees a higher epoch than its own
+        /// fences itself instead of counting the ack.
+        epoch: u64,
     },
     /// Cluster control (shard-map distribution and the two-phase schema
     /// flip). Issuing any sub-operation except
@@ -131,6 +148,45 @@ pub enum Request {
     /// bypasses shard-ownership and flip-pending enforcement (same trust
     /// model as `SHUTDOWN`).
     Cluster(crate::cluster::ClusterReq),
+    /// High-availability control: lease renewals, election votes, and
+    /// state probes between the members of an HA group (see
+    /// `bullfrog-ha`). Answered with [`Response::HaState`].
+    Ha(HaReq),
+}
+
+/// An HA sub-operation (body of [`Request::Ha`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaReq {
+    /// Leader → member: extend my lease at `epoch` for `ttl_ms`.
+    /// Granted unless the member has adopted a higher epoch.
+    Renew {
+        /// The leader's fencing epoch.
+        epoch: u64,
+        /// The leader's advertised client address.
+        leader: String,
+        /// Lease duration from receipt, in milliseconds.
+        ttl_ms: u64,
+    },
+    /// Candidate → member: grant me the epoch bump to `epoch`. Granted
+    /// iff `epoch` is above the member's, the member's view of the
+    /// current lease has lapsed, and it has not voted for a different
+    /// candidate at that epoch (the ballot is persisted).
+    Vote {
+        /// The epoch the candidate wants to lead at.
+        epoch: u64,
+        /// The candidate's advertised client address.
+        candidate: String,
+        /// Operator-forced election (planned switchover): the granter
+        /// skips the live-lease refusal, though the persisted one-vote-
+        /// per-epoch ballot still applies. Absent on frames from older
+        /// peers (decodes `false`).
+        forced: bool,
+    },
+    /// Operator → member: start an election now instead of waiting out
+    /// the lease (planned failover). Majority voting still applies.
+    Promote,
+    /// Read the member's HA state (role, epoch, leader, lease).
+    State,
 }
 
 /// One DDL-journal event in a [`Response::Frames`] batch, opaque to the
@@ -184,6 +240,11 @@ pub enum Response {
         ddl: Vec<WireDdl>,
         /// `(lsn, record)` pairs, dense and ascending.
         records: Vec<(u64, LogRecord)>,
+        /// The sender's fencing epoch (trailing; 0 from pre-HA peers).
+        /// A replica that has adopted a higher epoch drops the
+        /// connection instead of applying — frames from a deposed
+        /// primary must never land.
+        epoch: u64,
     },
     /// Bootstrap snapshot; payload encoding is owned by `bullfrog-repl`.
     Snapshot {
@@ -201,6 +262,24 @@ pub enum Response {
         /// Cross-node merge work the coordinator owes after commit.
         exchange: Vec<crate::cluster::ExchangeSpec>,
     },
+    /// Reply to any [`Request::Ha`] operation: the member's HA state,
+    /// plus whether the specific operation (renew/vote/promote) was
+    /// granted.
+    HaState {
+        /// Whether the renew/vote/promote was granted (`true` for pure
+        /// `State` probes).
+        granted: bool,
+        /// The member's fencing epoch after handling the request.
+        epoch: u64,
+        /// The member's role: `leader`, `follower`, `candidate`, or
+        /// `witness`.
+        role: String,
+        /// The leader this member currently recognises (may be empty).
+        leader: String,
+        /// Milliseconds left on the member's view of the current lease
+        /// (0 = lapsed or none).
+        lease_ms: u64,
+    },
 }
 
 impl Request {
@@ -215,19 +294,53 @@ impl Request {
             Request::Checkpoint => buf.put_u8(req::CHECKPOINT),
             Request::Status => buf.put_u8(req::STATUS),
             Request::Shutdown => buf.put_u8(req::SHUTDOWN),
-            Request::Subscribe { from_lsn, ddl_seq } => {
+            Request::Subscribe {
+                from_lsn,
+                ddl_seq,
+                epoch,
+            } => {
                 buf.put_u8(req::SUBSCRIBE);
                 buf.put_u64(*from_lsn);
                 buf.put_u64(*ddl_seq);
+                // Trailing so a pre-HA decoder sees a valid payload.
+                buf.put_u64(*epoch);
             }
             Request::Snapshot => buf.put_u8(req::SNAPSHOT),
-            Request::ReplAck { lsn } => {
+            Request::ReplAck { lsn, epoch } => {
                 buf.put_u8(req::REPL_ACK);
                 buf.put_u64(*lsn);
+                buf.put_u64(*epoch);
             }
             Request::Cluster(op) => {
                 buf.put_u8(req::CLUSTER);
                 op.encode_into(&mut buf);
+            }
+            Request::Ha(op) => {
+                buf.put_u8(req::HA);
+                match op {
+                    HaReq::Renew {
+                        epoch,
+                        leader,
+                        ttl_ms,
+                    } => {
+                        buf.put_u8(1);
+                        buf.put_u64(*epoch);
+                        put_str(&mut buf, leader);
+                        buf.put_u64(*ttl_ms);
+                    }
+                    HaReq::Vote {
+                        epoch,
+                        candidate,
+                        forced,
+                    } => {
+                        buf.put_u8(2);
+                        buf.put_u64(*epoch);
+                        put_str(&mut buf, candidate);
+                        buf.put_u8(u8::from(*forced));
+                    }
+                    HaReq::Promote => buf.put_u8(3),
+                    HaReq::State => buf.put_u8(4),
+                }
             }
         }
         buf.freeze()
@@ -243,14 +356,38 @@ impl Request {
             req::SUBSCRIBE => Ok(Request::Subscribe {
                 from_lsn: codec::get_u64(&mut payload)?,
                 ddl_seq: codec::get_u64(&mut payload)?,
+                epoch: get_trailing_u64(&mut payload)?,
             }),
             req::SNAPSHOT => Ok(Request::Snapshot),
             req::REPL_ACK => Ok(Request::ReplAck {
                 lsn: codec::get_u64(&mut payload)?,
+                epoch: get_trailing_u64(&mut payload)?,
             }),
             req::CLUSTER => Ok(Request::Cluster(crate::cluster::ClusterReq::decode(
                 &mut payload,
             )?)),
+            req::HA => {
+                let op = match get_u8(&mut payload)? {
+                    1 => HaReq::Renew {
+                        epoch: codec::get_u64(&mut payload)?,
+                        leader: get_str(&mut payload)?,
+                        ttl_ms: codec::get_u64(&mut payload)?,
+                    },
+                    2 => HaReq::Vote {
+                        epoch: codec::get_u64(&mut payload)?,
+                        candidate: get_str(&mut payload)?,
+                        // Trailing byte; absent on frames from older
+                        // peers (an unforced, ordinary ballot).
+                        forced: !payload.is_empty() && get_u8(&mut payload)? != 0,
+                    },
+                    3 => HaReq::Promote,
+                    4 => HaReq::State,
+                    other => {
+                        return Err(Error::Eval(format!("unknown HA sub-op {other}")));
+                    }
+                };
+                Ok(Request::Ha(op))
+            }
             other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
         }
     }
@@ -299,6 +436,7 @@ impl Response {
                 durable_lsn,
                 ddl,
                 records,
+                epoch,
             } => {
                 buf.put_u8(resp::FRAMES);
                 buf.put_u64(*durable_lsn);
@@ -314,6 +452,8 @@ impl Response {
                     buf.put_u64(*lsn);
                     codec::put_record(&mut buf, r);
                 }
+                // Trailing so a pre-HA decoder sees a valid payload.
+                buf.put_u64(*epoch);
             }
             Response::Snapshot { payload } => {
                 buf.put_u8(resp::SNAPSHOT);
@@ -330,6 +470,20 @@ impl Response {
                 for e in exchange {
                     e.encode_into(&mut buf);
                 }
+            }
+            Response::HaState {
+                granted,
+                epoch,
+                role,
+                leader,
+                lease_ms,
+            } => {
+                buf.put_u8(resp::HA_STATE);
+                buf.put_u8(u8::from(*granted));
+                buf.put_u64(*epoch);
+                put_str(&mut buf, role);
+                put_str(&mut buf, leader);
+                buf.put_u64(*lease_ms);
             }
         }
         buf.freeze()
@@ -398,6 +552,7 @@ impl Response {
                     durable_lsn,
                     ddl,
                     records,
+                    epoch: get_trailing_u64(&mut payload)?,
                 })
             }
             resp::SNAPSHOT => Ok(Response::Snapshot {
@@ -414,12 +569,28 @@ impl Response {
                 }
                 Ok(Response::Prepared { exchange })
             }
+            resp::HA_STATE => Ok(Response::HaState {
+                granted: get_u8(&mut payload)? != 0,
+                epoch: codec::get_u64(&mut payload)?,
+                role: get_str(&mut payload)?,
+                leader: get_str(&mut payload)?,
+                lease_ms: codec::get_u64(&mut payload)?,
+            }),
             other => Err(Error::Eval(format!("unknown response opcode {other:#04x}"))),
         }
     }
 
     /// Builds the error response for `e`, carrying its retryability.
     pub fn from_error(e: &Error) -> Response {
+        // A fenced ex-primary reports READ_ONLY so clients re-resolve the
+        // leader from the message hint, exactly like a replica rejection.
+        if let Error::Fenced { .. } = e {
+            return Response::Err {
+                retryable: false,
+                code: err_code::READ_ONLY,
+                message: e.to_string(),
+            };
+        }
         Response::Err {
             retryable: e.is_retryable(),
             code: if e.is_retryable() {
@@ -508,6 +679,15 @@ pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8> {
     Ok(buf.get_u8())
 }
 
+/// Reads a u64 appended after the pre-HA payload; absent on frames from
+/// older peers, in which case it defaults to 0 (epoch zero = unfenced).
+pub(crate) fn get_trailing_u64(buf: &mut Bytes) -> Result<u64> {
+    if buf.is_empty() {
+        return Ok(0);
+    }
+    codec::get_u64(buf)
+}
+
 fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
     let len = codec::get_u32(buf)? as usize;
     if buf.len() < len {
@@ -536,9 +716,30 @@ mod tests {
             Request::Subscribe {
                 from_lsn: 12345,
                 ddl_seq: 3,
+                epoch: 4,
             },
             Request::Snapshot,
-            Request::ReplAck { lsn: u64::MAX },
+            Request::ReplAck {
+                lsn: u64::MAX,
+                epoch: 7,
+            },
+            Request::Ha(HaReq::Renew {
+                epoch: 3,
+                leader: "127.0.0.1:7001".into(),
+                ttl_ms: 1500,
+            }),
+            Request::Ha(HaReq::Vote {
+                epoch: 4,
+                candidate: "127.0.0.1:7002".into(),
+                forced: false,
+            }),
+            Request::Ha(HaReq::Vote {
+                epoch: 5,
+                candidate: "127.0.0.1:7002".into(),
+                forced: true,
+            }),
+            Request::Ha(HaReq::Promote),
+            Request::Ha(HaReq::State),
             Request::Cluster(crate::cluster::ClusterReq::GetMap),
             Request::Cluster(crate::cluster::ClusterReq::SetMap {
                 self_index: 2,
@@ -584,6 +785,7 @@ mod tests {
                     (97, LogRecord::Begin(TxnId(5))),
                     (98, LogRecord::Commit(TxnId(5))),
                 ],
+                epoch: 2,
             },
             Response::Snapshot {
                 payload: Bytes::from_static(b"\x00\x01\x02"),
@@ -602,8 +804,82 @@ mod tests {
                     ],
                 }],
             },
+            Response::HaState {
+                granted: true,
+                epoch: 5,
+                role: "leader".into(),
+                leader: "127.0.0.1:7001".into(),
+                lease_ms: 900,
+            },
         ] {
             assert_eq!(Response::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn epoch_fields_are_wire_compatible() {
+        // Payloads from a pre-HA peer carry no trailing epoch; they
+        // must decode with epoch 0 rather than erroring out.
+        let old_subscribe = {
+            let mut buf = BytesMut::new();
+            buf.put_u8(req::SUBSCRIBE);
+            buf.put_u64(42);
+            buf.put_u64(7);
+            buf.freeze()
+        };
+        assert_eq!(
+            Request::decode(old_subscribe).unwrap(),
+            Request::Subscribe {
+                from_lsn: 42,
+                ddl_seq: 7,
+                epoch: 0,
+            }
+        );
+        let old_ack = {
+            let mut buf = BytesMut::new();
+            buf.put_u8(req::REPL_ACK);
+            buf.put_u64(99);
+            buf.freeze()
+        };
+        assert_eq!(
+            Request::decode(old_ack).unwrap(),
+            Request::ReplAck { lsn: 99, epoch: 0 }
+        );
+        let old_frames = {
+            let mut buf = BytesMut::new();
+            buf.put_u8(resp::FRAMES);
+            buf.put_u64(5); // durable_lsn
+            buf.put_u32(0); // no ddl
+            buf.put_u32(0); // no records
+            buf.freeze()
+        };
+        assert_eq!(
+            Response::decode(old_frames).unwrap(),
+            Response::Frames {
+                durable_lsn: 5,
+                ddl: vec![],
+                records: vec![],
+                epoch: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn fenced_error_maps_to_read_only_with_leader_hint() {
+        let resp = Response::from_error(&Error::Fenced {
+            leader: Some("127.0.0.1:7002".into()),
+        });
+        match resp {
+            Response::Err {
+                retryable,
+                code,
+                message,
+            } => {
+                assert!(!retryable);
+                assert_eq!(code, err_code::READ_ONLY);
+                assert!(message.contains("primary at 127.0.0.1:7002"), "{message}");
+            }
+            other => panic!("{other:?}"),
         }
     }
 

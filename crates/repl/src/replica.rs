@@ -25,13 +25,16 @@
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
-use bullfrog_common::{Error, Result};
+use bullfrog_common::{Error, Result, TxnId};
 use bullfrog_core::{Bullfrog, ClientAccess};
 use bullfrog_engine::recovery::StreamingReplay;
 use bullfrog_net::{err_code, wire, ReadOnly, Request, Response, WireDdl};
+use bullfrog_txn::{EpochStore, LogRecord};
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::apply::{apply_ddl_event, apply_image_tolerant, clear_all_rows, mark_granules};
 use crate::journal::{decode_event, decode_snapshot, JournalEntry};
@@ -39,6 +42,11 @@ use crate::journal::{decode_event, decode_snapshot, JournalEntry};
 /// Reconnect backoff bounds.
 const BACKOFF_MIN: Duration = Duration::from_millis(50);
 const BACKOFF_MAX: Duration = Duration::from_secs(2);
+
+/// After this much continuous downtime the backoff stops growing, the
+/// replica flips `repl.stalled`, and retries settle at [`BACKOFF_MAX`] —
+/// the signal an HA follower loop watches before considering promotion.
+const BACKOFF_MAX_ELAPSED: Duration = Duration::from_secs(30);
 
 /// Replica progress counters, shared with `STATUS` reporting.
 #[derive(Debug, Default)]
@@ -60,6 +68,16 @@ pub struct ReplicaStats {
     pub snapshots: AtomicU64,
     /// Connection attempts after the first.
     pub reconnects: AtomicU64,
+    /// 1 while the primary has been unreachable longer than the
+    /// reconnect cap ([`BACKOFF_MAX_ELAPSED`]).
+    pub stalled: AtomicU64,
+    /// `FRAMES` batches received (heartbeats included) — liveness proof
+    /// for the backoff schedule.
+    pub frames_seen: AtomicU64,
+    /// This node's fencing epoch (mirrors the [`EpochStore`]).
+    pub epoch: AtomicU64,
+    /// 1 once this replica has promoted itself to primary.
+    pub promoted: AtomicU64,
 }
 
 impl ReplicaStats {
@@ -106,6 +124,18 @@ impl ReplicaStats {
                 "repl.reconnects".into(),
                 self.reconnects.load(Ordering::Acquire) as i64,
             ),
+            (
+                "repl.stalled".into(),
+                self.stalled.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.epoch".into(),
+                self.epoch.load(Ordering::Acquire) as i64,
+            ),
+            (
+                "repl.promoted".into(),
+                self.promoted.load(Ordering::Acquire) as i64,
+            ),
         ]
     }
 }
@@ -115,6 +145,10 @@ struct ApplyState {
     bf: Arc<Bullfrog>,
     gate: Arc<RwLock<()>>,
     stats: Arc<ReplicaStats>,
+    /// Fencing epoch: sent on `SUBSCRIBE`/`REPL_ACK`, checked against
+    /// every `FRAMES` batch, raised (and persisted) when the stream
+    /// carries a higher one.
+    epoch: Arc<EpochStore>,
     replay: StreamingReplay,
     /// Next LSN to request (exclusive bound of the applied prefix).
     applied: u64,
@@ -249,8 +283,13 @@ impl ApplyState {
 
 /// A live replica: the apply thread plus its shared state.
 pub struct Replica {
+    bf: Arc<Bullfrog>,
     gate: Arc<RwLock<()>>,
     stats: Arc<ReplicaStats>,
+    epoch: Arc<EpochStore>,
+    /// Flipped by [`Replica::promote`]; shared with every [`ReadOnly`]
+    /// session so promotion takes effect without reconnects.
+    writable: Arc<AtomicBool>,
     stop: Arc<AtomicBool>,
     primary: Arc<Mutex<String>>,
     thread: Option<std::thread::JoinHandle<()>>,
@@ -259,16 +298,30 @@ pub struct Replica {
 impl Replica {
     /// Starts replicating `bf` (which should be a fresh, empty
     /// controller — the whole catalog and heap arrive from the primary)
-    /// from the primary at `primary_addr`.
+    /// from the primary at `primary_addr`. The fencing epoch is held in
+    /// memory only; use [`Replica::start_with_epoch`] to survive
+    /// restarts.
     pub fn start(primary_addr: impl Into<String>, bf: Arc<Bullfrog>) -> Replica {
+        Replica::start_with_epoch(primary_addr, bf, EpochStore::volatile())
+    }
+
+    /// [`Replica::start`] with a persistent [`EpochStore`], so a
+    /// promoted-then-restarted node keeps its bumped epoch.
+    pub fn start_with_epoch(
+        primary_addr: impl Into<String>,
+        bf: Arc<Bullfrog>,
+        epoch: Arc<EpochStore>,
+    ) -> Replica {
         let gate = Arc::new(RwLock::new(()));
         let stats = Arc::new(ReplicaStats::default());
+        stats.epoch.store(epoch.epoch(), Ordering::Release);
         let stop = Arc::new(AtomicBool::new(false));
         let primary = Arc::new(Mutex::new(primary_addr.into()));
         let state = ApplyState {
-            bf,
+            bf: Arc::clone(&bf),
             gate: Arc::clone(&gate),
             stats: Arc::clone(&stats),
+            epoch: Arc::clone(&epoch),
             replay: StreamingReplay::new(),
             applied: 0,
             recv_seq: 0,
@@ -284,8 +337,11 @@ impl Replica {
                 .expect("spawn replica apply thread")
         };
         Replica {
+            bf,
             gate,
             stats,
+            epoch,
+            writable: Arc::new(AtomicBool::new(false)),
             stop,
             primary,
             thread: Some(thread),
@@ -300,7 +356,57 @@ impl Replica {
             primary: self.primary.lock().clone(),
             gate: Arc::clone(&self.gate),
             status: Some(Arc::new(move || stats.pairs())),
+            writable: Arc::clone(&self.writable),
         }
+    }
+
+    /// This node's fencing epoch store.
+    pub fn epoch_store(&self) -> &Arc<EpochStore> {
+        &self.epoch
+    }
+
+    /// Promotes this replica to primary: stops the apply loop, bumps
+    /// the fencing epoch (persisted to the sidecar *and* logged as a
+    /// durable WAL record, so the bump survives restore by either
+    /// path), respawns background migration sweepers for any mid-flight
+    /// migration mirrored from the old primary, and flips the served
+    /// sessions to writable. Returns the new epoch.
+    ///
+    /// The caller (the HA follower loop, or an operator via
+    /// `repld promote`) is responsible for only doing this once the old
+    /// primary's lease has verifiably lapsed and a majority granted the
+    /// epoch bump — promotion itself is mechanical.
+    pub fn promote(&mut self) -> Result<u64> {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        let new_epoch = self.epoch.bump()?;
+        self.stats.epoch.store(new_epoch, Ordering::Release);
+        // A synthetic committed transaction carrying the epoch: replay
+        // and restore both pick it up even if the sidecar file is lost.
+        // The id cannot collide with live transactions (allocation is
+        // monotonically increasing from 1).
+        let txn = TxnId(u64::MAX);
+        self.bf.db().wal().append_batch_durable([
+            LogRecord::Begin(txn),
+            LogRecord::Epoch {
+                txn,
+                epoch: new_epoch,
+            },
+            LogRecord::Commit(txn),
+        ]);
+        // Mid-flight lazy migrations mirrored from the old primary now
+        // belong to this node: restart their background sweepers.
+        self.bf.respawn_background();
+        self.writable.store(true, Ordering::Release);
+        self.stats.promoted.store(1, Ordering::Release);
+        Ok(new_epoch)
+    }
+
+    /// True once [`Replica::promote`] has run.
+    pub fn is_promoted(&self) -> bool {
+        self.writable.load(Ordering::Acquire)
     }
 
     /// Progress counters.
@@ -386,22 +492,52 @@ enum Attempt {
 fn apply_loop(mut state: ApplyState, stop: &AtomicBool, primary: &Arc<Mutex<String>>) {
     let mut backoff = BACKOFF_MIN;
     let mut first = true;
+    // Jitter source; seeding from the clock is fine — it only has to
+    // decorrelate replicas that lost the same primary at the same time.
+    let seed = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+        .unwrap_or(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start of the current disconnected stretch.
+    let mut down_since = Instant::now();
     while !stop.load(Ordering::Acquire) {
         if !first {
             state.stats.reconnects.fetch_add(1, Ordering::Release);
         }
         first = false;
         let addr = primary.lock().clone();
+        // Heartbeats arrive every ~250ms while subscribed, so any frame
+        // received proves the attempt actually streamed.
+        let frames_before = state.stats.frames_seen.load(Ordering::Acquire);
         if let Ok(Attempt::SnapshotRequired) = subscribe_once(&mut state, &addr, stop) {
             if bootstrap_once(&mut state, &addr).is_ok() {
                 backoff = BACKOFF_MIN;
+                down_since = Instant::now();
+                state.stats.stalled.store(0, Ordering::Release);
                 continue; // resubscribe immediately from the new base
             }
         }
         if stop.load(Ordering::Acquire) {
             break;
         }
-        std::thread::sleep(backoff);
+        if state.stats.frames_seen.load(Ordering::Acquire) != frames_before {
+            // The attempt streamed before dying: restart the outage
+            // clock and the backoff schedule.
+            down_since = Instant::now();
+            backoff = BACKOFF_MIN;
+            state.stats.stalled.store(0, Ordering::Release);
+        } else if down_since.elapsed() >= BACKOFF_MAX_ELAPSED {
+            // Max-elapsed cap: stop growing, flag the stall, and settle
+            // into slow polling (an HA follower loop watches this gauge
+            // when deciding whether the primary is really gone).
+            state.stats.stalled.store(1, Ordering::Release);
+            backoff = BACKOFF_MAX;
+        }
+        // Full jitter over [backoff/2, backoff): herds of replicas that
+        // lost the same primary spread their reconnect attempts.
+        let half = backoff.as_millis().max(2) as u64 / 2;
+        std::thread::sleep(Duration::from_millis(half + rng.gen_range(0..half.max(1))));
         backoff = (backoff * 2).min(BACKOFF_MAX);
     }
 }
@@ -418,6 +554,7 @@ fn subscribe_once(state: &mut ApplyState, addr: &str, stop: &AtomicBool) -> Resu
         &Request::Subscribe {
             from_lsn: state.applied,
             ddl_seq: state.recv_seq,
+            epoch: state.epoch.epoch(),
         },
     )?;
     match reply {
@@ -447,9 +584,27 @@ fn subscribe_once(state: &mut ApplyState, addr: &str, stop: &AtomicBool) -> Resu
                 durable_lsn,
                 ddl,
                 records,
+                epoch,
             } => {
+                let own = state.epoch.epoch();
+                if epoch < own {
+                    // Fencing: a sender behind our epoch is a zombie
+                    // ex-primary — never apply its frames.
+                    return Err(Error::Eval(format!(
+                        "rejecting frames from stale-epoch sender ({epoch} < {own})"
+                    )));
+                }
+                if epoch > own {
+                    // Adopt (and persist) the cluster's higher epoch.
+                    state.epoch.observe(epoch)?;
+                    state.stats.epoch.store(epoch, Ordering::Release);
+                }
+                state.stats.frames_seen.fetch_add(1, Ordering::Release);
                 state.apply_frames(durable_lsn, ddl, records)?;
-                let ack = Request::ReplAck { lsn: state.applied };
+                let ack = Request::ReplAck {
+                    lsn: state.applied,
+                    epoch: state.epoch.epoch(),
+                };
                 if wire::write_frame(&mut stream, &ack.encode()).is_err() {
                     return Ok(Attempt::Reconnect);
                 }

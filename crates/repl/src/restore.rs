@@ -52,6 +52,10 @@ pub struct RestoreReport {
     pub start_lsn: u64,
     /// One past the last contiguous tail record.
     pub end_lsn: u64,
+    /// Restored fencing epoch: the max of the `.epoch` sidecar and any
+    /// `Epoch` record in the on-disk log, persisted back to the
+    /// sidecar — a promoted node keeps its bumped epoch across restore.
+    pub epoch: u64,
 }
 
 /// Rebuilds a primary from `wal_path`'s WAL shards, checkpoint sidecar,
@@ -81,6 +85,22 @@ pub fn restore(
     } else {
         Vec::new() // fresh primary: nothing to restore
     };
+    // Fencing epoch: the sidecar merged with every `Epoch` record on
+    // disk — including records past a cross-shard gap, because an
+    // epoch, once observed, must never regress even if the surrounding
+    // commit never acknowledged. Persist the merge back immediately so
+    // the sidecar alone is authoritative from here on.
+    let epoch_store = bullfrog_txn::EpochStore::open(wal_path)?;
+    let wal_epoch = on_disk
+        .iter()
+        .filter_map(|(_, r)| match r {
+            bullfrog_txn::LogRecord::Epoch { epoch, .. } => Some(*epoch),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    epoch_store.observe(wal_epoch)?;
+
     let mut tail: Vec<(u64, bullfrog_txn::LogRecord)> = Vec::new();
     let mut next = image.base_lsn;
     for (lsn, rec) in on_disk {
@@ -106,6 +126,7 @@ pub fn restore(
     let mut report = RestoreReport {
         start_lsn: image.base_lsn,
         end_lsn: next,
+        epoch: epoch_store.epoch(),
         ..RestoreReport::default()
     };
 

@@ -34,6 +34,7 @@ use std::time::Duration;
 use bullfrog_core::{Bullfrog, ClientAccess};
 use bullfrog_net::{err_code, Request, Response, WireDdl};
 use bullfrog_txn::wal::codec;
+use bullfrog_txn::EpochStore;
 use bytes::BytesMut;
 use parking_lot::Mutex;
 
@@ -59,21 +60,42 @@ struct Peer {
 pub struct ReplicationSender {
     bf: Arc<Bullfrog>,
     journal: Arc<DdlJournal>,
+    /// This primary's fencing epoch: stamped on every `FRAMES` batch
+    /// and checked against every `SUBSCRIBE`/`REPL_ACK`. A peer ahead
+    /// of us proves a promotion happened elsewhere — we fence.
+    epoch: Arc<EpochStore>,
     ddl_lock: Mutex<()>,
     peers: Mutex<HashMap<u64, Peer>>,
     next_peer: AtomicU64,
 }
 
 impl ReplicationSender {
-    /// Wraps a controller and journal as a primary.
+    /// Wraps a controller and journal as a primary. The fencing epoch
+    /// is held in memory only; use [`ReplicationSender::with_epoch`] to
+    /// survive restarts.
     pub fn new(bf: Arc<Bullfrog>, journal: Arc<DdlJournal>) -> Arc<ReplicationSender> {
+        ReplicationSender::with_epoch(bf, journal, EpochStore::volatile())
+    }
+
+    /// [`ReplicationSender::new`] with a persistent [`EpochStore`].
+    pub fn with_epoch(
+        bf: Arc<Bullfrog>,
+        journal: Arc<DdlJournal>,
+        epoch: Arc<EpochStore>,
+    ) -> Arc<ReplicationSender> {
         Arc::new(ReplicationSender {
             bf,
             journal,
+            epoch,
             ddl_lock: Mutex::new(()),
             peers: Mutex::new(HashMap::new()),
             next_peer: AtomicU64::new(0),
         })
+    }
+
+    /// This node's fencing epoch store.
+    pub fn epoch_store(&self) -> &Arc<EpochStore> {
+        &self.epoch
     }
 
     /// The journal (shared with [`crate::restore`] on restart).
@@ -96,9 +118,35 @@ impl ReplicationSender {
         mut stream: TcpStream,
         from_lsn: u64,
         ddl_seq: u64,
+        sub_epoch: u64,
         stop: &dyn Fn() -> bool,
     ) -> std::io::Result<()> {
         let wal = self.bf.db().wal();
+        if sub_epoch > self.epoch.epoch() {
+            // The subscriber has seen a promotion we haven't: we are
+            // the zombie. Adopt the epoch, fence local commits, and
+            // refuse to ship anything.
+            let _ = self.epoch.observe(sub_epoch);
+            wal.sync_gate().fence(None);
+            let resp = Response::Err {
+                retryable: false,
+                code: err_code::STALE_EPOCH,
+                message: format!(
+                    "stale epoch: this node is at epoch {} but the subscriber has seen {}",
+                    self.epoch.epoch(),
+                    sub_epoch
+                ),
+            };
+            return bullfrog_net::wire::write_frame(&mut stream, &resp.encode());
+        }
+        if wal.sync_gate().is_fenced() {
+            let resp = Response::Err {
+                retryable: false,
+                code: err_code::STALE_EPOCH,
+                message: "this node is fenced: a newer primary exists".into(),
+            };
+            return bullfrog_net::wire::write_frame(&mut stream, &resp.encode());
+        }
         let (retain_id, granted) = wal.register_retain(from_lsn);
         if granted > from_lsn {
             // The tail below `granted` is gone — truncated by a
@@ -123,12 +171,27 @@ impl ReplicationSender {
                 sent_bytes: 0,
             },
         );
-        let result = self.stream_frames(&mut stream, from_lsn, ddl_seq, peer_id, retain_id, stop);
+        // Register with the synchronous-replication gate: commits
+        // waiting under `SYNC_REPLICAS n` count this subscription's
+        // acks toward their quorum.
+        let gate = wal.sync_gate();
+        let gate_peer = gate.register_peer();
+        let result = self.stream_frames(
+            &mut stream,
+            from_lsn,
+            ddl_seq,
+            peer_id,
+            retain_id,
+            gate_peer,
+            stop,
+        );
+        gate.remove_peer(gate_peer);
         self.peers.lock().remove(&peer_id);
         wal.release_retain(retain_id);
         result
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn stream_frames(
         &self,
         stream: &mut TcpStream,
@@ -136,26 +199,41 @@ impl ReplicationSender {
         ddl_seq: u64,
         peer_id: u64,
         retain_id: u64,
+        gate_peer: u64,
         stop: &dyn Fn() -> bool,
     ) -> std::io::Result<()> {
         let wal = self.bf.db().wal();
+        let gate = wal.sync_gate();
         bullfrog_net::wire::write_frame(stream, &Response::Ok { affected: 0 }.encode())?;
 
         // ACK reader: a dedicated thread owning the read half, so the
         // send loop never blocks on a quiet replica. It dies when the
-        // stream closes (either side), flipping `alive`.
+        // stream closes (either side), flipping `alive`. An ack carrying
+        // a higher epoch than ours proves a promotion happened behind
+        // our back: fence immediately, so no commit waiting on the gate
+        // is acknowledged and no further frames ship.
         let acked = Arc::new(AtomicU64::new(from_lsn));
         let alive = Arc::new(AtomicBool::new(true));
         let reader = {
             let mut read_half = stream.try_clone()?;
             let acked = Arc::clone(&acked);
             let alive = Arc::clone(&alive);
+            let epoch = Arc::clone(&self.epoch);
+            let gate = Arc::clone(&gate);
             std::thread::Builder::new()
                 .name("bf-repl-ack".into())
                 .spawn(move || {
                     while let Ok(Some(payload)) = bullfrog_net::wire::read_frame(&mut read_half) {
                         match Request::decode(payload) {
-                            Ok(Request::ReplAck { lsn }) => {
+                            Ok(Request::ReplAck {
+                                lsn,
+                                epoch: ack_epoch,
+                            }) => {
+                                if ack_epoch > epoch.epoch() {
+                                    let _ = epoch.observe(ack_epoch);
+                                    gate.fence(None);
+                                    break;
+                                }
                                 acked.fetch_max(lsn, Ordering::AcqRel);
                             }
                             _ => break,
@@ -168,13 +246,15 @@ impl ReplicationSender {
         let mut next_lsn = from_lsn;
         let mut next_ddl = ddl_seq;
         let send_result: std::io::Result<()> = loop {
-            if stop() || !alive.load(Ordering::Acquire) {
+            if stop() || !alive.load(Ordering::Acquire) || gate.is_fenced() {
                 break Ok(());
             }
-            // Propagate acks into lag accounting and the retain horizon
-            // (never past what we have actually sent).
+            // Propagate acks into lag accounting, the retain horizon
+            // (never past what we have actually sent), and the
+            // synchronous-commit gate.
             let acked_lsn = acked.load(Ordering::Acquire).min(next_lsn);
             wal.advance_retain(retain_id, acked_lsn);
+            gate.advance_peer(gate_peer, acked_lsn);
             if let Some(p) = self.peers.lock().get_mut(&peer_id) {
                 p.acked_lsn = acked_lsn;
             }
@@ -203,6 +283,7 @@ impl ReplicationSender {
                 durable_lsn,
                 ddl,
                 records,
+                epoch: self.epoch.epoch(),
             }
             .encode();
             let frame_bytes = frame.len() as u64;
@@ -271,9 +352,10 @@ impl bullfrog_net::ReplicationHooks for ReplicationSender {
         stream: TcpStream,
         from_lsn: u64,
         ddl_seq: u64,
+        epoch: u64,
         stop: &dyn Fn() -> bool,
     ) -> std::io::Result<()> {
-        self.run_subscription(stream, from_lsn, ddl_seq, stop)
+        self.run_subscription(stream, from_lsn, ddl_seq, epoch, stop)
     }
 
     fn status(&self) -> Vec<(String, i64)> {
@@ -284,6 +366,7 @@ impl bullfrog_net::ReplicationHooks for ReplicationSender {
             ("repl.role_primary".into(), 1),
             ("repl.replicas".into(), peers.len() as i64),
             ("repl.durable_lsn".into(), durable as i64),
+            ("repl.epoch".into(), self.epoch.epoch() as i64),
             (
                 "repl.ddl_journal_entries".into(),
                 self.journal.next_seq() as i64,

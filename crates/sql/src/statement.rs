@@ -88,6 +88,22 @@ pub enum Statement {
         /// `Some(max_unacked)` for `NOWAIT(n)`, `None` for `SYNC`.
         max_unacked: Option<u64>,
     },
+    /// `SET SYNC_REPLICAS n` — gate every commit acknowledgement on `n`
+    /// replicas confirming the commit applied (composed with the merged
+    /// WAL durable horizon). `0` turns synchronous replication off.
+    /// Node-global, not per-session.
+    SetSyncReplicas {
+        /// Replica acks required per commit.
+        count: u64,
+    },
+    /// `SET SYNC_POLICY BLOCK | DEGRADE <ms>` — what a sync-replicated
+    /// commit does when the replicas fall away: `BLOCK` waits
+    /// indefinitely; `DEGRADE ms` acks on local durability after the
+    /// window, provided the node still verifiably leads.
+    SetSyncPolicy {
+        /// `Some(window_ms)` for `DEGRADE <ms>`, `None` for `BLOCK`.
+        degrade_ms: Option<u64>,
+    },
 }
 
 /// Parses one statement. Never panics: malformed input, oversized
@@ -135,6 +151,30 @@ fn statement(p: &mut Parser) -> Result<Statement> {
         return Ok(Statement::Checkpoint);
     }
     if p.eat_word("set") {
+        if p.eat_word("sync_replicas") {
+            let n = p.int_literal()?;
+            if n < 0 {
+                return Err(Error::Eval(format!(
+                    "SYNC_REPLICAS must be non-negative, got {n}"
+                )));
+            }
+            return Ok(Statement::SetSyncReplicas { count: n as u64 });
+        }
+        if p.eat_word("sync_policy") {
+            if p.eat_word("block") {
+                return Ok(Statement::SetSyncPolicy { degrade_ms: None });
+            }
+            p.keyword("degrade")?;
+            let ms = p.int_literal()?;
+            if ms < 0 {
+                return Err(Error::Eval(format!(
+                    "SYNC_POLICY DEGRADE window must be non-negative, got {ms}"
+                )));
+            }
+            return Ok(Statement::SetSyncPolicy {
+                degrade_ms: Some(ms as u64),
+            });
+        }
         p.keyword("commit_mode")?;
         if p.eat_word("sync") {
             return Ok(Statement::SetCommitMode { max_unacked: None });
@@ -376,6 +416,32 @@ mod tests {
         assert!(parse_statement("SET COMMIT_MODE NOWAIT").is_err());
         assert!(parse_statement("SET COMMIT_MODE").is_err());
         assert!(parse_statement("SET LOCK_MODE SYNC").is_err());
+    }
+
+    #[test]
+    fn sync_replication_settings_parse() {
+        assert!(matches!(
+            parse_statement("SET SYNC_REPLICAS 2").unwrap(),
+            Statement::SetSyncReplicas { count: 2 }
+        ));
+        assert!(matches!(
+            parse_statement("set sync_replicas 0").unwrap(),
+            Statement::SetSyncReplicas { count: 0 }
+        ));
+        assert!(matches!(
+            parse_statement("SET SYNC_POLICY BLOCK").unwrap(),
+            Statement::SetSyncPolicy { degrade_ms: None }
+        ));
+        assert!(matches!(
+            parse_statement("SET SYNC_POLICY DEGRADE 750").unwrap(),
+            Statement::SetSyncPolicy {
+                degrade_ms: Some(750)
+            }
+        ));
+        assert!(parse_statement("SET SYNC_REPLICAS -1").is_err());
+        assert!(parse_statement("SET SYNC_REPLICAS").is_err());
+        assert!(parse_statement("SET SYNC_POLICY DEGRADE -5").is_err());
+        assert!(parse_statement("SET SYNC_POLICY RETREAT").is_err());
     }
 
     #[test]

@@ -16,14 +16,18 @@
 //! lock waits carry a deadline, and a timeout aborts the requesting
 //! transaction, which retries.
 
+pub mod epoch;
 pub mod lock;
 pub mod manager;
+pub mod sync_gate;
 pub mod ts;
 pub mod undo;
 pub mod wal;
 
+pub use epoch::{Ballot, EpochStore};
 pub use lock::{LockKey, LockManager, LockMode};
 pub use manager::{Transaction, TxnManager, TxnState};
+pub use sync_gate::{AckOutcome, SyncGate, SyncPolicy};
 pub use ts::{SnapshotHandle, TsOracle};
 pub use undo::UndoRecord;
 pub use wal::{CommitTicket, LogRecord, Wal, WalOptions, WalStatsSnapshot};

@@ -52,7 +52,7 @@
 //! # File format
 //!
 //! Shard 0 lives at the configured path, shard `i` at `<path>.s<i>`. Each
-//! file starts with a `BFWAL2` header (base LSN, shard index, shard
+//! file starts with a `BFWAL4` header (base LSN, shard index, shard
 //! count) and holds **frames**: `first_lsn:u64 nbytes:u32 payload`, where
 //! the payload is one or more contiguous records starting at `first_lsn`.
 //! Explicit frame LSNs are what let [`Wal::load_sharded`] merge the shard
@@ -82,6 +82,7 @@ use bullfrog_common::{fnv_hash_one, Error, Result, Row, RowId, TableId, TxnId, V
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use parking_lot::{Condvar, Mutex};
 
+use crate::sync_gate::{AckOutcome, SyncGate};
 use crate::ts::TsOracle;
 
 /// Identifies a granule within a migration for recovery purposes.
@@ -155,6 +156,19 @@ pub enum LogRecord {
     /// Transaction aborted (written for completeness; replay ignores the
     /// transaction's records either way).
     Abort(TxnId),
+    /// The fencing epoch was raised to `epoch` (promotion, or adoption of
+    /// a higher epoch observed from a peer). Written inside its own
+    /// committed batch (`[Begin, Epoch, Commit]`) so it rides the normal
+    /// committed-transaction replay and replication machinery; recovery
+    /// takes the max over all committed `Epoch` records and the sidecar
+    /// (see `epoch::EpochStore`), so the fence survives even a lost
+    /// sidecar file.
+    Epoch {
+        /// Carrier transaction (allocated solely for this record).
+        txn: TxnId,
+        /// The epoch in force from this point of the log onward.
+        epoch: u64,
+    },
 }
 
 impl LogRecord {
@@ -166,7 +180,8 @@ impl LogRecord {
             | LogRecord::Update { txn, .. }
             | LogRecord::Delete { txn, .. }
             | LogRecord::MigrationGranule { txn, .. }
-            | LogRecord::CommitTs { txn, .. } => *txn,
+            | LogRecord::CommitTs { txn, .. }
+            | LogRecord::Epoch { txn, .. } => *txn,
         }
     }
 
@@ -195,13 +210,15 @@ impl LogRecord {
 const SEGMENT_RECORDS: usize = 1024;
 
 /// Magic prefix of sharded/framed WAL files (base LSN + shard id header).
-/// `BFWAL3` added the `CommitTs` record tag; the frame layout is
-/// unchanged from `BFWAL2`, but a v2 reader would reject the new tag, so
-/// files that may carry it must say so.
-const FILE_MAGIC: [u8; 6] = *b"BFWAL3";
-/// Previous framed magic: same layout, no `CommitTs` records. Read
-/// directly; files opened for appending are re-stamped `BFWAL3` in place
-/// (only the magic differs) before any new record lands.
+/// `BFWAL4` added the `Epoch` record tag (`BFWAL3` before it added
+/// `CommitTs`); the frame layout is unchanged all the way back to
+/// `BFWAL2`, but an older reader would reject a newer tag, so files that
+/// may carry one must say so.
+const FILE_MAGIC: [u8; 6] = *b"BFWAL4";
+/// Previous framed magics: same layout, progressively fewer record tags.
+/// Read directly; files opened for appending are re-stamped `BFWAL4` in
+/// place (only the magic differs) before any new record lands.
+const V3_MAGIC: [u8; 6] = *b"BFWAL3";
 const V2_MAGIC: [u8; 6] = *b"BFWAL2";
 /// Magic prefix of pre-sharding flat files (base LSN header, records
 /// concatenated positionally). Read-supported, upgraded on open.
@@ -510,6 +527,10 @@ struct WalShared {
     /// identical (the oracle's own lock nests inside `core` and is never
     /// taken the other way around).
     oracle: Arc<TsOracle>,
+    /// Synchronous-replication gate: acked commit paths compose this on
+    /// top of the merged durable horizon (local durability first, then
+    /// the replica quorum). A no-op until `SET SYNC_REPLICAS` arms it.
+    sync: Arc<SyncGate>,
 }
 
 /// Recomputes the merged durable horizon from the per-shard frontiers and
@@ -583,6 +604,22 @@ impl CommitTicket {
     pub fn wait(&self) {
         if let Some(s) = &self.shared {
             wait_durable_shared(s, self.lsn);
+        }
+    }
+
+    /// As [`CommitTicket::wait`], then additionally waits on the
+    /// [`SyncGate`]: local durability first (merged horizon), replica
+    /// quorum second. Returns how the commit may be acknowledged — a
+    /// [`AckOutcome::Fenced`] commit is durable locally but must be
+    /// reported to the client as a failure, because a promoted peer may
+    /// never have seen it.
+    pub fn wait_acked(&self) -> AckOutcome {
+        match &self.shared {
+            None => AckOutcome::Synced,
+            Some(s) => {
+                wait_durable_shared(s, self.lsn);
+                s.sync.wait_acked(self.lsn)
+            }
         }
     }
 }
@@ -700,6 +737,7 @@ impl Wal {
             retain: Mutex::new(HashMap::new()),
             retain_next: AtomicU64::new(0),
             oracle: Arc::new(TsOracle::new()),
+            sync: Arc::new(SyncGate::default()),
         }
     }
 
@@ -799,6 +837,20 @@ impl Wal {
         first
     }
 
+    /// As [`Wal::append_batch_durable`], then composes the [`SyncGate`]:
+    /// the returned outcome says whether the commit reached the required
+    /// replica quorum, was acknowledged degraded, or must be refused
+    /// because this node is fenced. Identical to `append_batch_durable`
+    /// when no sync replication is configured.
+    pub fn append_batch_acked(
+        &self,
+        batch: impl IntoIterator<Item = LogRecord>,
+    ) -> (u64, AckOutcome) {
+        let (first, end, _shard) = self.append_batch_inner(batch);
+        wait_durable_shared(&self.shared, end);
+        (first, self.shared.sync.wait_acked(end))
+    }
+
     /// Appends a batch and returns an acknowledgement ticket **at enqueue
     /// time**: the caller keeps running while the shard flusher makes the
     /// batch durable in the background. [`CommitTicket::wait`] parks on
@@ -829,6 +881,23 @@ impl Wal {
         let (first, end, ts) = self.append_commit_inner(batch, txn);
         wait_durable_shared(&self.shared, end);
         (first, ts)
+    }
+
+    /// As [`Wal::append_commit_durable`], then composes the [`SyncGate`]
+    /// (see [`Wal::append_batch_acked`]). The caller still owes a
+    /// [`TsOracle::finish`] whatever the outcome — a fenced commit is in
+    /// the log and must not stall the stable horizon.
+    pub fn append_commit_acked(&self, batch: Vec<LogRecord>, txn: TxnId) -> (u64, u64, AckOutcome) {
+        let (first, end, ts) = self.append_commit_inner(batch, txn);
+        wait_durable_shared(&self.shared, end);
+        (first, ts, self.shared.sync.wait_acked(end))
+    }
+
+    /// The synchronous-replication gate shared with every ticket minted
+    /// from this log. Replication senders feed it acks; HA loops feed it
+    /// lease/fence state; sessions configure it via `SET SYNC_REPLICAS`.
+    pub fn sync_gate(&self) -> Arc<SyncGate> {
+        Arc::clone(&self.shared.sync)
     }
 
     /// As [`Wal::append_commit_durable`], but acknowledged at enqueue
@@ -1477,7 +1546,7 @@ fn flusher_loop(shared: &WalShared, shard: usize) {
 
 // --- shard file helpers --------------------------------------------------
 
-/// `BFWAL2` header bytes for one shard file.
+/// Current-format (`BFWAL4`) header bytes for one shard file.
 fn encode_header(base_lsn: u64, shard: u32, shards: u32) -> [u8; HEADER_LEN] {
     let mut h = [0u8; HEADER_LEN];
     h[..FILE_MAGIC.len()].copy_from_slice(&FILE_MAGIC);
@@ -1489,9 +1558,10 @@ fn encode_header(base_lsn: u64, shard: u32, shards: u32) -> [u8; HEADER_LEN] {
 
 /// What a WAL file's leading bytes say about its format.
 enum WalHeader {
-    /// `BFWAL3`/`BFWAL2`: framed records, explicit LSNs. `stale_magic`
-    /// marks a v2 file that must be re-stamped before v3-only records
-    /// (`CommitTs`) may be appended to it.
+    /// `BFWAL2`..`BFWAL4`: framed records, explicit LSNs. `stale_magic`
+    /// marks an older framed file that must be re-stamped before records
+    /// its advertised version lacks (`CommitTs`, `Epoch`) may be
+    /// appended to it.
     Framed { base: u64, stale_magic: bool },
     /// `BFWAL1` or headerless legacy: records concatenated positionally
     /// from `base`, starting at byte `offset`.
@@ -1503,14 +1573,16 @@ enum WalHeader {
 
 fn parse_file_header(bytes: &[u8]) -> WalHeader {
     let framed = bytes.len() >= FILE_MAGIC.len()
-        && (bytes[..FILE_MAGIC.len()] == FILE_MAGIC || bytes[..V2_MAGIC.len()] == V2_MAGIC);
+        && (bytes[..FILE_MAGIC.len()] == FILE_MAGIC
+            || bytes[..V3_MAGIC.len()] == V3_MAGIC
+            || bytes[..V2_MAGIC.len()] == V2_MAGIC);
     if framed {
         if bytes.len() >= HEADER_LEN {
             let mut base = [0u8; 8];
             base.copy_from_slice(&bytes[6..14]);
             WalHeader::Framed {
                 base: u64::from_be_bytes(base),
-                stale_magic: bytes[..V2_MAGIC.len()] == V2_MAGIC,
+                stale_magic: bytes[..FILE_MAGIC.len()] != FILE_MAGIC,
             }
         } else {
             WalHeader::Torn
@@ -1582,7 +1654,7 @@ fn decode_frames(bytes: &[u8], start: usize) -> (Vec<(u64, LogRecord)>, usize) {
 }
 
 /// Opens one shard file for appending, returning the append handle and
-/// one past the highest LSN the file holds. Fresh files get a `BFWAL2`
+/// one past the highest LSN the file holds. Fresh files get a `BFWAL4`
 /// header; legacy flat files (`BFWAL1` or headerless) are upgraded in
 /// place to a framed file holding their records in a single frame; torn
 /// tail frames from a crash are truncated away so the next flush appends
@@ -1610,10 +1682,11 @@ fn open_shard(spath: &Path, shard: u32, shards: u32) -> Result<(std::fs::File, u
                     .map_err(|e| Error::Wal(format!("truncate torn wal tail: {e}")))?;
             }
             if stale_magic {
-                // v2 file, identical layout: re-stamp the magic so the
-                // file honestly advertises that `CommitTs` records may
-                // follow. Done before any append, through a separate
-                // write handle (the append handle cannot seek to 0).
+                // Older framed file, identical layout: re-stamp the
+                // magic so the file honestly advertises that newer
+                // record tags (`CommitTs`, `Epoch`) may follow. Done
+                // before any append, through a separate write handle
+                // (the append handle cannot seek to 0).
                 (|| -> std::io::Result<()> {
                     use std::io::{Seek, SeekFrom};
                     let mut w = std::fs::OpenOptions::new().write(true).open(spath)?;
@@ -1681,8 +1754,9 @@ fn load_shard_file(spath: &Path) -> Result<(u64, Vec<(u64, LogRecord)>)> {
 // --- binary format -------------------------------------------------------
 //
 // file    := header frame*
-// header  := "BFWAL3" base_lsn:u64 shard:u32 shards:u32
-//            (same layout as "BFWAL2", which lacked the commit_ts tag;
+// header  := "BFWAL4" base_lsn:u64 shard:u32 shards:u32
+//            (same layout as "BFWAL3", which lacked the epoch tag, and
+//             "BFWAL2", which also lacked commit_ts;
 //             legacy: "BFWAL1" base_lsn:u64 record*, or bare record*)
 // frame   := first_lsn:u64 nbytes:u32 record*
 // record  := tag:u8 body
@@ -1699,6 +1773,8 @@ const TAG_COMMIT: u8 = 6;
 const TAG_ABORT: u8 = 7;
 /// Commit with an explicit commit timestamp (`BFWAL3`+ only).
 const TAG_COMMIT_TS: u8 = 8;
+/// Fencing-epoch raise (`BFWAL4`+ only).
+const TAG_EPOCH: u8 = 9;
 
 fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
     match r {
@@ -1759,6 +1835,11 @@ fn encode_record(buf: &mut BytesMut, r: &LogRecord) {
             buf.put_u8(TAG_ABORT);
             buf.put_u64(t.0);
         }
+        LogRecord::Epoch { txn, epoch } => {
+            buf.put_u8(TAG_EPOCH);
+            buf.put_u64(txn.0);
+            buf.put_u64(*epoch);
+        }
     }
 }
 
@@ -1801,6 +1882,10 @@ fn decode_record(buf: &mut Bytes) -> Result<LogRecord> {
         TAG_COMMIT_TS => Ok(LogRecord::CommitTs {
             txn: TxnId(get_u64(buf)?),
             ts: get_u64(buf)?,
+        }),
+        TAG_EPOCH => Ok(LogRecord::Epoch {
+            txn: TxnId(get_u64(buf)?),
+            epoch: get_u64(buf)?,
         }),
         t => Err(Error::Wal(format!("bad record tag {t}"))),
     }

@@ -19,6 +19,10 @@ cargo test -q -p bullfrog-net --test server_integration --test migration_race
 echo "== replication tests =="
 cargo test -q -p bullfrog-repl
 
+echo "== HA tests (fencing, quorum leases, sync replication) =="
+cargo test -q -p bullfrog-ha
+BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-ha
+
 echo "== engine + migration suites under snapshot isolation =="
 BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-engine
 BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-core
@@ -30,20 +34,20 @@ cargo test -q -p bullfrog-cluster
 BULLFROG_ENGINE_MODE=si cargo test -q -p bullfrog-cluster
 
 echo "== loadgen smoke (snapshot isolation, bounded) =="
-timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 10 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --engine-mode si --clients 32 --accounts 128 --ops 5 --seed 42
 
 echo "== loadgen smoke (loopback, fixed seed, bounded) =="
-timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 10 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42
 
 echo "== loadgen smoke (file-backed WAL, async commit) =="
-timeout 10 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 10 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --clients 32 --accounts 128 --ops 5 --seed 42 \
   --commit-mode nowait --wal-dir "$(mktemp -d)"
 
 echo "== loadgen smoke (live replica, equivalence verified) =="
-timeout 30 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 30 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --clients 16 --accounts 128 --ops 5 --seed 42 --replica
 
 echo "== repld two-process loopback smoke (zero lag after drain) =="
@@ -62,17 +66,21 @@ REPLICA_PID=$!
 sleep 0.5
 timeout 30 "$LOADGEN" --addr "$PRIMARY" --clients 8 --accounts 64 --ops 5 --seed 42
 timeout 30 "$REPLD" wait-zero-lag --addr "$REPLICA" --timeout-secs 25
-"$REPLD" status --addr "$REPLICA" | grep -q '^repl.role_replica = 1$'
+"$REPLD" status --addr "$REPLICA" --full | grep -q '^repl.role_replica = 1$'
+"$REPLD" status --addr "$REPLICA" | grep -q '^role=replica '
 "$REPLD" shutdown --addr "$REPLICA"
 "$REPLD" shutdown --addr "$PRIMARY"
 wait "$PRIMARY_PID" "$REPLICA_PID"
 trap - EXIT
 cleanup
 
+echo "== HA failover smoke (SIGKILL primary mid-migration, zero lost acked commits) =="
+timeout 90 "$LOADGEN" --failover --clients 8 --accounts 256 --ops 5 --seed 42
+
 echo "== loadgen 3-node cluster smoke (mid-traffic flips, exchange, oracle equality) =="
-timeout 60 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 60 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --cluster 3 --clients 16 --accounts 120 --owners 8 --ops 5 --seed 42
-timeout 60 cargo run --release -q -p bullfrog-repl --bin loadgen -- \
+timeout 60 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
   --engine-mode si --cluster 3 --clients 16 --accounts 120 --owners 8 --ops 5 --seed 42
 
 echo "== clusterd three-process loopback smoke =="

@@ -31,6 +31,7 @@ pub use bullfrog_cluster as cluster;
 pub use bullfrog_common as common;
 pub use bullfrog_core as core;
 pub use bullfrog_engine as engine;
+pub use bullfrog_ha as ha;
 pub use bullfrog_net as net;
 pub use bullfrog_query as query;
 pub use bullfrog_repl as repl;
