@@ -79,6 +79,23 @@ struct Args {
     /// + witness as child processes, kill the primary mid-migration
     /// under load, and verify zero lost acked commits on the survivor.
     failover: bool,
+    /// When > 0, run the high-connection network scenario instead: park
+    /// this many mostly-idle connections on a serve-only child process
+    /// (each side of a socket pair burns one fd, so a 10k-connection
+    /// run needs the two ends in separate processes to fit a 20k fd
+    /// limit), drive point reads from a bounded worker set, report
+    /// p50/p99, then prove every parked session still answers.
+    connections: usize,
+    /// Net scenario: PREPARE each worker's statement once and EXECUTE
+    /// with bound parameters instead of sending SQL text per request.
+    prepared: bool,
+    /// Net scenario: batch requests into pipelined frame bursts instead
+    /// of one round trip per statement.
+    pipeline: bool,
+    /// Serve-only mode (used as the child of `--connections`): bind a
+    /// loopback server, print its address, and block until a remote
+    /// SHUTDOWN.
+    serve: bool,
 }
 
 impl Args {
@@ -96,6 +113,10 @@ impl Args {
             mode: EngineMode::from_env(),
             cluster: 0,
             failover: false,
+            connections: 0,
+            prepared: false,
+            pipeline: false,
+            serve: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -133,6 +154,10 @@ impl Args {
                 "--replica" => args.replica = true,
                 "--cluster" => args.cluster = take("--cluster") as usize,
                 "--failover" => args.failover = true,
+                "--connections" => args.connections = take("--connections") as usize,
+                "--prepared" => args.prepared = true,
+                "--pipeline" => args.pipeline = true,
+                "--serve" => args.serve = true,
                 "--engine-mode" => {
                     args.mode = match it.next().as_deref() {
                         Some("2pl") => EngineMode::TwoPL,
@@ -152,6 +177,14 @@ impl Args {
         if args.failover && (args.replica || args.addr.is_some() || args.cluster > 0) {
             panic!("--failover spawns its own repld group; drop --replica/--addr/--cluster");
         }
+        if (args.prepared || args.pipeline) && args.connections == 0 && !args.serve {
+            panic!("--prepared/--pipeline belong to the net scenario; add --connections N");
+        }
+        if args.connections > 0 && (args.replica || args.cluster > 0 || args.failover) {
+            panic!(
+                "--connections runs its own serve-only child; drop --replica/--cluster/--failover"
+            );
+        }
         args
     }
 }
@@ -168,6 +201,14 @@ const PHASE_DONE: usize = 4;
 fn main() {
     let args = Args::parse();
     let started = Instant::now();
+    if args.serve {
+        run_serve(&args);
+        return;
+    }
+    if args.connections > 0 {
+        run_net(&args, started);
+        return;
+    }
     if args.failover {
         run_failover(&args, started);
         return;
@@ -675,6 +716,243 @@ fn stat(pairs: &[(String, i64)], key: &str) -> i64 {
         .find(|(k, _)| k == key)
         .map(|(_, v)| *v)
         .unwrap_or_else(|| panic!("STATUS is missing {key}"))
+}
+
+// ---------------------------------------------------------------------------
+// --connections N: the high-connection network scenario.
+// ---------------------------------------------------------------------------
+
+/// Serve-only child for [`run_net`]: binds a loopback server sized for
+/// the parent's connection count, announces the address on stdout, and
+/// blocks until a remote `SHUTDOWN`.
+fn run_serve(args: &Args) {
+    use std::io::Write as _;
+    let db = Arc::new(Database::with_config(DbConfig {
+        mode: args.mode,
+        ..DbConfig::default()
+    }));
+    let bf = Arc::new(Bullfrog::new(db));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        bf,
+        ServerConfig {
+            max_connections: args.connections + 128,
+            // Parked connections sit idle for the whole measurement;
+            // the sweep must not reap them mid-run.
+            idle_timeout: Duration::from_secs(300),
+            statement_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    println!("loadgen: serving on {}", server.local_addr());
+    std::io::stdout().flush().expect("flush addr line");
+    server.wait_shutdown();
+}
+
+/// Parks `--connections` mostly-idle sessions against a serve-only
+/// child process, runs a bounded worker set of point reads (optionally
+/// `--prepared` and/or `--pipeline`d), reports p50/p99, and then proves
+/// zero dropped sessions by running one statement on every parked
+/// connection.
+///
+/// The child process exists for fd arithmetic: every loopback
+/// connection costs one fd on each end, so 10k connections need 20k
+/// fds — exactly a typical `ulimit -n` — and splitting server from
+/// client gives each side its own budget.
+fn run_net(args: &Args, started: Instant) {
+    use std::io::BufRead as _;
+    let n = args.connections;
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = std::process::Command::new(&exe)
+        .args([
+            "--serve",
+            "--connections",
+            &n.to_string(),
+            "--engine-mode",
+            args.mode.as_str(),
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve-only child");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr: std::net::SocketAddr = loop {
+        let line = lines
+            .next()
+            .expect("serve child exited before announcing its address")
+            .expect("read serve child stdout");
+        if let Some(rest) = line.strip_prefix("loadgen: serving on ") {
+            break rest.trim().parse().expect("parse child address");
+        }
+    };
+    println!(
+        "loadgen: net scenario on {addr} ({n} connections, {} workers, prepared={}, pipeline={}, {} engine)",
+        args.clients.clamp(1, 64),
+        args.prepared,
+        args.pipeline,
+        args.mode.as_str()
+    );
+
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin
+        .execute("CREATE TABLE kv (id INT, v INT, PRIMARY KEY (id))")
+        .expect("create kv");
+    let keys: i64 = 1024;
+    for chunk in (0..keys).collect::<Vec<_>>().chunks(64) {
+        let values: Vec<String> = chunk.iter().map(|i| format!("({i}, {})", i * 3)).collect();
+        admin
+            .execute(&format!("INSERT INTO kv VALUES {}", values.join(", ")))
+            .expect("load kv");
+    }
+
+    // Park the herd. Readiness-driven serving is the whole point: these
+    // connections must cost (almost) nothing while idle.
+    let mut parked: Vec<Client> = Vec::with_capacity(n);
+    for i in 0..n {
+        match Client::connect(addr) {
+            Ok(c) => parked.push(c),
+            Err(e) => panic!("connection {i}/{n} failed to park: {e}"),
+        }
+    }
+    println!(
+        "loadgen: parked {} idle connections at {:?}",
+        parked.len(),
+        started.elapsed()
+    );
+
+    // Bounded worker set: latency must not degrade just because the
+    // parked herd exists.
+    let workers = args.clients.clamp(1, 64);
+    let per_worker_ops = args.ops.max(1) * 16;
+    let latencies: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let latencies = Arc::clone(&latencies);
+        let prepared = args.prepared;
+        let pipeline = args.pipeline;
+        let seed = args.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut client = Client::connect(addr).expect("worker connect");
+            if prepared {
+                let n_params = client
+                    .prepare(1, "SELECT v FROM kv WHERE id = ?")
+                    .expect("prepare point read");
+                assert_eq!(n_params, 1);
+            }
+            let mut local = Vec::with_capacity(per_worker_ops);
+            let mut remaining = per_worker_ops;
+            while remaining > 0 {
+                let batch = if pipeline { remaining.min(16) } else { 1 };
+                let ids: Vec<i64> = (0..batch).map(|_| rng.gen_range(0..keys)).collect();
+                let t0 = Instant::now();
+                match (prepared, pipeline) {
+                    (true, true) => {
+                        let rows: Vec<bullfrog_common::Row> = ids
+                            .iter()
+                            .map(|id| bullfrog_common::Row(vec![Value::Int(*id)]))
+                            .collect();
+                        for reply in client
+                            .pipeline_execute(1, &rows)
+                            .expect("pipelined execute")
+                        {
+                            reply.expect("point read");
+                        }
+                    }
+                    (true, false) => {
+                        client
+                            .execute_prepared(1, bullfrog_common::Row(vec![Value::Int(ids[0])]))
+                            .expect("prepared point read");
+                    }
+                    (false, true) => {
+                        let sqls: Vec<String> = ids
+                            .iter()
+                            .map(|id| format!("SELECT v FROM kv WHERE id = {id}"))
+                            .collect();
+                        for reply in client.pipeline(&sqls).expect("pipelined batch") {
+                            reply.expect("point read");
+                        }
+                    }
+                    (false, false) => {
+                        client
+                            .query_rows(&format!("SELECT v FROM kv WHERE id = {}", ids[0]))
+                            .expect("point read");
+                    }
+                }
+                // Per-statement latency; a pipelined batch amortizes
+                // its single round trip across the batch.
+                let per_stmt = (t0.elapsed().as_micros() as u64) / batch as u64;
+                local.extend(std::iter::repeat_n(per_stmt, batch));
+                remaining -= batch;
+            }
+            latencies.lock().extend(local);
+        }));
+    }
+    for h in handles {
+        h.join().expect("net worker");
+    }
+    let mut lat = latencies.lock().clone();
+    lat.sort_unstable();
+    let pct = |p: f64| lat[((lat.len() - 1) as f64 * p) as usize];
+    println!(
+        "loadgen: {} statements, p50 {}us, p99 {}us at {:?}",
+        lat.len(),
+        pct(0.50),
+        pct(0.99),
+        started.elapsed()
+    );
+
+    // Zero dropped sessions: every parked connection must still answer
+    // a statement. This also drags 10k sockets through one more
+    // readiness cycle each.
+    for (i, c) in parked.iter_mut().enumerate() {
+        let (_, rows) = c
+            .query_rows("SELECT v FROM kv WHERE id = 7")
+            .unwrap_or_else(|e| panic!("parked connection {i} was dropped: {e}"));
+        assert_eq!(rows.len(), 1);
+    }
+    println!(
+        "loadgen: all {} parked connections still answer at {:?}",
+        parked.len(),
+        started.elapsed()
+    );
+
+    let status = admin.status().expect("status");
+    for key in [
+        "server.active_sessions",
+        "server.parked_connections",
+        "server.pool_workers",
+        "server.pool_idle",
+        "server.accepted",
+        "server.rejected",
+        "server.accept_errors",
+        "sessions.statements",
+    ] {
+        println!("loadgen:   {key} = {}", stat(&status, key));
+    }
+    assert_eq!(
+        stat(&status, "server.rejected"),
+        0,
+        "sessions were turned away"
+    );
+    assert_eq!(
+        stat(&status, "server.accept_errors"),
+        0,
+        "accept loop saw errors"
+    );
+    // Parked herd + admin; workers have disconnected by now but their
+    // sockets may still be draining, so bound from below only.
+    assert!(
+        stat(&status, "server.active_sessions") >= (n + 1) as i64,
+        "parked sessions went missing from STATUS"
+    );
+
+    drop(parked);
+    admin.shutdown_server().expect("shutdown opcode");
+    let code = child.wait().expect("reap serve child");
+    assert!(code.success(), "serve child exited with {code}");
+    println!("loadgen: net scenario done in {:?}", started.elapsed());
 }
 
 // ---------------------------------------------------------------------------

@@ -2,8 +2,17 @@
 //!
 //! [`Client`] wraps one TCP connection, sends the preamble on connect,
 //! and reuses the connection for every subsequent call — the loadgen
-//! binary and tests never pay a reconnect per statement. All calls are
-//! strictly request/response, matching the session loop on the server.
+//! binary and tests never pay a reconnect per statement. Simple calls
+//! are request/response; [`Client::pipeline`] and
+//! [`Client::pipeline_execute`] write a batch of request frames
+//! back-to-back and then read the batch's responses, which the server
+//! guarantees to return **in request order** (a failed statement yields
+//! an error in its slot, never a desynchronized stream).
+//!
+//! Prepared statements ([`Client::prepare`] / [`Client::execute_prepared`]
+//! / [`Client::close_stmt`]) cache a parsed template server-side under a
+//! client-chosen id; `EXECUTE` ships only the id and a row of parameter
+//! values, skipping SQL text transfer and parsing per call.
 //!
 //! Errors split three ways: [`ClientError::Io`] (the transport broke),
 //! [`ClientError::Protocol`] (the peer spoke something that is not
@@ -139,21 +148,35 @@ impl Client {
         Ok(Client { stream })
     }
 
-    fn round_trip(&mut self, request: &Request) -> ClientResult<Response> {
+    /// Writes one request frame without reading a response; pair with
+    /// [`Client::recv`] for pipelined batches.
+    fn send(&mut self, request: &Request) -> ClientResult<()> {
         wire::write_frame(&mut self.stream, &request.encode())?;
-        let payload = wire::read_frame(&mut self.stream)
+        Ok(())
+    }
+
+    /// Reads one response, reassembling chunked `ROWS` results that the
+    /// server split across frames.
+    fn recv(&mut self) -> ClientResult<Response> {
+        wire::read_response(&mut self.stream)
             .map_err(|e| ClientError::Protocol(e.to_string()))?
             .ok_or_else(|| {
                 ClientError::Io(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed the connection",
                 ))
-            })?;
-        Response::decode(payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            })
     }
 
-    fn expect_reply(&mut self, request: &Request) -> ClientResult<QueryReply> {
-        match self.round_trip(request)? {
+    fn round_trip(&mut self, request: &Request) -> ClientResult<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Maps a query-shaped response to its reply (or per-statement
+    /// server error).
+    fn reply_of(response: Response) -> ClientResult<QueryReply> {
+        match response {
             Response::Rows { names, rows } => Ok(QueryReply::Rows { names, rows }),
             Response::Ok { affected } => Ok(QueryReply::Ok { affected }),
             Response::Err {
@@ -171,9 +194,87 @@ impl Client {
         }
     }
 
+    fn expect_reply(&mut self, request: &Request) -> ClientResult<QueryReply> {
+        let response = self.round_trip(request)?;
+        Self::reply_of(response)
+    }
+
     /// Executes one SQL statement.
     pub fn query(&mut self, sql: &str) -> ClientResult<QueryReply> {
         self.expect_reply(&Request::Query(sql.to_string()))
+    }
+
+    /// Caches `sql` (with `?` parameter placeholders) server-side under
+    /// `id`, replacing any previous statement with that id. Returns the
+    /// template's parameter count.
+    pub fn prepare(&mut self, id: u64, sql: &str) -> ClientResult<u64> {
+        match self.expect_reply(&Request::Prepare {
+            id,
+            sql: sql.to_string(),
+        })? {
+            QueryReply::Ok { affected } => Ok(affected),
+            QueryReply::Rows { .. } => Err(ClientError::Protocol(
+                "unexpected result set in reply to PREPARE".into(),
+            )),
+        }
+    }
+
+    /// Executes the prepared statement `id`, binding `params` to its
+    /// placeholders in order. The reply is identical to running the
+    /// statement with the parameters inlined as literals.
+    pub fn execute_prepared(&mut self, id: u64, params: Row) -> ClientResult<QueryReply> {
+        self.expect_reply(&Request::Execute { id, params })
+    }
+
+    /// Drops the prepared statement `id` from the server-side cache.
+    pub fn close_stmt(&mut self, id: u64) -> ClientResult<()> {
+        match self.expect_reply(&Request::CloseStmt { id })? {
+            QueryReply::Ok { .. } => Ok(()),
+            QueryReply::Rows { .. } => Err(ClientError::Protocol(
+                "unexpected result set in reply to CLOSE_STMT".into(),
+            )),
+        }
+    }
+
+    /// Pipelines a batch of statements: writes every request frame
+    /// before reading any response, then collects the responses, which
+    /// arrive in request order. The outer `Err` is a dead connection;
+    /// per-statement failures land in their slot of the returned vector.
+    pub fn pipeline(&mut self, sqls: &[String]) -> ClientResult<Vec<ClientResult<QueryReply>>> {
+        let requests: Vec<Request> = sqls.iter().map(|sql| Request::Query(sql.clone())).collect();
+        self.pipeline_requests(&requests)
+    }
+
+    /// Pipelines `EXECUTE`s of one prepared statement, one per
+    /// parameter row — the cheapest way to push many statements through
+    /// a connection (no SQL text, no parse, one round trip).
+    pub fn pipeline_execute(
+        &mut self,
+        id: u64,
+        batches: &[Row],
+    ) -> ClientResult<Vec<ClientResult<QueryReply>>> {
+        let requests: Vec<Request> = batches
+            .iter()
+            .map(|params| Request::Execute {
+                id,
+                params: params.clone(),
+            })
+            .collect();
+        self.pipeline_requests(&requests)
+    }
+
+    fn pipeline_requests(
+        &mut self,
+        requests: &[Request],
+    ) -> ClientResult<Vec<ClientResult<QueryReply>>> {
+        for request in requests {
+            self.send(request)?;
+        }
+        let mut replies = Vec::with_capacity(requests.len());
+        for _ in requests {
+            replies.push(Self::reply_of(self.recv()?));
+        }
+        Ok(replies)
     }
 
     /// Executes a statement and returns its affected-row count; a

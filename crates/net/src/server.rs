@@ -1,44 +1,90 @@
 //! The BullFrog TCP server.
 //!
 //! [`Server::bind`] takes an [`Arc<Bullfrog>`] and a [`ServerConfig`],
-//! binds a listener, and serves BFNET1 connections with one thread per
-//! session (the engine's locking model drives each
-//! [`Transaction`](bullfrog_txn::Transaction) from a single thread, so
-//! thread-per-connection is the honest architecture, not a shortcut).
-//! The accept loop enforces `max_connections` as backpressure: a
+//! binds a listener, and serves BFNET1 connections with a
+//! **readiness-driven poller**: parked connections are registered with
+//! a single poll thread (epoll via the vendored `polling` shim) and
+//! consume no CPU while idle. A connection only claims a worker thread
+//! from a bounded dynamic pool while it has bytes to process, so ten
+//! thousand mostly-idle connections cost ten thousand sockets, not ten
+//! thousand spinning peek loops.
+//!
+//! Each readiness event drains the socket into a per-connection buffer
+//! and executes **every complete frame in order** before re-arming the
+//! poller. That gives pipelining for free: a client may write N request
+//! frames back-to-back and read N responses afterwards, and responses
+//! always come back in request order — an error response occupies its
+//! slot in the sequence rather than desynchronizing the stream. The
+//! engine's locking model still drives each
+//! [`Transaction`](bullfrog_txn::Transaction) from a single thread at a
+//! time: a connection is processed by at most one worker at once (its
+//! state sits behind a mutex), and oneshot poller interest means the
+//! poll thread never queues a connection that a worker still owns.
+//!
+//! `max_connections` is enforced as backpressure at accept time: a
 //! connection over the cap is told `server busy` (retryable) and
-//! closed — never silently dropped.
+//! closed — never silently dropped. Accept errors back off
+//! exponentially (1ms doubling to 1s) and a persistent run of them
+//! stops the server instead of spinning forever; the count is reported
+//! as `server.accept_errors` under `STATUS`.
 //!
 //! Shutdown — via [`Server::shutdown`], dropping the server, or a
 //! client's `SHUTDOWN` opcode — is graceful: the listener stops
 //! accepting, every session finishes the statement it is executing,
-//! in-flight sessions are joined, open transactions are aborted, and
-//! the WAL is synced. Committed writes are durable when `shutdown`
-//! returns; uncommitted ones are gone, which is what a transaction
-//! means.
+//! open transactions are aborted, worker threads drain, and the WAL is
+//! synced. Committed writes are durable when `shutdown` returns;
+//! uncommitted ones are gone, which is what a transaction means.
 //!
 //! If the database was configured with a
 //! [`CheckpointPolicy`](bullfrog_engine::CheckpointPolicy), the server
 //! also runs the background [`CheckpointScheduler`] for its lifetime
 //! and reports its counters under `STATUS`.
 
-use std::io::Read;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use bullfrog_common::Result;
 use bullfrog_core::{Bullfrog, ClientAccess, DurabilityStats};
 use bullfrog_engine::CheckpointScheduler;
 use bytes::Bytes;
+use polling::{Event, Events, Poller};
 
 use crate::cluster::{plan_flip, ClusterMember, ClusterReq};
 use crate::session::{Session, SessionCounters};
 use crate::wire::{self, err_code, Request, Response};
 
-/// Granularity of the idle/stop polling slice.
+/// Granularity of the stop-flag poll in [`Server::wait_shutdown`] (one
+/// sleep per server process, not per connection).
 const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Upper bound on one poller wait; the poll thread also runs the idle
+/// sweep at this cadence, so it shrinks under small idle timeouts.
+const POLL_WAIT_CAP: Duration = Duration::from_millis(500);
+
+/// One nonblocking read's scratch size.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Per-connection receive buffer cap: one maximum frame plus header and
+/// a read chunk of pipelined follow-on bytes. A peer that exceeds it is
+/// not speaking the protocol.
+const MAX_BUFFERED: usize = wire::MAX_FRAME_BYTES + 4 + READ_CHUNK;
+
+/// How long an above-resident worker lingers idle before exiting.
+const WORKER_LINGER: Duration = Duration::from_secs(2);
+
+/// Extra workers beyond `max_connections` so pool bookkeeping never
+/// deadlocks the last runnable connection behind parked ones.
+const WORKER_SLACK: usize = 4;
+
+/// Accept-error backoff bounds and the consecutive-failure budget after
+/// which the server stops instead of spinning on a dead listener.
+const ACCEPT_BACKOFF_START: Duration = Duration::from_millis(1);
+const ACCEPT_BACKOFF_CAP: Duration = Duration::from_secs(1);
+const ACCEPT_MAX_CONSECUTIVE: u32 = 32;
 
 /// A DDL action a primary records for its replicas. DDL is not
 /// WAL-logged (recovery re-creates the catalog from the caller's
@@ -152,12 +198,17 @@ impl std::fmt::Debug for ReadOnly {
 #[derive(Clone)]
 pub struct ServerConfig {
     /// Concurrent session cap; further connections get a retryable
-    /// `server busy` error.
+    /// `server busy` error. Also bounds the worker pool: at most
+    /// `max_connections + 4` threads exist even if every connection is
+    /// runnable at once.
     pub max_connections: usize,
     /// Close a connection after this long with no complete request.
     pub idle_timeout: Duration,
     /// Abort (never commit) a statement that ran longer than this.
     pub statement_timeout: Duration,
+    /// Worker threads kept alive while idle; the pool grows on demand
+    /// above this and shrinks back after a couple of idle seconds.
+    pub resident_workers: usize,
     /// Primary-side replication: serve `SUBSCRIBE`/`SNAPSHOT` and
     /// journal DDL through these hooks.
     pub replication: Option<Arc<dyn ReplicationHooks>>,
@@ -177,6 +228,7 @@ impl Default for ServerConfig {
             max_connections: 64,
             idle_timeout: Duration::from_secs(30),
             statement_timeout: Duration::from_secs(10),
+            resident_workers: 4,
             replication: None,
             read_only: None,
             cluster: None,
@@ -191,6 +243,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("max_connections", &self.max_connections)
             .field("idle_timeout", &self.idle_timeout)
             .field("statement_timeout", &self.statement_timeout)
+            .field("resident_workers", &self.resident_workers)
             .field("replication", &self.replication.is_some())
             .field("read_only", &self.read_only)
             .field("cluster", &self.cluster.is_some())
@@ -199,16 +252,74 @@ impl std::fmt::Debug for ServerConfig {
     }
 }
 
-/// State shared between the accept loop, session threads, and handles.
+/// One parked connection: the socket, its session, and the bytes read
+/// so far. At most one worker processes a connection at a time (the
+/// state mutex); the poll thread and the idle sweep only touch the
+/// atomics and `last_activity`.
+struct Conn {
+    id: usize,
+    stream: TcpStream,
+    state: Mutex<ConnState>,
+    last_activity: Mutex<Instant>,
+    /// Set exactly once by whoever closes the connection; guards the
+    /// active-slot release against double decrements.
+    closed: AtomicBool,
+}
+
+struct ConnState {
+    session: Session,
+    buf: Vec<u8>,
+    preamble_ok: bool,
+}
+
+/// Dynamic worker pool bookkeeping: the ready queue plus idle/total
+/// thread counts. Workers above `resident_workers` exit after
+/// [`WORKER_LINGER`] without work.
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<usize>,
+    idle: usize,
+    total: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    cv: Condvar,
+}
+
+/// State shared between the accept thread, poll thread, workers, and
+/// handles.
 struct Shared {
     bf: Arc<Bullfrog>,
     config: ServerConfig,
+    local_addr: SocketAddr,
     stop: AtomicBool,
     active: AtomicUsize,
     accepted: AtomicU64,
     rejected: AtomicU64,
+    accept_errors: AtomicU64,
     counters: Arc<SessionCounters>,
     scheduler: Mutex<Option<CheckpointScheduler>>,
+    poller: Poller,
+    conns: Mutex<HashMap<usize, Arc<Conn>>>,
+    pool: Pool,
+    next_conn_id: AtomicUsize,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and wakes every sleeping thread: the poll
+    /// thread via the poller notifier, workers via the condvar, and the
+    /// blocking accept thread via a throwaway self-connection.
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.poller.notify();
+        self.pool.cv.notify_all();
+        let _ = TcpStream::connect_timeout(&self.local_addr, Duration::from_secs(1));
+    }
 }
 
 /// A running server. Dropping it shuts it down gracefully.
@@ -216,6 +327,7 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    poll_thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
@@ -227,27 +339,40 @@ impl Server {
         config: ServerConfig,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let scheduler = CheckpointScheduler::from_config(bf.db());
         let shared = Arc::new(Shared {
             bf,
             config,
+            local_addr,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             accepted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            accept_errors: AtomicU64::new(0),
             counters: Arc::new(SessionCounters::default()),
             scheduler: Mutex::new(scheduler),
+            poller: Poller::new()?,
+            conns: Mutex::new(HashMap::new()),
+            pool: Pool {
+                state: Mutex::new(PoolState::default()),
+                cv: Condvar::new(),
+            },
+            next_conn_id: AtomicUsize::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
             .name("bf-net-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))?;
+        let poll_shared = Arc::clone(&shared);
+        let poll_thread = std::thread::Builder::new()
+            .name("bf-net-poll".into())
+            .spawn(move || poll_loop(poll_shared))?;
         Ok(Server {
             shared,
             local_addr,
             accept_thread: Some(accept_thread),
+            poll_thread: Some(poll_thread),
         })
     }
 
@@ -264,7 +389,7 @@ impl Server {
     /// True once shutdown has been requested (locally or via the
     /// `SHUTDOWN` opcode).
     pub fn is_stopping(&self) -> bool {
-        self.shared.stop.load(Ordering::Acquire)
+        self.shared.stopping()
     }
 
     /// The shared per-session counters.
@@ -281,16 +406,43 @@ impl Server {
         self.shutdown();
     }
 
-    /// Gracefully shuts down: stop accepting, drain in-flight sessions,
+    /// Gracefully shuts down: stop accepting, drain in-flight work,
+    /// close parked connections (aborting their open transactions),
     /// stop the checkpoint scheduler, and sync the WAL so every
     /// committed write is on disk. Idempotent.
     pub fn shutdown(&mut self) {
-        self.shared.stop.store(true, Ordering::Release);
+        self.shared.request_stop();
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        // Session threads poll the stop flag between frames and exit on
-        // their own; wait for the drain.
+        if let Some(t) = self.poll_thread.take() {
+            let _ = t.join();
+        }
+        // Close every parked connection. Taking the state lock waits
+        // for any worker mid-statement on that connection, so sessions
+        // finish the statement they are executing before the abort.
+        let parked: Vec<Arc<Conn>> = self
+            .shared
+            .conns
+            .lock()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        for conn in parked {
+            let mut st = conn.state.lock().unwrap();
+            close_conn(&conn, &mut st, &self.shared);
+        }
+        // Drain the worker pool; stopped workers decrement `total`.
+        loop {
+            if self.shared.pool.state.lock().unwrap().total == 0 {
+                break;
+            }
+            self.shared.pool.cv.notify_all();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // Replication subscriptions hold active slots outside the
+        // registry; their stop() closures read the flag and exit.
         while self.shared.active.load(Ordering::Acquire) > 0 {
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -307,24 +459,64 @@ impl Drop for Server {
     }
 }
 
+/// True for accept errors that say nothing about the listener's health:
+/// the peer gave up or the kernel hiccuped, and the very next accept
+/// can succeed. These neither count toward the failure budget nor
+/// back off.
+fn transient_accept_error(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Blocking accept loop. Serious errors (EMFILE, ENOMEM, a dead
+/// listener) back off exponentially instead of retrying at a fixed
+/// beat, and a long unbroken run of them stops the server: better a
+/// clean shutdown operators can see than a silent accept-nothing spin.
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    while !shared.stop.load(Ordering::Acquire) {
+    let mut backoff = ACCEPT_BACKOFF_START;
+    let mut consecutive = 0u32;
+    loop {
+        if shared.stopping() {
+            return;
+        }
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_START;
+                consecutive = 0;
+                if shared.stopping() {
+                    // The shutdown wake-up connection (or a client that
+                    // raced it); either way we are no longer serving.
+                    return;
+                }
                 shared.accepted.fetch_add(1, Ordering::Relaxed);
-                spawn_session(stream, Arc::clone(&shared));
+                admit(stream, &shared);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
+            Err(e) if transient_accept_error(e.kind()) => continue,
+            Err(_) => {
+                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                consecutive += 1;
+                if consecutive >= ACCEPT_MAX_CONSECUTIVE {
+                    shared.request_stop();
+                    return;
+                }
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_CAP);
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
 }
 
-fn spawn_session(mut stream: TcpStream, shared: Arc<Shared>) {
-    // Claim a slot before spawning so the cap is enforced at accept
-    // time, not after a thread already exists.
+/// Admits one accepted connection: claim an active slot (or answer
+/// `server busy`), build its session, and park it with the poller.
+fn admit(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // Claim a slot before registering so the cap is enforced at accept
+    // time, not after poller state already exists.
     let prev = shared.active.fetch_add(1, Ordering::AcqRel);
     if prev >= shared.config.max_connections {
         shared.active.fetch_sub(1, Ordering::AcqRel);
@@ -340,85 +532,14 @@ fn spawn_session(mut stream: TcpStream, shared: Arc<Shared>) {
         let _ = wire::write_frame(&mut stream, &busy.encode());
         return;
     }
-    let spawned = std::thread::Builder::new()
-        .name("bf-net-session".into())
-        .spawn({
-            let shared = Arc::clone(&shared);
-            move || {
-                let _ = serve_connection(stream, &shared);
-                shared.active.fetch_sub(1, Ordering::AcqRel);
-            }
-        });
-    if spawned.is_err() {
-        // Spawn failure: release the slot; the dropped stream reads as a
-        // disconnect on the client side.
-        shared.active.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// What the readability poll observed.
-enum Readiness {
-    /// Bytes are waiting; a blocking read will not stall.
-    Ready,
-    /// The peer closed the connection.
-    Eof,
-    /// No complete request arrived within the idle timeout.
-    Idle,
-    /// The server is shutting down.
-    Stopping,
-}
-
-/// Polls `stream` for readability in short slices so the thread notices
-/// both the idle timeout and the server stop flag without consuming any
-/// stream bytes (peek never desynchronizes framing, unlike a timed-out
-/// `read_exact`).
-fn wait_readable(stream: &TcpStream, shared: &Shared) -> Readiness {
-    let mut idle = Duration::ZERO;
-    let mut probe = [0u8; 1];
-    loop {
-        if shared.stop.load(Ordering::Acquire) {
-            return Readiness::Stopping;
-        }
-        match stream.peek(&mut probe) {
-            Ok(0) => return Readiness::Eof,
-            Ok(_) => return Readiness::Ready,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                idle += POLL_SLICE;
-                if idle >= shared.config.idle_timeout {
-                    return Readiness::Idle;
-                }
-            }
-            Err(_) => return Readiness::Eof,
-        }
-    }
-}
-
-/// Serves one connection until EOF, error, idle timeout, or shutdown.
-fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(POLL_SLICE))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = stream.try_clone()?;
-
-    // Preamble first: reject strangers before touching the database.
-    if !matches!(wait_readable(&stream, shared), Readiness::Ready) {
-        return Ok(());
+    // Response writes happen in blocking mode; bound them so a client
+    // that stops reading cannot pin a worker forever.
+    stream.set_write_timeout(Some(Duration::from_secs(5))).ok();
+    if stream.set_nonblocking(true).is_err() {
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+        return;
     }
-    // A peer that started writing gets a generous transport timeout for
-    // the rest of each message; idle gaps are detected between frames.
-    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-    let mut preamble = [0u8; 8];
-    if reader.read_exact(&mut preamble).is_err()
-        || wire::read_preamble(&mut std::io::Cursor::new(preamble.to_vec())).is_err()
-    {
-        return Ok(());
-    }
-
     let mut session = Session::new(
         Arc::clone(&shared.bf),
         Arc::clone(&shared.counters),
@@ -436,26 +557,289 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     if let Some(ha) = &shared.config.ha {
         session = session.with_ha(Arc::clone(ha));
     }
-    loop {
-        stream.set_read_timeout(Some(POLL_SLICE))?;
-        match wait_readable(&stream, shared) {
-            Readiness::Ready => {}
-            Readiness::Eof | Readiness::Idle | Readiness::Stopping => {
-                session.abort_open();
-                return Ok(());
-            }
+    let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let conn = Arc::new(Conn {
+        id,
+        stream,
+        state: Mutex::new(ConnState {
+            session,
+            buf: Vec::new(),
+            preamble_ok: false,
+        }),
+        last_activity: Mutex::new(Instant::now()),
+        closed: AtomicBool::new(false),
+    });
+    shared.conns.lock().unwrap().insert(id, Arc::clone(&conn));
+    if shared
+        .poller
+        .add(&conn.stream, Event::readable(id))
+        .is_err()
+    {
+        shared.conns.lock().unwrap().remove(&id);
+        shared.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// The poll thread: waits for readiness, hands ready connections to the
+/// worker pool, and sweeps idle connections. Oneshot poller interest
+/// guarantees a connection is never queued twice concurrently.
+fn poll_loop(shared: Arc<Shared>) {
+    let wait = (shared.config.idle_timeout / 4)
+        .max(Duration::from_millis(10))
+        .min(POLL_WAIT_CAP);
+    let mut events = Events::new();
+    let mut last_sweep = Instant::now();
+    while !shared.stopping() {
+        events.clear();
+        if shared.poller.wait(&mut events, Some(wait)).is_err() {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
         }
-        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
-        let payload = match wire::read_frame(&mut reader) {
+        for ev in events.iter() {
+            if let Some(conn) = shared.conns.lock().unwrap().get(&ev.key) {
+                *conn.last_activity.lock().unwrap() = Instant::now();
+            }
+            enqueue(&shared, ev.key);
+        }
+        // Sweeping walks the whole registry, so a busy poll loop over a
+        // large parked herd must not pay that O(connections) on every
+        // wakeup; `wait` is the sweep's precision anyway.
+        if last_sweep.elapsed() >= wait {
+            sweep_idle(&shared);
+            last_sweep = Instant::now();
+        }
+    }
+}
+
+/// Closes connections that have gone `idle_timeout` without activity.
+/// `try_lock` skips connections a worker currently owns — those are by
+/// definition not idle.
+fn sweep_idle(shared: &Arc<Shared>) {
+    let now = Instant::now();
+    let parked: Vec<Arc<Conn>> = shared.conns.lock().unwrap().values().cloned().collect();
+    for conn in parked {
+        let idle = now.duration_since(*conn.last_activity.lock().unwrap());
+        if idle < shared.config.idle_timeout {
+            continue;
+        }
+        if let Ok(mut st) = conn.state.try_lock() {
+            close_conn(&conn, &mut st, shared);
+        }
+    }
+}
+
+/// Queues a ready connection for a worker, growing the pool when every
+/// worker is busy and the cap (`max_connections + slack`) allows. The
+/// growth matters for liveness, not just latency: under 2PL a parked
+/// session can hold locks a runnable one needs, so the pool must be
+/// able to run every admitted connection at once in the worst case.
+fn enqueue(shared: &Arc<Shared>, id: usize) {
+    let cap = shared.config.max_connections + WORKER_SLACK;
+    let mut pool = shared.pool.state.lock().unwrap();
+    pool.queue.push_back(id);
+    if pool.idle == 0 && pool.total < cap {
+        pool.total += 1;
+        drop(pool);
+        let worker_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("bf-net-worker".into())
+            .spawn(move || worker_loop(worker_shared));
+        if spawned.is_err() {
+            shared.pool.state.lock().unwrap().total -= 1;
+        }
+    } else {
+        shared.pool.cv.notify_one();
+    }
+}
+
+/// One pool worker: pop a ready connection, process it, repeat. Workers
+/// above the resident count exit after lingering idle; resident ones
+/// stay for the server's lifetime.
+fn worker_loop(shared: Arc<Shared>) {
+    let mut pool = shared.pool.state.lock().unwrap();
+    loop {
+        if let Some(id) = pool.queue.pop_front() {
+            drop(pool);
+            let conn = shared.conns.lock().unwrap().get(&id).cloned();
+            if let Some(conn) = conn {
+                process_conn(&conn, &shared);
+            }
+            pool = shared.pool.state.lock().unwrap();
+            continue;
+        }
+        if shared.stopping() {
+            pool.total -= 1;
+            return;
+        }
+        pool.idle += 1;
+        let (guard, timeout) = shared.pool.cv.wait_timeout(pool, WORKER_LINGER).unwrap();
+        pool = guard;
+        pool.idle -= 1;
+        if timeout.timed_out()
+            && pool.queue.is_empty()
+            && pool.total > shared.config.resident_workers
+        {
+            pool.total -= 1;
+            return;
+        }
+    }
+}
+
+/// Closes a connection exactly once: abort its open transaction, drop
+/// the poller registration, remove it from the registry, and release
+/// the active slot. Callers hold the state lock, which serializes the
+/// close against any worker mid-statement.
+fn close_conn(conn: &Conn, st: &mut MutexGuard<'_, ConnState>, shared: &Shared) {
+    if conn.closed.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    st.session.abort_open();
+    let _ = shared.poller.delete(&conn.stream);
+    shared.conns.lock().unwrap().remove(&conn.id);
+    let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+    shared.active.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Re-arms oneshot poller interest after a processing pass. Interest is
+/// level-triggered, so bytes that arrived while the worker held the
+/// connection surface as an immediate new event.
+fn rearm(conn: &Conn, st: &mut MutexGuard<'_, ConnState>, shared: &Shared) {
+    if shared
+        .poller
+        .modify(&conn.stream, Event::readable(conn.id))
+        .is_err()
+    {
+        close_conn(conn, st, shared);
+    }
+}
+
+/// Writes one response in blocking mode, restoring nonblocking mode for
+/// the poller afterwards. Large `ROWS` results are chunked across
+/// frames by [`wire::write_response`].
+fn respond(conn: &Conn, response: &Response) -> std::io::Result<()> {
+    conn.stream.set_nonblocking(false)?;
+    let wrote = wire::write_response(&mut &conn.stream, response);
+    let restored = conn.stream.set_nonblocking(true);
+    wrote?;
+    restored
+}
+
+/// Responses coalesced past this size flush mid-batch, bounding the
+/// worker's buffer while a long pipeline drains.
+const RESPOND_COALESCE_MAX: usize = 256 << 10;
+
+/// Row counts at or above this stream straight to the socket instead of
+/// through the coalescing buffer — a large scan is already one frame
+/// sequence, and buffering it would double its memory.
+const STREAM_ROWS_THRESHOLD: usize = 256;
+
+/// Flushes coalesced response bytes in blocking mode, restoring
+/// nonblocking mode for the poller afterwards. One write (and one
+/// blocking-mode toggle) per batch of pipelined responses is a large
+/// part of what pipelining buys server-side.
+fn flush_out(conn: &Conn, out: &mut Vec<u8>) -> std::io::Result<()> {
+    if out.is_empty() {
+        return Ok(());
+    }
+    conn.stream.set_nonblocking(false)?;
+    let wrote = (&conn.stream).write_all(out);
+    let restored = conn.stream.set_nonblocking(true);
+    out.clear();
+    wrote?;
+    restored
+}
+
+/// Extracts the next complete frame from the receive buffer, or `None`
+/// if more bytes are needed. `Err` means the peer announced a frame
+/// over the cap — a protocol violation that closes the connection.
+fn take_frame(buf: &mut Vec<u8>) -> std::result::Result<Option<Bytes>, ()> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > wire::MAX_FRAME_BYTES {
+        return Err(());
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let payload = Bytes::copy_from_slice(&buf[4..4 + len]);
+    buf.drain(..4 + len);
+    Ok(Some(payload))
+}
+
+/// One processing pass over a ready connection: drain the socket,
+/// validate the preamble, then execute every complete frame **in
+/// order**, emitting responses in that same order (coalesced into
+/// batched writes). That ordering is the pipelining contract: N
+/// requests written back-to-back produce N responses in the same
+/// order, and a failed statement produces an `ERR` in its slot without
+/// desynchronizing the stream.
+fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
+    if conn.closed.load(Ordering::Acquire) {
+        return;
+    }
+    let mut st = conn.state.lock().unwrap();
+    if conn.closed.load(Ordering::Acquire) {
+        return;
+    }
+
+    // Drain everything the socket has; nonblocking reads never stall
+    // the worker.
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match (&conn.stream).read(&mut chunk) {
+            Ok(0) => return close_conn(conn, &mut st, shared),
+            Ok(n) => {
+                st.buf.extend_from_slice(&chunk[..n]);
+                if st.buf.len() > MAX_BUFFERED {
+                    return close_conn(conn, &mut st, shared);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return close_conn(conn, &mut st, shared),
+        }
+    }
+    *conn.last_activity.lock().unwrap() = Instant::now();
+
+    // Preamble first: reject strangers before touching the database.
+    if !st.preamble_ok {
+        if st.buf.len() < wire::PREAMBLE.len() {
+            return rearm(conn, &mut st, shared);
+        }
+        if st.buf[..wire::PREAMBLE.len()] != wire::PREAMBLE {
+            return close_conn(conn, &mut st, shared);
+        }
+        st.buf.drain(..wire::PREAMBLE.len());
+        st.preamble_ok = true;
+    }
+
+    // Responses for this wakeup's frames coalesce here and flush in one
+    // blocking write — the pipelining contract only requires *order*,
+    // not a write per statement.
+    let mut out: Vec<u8> = Vec::new();
+    loop {
+        // A shutdown requested elsewhere stops this connection between
+        // frames; the statement that was already running has finished.
+        if shared.stopping() {
+            let _ = flush_out(conn, &mut out);
+            return close_conn(conn, &mut st, shared);
+        }
+        let payload = match take_frame(&mut st.buf) {
             Ok(Some(p)) => p,
-            Ok(None) | Err(_) => {
-                session.abort_open();
-                return Ok(());
+            Ok(None) => break,
+            Err(()) => {
+                let _ = flush_out(conn, &mut out);
+                return close_conn(conn, &mut st, shared);
             }
         };
         let response = match Request::decode(payload) {
             Err(e) => Response::from_error(&e),
-            Ok(Request::Query(sql)) => session.execute(&sql),
+            Ok(Request::Query(sql)) => st.session.execute(&sql),
+            Ok(Request::Prepare { id, sql }) => st.session.prepare(id, &sql),
+            Ok(Request::Execute { id, params }) => st.session.execute_prepared(id, &params),
+            Ok(Request::CloseStmt { id }) => st.session.close_stmt(id),
             Ok(Request::Checkpoint) => match shared.bf.db().checkpoint() {
                 Ok(stats) => Response::Ok {
                     affected: stats.absorbed_records as u64,
@@ -464,10 +848,11 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
             },
             Ok(Request::Status) => Response::Stats(status_pairs(shared)),
             Ok(Request::Shutdown) => {
-                let _ = wire::write_frame(&mut writer, &Response::Ok { affected: 0 }.encode());
-                session.abort_open();
-                shared.stop.store(true, Ordering::Release);
-                return Ok(());
+                let _ = wire::write_response(&mut out, &Response::Ok { affected: 0 });
+                let _ = flush_out(conn, &mut out);
+                close_conn(conn, &mut st, shared);
+                shared.request_stop();
+                return;
             }
             Ok(Request::Subscribe {
                 from_lsn,
@@ -477,12 +862,15 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 Some(hooks) => {
                     // Hand the socket to the replication sender; it owns
                     // framing from here until the replica disconnects or
-                    // the server stops. The session slot stays claimed,
+                    // the server stops. The active slot stays claimed,
                     // so shutdown drains subscriptions like any session.
-                    session.abort_open();
-                    let stop = || shared.stop.load(Ordering::Acquire);
-                    let _ = hooks.subscribe(stream, from_lsn, ddl_seq, epoch, &stop);
-                    return Ok(());
+                    // Responses owed for earlier pipelined frames go out
+                    // first, before the sender takes over framing.
+                    if flush_out(conn, &mut out).is_err() {
+                        return close_conn(conn, &mut st, shared);
+                    }
+                    subscribe_handoff(conn, &mut st, shared, hooks, from_lsn, ddl_seq, epoch);
+                    return;
                 }
                 None => Response::Err {
                     retryable: false,
@@ -509,9 +897,9 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
             Ok(Request::Cluster(op)) => match &shared.config.cluster {
                 Some(member) => {
                     if !matches!(op, ClusterReq::GetMap) {
-                        session.set_cluster_admin();
+                        st.session.set_cluster_admin();
                     }
-                    handle_cluster(op, member, shared, &mut session)
+                    handle_cluster(op, member, shared, &mut st.session)
                 }
                 None => Response::Err {
                     retryable: false,
@@ -528,7 +916,75 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
                 },
             },
         };
-        wire::write_frame(&mut writer, &response.encode())?;
+        // Large scans stream straight to the socket (they are their own
+        // frame sequence and would only bloat the buffer); everything
+        // else coalesces, flushing once the buffer grows past the cap.
+        let stream_directly =
+            matches!(&response, Response::Rows { rows, .. } if rows.len() >= STREAM_ROWS_THRESHOLD);
+        let wrote = if stream_directly {
+            flush_out(conn, &mut out).and_then(|()| respond(conn, &response))
+        } else {
+            // Writes to a Vec are infallible; size errors (a row over
+            // the frame cap) are encoded as an ERR response instead.
+            let _ = wire::write_response(&mut out, &response);
+            if out.len() >= RESPOND_COALESCE_MAX {
+                flush_out(conn, &mut out)
+            } else {
+                Ok(())
+            }
+        };
+        if wrote.is_err() {
+            return close_conn(conn, &mut st, shared);
+        }
+    }
+    if flush_out(conn, &mut out).is_err() {
+        return close_conn(conn, &mut st, shared);
+    }
+    *conn.last_activity.lock().unwrap() = Instant::now();
+    rearm(conn, &mut st, shared);
+}
+
+/// Converts a parked connection into a replication subscription: the
+/// poller and registry forget it, a dedicated thread runs the sender's
+/// blocking stream loop, and the active slot is released only when that
+/// loop ends — shutdown drains subscriptions like any session.
+fn subscribe_handoff(
+    conn: &Arc<Conn>,
+    st: &mut MutexGuard<'_, ConnState>,
+    shared: &Arc<Shared>,
+    hooks: &Arc<dyn ReplicationHooks>,
+    from_lsn: u64,
+    ddl_seq: u64,
+    epoch: u64,
+) {
+    st.session.abort_open();
+    if conn.closed.swap(true, Ordering::AcqRel) {
+        return;
+    }
+    let _ = shared.poller.delete(&conn.stream);
+    shared.conns.lock().unwrap().remove(&conn.id);
+    let stream = conn
+        .stream
+        .try_clone()
+        .and_then(|s| s.set_nonblocking(false).map(|()| s));
+    let stream = match stream {
+        Ok(s) => s,
+        Err(_) => {
+            shared.active.fetch_sub(1, Ordering::AcqRel);
+            return;
+        }
+    };
+    let hooks = Arc::clone(hooks);
+    let thread_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new()
+        .name("bf-net-subscribe".into())
+        .spawn(move || {
+            let stop = || thread_shared.stopping();
+            let _ = hooks.subscribe(stream, from_lsn, ddl_seq, epoch, &stop);
+            thread_shared.active.fetch_sub(1, Ordering::AcqRel);
+        });
+    if spawned.is_err() {
+        shared.active.fetch_sub(1, Ordering::AcqRel);
     }
 }
 
@@ -642,6 +1098,19 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
         "server.rejected",
         shared.rejected.load(Ordering::Relaxed) as i64,
     );
+    push(
+        "server.accept_errors",
+        shared.accept_errors.load(Ordering::Relaxed) as i64,
+    );
+    push(
+        "server.parked_connections",
+        shared.conns.lock().unwrap().len() as i64,
+    );
+    {
+        let pool = shared.pool.state.lock().unwrap();
+        push("server.pool_workers", pool.total as i64);
+        push("server.pool_idle", pool.idle as i64);
+    }
 
     let c = &shared.counters;
     push(

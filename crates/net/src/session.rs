@@ -15,16 +15,18 @@
 //! not-yet-migrated slice of an output table migrates it, exactly once,
 //! before the statement proceeds.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bullfrog_common::{Error, Result};
+use bullfrog_common::{Error, Result, Row};
 use bullfrog_core::{Bullfrog, ClientAccess, Passthrough};
 use bullfrog_engine::exec::ExecOptions;
 use bullfrog_engine::LockPolicy;
-use bullfrog_sql::{parse_statement, reorder_insert_rows, Statement};
+use bullfrog_sql::{
+    parse_statement, parse_template, reorder_insert_rows, PreparedTemplate, Statement,
+};
 use bullfrog_txn::{AckOutcome, CommitTicket, SyncPolicy, Transaction};
 
 use crate::cluster::ClusterMember;
@@ -57,6 +59,18 @@ impl SessionCounters {
 /// How long a session waits in `FINALIZE MIGRATION` for stragglers.
 const FINALIZE_WAIT: Duration = Duration::from_secs(5);
 
+/// Per-session prepared-statement cache cap; a `PREPARE` with a fresh
+/// id past this is refused rather than silently evicting.
+const MAX_PREPARED: usize = 256;
+
+/// One cached `PREPARE`: the parsed template plus its original text
+/// (kept for error context; templates are DML-only so the text never
+/// reaches the DDL journal).
+struct PreparedStmt {
+    template: PreparedTemplate,
+    sql: String,
+}
+
 /// One client session.
 pub struct Session {
     bf: Arc<Bullfrog>,
@@ -75,6 +89,8 @@ pub struct Session {
     /// HA-member enforcement: writes and DDL are refused while this
     /// node is not the leaseholder.
     ha: Option<Arc<dyn HaHooks>>,
+    /// `PREPARE`d statement templates, keyed by the client-chosen id.
+    prepared: HashMap<u64, PreparedStmt>,
     /// Set once this connection issues a cluster-control operation: the
     /// coordinator's own statements (flip DDL, the exchange's
     /// cross-shard reads and merge writes) bypass enforcement.
@@ -160,6 +176,7 @@ impl Session {
             read_only: None,
             cluster: None,
             ha: None,
+            prepared: HashMap::new(),
             cluster_admin: false,
         }
     }
@@ -212,6 +229,81 @@ impl Session {
             Ok(stmt) => stmt,
             Err(e) => return self.fail(&e),
         };
+        self.gate_and_run(stmt, sql, started)
+    }
+
+    /// Parses `sql` as a parameterized template and caches it under the
+    /// client-chosen `id` (re-preparing an id replaces its statement).
+    /// Only DML templates are accepted — transaction control, DDL, and
+    /// admin statements have no parameters to bind and gain nothing
+    /// from caching. Replies `OK` with the parameter count.
+    pub fn prepare(&mut self, id: u64, sql: &str) -> Response {
+        SessionCounters::bump(&self.counters.statements, 1);
+        let template = match parse_template(sql) {
+            Ok(t) => t,
+            Err(e) => return self.fail(&e),
+        };
+        match template.statement() {
+            Statement::Select(_)
+            | Statement::Insert { .. }
+            | Statement::InsertExprs { .. }
+            | Statement::Update { .. }
+            | Statement::Delete { .. } => {}
+            _ => {
+                return self.fail(&Error::Eval(
+                    "PREPARE supports only SELECT, INSERT, UPDATE, and DELETE".into(),
+                ))
+            }
+        }
+        if self.prepared.len() >= MAX_PREPARED && !self.prepared.contains_key(&id) {
+            return self.fail(&Error::Eval(format!(
+                "prepared-statement cache full ({MAX_PREPARED} statements); CLOSE one first"
+            )));
+        }
+        let n_params = template.n_params();
+        self.prepared.insert(
+            id,
+            PreparedStmt {
+                template,
+                sql: sql.to_string(),
+            },
+        );
+        Response::Ok {
+            affected: u64::from(n_params),
+        }
+    }
+
+    /// Binds `params` into the cached template `id` and executes the
+    /// resulting statement through exactly the gates and run path a
+    /// `QUERY` takes — responses are byte-identical to executing the
+    /// statement with the parameters folded in as literals.
+    pub fn execute_prepared(&mut self, id: u64, params: &Row) -> Response {
+        SessionCounters::bump(&self.counters.statements, 1);
+        let started = Instant::now();
+        let Some(entry) = self.prepared.get(&id) else {
+            return self.fail(&Error::Eval(format!("unknown prepared statement {id}")));
+        };
+        let sql = entry.sql.clone();
+        let stmt = match entry.template.bind(&params.0) {
+            Ok(stmt) => stmt,
+            Err(e) => return self.fail(&e),
+        };
+        self.gate_and_run(stmt, &sql, started)
+    }
+
+    /// Drops the cached template `id`, freeing its cache slot.
+    pub fn close_stmt(&mut self, id: u64) -> Response {
+        SessionCounters::bump(&self.counters.statements, 1);
+        match self.prepared.remove(&id) {
+            Some(_) => Response::Ok { affected: 0 },
+            None => self.fail(&Error::Eval(format!("unknown prepared statement {id}"))),
+        }
+    }
+
+    /// The post-parse execution path shared by `QUERY` and `EXECUTE`:
+    /// read-only routing, HA leadership and cluster-ownership gates,
+    /// then the statement runner.
+    fn gate_and_run(&mut self, stmt: Statement, sql: &str, started: Instant) -> Response {
         // A promoted replica flips `writable` and its sessions leave
         // read-only routing without reconnecting.
         if let Some(ro) = &self.read_only {

@@ -51,6 +51,9 @@ mod req {
     pub const REPL_ACK: u8 = 0x07;
     pub const CLUSTER: u8 = 0x08;
     pub const HA: u8 = 0x09;
+    pub const PREPARE: u8 = 0x0A;
+    pub const EXECUTE: u8 = 0x0B;
+    pub const CLOSE_STMT: u8 = 0x0C;
 }
 
 /// Response opcodes (server → client).
@@ -64,6 +67,7 @@ mod resp {
     pub const SHARD_MAP: u8 = 0x87;
     pub const PREPARED: u8 = 0x88;
     pub const HA_STATE: u8 = 0x89;
+    pub const ROWS_CHUNK: u8 = 0x8A;
 }
 
 /// Machine-readable `ERR` classification, carried as a trailing payload
@@ -152,6 +156,30 @@ pub enum Request {
     /// state probes between the members of an HA group (see
     /// `bullfrog-ha`). Answered with [`Response::HaState`].
     Ha(HaReq),
+    /// Parse `sql` (which may contain `?` placeholders) once and cache it
+    /// in the session's statement cache under `id`. Answered with
+    /// [`Response::Ok`] whose `affected` carries the placeholder count.
+    /// Re-preparing an existing `id` replaces it.
+    Prepare {
+        /// Client-chosen statement id (scoped to this session).
+        id: u64,
+        /// Statement text, `?` placeholders allowed in DML expressions.
+        sql: String,
+    },
+    /// Execute the cached statement `id`, binding `params` to its `?`
+    /// placeholders left to right. Arity must match the prepared count.
+    Execute {
+        /// Statement id from an earlier [`Request::Prepare`].
+        id: u64,
+        /// Parameter values, one per placeholder.
+        params: Row,
+    },
+    /// Evict statement `id` from the session's cache. Answered with
+    /// [`Response::Ok`]; closing an unknown id is an error.
+    CloseStmt {
+        /// Statement id to evict.
+        id: u64,
+    },
 }
 
 /// An HA sub-operation (body of [`Request::Ha`]).
@@ -209,6 +237,20 @@ pub enum Response {
         /// Output column names.
         names: Vec<String>,
         /// Output rows.
+        rows: Vec<Row>,
+    },
+    /// One slice of a result set too large for a single frame. The server
+    /// splits oversized row sets into a sequence of these (each carrying
+    /// the column names, so any chunk is self-describing); `more = false`
+    /// marks the last chunk. [`read_response`] reassembles the sequence
+    /// into one [`Response::Rows`] — client code never sees this variant
+    /// unless it reads raw frames.
+    RowsChunk {
+        /// Whether further chunks of the same result set follow.
+        more: bool,
+        /// Output column names (repeated on every chunk).
+        names: Vec<String>,
+        /// This chunk's rows.
         rows: Vec<Row>,
     },
     /// Statement succeeded; `affected` rows were written (0 for DDL and
@@ -342,6 +384,20 @@ impl Request {
                     HaReq::State => buf.put_u8(4),
                 }
             }
+            Request::Prepare { id, sql } => {
+                buf.put_u8(req::PREPARE);
+                buf.put_u64(*id);
+                put_str(&mut buf, sql);
+            }
+            Request::Execute { id, params } => {
+                buf.put_u8(req::EXECUTE);
+                buf.put_u64(*id);
+                codec::put_row(&mut buf, params);
+            }
+            Request::CloseStmt { id } => {
+                buf.put_u8(req::CLOSE_STMT);
+                buf.put_u64(*id);
+            }
         }
         buf.freeze()
     }
@@ -388,6 +444,17 @@ impl Request {
                 };
                 Ok(Request::Ha(op))
             }
+            req::PREPARE => Ok(Request::Prepare {
+                id: codec::get_u64(&mut payload)?,
+                sql: get_str(&mut payload)?,
+            }),
+            req::EXECUTE => Ok(Request::Execute {
+                id: codec::get_u64(&mut payload)?,
+                params: codec::get_row(&mut payload)?,
+            }),
+            req::CLOSE_STMT => Ok(Request::CloseStmt {
+                id: codec::get_u64(&mut payload)?,
+            }),
             other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
         }
     }
@@ -400,6 +467,18 @@ impl Response {
         match self {
             Response::Rows { names, rows } => {
                 buf.put_u8(resp::ROWS);
+                buf.put_u32(names.len() as u32);
+                for n in names {
+                    put_str(&mut buf, n);
+                }
+                buf.put_u32(rows.len() as u32);
+                for r in rows {
+                    codec::put_row(&mut buf, r);
+                }
+            }
+            Response::RowsChunk { more, names, rows } => {
+                buf.put_u8(resp::ROWS_CHUNK);
+                buf.put_u8(u8::from(*more));
                 buf.put_u32(names.len() as u32);
                 for n in names {
                     put_str(&mut buf, n);
@@ -504,6 +583,20 @@ impl Response {
                     rows.push(codec::get_row(&mut payload)?);
                 }
                 Ok(Response::Rows { names, rows })
+            }
+            resp::ROWS_CHUNK => {
+                let more = get_u8(&mut payload)? != 0;
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut names = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    names.push(get_str(&mut payload)?);
+                }
+                let n = codec::get_u32(&mut payload)? as usize;
+                let mut rows = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    rows.push(codec::get_row(&mut payload)?);
+                }
+                Ok(Response::RowsChunk { more, names, rows })
             }
             resp::OK => Ok(Response::Ok {
                 affected: codec::get_u64(&mut payload)?,
@@ -653,6 +746,129 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Bytes>> {
     Ok(Some(Bytes::copy_from_slice(&payload)))
 }
 
+/// Soft target for one chunk of a split row set — comfortably under
+/// [`MAX_FRAME_BYTES`] so names + framing never push a chunk over the cap.
+const CHUNK_TARGET_BYTES: usize = 4 << 20;
+
+/// Writes one logical response as one or more frames. [`Response::Rows`]
+/// payloads that would exceed the frame cap are split into a
+/// `ROWS_CHUNK` sequence (continuation flag set on all but the last);
+/// results that fit stay a single plain `ROWS` frame, so old clients
+/// only ever see the new opcode on results they could not have received
+/// at all before. A single row too large for any frame errors that one
+/// statement instead of killing the session.
+pub fn write_response(w: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let (names, rows) = match response {
+        Response::Rows { names, rows } => (names, rows),
+        other => return write_frame(w, &other.encode()),
+    };
+    let mut names_buf = BytesMut::new();
+    names_buf.put_u32(names.len() as u32);
+    for n in names {
+        put_str(&mut names_buf, n);
+    }
+    // opcode + continuation flag + names + row count.
+    let header = 2 + names_buf.len() + 4;
+    let budget = CHUNK_TARGET_BYTES.max(header + 1);
+
+    // One-chunk lookahead: `pending` only flushes (with the continuation
+    // flag set) once a second chunk exists, so single-chunk results fall
+    // through to the plain ROWS encoding.
+    let mut pending: Option<(u32, BytesMut)> = None;
+    let mut cur = BytesMut::new();
+    let mut cur_rows: u32 = 0;
+    let mut scratch = BytesMut::new();
+    for row in rows {
+        scratch.clear();
+        codec::put_row(&mut scratch, row);
+        if header + scratch.len() > MAX_FRAME_BYTES {
+            let err = Response::Err {
+                retryable: false,
+                code: err_code::GENERAL,
+                message: format!(
+                    "result row of {} bytes exceeds the {MAX_FRAME_BYTES}-byte frame cap",
+                    scratch.len()
+                ),
+            };
+            return write_frame(w, &err.encode());
+        }
+        if !cur.is_empty() && header + cur.len() + scratch.len() > budget {
+            if let Some((n, body)) = pending.take() {
+                write_rows_chunk(w, &names_buf, n, &body, true)?;
+            }
+            pending = Some((cur_rows, std::mem::take(&mut cur)));
+            cur_rows = 0;
+        }
+        cur.extend_from_slice(&scratch);
+        cur_rows += 1;
+    }
+    match pending.take() {
+        None => {
+            let mut payload = BytesMut::with_capacity(1 + names_buf.len() + 4 + cur.len());
+            payload.put_u8(resp::ROWS);
+            payload.extend_from_slice(&names_buf);
+            payload.put_u32(cur_rows);
+            payload.extend_from_slice(&cur);
+            write_frame(w, &payload.freeze())
+        }
+        Some((n, body)) => {
+            write_rows_chunk(w, &names_buf, n, &body, true)?;
+            write_rows_chunk(w, &names_buf, cur_rows, &cur, false)
+        }
+    }
+}
+
+fn write_rows_chunk(
+    w: &mut impl Write,
+    names_buf: &BytesMut,
+    n_rows: u32,
+    body: &[u8],
+    more: bool,
+) -> std::io::Result<()> {
+    let mut payload = BytesMut::with_capacity(2 + names_buf.len() + 4 + body.len());
+    payload.put_u8(resp::ROWS_CHUNK);
+    payload.put_u8(u8::from(more));
+    payload.extend_from_slice(names_buf);
+    payload.put_u32(n_rows);
+    payload.extend_from_slice(body);
+    write_frame(w, &payload.freeze())
+}
+
+/// Reads one logical response, reassembling a `ROWS_CHUNK` sequence into
+/// a single [`Response::Rows`]. `Ok(None)` on clean EOF at a frame
+/// boundary.
+pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
+    let Some(payload) = read_frame(r)? else {
+        return Ok(None);
+    };
+    let (mut more, names, mut all_rows) = match Response::decode(payload)? {
+        Response::RowsChunk { more, names, rows } => (more, names, rows),
+        other => return Ok(Some(other)),
+    };
+    while more {
+        let Some(payload) = read_frame(r)? else {
+            return Err(Error::Eval(
+                "connection closed mid row-chunk sequence".into(),
+            ));
+        };
+        match Response::decode(payload)? {
+            Response::RowsChunk { more: m, rows, .. } => {
+                all_rows.extend(rows);
+                more = m;
+            }
+            other => {
+                return Err(Error::Eval(format!(
+                    "expected a row chunk continuation, got {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(Some(Response::Rows {
+        names,
+        rows: all_rows,
+    }))
+}
+
 pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
@@ -754,6 +970,19 @@ mod tests {
             Request::Cluster(crate::cluster::ClusterReq::Commit),
             Request::Cluster(crate::cluster::ClusterReq::Abort),
             Request::Cluster(crate::cluster::ClusterReq::EndExchange),
+            Request::Prepare {
+                id: 42,
+                sql: "SELECT a FROM t WHERE id = ?".into(),
+            },
+            Request::Execute {
+                id: 42,
+                params: row![7, "naïve"],
+            },
+            Request::Execute {
+                id: 1,
+                params: Row(vec![]),
+            },
+            Request::CloseStmt { id: u64::MAX },
         ] {
             assert_eq!(Request::decode(r.encode()).unwrap(), r);
         }
@@ -938,6 +1167,93 @@ mod tests {
         let mut oversized = Vec::new();
         oversized.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_be_bytes());
         assert!(read_frame(&mut std::io::Cursor::new(oversized)).is_err());
+    }
+
+    #[test]
+    fn rows_chunk_round_trips() {
+        let r = Response::RowsChunk {
+            more: true,
+            names: vec!["id".into()],
+            rows: vec![row![1], row![2]],
+        };
+        assert_eq!(Response::decode(r.encode()).unwrap(), r);
+        let last = Response::RowsChunk {
+            more: false,
+            names: vec!["id".into()],
+            rows: vec![],
+        };
+        assert_eq!(Response::decode(last.encode()).unwrap(), last);
+    }
+
+    #[test]
+    fn small_results_stay_a_single_plain_rows_frame() {
+        let resp = Response::Rows {
+            names: vec!["id".into(), "name".into()],
+            rows: vec![row![1, "a"], row![2, "b"]],
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let mut r = std::io::Cursor::new(&buf);
+        let payload = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(payload[0], resp::ROWS, "must be plain ROWS, not a chunk");
+        assert_eq!(Response::decode(payload).unwrap(), resp);
+        assert!(read_frame(&mut r).unwrap().is_none(), "exactly one frame");
+    }
+
+    #[test]
+    fn oversized_results_chunk_and_reassemble() {
+        // ~24 MiB of rows: forced across multiple frames.
+        let big = "x".repeat(1 << 20);
+        let rows: Vec<Row> = (0..24i64).map(|i| row![i, big.clone()]).collect();
+        let resp = Response::Rows {
+            names: vec!["id".into(), "blob".into()],
+            rows: rows.clone(),
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+
+        // Raw view: several ROWS_CHUNK frames, all under the cap, last
+        // one with the continuation flag clear.
+        let mut r = std::io::Cursor::new(&buf);
+        let mut n_chunks = 0;
+        let mut last_more = true;
+        while let Some(payload) = read_frame(&mut r).unwrap() {
+            assert!(payload.len() <= MAX_FRAME_BYTES);
+            assert_eq!(payload[0], resp::ROWS_CHUNK);
+            n_chunks += 1;
+            match Response::decode(payload).unwrap() {
+                Response::RowsChunk { more, .. } => last_more = more,
+                other => panic!("{other:?}"),
+            }
+        }
+        assert!(n_chunks > 1, "expected multiple chunks, got {n_chunks}");
+        assert!(!last_more, "final chunk must clear the continuation flag");
+
+        // Logical view: read_response reassembles the original rows.
+        let mut r = std::io::Cursor::new(&buf);
+        let got = read_response(&mut r).unwrap().unwrap();
+        assert_eq!(got, resp);
+        assert!(read_response(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn unsplittable_row_errors_the_statement_not_the_session() {
+        let resp = Response::Rows {
+            names: vec!["blob".into()],
+            rows: vec![row!["y".repeat(MAX_FRAME_BYTES + 16)]],
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &resp).unwrap();
+        let mut r = std::io::Cursor::new(&buf);
+        match read_response(&mut r).unwrap().unwrap() {
+            Response::Err {
+                retryable, message, ..
+            } => {
+                assert!(!retryable);
+                assert!(message.contains("frame cap"), "{message}");
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -144,6 +144,10 @@ pub enum Expr {
     Mul(Box<Expr>, Box<Expr>),
     /// Scalar function call.
     Call(Func, Box<Expr>),
+    /// Positional parameter placeholder (`?`), 0-based. Only produced by
+    /// prepared-statement templates; must be substituted via
+    /// [`Expr::bind_params`] before evaluation.
+    Param(u32),
 }
 
 impl Expr {
@@ -271,6 +275,7 @@ impl Expr {
                 let v = arg.eval(scope, row)?;
                 eval_func(*f, v)
             }
+            Expr::Param(i) => Err(Error::Eval(format!("unbound parameter ?{}", i + 1))),
         }
     }
 
@@ -284,7 +289,7 @@ impl Expr {
     pub fn columns(&self, out: &mut Vec<ColRef>) {
         match self {
             Expr::Col(c) => out.push(c.clone()),
-            Expr::Lit(_) => {}
+            Expr::Lit(_) | Expr::Param(_) => {}
             Expr::Cmp(_, a, b)
             | Expr::And(a, b)
             | Expr::Or(a, b)
@@ -315,7 +320,55 @@ impl Expr {
             Expr::Sub(a, b) => Expr::Sub(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
             Expr::Mul(a, b) => Expr::Mul(Box::new(a.map_columns(f)), Box::new(b.map_columns(f))),
             Expr::Call(func, e) => Expr::Call(*func, Box::new(e.map_columns(f))),
+            Expr::Param(i) => Expr::Param(*i),
         }
+    }
+
+    /// Substitutes every [`Expr::Param`] with the corresponding literal from
+    /// `params`. Errors when a placeholder index is out of range.
+    pub fn bind_params(&self, params: &[Value]) -> Result<Expr> {
+        Ok(match self {
+            Expr::Param(i) => {
+                let v = params.get(*i as usize).ok_or_else(|| {
+                    Error::Eval(format!(
+                        "parameter ?{} out of range ({} bound)",
+                        i + 1,
+                        params.len()
+                    ))
+                })?;
+                Expr::Lit(v.clone())
+            }
+            Expr::Col(c) => Expr::Col(c.clone()),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.bind_params(params)?)),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.bind_params(params)?)),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.bind_params(params)?),
+                Box::new(b.bind_params(params)?),
+            ),
+            Expr::Call(func, e) => Expr::Call(*func, Box::new(e.bind_params(params)?)),
+        })
     }
 }
 
@@ -411,6 +464,7 @@ impl fmt::Display for Expr {
             Expr::Call(Func::ExtractDay, e) => write!(f, "EXTRACT(DAY FROM {e})"),
             Expr::Call(Func::Abs, e) => write!(f, "ABS({e})"),
             Expr::Call(Func::Neg, e) => write!(f, "(-{e})"),
+            Expr::Param(_) => f.write_str("?"),
         }
     }
 }

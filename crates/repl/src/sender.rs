@@ -55,6 +55,79 @@ struct Peer {
     sent_bytes: u64,
 }
 
+/// RAII handle on a WAL retain horizon. Registration hands out the
+/// guard; release happens in `Drop`, so **every** exit from a
+/// subscription — clean return, transport error, or a panic unwinding
+/// the sender thread — unpins checkpoint truncation. Before this guard,
+/// a subscription thread that died between `register_retain` and the
+/// manual `release_retain` pinned the WAL tail forever: checkpoints
+/// kept clamping to the dead subscriber's horizon and the log never
+/// truncated again.
+struct RetainGuard<'a> {
+    wal: &'a bullfrog_txn::Wal,
+    id: u64,
+}
+
+impl<'a> RetainGuard<'a> {
+    /// Registers `at` as a retain horizon; returns the guard and the
+    /// granted base (above `at` when the tail is already truncated).
+    fn register(wal: &'a bullfrog_txn::Wal, at: u64) -> (RetainGuard<'a>, u64) {
+        let (id, granted) = wal.register_retain(at);
+        (RetainGuard { wal, id }, granted)
+    }
+
+    /// Moves the horizon forward as the replica acknowledges.
+    fn advance(&self, lsn: u64) {
+        self.wal.advance_retain(self.id, lsn);
+    }
+}
+
+impl Drop for RetainGuard<'_> {
+    fn drop(&mut self) {
+        self.wal.release_retain(self.id);
+    }
+}
+
+/// RAII registration of one subscription in the peer table and the
+/// synchronous-replication gate; `Drop` removes both, for the same
+/// reason as [`RetainGuard`] — a dead subscriber must not count toward
+/// `SYNC_REPLICAS` quorums or lag reporting.
+struct PeerGuard<'a> {
+    sender: &'a ReplicationSender,
+    gate: Arc<bullfrog_txn::SyncGate>,
+    peer_id: u64,
+    gate_peer: u64,
+}
+
+impl<'a> PeerGuard<'a> {
+    fn register(sender: &'a ReplicationSender, from_lsn: u64) -> PeerGuard<'a> {
+        let peer_id = sender.next_peer.fetch_add(1, Ordering::Relaxed);
+        sender.peers.lock().insert(
+            peer_id,
+            Peer {
+                acked_lsn: from_lsn,
+                sent_records: 0,
+                sent_bytes: 0,
+            },
+        );
+        let gate = sender.bf.db().wal().sync_gate();
+        let gate_peer = gate.register_peer();
+        PeerGuard {
+            sender,
+            gate,
+            peer_id,
+            gate_peer,
+        }
+    }
+}
+
+impl Drop for PeerGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.remove_peer(self.gate_peer);
+        self.sender.peers.lock().remove(&self.peer_id);
+    }
+}
+
 /// The primary's replication state: the DDL journal, the DDL
 /// serialization lock, and per-replica progress.
 pub struct ReplicationSender {
@@ -147,11 +220,15 @@ impl ReplicationSender {
             };
             return bullfrog_net::wire::write_frame(&mut stream, &resp.encode());
         }
-        let (retain_id, granted) = wal.register_retain(from_lsn);
+        // Scope-tied registrations: the retain horizon, peer-table
+        // entry, and sync-gate slot all release on *any* exit from this
+        // function — including a panic unwinding the subscription
+        // thread, which previously left the horizon pinned and blocked
+        // checkpoint truncation forever.
+        let (retain, granted) = RetainGuard::register(wal, from_lsn);
         if granted > from_lsn {
             // The tail below `granted` is gone — truncated by a
             // checkpoint while this replica was away.
-            wal.release_retain(retain_id);
             let resp = Response::Err {
                 retryable: true,
                 code: err_code::SNAPSHOT_REQUIRED,
@@ -162,44 +239,20 @@ impl ReplicationSender {
             };
             return bullfrog_net::wire::write_frame(&mut stream, &resp.encode());
         }
-        let peer_id = self.next_peer.fetch_add(1, Ordering::Relaxed);
-        self.peers.lock().insert(
-            peer_id,
-            Peer {
-                acked_lsn: from_lsn,
-                sent_records: 0,
-                sent_bytes: 0,
-            },
-        );
         // Register with the synchronous-replication gate: commits
         // waiting under `SYNC_REPLICAS n` count this subscription's
         // acks toward their quorum.
-        let gate = wal.sync_gate();
-        let gate_peer = gate.register_peer();
-        let result = self.stream_frames(
-            &mut stream,
-            from_lsn,
-            ddl_seq,
-            peer_id,
-            retain_id,
-            gate_peer,
-            stop,
-        );
-        gate.remove_peer(gate_peer);
-        self.peers.lock().remove(&peer_id);
-        wal.release_retain(retain_id);
-        result
+        let peer = PeerGuard::register(self, from_lsn);
+        self.stream_frames(&mut stream, from_lsn, ddl_seq, &peer, &retain, stop)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn stream_frames(
         &self,
         stream: &mut TcpStream,
         from_lsn: u64,
         ddl_seq: u64,
-        peer_id: u64,
-        retain_id: u64,
-        gate_peer: u64,
+        peer: &PeerGuard<'_>,
+        retain: &RetainGuard<'_>,
         stop: &dyn Fn() -> bool,
     ) -> std::io::Result<()> {
         let wal = self.bf.db().wal();
@@ -253,9 +306,9 @@ impl ReplicationSender {
             // (never past what we have actually sent), and the
             // synchronous-commit gate.
             let acked_lsn = acked.load(Ordering::Acquire).min(next_lsn);
-            wal.advance_retain(retain_id, acked_lsn);
-            gate.advance_peer(gate_peer, acked_lsn);
-            if let Some(p) = self.peers.lock().get_mut(&peer_id) {
+            retain.advance(acked_lsn);
+            gate.advance_peer(peer.gate_peer, acked_lsn);
+            if let Some(p) = self.peers.lock().get_mut(&peer.peer_id) {
                 p.acked_lsn = acked_lsn;
             }
 
@@ -290,7 +343,7 @@ impl ReplicationSender {
             if let Err(e) = bullfrog_net::wire::write_frame(stream, &frame) {
                 break Err(e);
             }
-            if let Some(p) = self.peers.lock().get_mut(&peer_id) {
+            if let Some(p) = self.peers.lock().get_mut(&peer.peer_id) {
                 p.sent_records += nrecords;
                 p.sent_bytes += frame_bytes;
             }
@@ -401,5 +454,59 @@ impl std::fmt::Debug for ReplicationSender {
             .field("replicas", &self.replica_count())
             .field("journal", &self.journal)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bullfrog_engine::Database;
+
+    /// The leak this guards against: a subscription thread that dies
+    /// (panic, killed replica mid-handshake) between registering its
+    /// retain horizon and the old manual release left the horizon
+    /// registered forever, so checkpoint truncation stayed clamped to a
+    /// dead subscriber's resume point. The RAII guard releases on
+    /// unwind.
+    #[test]
+    fn killed_subscriber_does_not_pin_checkpoint_truncation() {
+        let db = Arc::new(Database::new());
+        let wal = db.wal();
+        assert_eq!(wal.retain_floor(), None);
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (retain, granted) = RetainGuard::register(wal, 3);
+            assert_eq!(granted, 3);
+            assert_eq!(wal.retain_floor(), Some(3), "horizon registered");
+            retain.advance(7);
+            assert_eq!(wal.retain_floor(), Some(7));
+            panic!("subscriber thread dies mid-stream");
+        }));
+        assert!(result.is_err(), "the closure must have panicked");
+        assert_eq!(
+            wal.retain_floor(),
+            None,
+            "a dead subscriber must release its retain horizon"
+        );
+    }
+
+    /// Same scope-tied cleanup for the peer table and sync gate: a dead
+    /// subscriber must stop counting toward SYNC_REPLICAS quorums.
+    #[test]
+    fn killed_subscriber_leaves_peer_table_and_gate() {
+        let bf = Arc::new(Bullfrog::new(Arc::new(Database::new())));
+        let journal = Arc::new(DdlJournal::in_memory());
+        let sender = ReplicationSender::new(Arc::clone(&bf), journal);
+        let gate = bf.db().wal().sync_gate();
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _peer = PeerGuard::register(&sender, 0);
+            assert_eq!(sender.replica_count(), 1);
+            assert_eq!(gate.peer_count(), 1);
+            panic!("subscriber thread dies mid-stream");
+        }));
+        assert!(result.is_err(), "the closure must have panicked");
+        assert_eq!(sender.replica_count(), 0, "peer entry must be removed");
+        assert_eq!(gate.peer_count(), 0, "gate slot must be removed");
     }
 }

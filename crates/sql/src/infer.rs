@@ -169,6 +169,10 @@ fn infer_expr(db: &Database, spec: &SelectSpec, e: &Expr) -> Result<Inferred> {
             })
         }
         Expr::Call(Func::Abs | Func::Neg, arg) => infer_expr(db, spec, arg),
+        Expr::Param(i) => Err(Error::Eval(format!(
+            "parameter ?{} not allowed here: output schema inference needs concrete types",
+            i + 1
+        ))),
     }
 }
 

@@ -27,7 +27,7 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal (unescaped).
     Str(String),
-    /// Punctuation / operator: `( ) , . * + - = < > <= >= <>`.
+    /// Punctuation / operator: `( ) , . * + - = < > <= >= <> ?`.
     Sym(&'static str),
 }
 
@@ -63,7 +63,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
             }
-            '(' | ')' | ',' | '.' | '*' | '+' | ';' | '-' | '=' => {
+            '(' | ')' | ',' | '.' | '*' | '+' | ';' | '-' | '=' | '?' => {
                 out.push(Token::Sym(match c {
                     '(' => "(",
                     ')' => ")",
@@ -73,6 +73,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                     ';' => ";",
                     '-' => "-",
                     '=' => "=",
+                    '?' => "?",
                     _ => "+",
                 }));
                 i += 1;
@@ -211,7 +212,12 @@ mod tests {
     #[test]
     fn errors_are_reported() {
         assert!(lex("a = 'unterminated").is_err());
-        assert!(lex("a ? b").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn question_mark_is_a_symbol() {
+        assert_eq!(lex("a = ?").unwrap()[2], Token::Sym("?"));
     }
 
     #[test]

@@ -30,4 +30,6 @@ mod statement;
 pub use infer::{infer_output_schema, qualify_spec};
 pub use lexer::MAX_SQL_BYTES;
 pub use parser::{parse_create_table, parse_migration, parse_predicate, parse_select};
-pub use statement::{parse_statement, reorder_insert_rows, Statement};
+pub use statement::{
+    parse_statement, parse_template, reorder_insert_rows, PreparedTemplate, Statement,
+};

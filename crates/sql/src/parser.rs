@@ -81,6 +81,11 @@ pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     depth: usize,
+    /// When false (the default), `?` placeholders are a parse error;
+    /// prepared-statement templates opt in via [`Parser::new_template`].
+    allow_params: bool,
+    /// Number of `?` placeholders consumed so far (assigned left to right).
+    params: u32,
 }
 
 impl Parser {
@@ -89,7 +94,21 @@ impl Parser {
             tokens: lex(sql)?,
             pos: 0,
             depth: 0,
+            allow_params: false,
+            params: 0,
         })
+    }
+
+    /// Parser accepting `?` parameter placeholders (PREPARE templates).
+    pub(crate) fn new_template(sql: &str) -> Result<Self> {
+        let mut p = Parser::new(sql)?;
+        p.allow_params = true;
+        Ok(p)
+    }
+
+    /// Number of `?` placeholders consumed so far.
+    pub(crate) fn param_count(&self) -> u32 {
+        self.params
     }
 
     pub(crate) fn peek(&self) -> Option<&Token> {
@@ -298,6 +317,18 @@ impl Parser {
             let e = self.additive()?;
             self.sym(")")?;
             return Ok(e);
+        }
+        if self.eat_sym("?") {
+            if !self.allow_params {
+                return Err(Error::Eval(
+                    "parameter placeholder '?' is only valid in a prepared statement \
+                     (use PREPARE/EXECUTE)"
+                        .into(),
+                ));
+            }
+            let i = self.params;
+            self.params += 1;
+            return Ok(Expr::Param(i));
         }
         if self.eat_sym("-") {
             return Ok(Expr::Call(Func::Neg, Box::new(self.factor()?)));

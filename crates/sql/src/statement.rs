@@ -35,6 +35,18 @@ pub enum Statement {
         /// Constant-folded value tuples.
         rows: Vec<Row>,
     },
+    /// `INSERT INTO t [(cols)] VALUES (...)` inside a prepared template
+    /// whose value expressions contain `?` placeholders: folding is
+    /// deferred to [`PreparedTemplate::bind`], which turns this back into
+    /// [`Statement::Insert`]. Never produced by [`parse_statement`].
+    InsertExprs {
+        /// Target table.
+        table: String,
+        /// Explicit column list (empty = schema order).
+        columns: Vec<String>,
+        /// Unfolded value tuples (literals, arithmetic, placeholders).
+        rows: Vec<Vec<Expr>>,
+    },
     /// `UPDATE t SET col = expr, ... [WHERE pred]`; set expressions may
     /// reference the row's own columns (`balance = balance + 1`).
     Update {
@@ -107,12 +119,156 @@ pub enum Statement {
 }
 
 /// Parses one statement. Never panics: malformed input, oversized
-/// literals, and absurd nesting all return `Err`.
+/// literals, and absurd nesting all return `Err`. `?` placeholders are
+/// rejected — prepared templates go through [`parse_template`].
 pub fn parse_statement(sql: &str) -> Result<Statement> {
     let mut p = Parser::new(sql)?;
     let stmt = statement(&mut p)?;
     p.expect_end()?;
     Ok(stmt)
+}
+
+/// A parsed prepared-statement template: a [`Statement`] that may contain
+/// `?` placeholders ([`bullfrog_query::Expr::Param`]), plus the number of
+/// placeholders. [`PreparedTemplate::bind`] substitutes actual values and
+/// yields an executable [`Statement`].
+#[derive(Debug, Clone)]
+pub struct PreparedTemplate {
+    stmt: Statement,
+    n_params: u32,
+}
+
+/// Parses one statement as a prepared template, allowing `?` placeholders
+/// inside DML expressions (assigned positions left to right). Placeholders
+/// are only legal in `SELECT`/`INSERT`/`UPDATE`/`DELETE`: DDL and control
+/// statements need concrete values at parse time.
+pub fn parse_template(sql: &str) -> Result<PreparedTemplate> {
+    let mut p = Parser::new_template(sql)?;
+    let stmt = statement(&mut p)?;
+    p.expect_end()?;
+    let n_params = p.param_count();
+    if n_params > 0
+        && !matches!(
+            stmt,
+            Statement::Select(_)
+                | Statement::Insert { .. }
+                | Statement::InsertExprs { .. }
+                | Statement::Update { .. }
+                | Statement::Delete { .. }
+        )
+    {
+        return Err(Error::Eval(
+            "parameter placeholders are only allowed in SELECT/INSERT/UPDATE/DELETE".into(),
+        ));
+    }
+    Ok(PreparedTemplate { stmt, n_params })
+}
+
+impl PreparedTemplate {
+    /// The underlying (possibly placeholder-carrying) statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Number of `?` placeholders the template expects.
+    pub fn n_params(&self) -> u32 {
+        self.n_params
+    }
+
+    /// Substitutes `params` for the placeholders and returns an executable
+    /// statement. Arity must match exactly.
+    pub fn bind(&self, params: &[Value]) -> Result<Statement> {
+        if params.len() != self.n_params as usize {
+            return Err(Error::Eval(format!(
+                "prepared statement expects {} parameters, got {}",
+                self.n_params,
+                params.len()
+            )));
+        }
+        Ok(match &self.stmt {
+            Statement::Select(spec) => Statement::Select(bind_spec(spec, params)?),
+            Statement::InsertExprs {
+                table,
+                columns,
+                rows,
+            } => {
+                let empty_scope = Scope::new();
+                let empty_row = Row(Vec::new());
+                let mut out = Vec::with_capacity(rows.len());
+                for exprs in rows {
+                    let mut vals = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        let bound = e.bind_params(params)?;
+                        vals.push(bound.eval(&empty_scope, &empty_row).map_err(|_| {
+                            Error::Eval(format!(
+                                "INSERT value {bound} is not a constant expression"
+                            ))
+                        })?);
+                    }
+                    out.push(Row(vals));
+                }
+                Statement::Insert {
+                    table: table.clone(),
+                    columns: columns.clone(),
+                    rows: out,
+                }
+            }
+            Statement::Update {
+                table,
+                sets,
+                predicate,
+            } => Statement::Update {
+                table: table.clone(),
+                sets: sets
+                    .iter()
+                    .map(|(c, e)| Ok((c.clone(), e.bind_params(params)?)))
+                    .collect::<Result<Vec<_>>>()?,
+                predicate: predicate
+                    .as_ref()
+                    .map(|e| e.bind_params(params))
+                    .transpose()?,
+            },
+            Statement::Delete { table, predicate } => Statement::Delete {
+                table: table.clone(),
+                predicate: predicate
+                    .as_ref()
+                    .map(|e| e.bind_params(params))
+                    .transpose()?,
+            },
+            // Zero-parameter templates of any other kind execute as-is.
+            other => other.clone(),
+        })
+    }
+}
+
+fn bind_spec(spec: &SelectSpec, params: &[Value]) -> Result<SelectSpec> {
+    use bullfrog_query::OutputColumn;
+    Ok(SelectSpec {
+        inputs: spec.inputs.clone(),
+        join_conds: spec.join_conds.clone(),
+        filter: spec
+            .filter
+            .as_ref()
+            .map(|e| e.bind_params(params))
+            .transpose()?,
+        columns: spec
+            .columns
+            .iter()
+            .map(|c| {
+                Ok(match c {
+                    OutputColumn::Scalar { name, expr } => OutputColumn::Scalar {
+                        name: name.clone(),
+                        expr: expr.bind_params(params)?,
+                    },
+                    OutputColumn::Agg { name, func, arg } => OutputColumn::Agg {
+                        name: name.clone(),
+                        func: *func,
+                        arg: arg.bind_params(params)?,
+                    },
+                })
+            })
+            .collect::<Result<Vec<_>>>()?,
+    })
 }
 
 fn statement(p: &mut Parser) -> Result<Statement> {
@@ -246,27 +402,53 @@ fn insert(p: &mut Parser) -> Result<Statement> {
         columns = p.paren_ident_list()?;
     }
     p.keyword("values")?;
-    let empty_scope = Scope::new();
-    let empty_row = Row(Vec::new());
-    let mut rows = Vec::new();
+    let params_before = p.param_count();
+    let mut exprs = Vec::new();
     loop {
         p.sym("(")?;
         let mut vals = Vec::new();
         loop {
-            let e = p.additive()?;
-            // Constant-fold: INSERT values must be literal expressions.
-            vals.push(e.eval(&empty_scope, &empty_row).map_err(|_| {
-                Error::Eval(format!("INSERT value {e} is not a constant expression"))
-            })?);
+            vals.push(p.additive()?);
             if !p.eat_sym(",") {
                 break;
             }
         }
         p.sym(")")?;
-        rows.push(Row(vals));
+        exprs.push(vals);
         if !p.eat_sym(",") {
             break;
         }
+    }
+    if p.param_count() > params_before {
+        // Placeholders present: folding waits for bind(), but column
+        // references are still a parse error (same contract as below).
+        for e in exprs.iter().flatten() {
+            let mut cols = Vec::new();
+            e.columns(&mut cols);
+            if !cols.is_empty() {
+                return Err(Error::Eval(format!(
+                    "INSERT value {e} is not a constant expression"
+                )));
+            }
+        }
+        return Ok(Statement::InsertExprs {
+            table,
+            columns,
+            rows: exprs,
+        });
+    }
+    let empty_scope = Scope::new();
+    let empty_row = Row(Vec::new());
+    let mut rows = Vec::with_capacity(exprs.len());
+    for vals in exprs {
+        let mut folded = Vec::with_capacity(vals.len());
+        for e in vals {
+            // Constant-fold: INSERT values must be literal expressions.
+            folded.push(e.eval(&empty_scope, &empty_row).map_err(|_| {
+                Error::Eval(format!("INSERT value {e} is not a constant expression"))
+            })?);
+        }
+        rows.push(Row(folded));
     }
     Ok(Statement::Insert {
         table,
@@ -478,6 +660,72 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(parse_statement("INSERT INTO t VALUES (a)").is_err());
+    }
+
+    #[test]
+    fn plain_parse_rejects_placeholders() {
+        assert!(parse_statement("SELECT a FROM t WHERE id = ?").is_err());
+        assert!(parse_statement("INSERT INTO t VALUES (?)").is_err());
+    }
+
+    #[test]
+    fn template_select_binds_to_same_statement_as_literal() {
+        let t = parse_template("SELECT a FROM t WHERE id = ? AND b < ?").unwrap();
+        assert_eq!(t.n_params(), 2);
+        let bound = t.bind(&[Value::Int(7), Value::text("z")]).unwrap();
+        let literal = parse_statement("SELECT a FROM t WHERE id = 7 AND b < 'z'").unwrap();
+        match (bound, literal) {
+            (Statement::Select(a), Statement::Select(b)) => {
+                assert_eq!(a.filter, b.filter);
+                assert_eq!(a.columns, b.columns);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_insert_defers_folding() {
+        let t = parse_template("INSERT INTO t (a, b) VALUES (?, ? + 1)").unwrap();
+        assert_eq!(t.n_params(), 2);
+        assert!(matches!(t.statement(), Statement::InsertExprs { .. }));
+        match t.bind(&[Value::Int(3), Value::Int(9)]).unwrap() {
+            Statement::Insert { rows, .. } => {
+                assert_eq!(rows[0], Row(vec![Value::Int(3), Value::Int(10)]));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Column references are still rejected at parse time.
+        assert!(parse_template("INSERT INTO t VALUES (?, some_col)").is_err());
+    }
+
+    #[test]
+    fn template_update_delete_bind() {
+        let t = parse_template("UPDATE t SET a = a + ? WHERE id = ?").unwrap();
+        match t.bind(&[Value::Int(5), Value::Int(1)]).unwrap() {
+            Statement::Update {
+                sets, predicate, ..
+            } => {
+                assert_eq!(sets[0].1.to_string(), "(a + 5)");
+                assert_eq!(predicate.unwrap().to_string(), "(id = 1)");
+            }
+            other => panic!("{other:?}"),
+        }
+        let t = parse_template("DELETE FROM t WHERE id = ?").unwrap();
+        assert!(matches!(
+            t.bind(&[Value::Int(2)]).unwrap(),
+            Statement::Delete { .. }
+        ));
+    }
+
+    #[test]
+    fn template_arity_and_kind_checks() {
+        let t = parse_template("SELECT a FROM t WHERE id = ?").unwrap();
+        assert!(t.bind(&[]).is_err());
+        assert!(t.bind(&[Value::Int(1), Value::Int(2)]).is_err());
+        // Placeholders outside DML are rejected.
+        assert!(parse_template("CREATE TABLE x AS (SELECT a FROM t WHERE id = ?)").is_err());
+        // Zero-param templates of any kind still parse.
+        assert_eq!(parse_template("BEGIN").unwrap().n_params(), 0);
     }
 
     #[test]
