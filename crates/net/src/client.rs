@@ -20,6 +20,7 @@
 //! connection is still usable, and `retryable` says whether resubmitting
 //! may succeed).
 
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -236,10 +237,14 @@ impl Client {
         }
     }
 
-    /// Pipelines a batch of statements: writes every request frame
-    /// before reading any response, then collects the responses, which
-    /// arrive in request order. The outer `Err` is a dead connection;
-    /// per-statement failures land in their slot of the returned vector.
+    /// Pipelines a batch of statements: request frames are written
+    /// back-to-back (without waiting for responses) and the responses
+    /// collected in request order. The outer `Err` is a dead
+    /// connection; per-statement failures land in their slot of the
+    /// returned vector. Batches of any size are safe: once the encoded
+    /// requests outgrow what kernel socket buffers are sure to absorb,
+    /// the write moves to a helper thread and responses are drained
+    /// concurrently, so the two directions can never deadlock.
     pub fn pipeline(&mut self, sqls: &[String]) -> ClientResult<Vec<ClientResult<QueryReply>>> {
         let requests: Vec<Request> = sqls.iter().map(|sql| Request::Query(sql.clone())).collect();
         self.pipeline_requests(&requests)
@@ -263,17 +268,61 @@ impl Client {
         self.pipeline_requests(&requests)
     }
 
+    /// Encoded batches at or under this size are written in one burst
+    /// before any response is read: they fit comfortably in the kernel
+    /// socket buffers, so the server can never be stuck writing
+    /// responses while we are stuck writing requests. Larger batches
+    /// write from a helper thread while this thread reads.
+    const PIPELINE_BURST_MAX: usize = 64 << 10;
+
     fn pipeline_requests(
         &mut self,
         requests: &[Request],
     ) -> ClientResult<Vec<ClientResult<QueryReply>>> {
+        let mut frames: Vec<u8> = Vec::new();
         for request in requests {
-            self.send(request)?;
+            // Writes to a Vec are infallible.
+            let _ = wire::write_frame(&mut frames, &request.encode());
         }
+        if frames.len() <= Self::PIPELINE_BURST_MAX {
+            self.stream.write_all(&frames)?;
+            let mut replies = Vec::with_capacity(requests.len());
+            for _ in requests {
+                replies.push(Self::reply_of(self.recv()?));
+            }
+            return Ok(replies);
+        }
+
+        // The batch is too big to park in socket buffers: writing it
+        // all before reading could fill both directions (we block
+        // writing requests, the server blocks writing responses) and
+        // trip the server's write timeout. A helper thread streams the
+        // requests while this thread drains responses as they arrive.
+        let mut writer = self.stream.try_clone()?;
+        let sender = std::thread::Builder::new()
+            .name("bf-client-pipeline".into())
+            .spawn(move || writer.write_all(&frames))
+            .map_err(ClientError::Io)?;
         let mut replies = Vec::with_capacity(requests.len());
+        let mut read_err: Option<ClientError> = None;
         for _ in requests {
-            replies.push(Self::reply_of(self.recv()?));
+            match self.recv() {
+                Ok(response) => replies.push(Self::reply_of(response)),
+                // A dead connection also unblocks the writer, so the
+                // join below cannot hang on it.
+                Err(e) => {
+                    read_err = Some(e);
+                    break;
+                }
+            }
         }
+        let wrote = sender
+            .join()
+            .map_err(|_| ClientError::Protocol("pipeline writer thread panicked".into()))?;
+        if let Some(e) = read_err {
+            return Err(e);
+        }
+        wrote?;
         Ok(replies)
     }
 

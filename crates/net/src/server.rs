@@ -68,9 +68,14 @@ const POLL_WAIT_CAP: Duration = Duration::from_millis(500);
 /// One nonblocking read's scratch size.
 const READ_CHUNK: usize = 64 * 1024;
 
-/// Per-connection receive buffer cap: one maximum frame plus header and
-/// a read chunk of pipelined follow-on bytes. A peer that exceeds it is
-/// not speaking the protocol.
+/// Per-connection receive buffer high-water mark: one maximum frame plus
+/// header and a read chunk of pipelined follow-on bytes. Reaching it is
+/// backpressure, not a violation — the worker stops draining, executes
+/// the complete frames already buffered (freeing their bytes), then
+/// resumes draining, so a fast pipeliner may legally stream any amount
+/// in one burst. Sized so a buffer at the mark always holds at least
+/// one complete legal frame, which is what guarantees each
+/// drain/execute round makes progress.
 const MAX_BUFFERED: usize = wire::MAX_FRAME_BYTES + 4 + READ_CHUNK;
 
 /// How long an above-resident worker lingers idle before exiting.
@@ -775,6 +780,15 @@ fn take_frame(buf: &mut Vec<u8>) -> std::result::Result<Option<Bytes>, ()> {
 /// requests written back-to-back produce N responses in the same
 /// order, and a failed statement produces an `ERR` in its slot without
 /// desynchronizing the stream.
+///
+/// Draining and executing alternate: once the receive buffer reaches
+/// [`MAX_BUFFERED`], buffered frames are executed (freeing their
+/// bytes) before draining resumes, so a burst of any size is absorbed
+/// with bounded memory. The only framing offense that closes the
+/// connection is a single frame announcing more than
+/// [`wire::MAX_FRAME_BYTES`]. EOF means "no more requests", not abort:
+/// frames already buffered still execute and their responses still
+/// flush before the connection closes.
 fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
     if conn.closed.load(Ordering::Acquire) {
         return;
@@ -784,54 +798,104 @@ fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
         return;
     }
 
-    // Drain everything the socket has; nonblocking reads never stall
-    // the worker.
     let mut chunk = [0u8; READ_CHUNK];
+    // Responses coalesce here across drain/execute rounds and flush in
+    // batched blocking writes — the pipelining contract only requires
+    // *order*, not a write per statement.
+    let mut out: Vec<u8> = Vec::new();
+    let (mut dry, mut eof);
     loop {
-        match (&conn.stream).read(&mut chunk) {
-            Ok(0) => return close_conn(conn, &mut st, shared),
-            Ok(n) => {
-                st.buf.extend_from_slice(&chunk[..n]);
-                if st.buf.len() > MAX_BUFFERED {
+        // Drain phase: pull bytes until the socket is dry, the peer is
+        // done writing, or the buffer holds a full burst's worth;
+        // nonblocking reads never stall the worker.
+        dry = false;
+        eof = false;
+        while st.buf.len() < MAX_BUFFERED {
+            match (&conn.stream).read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => st.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    dry = true;
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let _ = flush_out(conn, &mut out);
                     return close_conn(conn, &mut st, shared);
                 }
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(_) => return close_conn(conn, &mut st, shared),
         }
-    }
-    *conn.last_activity.lock().unwrap() = Instant::now();
+        *conn.last_activity.lock().unwrap() = Instant::now();
 
-    // Preamble first: reject strangers before touching the database.
-    if !st.preamble_ok {
-        if st.buf.len() < wire::PREAMBLE.len() {
-            return rearm(conn, &mut st, shared);
+        // Preamble first: reject strangers before touching the database.
+        if !st.preamble_ok {
+            if st.buf.len() < wire::PREAMBLE.len() {
+                if eof {
+                    return close_conn(conn, &mut st, shared);
+                }
+                return rearm(conn, &mut st, shared);
+            }
+            if st.buf[..wire::PREAMBLE.len()] != wire::PREAMBLE {
+                return close_conn(conn, &mut st, shared);
+            }
+            st.buf.drain(..wire::PREAMBLE.len());
+            st.preamble_ok = true;
         }
-        if st.buf[..wire::PREAMBLE.len()] != wire::PREAMBLE {
+
+        if !execute_buffered(conn, shared, &mut st, &mut out) {
+            return;
+        }
+
+        if eof {
+            // The peer shut down its write side after pipelining: no
+            // more requests will come, but every response already owed
+            // goes out before the connection closes.
+            let _ = flush_out(conn, &mut out);
             return close_conn(conn, &mut st, shared);
         }
-        st.buf.drain(..wire::PREAMBLE.len());
-        st.preamble_ok = true;
+        if dry {
+            break;
+        }
+        // Neither dry nor EOF: the buffer hit its high-water mark with
+        // the socket still readable. Executing just freed at least one
+        // frame's bytes, so the next drain round makes progress.
     }
+    if flush_out(conn, &mut out).is_err() {
+        return close_conn(conn, &mut st, shared);
+    }
+    *conn.last_activity.lock().unwrap() = Instant::now();
+    rearm(conn, &mut st, shared);
+}
 
-    // Responses for this wakeup's frames coalesce here and flush in one
-    // blocking write — the pipelining contract only requires *order*,
-    // not a write per statement.
-    let mut out: Vec<u8> = Vec::new();
+/// Execute phase of [`process_conn`]: runs every complete buffered
+/// frame in order, coalescing responses into `out`. Returns `false` if
+/// the connection was closed or handed off (the caller must return
+/// without touching it again), `true` if the pass completed and the
+/// connection is still owned by the caller.
+fn execute_buffered(
+    conn: &Arc<Conn>,
+    shared: &Arc<Shared>,
+    st: &mut MutexGuard<'_, ConnState>,
+    out: &mut Vec<u8>,
+) -> bool {
     loop {
         // A shutdown requested elsewhere stops this connection between
         // frames; the statement that was already running has finished.
         if shared.stopping() {
-            let _ = flush_out(conn, &mut out);
-            return close_conn(conn, &mut st, shared);
+            let _ = flush_out(conn, out);
+            close_conn(conn, st, shared);
+            return false;
         }
         let payload = match take_frame(&mut st.buf) {
             Ok(Some(p)) => p,
             Ok(None) => break,
             Err(()) => {
-                let _ = flush_out(conn, &mut out);
-                return close_conn(conn, &mut st, shared);
+                let _ = flush_out(conn, out);
+                close_conn(conn, st, shared);
+                return false;
             }
         };
         let response = match Request::decode(payload) {
@@ -848,11 +912,11 @@ fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
             },
             Ok(Request::Status) => Response::Stats(status_pairs(shared)),
             Ok(Request::Shutdown) => {
-                let _ = wire::write_response(&mut out, &Response::Ok { affected: 0 });
-                let _ = flush_out(conn, &mut out);
-                close_conn(conn, &mut st, shared);
+                let _ = wire::write_response(out, &Response::Ok { affected: 0 });
+                let _ = flush_out(conn, out);
+                close_conn(conn, st, shared);
                 shared.request_stop();
-                return;
+                return false;
             }
             Ok(Request::Subscribe {
                 from_lsn,
@@ -866,11 +930,12 @@ fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
                     // so shutdown drains subscriptions like any session.
                     // Responses owed for earlier pipelined frames go out
                     // first, before the sender takes over framing.
-                    if flush_out(conn, &mut out).is_err() {
-                        return close_conn(conn, &mut st, shared);
+                    if flush_out(conn, out).is_err() {
+                        close_conn(conn, st, shared);
+                        return false;
                     }
-                    subscribe_handoff(conn, &mut st, shared, hooks, from_lsn, ddl_seq, epoch);
-                    return;
+                    subscribe_handoff(conn, st, shared, hooks, from_lsn, ddl_seq, epoch);
+                    return false;
                 }
                 None => Response::Err {
                     retryable: false,
@@ -922,26 +987,23 @@ fn process_conn(conn: &Arc<Conn>, shared: &Arc<Shared>) {
         let stream_directly =
             matches!(&response, Response::Rows { rows, .. } if rows.len() >= STREAM_ROWS_THRESHOLD);
         let wrote = if stream_directly {
-            flush_out(conn, &mut out).and_then(|()| respond(conn, &response))
+            flush_out(conn, out).and_then(|()| respond(conn, &response))
         } else {
             // Writes to a Vec are infallible; size errors (a row over
             // the frame cap) are encoded as an ERR response instead.
-            let _ = wire::write_response(&mut out, &response);
+            let _ = wire::write_response(out, &response);
             if out.len() >= RESPOND_COALESCE_MAX {
-                flush_out(conn, &mut out)
+                flush_out(conn, out)
             } else {
                 Ok(())
             }
         };
         if wrote.is_err() {
-            return close_conn(conn, &mut st, shared);
+            close_conn(conn, st, shared);
+            return false;
         }
     }
-    if flush_out(conn, &mut out).is_err() {
-        return close_conn(conn, &mut st, shared);
-    }
-    *conn.last_activity.lock().unwrap() = Instant::now();
-    rearm(conn, &mut st, shared);
+    true
 }
 
 /// Converts a parked connection into a replication subscription: the

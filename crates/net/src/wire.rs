@@ -756,7 +756,10 @@ const CHUNK_TARGET_BYTES: usize = 4 << 20;
 /// results that fit stay a single plain `ROWS` frame, so old clients
 /// only ever see the new opcode on results they could not have received
 /// at all before. A single row too large for any frame errors that one
-/// statement instead of killing the session.
+/// statement instead of killing the session — even when earlier chunks
+/// of the same result already went out: an `ERR` frame is a legal
+/// terminator of a chunk sequence (see [`read_response`]), so the
+/// stream stays in frame sync and the statement alone fails.
 pub fn write_response(w: &mut impl Write, response: &Response) -> std::io::Result<()> {
     let (names, rows) = match response {
         Response::Rows { names, rows } => (names, rows),
@@ -837,6 +840,12 @@ fn write_rows_chunk(
 /// Reads one logical response, reassembling a `ROWS_CHUNK` sequence into
 /// a single [`Response::Rows`]. `Ok(None)` on clean EOF at a frame
 /// boundary.
+///
+/// An `ERR` frame is a legal terminator of a chunk sequence: the writer
+/// hit a row it could not encode (over the frame cap) after earlier
+/// chunks had already flushed. The partial rows are discarded and the
+/// `ERR` becomes the statement's response, keeping the stream in frame
+/// sync — the next frame belongs to the next statement.
 pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
     let Some(payload) = read_frame(r)? else {
         return Ok(None);
@@ -856,6 +865,7 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
                 all_rows.extend(rows);
                 more = m;
             }
+            err @ Response::Err { .. } => return Ok(Some(err)),
             other => {
                 return Err(Error::Eval(format!(
                     "expected a row chunk continuation, got {other:?}"

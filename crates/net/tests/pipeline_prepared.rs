@@ -18,7 +18,8 @@
 //! Engine mode comes from `BULLFROG_ENGINE_MODE` (the verify script
 //! runs this suite under both 2PL and SI).
 
-use std::net::TcpStream;
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -325,6 +326,243 @@ fn scan_larger_than_frame_cap_chunks_and_reassembles() {
         Response::Rows { rows, .. } => assert_eq!(rows.len(), 1),
         other => panic!("expected rows, got {other:?}"),
     }
+}
+
+#[test]
+fn burst_larger_than_server_buffer_is_not_a_violation() {
+    let (_server, addr, _) = serve();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .execute("CREATE TABLE t (id INT, payload CHAR(20000000), PRIMARY KEY (id))")
+        .unwrap();
+
+    // One near-maximum frame (a prepared INSERT whose bound parameter
+    // never passes through SQL text) followed by a tail of pipelined
+    // EXECUTEs: the whole burst (~17.5 MiB) exceeds the server's
+    // receive high-water mark, so it can only be absorbed by executing
+    // buffered frames between drain rounds — a server that treats the
+    // mark as a protocol violation disconnects this legal client
+    // mid-batch.
+    let mut burst: Vec<u8> = Vec::new();
+    wire::write_preamble(&mut burst).unwrap();
+    let prepare = Request::Prepare {
+        id: 1,
+        sql: "INSERT INTO t VALUES (?, ?)".into(),
+    };
+    wire::write_frame(&mut burst, &prepare.encode()).unwrap();
+    let big = Request::Execute {
+        id: 1,
+        params: Row(vec![Value::Int(0), Value::from("x".repeat(15_900_000))]),
+    };
+    wire::write_frame(&mut burst, &big.encode()).unwrap();
+    let tail = "y".repeat(64 << 10);
+    for i in 1..=24i64 {
+        let req = Request::Execute {
+            id: 1,
+            params: Row(vec![Value::Int(i), Value::from(tail.clone())]),
+        };
+        wire::write_frame(&mut burst, &req.encode()).unwrap();
+    }
+    assert!(
+        burst.len() > wire::MAX_FRAME_BYTES + 4 + (64 << 10),
+        "burst must exceed the server's buffer high-water mark"
+    );
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&burst).unwrap();
+    match wire::read_response(&mut s)
+        .unwrap()
+        .expect("connection open")
+    {
+        Response::Ok { affected: 2 } => {} // PREPARE acks the param count
+        other => panic!("expected the PREPARE ack, got {other:?}"),
+    }
+    for slot in 0..25usize {
+        match wire::read_response(&mut s)
+            .unwrap()
+            .expect("connection open")
+        {
+            Response::Ok { affected: 1 } => {}
+            other => panic!("slot {slot} expected OK(1), got {other:?}"),
+        }
+    }
+
+    // The connection survives the burst.
+    wire::write_frame(
+        &mut s,
+        &Request::Query("SELECT id FROM t WHERE id = 24".into()).encode(),
+    )
+    .unwrap();
+    match wire::read_response(&mut s).unwrap().expect("open") {
+        Response::Rows { rows, .. } => assert_eq!(rows, vec![Row(vec![Value::Int(24)])]),
+        other => panic!("expected rows, got {other:?}"),
+    }
+}
+
+#[test]
+fn eof_after_pipelined_requests_still_delivers_responses() {
+    let (_server, addr, _) = serve();
+    let mut admin = Client::connect(addr).unwrap();
+    admin
+        .execute("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+        .unwrap();
+
+    // Pipeline a batch, then shut down the write side before reading
+    // anything: EOF means "no more requests", so every response owed
+    // must still arrive before the server closes.
+    let mut s = TcpStream::connect(addr).unwrap();
+    wire::write_preamble(&mut s).unwrap();
+    for i in 0..8i64 {
+        wire::write_frame(
+            &mut s,
+            &Request::Query(format!("INSERT INTO t VALUES ({i})")).encode(),
+        )
+        .unwrap();
+        wire::write_frame(
+            &mut s,
+            &Request::Query(format!("SELECT id FROM t WHERE id = {i}")).encode(),
+        )
+        .unwrap();
+    }
+    s.shutdown(Shutdown::Write).unwrap();
+
+    for i in 0..8usize {
+        match wire::read_response(&mut s).unwrap().expect("open") {
+            Response::Ok { affected: 1 } => {}
+            other => panic!("slot {} expected OK(1), got {other:?}", 2 * i),
+        }
+        match wire::read_response(&mut s).unwrap().expect("open") {
+            Response::Rows { rows, .. } => {
+                assert_eq!(rows, vec![Row(vec![Value::Int(i as i64)])]);
+            }
+            other => panic!("slot {} expected rows, got {other:?}", 2 * i + 1),
+        }
+    }
+    // After the owed responses, the server closes cleanly.
+    assert!(wire::read_frame(&mut s).unwrap().is_none());
+}
+
+#[test]
+fn large_bidirectional_pipeline_completes() {
+    let (_server, addr, _) = serve();
+    let mut c = Client::connect(addr).unwrap();
+    c.execute("CREATE TABLE t (id INT, payload CHAR(70000), PRIMARY KEY (id))")
+        .unwrap();
+
+    // ~9.6 MiB of requests and ~9.6 MiB of responses in one batch —
+    // far past what kernel socket buffers hold in either direction, so
+    // a client that wrote everything before reading anything would
+    // wedge against the server's response writes. The client must
+    // stream the batch (threaded writer) while draining replies.
+    let payload = "z".repeat(64 << 10);
+    let mut batch = Vec::new();
+    for i in 0..150i64 {
+        batch.push(format!("INSERT INTO t VALUES ({i}, '{payload}')"));
+        batch.push(format!("SELECT payload FROM t WHERE id = {i}"));
+    }
+    let replies = c.pipeline(&batch).unwrap();
+    assert_eq!(replies.len(), 300);
+    for (slot, reply) in replies.iter().enumerate() {
+        if slot % 2 == 0 {
+            assert!(
+                matches!(reply, Ok(QueryReply::Ok { affected: 1 })),
+                "slot {slot}: {reply:?}"
+            );
+        } else {
+            match reply {
+                Ok(QueryReply::Rows { rows, .. }) => {
+                    assert_eq!(rows.len(), 1, "slot {slot}");
+                    match &rows[0][0] {
+                        Value::Text(s) => assert_eq!(s.len(), 64 << 10, "slot {slot}"),
+                        other => panic!("slot {slot}: expected text, got {other:?}"),
+                    }
+                }
+                other => panic!("slot {slot}: expected rows, got {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn err_legally_terminates_a_chunk_sequence_mid_stream() {
+    // Nine 1 MiB rows force at least one chunk (4 MiB split target) to
+    // flush with more=true before the 17 MiB row proves unencodable;
+    // the ERR written after those chunks must come back as the
+    // statement's response, and the *next* response in the stream must
+    // still be readable (frame sync survives).
+    let mut rows: Vec<Row> = (0..9)
+        .map(|i| Row(vec![Value::Int(i), Value::from("x".repeat(1 << 20))]))
+        .collect();
+    rows.push(Row(vec![Value::Int(99), Value::from("y".repeat(17 << 20))]));
+    let mut buf: Vec<u8> = Vec::new();
+    wire::write_response(
+        &mut buf,
+        &Response::Rows {
+            names: vec!["id".into(), "payload".into()],
+            rows,
+        },
+    )
+    .unwrap();
+    wire::write_response(&mut buf, &Response::Ok { affected: 7 }).unwrap();
+
+    // The sequence really did start before the failure was detected.
+    let mut peek = &buf[..];
+    let first = Response::decode(wire::read_frame(&mut peek).unwrap().unwrap()).unwrap();
+    assert!(
+        matches!(first, Response::RowsChunk { more: true, .. }),
+        "expected a flushed continuation chunk first, got {first:?}"
+    );
+
+    let mut r = &buf[..];
+    match wire::read_response(&mut r).unwrap().expect("response") {
+        Response::Err { message, .. } => assert!(message.contains("frame cap"), "{message}"),
+        other => panic!("expected the frame-cap ERR, got {other:?}"),
+    }
+    assert_eq!(
+        wire::read_response(&mut r).unwrap().expect("response"),
+        Response::Ok { affected: 7 },
+        "the statement after the aborted chunk sequence must decode cleanly"
+    );
+}
+
+#[test]
+fn oversized_row_after_flushed_chunks_fails_statement_not_session() {
+    let (_server, addr, bf) = serve();
+    let mut c = Client::connect(addr).unwrap();
+    c.execute("CREATE TABLE huge (id INT, payload CHAR(20000000), PRIMARY KEY (id))")
+        .unwrap();
+    c.prepare(1, "INSERT INTO huge VALUES (?, ?)").unwrap();
+    let medium = "x".repeat(1 << 20);
+    for i in 0..9i64 {
+        c.execute_prepared(1, Row(vec![Value::Int(i), Value::from(medium.clone())]))
+            .unwrap();
+    }
+    // The 17 MiB row cannot cross the wire in any frame (nor be
+    // inserted over it), so plant it server-side via the controller.
+    {
+        let db = bf.db();
+        let mut txn = db.begin();
+        bf.insert(
+            &mut txn,
+            "huge",
+            Row(vec![Value::Int(99), Value::from("y".repeat(17 << 20))]),
+        )
+        .unwrap();
+        db.commit(&mut txn).unwrap();
+    }
+
+    // The scan flushes chunks of the nine medium rows before tripping
+    // on the unsplittable one — the statement alone fails.
+    match c.query("SELECT id, payload FROM huge") {
+        Err(ClientError::Server { message, .. }) => {
+            assert!(message.contains("frame cap"), "{message}");
+        }
+        other => panic!("expected a frame-cap error, got {other:?}"),
+    }
+
+    // The session survives in frame sync.
+    let (_, rows) = c.query_rows("SELECT id FROM huge WHERE id = 1").unwrap();
+    assert_eq!(rows.len(), 1);
 }
 
 #[test]
