@@ -144,6 +144,17 @@ fn main() {
     let speedup_prepared = samples[1].stmts_per_sec / base;
     let speedup_pipelined = samples[2].stmts_per_sec / base;
 
+    // Recording-overhead probe: the same prepared+pipelined workload
+    // back-to-back with histogram/tracer recording globally off, then
+    // on. Reported, not asserted — loopback throughput is noisy at the
+    // sub-percent level the recording path actually costs.
+    bullfrog_obs::set_enabled(false);
+    let obs_off = run_prepared_pipelined(addr);
+    bullfrog_obs::set_enabled(true);
+    let obs_on = run_prepared_pipelined(addr);
+    let obs_overhead_pct =
+        (obs_off.stmts_per_sec - obs_on.stmts_per_sec) / obs_off.stmts_per_sec * 100.0;
+
     let rows: Vec<String> = samples
         .iter()
         .map(|s| {
@@ -157,7 +168,8 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"net\",\n  \"engine_mode\": \"{}\",\n  \"keys\": {KEYS},\n  \
          \"pipeline_batch\": {PIPELINE_BATCH},\n  \"speedup_prepared\": {speedup_prepared:.3},\n  \
-         \"speedup_pipelined\": {speedup_pipelined:.3},\n  \"samples\": [\n{}\n  ]\n}}\n",
+         \"speedup_pipelined\": {speedup_pipelined:.3},\n  \
+         \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \"samples\": [\n{}\n  ]\n}}\n",
         mode.as_str(),
         rows.join(",\n")
     );

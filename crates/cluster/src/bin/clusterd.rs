@@ -24,6 +24,7 @@
 //! The verify script drives a three-process loopback cluster through
 //! this binary; it is also the smallest real deployment shape.
 
+use std::io::Write;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -101,15 +102,22 @@ fn main() {
             flags.contains("--finalize-drop"),
         ),
         "status" => {
-            let nodes = nodes(&get("--nodes"));
-            let mut coord = Coordinator::connect(&nodes)
+            let node_addrs = nodes(&get("--nodes"));
+            let mut coord = Coordinator::connect(&node_addrs)
                 .unwrap_or_else(|e| fail(&format!("connect cluster: {e}")));
             let status = coord
                 .aggregate_status()
                 .unwrap_or_else(|e| fail(&format!("STATUS: {e}")));
+            // Status output is routinely piped into `grep -q`, which
+            // closes the pipe at first match — write through a handle
+            // that treats EPIPE as "reader satisfied", not a panic.
+            let mut out = std::io::stdout().lock();
             for (k, v) in status {
-                println!("{k} = {v}");
+                if writeln!(out, "{k} = {v}").is_err() {
+                    return;
+                }
             }
+            print_latency_summary(&node_addrs, &mut out);
         }
         "shutdown" => {
             for node in nodes(&get("--nodes")) {
@@ -196,6 +204,48 @@ fn run_migrate(nodes: &[String], sql: &str, finalize: bool, drop_old: bool) {
             if drop_old { " (old dropped)" } else { "" }
         );
     }
+}
+
+/// One summary line of cluster-merged latency truth: commit p50/p99
+/// plus the p99 of every flip/exchange phase that has fired, from each
+/// node's `METRICS` snapshot merged across the cluster. Best-effort — a
+/// node without the opcode is skipped, and a closed stdout (the reader
+/// was a `grep -q` that already matched) is not an error.
+fn print_latency_summary(nodes: &[String], out: &mut impl Write) {
+    let mut merged: Option<bullfrog_obs::MetricsSnapshot> = None;
+    for addr in nodes {
+        let Ok(mut client) = Client::connect(addr) else {
+            continue;
+        };
+        let Ok(snap) = client.metrics() else { continue };
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    let Some(snap) = merged else { return };
+    let mut line = String::from("latency:");
+    if let Some(h) = snap.histogram("engine.commit_us") {
+        line.push_str(&format!(
+            " commit_p50_us={} commit_p99_us={}",
+            h.quantile(0.50),
+            h.quantile(0.99)
+        ));
+    }
+    for (label, name) in [
+        ("prepare", "cluster.prepare_us"),
+        ("flip", "cluster.commit_us"),
+        ("exchange", "cluster.exchange_us"),
+        ("granule", "migrate.granule_us"),
+        ("finalize", "migrate.finalize_us"),
+    ] {
+        if let Some(h) = snap.histogram(name) {
+            if h.count() > 0 {
+                line.push_str(&format!(" {label}_p99_us={}", h.quantile(0.99)));
+            }
+        }
+    }
+    let _ = writeln!(out, "{line}");
 }
 
 fn fail(msg: &str) -> ! {

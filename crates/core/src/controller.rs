@@ -290,6 +290,9 @@ impl Bullfrog {
                 "a migration is already in progress".into(),
             ));
         }
+        let obs = Arc::clone(self.db.obs());
+        let flip_started = std::time::Instant::now();
+        let flip_t0 = obs.now_us();
         plan.resolve(&self.db)?;
 
         if plan.validate_eagerly && !opts.skip_validation {
@@ -392,7 +395,9 @@ impl Bullfrog {
         if si {
             let oracle = self.db.wal().oracle();
             let barrier = oracle.barrier_seq();
+            let quiesce = obs.tracer().span("migrate.quiesce", barrier);
             oracle.quiesce_writers_before(barrier, Duration::from_secs(5));
+            obs.histogram("migrate.quiesce_us").record(quiesce.finish());
             migration.ready.store(true, Ordering::Release);
         }
 
@@ -400,6 +405,14 @@ impl Bullfrog {
         if opts.background.unwrap_or(self.config.background.enabled) {
             self.spawn_background_for(&migration);
         }
+        obs.tracer().record(
+            "migrate.flip",
+            migration.runtimes.len() as u64,
+            flip_t0,
+            obs.now_us(),
+        );
+        obs.histogram("migrate.flip_us")
+            .record_micros(flip_started.elapsed());
         Ok((migration, caps))
     }
 
@@ -660,6 +673,9 @@ impl Bullfrog {
     }
 
     fn finalize_inner(&self, drop_old: bool, force: bool) -> Result<()> {
+        let obs = Arc::clone(self.db.obs());
+        let started = std::time::Instant::now();
+        let t0 = obs.now_us();
         let Some(active) = self.active() else {
             // Forced (mirror) finalizes stay idempotent: a replica that
             // bootstrapped from a post-finalize snapshot has no active
@@ -697,6 +713,12 @@ impl Bullfrog {
             }
         }
         *self.active.write() = None;
+        // Only a finalize that actually retired the migration records;
+        // probes that error ("not complete") are drain-polling noise.
+        obs.tracer()
+            .record("migrate.finalize", u64::from(drop_old), t0, obs.now_us());
+        obs.histogram("migrate.finalize_us")
+            .record_micros(started.elapsed());
         Ok(())
     }
 

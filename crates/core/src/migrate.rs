@@ -577,6 +577,9 @@ fn migrate_granule(
     dedup: DedupMode,
     opts: &MigrateOptions,
 ) -> Result<RowCounts> {
+    let obs = db.obs();
+    let started = std::time::Instant::now();
+    let t0 = obs.now_us();
     let mut counts = RowCounts::default();
     let output = execute_granule_spec(db, txn, rt, g)?;
     ensure_fk_targets(db, rt, &output, opts)?;
@@ -613,6 +616,12 @@ fn migrate_granule(
             Granule::Group(k) => GranuleKey::Group(k.clone()),
         },
     });
+    // Only completed granules record: an aborted attempt retries and
+    // would otherwise double-count its copy window.
+    obs.tracer()
+        .record("migrate.granule", counts.migrated, t0, obs.now_us());
+    obs.histogram("migrate.granule_us")
+        .record_micros(started.elapsed());
     Ok(counts)
 }
 

@@ -123,6 +123,13 @@ pub struct Database {
     si_commits: AtomicU64,
     /// Version-chain nodes reclaimed by GC over the database's lifetime.
     gc_reclaimed: AtomicU64,
+    /// This instance's metrics registry. Per-database (tests and
+    /// `loadgen` run several servers in one process), shared with the
+    /// WAL at construction and with every layer above via [`Database::obs`].
+    obs: Arc<bullfrog_obs::Registry>,
+    /// End-to-end commit latency (append + group-commit wait + version
+    /// install), microseconds. Cached handle off `obs`.
+    commit_hist: Arc<bullfrog_obs::Histogram>,
 }
 
 impl Database {
@@ -133,15 +140,20 @@ impl Database {
 
     /// Creates an empty database with the given configuration.
     pub fn with_config(config: DbConfig) -> Self {
+        let obs = Arc::new(bullfrog_obs::Registry::new());
+        let wal = Wal::new();
+        wal.attach_obs(&obs);
         Database {
             catalog: Catalog::new(),
             lm: LockManager::new(config.lock_timeout),
             tm: TxnManager::new(),
-            wal: Wal::new(),
+            wal,
             ckpt: crate::checkpoint::Checkpointer::new(None),
             config,
             si_commits: AtomicU64::new(0),
             gc_reclaimed: AtomicU64::new(0),
+            commit_hist: obs.histogram("engine.commit_us"),
+            obs,
         }
     }
 
@@ -168,17 +180,22 @@ impl Database {
         opts: bullfrog_txn::WalOptions,
     ) -> bullfrog_common::Result<Self> {
         let path = path.as_ref();
+        let obs = Arc::new(bullfrog_obs::Registry::new());
+        let wal = Wal::with_file_opts(path, opts)?;
+        wal.attach_obs(&obs);
         Ok(Database {
             catalog: Catalog::new(),
             lm: LockManager::new(config.lock_timeout),
             tm: TxnManager::new(),
-            wal: Wal::with_file_opts(path, opts)?,
+            wal,
             ckpt: crate::checkpoint::Checkpointer::new(Some(
                 crate::checkpoint::checkpoint_path_for(path),
             )),
             config,
             si_commits: AtomicU64::new(0),
             gc_reclaimed: AtomicU64::new(0),
+            commit_hist: obs.histogram("engine.commit_us"),
+            obs,
         })
     }
 
@@ -200,6 +217,14 @@ impl Database {
     /// The configuration.
     pub fn config(&self) -> &DbConfig {
         &self.config
+    }
+
+    /// This database's metrics registry. Every layer above (sessions,
+    /// migration controller, replication, cluster membership) registers
+    /// its counters and histograms here, so one `METRICS` snapshot
+    /// covers the whole instance.
+    pub fn obs(&self) -> &Arc<bullfrog_obs::Registry> {
+        &self.obs
     }
 
     // --- DDL --------------------------------------------------------------
@@ -298,8 +323,11 @@ impl Database {
     /// is never acked and re-routes to the current primary.
     pub fn commit(&self, txn: &mut Transaction) -> Result<()> {
         txn.assert_active()?;
+        let started = std::time::Instant::now();
         if txn.snapshot().is_some() {
-            return self.commit_snapshot(txn);
+            let r = self.commit_snapshot(txn);
+            self.commit_hist.record_micros(started.elapsed());
+            return r;
         }
         let mut outcome = AckOutcome::Synced;
         if !txn.redo.is_empty() {
@@ -309,6 +337,7 @@ impl Database {
         }
         txn.mark_committed()?;
         self.release_locks(txn);
+        self.commit_hist.record_micros(started.elapsed());
         if outcome == AckOutcome::Fenced {
             return Err(Error::Fenced {
                 leader: self.wal.sync_gate().leader_hint(),
@@ -395,6 +424,7 @@ impl Database {
     /// Read-only transactions get a trivially-durable ticket.
     pub fn commit_nowait(&self, txn: &mut Transaction) -> Result<CommitTicket> {
         txn.assert_active()?;
+        let started = std::time::Instant::now();
         let mut visible_ts = None;
         let ticket = if txn.redo.is_empty() {
             txn.release_snapshot();
@@ -425,6 +455,9 @@ impl Database {
         if let Some(ts) = visible_ts {
             self.wal.oracle().wait_stable(ts, Duration::from_secs(5));
         }
+        // NOWAIT commit latency is the enqueue cost, not durability —
+        // the deliberately-absent fsync wait is the point of the mode.
+        self.commit_hist.record_micros(started.elapsed());
         Ok(ticket)
     }
 

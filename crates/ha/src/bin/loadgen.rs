@@ -96,6 +96,11 @@ struct Args {
     /// loopback server, print its address, and block until a remote
     /// SHUTDOWN.
     serve: bool,
+    /// Run the observability timeline scenario instead: both engine
+    /// modes in one invocation, per-second latency histograms across
+    /// mid-traffic 1:1 and n:1 migrations, JSON to
+    /// `target/BENCH_obs.json` (override with `BENCH_OBS_JSON`).
+    timeline: bool,
 }
 
 impl Args {
@@ -117,6 +122,7 @@ impl Args {
             prepared: false,
             pipeline: false,
             serve: false,
+            timeline: false,
         };
         let mut it = std::env::args().skip(1);
         while let Some(flag) = it.next() {
@@ -158,6 +164,7 @@ impl Args {
                 "--prepared" => args.prepared = true,
                 "--pipeline" => args.pipeline = true,
                 "--serve" => args.serve = true,
+                "--timeline" => args.timeline = true,
                 "--engine-mode" => {
                     args.mode = match it.next().as_deref() {
                         Some("2pl") => EngineMode::TwoPL,
@@ -185,6 +192,15 @@ impl Args {
                 "--connections runs its own serve-only child; drop --replica/--cluster/--failover"
             );
         }
+        if args.timeline
+            && (args.replica
+                || args.addr.is_some()
+                || args.cluster > 0
+                || args.failover
+                || args.connections > 0)
+        {
+            panic!("--timeline self-hosts both engine modes; drop the other scenario flags");
+        }
         args
     }
 }
@@ -203,6 +219,10 @@ fn main() {
     let started = Instant::now();
     if args.serve {
         run_serve(&args);
+        return;
+    }
+    if args.timeline {
+        run_timeline(&args, started);
         return;
     }
     if args.connections > 0 {
@@ -716,6 +736,280 @@ fn stat(pairs: &[(String, i64)], key: &str) -> i64 {
         .find(|(k, _)| k == key)
         .map(|(_, v)| *v)
         .unwrap_or_else(|| panic!("STATUS is missing {key}"))
+}
+
+// ---------------------------------------------------------------------------
+// --timeline: the per-second latency timeline across mid-traffic
+// migrations, both engine modes in one invocation.
+// ---------------------------------------------------------------------------
+
+/// Runs the migration scenario under both engine modes, bucketing every
+/// statement bracket's latency into 1-second [`bullfrog_obs::Histogram`]
+/// slots, and emits the per-second p50/p99 timeline — with markers at
+/// migration submit/complete/finalize — to `target/BENCH_obs.json`
+/// (override with `BENCH_OBS_JSON`). Self-asserts that the slots
+/// spanning each migration window carry a nonzero p99: the timeline is
+/// only evidence if traffic actually overlapped the migration.
+fn run_timeline(args: &Args, started: Instant) {
+    let mut reports = Vec::new();
+    for mode in [EngineMode::TwoPL, EngineMode::Snapshot] {
+        reports.push(run_timeline_mode(args, mode));
+        println!(
+            "loadgen: timeline for {} captured at {:?}",
+            mode.as_str(),
+            started.elapsed()
+        );
+    }
+    let path =
+        std::env::var("BENCH_OBS_JSON").unwrap_or_else(|_| "target/BENCH_obs.json".to_string());
+    let json = format!(
+        "{{\n  \"bench\": \"obs_timeline\",\n  \"seed\": {},\n  \"clients\": {},\n  \
+         \"accounts\": {},\n  \"modes\": [\n{}\n  ]\n}}\n",
+        args.seed,
+        args.clients,
+        args.accounts,
+        reports.join(",\n")
+    );
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    std::fs::write(&path, &json).expect("write BENCH_obs.json");
+    println!(
+        "loadgen: timeline written to {path} in {:?}",
+        started.elapsed()
+    );
+}
+
+/// One engine mode's timeline run; returns its JSON object fragment.
+fn run_timeline_mode(args: &Args, mode: EngineMode) -> String {
+    /// Per-second slots; a run past the last slot clamps into it rather
+    /// than losing samples.
+    const SLOTS: usize = 120;
+    let db = Arc::new(Database::with_config(DbConfig {
+        mode,
+        ..DbConfig::default()
+    }));
+    let bf = Arc::new(Bullfrog::new(db));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Arc::clone(&bf),
+        ServerConfig {
+            max_connections: args.clients + 8,
+            idle_timeout: Duration::from_secs(30),
+            statement_timeout: Duration::from_secs(10),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind timeline loopback");
+    let addr = server.local_addr();
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin
+        .execute("CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))")
+        .expect("create accounts");
+    for chunk in (0..args.accounts).collect::<Vec<_>>().chunks(64) {
+        let values: Vec<String> = chunk
+            .iter()
+            .map(|i| format!("({i}, 'o{}', {INITIAL_BALANCE})", i % args.owners))
+            .collect();
+        admin
+            .execute(&format!(
+                "INSERT INTO accounts VALUES {}",
+                values.join(", ")
+            ))
+            .expect("load accounts");
+    }
+
+    let run0 = Instant::now();
+    let slots: Arc<Vec<bullfrog_obs::Histogram>> =
+        Arc::new((0..SLOTS).map(|_| bullfrog_obs::Histogram::new()).collect());
+    let commit_sql: &'static str = if args.nowait {
+        "COMMIT NOWAIT"
+    } else {
+        "COMMIT"
+    };
+    let phase = Arc::new(AtomicUsize::new(PHASE_OLD));
+    let committed = Arc::new(AtomicU64::new(0));
+    let retried = Arc::new(AtomicU64::new(0));
+    let paused = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for w in 0..args.clients {
+        let phase = Arc::clone(&phase);
+        let committed = Arc::clone(&committed);
+        let retried = Arc::clone(&retried);
+        let paused = Arc::clone(&paused);
+        let slots = Arc::clone(&slots);
+        let accounts = args.accounts;
+        let owners = args.owners;
+        let seed = args.seed;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(w as u64));
+            let mut client = Client::connect(addr).expect("worker connect");
+            let record = |slots: &[bullfrog_obs::Histogram], t0: Instant| {
+                let slot = (run0.elapsed().as_secs() as usize).min(SLOTS - 1);
+                slots[slot].record_micros(t0.elapsed());
+            };
+            let mut acked_pause = false;
+            loop {
+                match phase.load(Ordering::Acquire) {
+                    PHASE_DONE => break,
+                    PHASE_PAUSE => {
+                        if !acked_pause {
+                            acked_pause = true;
+                            paused.fetch_add(1, Ordering::AcqRel);
+                        }
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    PHASE_TOTALS => {
+                        let o = rng.gen_range(0..owners);
+                        let t0 = Instant::now();
+                        let _ = client
+                            .query_rows(&format!(
+                                "SELECT owner, total FROM owner_totals WHERE owner = 'o{o}'"
+                            ))
+                            .map_err(fatal_if_transport);
+                        record(&slots, t0);
+                    }
+                    p => {
+                        let table = if p == PHASE_OLD {
+                            "accounts"
+                        } else {
+                            "accounts_v2"
+                        };
+                        let a = rng.gen_range(0..accounts);
+                        let b = (a + 1 + rng.gen_range(0..accounts - 1)) % accounts;
+                        let t0 = Instant::now();
+                        if transfer(&mut client, table, a, b, commit_sql, &retried) {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        record(&slots, t0);
+                    }
+                }
+            }
+        }));
+    }
+
+    // Let pre-migration traffic cross at least one slot boundary so the
+    // timeline has a "before" baseline.
+    std::thread::sleep(Duration::from_millis(1100));
+    let m1_submit = run0.elapsed().as_secs_f64();
+    admin
+        .execute(
+            "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) \
+             PRIMARY KEY (id)",
+        )
+        .expect("submit 1:1 migration");
+    phase.store(PHASE_NEW, Ordering::Release);
+    wait_complete(&mut admin, Duration::from_secs(20));
+    let m1_complete = run0.elapsed().as_secs_f64();
+    phase.store(PHASE_PAUSE, Ordering::Release);
+    while paused.load(Ordering::Acquire) < args.clients {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    admin
+        .execute("FINALIZE MIGRATION DROP OLD")
+        .expect("finalize 1:1");
+    let m1_finalize = run0.elapsed().as_secs_f64();
+
+    let m2_submit = run0.elapsed().as_secs_f64();
+    admin
+        .execute(
+            "CREATE TABLE owner_totals AS (SELECT owner, SUM(balance) AS total \
+             FROM accounts_v2 GROUP BY owner) PRIMARY KEY (owner)",
+        )
+        .expect("submit n:1 migration");
+    phase.store(PHASE_TOTALS, Ordering::Release);
+    wait_complete(&mut admin, Duration::from_secs(20));
+    let m2_complete = run0.elapsed().as_secs_f64();
+    admin.execute("FINALIZE MIGRATION").expect("finalize n:1");
+    let m2_finalize = run0.elapsed().as_secs_f64();
+    // A short post-migration tail gives the timeline an "after" edge.
+    std::thread::sleep(Duration::from_millis(300));
+    phase.store(PHASE_DONE, Ordering::Release);
+    for h in handles {
+        h.join().expect("timeline worker");
+    }
+
+    // Server-side evidence from METRICS: the migration-phase histograms
+    // that only the registry sees.
+    let snap = admin.metrics().expect("metrics snapshot");
+    let hist_p99 = |name: &str| snap.histogram(name).map_or(0, |h| h.quantile(0.99));
+    let hist_count = |name: &str| snap.histogram(name).map_or(0, |h| h.count());
+    admin.shutdown_server().expect("shutdown opcode");
+    server.shutdown();
+
+    // Per-second rows, skipping empty slots past the run's end.
+    let mut rows = Vec::new();
+    for (s, h) in slots.iter().enumerate() {
+        let snap = h.snapshot();
+        if snap.count() == 0 {
+            continue;
+        }
+        rows.push(format!(
+            "        {{\"s\": {s}, \"count\": {}, \"p50_us\": {}, \"p99_us\": {}}}",
+            snap.count(),
+            snap.quantile(0.50),
+            snap.quantile(0.99)
+        ));
+    }
+
+    let m1_p99 = window_p99(&slots, m1_submit, m1_complete);
+    let m2_p99 = window_p99(&slots, m2_submit, m2_complete);
+    assert!(
+        m1_p99 > 0,
+        "no traffic latency recorded inside the 1:1 migration window ({})",
+        mode.as_str()
+    );
+    assert!(
+        m2_p99 > 0,
+        "no traffic latency recorded inside the n:1 migration window ({})",
+        mode.as_str()
+    );
+    println!(
+        "loadgen: {} timeline — {} commits, 1:1 window p99 {}us, n:1 window p99 {}us, \
+         granule p99 {}us ({} granules)",
+        mode.as_str(),
+        committed.load(Ordering::Relaxed),
+        m1_p99,
+        m2_p99,
+        hist_p99("migrate.granule_us"),
+        hist_count("migrate.granule_us"),
+    );
+
+    format!(
+        "    {{\n      \"mode\": \"{}\",\n      \"committed\": {},\n      \"retried\": {},\n      \
+         \"markers_s\": {{\"m1_submit\": {m1_submit:.3}, \"m1_complete\": {m1_complete:.3}, \
+         \"m1_finalize\": {m1_finalize:.3}, \"m2_submit\": {m2_submit:.3}, \
+         \"m2_complete\": {m2_complete:.3}, \"m2_finalize\": {m2_finalize:.3}}},\n      \
+         \"m1_window_p99_us\": {m1_p99},\n      \"m2_window_p99_us\": {m2_p99},\n      \
+         \"server\": {{\"commit_p99_us\": {}, \"granule_p99_us\": {}, \"granule_count\": {}, \
+         \"finalize_p99_us\": {}, \"flip_p99_us\": {}}},\n      \"timeline\": [\n{}\n      ]\n    }}",
+        mode.as_str(),
+        committed.load(Ordering::Relaxed),
+        retried.load(Ordering::Relaxed),
+        hist_p99("engine.commit_us"),
+        hist_p99("migrate.granule_us"),
+        hist_count("migrate.granule_us"),
+        hist_p99("migrate.finalize_us"),
+        hist_p99("migrate.flip_us"),
+        rows.join(",\n")
+    )
+}
+
+/// The merged p99 of every 1-second slot the `[from_s, to_s]` window
+/// touches (slot granularity is the timeline's resolution, so the
+/// window rounds outward to whole slots).
+fn window_p99(slots: &[bullfrog_obs::Histogram], from_s: f64, to_s: f64) -> u64 {
+    let lo = (from_s.floor() as usize).min(slots.len() - 1);
+    let hi = (to_s.floor() as usize).min(slots.len() - 1);
+    let mut merged: Option<bullfrog_obs::HistogramSnapshot> = None;
+    for h in &slots[lo..=hi] {
+        let snap = h.snapshot();
+        match &mut merged {
+            Some(m) => m.merge(&snap),
+            None => merged = Some(snap),
+        }
+    }
+    merged.map_or(0, |m| m.quantile(0.99))
 }
 
 // ---------------------------------------------------------------------------

@@ -320,8 +320,14 @@ fn run_status(opts: &Opts) {
         .status()
         .unwrap_or_else(|e| fail(&format!("STATUS: {e}")));
     if opts.has("--full") {
+        // Routinely piped into `grep -q`, which closes the pipe at
+        // first match — treat EPIPE as "reader satisfied", not a panic.
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
         for (k, v) in status {
-            println!("{k} = {v}");
+            if writeln!(out, "{k} = {v}").is_err() {
+                return;
+            }
         }
         return;
     }
@@ -343,14 +349,41 @@ fn run_status(opts: &Opts) {
         }
     };
     let sync_lag = get("repl.lag_lsns").unwrap_or(0);
+    // Latency truth rides along from METRICS: commit p50/p99 plus the
+    // p99 of every migration phase that has fired. Best-effort — an
+    // older peer without the opcode just omits the fields.
+    let (commit_p50, commit_p99, phases) = match client.metrics() {
+        Ok(snap) => {
+            let commit = snap.histogram("engine.commit_us");
+            let p50 = commit.map_or(0, |h| h.quantile(0.50));
+            let p99 = commit.map_or(0, |h| h.quantile(0.99));
+            let mut phases = String::new();
+            for (label, name) in [
+                ("granule", "migrate.granule_us"),
+                ("quiesce", "migrate.quiesce_us"),
+                ("flip", "migrate.flip_us"),
+                ("finalize", "migrate.finalize_us"),
+            ] {
+                if let Some(h) = snap.histogram(name) {
+                    if h.count() > 0 {
+                        phases.push_str(&format!(" {label}_p99_us={}", h.quantile(0.99)));
+                    }
+                }
+            }
+            (p50, p99, phases)
+        }
+        Err(_) => (0, 0, String::new()),
+    };
     if opts.has("--json") {
         println!(
             "{{\"role\":\"{role}\",\"epoch\":{epoch},\"leader\":\"{leader}\",\
-             \"lease_ms\":{lease_ms},\"sync_lag\":{sync_lag}}}"
+             \"lease_ms\":{lease_ms},\"sync_lag\":{sync_lag},\
+             \"commit_p50_us\":{commit_p50},\"commit_p99_us\":{commit_p99}}}"
         );
     } else {
         println!(
-            "role={role} epoch={epoch} leader={} lease_ms={lease_ms} sync_lag={sync_lag}",
+            "role={role} epoch={epoch} leader={} lease_ms={lease_ms} sync_lag={sync_lag} \
+             commit_p50_us={commit_p50} commit_p99_us={commit_p99}{phases}",
             if leader.is_empty() { "-" } else { &leader }
         );
     }

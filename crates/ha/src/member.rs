@@ -366,10 +366,16 @@ impl HaHooks for HaMember {
     }
 
     fn status(&self) -> Vec<(String, i64)> {
-        let (role, lease_ms) = {
+        // Role and epoch must come from one lock hold: depositions
+        // (`handle_renew`, `handle_vote`) flip the role and bump the
+        // epoch under the same critical section, so sampling the epoch
+        // after releasing the lock could pair `is_leader = 1` with a
+        // successor's epoch this node never led at.
+        let (role, epoch, lease_ms) = {
             let st = self.state.lock();
             (
                 st.role,
+                self.epoch.epoch(),
                 st.lease_until
                     .saturating_duration_since(Instant::now())
                     .as_millis() as i64,
@@ -378,7 +384,7 @@ impl HaHooks for HaMember {
         vec![
             ("ha.role".into(), role.code()),
             ("ha.is_leader".into(), i64::from(role == Role::Leader)),
-            ("ha.epoch".into(), self.epoch.epoch() as i64),
+            ("ha.epoch".into(), epoch as i64),
             ("ha.lease_remaining_ms".into(), lease_ms),
             ("ha.members".into(), self.config.members.len() as i64),
             ("ha.majority".into(), self.config.majority() as i64),
@@ -507,6 +513,49 @@ mod tests {
         assert_eq!(m.role(), Role::Follower);
         assert!(gate.is_fenced());
         assert_eq!(gate.leader_hint().as_deref(), Some("r:1"));
+    }
+
+    /// Regression: `status()` used to read the role under the state
+    /// lock but the epoch *after* releasing it, so a deposition racing
+    /// the read could pair `ha.is_leader = 1` with the successor's
+    /// epoch — a leadership claim at an epoch this node never led.
+    /// Both values now come from one lock hold, the same critical
+    /// section depositions mutate them under.
+    #[test]
+    fn status_never_pairs_leadership_with_a_successor_epoch() {
+        use std::sync::atomic::AtomicBool;
+
+        for _ in 0..200 {
+            let m = HaMember::new(config(40), EpochStore::volatile(), Role::Leader, None);
+            m.epoch.observe(1).unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let reader = {
+                let m = Arc::clone(&m);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut torn = false;
+                    while !stop.load(Ordering::Acquire) {
+                        let pairs = m.status();
+                        let get = |key: &str| {
+                            pairs.iter().find(|(k, _)| k == key).expect("key present").1
+                        };
+                        if get("ha.is_leader") == 1 && get("ha.epoch") >= 2 {
+                            torn = true;
+                            break;
+                        }
+                    }
+                    torn
+                })
+            };
+            // The deposing renewal flips role→Follower and bumps the
+            // epoch to 2 in one critical section.
+            assert!(renew(&m, 2, "r:1", 40));
+            stop.store(true, Ordering::Release);
+            assert!(
+                !reader.join().unwrap(),
+                "status() reported leadership at the deposing epoch"
+            );
+        }
     }
 
     #[test]

@@ -402,6 +402,17 @@ impl Client {
         }
     }
 
+    /// Fetches the server's full metrics snapshot: counters, gauges,
+    /// latency histograms, and recent migration-lifecycle spans.
+    pub fn metrics(&mut self) -> ClientResult<bullfrog_obs::MetricsSnapshot> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics(snapshot) => Ok(snapshot),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected metrics reply {other:?}"
+            ))),
+        }
+    }
+
     /// Requests a graceful server shutdown. The server acknowledges,
     /// then drains every session and syncs its WAL.
     pub fn shutdown_server(&mut self) -> ClientResult<()> {

@@ -293,17 +293,40 @@ struct Pool {
 }
 
 /// State shared between the accept thread, poll thread, workers, and
-/// handles.
+/// handles. Counters and histograms are handles into the database's
+/// [`bullfrog_obs::Registry`], resolved once at bind time so the per
+/// frame hot path never takes the registry lock.
 struct Shared {
     bf: Arc<Bullfrog>,
+    obs: Arc<bullfrog_obs::Registry>,
     config: ServerConfig,
     local_addr: SocketAddr,
     stop: AtomicBool,
     active: AtomicUsize,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    accept_errors: AtomicU64,
+    accepted: Arc<bullfrog_obs::Counter>,
+    rejected: Arc<bullfrog_obs::Counter>,
+    accept_errors: Arc<bullfrog_obs::Counter>,
     counters: Arc<SessionCounters>,
+    /// Statement latency by opcode: the first frame of a processing
+    /// pass records into `QUERY`/`EXECUTE`/admin; follow-on frames of
+    /// the same pass (a pipelined burst) record into `pipelined` —
+    /// their wall clock includes queueing behind earlier frames, which
+    /// would poison the per-opcode distributions. Counts still sum to
+    /// `sessions.statements`.
+    hist_query: Arc<bullfrog_obs::Histogram>,
+    hist_execute: Arc<bullfrog_obs::Histogram>,
+    hist_pipelined: Arc<bullfrog_obs::Histogram>,
+    hist_admin: Arc<bullfrog_obs::Histogram>,
+    hist_cluster_prepare: Arc<bullfrog_obs::Histogram>,
+    hist_cluster_commit: Arc<bullfrog_obs::Histogram>,
+    hist_cluster_exchange: Arc<bullfrog_obs::Histogram>,
+    /// Registry-clock µs when the last cluster flip committed; the
+    /// exchange phase spans from here to `END_EXCHANGE` (0 = no flip
+    /// mid-exchange).
+    exchange_start_us: AtomicU64,
+    /// Interned `wal.shard{i}.*` STATUS keys, one triple per WAL shard,
+    /// so [`status_pairs`] never allocates key strings per request.
+    wal_shard_keys: Vec<[&'static str; 3]>,
     scheduler: Mutex<Option<CheckpointScheduler>>,
     poller: Poller,
     conns: Mutex<HashMap<usize, Arc<Conn>>>,
@@ -346,16 +369,36 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         let scheduler = CheckpointScheduler::from_config(bf.db());
+        let obs = Arc::clone(bf.db().obs());
+        let wal_shard_keys = (0..DurabilityStats::capture(bf.db()).shards.len())
+            .map(|i| {
+                [
+                    obs.intern(&format!("wal.shard{i}.flushes")),
+                    obs.intern(&format!("wal.shard{i}.flushed_batches")),
+                    obs.intern(&format!("wal.shard{i}.flushed_bytes")),
+                ]
+            })
+            .collect();
         let shared = Arc::new(Shared {
             bf,
             config,
             local_addr,
             stop: AtomicBool::new(false),
             active: AtomicUsize::new(0),
-            accepted: AtomicU64::new(0),
-            rejected: AtomicU64::new(0),
-            accept_errors: AtomicU64::new(0),
-            counters: Arc::new(SessionCounters::default()),
+            accepted: obs.counter("server.accepted"),
+            rejected: obs.counter("server.rejected"),
+            accept_errors: obs.counter("server.accept_errors"),
+            counters: Arc::new(SessionCounters::new(&obs)),
+            hist_query: obs.histogram("net.query_us"),
+            hist_execute: obs.histogram("net.execute_us"),
+            hist_pipelined: obs.histogram("net.pipelined_us"),
+            hist_admin: obs.histogram("net.admin_us"),
+            hist_cluster_prepare: obs.histogram("cluster.prepare_us"),
+            hist_cluster_commit: obs.histogram("cluster.commit_us"),
+            hist_cluster_exchange: obs.histogram("cluster.exchange_us"),
+            exchange_start_us: AtomicU64::new(0),
+            wal_shard_keys,
+            obs,
             scheduler: Mutex::new(scheduler),
             poller: Poller::new()?,
             conns: Mutex::new(HashMap::new()),
@@ -499,12 +542,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     // raced it); either way we are no longer serving.
                     return;
                 }
-                shared.accepted.fetch_add(1, Ordering::Relaxed);
+                shared.accepted.inc();
                 admit(stream, &shared);
             }
             Err(e) if transient_accept_error(e.kind()) => continue,
             Err(_) => {
-                shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                shared.accept_errors.inc();
                 consecutive += 1;
                 if consecutive >= ACCEPT_MAX_CONSECUTIVE {
                     shared.request_stop();
@@ -525,7 +568,7 @@ fn admit(mut stream: TcpStream, shared: &Arc<Shared>) {
     let prev = shared.active.fetch_add(1, Ordering::AcqRel);
     if prev >= shared.config.max_connections {
         shared.active.fetch_sub(1, Ordering::AcqRel);
-        shared.rejected.fetch_add(1, Ordering::Relaxed);
+        shared.rejected.inc();
         let busy = Response::Err {
             retryable: true,
             code: err_code::BUSY,
@@ -881,6 +924,9 @@ fn execute_buffered(
     st: &mut MutexGuard<'_, ConnState>,
     out: &mut Vec<u8>,
 ) -> bool {
+    // Frames executed after the first in this pass arrived pipelined;
+    // their latency goes to `net.pipelined_us` (see `Shared`).
+    let mut nth_frame = 0usize;
     loop {
         // A shutdown requested elsewhere stops this connection between
         // frames; the statement that was already running has finished.
@@ -898,19 +944,50 @@ fn execute_buffered(
                 return false;
             }
         };
+        nth_frame += 1;
+        let frame_started = Instant::now();
         let response = match Request::decode(payload) {
             Err(e) => Response::from_error(&e),
-            Ok(Request::Query(sql)) => st.session.execute(&sql),
-            Ok(Request::Prepare { id, sql }) => st.session.prepare(id, &sql),
-            Ok(Request::Execute { id, params }) => st.session.execute_prepared(id, &params),
-            Ok(Request::CloseStmt { id }) => st.session.close_stmt(id),
+            Ok(Request::Query(sql)) => {
+                let r = st.session.execute(&sql);
+                record_stmt(shared, &shared.hist_query, nth_frame, frame_started);
+                r
+            }
+            Ok(Request::Prepare { id, sql }) => {
+                let r = st.session.prepare(id, &sql);
+                record_stmt(shared, &shared.hist_admin, nth_frame, frame_started);
+                r
+            }
+            Ok(Request::Execute { id, params }) => {
+                let r = st.session.execute_prepared(id, &params);
+                record_stmt(shared, &shared.hist_execute, nth_frame, frame_started);
+                r
+            }
+            Ok(Request::CloseStmt { id }) => {
+                let r = st.session.close_stmt(id);
+                record_stmt(shared, &shared.hist_admin, nth_frame, frame_started);
+                r
+            }
             Ok(Request::Checkpoint) => match shared.bf.db().checkpoint() {
                 Ok(stats) => Response::Ok {
                     affected: stats.absorbed_records as u64,
                 },
                 Err(e) => Response::from_error(&e),
             },
-            Ok(Request::Status) => Response::Stats(status_pairs(shared)),
+            Ok(Request::Status) => {
+                // STATUS encodes straight into the output buffer from
+                // interned keys — the common poll opcode allocates no
+                // key strings and builds no `Response`.
+                let payload = wire::encode_stats(&status_pairs(shared));
+                out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+                out.extend_from_slice(&payload);
+                if out.len() >= RESPOND_COALESCE_MAX && flush_out(conn, out).is_err() {
+                    close_conn(conn, st, shared);
+                    return false;
+                }
+                continue;
+            }
+            Ok(Request::Metrics) => Response::Metrics(metrics_snapshot(shared)),
             Ok(Request::Shutdown) => {
                 let _ = wire::write_response(out, &Response::Ok { affected: 0 });
                 let _ = flush_out(conn, out);
@@ -1006,6 +1083,47 @@ fn execute_buffered(
     true
 }
 
+/// Records one statement frame's service latency: the first frame of a
+/// pass into its opcode histogram, pipelined followers into
+/// `net.pipelined_us` — their wall clock includes queueing behind the
+/// frames ahead of them, which must not skew the opcode distributions.
+fn record_stmt(shared: &Shared, hist: &bullfrog_obs::Histogram, nth: usize, started: Instant) {
+    let h = if nth > 1 {
+        &*shared.hist_pipelined
+    } else {
+        hist
+    };
+    h.record_micros(started.elapsed());
+}
+
+/// Builds the `METRICS` payload: refreshes the point-in-time gauges the
+/// registry cannot observe passively (session counts, durability
+/// horizon, migration progress), then snapshots everything.
+fn metrics_snapshot(shared: &Shared) -> bullfrog_obs::MetricsSnapshot {
+    let obs = &shared.obs;
+    obs.gauge("server.active_sessions")
+        .set(shared.active.load(Ordering::Acquire) as i64);
+    obs.gauge("server.parked_connections")
+        .set(shared.conns.lock().unwrap().len() as i64);
+    let d = DurabilityStats::capture(shared.bf.db());
+    obs.gauge("wal.durable_lsn").set(d.durable_lsn as i64);
+    obs.gauge("wal.log_len").set(d.log_len as i64);
+    obs.gauge("mvcc.versions")
+        .set(shared.bf.db().version_count() as i64);
+    match shared.bf.progress() {
+        Some(p) => {
+            obs.gauge("migration.active").set(1);
+            obs.gauge("migration.complete").set(i64::from(p.complete));
+            obs.gauge("migration.granules_done")
+                .set(p.granules_done as i64);
+            obs.gauge("migration.granules_total")
+                .set(p.granules_total as i64);
+        }
+        None => obs.gauge("migration.active").set(0),
+    }
+    obs.snapshot()
+}
+
 /// Converts a parked connection into a replication subscription: the
 /// poller and registry forget it, a dedicated thread runs the sender's
 /// blocking stream loop, and the active slot is released only when that
@@ -1076,15 +1194,38 @@ fn handle_cluster(
                 Err(e) => Response::from_error(&e),
             }
         }
-        ClusterReq::Prepare { sql } => cluster_prepare(&sql, member, shared),
+        ClusterReq::Prepare { sql } => {
+            let started = Instant::now();
+            let t0 = shared.obs.now_us();
+            let resp = cluster_prepare(&sql, member, shared);
+            if matches!(resp, Response::Prepared { .. }) {
+                shared
+                    .obs
+                    .tracer()
+                    .record("cluster.prepare", 0, t0, shared.obs.now_us());
+                shared.hist_cluster_prepare.record_micros(started.elapsed());
+            }
+            resp
+        }
         ClusterReq::Commit => {
             let sql = match member.commit_sql() {
                 Ok(sql) => sql,
                 Err(e) => return Response::from_error(&e),
             };
+            let started = Instant::now();
+            let t0 = shared.obs.now_us();
             match session.execute(&sql) {
                 Response::Ok { .. } => {
                     member.mark_committed();
+                    let now = shared.obs.now_us();
+                    shared.obs.tracer().record("cluster.commit", 0, t0, now);
+                    shared.hist_cluster_commit.record_micros(started.elapsed());
+                    // The exchange phase (cross-node partial-aggregate
+                    // merge) runs from here to END_EXCHANGE; `max(1)`
+                    // keeps 0 meaning "no exchange in flight".
+                    shared
+                        .exchange_start_us
+                        .store(now.max(1), Ordering::Relaxed);
                     Response::Ok { affected: 0 }
                 }
                 err => err,
@@ -1092,10 +1233,19 @@ fn handle_cluster(
         }
         ClusterReq::Abort => {
             member.abort_flip();
+            shared.exchange_start_us.store(0, Ordering::Relaxed);
             Response::Ok { affected: 0 }
         }
         ClusterReq::EndExchange => match member.end_exchange() {
-            Ok(()) => Response::Ok { affected: 0 },
+            Ok(()) => {
+                let t0 = shared.exchange_start_us.swap(0, Ordering::Relaxed);
+                if t0 != 0 {
+                    let now = shared.obs.now_us();
+                    shared.obs.tracer().record("cluster.exchange", 0, t0, now);
+                    shared.hist_cluster_exchange.record(now.saturating_sub(t0));
+                }
+                Response::Ok { affected: 0 }
+            }
             Err(e) => Response::from_error(&e),
         },
     }
@@ -1144,26 +1294,20 @@ fn cluster_prepare(sql: &str, member: &Arc<ClusterMember>, shared: &Shared) -> R
 
 /// Assembles the `STATUS` report: server, session, migration,
 /// durability, and checkpoint-scheduler counters as ordered pairs.
-fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
-    let mut out: Vec<(String, i64)> = Vec::new();
-    let mut push = |k: &str, v: i64| out.push((k.to_string(), v));
+/// Keys are `&'static` (literals, or interned once on the registry), so
+/// serving `STATUS` allocates no key strings — the report encodes
+/// straight off this slice.
+fn status_pairs(shared: &Shared) -> Vec<(&'static str, i64)> {
+    let mut out: Vec<(&'static str, i64)> = Vec::with_capacity(64);
+    let mut push = |k: &'static str, v: i64| out.push((k, v));
 
     push(
         "server.active_sessions",
         shared.active.load(Ordering::Acquire) as i64,
     );
-    push(
-        "server.accepted",
-        shared.accepted.load(Ordering::Relaxed) as i64,
-    );
-    push(
-        "server.rejected",
-        shared.rejected.load(Ordering::Relaxed) as i64,
-    );
-    push(
-        "server.accept_errors",
-        shared.accept_errors.load(Ordering::Relaxed) as i64,
-    );
+    push("server.accepted", shared.accepted.get() as i64);
+    push("server.rejected", shared.rejected.get() as i64);
+    push("server.accept_errors", shared.accept_errors.get() as i64);
     push(
         "server.parked_connections",
         shared.conns.lock().unwrap().len() as i64,
@@ -1175,21 +1319,12 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     }
 
     let c = &shared.counters;
-    push(
-        "sessions.statements",
-        c.statements.load(Ordering::Relaxed) as i64,
-    );
-    push("sessions.errors", c.errors.load(Ordering::Relaxed) as i64);
-    push(
-        "sessions.rows_returned",
-        c.rows_returned.load(Ordering::Relaxed) as i64,
-    );
-    push(
-        "sessions.rows_written",
-        c.rows_written.load(Ordering::Relaxed) as i64,
-    );
-    push("sessions.commits", c.commits.load(Ordering::Relaxed) as i64);
-    push("sessions.aborts", c.aborts.load(Ordering::Relaxed) as i64);
+    push("sessions.statements", c.statements.get() as i64);
+    push("sessions.errors", c.errors.get() as i64);
+    push("sessions.rows_returned", c.rows_returned.get() as i64);
+    push("sessions.rows_written", c.rows_written.get() as i64);
+    push("sessions.commits", c.commits.get() as i64);
+    push("sessions.aborts", c.aborts.get() as i64);
 
     // Engine mode and MVCC health. `engine.mode` is 0 under 2PL and 1
     // under snapshot isolation; the mvcc.* gauges are always reported
@@ -1240,16 +1375,10 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     push("wal.checkpoints", d.wal.checkpoints as i64);
     push("wal.truncated_records", d.wal.truncated_records as i64);
     push("wal.shards", d.shards.len() as i64);
-    for (i, s) in d.shards.iter().enumerate() {
-        push(&format!("wal.shard{i}.flushes"), s.flushes as i64);
-        push(
-            &format!("wal.shard{i}.flushed_batches"),
-            s.flushed_batches as i64,
-        );
-        push(
-            &format!("wal.shard{i}.flushed_bytes"),
-            s.flushed_bytes as i64,
-        );
+    for (s, keys) in d.shards.iter().zip(&shared.wal_shard_keys) {
+        push(keys[0], s.flushes as i64);
+        push(keys[1], s.flushed_batches as i64);
+        push(keys[2], s.flushed_bytes as i64);
     }
 
     if let Some(s) = shared.scheduler.lock().unwrap().as_ref() {
@@ -1264,9 +1393,14 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
     }
 
     // Replication: the primary's sender hooks or the replica's local
-    // counters, whichever side this server is.
+    // counters, whichever side this server is. Hook keys are interned —
+    // a lookup per key on repeat requests, an allocation only the first
+    // time a name appears.
+    let mut extend = |pairs: Vec<(String, i64)>| {
+        out.extend(pairs.into_iter().map(|(k, v)| (shared.obs.intern(&k), v)));
+    };
     if let Some(hooks) = &shared.config.replication {
-        out.extend(hooks.status());
+        extend(hooks.status());
     }
     if let Some(f) = shared
         .config
@@ -1274,26 +1408,25 @@ fn status_pairs(shared: &Shared) -> Vec<(String, i64)> {
         .as_ref()
         .and_then(|ro| ro.status.as_ref())
     {
-        out.extend(f());
+        extend(f());
     }
     if let Some(member) = &shared.config.cluster {
-        out.extend(member.status());
+        extend(member.status());
     }
     if let Some(ha) = &shared.config.ha {
-        out.extend(ha.status());
+        extend(ha.status());
     }
 
     // Synchronous-replication gate gauges; all zero when SYNC_REPLICAS
     // is off, so pollers need not branch on the HA configuration.
     let gate = db.wal().sync_gate();
-    let gauges: [(&str, i64); 6] = [
+    out.extend([
         ("repl.sync_replicas", gate.required() as i64),
         ("repl.sync_peers", gate.peer_count() as i64),
         ("repl.sync_replicated_lsn", gate.replicated_lsn() as i64),
         ("repl.sync_degraded", gate.degraded_commits() as i64),
         ("repl.sync_fenced", gate.fenced_commits() as i64),
         ("repl.fenced", i64::from(gate.is_fenced())),
-    ];
-    out.extend(gauges.iter().map(|(k, v)| (k.to_string(), *v)));
+    ]);
     out
 }

@@ -16,7 +16,7 @@
 //! before the statement proceeds.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,26 +33,56 @@ use crate::cluster::ClusterMember;
 use crate::server::{DdlEvent, HaHooks, ReadOnly, ReplicationHooks};
 use crate::wire::{err_code, Response};
 
-/// Counters shared by every session of a server (reported by `STATUS`).
-#[derive(Debug, Default)]
+/// Counters shared by every session of a server. The handles live on
+/// the database's [`bullfrog_obs::Registry`] under `sessions.*`, so
+/// `STATUS` and `METRICS` read the same storage — the two reports can
+/// never disagree on a total.
 pub struct SessionCounters {
     /// Statements executed (including failed ones).
-    pub statements: AtomicU64,
+    pub statements: Arc<bullfrog_obs::Counter>,
     /// Statements that returned an error.
-    pub errors: AtomicU64,
+    pub errors: Arc<bullfrog_obs::Counter>,
     /// Rows returned to clients.
-    pub rows_returned: AtomicU64,
+    pub rows_returned: Arc<bullfrog_obs::Counter>,
     /// Rows written (insert/update/delete) by committed statements.
-    pub rows_written: AtomicU64,
+    pub rows_written: Arc<bullfrog_obs::Counter>,
     /// Transactions committed (autocommit and explicit).
-    pub commits: AtomicU64,
+    pub commits: Arc<bullfrog_obs::Counter>,
     /// Transactions aborted (errors, rollbacks, disconnects).
-    pub aborts: AtomicU64,
+    pub aborts: Arc<bullfrog_obs::Counter>,
 }
 
 impl SessionCounters {
-    fn bump(c: &AtomicU64, n: u64) {
-        c.fetch_add(n, Ordering::Relaxed);
+    /// Counters registered on `reg` under the `sessions.*` names.
+    pub fn new(reg: &bullfrog_obs::Registry) -> Self {
+        SessionCounters {
+            statements: reg.counter("sessions.statements"),
+            errors: reg.counter("sessions.errors"),
+            rows_returned: reg.counter("sessions.rows_returned"),
+            rows_written: reg.counter("sessions.rows_written"),
+            commits: reg.counter("sessions.commits"),
+            aborts: reg.counter("sessions.aborts"),
+        }
+    }
+
+    fn bump(c: &bullfrog_obs::Counter, n: u64) {
+        c.add(n);
+    }
+}
+
+impl Default for SessionCounters {
+    /// Unregistered counters, for sessions built without a server (the
+    /// normal path is [`SessionCounters::new`] on the database's
+    /// registry).
+    fn default() -> Self {
+        SessionCounters {
+            statements: Arc::new(bullfrog_obs::Counter::new()),
+            errors: Arc::new(bullfrog_obs::Counter::new()),
+            rows_returned: Arc::new(bullfrog_obs::Counter::new()),
+            rows_written: Arc::new(bullfrog_obs::Counter::new()),
+            commits: Arc::new(bullfrog_obs::Counter::new()),
+            aborts: Arc::new(bullfrog_obs::Counter::new()),
+        }
     }
 }
 
@@ -95,6 +125,10 @@ pub struct Session {
     /// coordinator's own statements (flip DDL, the exchange's
     /// cross-shard reads and merge writes) bypass enforcement.
     cluster_admin: bool,
+    /// Rows written by statements of the *open* explicit transaction.
+    /// `sessions.rows_written` counts committed writes only, so these
+    /// stay pending until `COMMIT` and vanish on rollback or abort.
+    pending_rows_written: u64,
 }
 
 /// The `NOWAIT(max_unacked)` session state: every commit is
@@ -178,6 +212,7 @@ impl Session {
             ha: None,
             prepared: HashMap::new(),
             cluster_admin: false,
+            pending_rows_written: 0,
         }
     }
 
@@ -351,6 +386,7 @@ impl Session {
         // behind the client's back.
         if let Some(mut txn) = self.txn.take() {
             self.bf.db().abort(&mut txn);
+            self.pending_rows_written = 0;
             SessionCounters::bump(&self.counters.aborts, 1);
         }
         Response::from_error(e)
@@ -362,6 +398,7 @@ impl Session {
     pub fn abort_open(&mut self) {
         if let Some(mut txn) = self.txn.take() {
             self.bf.db().abort(&mut txn);
+            self.pending_rows_written = 0;
             SessionCounters::bump(&self.counters.aborts, 1);
         }
         if let Some(w) = &mut self.commit_window {
@@ -458,6 +495,8 @@ impl Session {
                 // correlate with `wal.durable_lsn` in STATUS.
                 let ticket = self.bf.db().commit_nowait(&mut txn)?;
                 SessionCounters::bump(&self.counters.commits, 1);
+                SessionCounters::bump(&self.counters.rows_written, self.pending_rows_written);
+                self.pending_rows_written = 0;
                 Ok(Response::Ok {
                     affected: ticket.wait_lsn(),
                 })
@@ -468,6 +507,7 @@ impl Session {
                     .take()
                     .ok_or_else(|| Error::Eval("ROLLBACK outside a transaction".into()))?;
                 self.bf.db().abort(&mut txn);
+                self.pending_rows_written = 0;
                 SessionCounters::bump(&self.counters.aborts, 1);
                 Ok(Response::Ok { affected: 0 })
             }
@@ -565,6 +605,10 @@ impl Session {
             }
         };
         SessionCounters::bump(&self.counters.commits, 1);
+        // The transaction's writes are now committed (or durably
+        // enqueued); only here do they count as written rows.
+        SessionCounters::bump(&self.counters.rows_written, self.pending_rows_written);
+        self.pending_rows_written = 0;
         Ok(acked)
     }
 
@@ -604,16 +648,25 @@ impl Session {
                 } else {
                     self.txn = Some(txn);
                 }
+                if let Response::Ok { affected } = &resp {
+                    // Written rows count only once committed: right here
+                    // for autocommit (the commit above succeeded),
+                    // deferred to COMMIT inside an explicit transaction —
+                    // a rollback must not leave them in the counter.
+                    if autocommit {
+                        SessionCounters::bump(&self.counters.rows_written, *affected);
+                    } else {
+                        self.pending_rows_written += *affected;
+                    }
+                }
                 if let Response::Rows { rows, .. } = &resp {
                     SessionCounters::bump(&self.counters.rows_returned, rows.len() as u64);
-                }
-                if let Response::Ok { affected } = &resp {
-                    SessionCounters::bump(&self.counters.rows_written, *affected);
                 }
                 Ok(resp)
             }
             Err(e) => {
                 self.bf.db().abort(&mut txn);
+                self.pending_rows_written = 0;
                 SessionCounters::bump(&self.counters.aborts, 1);
                 Err(e)
             }

@@ -54,6 +54,7 @@ mod req {
     pub const PREPARE: u8 = 0x0A;
     pub const EXECUTE: u8 = 0x0B;
     pub const CLOSE_STMT: u8 = 0x0C;
+    pub const METRICS: u8 = 0x0D;
 }
 
 /// Response opcodes (server → client).
@@ -68,6 +69,7 @@ mod resp {
     pub const PREPARED: u8 = 0x88;
     pub const HA_STATE: u8 = 0x89;
     pub const ROWS_CHUNK: u8 = 0x8A;
+    pub const METRICS: u8 = 0x8B;
 }
 
 /// Machine-readable `ERR` classification, carried as a trailing payload
@@ -180,6 +182,10 @@ pub enum Request {
         /// Statement id to evict.
         id: u64,
     },
+    /// Report the server's full metric registry — histogram buckets,
+    /// quantiles, and migration spans, not just the scalar counters
+    /// `STATUS` carries. Answered with [`Response::Metrics`].
+    Metrics,
 }
 
 /// An HA sub-operation (body of [`Request::Ha`]).
@@ -270,6 +276,12 @@ pub enum Response {
     },
     /// Counter report: ordered `name → value` pairs.
     Stats(Vec<(String, i64)>),
+    /// Full metric snapshot: counters, gauges, latency histograms
+    /// (sparse buckets plus precomputed p50/p90/p99/p999 for consumers
+    /// that do not carry the bucket layout), and retained migration
+    /// spans. The quantiles are derivable from the buckets, so decoding
+    /// discards them and the snapshot round-trips exactly.
+    Metrics(bullfrog_obs::MetricsSnapshot),
     /// Primary → replica: a batch of replication state. `records` are
     /// committed-durable log records in LSN order; `ddl` are journal
     /// events the replica is missing; `durable_lsn` is the primary's
@@ -398,6 +410,7 @@ impl Request {
                 buf.put_u8(req::CLOSE_STMT);
                 buf.put_u64(*id);
             }
+            Request::Metrics => buf.put_u8(req::METRICS),
         }
         buf.freeze()
     }
@@ -455,6 +468,7 @@ impl Request {
             req::CLOSE_STMT => Ok(Request::CloseStmt {
                 id: codec::get_u64(&mut payload)?,
             }),
+            req::METRICS => Ok(Request::Metrics),
             other => Err(Error::Eval(format!("unknown request opcode {other:#04x}"))),
         }
     }
@@ -510,6 +524,10 @@ impl Response {
                     put_str(&mut buf, k);
                     buf.put_u64(*v as u64);
                 }
+            }
+            Response::Metrics(snap) => {
+                buf.put_u8(resp::METRICS);
+                put_metrics(&mut buf, snap);
             }
             Response::Frames {
                 durable_lsn,
@@ -622,6 +640,7 @@ impl Response {
                 }
                 Ok(Response::Stats(pairs))
             }
+            resp::METRICS => Ok(Response::Metrics(get_metrics(&mut payload)?)),
             resp::FRAMES => {
                 let durable_lsn = codec::get_u64(&mut payload)?;
                 let n = codec::get_u32(&mut payload)? as usize;
@@ -879,6 +898,21 @@ pub fn read_response(r: &mut impl Read) -> Result<Option<Response>> {
     }))
 }
 
+/// Encodes a `STATS` frame payload from borrowed keys — the server's
+/// `STATUS` fast path. Decodes as [`Response::Stats`]; byte-identical
+/// to `Response::Stats(pairs.to_owned()).encode()` without cloning a
+/// key string per pair.
+pub fn encode_stats(pairs: &[(&str, i64)]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u8(resp::STATS);
+    buf.put_u32(pairs.len() as u32);
+    for (k, v) in pairs {
+        put_str(&mut buf, k);
+        buf.put_u64(*v as u64);
+    }
+    buf.freeze()
+}
+
 pub(crate) fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
@@ -912,6 +946,101 @@ pub(crate) fn get_trailing_u64(buf: &mut Bytes) -> Result<u64> {
         return Ok(0);
     }
     codec::get_u64(buf)
+}
+
+/// Encodes a [`bullfrog_obs::MetricsSnapshot`] as the `METRICS` body.
+/// Histograms go out sparse (non-empty buckets only) with four
+/// precomputed quantiles in front, so a consumer without the bucket
+/// layout can still read p50/p99 straight off the wire.
+fn put_metrics(buf: &mut BytesMut, snap: &bullfrog_obs::MetricsSnapshot) {
+    buf.put_u64(snap.uptime_us);
+    buf.put_u32(snap.counters.len() as u32);
+    for (k, v) in &snap.counters {
+        put_str(buf, k);
+        buf.put_u64(*v);
+    }
+    buf.put_u32(snap.gauges.len() as u32);
+    for (k, v) in &snap.gauges {
+        put_str(buf, k);
+        buf.put_u64(*v as u64);
+    }
+    buf.put_u32(snap.histograms.len() as u32);
+    for (k, h) in &snap.histograms {
+        put_str(buf, k);
+        buf.put_u64(h.sum);
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            buf.put_u64(h.quantile(q));
+        }
+        let sparse = h.sparse();
+        buf.put_u32(sparse.len() as u32);
+        for (i, c) in sparse {
+            buf.put_u32(i);
+            buf.put_u64(c);
+        }
+    }
+    buf.put_u32(snap.spans.len() as u32);
+    for s in &snap.spans {
+        put_str(buf, &s.name);
+        buf.put_u64(s.detail);
+        buf.put_u64(s.start_us);
+        buf.put_u64(s.end_us);
+    }
+    buf.put_u64(snap.spans_dropped);
+}
+
+/// Decodes a `METRICS` body. The wire quantiles are read and discarded:
+/// they are derivable from the buckets, and dropping them is what makes
+/// encode→decode an exact round trip of the snapshot.
+fn get_metrics(buf: &mut Bytes) -> Result<bullfrog_obs::MetricsSnapshot> {
+    let uptime_us = codec::get_u64(buf)?;
+    let n = codec::get_u32(buf)? as usize;
+    let mut counters = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        counters.push((k, codec::get_u64(buf)?));
+    }
+    let n = codec::get_u32(buf)? as usize;
+    let mut gauges = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        gauges.push((k, codec::get_u64(buf)? as i64));
+    }
+    let n = codec::get_u32(buf)? as usize;
+    let mut histograms = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let k = get_str(buf)?;
+        let sum = codec::get_u64(buf)?;
+        for _ in 0..4 {
+            codec::get_u64(buf)?; // p50/p90/p99/p999 — recomputable
+        }
+        let np = codec::get_u32(buf)? as usize;
+        let mut pairs = Vec::with_capacity(np.min(bullfrog_obs::NUM_BUCKETS));
+        for _ in 0..np {
+            let i = codec::get_u32(buf)?;
+            pairs.push((i, codec::get_u64(buf)?));
+        }
+        histograms.push((k, bullfrog_obs::HistogramSnapshot::from_sparse(sum, &pairs)));
+    }
+    let n = codec::get_u32(buf)? as usize;
+    let mut spans = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let name = get_str(buf)?;
+        spans.push(bullfrog_obs::SpanSnapshot {
+            name,
+            detail: codec::get_u64(buf)?,
+            start_us: codec::get_u64(buf)?,
+            end_us: codec::get_u64(buf)?,
+        });
+    }
+    let spans_dropped = codec::get_u64(buf)?;
+    Ok(bullfrog_obs::MetricsSnapshot {
+        uptime_us,
+        counters,
+        gauges,
+        histograms,
+        spans,
+        spans_dropped,
+    })
 }
 
 fn get_bytes(buf: &mut Bytes) -> Result<Bytes> {
@@ -993,6 +1122,7 @@ mod tests {
                 params: Row(vec![]),
             },
             Request::CloseStmt { id: u64::MAX },
+            Request::Metrics,
         ] {
             assert_eq!(Request::decode(r.encode()).unwrap(), r);
         }
@@ -1052,6 +1182,58 @@ mod tests {
             },
         ] {
             assert_eq!(Response::decode(r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_and_truncations_error() {
+        use bullfrog_obs::Registry;
+        let reg = Registry::new();
+        reg.counter("sessions.statements").add(42);
+        reg.counter("wal.flushes").inc();
+        reg.gauge("repl.lag_lsn").set(-7);
+        let h = reg.histogram("engine.commit_us");
+        for v in [3u64, 90, 1500, 250_000] {
+            h.record(v);
+        }
+        reg.tracer().record("migrate.flip", 2, 10, 250);
+        reg.tracer().record("migrate.granule", 128, 300, 9000);
+        let snap = reg.snapshot();
+        let resp = Response::Metrics(snap.clone());
+        let encoded = resp.encode();
+        match Response::decode(encoded.clone()).unwrap() {
+            Response::Metrics(got) => assert_eq!(got, snap),
+            other => panic!("{other:?}"),
+        }
+        // The empty snapshot and every truncation behave too.
+        let empty = Response::Metrics(Default::default());
+        assert_eq!(Response::decode(empty.encode()).unwrap(), empty);
+        for cut in 0..encoded.len() {
+            assert!(Response::decode(encoded.slice(..cut)).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn metrics_wire_quantiles_precede_sparse_buckets() {
+        // A consumer without the bucket layout reads p50/p90/p99/p999
+        // straight off the wire: name, sum, then the four quantiles.
+        let reg = bullfrog_obs::Registry::new();
+        let h = reg.histogram("h");
+        for _ in 0..100 {
+            h.record(1000);
+        }
+        let snap = reg.snapshot();
+        let mut payload = Response::Metrics(snap.clone()).encode();
+        assert_eq!(get_u8(&mut payload).unwrap(), resp::METRICS);
+        codec::get_u64(&mut payload).unwrap(); // uptime
+        assert_eq!(codec::get_u32(&mut payload).unwrap(), 0); // counters
+        assert_eq!(codec::get_u32(&mut payload).unwrap(), 0); // gauges
+        assert_eq!(codec::get_u32(&mut payload).unwrap(), 1); // histograms
+        assert_eq!(get_str(&mut payload).unwrap(), "h");
+        assert_eq!(codec::get_u64(&mut payload).unwrap(), 100_000); // sum
+        let hist = snap.histogram("h").unwrap();
+        for q in [0.50, 0.90, 0.99, 0.999] {
+            assert_eq!(codec::get_u64(&mut payload).unwrap(), hist.quantile(q));
         }
     }
 

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use bullfrog_common::Value;
 use bullfrog_core::Bullfrog;
-use bullfrog_engine::{recovery, Database, DbConfig};
+use bullfrog_engine::{recovery, Database, DbConfig, EngineMode};
 use bullfrog_net::{Client, ClientError, QueryReply, Server, ServerConfig};
 
 /// Boots a server on an ephemeral loopback port over a fresh in-memory
@@ -357,6 +357,141 @@ fn remove_wal_shards(wal_path: &std::path::Path) {
         if std::fs::remove_file(bullfrog_txn::wal::shard_file_path(wal_path, shard)).is_err() {
             break;
         }
+    }
+}
+
+/// Regression: `sessions.rows_written` used to be bumped per DML
+/// statement inside an open transaction, so a `ROLLBACK` (or a failed
+/// autocommit) left phantom rows in the counter. Writes now accumulate
+/// per transaction and flush on commit only.
+#[test]
+fn rolled_back_writes_do_not_count_as_rows_written() {
+    let (_server, addr) = serve(quick_config());
+    let mut c = Client::connect(addr).unwrap();
+    c.execute("CREATE TABLE t (id INT, PRIMARY KEY (id))")
+        .unwrap();
+    fn written(c: &mut Client) -> i64 {
+        c.status()
+            .unwrap()
+            .iter()
+            .find(|(k, _)| k == "sessions.rows_written")
+            .expect("STATUS missing sessions.rows_written")
+            .1
+    }
+
+    c.execute("BEGIN").unwrap();
+    c.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+    c.execute("ROLLBACK").unwrap();
+    assert_eq!(written(&mut c), 0, "rolled-back inserts must not count");
+
+    c.execute("BEGIN").unwrap();
+    c.execute("INSERT INTO t VALUES (3), (4)").unwrap();
+    c.execute("COMMIT").unwrap();
+    assert_eq!(written(&mut c), 2, "committed inserts count on COMMIT");
+
+    c.execute("INSERT INTO t VALUES (5)").unwrap();
+    assert_eq!(written(&mut c), 3, "autocommit counts immediately");
+
+    // A failed autocommit (duplicate key) writes nothing.
+    assert!(c.execute("INSERT INTO t VALUES (5)").is_err());
+    assert_eq!(written(&mut c), 3, "failed autocommit must not count");
+}
+
+/// The `METRICS` snapshot round-trips over the wire in both engine
+/// modes, its counters agree with legacy `STATUS` (same registry
+/// storage), and per-opcode statement histogram counts sum exactly to
+/// `sessions.statements`.
+#[test]
+fn metrics_snapshot_matches_status_in_both_engine_modes() {
+    for mode in [EngineMode::TwoPL, EngineMode::Snapshot] {
+        let db = Arc::new(Database::with_config(DbConfig {
+            mode,
+            ..DbConfig::default()
+        }));
+        let bf = Arc::new(Bullfrog::new(db));
+        let _server = Server::bind(("127.0.0.1", 0), Arc::clone(&bf), quick_config()).unwrap();
+        let addr = _server.local_addr();
+        let mut c = Client::connect(addr).unwrap();
+
+        // Exercise every statement opcode: QUERY, PREPARE, EXECUTE,
+        // CLOSE_STMT, plus a pipelined burst.
+        c.execute("CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))")
+            .unwrap();
+        c.execute("INSERT INTO t VALUES (1, 10), (2, 20)").unwrap();
+        c.prepare(7, "SELECT v FROM t WHERE id = ?").unwrap();
+        c.execute_prepared(7, vec![Value::Int(1)].into()).unwrap();
+        for reply in c
+            .pipeline(&["SELECT id FROM t".into(), "SELECT v FROM t".into()])
+            .unwrap()
+        {
+            reply.unwrap();
+        }
+        c.close_stmt(7).unwrap();
+        // Touch the migration path so migrate.* histograms exist.
+        c.execute("CREATE TABLE t2 AS (SELECT id, v FROM t) PRIMARY KEY (id)")
+            .unwrap();
+        c.query_rows("SELECT id FROM t2").unwrap();
+        c.execute("FINALIZE MIGRATION DROP OLD").unwrap();
+
+        let snap = c.metrics().unwrap();
+        let pairs = c.status().unwrap();
+        let status_of = |key: &str| -> i64 {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("STATUS missing {key} ({mode:?})"))
+                .1
+        };
+
+        // Same registry storage: STATUS and METRICS must agree on every
+        // shared counter (no statements ran between the two requests —
+        // STATUS/METRICS are admin opcodes and do not count).
+        for key in [
+            "sessions.statements",
+            "sessions.rows_written",
+            "sessions.commits",
+            "server.accepted",
+        ] {
+            assert_eq!(
+                snap.counter(key),
+                Some(status_of(key) as u64),
+                "METRICS and STATUS disagree on {key} ({mode:?})"
+            );
+        }
+
+        // Totals match: every statement frame lands in exactly one of
+        // the four statement histograms.
+        let hist_count = |name: &str| snap.histogram(name).map_or(0, |h| h.count());
+        let recorded = hist_count("net.query_us")
+            + hist_count("net.execute_us")
+            + hist_count("net.admin_us")
+            + hist_count("net.pipelined_us");
+        assert_eq!(
+            recorded,
+            snap.counter("sessions.statements").unwrap(),
+            "statement histogram counts must sum to sessions.statements ({mode:?})"
+        );
+        assert!(
+            hist_count("net.pipelined_us") >= 1,
+            "the pipelined burst records follow-on frames ({mode:?})"
+        );
+
+        // The migration lifecycle left latency evidence behind.
+        for name in [
+            "engine.commit_us",
+            "migrate.granule_us",
+            "migrate.finalize_us",
+        ] {
+            let h = snap
+                .histogram(name)
+                .unwrap_or_else(|| panic!("METRICS missing histogram {name} ({mode:?})"));
+            assert!(h.count() >= 1, "{name} is empty ({mode:?})");
+        }
+        assert!(
+            snap.spans_named("migrate.granule").next().is_some(),
+            "tracer captured granule spans ({mode:?})"
+        );
+        assert!(snap.uptime_us > 0, "uptime advances ({mode:?})");
     }
 }
 

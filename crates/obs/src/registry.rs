@@ -1,0 +1,270 @@
+//! The per-instance metric registry and its snapshot.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use crate::tracer::{SpanSnapshot, Tracer};
+use crate::{Counter, Gauge};
+
+/// One database instance's metrics: named counters, gauges, and
+/// histograms, plus the span [`Tracer`]. Handles are `Arc`s — hot paths
+/// look a metric up once and keep the handle; the registry lock is
+/// only taken at registration and snapshot time.
+///
+/// Names are `&'static str`. Dynamic names (per-shard, per-peer) go
+/// through [`intern`](Registry::intern), which leaks each distinct name
+/// once — bounded by the metric namespace, and what lets `STATUS` serve
+/// every key without per-request string allocation.
+pub struct Registry {
+    start: Instant,
+    counters: Mutex<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<Gauge>>>,
+    hists: Mutex<BTreeMap<&'static str, Arc<Histogram>>>,
+    interned: Mutex<BTreeSet<&'static str>>,
+    tracer: Tracer,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry whose clock starts now.
+    pub fn new() -> Self {
+        let start = Instant::now();
+        Registry {
+            start,
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            interned: Mutex::new(BTreeSet::new()),
+            tracer: Tracer::new(start),
+        }
+    }
+
+    /// Microseconds since the registry was created (the clock every
+    /// span timestamp uses).
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// The span tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Returns `name` as a `&'static str`, leaking each distinct name
+    /// at most once per registry.
+    pub fn intern(&self, name: &str) -> &'static str {
+        let mut set = self.interned.lock().unwrap();
+        if let Some(s) = set.get(name) {
+            return s;
+        }
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        set.insert(leaked);
+        leaked
+    }
+
+    /// The counter registered as `name`, created on first use.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        Arc::clone(
+            self.counters
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// The gauge registered as `name`, created on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        Arc::clone(
+            self.gauges
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// The histogram registered as `name`, created on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        Arc::clone(
+            self.hists
+                .lock()
+                .unwrap()
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Every registered metric plus the retained spans, as one
+    /// mergeable snapshot — the `METRICS` wire payload.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.get()))
+            .collect();
+        let histograms = self
+            .hists
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.snapshot()))
+            .collect();
+        let (spans, spans_dropped) = self.tracer.events();
+        MetricsSnapshot {
+            uptime_us: self.now_us(),
+            counters,
+            gauges,
+            histograms,
+            spans,
+            spans_dropped,
+        }
+    }
+}
+
+/// A point-in-time view of a whole [`Registry`] — what the BFNET1
+/// `METRICS` opcode returns. All four sections are sorted by name
+/// (snapshot order is registry iteration order, which is a `BTreeMap`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Microseconds the registry has been alive.
+    pub uptime_us: u64,
+    /// Counter totals by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained span events, oldest first.
+    pub spans: Vec<SpanSnapshot>,
+    /// Spans that scrolled off the ring before this snapshot.
+    pub spans_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    /// The counter total named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// The gauge level named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram snapshot named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Spans named `name`, oldest first.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanSnapshot> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Folds `other` into `self`: counters and histogram buckets add,
+    /// gauges keep the element-wise maximum (levels from different
+    /// nodes cannot meaningfully sum), spans concatenate, and uptime
+    /// keeps the maximum. Used by the cluster aggregator.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        self.uptime_us = self.uptime_us.max(other.uptime_us);
+        self.spans_dropped += other.spans_dropped;
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(k, _)| k == name) {
+                Some((_, cur)) => *cur += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(k, _)| k == name) {
+                Some((_, cur)) => *cur = (*cur).max(*v),
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(k, _)| k == name) {
+                Some((_, cur)) => cur.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+        self.spans.extend(other.spans.iter().cloned());
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_and_snapshot_sees_them() {
+        let reg = Registry::new();
+        let a = reg.counter("x.total");
+        let b = reg.counter("x.total");
+        a.add(2);
+        b.inc();
+        reg.gauge("x.level").set(-4);
+        reg.histogram("x.lat_us").record(100);
+        reg.tracer().record("x.span", 7, 1, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("x.total"), Some(3));
+        assert_eq!(snap.gauge("x.level"), Some(-4));
+        assert_eq!(snap.histogram("x.lat_us").unwrap().count(), 1);
+        assert_eq!(snap.spans_named("x.span").count(), 1);
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn intern_is_stable_and_deduplicated() {
+        let reg = Registry::new();
+        let a = reg.intern(&format!("wal.shard{}.flushes", 0));
+        let b = reg.intern("wal.shard0.flushes");
+        assert!(std::ptr::eq(a, b), "same allocation for the same name");
+    }
+
+    #[test]
+    fn snapshot_merge_aggregates() {
+        let r1 = Registry::new();
+        let r2 = Registry::new();
+        r1.counter("c").add(5);
+        r2.counter("c").add(7);
+        r2.counter("only2").add(1);
+        r1.gauge("g").set(3);
+        r2.gauge("g").set(9);
+        r1.histogram("h").record(10);
+        r2.histogram("h").record(1000);
+        let mut m = r1.snapshot();
+        m.merge(&r2.snapshot());
+        assert_eq!(m.counter("c"), Some(12));
+        assert_eq!(m.counter("only2"), Some(1));
+        assert_eq!(m.gauge("g"), Some(9));
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 1010);
+    }
+}

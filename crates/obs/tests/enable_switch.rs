@@ -1,0 +1,21 @@
+//! The process-wide sampling switch (its own test binary: it mutates
+//! global state, so it must not run beside tests that record samples).
+
+use bullfrog_obs::{set_enabled, Counter, Histogram, Registry};
+
+#[test]
+fn disable_gates_sampling_but_not_counters() {
+    let c = Counter::new();
+    let h = Histogram::new();
+    let reg = Registry::new();
+    set_enabled(false);
+    c.inc();
+    h.record(100);
+    reg.tracer().record("gated", 0, 1, 2);
+    set_enabled(true);
+    assert_eq!(c.get(), 1, "counters ignore the sampling switch");
+    assert_eq!(h.snapshot().count(), 0, "histograms honour it");
+    assert_eq!(reg.tracer().events().0.len(), 0, "spans honour it");
+    h.record(100);
+    assert_eq!(h.snapshot().count(), 1);
+}

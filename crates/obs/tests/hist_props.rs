@@ -1,0 +1,107 @@
+//! Property tests for the histogram: no lost samples under concurrent
+//! recording, and snapshot merge that is associative, commutative, and
+//! equal to single-recorder totals regardless of how samples are
+//! sharded across histograms or threads.
+
+use bullfrog_obs::{bucket_of, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Folds a list of snapshots left-to-right.
+fn merge_all(snaps: &[HistogramSnapshot]) -> HistogramSnapshot {
+    let mut out = HistogramSnapshot::default();
+    for s in snaps {
+        out.merge(s);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent recorders on one histogram lose nothing: the snapshot
+    /// count, sum, and per-bucket totals equal the sequential ground
+    /// truth of the same sample multiset.
+    #[test]
+    fn concurrent_recording_loses_no_samples(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..200), 1..8)
+    ) {
+        let h = Histogram::new();
+        let href = &h;
+        std::thread::scope(|s| {
+            for samples in &per_thread {
+                s.spawn(move || {
+                    for &v in samples {
+                        href.record(v);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        let all: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(snap.count(), all.len() as u64);
+        prop_assert_eq!(snap.sum, all.iter().sum::<u64>());
+        let mut want = vec![0u64; bullfrog_obs::NUM_BUCKETS];
+        for &v in &all {
+            want[bucket_of(v)] += 1;
+        }
+        prop_assert_eq!(&snap.buckets, &want);
+    }
+
+    /// Merge is associative and commutative, and sharding a sample set
+    /// across any number of histograms then merging equals recording
+    /// everything into a single one.
+    #[test]
+    fn merge_is_associative_commutative_and_shard_invariant(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..u64::MAX, 0..100), 1..6),
+        perm_seed in 0usize..720
+    ) {
+        let hists: Vec<Histogram> = shards.iter().map(|_| Histogram::new()).collect();
+        let single = Histogram::new();
+        for (h, samples) in hists.iter().zip(&shards) {
+            for &v in samples {
+                h.record(v);
+                single.record(v);
+            }
+        }
+        let snaps: Vec<HistogramSnapshot> = hists.iter().map(|h| h.snapshot()).collect();
+
+        // Shard-merge == single-recorder.
+        let merged = merge_all(&snaps);
+        prop_assert_eq!(&merged, &single.snapshot());
+
+        // Commutative: any permutation folds to the same snapshot.
+        let mut permuted = snaps.clone();
+        let mut seed = perm_seed;
+        for i in (1..permuted.len()).rev() {
+            permuted.swap(i, seed % (i + 1));
+            seed /= i + 1;
+        }
+        prop_assert_eq!(&merge_all(&permuted), &merged);
+
+        // Associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c) at every split point.
+        for split in 0..snaps.len() {
+            let mut left = merge_all(&snaps[..split]);
+            let right = merge_all(&snaps[split..]);
+            left.merge(&right);
+            prop_assert_eq!(&left, &merged, "split at {}", split);
+        }
+    }
+
+    /// The sparse wire form round-trips every snapshot exactly.
+    #[test]
+    fn sparse_wire_form_round_trips(
+        samples in proptest::collection::vec(0u64..u64::MAX, 0..300)
+    ) {
+        let h = Histogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(
+            HistogramSnapshot::from_sparse(snap.sum, &snap.sparse()),
+            snap
+        );
+    }
+}

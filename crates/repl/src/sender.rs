@@ -257,6 +257,18 @@ impl ReplicationSender {
     ) -> std::io::Result<()> {
         let wal = self.bf.db().wal();
         let gate = wal.sync_gate();
+        let obs = Arc::clone(self.bf.db().obs());
+        let ship_hist = obs.histogram("repl.ship_us");
+        let ack_hist = obs.histogram("repl.ack_rtt_us");
+        let ship_records = obs.counter("repl.ship_records");
+        let ship_bytes = obs.counter("repl.ship_bytes");
+        let lag_gauge = obs.gauge("repl.lag_lsns");
+        // Frames in flight awaiting acknowledgement: (frontier after the
+        // batch, send time). The replica acks its applied *frontier*, so
+        // a batch is confirmed once `acked >= frontier` — the delta is
+        // the ship→apply→ack round trip.
+        let mut in_flight: std::collections::VecDeque<(u64, u64)> =
+            std::collections::VecDeque::new();
         bullfrog_net::wire::write_frame(stream, &Response::Ok { affected: 0 }.encode())?;
 
         // ACK reader: a dedicated thread owning the read half, so the
@@ -311,6 +323,13 @@ impl ReplicationSender {
             if let Some(p) = self.peers.lock().get_mut(&peer.peer_id) {
                 p.acked_lsn = acked_lsn;
             }
+            while in_flight
+                .front()
+                .is_some_and(|&(frontier, _)| frontier <= acked_lsn)
+            {
+                let (_, sent_us) = in_flight.pop_front().expect("front checked");
+                ack_hist.record(obs.now_us().saturating_sub(sent_us));
+            }
 
             // Durable log tail first, then the DDL journal tail: a
             // journal entry's apply point can only reference LSNs the
@@ -340,8 +359,23 @@ impl ReplicationSender {
             }
             .encode();
             let frame_bytes = frame.len() as u64;
+            let ship_started = std::time::Instant::now();
             if let Err(e) = bullfrog_net::wire::write_frame(stream, &frame) {
                 break Err(e);
+            }
+            if !idle {
+                ship_hist.record_micros(ship_started.elapsed());
+                ship_records.add(nrecords);
+                ship_bytes.add(frame_bytes);
+                lag_gauge.set(durable_lsn.saturating_sub(acked_lsn) as i64);
+                if nrecords > 0 {
+                    // Bound the queue against a replica that never acks;
+                    // dropped entries just lose their RTT sample.
+                    if in_flight.len() >= 4096 {
+                        in_flight.pop_front();
+                    }
+                    in_flight.push_back((next_lsn, obs.now_us()));
+                }
             }
             if let Some(p) = self.peers.lock().get_mut(&peer.peer_id) {
                 p.sent_records += nrecords;

@@ -531,6 +531,18 @@ struct WalShared {
     /// top of the merged durable horizon (local durability first, then
     /// the replica quorum). A no-op until `SET SYNC_REPLICAS` arms it.
     sync: Arc<SyncGate>,
+    /// Latency histograms, attached once by the owning database (see
+    /// [`Wal::attach_obs`]). Unattached logs skip recording entirely.
+    obs: std::sync::OnceLock<WalObs>,
+}
+
+/// The WAL's slice of the observability registry: append staging, the
+/// combined write+fsync, and the group-commit durability wait. All in
+/// microseconds.
+struct WalObs {
+    append: Arc<bullfrog_obs::Histogram>,
+    flush: Arc<bullfrog_obs::Histogram>,
+    commit_wait: Arc<bullfrog_obs::Histogram>,
 }
 
 /// Recomputes the merged durable horizon from the per-shard frontiers and
@@ -557,12 +569,20 @@ fn wait_durable_shared(shared: &WalShared, lsn: u64) {
     if !shared.file_backed || shared.durable_lsn.load(Ordering::Acquire) >= lsn {
         return;
     }
+    // Only the slow path records: the already-durable fast path would
+    // flood the histogram with zero-length "waits" that are really just
+    // the load above.
+    let started = Instant::now();
     let mut core = shared.core.lock();
     while shared.durable_lsn.load(Ordering::Acquire) < lsn {
         if shared.poisoned.load(Ordering::Acquire) {
             panic!("WAL flusher failed; cannot guarantee durability");
         }
         shared.durable.wait(&mut core);
+    }
+    drop(core);
+    if let Some(o) = shared.obs.get() {
+        o.commit_wait.record_micros(started.elapsed());
     }
 }
 
@@ -738,6 +758,7 @@ impl Wal {
             retain_next: AtomicU64::new(0),
             oracle: Arc::new(TsOracle::new()),
             sync: Arc::new(SyncGate::default()),
+            obs: std::sync::OnceLock::new(),
         }
     }
 
@@ -900,6 +921,19 @@ impl Wal {
         Arc::clone(&self.shared.sync)
     }
 
+    /// Attaches latency histograms from `reg`: `wal.append_us` (staging
+    /// under the log mutex), `wal.flush_us` (combined write+fsync per
+    /// flusher wakeup), and `wal.commit_wait_us` (time a committer
+    /// blocks on the merged durable horizon — the group-commit wait).
+    /// Idempotent; the first registry wins.
+    pub fn attach_obs(&self, reg: &bullfrog_obs::Registry) {
+        let _ = self.shared.obs.set(WalObs {
+            append: reg.histogram("wal.append_us"),
+            flush: reg.histogram("wal.flush_us"),
+            commit_wait: reg.histogram("wal.commit_wait_us"),
+        });
+    }
+
     /// As [`Wal::append_commit_durable`], but acknowledged at enqueue
     /// time with a [`CommitTicket`] (async commit). The caller still owes
     /// a [`TsOracle::finish`] once its versions are installed.
@@ -917,6 +951,7 @@ impl Wal {
     /// the fixed-size `CommitTs` record is encoded inside it, because its
     /// timestamp does not exist until drawn.
     fn append_commit_inner(&self, batch: Vec<LogRecord>, txn: TxnId) -> (u64, u64, u64) {
+        let started = Instant::now();
         let file_backed = self.shared.file_backed;
         let mut buf = BytesMut::new();
         if file_backed {
@@ -948,6 +983,10 @@ impl Wal {
             sp.queued_batches += 1;
             self.shared.shard_work[shard].notify_one();
         }
+        drop(core);
+        if let Some(o) = self.shared.obs.get() {
+            o.append.record_micros(started.elapsed());
+        }
         (first, end, ts)
     }
 
@@ -962,6 +1001,7 @@ impl Wal {
 
     /// Returns `(first_lsn, end_lsn, owning shard)` of the appended batch.
     fn append_batch_inner(&self, batch: impl IntoIterator<Item = LogRecord>) -> (u64, u64, usize) {
+        let started = Instant::now();
         let records: Vec<LogRecord> = batch.into_iter().collect();
         // Encode (and pick the shard) outside the lock; appenders pay
         // serialization in parallel and the critical section is push +
@@ -990,6 +1030,10 @@ impl Wal {
             sp.queue.push((first, bytes));
             sp.queued_batches += 1;
             self.shared.shard_work[shard].notify_one();
+        }
+        drop(core);
+        if let Some(o) = self.shared.obs.get() {
+            o.append.record_micros(started.elapsed());
         }
         (first, end, shard)
     }
@@ -1525,16 +1569,18 @@ fn flusher_loop(shared: &WalShared, shard: usize) {
             }
         }
         if !rotated_away {
+            let flush_us = started.elapsed().as_micros() as u64;
             let stats = &shared.shard_stats[shard];
             stats.flushes.fetch_add(1, Ordering::Relaxed);
             stats.flushed_batches.fetch_add(batches, Ordering::Relaxed);
             stats
                 .flushed_bytes
                 .fetch_add(buf.len() as u64, Ordering::Relaxed);
-            stats
-                .flush_micros
-                .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
+            stats.flush_micros.fetch_add(flush_us, Ordering::Relaxed);
             stats.max_group.fetch_max(batches, Ordering::Relaxed);
+            if let Some(o) = shared.obs.get() {
+                o.flush.record(flush_us);
+            }
         }
         {
             let mut core = shared.core.lock();

@@ -86,6 +86,10 @@ timeout 30 "$LOADGEN" --addr "$PRIMARY" --clients 8 --accounts 64 --ops 5 --seed
 timeout 30 "$REPLD" wait-zero-lag --addr "$REPLICA" --timeout-secs 25
 "$REPLD" status --addr "$REPLICA" --full | grep -q '^repl.role_replica = 1$'
 "$REPLD" status --addr "$REPLICA" | grep -q '^role=replica '
+# The primary ran the loadgen commits, so its one-liner must carry
+# nonzero commit-latency figures from the METRICS snapshot.
+PSTATUS="$("$REPLD" status --addr "$PRIMARY")"
+echo "$PSTATUS" | grep -q ' commit_p99_us=[1-9]'
 "$REPLD" shutdown --addr "$REPLICA"
 "$REPLD" shutdown --addr "$PRIMARY"
 wait "$PRIMARY_PID" "$REPLICA_PID"
@@ -118,7 +122,12 @@ sleep 0.5
   --sql "CREATE TABLE accounts (id INT, owner CHAR(8), balance INT, PRIMARY KEY (id))"
 timeout 60 "$CLUSTERD" migrate --nodes "$NODES" --finalize-drop \
   --sql "CREATE TABLE accounts_v2 AS (SELECT id, owner, balance FROM accounts) PRIMARY KEY (id)"
-"$CLUSTERD" status --nodes "$NODES" | grep -q '^cluster.nodes = 3$'
+# Capture the full status (a bare `| grep -q` closes the pipe at first
+# match) and assert both the node count and the cluster-merged latency
+# one-liner sourced from each node's METRICS snapshot.
+CSTATUS="$("$CLUSTERD" status --nodes "$NODES")"
+echo "$CSTATUS" | grep -q '^cluster.nodes = 3$'
+echo "$CSTATUS" | grep -q '^latency: commit_p50_us='
 "$CLUSTERD" shutdown --nodes "$NODES"
 wait "$N1_PID" "$N2_PID" "$N3_PID"
 trap - EXIT
@@ -133,6 +142,23 @@ echo "== net protocol bench (QUERY vs prepared vs pipelined, machine-readable JS
 BENCH_NET_JSON="$PWD/target/BENCH_net.json" \
   timeout 120 cargo bench -q -p bullfrog-bench --bench micro_net
 grep -q '"bench": "net"' target/BENCH_net.json
+grep -q '"obs_overhead_pct"' target/BENCH_net.json
+
+echo "== obs crate (histogram proptests, registry, tracer) =="
+cargo test -q -p bullfrog-obs
+
+echo "== obs timeline smoke (both engine modes, per-second p50/p99 across migrations) =="
+BENCH_OBS_JSON="$PWD/target/BENCH_obs.json" \
+  timeout 60 cargo run --release -q -p bullfrog-ha --bin loadgen -- \
+  --timeline --clients 8 --accounts 128 --owners 8 --ops 5 --seed 42
+grep -q '"bench": "obs_timeline"' target/BENCH_obs.json
+grep -q '"mode": "2pl"' target/BENCH_obs.json
+grep -q '"mode": "si"' target/BENCH_obs.json
+# The loadgen run self-asserts a nonzero migration-window p99 per mode;
+# check the emitted JSON carries the figures (and no zero slipped out).
+test "$(grep -c '"m1_window_p99_us": 0' target/BENCH_obs.json)" -eq 0
+test "$(grep -c '"m2_window_p99_us": 0' target/BENCH_obs.json)" -eq 0
+test "$(grep -c '"m1_window_p99_us"' target/BENCH_obs.json)" -eq 2
 
 echo "== rustfmt =="
 cargo fmt --check
